@@ -1,0 +1,25 @@
+//! Bench regenerating Figure 5 (sync vs async efficiency surfaces).
+
+use borg_experiments::heatmap::{run_figure5, HeatmapConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_heatmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_heatmap");
+    group.sample_size(10);
+
+    let smoke = HeatmapConfig::default().smoke();
+    group.bench_function("smoke_grid", |b| b.iter(|| run_figure5(&smoke)));
+
+    // One expensive corner cell: the largest simulated topology.
+    let corner = HeatmapConfig {
+        tf_grid: vec![1.0],
+        p_grid: vec![16_384],
+        min_evaluations: 4_000,
+        ..HeatmapConfig::default()
+    };
+    group.bench_function("p16384_cell", |b| b.iter(|| run_figure5(&corner)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_heatmap);
+criterion_main!(benches);

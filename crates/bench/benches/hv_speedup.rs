@@ -1,0 +1,22 @@
+//! Bench regenerating Figure 3 (DTLZ2) and Figure 4 (UF11) hypervolume-
+//! threshold speedup panels at smoke scale.
+
+use borg_experiments::hvspeedup::{run_panel, HvSpeedupConfig};
+use borg_experiments::suite::PaperProblem;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hv_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hv_speedup");
+    group.sample_size(10);
+
+    for (name, problem) in [("fig3_dtlz2", PaperProblem::Dtlz2), ("fig4_uf11", PaperProblem::Uf11)] {
+        let cfg = HvSpeedupConfig::new(problem).smoke();
+        group.bench_with_input(BenchmarkId::new(name, "panel_tf10ms"), &cfg, |b, cfg| {
+            b.iter(|| run_panel(cfg, 0.01))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hv_speedup);
+criterion_main!(benches);

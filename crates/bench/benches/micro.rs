@@ -1,0 +1,140 @@
+//! Microbenchmarks of the building blocks: variation operators, ε-archive
+//! insertion, hypervolume computation, the DES engine, and the Borg engine
+//! step — the constituents of the paper's `T_A`.
+
+use borg_core::algorithm::{BorgConfig, BorgEngine};
+use borg_core::archive::EpsilonArchive;
+use borg_core::operators::standard_borg_operators;
+use borg_core::problem::{Bounds, Problem};
+use borg_core::rng::rng_from_seed;
+use borg_core::solution::Solution;
+use borg_desim::EventQueue;
+use borg_metrics::hypervolume::hypervolume;
+use borg_metrics::mc_hypervolume::McHypervolume;
+use borg_models::analytical::TimingParams;
+use borg_models::perfsim::{simulate_async, PerfSimConfig, TimingModel};
+use borg_problems::dtlz::Dtlz;
+use borg_problems::refsets::dtlz2_front;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators");
+    let l = 14;
+    let bounds: Vec<Bounds> = (0..l).map(|_| Bounds::unit()).collect();
+    let mut rng = rng_from_seed(1);
+    for op in standard_borg_operators(l) {
+        let parents: Vec<Vec<f64>> = (0..op.arity())
+            .map(|_| (0..l).map(|_| rng.gen()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = parents.iter().map(|p| p.as_slice()).collect();
+        group.bench_function(op.name(), |b| {
+            b.iter(|| op.evolve(black_box(&refs), &bounds, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive");
+    let mut rng = rng_from_seed(2);
+    let points: Vec<Vec<f64>> = (0..5_000)
+        .map(|_| (0..5).map(|_| rng.gen::<f64>() * 2.0).collect())
+        .collect();
+    for eps in [0.05, 0.1, 0.25] {
+        group.bench_with_input(BenchmarkId::new("insert_5000_5d", eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut a = EpsilonArchive::uniform(5, eps);
+                for p in &points {
+                    a.add(Solution::from_parts(vec![], p.clone(), vec![]));
+                }
+                a.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypervolume");
+    group.sample_size(20);
+    let front3 = dtlz2_front(3, 12);
+    let front5 = dtlz2_front(5, 5);
+    group.bench_function("wfg_exact_3d_91pts", |b| {
+        b.iter(|| hypervolume(black_box(&front3), &[1.0; 3]))
+    });
+    group.bench_function("wfg_exact_5d_126pts", |b| {
+        b.iter(|| hypervolume(black_box(&front5), &[1.0; 5]))
+    });
+    let mc = McHypervolume::unit(5, 10_000, 3);
+    group.bench_function("mc_5d_126pts_10k_samples", |b| {
+        b.iter(|| mc.estimate(black_box(&front5)))
+    });
+    group.finish();
+}
+
+fn bench_desim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("desim");
+    group.bench_function("event_queue_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u32 {
+                q.schedule_at(f64::from(i % 977), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+    group.bench_function("perfsim_p64_n10k", |b| {
+        b.iter(|| {
+            simulate_async(&PerfSimConfig {
+                processors: 64,
+                evaluations: 10_000,
+                timing: TimingModel::constant(TimingParams::new(0.001, 0.000_006, 0.000_03)),
+                seed: 4,
+            })
+            .parallel_time
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("borg_engine");
+    group.sample_size(20);
+    group.bench_function("produce_consume_dtlz2_5d", |b| {
+        let problem = Dtlz::dtlz2_5();
+        let mut engine = BorgEngine::new(&problem, BorgConfig::new(5, 0.1), 5);
+        let mut objs = vec![0.0; 5];
+        let mut cons = vec![];
+        // Warm the engine so the bench measures the steady state (the
+        // paper's T_A), not initialization.
+        for _ in 0..2_000 {
+            let cand = engine.produce();
+            problem.evaluate(&cand.variables, &mut objs, &mut cons);
+            let sol = engine.make_solution(cand, objs.clone(), cons.clone());
+            engine.consume(sol);
+        }
+        b.iter(|| {
+            let cand = engine.produce();
+            problem.evaluate(&cand.variables, &mut objs, &mut cons);
+            let sol = engine.make_solution(cand, objs.clone(), cons.clone());
+            engine.consume(sol);
+            engine.nfe()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_archive,
+    bench_hypervolume,
+    bench_desim,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Bench regenerating Figures 1–2 (master/worker timelines) and the
+//! underlying traced queueing simulations.
+
+use borg_experiments::timeline::{figure1, figure2, TimelineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_timelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timelines");
+    group.sample_size(20);
+    let cfg = TimelineConfig::default();
+    group.bench_function("fig1_sync", |b| b.iter(|| figure1(&cfg)));
+    group.bench_function("fig2_async", |b| b.iter(|| figure2(&cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_timelines);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # borg-bench
+//!
+//! Criterion benchmark suite for the Borg MOEA scalability reproduction.
+//! The crate has no library content; every target lives in `benches/`:
+//!
+//! * `table2` — regenerates Table II cells (experimental + analytical +
+//!   simulation model) at smoke scale;
+//! * `hv_speedup` — Figures 3–4 hypervolume-speedup panels;
+//! * `efficiency_heatmap` — Figure 5 efficiency surfaces;
+//! * `timelines` — Figures 1–2 traced queueing simulations;
+//! * `micro` — the constituents of the paper's `T_A`: operators, archive
+//!   insertion, hypervolume, the DES engine, the queueing model, and the
+//!   steady-state Borg engine step.

@@ -1,0 +1,453 @@
+//! The ε-dominance archive (Laumanns et al. 2002) with ε-progress tracking.
+//!
+//! The archive is the heart of the Borg MOEA: it stores the best solutions
+//! found so far with guaranteed diversity (at most one solution per ε-box),
+//! credits archive contributions back to variation operators (driving the
+//! auto-adaptive ensemble), and tracks **ε-progress** — the number of
+//! insertions that opened a *new* ε-box — which Borg uses to detect search
+//! stagnation and trigger restarts.
+
+use crate::dominance::{constrained_dominance, epsilon_box, Dominance};
+use crate::solution::Solution;
+
+/// Outcome of attempting to add a solution to the archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchiveInsert {
+    /// The solution entered a previously unoccupied ε-box (possibly evicting
+    /// dominated boxes). This counts as ε-progress.
+    AddedNewBox,
+    /// The solution replaced the occupant of its own ε-box (closer to the
+    /// box's ideal corner, or dominating within the box). Not ε-progress.
+    ReplacedInBox,
+    /// The solution was ε-box dominated (or same-box worse) and rejected.
+    Rejected,
+}
+
+impl ArchiveInsert {
+    /// Whether the archive accepted the solution in any form.
+    pub fn accepted(self) -> bool {
+        !matches!(self, ArchiveInsert::Rejected)
+    }
+
+    /// Whether the insertion counts as ε-progress.
+    pub fn is_progress(self) -> bool {
+        matches!(self, ArchiveInsert::AddedNewBox)
+    }
+}
+
+/// An ε-box dominance archive.
+///
+/// Invariants (checked by `debug_assert_invariants` and the property tests):
+///
+/// 1. No two members share an ε-box.
+/// 2. No member's ε-box Pareto-dominates another member's ε-box.
+/// 3. All members are mutually Pareto-nondominated... *per box*; exact
+///    Pareto-nondominance of representatives follows from 1 + 2 only up to
+///    the box discretization, which is the ε-dominance guarantee.
+#[derive(Debug, Clone)]
+pub struct EpsilonArchive {
+    epsilons: Vec<f64>,
+    solutions: Vec<Solution>,
+    boxes: Vec<Vec<i64>>,
+    /// Number of insertions that opened a new ε-box (ε-progress counter).
+    improvements: u64,
+    /// Total accepted insertions (new box + same-box replacements).
+    accepts: u64,
+    /// Total rejected insertions.
+    rejects: u64,
+    /// Archive contributions per operator index (drives operator adaptation).
+    operator_credits: Vec<u64>,
+}
+
+impl EpsilonArchive {
+    /// Creates an empty archive with per-objective ε values.
+    ///
+    /// # Panics
+    /// If `epsilons` is empty or any ε is not strictly positive.
+    pub fn new(epsilons: Vec<f64>) -> Self {
+        assert!(!epsilons.is_empty(), "need at least one epsilon");
+        assert!(
+            epsilons.iter().all(|&e| e > 0.0 && e.is_finite()),
+            "epsilons must be positive and finite"
+        );
+        Self {
+            epsilons,
+            solutions: Vec::new(),
+            boxes: Vec::new(),
+            improvements: 0,
+            accepts: 0,
+            rejects: 0,
+            operator_credits: Vec::new(),
+        }
+    }
+
+    /// Creates an archive with a uniform ε for `m` objectives.
+    pub fn uniform(m: usize, epsilon: f64) -> Self {
+        Self::new(vec![epsilon; m])
+    }
+
+    /// The ε vector.
+    pub fn epsilons(&self) -> &[f64] {
+        &self.epsilons
+    }
+
+    /// Current archive members.
+    pub fn solutions(&self) -> &[Solution] {
+        &self.solutions
+    }
+
+    /// Number of archive members.
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+
+    /// ε-progress counter: insertions that opened a new ε-box.
+    pub fn improvements(&self) -> u64 {
+        self.improvements
+    }
+
+    /// Total accepted insertions.
+    pub fn accepts(&self) -> u64 {
+        self.accepts
+    }
+
+    /// Total rejected insertions.
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+
+    /// Archive contributions per operator (index = operator id).
+    pub fn operator_credits(&self) -> &[u64] {
+        &self.operator_credits
+    }
+
+    /// Clears credit counters (Borg does this when recomputing operator
+    /// probabilities from scratch after a restart, if configured).
+    pub fn reset_operator_credits(&mut self) {
+        self.operator_credits.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Objective vectors of all members (copied; for metrics).
+    pub fn objective_vectors(&self) -> Vec<Vec<f64>> {
+        self.solutions
+            .iter()
+            .map(|s| s.objectives().to_vec())
+            .collect()
+    }
+
+    fn credit(&mut self, op: Option<usize>) {
+        if let Some(i) = op {
+            if i >= self.operator_credits.len() {
+                self.operator_credits.resize(i + 1, 0);
+            }
+            self.operator_credits[i] += 1;
+        }
+    }
+
+    /// Attempts to insert a solution.
+    ///
+    /// Constrained solutions: an infeasible solution is accepted only while
+    /// the archive holds no feasible solution, mirroring Borg's behaviour
+    /// (the archive switches to feasible-only as soon as one exists).
+    pub fn add(&mut self, solution: Solution) -> ArchiveInsert {
+        debug_assert_eq!(solution.num_objectives(), self.epsilons.len());
+
+        // Constraint handling: compare feasibility against the archive state.
+        if !self.solutions.is_empty() {
+            let archive_feasible = self.solutions[0].is_feasible();
+            let sol_feasible = solution.is_feasible();
+            match (archive_feasible, sol_feasible) {
+                (true, false) => {
+                    self.rejects += 1;
+                    return ArchiveInsert::Rejected;
+                }
+                (false, true) => {
+                    // First feasible solution evicts all infeasible content.
+                    self.solutions.clear();
+                    self.boxes.clear();
+                    let op = solution.operator;
+                    self.boxes
+                        .push(epsilon_box(solution.objectives(), &self.epsilons));
+                    self.solutions.push(solution);
+                    self.improvements += 1;
+                    self.accepts += 1;
+                    self.credit(op);
+                    return ArchiveInsert::AddedNewBox;
+                }
+                (false, false) => {
+                    // Among infeasible solutions keep the single least
+                    // violating one (Borg keeps a best-infeasible placeholder).
+                    let cur = self.solutions[0].constraint_violation();
+                    let new = solution.constraint_violation();
+                    if new < cur {
+                        self.boxes[0] = epsilon_box(solution.objectives(), &self.epsilons);
+                        self.solutions[0] = solution;
+                        self.accepts += 1;
+                        return ArchiveInsert::ReplacedInBox;
+                    }
+                    self.rejects += 1;
+                    return ArchiveInsert::Rejected;
+                }
+                (true, true) => {}
+            }
+        } else if !solution.is_feasible() {
+            // Empty archive accepts a best-so-far infeasible placeholder.
+            let op = solution.operator;
+            self.boxes
+                .push(epsilon_box(solution.objectives(), &self.epsilons));
+            self.solutions.push(solution);
+            self.accepts += 1;
+            self.credit(op);
+            return ArchiveInsert::AddedNewBox;
+        }
+
+        let sbox = epsilon_box(solution.objectives(), &self.epsilons);
+
+        // Pass 1: determine the solution's fate against every member.
+        let mut same_box: Option<usize> = None;
+        let mut dominated_members: Vec<usize> = Vec::new();
+        for (i, mbox) in self.boxes.iter().enumerate() {
+            let mut s_better = false;
+            let mut m_better = false;
+            for (&sb, &mb) in sbox.iter().zip(mbox) {
+                if sb < mb {
+                    s_better = true;
+                } else if mb < sb {
+                    m_better = true;
+                }
+            }
+            match (s_better, m_better) {
+                (false, false) => {
+                    same_box = Some(i);
+                    break;
+                }
+                (true, false) => dominated_members.push(i),
+                (false, true) => {
+                    self.rejects += 1;
+                    return ArchiveInsert::Rejected;
+                }
+                (true, true) => {}
+            }
+        }
+
+        if let Some(i) = same_box {
+            // Same box: prefer the dominating solution; if nondominated,
+            // prefer the one closest to the box's ideal corner.
+            let incumbent = &self.solutions[i];
+            let better = match constrained_dominance(&solution, incumbent) {
+                Dominance::Dominates => true,
+                Dominance::DominatedBy => false,
+                Dominance::NonDominated => {
+                    let corner: Vec<f64> = sbox
+                        .iter()
+                        .zip(&self.epsilons)
+                        .map(|(&b, &e)| b as f64 * e)
+                        .collect();
+                    let d = |s: &Solution| {
+                        s.objectives()
+                            .iter()
+                            .zip(&corner)
+                            .map(|(o, c)| (o - c) * (o - c))
+                            .sum::<f64>()
+                    };
+                    d(&solution) < d(incumbent)
+                }
+            };
+            if better {
+                let op = solution.operator;
+                self.solutions[i] = solution;
+                self.accepts += 1;
+                self.credit(op);
+                ArchiveInsert::ReplacedInBox
+            } else {
+                self.rejects += 1;
+                ArchiveInsert::Rejected
+            }
+        } else {
+            // New box: evict members in dominated boxes, then insert.
+            for &i in dominated_members.iter().rev() {
+                self.solutions.swap_remove(i);
+                self.boxes.swap_remove(i);
+            }
+            let op = solution.operator;
+            self.solutions.push(solution);
+            self.boxes.push(sbox);
+            self.improvements += 1;
+            self.accepts += 1;
+            self.credit(op);
+            ArchiveInsert::AddedNewBox
+        }
+    }
+
+    /// Empties the archive content but keeps statistics and credits.
+    pub fn clear_solutions(&mut self) {
+        self.solutions.clear();
+        self.boxes.clear();
+    }
+
+    /// Verifies the archive invariants; used in tests and `debug_assert!`s.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for i in 0..self.boxes.len() {
+            for j in (i + 1)..self.boxes.len() {
+                let a = &self.boxes[i];
+                let b = &self.boxes[j];
+                if a == b {
+                    return Err(format!("members {i} and {j} share box {a:?}"));
+                }
+                let mut a_better = false;
+                let mut b_better = false;
+                for (&x, &y) in a.iter().zip(b) {
+                    if x < y {
+                        a_better = true;
+                    } else if y < x {
+                        b_better = true;
+                    }
+                }
+                if a_better != b_better {
+                    return Err(format!(
+                        "member boxes {i} ({a:?}) and {j} ({b:?}) are not mutually nondominating"
+                    ));
+                }
+            }
+        }
+        for (i, s) in self.solutions.iter().enumerate() {
+            let expect = epsilon_box(s.objectives(), &self.epsilons);
+            if expect != self.boxes[i] {
+                return Err(format!("cached box of member {i} is stale"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(objs: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), vec![])
+    }
+
+    fn op_sol(objs: &[f64], op: usize) -> Solution {
+        let mut s = sol(objs);
+        s.operator = Some(op);
+        s
+    }
+
+    fn csol(objs: &[f64], cons: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), cons.to_vec())
+    }
+
+    #[test]
+    fn first_solution_is_progress() {
+        let mut a = EpsilonArchive::uniform(2, 0.1);
+        assert_eq!(a.add(sol(&[0.5, 0.5])), ArchiveInsert::AddedNewBox);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.improvements(), 1);
+    }
+
+    #[test]
+    fn dominated_box_is_evicted() {
+        let mut a = EpsilonArchive::uniform(2, 0.1);
+        a.add(sol(&[0.55, 0.55]));
+        assert_eq!(a.add(sol(&[0.15, 0.15])), ArchiveInsert::AddedNewBox);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.solutions()[0].objectives(), &[0.15, 0.15]);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dominated_candidate_is_rejected() {
+        let mut a = EpsilonArchive::uniform(2, 0.1);
+        a.add(sol(&[0.15, 0.15]));
+        assert_eq!(a.add(sol(&[0.55, 0.55])), ArchiveInsert::Rejected);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.rejects(), 1);
+    }
+
+    #[test]
+    fn same_box_keeps_closer_to_corner() {
+        let mut a = EpsilonArchive::uniform(2, 1.0);
+        a.add(sol(&[0.9, 0.2]));
+        // Same box (0,0); Pareto-nondominated with incumbent; closer to corner.
+        assert_eq!(a.add(sol(&[0.3, 0.4])), ArchiveInsert::ReplacedInBox);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.solutions()[0].objectives(), &[0.3, 0.4]);
+        // Same box, farther from corner: rejected.
+        assert_eq!(a.add(sol(&[0.6, 0.7])), ArchiveInsert::Rejected);
+        // ε-progress only counted once (the initial insertion).
+        assert_eq!(a.improvements(), 1);
+    }
+
+    #[test]
+    fn same_box_dominating_solution_replaces() {
+        let mut a = EpsilonArchive::uniform(2, 1.0);
+        a.add(sol(&[0.5, 0.5]));
+        assert_eq!(a.add(sol(&[0.4, 0.4])), ArchiveInsert::ReplacedInBox);
+        assert_eq!(a.solutions()[0].objectives(), &[0.4, 0.4]);
+    }
+
+    #[test]
+    fn nondominated_boxes_coexist() {
+        let mut a = EpsilonArchive::uniform(2, 0.1);
+        a.add(sol(&[0.05, 0.95]));
+        a.add(sol(&[0.95, 0.05]));
+        a.add(sol(&[0.45, 0.45]));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.improvements(), 3);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn operator_credit_tracking() {
+        let mut a = EpsilonArchive::uniform(2, 0.1);
+        a.add(op_sol(&[0.05, 0.95], 2));
+        a.add(op_sol(&[0.95, 0.05], 0));
+        a.add(op_sol(&[0.96, 0.06], 0)); // rejected, no credit
+        assert_eq!(a.operator_credits(), &[1, 0, 1]);
+        a.reset_operator_credits();
+        assert_eq!(a.operator_credits(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn infeasible_placeholder_until_feasible_arrives() {
+        let mut a = EpsilonArchive::uniform(2, 0.1);
+        assert!(a.add(csol(&[0.1, 0.1], &[5.0])).accepted());
+        // Less-violating infeasible replaces.
+        assert_eq!(a.add(csol(&[0.9, 0.9], &[2.0])), ArchiveInsert::ReplacedInBox);
+        assert_eq!(a.len(), 1);
+        // More-violating infeasible rejected.
+        assert_eq!(a.add(csol(&[0.0, 0.0], &[3.0])), ArchiveInsert::Rejected);
+        // Feasible solution evicts the placeholder even if Pareto-worse.
+        assert_eq!(a.add(csol(&[1.5, 1.5], &[0.0])), ArchiveInsert::AddedNewBox);
+        assert_eq!(a.len(), 1);
+        assert!(a.solutions()[0].is_feasible());
+        // Infeasible solutions now rejected outright.
+        assert_eq!(a.add(csol(&[0.0, 0.0], &[0.1])), ArchiveInsert::Rejected);
+    }
+
+    #[test]
+    fn five_objective_inserts_hold_invariants() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut a = EpsilonArchive::uniform(5, 0.1);
+        for _ in 0..500 {
+            let objs: Vec<f64> = (0..5).map(|_| rng.gen::<f64>()).collect();
+            a.add(Solution::from_parts(vec![], objs, vec![]));
+        }
+        a.check_invariants().unwrap();
+        assert!(a.len() > 1);
+        assert_eq!(a.accepts() + a.rejects(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilons must be positive")]
+    fn zero_epsilon_panics() {
+        EpsilonArchive::new(vec![0.0]);
+    }
+}

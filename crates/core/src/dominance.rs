@@ -1,0 +1,314 @@
+//! Dominance relations: Pareto, constrained, and ε-box dominance.
+//!
+//! The Borg MOEA uses three comparators:
+//!
+//! * **Pareto dominance** for population replacement and tournament
+//!   selection.
+//! * **Constrained dominance**: aggregate constraint violation is compared
+//!   first; objectives matter only between two feasible solutions.
+//! * **ε-box dominance** (Laumanns et al. 2002) for the archive: objective
+//!   space is partitioned into boxes of side `ε_i`; a solution dominates
+//!   everything in dominated boxes, and within a box the solution closest to
+//!   the ideal box corner wins. This bounds archive size and guarantees
+//!   convergence + diversity.
+
+use crate::solution::Solution;
+
+/// Result of a dominance comparison between `a` and `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// `a` dominates `b`.
+    Dominates,
+    /// `b` dominates `a`.
+    DominatedBy,
+    /// Neither dominates (includes exact objective ties).
+    NonDominated,
+}
+
+impl Dominance {
+    /// Flips the relation (what `b` vs `a` would report).
+    pub fn flip(self) -> Self {
+        match self {
+            Dominance::Dominates => Dominance::DominatedBy,
+            Dominance::DominatedBy => Dominance::Dominates,
+            Dominance::NonDominated => Dominance::NonDominated,
+        }
+    }
+}
+
+/// Standard Pareto dominance on raw objective vectors (minimization).
+pub fn pareto_dominance_objectives(a: &[f64], b: &[f64]) -> Dominance {
+    debug_assert_eq!(a.len(), b.len());
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::NonDominated;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        _ => Dominance::NonDominated,
+    }
+}
+
+/// Pareto dominance between two solutions, ignoring constraints.
+pub fn pareto_dominance(a: &Solution, b: &Solution) -> Dominance {
+    pareto_dominance_objectives(a.objectives(), b.objectives())
+}
+
+/// Constrained Pareto dominance.
+///
+/// A solution with a smaller aggregate constraint violation dominates one
+/// with a larger violation; two equally-violating solutions fall back to
+/// Pareto dominance on objectives. This matches the comparator used by Borg
+/// (and NSGA-II's constrained tournament).
+pub fn constrained_dominance(a: &Solution, b: &Solution) -> Dominance {
+    let va = a.constraint_violation();
+    let vb = b.constraint_violation();
+    if va < vb {
+        Dominance::Dominates
+    } else if vb < va {
+        Dominance::DominatedBy
+    } else {
+        pareto_dominance(a, b)
+    }
+}
+
+/// Computes the ε-box index vector of an objective vector.
+///
+/// Box `i` of objective `j` covers `[i ε_j, (i+1) ε_j)`. Borg assumes
+/// objectives are bounded below (translated to be non-negative is not
+/// required; `floor` handles negatives correctly).
+pub fn epsilon_box(objectives: &[f64], epsilons: &[f64]) -> Vec<i64> {
+    debug_assert_eq!(objectives.len(), epsilons.len());
+    objectives
+        .iter()
+        .zip(epsilons)
+        .map(|(&o, &e)| {
+            debug_assert!(e > 0.0, "epsilon must be positive");
+            (o / e).floor() as i64
+        })
+        .collect()
+}
+
+/// Result of an ε-box comparison, distinguishing the same-box case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoxDominance {
+    /// `a`'s box dominates `b`'s box.
+    Dominates,
+    /// `b`'s box dominates `a`'s box.
+    DominatedBy,
+    /// Different, mutually non-dominating boxes.
+    NonDominated,
+    /// Same box: `a` is closer to the box's ideal corner.
+    SameBoxABetter,
+    /// Same box: `b` is closer (or exactly as close) to the ideal corner.
+    SameBoxBBetter,
+}
+
+/// ε-box dominance between two objective vectors.
+///
+/// First compares box indices with Pareto dominance; if the boxes coincide,
+/// the solution nearer (in Euclidean distance) to the lower-left box corner
+/// is preferred, which keeps exactly one representative per box.
+pub fn epsilon_box_dominance(a: &[f64], b: &[f64], epsilons: &[f64]) -> BoxDominance {
+    let ba = epsilon_box(a, epsilons);
+    let bb = epsilon_box(b, epsilons);
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in ba.iter().zip(&bb) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => BoxDominance::Dominates,
+        (false, true) => BoxDominance::DominatedBy,
+        (true, true) => BoxDominance::NonDominated,
+        (false, false) => {
+            // Same box: compare distance to the ideal corner of the box.
+            let mut da = 0.0;
+            let mut db = 0.0;
+            for i in 0..a.len() {
+                let corner = ba[i] as f64 * epsilons[i];
+                da += (a[i] - corner) * (a[i] - corner);
+                db += (b[i] - corner) * (b[i] - corner);
+            }
+            if da < db {
+                BoxDominance::SameBoxABetter
+            } else {
+                BoxDominance::SameBoxBBetter
+            }
+        }
+    }
+}
+
+/// Returns the non-dominated subset (indices) of a set of objective vectors.
+///
+/// O(n²) pairwise filter; used by metrics and reference-set construction, not
+/// by the archive hot path.
+pub fn nondominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut keep = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            match pareto_dominance_objectives(q, p) {
+                Dominance::Dominates => continue 'outer,
+                // Exact duplicate objective vectors: keep only the first.
+                Dominance::NonDominated if q == p && j < i => continue 'outer,
+                _ => {}
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(objs: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), vec![])
+    }
+
+    fn csol(objs: &[f64], cons: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), cons.to_vec())
+    }
+
+    #[test]
+    fn pareto_basic_cases() {
+        assert_eq!(
+            pareto_dominance_objectives(&[0.0, 0.0], &[1.0, 1.0]),
+            Dominance::Dominates
+        );
+        assert_eq!(
+            pareto_dominance_objectives(&[1.0, 1.0], &[0.0, 0.0]),
+            Dominance::DominatedBy
+        );
+        assert_eq!(
+            pareto_dominance_objectives(&[0.0, 1.0], &[1.0, 0.0]),
+            Dominance::NonDominated
+        );
+        assert_eq!(
+            pareto_dominance_objectives(&[0.5, 0.5], &[0.5, 0.5]),
+            Dominance::NonDominated
+        );
+    }
+
+    #[test]
+    fn pareto_weak_dominance_counts() {
+        // Equal in one objective, better in the other => dominates.
+        assert_eq!(
+            pareto_dominance_objectives(&[0.0, 1.0], &[0.5, 1.0]),
+            Dominance::Dominates
+        );
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for d in [
+            Dominance::Dominates,
+            Dominance::DominatedBy,
+            Dominance::NonDominated,
+        ] {
+            assert_eq!(d.flip().flip(), d);
+        }
+    }
+
+    #[test]
+    fn constrained_violation_trumps_objectives() {
+        let feasible = csol(&[10.0, 10.0], &[0.0]);
+        let infeasible = csol(&[0.0, 0.0], &[1.0]);
+        assert_eq!(
+            constrained_dominance(&feasible, &infeasible),
+            Dominance::Dominates
+        );
+        assert_eq!(
+            constrained_dominance(&infeasible, &feasible),
+            Dominance::DominatedBy
+        );
+    }
+
+    #[test]
+    fn constrained_equal_violation_falls_back_to_pareto() {
+        let a = csol(&[0.0, 0.0], &[0.5]);
+        let b = csol(&[1.0, 1.0], &[0.5]);
+        assert_eq!(constrained_dominance(&a, &b), Dominance::Dominates);
+        let c = sol(&[0.0, 0.0]);
+        let d = sol(&[1.0, 1.0]);
+        assert_eq!(constrained_dominance(&c, &d), Dominance::Dominates);
+    }
+
+    #[test]
+    fn epsilon_box_indexing() {
+        assert_eq!(epsilon_box(&[0.25, 0.75], &[0.1, 0.5]), vec![2, 1]);
+        assert_eq!(epsilon_box(&[-0.05], &[0.1]), vec![-1]);
+        assert_eq!(epsilon_box(&[0.0], &[0.1]), vec![0]);
+    }
+
+    #[test]
+    fn epsilon_box_dominance_cases() {
+        let e = [0.1, 0.1];
+        // Box (0,0) dominates box (1,1).
+        assert_eq!(
+            epsilon_box_dominance(&[0.05, 0.05], &[0.15, 0.15], &e),
+            BoxDominance::Dominates
+        );
+        // Non-dominating boxes.
+        assert_eq!(
+            epsilon_box_dominance(&[0.05, 0.15], &[0.15, 0.05], &e),
+            BoxDominance::NonDominated
+        );
+        // Same box: closer to corner wins.
+        assert_eq!(
+            epsilon_box_dominance(&[0.01, 0.01], &[0.09, 0.09], &e),
+            BoxDominance::SameBoxABetter
+        );
+        assert_eq!(
+            epsilon_box_dominance(&[0.09, 0.09], &[0.01, 0.01], &e),
+            BoxDominance::SameBoxBBetter
+        );
+    }
+
+    #[test]
+    fn epsilon_box_dominance_is_coarser_than_pareto() {
+        // Pareto-nondominated points can share a box => one is discarded.
+        let e = [1.0, 1.0];
+        let r = epsilon_box_dominance(&[0.2, 0.8], &[0.8, 0.2], &e);
+        assert!(matches!(
+            r,
+            BoxDominance::SameBoxABetter | BoxDominance::SameBoxBBetter
+        ));
+    }
+
+    #[test]
+    fn nondominated_filter() {
+        let pts = vec![
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.5, 0.5],
+            vec![1.0, 1.0], // dominated
+            vec![0.0, 1.0], // duplicate
+        ];
+        let idx = nondominated_indices(&pts);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nondominated_filter_empty_and_single() {
+        assert!(nondominated_indices(&[]).is_empty());
+        assert_eq!(nondominated_indices(&[vec![1.0]]), vec![0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! CSV import/export of solution sets.
+//!
+//! Downstream users need to persist Pareto approximations (for plotting,
+//! post-hoc metrics, or warm-starting later runs) and to load reference
+//! sets distributed as data files. The format is a plain CSV with a header
+//! naming each column `var<i>`, `obj<i>`, `con<i>`.
+
+use crate::solution::Solution;
+
+/// Serializes a solution set to CSV (header + one row per solution).
+pub fn solutions_to_csv(solutions: &[Solution]) -> String {
+    if solutions.is_empty() {
+        return String::new();
+    }
+    let (nv, no, nc) = (
+        solutions[0].num_variables(),
+        solutions[0].num_objectives(),
+        solutions[0].constraints().len(),
+    );
+    let mut out = String::new();
+    let mut header: Vec<String> = Vec::new();
+    header.extend((0..nv).map(|i| format!("var{i}")));
+    header.extend((0..no).map(|i| format!("obj{i}")));
+    header.extend((0..nc).map(|i| format!("con{i}")));
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for s in solutions {
+        assert_eq!(s.num_variables(), nv, "ragged solution set");
+        assert_eq!(s.num_objectives(), no, "ragged solution set");
+        assert_eq!(s.constraints().len(), nc, "ragged solution set");
+        let row: Vec<String> = s
+            .variables()
+            .iter()
+            .chain(s.objectives())
+            .chain(s.constraints())
+            .map(|x| format!("{x:.17e}"))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Error from [`solutions_from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header is missing or malformed.
+    BadHeader(String),
+    /// A data row has the wrong number of fields or a non-numeric field.
+    BadRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader(h) => write!(f, "bad solution-CSV header: {h}"),
+            CsvError::BadRow { line, reason } => write!(f, "bad row at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a solution set written by [`solutions_to_csv`].
+pub fn solutions_from_csv(csv: &str) -> Result<Vec<Solution>, CsvError> {
+    let mut lines = csv.lines();
+    let header = match lines.next() {
+        Some(h) if !h.trim().is_empty() => h,
+        _ => return Ok(Vec::new()),
+    };
+    let mut nv = 0;
+    let mut no = 0;
+    let mut nc = 0;
+    for col in header.split(',') {
+        let col = col.trim();
+        if let Some(rest) = col.strip_prefix("var") {
+            rest.parse::<usize>()
+                .map_err(|_| CsvError::BadHeader(header.into()))?;
+            nv += 1;
+        } else if let Some(rest) = col.strip_prefix("obj") {
+            rest.parse::<usize>()
+                .map_err(|_| CsvError::BadHeader(header.into()))?;
+            no += 1;
+        } else if let Some(rest) = col.strip_prefix("con") {
+            rest.parse::<usize>()
+                .map_err(|_| CsvError::BadHeader(header.into()))?;
+            nc += 1;
+        } else {
+            return Err(CsvError::BadHeader(header.into()));
+        }
+    }
+    let width = nv + no + nc;
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Result<Vec<f64>, _> = line.split(',').map(|f| f.trim().parse::<f64>()).collect();
+        let fields = fields.map_err(|e| CsvError::BadRow {
+            line: i + 2,
+            reason: e.to_string(),
+        })?;
+        if fields.len() != width {
+            return Err(CsvError::BadRow {
+                line: i + 2,
+                reason: format!("expected {width} fields, got {}", fields.len()),
+            });
+        }
+        let vars = fields[..nv].to_vec();
+        let objs = fields[nv..nv + no].to_vec();
+        let cons = fields[nv + no..].to_vec();
+        out.push(Solution::from_parts(vars, objs, cons));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> Vec<Solution> {
+        vec![
+            Solution::from_parts(vec![0.25, 0.5], vec![1.0, 2.0, 3.0], vec![-0.5]),
+            Solution::from_parts(vec![1e-9, 0.999999999], vec![0.1, 0.2, 0.3], vec![0.0]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_bitwise() {
+        let set = sample_set();
+        let csv = solutions_to_csv(&set);
+        let back = solutions_from_csv(&csv).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn header_names_columns() {
+        let csv = solutions_to_csv(&sample_set());
+        assert!(csv.starts_with("var0,var1,obj0,obj1,obj2,con0\n"));
+    }
+
+    #[test]
+    fn empty_set_and_empty_csv() {
+        assert_eq!(solutions_to_csv(&[]), "");
+        assert_eq!(solutions_from_csv("").unwrap(), Vec::new());
+        assert_eq!(solutions_from_csv("\n\n").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn no_constraints_roundtrip() {
+        let set = vec![Solution::from_parts(vec![0.1], vec![0.9, 0.8], vec![])];
+        let back = solutions_from_csv(&solutions_to_csv(&set)).unwrap();
+        assert_eq!(set, back);
+        assert!(back[0].is_feasible());
+    }
+
+    #[test]
+    fn bad_header_is_reported() {
+        let err = solutions_from_csv("x0,obj0\n1.0,2.0\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader(_)));
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn bad_rows_are_reported_with_line_numbers() {
+        let err = solutions_from_csv("var0,obj0\n1.0,2.0\n3.0\n").unwrap_err();
+        match err {
+            CsvError::BadRow { line, .. } => assert_eq!(line, 3),
+            other => panic!("wrong error {other:?}"),
+        }
+        let err = solutions_from_csv("var0,obj0\n1.0,abc\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadRow { line: 2, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged solution set")]
+    fn ragged_sets_panic_on_write() {
+        let set = vec![
+            Solution::from_parts(vec![0.1], vec![1.0], vec![]),
+            Solution::from_parts(vec![0.1, 0.2], vec![1.0], vec![]),
+        ];
+        solutions_to_csv(&set);
+    }
+}

@@ -1,0 +1,443 @@
+//! NSGA-II (Deb et al. 2002): the canonical *generational* MOEA, included
+//! as the concrete algorithm behind the paper's synchronous baseline.
+//!
+//! The paper compares topologies using Cantú-Paz's synchronous model; a
+//! real generational algorithm makes that arm concrete. NSGA-II evolves a
+//! population of size `P` by: fast non-dominated sorting, crowding-distance
+//! diversity, binary tournament selection, SBX crossover and polynomial
+//! mutation, then (μ + λ) truncation — one full population per generation,
+//! which is exactly the synchronization barrier of Figure 1.
+//!
+//! Like [`crate::algorithm::BorgEngine`], the implementation is split into
+//! `produce_generation` / `consume_generation` so the synchronous
+//! executors can charge communication and evaluation time per offspring.
+
+use crate::dominance::{constrained_dominance, Dominance};
+use crate::operators::{PolynomialMutation, SimulatedBinaryCrossover, Variation};
+use crate::problem::{Bounds, Problem};
+use crate::rng::SplitMix64;
+use crate::solution::Solution;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// NSGA-II configuration.
+#[derive(Debug, Clone)]
+pub struct Nsga2Config {
+    /// Population size (= offspring per generation).
+    pub population_size: usize,
+    /// SBX crossover rate (default 1.0) and distribution index (default 15).
+    pub sbx: (f64, f64),
+    /// PM distribution index (default 20); rate defaults to `1/L`.
+    pub pm_index: f64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self {
+            population_size: 100,
+            sbx: (1.0, 15.0),
+            pm_index: 20.0,
+        }
+    }
+}
+
+/// Rank + crowding annotations of one population member.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RankedMeta {
+    rank: usize,
+    crowding: f64,
+}
+
+/// The NSGA-II engine.
+pub struct Nsga2Engine {
+    bounds: Vec<Bounds>,
+    num_objectives: usize,
+    num_constraints: usize,
+    config: Nsga2Config,
+    population: Vec<Solution>,
+    meta: Vec<RankedMeta>,
+    variation: SimulatedBinaryCrossover,
+    rng: StdRng,
+    nfe: u64,
+    generations: u64,
+}
+
+impl Nsga2Engine {
+    /// Creates an engine for `problem`.
+    pub fn new<P: Problem + ?Sized>(problem: &P, config: Nsga2Config, seed: u64) -> Self {
+        assert!(config.population_size >= 4, "population too small");
+        let bounds = problem.all_bounds();
+        let l = bounds.len();
+        let pm = PolynomialMutation::new(1.0 / l.max(1) as f64, config.pm_index);
+        let variation =
+            SimulatedBinaryCrossover::new(config.sbx.0, config.sbx.1).with_mutation(pm);
+        let rng = SplitMix64::new(seed).derive("nsga2-engine");
+        Self {
+            bounds,
+            num_objectives: problem.num_objectives(),
+            num_constraints: problem.num_constraints(),
+            config,
+            population: Vec::new(),
+            meta: Vec::new(),
+            variation,
+            rng,
+            nfe: 0,
+            generations: 0,
+        }
+    }
+
+    /// Current population (empty before the first consume).
+    pub fn population(&self) -> &[Solution] {
+        &self.population
+    }
+
+    /// Evaluations consumed so far.
+    pub fn nfe(&self) -> u64 {
+        self.nfe
+    }
+
+    /// Completed generations.
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+
+    /// The current non-dominated front (rank-0 members).
+    pub fn front(&self) -> Vec<&Solution> {
+        self.population
+            .iter()
+            .zip(&self.meta)
+            .filter(|(_, m)| m.rank == 0)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Produces the next generation's candidate variable vectors
+    /// (`population_size` of them). The first call produces uniform-random
+    /// initial candidates.
+    pub fn produce_generation(&mut self) -> Vec<Vec<f64>> {
+        let n = self.config.population_size;
+        if self.population.is_empty() {
+            return (0..n)
+                .map(|_| {
+                    self.bounds
+                        .iter()
+                        .map(|b| {
+                            if b.range() > 0.0 {
+                                self.rng.gen_range(b.lower..=b.upper)
+                            } else {
+                                b.lower
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+        }
+        (0..n)
+            .map(|_| {
+                let a = self.crowded_tournament();
+                let b = self.crowded_tournament();
+                let parents = [self.population[a].variables(), self.population[b].variables()];
+                self.variation.evolve(&parents, &self.bounds, &mut self.rng)
+            })
+            .collect()
+    }
+
+    /// Consumes one evaluated generation: merges offspring with the current
+    /// population, re-sorts, and truncates to `population_size`.
+    pub fn consume_generation(&mut self, offspring: Vec<Solution>) {
+        debug_assert!(offspring
+            .iter()
+            .all(|s| s.num_objectives() == self.num_objectives
+                && s.constraints().len() == self.num_constraints));
+        self.nfe += offspring.len() as u64;
+        self.generations += 1;
+        let mut pool = std::mem::take(&mut self.population);
+        pool.extend(offspring);
+        let (survivors, meta) = environmental_selection(pool, self.config.population_size);
+        self.population = survivors;
+        self.meta = meta;
+    }
+
+    /// Binary tournament on (rank, crowding): lower rank wins; ties prefer
+    /// larger crowding distance.
+    fn crowded_tournament(&mut self) -> usize {
+        let i = self.rng.gen_range(0..self.population.len());
+        let j = self.rng.gen_range(0..self.population.len());
+        let (mi, mj) = (self.meta[i], self.meta[j]);
+        if mi.rank < mj.rank || (mi.rank == mj.rank && mi.crowding > mj.crowding) {
+            i
+        } else {
+            j
+        }
+    }
+}
+
+impl std::fmt::Debug for Nsga2Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nsga2Engine")
+            .field("nfe", &self.nfe)
+            .field("generations", &self.generations)
+            .field("population", &self.population.len())
+            .finish()
+    }
+}
+
+/// Fast non-dominated sorting (Deb et al. 2002): returns the rank of each
+/// solution (0 = non-dominated front).
+pub fn fast_nondominated_sort(solutions: &[Solution]) -> Vec<usize> {
+    let n = solutions.len();
+    let mut dominates: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut dominated_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match constrained_dominance(&solutions[i], &solutions[j]) {
+                Dominance::Dominates => {
+                    dominates[i].push(j);
+                    dominated_count[j] += 1;
+                }
+                Dominance::DominatedBy => {
+                    dominates[j].push(i);
+                    dominated_count[i] += 1;
+                }
+                Dominance::NonDominated => {}
+            }
+        }
+    }
+    let mut rank = vec![0usize; n];
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_count[i] == 0).collect();
+    let mut level = 0;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            rank[i] = level;
+            for &j in &dominates[i] {
+                dominated_count[j] -= 1;
+                if dominated_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        level += 1;
+    }
+    rank
+}
+
+/// Crowding distance of each solution *within its own rank class*.
+pub fn crowding_distances(solutions: &[Solution], ranks: &[usize]) -> Vec<f64> {
+    let n = solutions.len();
+    let mut crowding = vec![0.0f64; n];
+    if n == 0 {
+        return crowding;
+    }
+    let m = solutions[0].num_objectives();
+    let max_rank = ranks.iter().copied().max().unwrap_or(0);
+    for r in 0..=max_rank {
+        let members: Vec<usize> = (0..n).filter(|&i| ranks[i] == r).collect();
+        if members.len() <= 2 {
+            for &i in &members {
+                crowding[i] = f64::INFINITY;
+            }
+            continue;
+        }
+        for obj in 0..m {
+            let mut order = members.clone();
+            order.sort_by(|&a, &b| {
+                solutions[a].objectives()[obj]
+                    .partial_cmp(&solutions[b].objectives()[obj])
+                    .unwrap()
+            });
+            let lo = solutions[order[0]].objectives()[obj];
+            let hi = solutions[*order.last().unwrap()].objectives()[obj];
+            crowding[order[0]] = f64::INFINITY;
+            crowding[*order.last().unwrap()] = f64::INFINITY;
+            let range = hi - lo;
+            if range <= 0.0 {
+                continue;
+            }
+            for w in order.windows(3) {
+                let gap = (solutions[w[2]].objectives()[obj] - solutions[w[0]].objectives()[obj])
+                    / range;
+                crowding[w[1]] += gap;
+            }
+        }
+    }
+    crowding
+}
+
+/// (μ + λ) environmental selection: keep the best `capacity` members by
+/// (rank, crowding), returning survivors and their annotations.
+fn environmental_selection(pool: Vec<Solution>, capacity: usize) -> (Vec<Solution>, Vec<RankedMeta>) {
+    let ranks = fast_nondominated_sort(&pool);
+    let crowding = crowding_distances(&pool, &ranks);
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    order.sort_by(|&a, &b| {
+        ranks[a]
+            .cmp(&ranks[b])
+            .then_with(|| crowding[b].partial_cmp(&crowding[a]).unwrap())
+    });
+    order.truncate(capacity);
+    let meta: Vec<RankedMeta> = order
+        .iter()
+        .map(|&i| RankedMeta {
+            rank: ranks[i],
+            crowding: crowding[i],
+        })
+        .collect();
+    // Extract survivors without cloning: sort indices descending and
+    // swap-remove… simpler: mark and filter.
+    let keep: std::collections::HashSet<usize> = order.iter().copied().collect();
+    let mut survivors: Vec<Solution> = Vec::with_capacity(capacity);
+    let mut kept_meta: Vec<RankedMeta> = Vec::with_capacity(capacity);
+    for (i, s) in pool.into_iter().enumerate() {
+        if keep.contains(&i) {
+            let pos = order.iter().position(|&o| o == i).unwrap();
+            survivors.push(s);
+            kept_meta.push(meta[pos]);
+        }
+    }
+    (survivors, kept_meta)
+}
+
+/// Runs NSGA-II serially for (at least) `max_nfe` evaluations.
+pub fn run_nsga2_serial<P, F>(
+    problem: &P,
+    config: Nsga2Config,
+    seed: u64,
+    max_nfe: u64,
+    mut observer: F,
+) -> Nsga2Engine
+where
+    P: Problem + ?Sized,
+    F: FnMut(&Nsga2Engine),
+{
+    let mut engine = Nsga2Engine::new(problem, config, seed);
+    let mut objs = vec![0.0; problem.num_objectives()];
+    let mut cons = vec![0.0; problem.num_constraints()];
+    while engine.nfe() < max_nfe {
+        let candidates = engine.produce_generation();
+        let offspring: Vec<Solution> = candidates
+            .into_iter()
+            .map(|vars| {
+                problem.evaluate(&vars, &mut objs, &mut cons);
+                Solution::from_parts(vars, objs.clone(), cons.clone())
+            })
+            .collect();
+        engine.consume_generation(offspring);
+        observer(&engine);
+    }
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Zdt1Like;
+    impl Problem for Zdt1Like {
+        fn name(&self) -> &str {
+            "zdt1-like"
+        }
+        fn num_variables(&self) -> usize {
+            8
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn bounds(&self, _i: usize) -> Bounds {
+            Bounds::unit()
+        }
+        fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {
+            let g = 1.0 + 9.0 * vars[1..].iter().sum::<f64>() / (vars.len() - 1) as f64;
+            objs[0] = vars[0];
+            objs[1] = g * (1.0 - (vars[0] / g).sqrt());
+        }
+    }
+
+    fn sol(objs: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), vec![])
+    }
+
+    #[test]
+    fn sorting_ranks_fronts_correctly() {
+        let pool = vec![
+            sol(&[0.0, 1.0]), // front 0
+            sol(&[1.0, 0.0]), // front 0
+            sol(&[1.0, 1.0]), // front 1
+            sol(&[2.0, 2.0]), // front 2
+            sol(&[0.5, 0.5]), // front 0
+        ];
+        assert_eq!(fast_nondominated_sort(&pool), vec![0, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn sorting_handles_single_and_empty() {
+        assert!(fast_nondominated_sort(&[]).is_empty());
+        assert_eq!(fast_nondominated_sort(&[sol(&[1.0, 2.0])]), vec![0]);
+    }
+
+    #[test]
+    fn crowding_prefers_boundary_and_spread() {
+        let pool = vec![
+            sol(&[0.0, 1.0]),
+            sol(&[0.1, 0.9]),  // crowded
+            sol(&[0.12, 0.88]), // crowded
+            sol(&[0.5, 0.5]),
+            sol(&[1.0, 0.0]),
+        ];
+        let ranks = fast_nondominated_sort(&pool);
+        let c = crowding_distances(&pool, &ranks);
+        assert!(c[0].is_infinite() && c[4].is_infinite());
+        assert!(c[3] > c[1], "isolated point should out-crowd clustered one");
+        assert!(c[3] > c[2]);
+    }
+
+    #[test]
+    fn crowding_small_fronts_are_infinite() {
+        let pool = vec![sol(&[0.0, 1.0]), sol(&[1.0, 0.0]), sol(&[2.0, 2.0])];
+        let ranks = fast_nondominated_sort(&pool);
+        let c = crowding_distances(&pool, &ranks);
+        assert!(c.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn engine_counts_generations_and_nfe() {
+        let engine = run_nsga2_serial(&Zdt1Like, Nsga2Config::default(), 1, 1_000, |_| {});
+        assert_eq!(engine.generations(), 10);
+        assert_eq!(engine.nfe(), 1_000);
+        assert_eq!(engine.population().len(), 100);
+    }
+
+    #[test]
+    fn nsga2_converges_on_zdt1() {
+        let engine = run_nsga2_serial(&Zdt1Like, Nsga2Config::default(), 2, 10_000, |_| {});
+        let worst = engine
+            .front()
+            .iter()
+            .map(|s| s.objectives()[1] - (1.0 - s.objectives()[0].max(0.0).sqrt()))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(worst < 0.3, "front too far from optimum: {worst}");
+        assert!(engine.front().len() > 20);
+    }
+
+    #[test]
+    fn nsga2_is_deterministic() {
+        let a = run_nsga2_serial(&Zdt1Like, Nsga2Config::default(), 3, 2_000, |_| {});
+        let b = run_nsga2_serial(&Zdt1Like, Nsga2Config::default(), 3, 2_000, |_| {});
+        let objs = |e: &Nsga2Engine| -> Vec<Vec<f64>> {
+            e.population().iter().map(|s| s.objectives().to_vec()).collect()
+        };
+        assert_eq!(objs(&a), objs(&b));
+    }
+
+    #[test]
+    fn environmental_selection_is_elitist() {
+        // A clearly-dominating solution must survive any truncation.
+        let mut pool: Vec<Solution> = (0..20).map(|i| sol(&[1.0 + i as f64, 1.0])).collect();
+        pool.push(sol(&[0.0, 0.0]));
+        let (survivors, meta) = environmental_selection(pool, 5);
+        assert_eq!(survivors.len(), 5);
+        assert!(survivors.iter().any(|s| s.objectives() == [0.0, 0.0]));
+        assert_eq!(meta.len(), 5);
+    }
+}

@@ -1,0 +1,227 @@
+//! The auto-adaptive operator ensemble.
+//!
+//! Borg selects among its variation operators with probabilities
+//! proportional to each operator's recent contribution to the ε-dominance
+//! archive (Hadka & Reed 2012, §3.3):
+//!
+//! ```text
+//! p_i = (c_i + ζ) / (Σ_j c_j + K ζ)
+//! ```
+//!
+//! where `c_i` counts archive members produced by operator `i` and `ζ = 1`
+//! guarantees every operator keeps a nonzero chance of selection (so a
+//! currently-unproductive operator can recover when the search landscape
+//! changes). Probabilities are recomputed every `update_frequency` accepted
+//! evaluations.
+
+use super::Variation;
+use rand::{Rng, RngCore};
+
+/// Configuration for the adaptive ensemble.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleConfig {
+    /// Smoothing constant ζ in the probability update (Borg default 1.0).
+    pub zeta: f64,
+    /// Recompute probabilities every this many evaluations (default 100).
+    pub update_frequency: u64,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            zeta: 1.0,
+            update_frequency: 100,
+        }
+    }
+}
+
+/// The operator ensemble with adaptive selection probabilities.
+pub struct AdaptiveEnsemble {
+    operators: Vec<Box<dyn Variation>>,
+    probabilities: Vec<f64>,
+    config: EnsembleConfig,
+    evaluations_since_update: u64,
+    selections: Vec<u64>,
+}
+
+impl AdaptiveEnsemble {
+    /// Creates an ensemble with uniform initial probabilities.
+    ///
+    /// # Panics
+    /// If `operators` is empty or ζ is not positive.
+    pub fn new(operators: Vec<Box<dyn Variation>>, config: EnsembleConfig) -> Self {
+        assert!(!operators.is_empty(), "ensemble needs at least one operator");
+        assert!(config.zeta > 0.0, "zeta must be positive");
+        let k = operators.len();
+        Self {
+            operators,
+            probabilities: vec![1.0 / k as f64; k],
+            config,
+            evaluations_since_update: 0,
+            selections: vec![0; k],
+        }
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Whether the ensemble is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Current selection probabilities (sums to 1).
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Operator accessor.
+    pub fn operator(&self, i: usize) -> &dyn Variation {
+        self.operators[i].as_ref()
+    }
+
+    /// Operator names in ensemble order.
+    pub fn names(&self) -> Vec<&str> {
+        self.operators.iter().map(|o| o.name()).collect()
+    }
+
+    /// How many times each operator has been selected.
+    pub fn selection_counts(&self) -> &[u64] {
+        &self.selections
+    }
+
+    /// Roulette-wheel selects an operator index.
+    pub fn select(&mut self, rng: &mut dyn RngCore) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.probabilities.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                self.selections[i] += 1;
+                return i;
+            }
+        }
+        // Floating-point slack: fall back to the last operator.
+        let last = self.probabilities.len() - 1;
+        self.selections[last] += 1;
+        last
+    }
+
+    /// Notifies the ensemble that one evaluation completed; recomputes
+    /// probabilities from `credits` (archive contributions per operator)
+    /// every `update_frequency` calls. Returns `true` when an update ran.
+    pub fn on_evaluation(&mut self, credits: &[u64]) -> bool {
+        self.evaluations_since_update += 1;
+        if self.evaluations_since_update >= self.config.update_frequency {
+            self.evaluations_since_update = 0;
+            self.update_probabilities(credits);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Recomputes `p_i = (c_i + ζ) / (Σ c_j + K ζ)` immediately.
+    pub fn update_probabilities(&mut self, credits: &[u64]) {
+        let k = self.operators.len();
+        let total: f64 = (0..k)
+            .map(|i| credits.get(i).copied().unwrap_or(0) as f64)
+            .sum::<f64>()
+            + k as f64 * self.config.zeta;
+        for (i, p) in self.probabilities.iter_mut().enumerate() {
+            let c = credits.get(i).copied().unwrap_or(0) as f64;
+            *p = (c + self.config.zeta) / total;
+        }
+    }
+}
+
+impl std::fmt::Debug for AdaptiveEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveEnsemble")
+            .field("operators", &self.names())
+            .field("probabilities", &self.probabilities)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::standard_borg_operators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ensemble() -> AdaptiveEnsemble {
+        AdaptiveEnsemble::new(standard_borg_operators(10), EnsembleConfig::default())
+    }
+
+    #[test]
+    fn initial_probabilities_are_uniform() {
+        let e = ensemble();
+        for &p in e.probabilities() {
+            assert!((p - 1.0 / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_always_sum_to_one() {
+        let mut e = ensemble();
+        e.update_probabilities(&[10, 0, 0, 5, 0, 1]);
+        let sum: f64 = e.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn credited_operator_gains_probability() {
+        let mut e = ensemble();
+        e.update_probabilities(&[100, 0, 0, 0, 0, 0]);
+        let p = e.probabilities();
+        assert!(p[0] > 0.9, "p = {p:?}");
+        for &q in &p[1..] {
+            assert!(q > 0.0, "zeta must keep all operators alive");
+            assert!(q < 0.02);
+        }
+    }
+
+    #[test]
+    fn update_fires_at_configured_frequency() {
+        let mut e = AdaptiveEnsemble::new(
+            standard_borg_operators(10),
+            EnsembleConfig {
+                zeta: 1.0,
+                update_frequency: 3,
+            },
+        );
+        assert!(!e.on_evaluation(&[5, 0, 0, 0, 0, 0]));
+        assert!(!e.on_evaluation(&[5, 0, 0, 0, 0, 0]));
+        assert!(e.on_evaluation(&[5, 0, 0, 0, 0, 0]));
+        assert!(e.probabilities()[0] > e.probabilities()[1]);
+    }
+
+    #[test]
+    fn selection_tracks_probabilities() {
+        let mut e = ensemble();
+        e.update_probabilities(&[1000, 0, 0, 0, 0, 0]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut count0 = 0;
+        for _ in 0..1000 {
+            if e.select(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        assert!(count0 > 900, "operator 0 selected {count0}/1000");
+        assert_eq!(e.selection_counts().iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn short_credit_slice_is_padded_with_zeros() {
+        let mut e = ensemble();
+        // Credits vector shorter than the operator count must not panic.
+        e.update_probabilities(&[3]);
+        let sum: f64 = e.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(e.probabilities()[0] > e.probabilities()[1]);
+    }
+}

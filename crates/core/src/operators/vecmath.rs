@@ -1,0 +1,130 @@
+//! Small dense vector helpers shared by the multiparent operators.
+//!
+//! PCX and UNDX need centroids, projections, and incremental Gram-Schmidt
+//! orthogonalization over at most `min(parents, L)` directions; for the
+//! decision-space sizes used by MOEA test suites (L ≲ 100) plain `Vec<f64>`
+//! arithmetic is both the fastest and the clearest choice.
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `a - b` into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `a += s * b` in place.
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+/// Centroid of a set of equal-length vectors.
+pub fn centroid(points: &[&[f64]]) -> Vec<f64> {
+    assert!(!points.is_empty());
+    let l = points[0].len();
+    let mut g = vec![0.0; l];
+    for p in points {
+        axpy(&mut g, 1.0, p);
+    }
+    let inv = 1.0 / points.len() as f64;
+    for x in &mut g {
+        *x *= inv;
+    }
+    g
+}
+
+/// Removes from `v` (in place) its components along each unit vector in
+/// `basis`, then returns the residual norm.
+pub fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) -> f64 {
+    for e in basis {
+        let c = dot(v, e);
+        axpy(v, -c, e);
+    }
+    norm(v)
+}
+
+/// Tolerance below which a residual is treated as numerically zero.
+pub const EPS: f64 = 1e-10;
+
+/// Attempts to extend an orthonormal `basis` with the direction of `v`.
+/// Returns `true` if `v` contributed a new direction.
+pub fn try_extend_basis(mut v: Vec<f64>, basis: &mut Vec<Vec<f64>>) -> bool {
+    let n = orthogonalize(&mut v, basis);
+    if n > EPS {
+        for x in &mut v {
+            *x /= n;
+        }
+        basis.push(v);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_norm_sub_axpy() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 1.0]), vec![2.0, 3.0]);
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[1.0, -1.0]);
+        assert_eq!(a, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn centroid_of_triangle() {
+        let p1 = [0.0, 0.0];
+        let p2 = [3.0, 0.0];
+        let p3 = [0.0, 3.0];
+        assert_eq!(centroid(&[&p1, &p2, &p3]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn gram_schmidt_builds_orthonormal_basis() {
+        let mut basis = Vec::new();
+        assert!(try_extend_basis(vec![2.0, 0.0, 0.0], &mut basis));
+        assert!(try_extend_basis(vec![1.0, 1.0, 0.0], &mut basis));
+        assert!(try_extend_basis(vec![1.0, 1.0, 1.0], &mut basis));
+        // Fourth vector in 3-space must be dependent.
+        assert!(!try_extend_basis(vec![0.3, -0.2, 0.9], &mut basis));
+        assert_eq!(basis.len(), 3);
+        for i in 0..3 {
+            assert!((norm(&basis[i]) - 1.0).abs() < 1e-12);
+            for j in (i + 1)..3 {
+                assert!(dot(&basis[i], &basis[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonalize_removes_projection() {
+        let basis = vec![vec![1.0, 0.0]];
+        let mut v = vec![3.0, 4.0];
+        let r = orthogonalize(&mut v, &basis);
+        assert!((r - 4.0).abs() < 1e-12);
+        assert!((v[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_does_not_extend_basis() {
+        let mut basis = vec![vec![1.0, 0.0]];
+        assert!(!try_extend_basis(vec![0.0, 0.0], &mut basis));
+        assert_eq!(basis.len(), 1);
+    }
+}

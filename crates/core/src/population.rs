@@ -1,0 +1,288 @@
+//! The steady-state population with tournament selection.
+//!
+//! Borg maintains a fixed-size population evolved one offspring at a time.
+//! Replacement follows Hadka & Reed (2012): an offspring that dominates one
+//! or more population members replaces one of them at random; an offspring
+//! dominated by no member but dominating none replaces a random member; an
+//! offspring dominated by any member is rejected.
+
+use crate::dominance::{constrained_dominance, Dominance};
+use crate::solution::Solution;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Outcome of offering an offspring to the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopulationInsert {
+    /// Replaced a member it dominated.
+    ReplacedDominated,
+    /// Nondominated with the whole population; replaced a random member.
+    ReplacedRandom,
+    /// Dominated by at least one member; rejected.
+    Rejected,
+}
+
+/// A bounded steady-state population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    members: Vec<Solution>,
+    capacity: usize,
+}
+
+impl Population {
+    /// Creates an empty population with the given capacity.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "population capacity must be positive");
+        Self {
+            members: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Current members.
+    pub fn members(&self) -> &[Solution] {
+        &self.members
+    }
+
+    /// Number of members currently held.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the population holds no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Capacity (target size).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the population is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.members.len() >= self.capacity
+    }
+
+    /// Adds a member unconditionally while below capacity (initialization /
+    /// restart refill). Returns `false` (and drops the solution) when full.
+    pub fn fill(&mut self, solution: Solution) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.members.push(solution);
+        true
+    }
+
+    /// Empties the population, keeping capacity.
+    pub fn clear(&mut self) {
+        self.members.clear();
+    }
+
+    /// Changes the capacity; excess members (if shrinking) are dropped from
+    /// the tail after a shuffle so no positional bias survives.
+    pub fn resize<R: Rng>(&mut self, capacity: usize, rng: &mut R) {
+        assert!(capacity > 0, "population capacity must be positive");
+        self.capacity = capacity;
+        if self.members.len() > capacity {
+            self.members.shuffle(rng);
+            self.members.truncate(capacity);
+        }
+    }
+
+    /// Offers an offspring to a full population using Borg's steady-state
+    /// replacement rule.
+    pub fn offer<R: Rng>(&mut self, offspring: Solution, rng: &mut R) -> PopulationInsert {
+        if !self.is_full() {
+            self.members.push(offspring);
+            return PopulationInsert::ReplacedRandom;
+        }
+        let mut dominated: Vec<usize> = Vec::new();
+        for (i, m) in self.members.iter().enumerate() {
+            match constrained_dominance(&offspring, m) {
+                Dominance::Dominates => dominated.push(i),
+                Dominance::DominatedBy => return PopulationInsert::Rejected,
+                Dominance::NonDominated => {}
+            }
+        }
+        if dominated.is_empty() {
+            let i = rng.gen_range(0..self.members.len());
+            self.members[i] = offspring;
+            PopulationInsert::ReplacedRandom
+        } else {
+            let i = dominated[rng.gen_range(0..dominated.len())];
+            self.members[i] = offspring;
+            PopulationInsert::ReplacedDominated
+        }
+    }
+
+    /// Tournament selection of one parent with tournament size `k`.
+    ///
+    /// Draws `k` members uniformly with replacement and returns the index of
+    /// the best under constrained Pareto dominance (ties keep the earlier
+    /// draw, which is an unbiased choice because draws are random).
+    pub fn tournament_select<R: Rng>(&self, k: usize, rng: &mut R) -> usize {
+        assert!(!self.members.is_empty(), "cannot select from empty population");
+        let k = k.max(1);
+        let mut best = rng.gen_range(0..self.members.len());
+        for _ in 1..k {
+            let challenger = rng.gen_range(0..self.members.len());
+            if constrained_dominance(&self.members[challenger], &self.members[best])
+                == Dominance::Dominates
+            {
+                best = challenger;
+            }
+        }
+        best
+    }
+
+    /// Selects `n` distinct member indices uniformly at random (used to build
+    /// multiparent operator inputs around a tournament-selected pivot).
+    ///
+    /// If fewer than `n` members exist, indices repeat (sampling with
+    /// replacement) so multiparent operators still receive full arity.
+    pub fn sample_indices<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        assert!(!self.members.is_empty(), "cannot sample empty population");
+        if self.members.len() >= n {
+            rand::seq::index::sample(rng, self.members.len(), n).into_vec()
+        } else {
+            (0..n).map(|_| rng.gen_range(0..self.members.len())).collect()
+        }
+    }
+
+    /// Member accessor.
+    pub fn get(&self, i: usize) -> &Solution {
+        &self.members[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sol(objs: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), vec![])
+    }
+
+    #[test]
+    fn fill_until_capacity() {
+        let mut p = Population::new(2);
+        assert!(p.fill(sol(&[1.0, 1.0])));
+        assert!(!p.is_full());
+        assert!(p.fill(sol(&[2.0, 2.0])));
+        assert!(p.is_full());
+        assert!(!p.fill(sol(&[3.0, 3.0])));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn offer_replaces_dominated_member() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Population::new(2);
+        p.fill(sol(&[5.0, 5.0]));
+        p.fill(sol(&[0.0, 9.0]));
+        let r = p.offer(sol(&[1.0, 1.0]), &mut rng);
+        assert_eq!(r, PopulationInsert::ReplacedDominated);
+        assert!(p.members().iter().any(|m| m.objectives() == [1.0, 1.0]));
+        assert!(p.members().iter().any(|m| m.objectives() == [0.0, 9.0]));
+    }
+
+    #[test]
+    fn offer_rejects_dominated_offspring() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Population::new(1);
+        p.fill(sol(&[0.0, 0.0]));
+        assert_eq!(p.offer(sol(&[1.0, 1.0]), &mut rng), PopulationInsert::Rejected);
+        assert_eq!(p.members()[0].objectives(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn offer_nondominated_replaces_random() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Population::new(2);
+        p.fill(sol(&[0.0, 1.0]));
+        p.fill(sol(&[1.0, 0.0]));
+        let r = p.offer(sol(&[0.5, 0.5]), &mut rng);
+        assert_eq!(r, PopulationInsert::ReplacedRandom);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn tournament_prefers_dominating_member() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Population::new(10);
+        for _ in 0..9 {
+            p.fill(sol(&[9.0, 9.0]));
+        }
+        p.fill(sol(&[0.0, 0.0]));
+        // With a huge tournament the dominant member wins almost surely.
+        let mut wins = 0;
+        for _ in 0..50 {
+            if p.tournament_select(10, &mut rng) == 9 {
+                wins += 1;
+            }
+        }
+        assert!(wins > 30, "dominant member won only {wins}/50 tournaments");
+    }
+
+    #[test]
+    fn tournament_size_one_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = Population::new(4);
+        for i in 0..4 {
+            p.fill(sol(&[i as f64, 4.0 - i as f64]));
+        }
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[p.tournament_select(1, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800, "selection badly skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_when_possible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = Population::new(10);
+        for i in 0..10 {
+            p.fill(sol(&[i as f64, -(i as f64)]));
+        }
+        let idx = p.sample_indices(5, &mut rng);
+        let mut dedup = idx.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn sample_indices_with_replacement_when_small() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut p = Population::new(2);
+        p.fill(sol(&[0.0, 1.0]));
+        p.fill(sol(&[1.0, 0.0]));
+        let idx = p.sample_indices(6, &mut rng);
+        assert_eq!(idx.len(), 6);
+        assert!(idx.iter().all(|&i| i < 2));
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = Population::new(4);
+        for i in 0..4 {
+            p.fill(sol(&[i as f64, -(i as f64)]));
+        }
+        p.resize(2, &mut rng);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.capacity(), 2);
+        p.resize(8, &mut rng);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_full());
+    }
+}

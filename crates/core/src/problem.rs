@@ -1,0 +1,258 @@
+//! The optimization problem abstraction.
+//!
+//! A [`Problem`] is a real-valued, box-constrained, multiobjective
+//! minimization problem, optionally with inequality constraints. All
+//! objectives are minimized; constraints are satisfied when their value is
+//! `<= 0` (the MOEA framework convention used by Borg).
+
+use crate::solution::Solution;
+
+/// Inclusive lower/upper bounds of one decision variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Inclusive lower bound.
+    pub lower: f64,
+    /// Inclusive upper bound.
+    pub upper: f64,
+}
+
+impl Bounds {
+    /// Creates a bounds pair, panicking on an inverted or non-finite range.
+    pub fn new(lower: f64, upper: f64) -> Self {
+        assert!(
+            lower.is_finite() && upper.is_finite() && lower <= upper,
+            "invalid variable bounds [{lower}, {upper}]"
+        );
+        Self { lower, upper }
+    }
+
+    /// The unit interval `[0, 1]`, the most common bound in test suites.
+    pub fn unit() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Width of the interval.
+    pub fn range(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Clamps `x` into the interval.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lower, self.upper)
+    }
+
+    /// Whether `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lower && x <= self.upper
+    }
+}
+
+/// A real-valued multiobjective minimization problem.
+///
+/// Implementations must be `Send + Sync`: the parallel executors ship
+/// references to worker threads. Evaluation writes objectives (and
+/// constraints, if any) into the provided output slices so that hot loops
+/// never allocate.
+///
+/// # Example
+///
+/// ```
+/// use borg_core::problem::{Bounds, Problem};
+///
+/// /// Minimize (x^2, (x-2)^2): the classic Schaffer problem.
+/// struct Schaffer;
+///
+/// impl Problem for Schaffer {
+///     fn name(&self) -> &str { "Schaffer" }
+///     fn num_variables(&self) -> usize { 1 }
+///     fn num_objectives(&self) -> usize { 2 }
+///     fn bounds(&self, _i: usize) -> Bounds { Bounds::new(-10.0, 10.0) }
+///     fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {
+///         objs[0] = vars[0] * vars[0];
+///         objs[1] = (vars[0] - 2.0) * (vars[0] - 2.0);
+///     }
+/// }
+///
+/// let p = Schaffer;
+/// let mut objs = [0.0; 2];
+/// p.evaluate(&[1.0], &mut objs, &mut []);
+/// assert_eq!(objs, [1.0, 1.0]);
+/// ```
+pub trait Problem: Send + Sync {
+    /// Human-readable problem name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Number of decision variables `L`.
+    fn num_variables(&self) -> usize;
+
+    /// Number of objectives `M` (all minimized).
+    fn num_objectives(&self) -> usize;
+
+    /// Number of inequality constraints (feasible when `<= 0`). Defaults to 0.
+    fn num_constraints(&self) -> usize {
+        0
+    }
+
+    /// Bounds of decision variable `i`.
+    fn bounds(&self, i: usize) -> Bounds;
+
+    /// Evaluates a candidate. `vars.len() == num_variables()`,
+    /// `objs.len() == num_objectives()`, `cons.len() == num_constraints()`.
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], cons: &mut [f64]);
+
+    /// Collects all bounds into a vector (convenience; not on the hot path).
+    fn all_bounds(&self) -> Vec<Bounds> {
+        (0..self.num_variables()).map(|i| self.bounds(i)).collect()
+    }
+}
+
+/// Evaluates `vars` on `problem` into a fresh [`Solution`].
+///
+/// This is the allocation-friendly path used outside hot loops; executors
+/// reuse buffers directly via [`Problem::evaluate`].
+pub fn evaluate_into_solution<P: Problem + ?Sized>(problem: &P, vars: Vec<f64>) -> Solution {
+    assert_eq!(
+        vars.len(),
+        problem.num_variables(),
+        "variable count mismatch for problem {}",
+        problem.name()
+    );
+    let mut objs = vec![0.0; problem.num_objectives()];
+    let mut cons = vec![0.0; problem.num_constraints()];
+    problem.evaluate(&vars, &mut objs, &mut cons);
+    Solution::from_parts(vars, objs, cons)
+}
+
+/// Blanket impl so `&P`, `Box<P>`, `Arc<P>` are problems too.
+impl<P: Problem + ?Sized> Problem for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn num_variables(&self) -> usize {
+        (**self).num_variables()
+    }
+    fn num_objectives(&self) -> usize {
+        (**self).num_objectives()
+    }
+    fn num_constraints(&self) -> usize {
+        (**self).num_constraints()
+    }
+    fn bounds(&self, i: usize) -> Bounds {
+        (**self).bounds(i)
+    }
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], cons: &mut [f64]) {
+        (**self).evaluate(vars, objs, cons)
+    }
+}
+
+impl<P: Problem + ?Sized> Problem for std::sync::Arc<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn num_variables(&self) -> usize {
+        (**self).num_variables()
+    }
+    fn num_objectives(&self) -> usize {
+        (**self).num_objectives()
+    }
+    fn num_constraints(&self) -> usize {
+        (**self).num_constraints()
+    }
+    fn bounds(&self, i: usize) -> Bounds {
+        (**self).bounds(i)
+    }
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], cons: &mut [f64]) {
+        (**self).evaluate(vars, objs, cons)
+    }
+}
+
+impl<P: Problem + ?Sized> Problem for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn num_variables(&self) -> usize {
+        (**self).num_variables()
+    }
+    fn num_objectives(&self) -> usize {
+        (**self).num_objectives()
+    }
+    fn num_constraints(&self) -> usize {
+        (**self).num_constraints()
+    }
+    fn bounds(&self, i: usize) -> Bounds {
+        (**self).bounds(i)
+    }
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], cons: &mut [f64]) {
+        (**self).evaluate(vars, objs, cons)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sphere {
+        n: usize,
+    }
+
+    impl Problem for Sphere {
+        fn name(&self) -> &str {
+            "Sphere"
+        }
+        fn num_variables(&self) -> usize {
+            self.n
+        }
+        fn num_objectives(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _i: usize) -> Bounds {
+            Bounds::new(-5.0, 5.0)
+        }
+        fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {
+            objs[0] = vars.iter().map(|x| x * x).sum();
+        }
+    }
+
+    #[test]
+    fn bounds_clamp_and_contains() {
+        let b = Bounds::new(-1.0, 2.0);
+        assert_eq!(b.range(), 3.0);
+        assert_eq!(b.clamp(5.0), 2.0);
+        assert_eq!(b.clamp(-5.0), -1.0);
+        assert!(b.contains(0.0));
+        assert!(!b.contains(2.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid variable bounds")]
+    fn inverted_bounds_panic() {
+        Bounds::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn evaluate_into_solution_works() {
+        let p = Sphere { n: 3 };
+        let s = evaluate_into_solution(&p, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.objectives()[0], 14.0);
+        assert_eq!(s.variables(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let p = Sphere { n: 2 };
+        let by_ref: &dyn Problem = &p;
+        assert_eq!(by_ref.num_variables(), 2);
+        let boxed: Box<dyn Problem> = Box::new(Sphere { n: 4 });
+        assert_eq!(boxed.num_variables(), 4);
+        assert_eq!(boxed.all_bounds().len(), 4);
+        let arc = std::sync::Arc::new(Sphere { n: 5 });
+        assert_eq!(arc.num_variables(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable count mismatch")]
+    fn wrong_arity_panics() {
+        let p = Sphere { n: 3 };
+        evaluate_into_solution(&p, vec![0.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Candidate solutions: decision variables plus evaluation results.
+
+/// A fully- or not-yet-evaluated candidate solution.
+///
+/// Variables are always present; objectives/constraints are filled in by an
+/// evaluator. The `operator` tag records which variation operator produced
+/// the solution so the Borg MOEA can credit archive contributions back to
+/// operators (the core of its auto-adaptive ensemble).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    variables: Vec<f64>,
+    objectives: Vec<f64>,
+    constraints: Vec<f64>,
+    /// Index of the variation operator that produced this solution, if any.
+    pub operator: Option<usize>,
+}
+
+impl Solution {
+    /// Creates an unevaluated solution with zeroed objectives/constraints.
+    pub fn new(variables: Vec<f64>, num_objectives: usize, num_constraints: usize) -> Self {
+        Self {
+            variables,
+            objectives: vec![0.0; num_objectives],
+            constraints: vec![0.0; num_constraints],
+            operator: None,
+        }
+    }
+
+    /// Assembles a solution from already-evaluated parts.
+    pub fn from_parts(variables: Vec<f64>, objectives: Vec<f64>, constraints: Vec<f64>) -> Self {
+        Self {
+            variables,
+            objectives,
+            constraints,
+            operator: None,
+        }
+    }
+
+    /// Decision-variable vector.
+    pub fn variables(&self) -> &[f64] {
+        &self.variables
+    }
+
+    /// Mutable decision-variable vector.
+    pub fn variables_mut(&mut self) -> &mut [f64] {
+        &mut self.variables
+    }
+
+    /// Objective vector (minimization).
+    pub fn objectives(&self) -> &[f64] {
+        &self.objectives
+    }
+
+    /// Mutable objective vector.
+    pub fn objectives_mut(&mut self) -> &mut [f64] {
+        &mut self.objectives
+    }
+
+    /// Constraint vector (`<= 0` is feasible).
+    pub fn constraints(&self) -> &[f64] {
+        &self.constraints
+    }
+
+    /// Mutable constraint vector.
+    pub fn constraints_mut(&mut self) -> &mut [f64] {
+        &mut self.constraints
+    }
+
+    /// Simultaneous mutable access to objectives and constraints.
+    pub fn objectives_constraints_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.objectives, &mut self.constraints)
+    }
+
+    /// Sum of positive constraint values: 0.0 iff feasible.
+    ///
+    /// This is the aggregate used by Borg's constrained-dominance comparator:
+    /// any solution with smaller total violation is preferred, and objectives
+    /// are only compared between two feasible solutions.
+    pub fn constraint_violation(&self) -> f64 {
+        self.constraints.iter().filter(|&&c| c > 0.0).sum()
+    }
+
+    /// Whether all constraints are satisfied.
+    pub fn is_feasible(&self) -> bool {
+        self.constraints.iter().all(|&c| c <= 0.0)
+    }
+
+    /// Number of decision variables.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of objectives.
+    pub fn num_objectives(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Euclidean distance between the objective vectors of two solutions.
+    pub fn objective_distance(&self, other: &Self) -> f64 {
+        debug_assert_eq!(self.objectives.len(), other.objectives.len());
+        self.objectives
+            .iter()
+            .zip(&other.objectives)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_sums_only_positive_constraints() {
+        let s = Solution::from_parts(vec![0.0], vec![0.0], vec![-1.0, 0.5, 0.0, 2.0]);
+        assert!((s.constraint_violation() - 2.5).abs() < 1e-12);
+        assert!(!s.is_feasible());
+    }
+
+    #[test]
+    fn feasible_when_all_nonpositive() {
+        let s = Solution::from_parts(vec![0.0], vec![0.0], vec![-1.0, 0.0]);
+        assert_eq!(s.constraint_violation(), 0.0);
+        assert!(s.is_feasible());
+    }
+
+    #[test]
+    fn no_constraints_is_feasible() {
+        let s = Solution::new(vec![1.0, 2.0], 2, 0);
+        assert!(s.is_feasible());
+        assert_eq!(s.num_variables(), 2);
+        assert_eq!(s.num_objectives(), 2);
+    }
+
+    #[test]
+    fn objective_distance_is_euclidean() {
+        let a = Solution::from_parts(vec![], vec![0.0, 0.0], vec![]);
+        let b = Solution::from_parts(vec![], vec![3.0, 4.0], vec![]);
+        assert!((a.objective_distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_tag_roundtrip() {
+        let mut s = Solution::new(vec![0.0], 1, 0);
+        assert_eq!(s.operator, None);
+        s.operator = Some(3);
+        let t = s.clone();
+        assert_eq!(t.operator, Some(3));
+    }
+}

@@ -1,0 +1,119 @@
+//! A SimPy-flavoured callback process API on top of [`EventQueue`].
+//!
+//! The paper built its simulation model in SimPy 2.3 with generator
+//! processes. Rust (stable) has no generators, so processes are expressed
+//! as chains of one-shot callbacks: each callback receives the simulation,
+//! may inspect/mutate the shared `state`, and schedules its continuation.
+//! The queueing models in `borg-models` use the typed event-loop style
+//! instead; this API exists for ergonomic ad-hoc models and mirrors the
+//! paper's request/hold/release snippet closely (see
+//! `examples/simpy_snippet.rs`).
+
+use crate::queue::{EventQueue, Time};
+
+type Callback<S> = Box<dyn FnOnce(&mut CallbackSim<S>)>;
+
+/// A callback-driven simulation with shared state `S`.
+pub struct CallbackSim<S> {
+    queue: EventQueue<Callback<S>>,
+    /// User-defined shared simulation state.
+    pub state: S,
+}
+
+impl<S> CallbackSim<S> {
+    /// Creates a simulation with the given initial state.
+    pub fn new(state: S) -> Self {
+        Self {
+            queue: EventQueue::new(),
+            state,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Schedules `callback` to run after `delay` seconds of simulated time.
+    pub fn schedule<F: FnOnce(&mut CallbackSim<S>) + 'static>(&mut self, delay: Time, callback: F) {
+        self.queue.schedule_in(delay, Box::new(callback));
+    }
+
+    /// Runs until no events remain; returns the final simulation time.
+    pub fn run(&mut self) -> Time {
+        while let Some((_, cb)) = self.queue.pop() {
+            cb(self);
+        }
+        self.now()
+    }
+
+    /// Runs until the clock would pass `until` (events at later times stay
+    /// queued); returns the time of the last executed event.
+    pub fn run_until(&mut self, until: Time) -> Time {
+        while let Some(t) = self.queue.next_time() {
+            if t > until {
+                break;
+            }
+            let (_, cb) = self.queue.pop().expect("peeked event vanished");
+            cb(self);
+        }
+        self.now()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callbacks_run_in_time_order() {
+        let mut sim = CallbackSim::new(Vec::<(f64, &str)>::new());
+        sim.schedule(2.0, |s| {
+            let t = s.now();
+            s.state.push((t, "b"));
+        });
+        sim.schedule(1.0, |s| {
+            let t = s.now();
+            s.state.push((t, "a"));
+        });
+        let end = sim.run();
+        assert_eq!(end, 2.0);
+        assert_eq!(sim.state, vec![(1.0, "a"), (2.0, "b")]);
+    }
+
+    #[test]
+    fn callbacks_can_chain() {
+        // A three-stage "process": each stage schedules the next.
+        fn stage(n: u32) -> impl FnOnce(&mut CallbackSim<Vec<u32>>) + 'static {
+            move |s| {
+                s.state.push(n);
+                if n < 3 {
+                    s.schedule(1.0, stage(n + 1));
+                }
+            }
+        }
+        let mut sim = CallbackSim::new(vec![]);
+        sim.schedule(0.0, stage(1));
+        let end = sim.run();
+        assert_eq!(sim.state, vec![1, 2, 3]);
+        assert_eq!(end, 2.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = CallbackSim::new(0u32);
+        for i in 1..=10 {
+            sim.schedule(i as f64, move |s| s.state += 1);
+        }
+        sim.run_until(5.0);
+        assert_eq!(sim.state, 5);
+        assert_eq!(sim.pending(), 5);
+        sim.run();
+        assert_eq!(sim.state, 10);
+    }
+}

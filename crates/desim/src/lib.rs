@@ -1,0 +1,42 @@
+//! # borg-desim
+//!
+//! A small deterministic discrete-event simulation engine, standing in for
+//! the SimPy 2.3 library the paper used for its simulation model:
+//!
+//! * [`queue::EventQueue`] — min-heap event queue with FIFO tie-breaking
+//!   and a simulation clock;
+//! * [`resource::Resource`] — an exclusive FIFO resource mirroring SimPy's
+//!   request/hold/release pattern (the master node);
+//! * [`callback::CallbackSim`] — SimPy-flavoured chained-callback
+//!   processes;
+//! * [`trace::SpanTrace`] — activity-span recording for the paper's
+//!   timeline figures.
+//!
+//! ```
+//! use borg_desim::{EventQueue, Resource};
+//!
+//! // Two workers returning results compete for one master.
+//! let mut queue = EventQueue::new();
+//! queue.schedule_at(1.0, "worker0");
+//! queue.schedule_at(1.5, "worker1");
+//! let mut master: Resource<&str> = Resource::new();
+//!
+//! let (t0, w0) = queue.pop().unwrap();
+//! assert_eq!((t0, w0), (1.0, "worker0"));
+//! assert!(master.request(w0).is_some()); // idle master: granted
+//! let (_, w1) = queue.pop().unwrap();
+//! assert!(master.request(w1).is_none()); // busy: worker1 queues
+//! assert_eq!(master.release(), Some("worker1")); // FIFO handoff
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod callback;
+pub mod queue;
+pub mod resource;
+pub mod trace;
+
+pub use callback::CallbackSim;
+pub use queue::{EventQueue, Time};
+pub use resource::Resource;
+pub use trace::{Activity, Actor, Span, SpanTrace};

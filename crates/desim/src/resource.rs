@@ -1,0 +1,144 @@
+//! A FIFO-queued exclusive resource, mirroring SimPy's `Resource` with
+//! capacity 1 (the master node in the paper's simulation model).
+//!
+//! The paper's §IV-B models the master as: *request* (wait while busy) →
+//! *hold* (communication + algorithm time) → *release* (next waiter is
+//! activated). [`Resource`] implements exactly the request/release ledger;
+//! the holding delay is the caller's event schedule.
+
+use std::collections::VecDeque;
+
+/// An exclusive resource with a FIFO wait queue carrying tokens of type `T`.
+#[derive(Debug, Clone)]
+pub struct Resource<T> {
+    busy: bool,
+    queue: VecDeque<T>,
+    /// Total number of grants issued (statistics).
+    grants: u64,
+    /// Maximum queue length observed (statistics).
+    max_queue: usize,
+}
+
+impl<T> Default for Resource<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Resource<T> {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Self {
+            busy: false,
+            queue: VecDeque::new(),
+            grants: 0,
+            max_queue: 0,
+        }
+    }
+
+    /// Requests the resource for `token`.
+    ///
+    /// Returns `Some(token)` if the resource was idle (the caller holds it
+    /// now); otherwise the token joins the FIFO queue and `None` is
+    /// returned — it will come back from a future [`Self::release`].
+    pub fn request(&mut self, token: T) -> Option<T> {
+        if self.busy {
+            self.queue.push_back(token);
+            self.max_queue = self.max_queue.max(self.queue.len());
+            None
+        } else {
+            self.busy = true;
+            self.grants += 1;
+            Some(token)
+        }
+    }
+
+    /// Releases the resource. If a token is waiting, the resource stays
+    /// busy serving it and the token is returned; otherwise the resource
+    /// becomes idle.
+    ///
+    /// # Panics
+    /// If the resource was not held.
+    pub fn release(&mut self) -> Option<T> {
+        assert!(self.busy, "release of an idle resource");
+        match self.queue.pop_front() {
+            Some(t) => {
+                self.grants += 1;
+                Some(t)
+            }
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    /// Whether the resource is currently held.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Number of queued waiters.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total grants issued so far.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Longest queue observed.
+    pub fn max_queue_len(&self) -> usize {
+        self.max_queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_grants_immediately() {
+        let mut r = Resource::new();
+        assert_eq!(r.request("a"), Some("a"));
+        assert!(r.is_busy());
+        assert_eq!(r.grants(), 1);
+    }
+
+    #[test]
+    fn busy_resource_queues_fifo() {
+        let mut r = Resource::new();
+        assert_eq!(r.request(1), Some(1));
+        assert_eq!(r.request(2), None);
+        assert_eq!(r.request(3), None);
+        assert_eq!(r.queue_len(), 2);
+        assert_eq!(r.release(), Some(2));
+        assert!(r.is_busy(), "stays busy while serving the queue");
+        assert_eq!(r.release(), Some(3));
+        assert_eq!(r.release(), None);
+        assert!(!r.is_busy());
+        assert_eq!(r.grants(), 3);
+    }
+
+    #[test]
+    fn max_queue_tracks_contention() {
+        let mut r = Resource::new();
+        r.request(0);
+        for i in 1..=5 {
+            r.request(i);
+        }
+        assert_eq!(r.max_queue_len(), 5);
+        while r.release().is_some() {}
+        assert_eq!(r.max_queue_len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of an idle resource")]
+    fn double_release_panics() {
+        let mut r: Resource<()> = Resource::new();
+        r.request(());
+        r.release();
+        r.release();
+    }
+}

@@ -1,0 +1,364 @@
+//! `borg-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! borg-exp <subcommand> [flags]
+//!
+//! Subcommands:
+//!   table2      Table II  (experimental vs analytical vs simulation model)
+//!   fig1        Figure 1  (synchronous timeline)
+//!   fig2        Figure 2  (asynchronous timeline)
+//!   fig3        Figure 3  (hypervolume speedup, DTLZ2)
+//!   fig4        Figure 4  (hypervolume speedup, UF11)
+//!   fig5        Figure 5  (sync vs async efficiency heatmaps)
+//!   bounds      Eqs. 3–4 processor-count bounds
+//!   fit         §IV-B distribution-fitting pipeline on this machine
+//!   ablations   DESIGN.md §5 ablation studies
+//!   all         everything above
+//!
+//! Flags:
+//!   --out DIR         output directory (default ./results)
+//!   --nfe N           evaluations per run (overrides defaults)
+//!   --replicates R    replicates per configuration
+//!   --seed S          root seed
+//!   --smoke           tiny scale (CI)
+//!   --full            paper scale (hours)
+//! ```
+
+use borg_experiments::ablation::{
+    ablation_archive, ablation_contention, ablation_operators, ablation_restarts,
+    ablation_variance, AblationConfig,
+};
+use borg_experiments::bounds::{paper_bounds, render_bounds};
+use borg_experiments::dynamics::{render_dynamics_summary, run_dynamics, DynamicsConfig};
+use borg_models::advisor::{recommend_partition, recommend_processor_count};
+use borg_models::perfsim::TimingModel;
+use borg_experiments::fitdemo::{run_fit_demo, FitDemoConfig};
+use borg_experiments::heatmap::{run_figure5, HeatmapConfig};
+use borg_experiments::hvspeedup::{render_panel, run_figure, HvSpeedupConfig};
+use borg_experiments::islands_exp::{render_islands, run_islands_experiment, IslandsExpConfig};
+use borg_experiments::report::write_output;
+use borg_experiments::suite::PaperProblem;
+use borg_experiments::table2::{render_table2, run_table2, Table2Config};
+use borg_experiments::timeline::{figure1, figure2, TimelineConfig};
+use std::path::PathBuf;
+
+#[derive(Debug, Clone)]
+struct Cli {
+    command: String,
+    out: PathBuf,
+    nfe: Option<u64>,
+    replicates: Option<u32>,
+    seed: Option<u64>,
+    smoke: bool,
+    full: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing subcommand; try --help")?;
+    let mut cli = Cli {
+        command,
+        out: PathBuf::from("results"),
+        nfe: None,
+        replicates: None,
+        seed: None,
+        smoke: false,
+        full: false,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => cli.out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--nfe" => {
+                cli.nfe = Some(
+                    args.next()
+                        .ok_or("--nfe needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--nfe: {e}"))?,
+                )
+            }
+            "--replicates" => {
+                cli.replicates = Some(
+                    args.next()
+                        .ok_or("--replicates needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--replicates: {e}"))?,
+                )
+            }
+            "--seed" => {
+                cli.seed = Some(
+                    args.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--smoke" => cli.smoke = true,
+            "--full" => cli.full = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
+            std::process::exit(2);
+        }
+    };
+    let commands: Vec<&str> = if cli.command == "all" {
+        vec![
+            "bounds", "fig1", "fig2", "fig5", "table2", "fig3", "fig4", "fit", "ablations",
+            "islands", "dynamics", "advise",
+        ]
+    } else if cli.command == "--help" || cli.command == "help" {
+        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
+        return;
+    } else {
+        vec![cli.command.as_str()]
+    };
+    for cmd in commands {
+        println!("==> {cmd}");
+        run_command(cmd, &cli);
+    }
+}
+
+fn run_command(cmd: &str, cli: &Cli) {
+    match cmd {
+        "table2" => {
+            let mut cfg = Table2Config::default();
+            if cli.smoke {
+                cfg = cfg.smoke();
+            }
+            if cli.full {
+                cfg = cfg.paper_scale();
+            }
+            if let Some(n) = cli.nfe {
+                cfg.evaluations = n;
+            }
+            if let Some(r) = cli.replicates {
+                cfg.replicates = r;
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            let rows = run_table2(&cfg);
+            let table = render_table2(&rows);
+            println!("{}", table.render());
+            write_output(&cli.out, "table2.csv", &table.to_csv()).expect("write table2.csv");
+            println!("wrote {}", cli.out.join("table2.csv").display());
+        }
+        "fig1" | "fig2" => {
+            let cfg = TimelineConfig::default();
+            let t = if cmd == "fig1" { figure1(&cfg) } else { figure2(&cfg) };
+            println!("{}", t.ascii);
+            println!(
+                "elapsed {:.4}s, master utilization {:.2}",
+                t.elapsed, t.master_utilization
+            );
+            write_output(&cli.out, &format!("{cmd}_timeline.csv"), &t.csv).expect("write timeline");
+            write_output(&cli.out, &format!("{cmd}_timeline.txt"), &t.ascii).expect("write timeline");
+        }
+        "fig3" | "fig4" => {
+            let problem = if cmd == "fig3" {
+                PaperProblem::Dtlz2
+            } else {
+                PaperProblem::Uf11
+            };
+            let mut cfg = HvSpeedupConfig::new(problem);
+            if cli.smoke {
+                cfg = cfg.smoke();
+            }
+            if cli.full {
+                cfg.evaluations = 100_000;
+                cfg.replicates = 50;
+            }
+            if let Some(n) = cli.nfe {
+                cfg.evaluations = n;
+            }
+            if let Some(r) = cli.replicates {
+                cfg.replicates = r;
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            for panel in run_figure(&cfg) {
+                let table = render_panel(&panel);
+                println!(
+                    "{} speedup to hypervolume threshold, T_F = {}s",
+                    panel.problem, panel.t_f
+                );
+                println!("{}", table.render());
+                let name = format!("{cmd}_{}_tf{}.csv", panel.problem.to_lowercase(), panel.t_f);
+                write_output(&cli.out, &name, &table.to_csv()).expect("write panel");
+            }
+        }
+        "fig5" => {
+            let mut cfg = HeatmapConfig::default();
+            if cli.smoke {
+                cfg = cfg.smoke();
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            let surfaces = run_figure5(&cfg);
+            let sync_art = surfaces.to_ascii(&surfaces.sync, "Figure 5a: synchronous efficiency (Eq. 6)");
+            let async_art =
+                surfaces.to_ascii(&surfaces.async_, "Figure 5b: asynchronous efficiency (simulation model)");
+            println!("{sync_art}\n{async_art}");
+            write_output(&cli.out, "fig5_sync.csv", &surfaces.to_csv(&surfaces.sync)).unwrap();
+            write_output(&cli.out, "fig5_async.csv", &surfaces.to_csv(&surfaces.async_)).unwrap();
+            write_output(&cli.out, "fig5.txt", &format!("{sync_art}\n{async_art}")).unwrap();
+            // Also emit the Table II parameter ordering (see DESIGN.md §4).
+            let alt = run_figure5(&HeatmapConfig::default().table2_params());
+            write_output(&cli.out, "fig5_sync_table2params.csv", &alt.to_csv(&alt.sync)).unwrap();
+            write_output(&cli.out, "fig5_async_table2params.csv", &alt.to_csv(&alt.async_)).unwrap();
+        }
+        "bounds" => {
+            let table = render_bounds(&paper_bounds());
+            println!("{}", table.render());
+            write_output(&cli.out, "bounds.csv", &table.to_csv()).unwrap();
+        }
+        "fit" => {
+            let mut cfg = FitDemoConfig::default();
+            if let Some(n) = cli.nfe {
+                cfg.evaluations = n;
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            let demo = run_fit_demo(&cfg);
+            println!(
+                "measured on this machine: T_A mean {:.2}us (cv {:.2}), T_F mean {:.3}ms (cv {:.2}), T_C ~ {:.2}us",
+                demo.ta_stats.mean * 1e6,
+                demo.ta_stats.cv(),
+                demo.tf_stats.mean * 1e3,
+                demo.tf_stats.cv(),
+                demo.t_c * 1e6
+            );
+            println!("\nT_A distribution ranking (log-likelihood, best first):");
+            println!("{}", demo.ta_table.render());
+            println!("T_F distribution ranking:");
+            println!("{}", demo.tf_table.render());
+            write_output(&cli.out, "fit_ta.csv", &demo.ta_table.to_csv()).unwrap();
+            write_output(&cli.out, "fit_tf.csv", &demo.tf_table.to_csv()).unwrap();
+        }
+        "ablations" => {
+            let mut cfg = AblationConfig::default();
+            if cli.smoke {
+                cfg = cfg.smoke();
+            }
+            if let Some(n) = cli.nfe {
+                cfg.evaluations = n;
+            }
+            if let Some(r) = cli.replicates {
+                cfg.replicates = r;
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            let runs: Vec<(&str, borg_experiments::report::TextTable)> = vec![
+                ("ablation_archive", ablation_archive(&cfg)),
+                ("ablation_baseline", borg_experiments::ablation::ablation_baseline(&cfg)),
+                ("ablation_operators", ablation_operators(&cfg)),
+                ("ablation_restarts", ablation_restarts(&cfg)),
+                ("ablation_contention", ablation_contention(&cfg)),
+                ("ablation_variance", ablation_variance(&cfg)),
+                (
+                    "ablation_ta_breakdown",
+                    borg_experiments::ablation::ablation_ta_breakdown(&cfg),
+                ),
+            ];
+            for (name, table) in runs {
+                println!("{name}:");
+                println!("{}", table.render());
+                write_output(&cli.out, &format!("{name}.csv"), &table.to_csv()).unwrap();
+            }
+        }
+        "advise" => {
+            // §VI/§VII: use the simulation model to size the topology.
+            use borg_experiments::report::TextTable;
+            let budget = 1024u32;
+            let nfe = cli.nfe.unwrap_or(50_000);
+            let mut table = TextTable::new(vec![
+                "T_F (s)",
+                "best single-master P",
+                "its efficiency",
+                "best islands",
+                "procs/island",
+                "island efficiency",
+            ]);
+            for tf in [0.001, 0.01, 0.1] {
+                let timing = TimingModel::controlled_delay(tf, 0.1, 0.000_006, 0.000_030);
+                let single = recommend_processor_count(timing, budget, nfe, 0.0, cli.seed.unwrap_or(9));
+                let part = recommend_partition(timing, budget, nfe, cli.seed.unwrap_or(9));
+                table.row(vec![
+                    format!("{tf}"),
+                    single.processors.to_string(),
+                    format!("{:.2}", single.efficiency),
+                    part.islands.to_string(),
+                    part.processors_per_island.to_string(),
+                    format!("{:.2}", part.efficiency),
+                ]);
+            }
+            println!("topology advice for a {budget}-processor budget (T_A = 30us, T_C = 6us, N = {nfe}):");
+            println!("{}", table.render());
+            write_output(&cli.out, "advise.csv", &table.to_csv()).unwrap();
+        }
+        "dynamics" => {
+            let mut cfg = DynamicsConfig::default();
+            if cli.smoke {
+                cfg = cfg.smoke();
+            }
+            if let Some(n) = cli.nfe {
+                cfg.evaluations = n;
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            let trajs = run_dynamics(&cfg);
+            println!(
+                "algorithm dynamics on {} (T_F = {}s, N = {}):",
+                cfg.problem.name(),
+                cfg.t_f,
+                cfg.evaluations
+            );
+            let table = render_dynamics_summary(&trajs);
+            println!("{}", table.render());
+            write_output(&cli.out, "dynamics_summary.csv", &table.to_csv()).unwrap();
+            for t in &trajs {
+                write_output(&cli.out, &format!("dynamics_p{}.csv", t.processors), &t.to_csv())
+                    .unwrap();
+            }
+        }
+        "islands" => {
+            let mut cfg = IslandsExpConfig::default();
+            if cli.smoke {
+                cfg = cfg.smoke();
+            }
+            if let Some(n) = cli.nfe {
+                cfg.evaluations = n;
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            let rows = run_islands_experiment(&cfg);
+            let table = render_islands(&rows);
+            println!(
+                "island topology on {} ({} total processors, T_F = {}s):",
+                cfg.problem.name(),
+                cfg.total_processors,
+                cfg.t_f
+            );
+            println!("{}", table.render());
+            write_output(&cli.out, "islands.csv", &table.to_csv()).unwrap();
+        }
+        other => {
+            eprintln!("unknown subcommand {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Eqs. (3)–(4): processor-count bounds for the paper's parameter points.
+
+use crate::report::TextTable;
+use borg_models::analytical::{processor_lower_bound, processor_upper_bound, TimingParams};
+
+/// One bounds row.
+#[derive(Debug, Clone)]
+pub struct BoundsRow {
+    /// Scenario label.
+    pub label: String,
+    /// Parameters.
+    pub timing: TimingParams,
+    /// Eq. (3): saturation upper bound.
+    pub upper: f64,
+    /// Eq. (4): break-even lower bound.
+    pub lower: f64,
+}
+
+/// Computes bounds for the paper's Table II parameter combinations (using
+/// the published `T_A` at a representative `P` per problem).
+pub fn paper_bounds() -> Vec<BoundsRow> {
+    let scenarios = [
+        ("DTLZ2 T_F=1ms", TimingParams::new(0.001, 0.000_006, 0.000_029)),
+        ("DTLZ2 T_F=10ms", TimingParams::new(0.01, 0.000_006, 0.000_029)),
+        ("DTLZ2 T_F=100ms", TimingParams::new(0.1, 0.000_006, 0.000_029)),
+        ("UF11 T_F=1ms", TimingParams::new(0.001, 0.000_006, 0.000_061)),
+        ("UF11 T_F=10ms", TimingParams::new(0.01, 0.000_006, 0.000_061)),
+        ("UF11 T_F=100ms", TimingParams::new(0.1, 0.000_006, 0.000_061)),
+    ];
+    scenarios
+        .iter()
+        .map(|(label, t)| BoundsRow {
+            label: label.to_string(),
+            timing: *t,
+            upper: processor_upper_bound(*t),
+            lower: processor_lower_bound(*t),
+        })
+        .collect()
+}
+
+/// Renders the bounds table.
+pub fn render_bounds(rows: &[BoundsRow]) -> TextTable {
+    let mut t = TextTable::new(vec!["scenario", "T_F", "T_C", "T_A", "P_LB (Eq.4)", "P_UB (Eq.3)"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.3}", r.timing.t_f),
+            format!("{:.6}", r.timing.t_c),
+            format!("{:.6}", r.timing.t_a),
+            format!("{:.2}", r.lower),
+            format!("{:.0}", r.upper),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtlz2_10ms_bound_matches_papers_244() {
+        let rows = paper_bounds();
+        let r = rows.iter().find(|r| r.label == "DTLZ2 T_F=10ms").unwrap();
+        assert!((r.upper - 244.0).abs() < 1.0, "P_UB = {}", r.upper);
+    }
+
+    #[test]
+    fn bounds_scale_linearly_with_tf() {
+        let rows = paper_bounds();
+        let r1 = rows.iter().find(|r| r.label == "DTLZ2 T_F=1ms").unwrap();
+        let r100 = rows.iter().find(|r| r.label == "DTLZ2 T_F=100ms").unwrap();
+        assert!((r100.upper / r1.upper - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn uf11_saturates_earlier_than_dtlz2() {
+        // Bigger T_A ⇒ smaller saturation bound.
+        let rows = paper_bounds();
+        let d = rows.iter().find(|r| r.label == "DTLZ2 T_F=10ms").unwrap();
+        let u = rows.iter().find(|r| r.label == "UF11 T_F=10ms").unwrap();
+        assert!(u.upper < d.upper);
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let t = render_bounds(&paper_bounds());
+        assert_eq!(t.len(), 6);
+    }
+}

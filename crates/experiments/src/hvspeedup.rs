@@ -1,0 +1,282 @@
+//! Figures 3 and 4: hypervolume-threshold speedup.
+//!
+//! For a quality threshold `h`, `S_P^h = T_S^h / T_P^h` where `T_S^h` /
+//! `T_P^h` are the (virtual) times at which the serial / parallel Borg
+//! MOEA first attains a reference-set-normalized hypervolume of `h`
+//! (§VI-A). Flat speedup lines mean parallelization preserved search
+//! quality; nonlinear rising/falling lines appear where the configuration
+//! runs inefficiently (large `P`, small `T_F`) — more strongly on the
+//! non-separable UF11 than on DTLZ2.
+
+use crate::report::TextTable;
+use crate::suite::PaperProblem;
+use borg_core::rng::SplitMix64;
+use borg_desim::trace::SpanTrace;
+use borg_metrics::relative::RelativeHypervolume;
+use borg_models::dist::Dist;
+use borg_parallel::virtual_exec::{run_virtual_async, run_virtual_serial, TaMode, VirtualConfig};
+
+/// Configuration for the hypervolume-speedup experiment.
+#[derive(Debug, Clone)]
+pub struct HvSpeedupConfig {
+    /// Workload (Fig. 3 = DTLZ2, Fig. 4 = UF11).
+    pub problem: PaperProblem,
+    /// Evaluations per run.
+    pub evaluations: u64,
+    /// Replicates per configuration (paper: 50).
+    pub replicates: u32,
+    /// Processor counts (line series).
+    pub processors: Vec<u32>,
+    /// Mean `T_F` values (panels).
+    pub tf_means: Vec<f64>,
+    /// Hypervolume thresholds (x-axis).
+    pub thresholds: Vec<f64>,
+    /// Hypervolume sampling cadence in evaluations.
+    pub check_every: u64,
+    /// Base archive ε.
+    pub epsilon: f64,
+    /// Monte-Carlo hypervolume samples (common random numbers).
+    pub mc_samples: usize,
+    /// Das–Dennis lattice divisions for the reference front.
+    pub ref_divisions: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl HvSpeedupConfig {
+    /// Scaled-down defaults for one workload.
+    pub fn new(problem: PaperProblem) -> Self {
+        Self {
+            problem,
+            evaluations: 20_000,
+            replicates: 2,
+            processors: vec![16, 32, 64, 128, 256, 512, 1024],
+            tf_means: vec![0.001, 0.01, 0.1],
+            thresholds: (1..=10).map(|i| i as f64 / 10.0).collect(),
+            check_every: 500,
+            epsilon: 0.1,
+            mc_samples: 5_000,
+            ref_divisions: 6,
+            seed: 4242,
+        }
+    }
+
+    /// Smoke-test settings for CI and benches.
+    pub fn smoke(mut self) -> Self {
+        self.evaluations = 3_000;
+        self.replicates = 1;
+        self.processors = vec![8, 64];
+        self.tf_means = vec![0.01];
+        self.check_every = 250;
+        self.mc_samples = 2_000;
+        self
+    }
+}
+
+/// One panel (one `T_F`) of Figure 3/4.
+#[derive(Debug, Clone)]
+pub struct HvSpeedupPanel {
+    /// Workload name.
+    pub problem: &'static str,
+    /// Panel `T_F`.
+    pub t_f: f64,
+    /// Threshold grid.
+    pub thresholds: Vec<f64>,
+    /// Mean serial time-to-threshold (None = never attained).
+    pub serial_times: Vec<Option<f64>>,
+    /// Per processor count: mean parallel time-to-threshold and speedups.
+    pub series: Vec<HvSeries>,
+}
+
+/// One processor-count line in a panel.
+#[derive(Debug, Clone)]
+pub struct HvSeries {
+    /// Processor count `P`.
+    pub processors: u32,
+    /// Mean parallel time-to-threshold per threshold.
+    pub times: Vec<Option<f64>>,
+    /// `S_P^h` per threshold (None when either side never attained `h`).
+    pub speedups: Vec<Option<f64>>,
+}
+
+/// A (time, hypervolume-ratio) trajectory.
+type Trajectory = Vec<(f64, f64)>;
+
+fn time_to_threshold(traj: &Trajectory, h: f64) -> Option<f64> {
+    traj.iter().find(|(_, hv)| *hv >= h).map(|(t, _)| *t)
+}
+
+/// Averages times-to-threshold across replicates; a threshold counts as
+/// attained only if every replicate attained it (the conservative choice —
+/// with the paper's 50 replicates the distinction washes out).
+fn mean_times(trajs: &[Trajectory], thresholds: &[f64]) -> Vec<Option<f64>> {
+    thresholds
+        .iter()
+        .map(|&h| {
+            let times: Vec<f64> = trajs
+                .iter()
+                .filter_map(|t| time_to_threshold(t, h))
+                .collect();
+            (times.len() == trajs.len() && !trajs.is_empty())
+                .then(|| times.iter().sum::<f64>() / times.len() as f64)
+        })
+        .collect()
+}
+
+/// Runs one panel of the experiment.
+pub fn run_panel(config: &HvSpeedupConfig, t_f: f64) -> HvSpeedupPanel {
+    let problem = config.problem.build();
+    let borg = config.problem.borg_config(config.epsilon);
+    let reference = config.problem.reference_front(config.ref_divisions);
+    let metric = RelativeHypervolume::monte_carlo(&reference, config.mc_samples, config.seed ^ 0xAB);
+
+    let mut split = SplitMix64::new(config.seed ^ t_f.to_bits());
+
+    // Serial baseline.
+    let mut serial_trajs: Vec<Trajectory> = Vec::new();
+    for _ in 0..config.replicates {
+        let seed = split.derive_seed("hv-serial");
+        let vcfg = VirtualConfig {
+            processors: 2, // unused by the serial runner beyond validation
+            max_nfe: config.evaluations,
+            t_f: Dist::normal_cv(t_f, 0.1),
+            t_c: Dist::Constant(0.000_006),
+            t_a: TaMode::Measured,
+            seed,
+        };
+        let mut traj: Trajectory = Vec::new();
+        let check = config.check_every.max(1);
+        run_virtual_serial(problem.as_ref(), borg.clone(), &vcfg, |t, engine| {
+            if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
+                traj.push((t, metric.ratio(&engine.archive().objective_vectors())));
+            }
+        });
+        serial_trajs.push(traj);
+    }
+    let serial_times = mean_times(&serial_trajs, &config.thresholds);
+
+    // Parallel series.
+    let mut series = Vec::new();
+    for &p in &config.processors {
+        let mut trajs: Vec<Trajectory> = Vec::new();
+        for _ in 0..config.replicates {
+            let seed = split.derive_seed("hv-parallel") ^ u64::from(p);
+            let vcfg = VirtualConfig {
+                processors: p,
+                max_nfe: config.evaluations,
+                t_f: Dist::normal_cv(t_f, 0.1),
+                t_c: Dist::Constant(0.000_006),
+                t_a: TaMode::Measured,
+                seed,
+            };
+            let mut traj: Trajectory = Vec::new();
+            let check = config.check_every.max(1);
+            run_virtual_async(
+                problem.as_ref(),
+                borg.clone(),
+                &vcfg,
+                &mut SpanTrace::disabled(),
+                |t, engine| {
+                    if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
+                        traj.push((t, metric.ratio(&engine.archive().objective_vectors())));
+                    }
+                },
+            );
+            trajs.push(traj);
+        }
+        let times = mean_times(&trajs, &config.thresholds);
+        let speedups = serial_times
+            .iter()
+            .zip(&times)
+            .map(|(s, p)| match (s, p) {
+                (Some(s), Some(p)) if *p > 0.0 => Some(s / p),
+                _ => None,
+            })
+            .collect();
+        series.push(HvSeries {
+            processors: p,
+            times,
+            speedups,
+        });
+    }
+
+    HvSpeedupPanel {
+        problem: config.problem.name(),
+        t_f,
+        thresholds: config.thresholds.clone(),
+        serial_times,
+        series,
+    }
+}
+
+/// Runs all panels (one per `T_F`).
+pub fn run_figure(config: &HvSpeedupConfig) -> Vec<HvSpeedupPanel> {
+    config.tf_means.iter().map(|&tf| run_panel(config, tf)).collect()
+}
+
+/// Renders one panel as a threshold × processor-count speedup table.
+pub fn render_panel(panel: &HvSpeedupPanel) -> TextTable {
+    let mut header = vec!["h".to_string()];
+    header.extend(panel.series.iter().map(|s| format!("P={}", s.processors)));
+    let mut t = TextTable::new(header);
+    for (i, &h) in panel.thresholds.iter().enumerate() {
+        let mut row = vec![format!("{h:.2}")];
+        for s in &panel.series {
+            row.push(match s.speedups[i] {
+                Some(v) => format!("{v:.1}"),
+                None => "-".to_string(),
+            });
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_to_threshold_finds_first_crossing() {
+        let traj = vec![(1.0, 0.2), (2.0, 0.5), (3.0, 0.4), (4.0, 0.9)];
+        assert_eq!(time_to_threshold(&traj, 0.5), Some(2.0));
+        assert_eq!(time_to_threshold(&traj, 0.9), Some(4.0));
+        assert_eq!(time_to_threshold(&traj, 0.95), None);
+    }
+
+    #[test]
+    fn mean_times_requires_all_replicates() {
+        let t1 = vec![(1.0, 0.6)];
+        let t2 = vec![(3.0, 0.4)];
+        let m = mean_times(&[t1, t2], &[0.5]);
+        assert_eq!(m, vec![None]); // second replicate never crossed 0.5
+    }
+
+    #[test]
+    fn smoke_panel_produces_speedups() {
+        let cfg = HvSpeedupConfig::new(PaperProblem::Dtlz2).smoke();
+        let panel = run_panel(&cfg, 0.01);
+        assert_eq!(panel.series.len(), 2);
+        // Low thresholds must be attained and show real speedup.
+        let low = panel.series[0].speedups[1]; // h = 0.2, P = 8
+        assert!(low.is_some(), "h=0.2 not attained: {:?}", panel.serial_times);
+        assert!(low.unwrap() > 1.0, "expected parallel speedup, got {low:?}");
+        let rendered = render_panel(&panel);
+        assert_eq!(rendered.len(), panel.thresholds.len());
+    }
+
+    #[test]
+    fn larger_worker_pool_reaches_thresholds_faster_when_efficient() {
+        let mut cfg = HvSpeedupConfig::new(PaperProblem::Dtlz2).smoke();
+        cfg.processors = vec![4, 32];
+        cfg.tf_means = vec![0.1]; // large T_F: parallelism is efficient
+        let panel = run_panel(&cfg, 0.1);
+        // At an attained low threshold, P=32 must beat P=4 on time.
+        let i = 2; // h = 0.3
+        if let (Some(t4), Some(t32)) = (panel.series[0].times[i], panel.series[1].times[i]) {
+            assert!(t32 < t4, "P=32 ({t32}) not faster than P=4 ({t4})");
+        } else {
+            panic!("threshold 0.3 unexpectedly unattained");
+        }
+    }
+}

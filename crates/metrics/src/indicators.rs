@@ -1,0 +1,164 @@
+//! Classical quality indicators: generational distance, inverted
+//! generational distance, additive ε-indicator, and Schott's spacing.
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn min_distance_to_set(p: &[f64], set: &[Vec<f64>]) -> f64 {
+    set.iter()
+        .map(|q| euclidean(p, q))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Generational distance: mean distance from each approximation point to
+/// its nearest reference point (0 = converged onto the front).
+pub fn generational_distance(approx: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert!(!approx.is_empty() && !reference.is_empty());
+    approx
+        .iter()
+        .map(|p| min_distance_to_set(p, reference))
+        .sum::<f64>()
+        / approx.len() as f64
+}
+
+/// Inverted generational distance: mean distance from each reference point
+/// to its nearest approximation point (0 = front fully covered).
+pub fn inverted_generational_distance(approx: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    generational_distance(reference, approx)
+}
+
+/// Additive ε-indicator (Zitzler et al. 2002): the smallest ε such that
+/// every reference point is weakly dominated by some approximation point
+/// translated by ε in every objective. 0 = the approximation covers the
+/// reference set.
+pub fn additive_epsilon(approx: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert!(!approx.is_empty() && !reference.is_empty());
+    reference
+        .iter()
+        .map(|r| {
+            approx
+                .iter()
+                .map(|a| {
+                    a.iter()
+                        .zip(r)
+                        .map(|(x, y)| x - y)
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Schott's spacing: standard deviation of nearest-neighbour distances
+/// (0 = perfectly uniform spread). Requires at least two points.
+pub fn spacing(approx: &[Vec<f64>]) -> f64 {
+    assert!(approx.len() >= 2, "spacing needs at least two points");
+    // Schott uses the L1 nearest-neighbour distance.
+    let d: Vec<f64> = approx
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            approx
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| {
+                    p.iter()
+                        .zip(q)
+                        .map(|(x, y)| (x - y).abs())
+                        .sum::<f64>()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mean = d.iter().sum::<f64>() / d.len() as f64;
+    (d.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (d.len() - 1) as f64).sqrt()
+}
+
+/// Maximum Pareto-front error: worst-case distance from a reference point
+/// to the approximation (the `L∞` analogue of IGD).
+pub fn maximum_front_error(approx: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert!(!approx.is_empty() && !reference.is_empty());
+    reference
+        .iter()
+        .map(|r| min_distance_to_set(r, approx))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn front() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 1.0], vec![0.5, 0.5], vec![1.0, 0.0]]
+    }
+
+    #[test]
+    fn gd_zero_when_on_front() {
+        assert_eq!(generational_distance(&front(), &front()), 0.0);
+    }
+
+    #[test]
+    fn gd_measures_offset() {
+        let approx = vec![vec![0.1, 1.1], vec![0.6, 0.6], vec![1.1, 0.1]];
+        let gd = generational_distance(&approx, &front());
+        let expect = (2.0f64 * 0.01).sqrt();
+        assert!((gd - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igd_detects_missing_coverage() {
+        // Approximation covers only one end of the front.
+        let approx = vec![vec![0.0, 1.0]];
+        let igd = inverted_generational_distance(&approx, &front());
+        assert!(igd > 0.4);
+        // GD of the same set is 0 (the point is on the front).
+        assert_eq!(generational_distance(&approx, &front()), 0.0);
+    }
+
+    #[test]
+    fn epsilon_zero_iff_reference_weakly_dominated() {
+        assert_eq!(additive_epsilon(&front(), &front()), 0.0);
+        let shifted: Vec<Vec<f64>> = front()
+            .into_iter()
+            .map(|p| p.into_iter().map(|x| x + 0.2).collect())
+            .collect();
+        let eps = additive_epsilon(&shifted, &front());
+        assert!((eps - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_can_be_negative_for_dominating_sets() {
+        let better: Vec<Vec<f64>> = front()
+            .into_iter()
+            .map(|p| p.into_iter().map(|x| x - 0.1).collect())
+            .collect();
+        let eps = additive_epsilon(&better, &front());
+        assert!((eps + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spacing_zero_for_uniform_spread() {
+        let uniform = vec![vec![0.0, 1.0], vec![0.25, 0.75], vec![0.5, 0.5], vec![0.75, 0.25]];
+        assert!(spacing(&uniform).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spacing_positive_for_clustered_points() {
+        let clustered = vec![vec![0.0, 1.0], vec![0.01, 0.99], vec![1.0, 0.0]];
+        assert!(spacing(&clustered) > 0.1);
+    }
+
+    #[test]
+    fn max_front_error_is_worst_case() {
+        let approx = vec![vec![0.0, 1.0], vec![0.5, 0.5]];
+        let err = maximum_front_error(&approx, &front());
+        let expect = euclidean(&[1.0, 0.0], &[0.5, 0.5]);
+        assert!((err - expect).abs() < 1e-12);
+    }
+}

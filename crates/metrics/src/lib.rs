@@ -1,0 +1,42 @@
+//! # borg-metrics
+//!
+//! Multiobjective quality indicators for the Borg MOEA scalability
+//! reproduction: exact (WFG) and Monte-Carlo hypervolume, the paper's
+//! reference-set-normalized hypervolume ratio, generational distance,
+//! inverted generational distance, additive ε-indicator, spacing, and
+//! objective normalization helpers.
+//!
+//! ```
+//! use borg_metrics::prelude::*;
+//!
+//! // Exact hypervolume of two nondominated boxes.
+//! let hv = hypervolume(&[vec![0.2, 0.6], vec![0.6, 0.2]], &[1.0, 1.0]);
+//! assert!((hv - 0.48).abs() < 1e-12);
+//!
+//! // The paper's metric: normalized against a reference set, 1.0 = ideal.
+//! let front = borg_problems::refsets::dtlz2_front(3, 12);
+//! let metric = RelativeHypervolume::exact(&front);
+//! assert!((metric.ratio(&front) - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hypervolume;
+pub mod indicators;
+pub mod mc_hypervolume;
+pub mod nds;
+pub mod normalize;
+pub mod relative;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::hypervolume::{hypervolume, hypervolume_contributions};
+    pub use crate::indicators::{
+        additive_epsilon, generational_distance, inverted_generational_distance,
+        maximum_front_error, spacing,
+    };
+    pub use crate::mc_hypervolume::McHypervolume;
+    pub use crate::nds::nondominated_filter;
+    pub use crate::normalize::ObjectiveBounds;
+    pub use crate::relative::RelativeHypervolume;
+}

@@ -1,0 +1,163 @@
+//! The paper's hypervolume metric: normalized against a known reference
+//! set, so that 1.0 means "matches the true Pareto front".
+//!
+//! Construction: normalize objectives by the reference set's ideal/nadir
+//! points, compute hypervolume w.r.t. the normalized nadir `(1,…,1)`, and
+//! divide by the reference set's own hypervolume. Both an exact (WFG) and a
+//! seeded Monte-Carlo backend are provided; trajectory analyses use the MC
+//! backend so estimator error is common-mode across compared runs.
+
+use crate::hypervolume::hypervolume;
+use crate::mc_hypervolume::McHypervolume;
+use crate::normalize::ObjectiveBounds;
+
+enum Backend {
+    Exact,
+    MonteCarlo(McHypervolume),
+}
+
+/// Reference-set-normalized hypervolume (the paper's metric).
+pub struct RelativeHypervolume {
+    bounds: ObjectiveBounds,
+    backend: Backend,
+    reference_hv: f64,
+}
+
+impl RelativeHypervolume {
+    /// Exact-backend metric.
+    pub fn exact(reference_set: &[Vec<f64>]) -> Self {
+        let bounds = ObjectiveBounds::from_set(reference_set);
+        let normalized = bounds.normalize_set(reference_set);
+        let m = bounds.dim();
+        let reference_hv = hypervolume(&normalized, &vec![1.0; m]);
+        assert!(
+            reference_hv > 0.0,
+            "reference set has zero hypervolume: degenerate front?"
+        );
+        Self {
+            bounds,
+            backend: Backend::Exact,
+            reference_hv,
+        }
+    }
+
+    /// Monte-Carlo-backend metric with `samples` common random points.
+    pub fn monte_carlo(reference_set: &[Vec<f64>], samples: usize, seed: u64) -> Self {
+        let bounds = ObjectiveBounds::from_set(reference_set);
+        let normalized = bounds.normalize_set(reference_set);
+        let m = bounds.dim();
+        let est = McHypervolume::unit(m, samples, seed);
+        let reference_hv = est.estimate(&normalized);
+        assert!(
+            reference_hv > 0.0,
+            "reference set has zero estimated hypervolume; increase samples"
+        );
+        Self {
+            bounds,
+            backend: Backend::MonteCarlo(est),
+            reference_hv,
+        }
+    }
+
+    /// The normalization bounds in use.
+    pub fn bounds(&self) -> &ObjectiveBounds {
+        &self.bounds
+    }
+
+    /// Hypervolume ratio of an approximation set: ~0 for far-away sets,
+    /// ~1 for sets matching the reference front. Slightly above 1 is
+    /// possible for ε-archives whose representatives sit inside the lattice
+    /// gaps of a finitely-sampled reference set.
+    pub fn ratio(&self, approximation: &[Vec<f64>]) -> f64 {
+        if approximation.is_empty() {
+            return 0.0;
+        }
+        let normalized = self.bounds.normalize_set(approximation);
+        let m = self.bounds.dim();
+        let hv = match &self.backend {
+            Backend::Exact => hypervolume(&normalized, &vec![1.0; m]),
+            Backend::MonteCarlo(est) => est.estimate(&normalized),
+        };
+        hv / self.reference_hv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_problems::refsets::dtlz2_front;
+
+    #[test]
+    fn reference_set_scores_one() {
+        let front = dtlz2_front(3, 12);
+        let metric = RelativeHypervolume::exact(&front);
+        let r = metric.ratio(&front);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_scores_zero() {
+        let metric = RelativeHypervolume::exact(&dtlz2_front(3, 8));
+        assert_eq!(metric.ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn inflated_set_scores_less_than_one() {
+        let front = dtlz2_front(3, 12);
+        let inflated: Vec<Vec<f64>> = front
+            .iter()
+            .map(|p| p.iter().map(|x| x * 1.2).collect())
+            .collect();
+        let metric = RelativeHypervolume::exact(&front);
+        let r = metric.ratio(&inflated);
+        assert!(r < 0.8, "inflated front scored {r}");
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn partial_coverage_scores_partially() {
+        let front = dtlz2_front(3, 12);
+        let metric = RelativeHypervolume::exact(&front);
+        let half: Vec<Vec<f64>> = front.iter().take(front.len() / 4).cloned().collect();
+        let r = metric.ratio(&half);
+        assert!(r > 0.05 && r < 0.95, "quarter front scored {r}");
+    }
+
+    #[test]
+    fn mc_backend_tracks_exact_backend() {
+        let front = dtlz2_front(3, 10);
+        let exact = RelativeHypervolume::exact(&front);
+        let mc = RelativeHypervolume::monte_carlo(&front, 100_000, 9);
+        let test_set: Vec<Vec<f64>> = front
+            .iter()
+            .map(|p| p.iter().map(|x| x * 1.05).collect())
+            .collect();
+        let a = exact.ratio(&test_set);
+        let b = mc.ratio(&test_set);
+        assert!((a - b).abs() < 0.03, "exact {a} vs mc {b}");
+    }
+
+    #[test]
+    fn scaling_objectives_does_not_change_ratio() {
+        // UF11's objective scaling must be normalized away.
+        let front = dtlz2_front(3, 10);
+        let scales = [1.0, 2.0, 5.0];
+        let scaled_front: Vec<Vec<f64>> = front
+            .iter()
+            .map(|p| p.iter().zip(scales).map(|(x, s)| x * s).collect())
+            .collect();
+        let metric = RelativeHypervolume::exact(&front);
+        let scaled_metric = RelativeHypervolume::exact(&scaled_front);
+        let approx: Vec<Vec<f64>> = front
+            .iter()
+            .map(|p| p.iter().map(|x| x * 1.1).collect())
+            .collect();
+        let scaled_approx: Vec<Vec<f64>> = approx
+            .iter()
+            .map(|p| p.iter().zip(scales).map(|(x, s)| x * s).collect())
+            .collect();
+        let a = metric.ratio(&approx);
+        let b = scaled_metric.ratio(&scaled_approx);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

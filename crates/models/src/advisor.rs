@@ -1,0 +1,211 @@
+//! The topology advisor — the paper's stated application of the
+//! simulation model (§VI): *"Our parallel performance simulation model
+//! can be used to determine the size of these subsets to maximize
+//! efficiency"*, and (§VII) to pick "the ideal processor count to
+//! maximize efficiency".
+//!
+//! Given a timing model and a processor budget, the advisor evaluates the
+//! queueing simulation across candidate configurations and recommends:
+//!
+//! * [`recommend_processor_count`] — the single-master processor count
+//!   with the best predicted efficiency (Table II's "peak" column);
+//! * [`recommend_partition`] — how to split a fixed budget into equal
+//!   concurrently-running master-slave instances (the hierarchical/island
+//!   layout of §VI–§VII).
+
+use crate::perfsim::{simulate_async, PerfSimConfig, TimingModel};
+
+/// A scored single-master configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorRecommendation {
+    /// Recommended total processors (1 master + workers).
+    pub processors: u32,
+    /// Predicted efficiency at that count.
+    pub efficiency: f64,
+    /// Predicted parallel time.
+    pub parallel_time: f64,
+}
+
+/// Searches processor counts `2..=max_processors` (log-spaced refinement)
+/// for the best predicted efficiency·speedup trade-off.
+///
+/// `objective` weighs speed against efficiency: 0.0 = pure efficiency
+/// (recommends small P), 1.0 = pure speed (recommends the time-optimal
+/// P). The paper's "ideal processor count to maximize efficiency" is
+/// `objective = 0` *subject to* actually using parallelism, so candidates
+/// below 3 processors (the Eq. 4 break-even) are excluded.
+pub fn recommend_processor_count(
+    timing: TimingModel,
+    max_processors: u32,
+    evaluations: u64,
+    objective: f64,
+    seed: u64,
+) -> ProcessorRecommendation {
+    assert!(max_processors >= 3, "need at least 3 processors (Eq. 4)");
+    assert!((0.0..=1.0).contains(&objective));
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut p = 3u32;
+    while p <= max_processors {
+        candidates.push(p);
+        p = ((p as f64) * 1.3).ceil() as u32;
+    }
+    if *candidates.last().unwrap() != max_processors {
+        candidates.push(max_processors);
+    }
+
+    let mut best: Option<(f64, ProcessorRecommendation)> = None;
+    let serial_time = {
+        let means = timing.means();
+        crate::analytical::serial_time(evaluations, means)
+    };
+    for &p in &candidates {
+        let pred = simulate_async(&PerfSimConfig {
+            processors: p,
+            evaluations,
+            timing,
+            seed: seed ^ u64::from(p),
+        });
+        // Normalized speed score: fraction of the best possible speedup.
+        let speed = (serial_time / pred.parallel_time) / f64::from(max_processors);
+        let score = objective * speed + (1.0 - objective) * pred.efficiency;
+        let rec = ProcessorRecommendation {
+            processors: p,
+            efficiency: pred.efficiency,
+            parallel_time: pred.parallel_time,
+        };
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, rec));
+        }
+    }
+    best.expect("non-empty candidate set").1
+}
+
+/// A scored island partition of a fixed processor budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionRecommendation {
+    /// Number of equal master-slave instances.
+    pub islands: u32,
+    /// Processors per instance.
+    pub processors_per_island: u32,
+    /// Predicted aggregate efficiency (all instances work concurrently on
+    /// disjoint shares of the evaluation budget).
+    pub efficiency: f64,
+    /// Predicted makespan (time for every instance to finish its share).
+    pub parallel_time: f64,
+}
+
+/// Recommends how many equal master-slave instances to run on a budget of
+/// `total_processors`, each receiving `evaluations / islands` of the
+/// budget — §VI's hierarchical-topology sizing question.
+pub fn recommend_partition(
+    timing: TimingModel,
+    total_processors: u32,
+    evaluations: u64,
+    seed: u64,
+) -> PartitionRecommendation {
+    assert!(total_processors >= 2);
+    let serial = crate::analytical::serial_time(evaluations, timing.means());
+    let mut best: Option<PartitionRecommendation> = None;
+    let mut k = 1u32;
+    while total_processors / k >= 2 {
+        let per = total_processors / k;
+        let share = evaluations.div_ceil(u64::from(k));
+        let pred = simulate_async(&PerfSimConfig {
+            processors: per,
+            evaluations: share.max(1),
+            timing,
+            seed: seed ^ u64::from(k) << 16,
+        });
+        // All K instances run concurrently on the same makespan.
+        let makespan = pred.parallel_time;
+        let efficiency = serial / (f64::from(total_processors) * makespan);
+        let rec = PartitionRecommendation {
+            islands: k,
+            processors_per_island: per,
+            efficiency,
+            parallel_time: makespan,
+        };
+        if best.as_ref().is_none_or(|b| efficiency > b.efficiency) {
+            best = Some(rec);
+        }
+        k *= 2;
+    }
+    best.expect("at least one partition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical::{processor_upper_bound, TimingParams};
+
+    fn timing(t_f: f64) -> TimingModel {
+        TimingModel::controlled_delay(t_f, 0.1, 0.000_006, 0.000_030)
+    }
+
+    #[test]
+    fn efficiency_objective_stays_below_saturation() {
+        // Below saturation async efficiency *grows* with P (the (P−1)/P
+        // master-idle share shrinks), so the pure-efficiency optimum sits
+        // just under the Eq. 3 bound — never past it.
+        let rec = recommend_processor_count(timing(0.01), 1024, 10_000, 0.0, 1);
+        let p_ub = processor_upper_bound(TimingParams::new(0.01, 0.000_006, 0.000_030));
+        assert!(rec.efficiency > 0.9, "rec {rec:?}");
+        assert!(
+            f64::from(rec.processors) < p_ub,
+            "pure efficiency must not cross saturation: {rec:?} (P_UB = {p_ub})"
+        );
+    }
+
+    #[test]
+    fn speed_objective_recommends_near_saturation() {
+        let rec = recommend_processor_count(timing(0.01), 1024, 10_000, 1.0, 2);
+        let p_ub = processor_upper_bound(TimingParams::new(0.01, 0.000_006, 0.000_030));
+        assert!(
+            f64::from(rec.processors) > 0.5 * p_ub,
+            "speed objective should approach saturation: {rec:?} (P_UB = {p_ub})"
+        );
+    }
+
+    #[test]
+    fn balanced_objective_sits_between() {
+        let lo = recommend_processor_count(timing(0.01), 1024, 10_000, 0.0, 3).processors;
+        let hi = recommend_processor_count(timing(0.01), 1024, 10_000, 1.0, 3).processors;
+        let mid = recommend_processor_count(timing(0.01), 1024, 10_000, 0.5, 3).processors;
+        assert!(lo <= mid && mid <= hi, "{lo} <= {mid} <= {hi} violated");
+    }
+
+    #[test]
+    fn partition_prefers_one_island_for_expensive_evaluations() {
+        // T_F = 0.1 s: a single master handles 1024 processors easily.
+        let rec = recommend_partition(timing(0.1), 256, 20_000, 4);
+        assert_eq!(rec.islands, 1, "{rec:?}");
+        assert!(rec.efficiency > 0.9);
+    }
+
+    #[test]
+    fn partition_splits_when_one_master_saturates() {
+        // T_F = 1 ms at 1024 processors: P_UB ≈ 24, so the advisor should
+        // recommend many instances.
+        let rec = recommend_partition(timing(0.001), 1024, 50_000, 5);
+        assert!(rec.islands >= 16, "{rec:?}");
+        assert!(
+            rec.efficiency > 0.5,
+            "partitioning should rescue efficiency: {rec:?}"
+        );
+        // Sanity: the single-master layout is terrible here.
+        let single = simulate_async(&PerfSimConfig {
+            processors: 1024,
+            evaluations: 50_000,
+            timing: timing(0.001),
+            seed: 6,
+        });
+        assert!(single.efficiency < 0.1);
+    }
+
+    #[test]
+    fn partition_covers_the_full_budget() {
+        let rec = recommend_partition(timing(0.001), 96, 10_000, 7);
+        assert!(rec.islands * rec.processors_per_island <= 96);
+        assert!(rec.islands * rec.processors_per_island >= 96 / 2);
+    }
+}

@@ -1,0 +1,512 @@
+//! Maximum-likelihood distribution fitting with log-likelihood model
+//! selection — the Rust equivalent of the paper's R-based pipeline
+//! (§IV-B): *"the sampled data [is fit] to various distributions;
+//! subsequently, the log-likelihood is calculated for each distribution to
+//! determine which best fits the sampled data."*
+
+use crate::dist::{digamma, trigamma, Dist};
+
+/// Families the fitter can try.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Uniform on the sample range.
+    Uniform,
+    /// Exponential.
+    Exponential,
+    /// Normal.
+    Normal,
+    /// Log-normal (positive samples only).
+    LogNormal,
+    /// Gamma (positive samples only).
+    Gamma,
+    /// Weibull (positive samples only).
+    Weibull,
+}
+
+impl Family {
+    /// All supported families.
+    pub fn all() -> [Family; 6] {
+        [
+            Family::Uniform,
+            Family::Exponential,
+            Family::Normal,
+            Family::LogNormal,
+            Family::Gamma,
+            Family::Weibull,
+        ]
+    }
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics; panics on an empty sample.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+        }
+    }
+
+    /// Standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ); 0 for zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean != 0.0 {
+            self.sd() / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// MLE fit of one family. Returns `None` when the family's support cannot
+/// hold the sample (e.g. log-normal with non-positive values) or the MLE
+/// degenerates.
+pub fn fit_family(family: Family, samples: &[f64]) -> Option<Dist> {
+    let stats = SampleStats::of(samples);
+    match family {
+        Family::Uniform => {
+            (stats.max > stats.min).then_some(Dist::Uniform {
+                lo: stats.min,
+                hi: stats.max,
+            })
+        }
+        Family::Exponential => {
+            (stats.min >= 0.0 && stats.mean > 0.0).then_some(Dist::Exponential {
+                rate: 1.0 / stats.mean,
+            })
+        }
+        Family::Normal => {
+            // MLE variance (biased) rather than the unbiased estimator.
+            // Guard against numerically-constant samples whose variance is
+            // pure floating-point noise.
+            let var_mle = stats.variance * (stats.n - 1).max(1) as f64 / stats.n as f64;
+            let noise_floor = (stats.mean.abs() * 1e-9).powi(2).max(f64::MIN_POSITIVE);
+            (var_mle > noise_floor).then_some(Dist::Normal {
+                mean: stats.mean,
+                sd: var_mle.sqrt(),
+            })
+        }
+        Family::LogNormal => {
+            if stats.min <= 0.0 {
+                return None;
+            }
+            let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+            let ls = SampleStats::of(&logs);
+            let var_mle = ls.variance * (ls.n - 1).max(1) as f64 / ls.n as f64;
+            let noise_floor = (ls.mean.abs() * 1e-9).powi(2).max(f64::MIN_POSITIVE);
+            (var_mle > noise_floor).then_some(Dist::LogNormal {
+                mu: ls.mean,
+                sigma: var_mle.sqrt(),
+            })
+        }
+        Family::Gamma => fit_gamma(samples, stats),
+        Family::Weibull => fit_weibull(samples, stats),
+    }
+}
+
+/// Gamma MLE: Newton iteration on the shape via the digamma equation
+/// `ln k − ψ(k) = ln(mean) − mean(ln x)`.
+fn fit_gamma(samples: &[f64], stats: SampleStats) -> Option<Dist> {
+    if stats.min <= 0.0 || stats.mean <= 0.0 {
+        return None;
+    }
+    let mean_ln = samples.iter().map(|x| x.ln()).sum::<f64>() / samples.len() as f64;
+    let s = stats.mean.ln() - mean_ln;
+    if s <= 1e-12 {
+        return None; // numerically constant sample
+    }
+    // Minka's initializer, then Newton on f(k) = ln k − ψ(k) − s.
+    let mut k = (3.0 - s + ((s - 3.0) * (s - 3.0) + 24.0 * s).sqrt()) / (12.0 * s);
+    for _ in 0..60 {
+        let f = k.ln() - digamma(k) - s;
+        let fp = 1.0 / k - trigamma(k);
+        let step = f / fp;
+        let next = k - step;
+        let next = if next <= 0.0 { k / 2.0 } else { next };
+        if (next - k).abs() < 1e-12 * k {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+    (k.is_finite() && k > 0.0).then_some(Dist::Gamma {
+        shape: k,
+        scale: stats.mean / k,
+    })
+}
+
+/// Weibull MLE: Newton iteration on the shape `k` solving
+/// `Σ xᵏ ln x / Σ xᵏ − 1/k = mean(ln x)`.
+fn fit_weibull(samples: &[f64], stats: SampleStats) -> Option<Dist> {
+    if stats.min <= 0.0 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean_ln = samples.iter().map(|x| x.ln()).sum::<f64>() / n;
+    // Method-of-moments-flavoured initializer from the log-variance.
+    let var_ln = samples
+        .iter()
+        .map(|x| (x.ln() - mean_ln) * (x.ln() - mean_ln))
+        .sum::<f64>()
+        / n;
+    if var_ln <= 1e-18 {
+        return None; // numerically constant sample
+    }
+    let mut k = 1.2 / var_ln.sqrt().max(1e-9);
+    for _ in 0..100 {
+        let (mut s0, mut s1, mut s2) = (0.0, 0.0, 0.0);
+        for &x in samples {
+            let xk = x.powf(k);
+            let lx = x.ln();
+            s0 += xk;
+            s1 += xk * lx;
+            s2 += xk * lx * lx;
+        }
+        let f = s1 / s0 - 1.0 / k - mean_ln;
+        let fp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+        let next = k - f / fp;
+        let next = if next <= 0.0 { k / 2.0 } else { next };
+        if (next - k).abs() < 1e-12 * k {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+    if !(k.is_finite() && k > 0.0) {
+        return None;
+    }
+    let scale = (samples.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Some(Dist::Weibull { shape: k, scale })
+}
+
+/// One fitted candidate with its log-likelihood.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// Family tried.
+    pub family: Family,
+    /// MLE-fitted distribution.
+    pub dist: Dist,
+    /// Log-likelihood of the sample under `dist`.
+    pub log_likelihood: f64,
+}
+
+/// Fits every requested family and ranks by log-likelihood (best first),
+/// dropping families whose support can't hold the sample or whose
+/// likelihood is non-finite.
+pub fn fit_all(samples: &[f64], families: &[Family]) -> Vec<FitResult> {
+    let mut out: Vec<FitResult> = families
+        .iter()
+        .filter_map(|&family| {
+            let dist = fit_family(family, samples)?;
+            let ll = dist.log_likelihood(samples);
+            ll.is_finite().then_some(FitResult {
+                family,
+                dist,
+                log_likelihood: ll,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.log_likelihood.partial_cmp(&a.log_likelihood).unwrap());
+    out
+}
+
+/// Goodness-of-fit report for one fitted distribution.
+#[derive(Debug, Clone)]
+pub struct GoodnessOfFit {
+    /// Akaike information criterion `2k − 2 ln L` (lower is better).
+    pub aic: f64,
+    /// Bayesian information criterion `k ln n − 2 ln L` (lower is better).
+    pub bic: f64,
+    /// Kolmogorov–Smirnov statistic `sup |F_n(x) − F(x)|`.
+    pub ks_statistic: f64,
+}
+
+/// Computes AIC, BIC and the Kolmogorov–Smirnov statistic of `dist`
+/// against `samples`.
+pub fn goodness_of_fit(dist: &Dist, samples: &[f64]) -> GoodnessOfFit {
+    assert!(!samples.is_empty());
+    let n = samples.len() as f64;
+    let k = dist.num_parameters() as f64;
+    let ll = dist.log_likelihood(samples);
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // KS: compare F against the empirical CDF on both sides of each jump.
+    let mut ks: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        ks = ks.max((f - lo).abs()).max((hi - f).abs());
+    }
+    GoodnessOfFit {
+        aic: 2.0 * k - 2.0 * ll,
+        bic: k * n.ln() - 2.0 * ll,
+        ks_statistic: ks,
+    }
+}
+
+/// As [`fit_all`] but ranked by a chosen criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionCriterion {
+    /// Raw log-likelihood (the paper's criterion).
+    LogLikelihood,
+    /// AIC (penalizes parameter count).
+    Aic,
+    /// BIC (stronger parameter penalty).
+    Bic,
+    /// Kolmogorov–Smirnov distance.
+    KolmogorovSmirnov,
+}
+
+/// Fits every family and ranks by `criterion` (best first).
+pub fn fit_ranked(
+    samples: &[f64],
+    families: &[Family],
+    criterion: SelectionCriterion,
+) -> Vec<(FitResult, GoodnessOfFit)> {
+    let mut out: Vec<(FitResult, GoodnessOfFit)> = fit_all(samples, families)
+        .into_iter()
+        .map(|f| {
+            let gof = goodness_of_fit(&f.dist, samples);
+            (f, gof)
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        let key = |f: &FitResult, g: &GoodnessOfFit| match criterion {
+            SelectionCriterion::LogLikelihood => -f.log_likelihood,
+            SelectionCriterion::Aic => g.aic,
+            SelectionCriterion::Bic => g.bic,
+            SelectionCriterion::KolmogorovSmirnov => g.ks_statistic,
+        };
+        key(&a.0, &a.1).partial_cmp(&key(&b.0, &b.1)).unwrap()
+    });
+    out
+}
+
+/// Fits all families and returns the best. A (numerically) constant sample
+/// short-circuits to a point mass — no continuous density models it and
+/// likelihoods degenerate.
+pub fn best_fit(samples: &[f64]) -> Dist {
+    let stats = SampleStats::of(samples);
+    if stats.sd() <= stats.mean.abs().max(f64::MIN_POSITIVE) * 1e-9 {
+        return Dist::Constant(stats.mean);
+    }
+    fit_all(samples, &Family::all())
+        .into_iter()
+        .next()
+        .map(|f| f.dist)
+        .unwrap_or(Dist::Constant(stats.mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_core::rng::SplitMix64;
+
+    fn draw(d: Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed).derive("distfit-tests");
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = SampleStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.cv() > 0.0);
+    }
+
+    #[test]
+    fn normal_fit_recovers_parameters() {
+        let xs = draw(Dist::Normal { mean: 10.0, sd: 2.0 }, 20_000, 1);
+        let d = fit_family(Family::Normal, &xs).unwrap();
+        if let Dist::Normal { mean, sd } = d {
+            assert!((mean - 10.0).abs() < 0.1);
+            assert!((sd - 2.0).abs() < 0.1);
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let xs = draw(Dist::Exponential { rate: 4.0 }, 20_000, 2);
+        if let Dist::Exponential { rate } = fit_family(Family::Exponential, &xs).unwrap() {
+            assert!((rate - 4.0).abs() < 0.15, "rate = {rate}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn gamma_fit_recovers_parameters() {
+        let xs = draw(Dist::Gamma { shape: 3.0, scale: 0.5 }, 20_000, 3);
+        if let Dist::Gamma { shape, scale } = fit_family(Family::Gamma, &xs).unwrap() {
+            assert!((shape - 3.0).abs() < 0.15, "shape = {shape}");
+            assert!((scale - 0.5).abs() < 0.05, "scale = {scale}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn weibull_fit_recovers_parameters() {
+        let xs = draw(Dist::Weibull { shape: 1.8, scale: 2.5 }, 20_000, 4);
+        if let Dist::Weibull { shape, scale } = fit_family(Family::Weibull, &xs).unwrap() {
+            assert!((shape - 1.8).abs() < 0.1, "shape = {shape}");
+            assert!((scale - 2.5).abs() < 0.1, "scale = {scale}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let xs = draw(Dist::LogNormal { mu: -2.0, sigma: 0.3 }, 20_000, 5);
+        if let Dist::LogNormal { mu, sigma } = fit_family(Family::LogNormal, &xs).unwrap() {
+            assert!((mu + 2.0).abs() < 0.02);
+            assert!((sigma - 0.3).abs() < 0.02);
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn model_selection_picks_the_generator() {
+        // For each generating family, the ranked fit should put the true
+        // family first (or an equivalent-likelihood cousin within noise).
+        let cases = [
+            (Family::Normal, Dist::Normal { mean: 8.0, sd: 0.8 }),
+            (Family::Exponential, Dist::Exponential { rate: 10.0 }),
+            (Family::Gamma, Dist::Gamma { shape: 9.0, scale: 0.01 }),
+        ];
+        for (i, (family, d)) in cases.into_iter().enumerate() {
+            let xs = draw(d, 10_000, 100 + i as u64);
+            let ranked = fit_all(&xs, &Family::all());
+            assert!(!ranked.is_empty());
+            let best_ll = ranked[0].log_likelihood;
+            let true_ll = ranked
+                .iter()
+                .find(|f| f.family == family)
+                .expect("true family missing from ranking")
+                .log_likelihood;
+            // The generator must be within a whisker of the winner.
+            assert!(
+                true_ll >= best_ll - 0.005 * best_ll.abs().max(1.0) - 10.0,
+                "{family:?} badly ranked: {true_ll} vs winner {best_ll}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_samples_exclude_positive_families() {
+        let xs = vec![-1.0, 0.5, 2.0, -0.3];
+        assert!(fit_family(Family::LogNormal, &xs).is_none());
+        assert!(fit_family(Family::Gamma, &xs).is_none());
+        assert!(fit_family(Family::Weibull, &xs).is_none());
+        assert!(fit_family(Family::Exponential, &xs).is_none());
+        assert!(fit_family(Family::Normal, &xs).is_some());
+    }
+
+    #[test]
+    fn constant_sample_falls_back_to_constant() {
+        let xs = vec![0.01; 50];
+        match best_fit(&xs) {
+            Dist::Constant(c) => assert!((c - 0.01).abs() < 1e-12),
+            other => panic!("expected a point mass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ks_statistic_is_small_for_the_true_model() {
+        let truth = Dist::Normal { mean: 3.0, sd: 0.5 };
+        let xs = draw(truth, 5_000, 21);
+        let gof = goodness_of_fit(&truth, &xs);
+        // KS critical value at α = 0.01 is ≈ 1.63/√n ≈ 0.023.
+        assert!(gof.ks_statistic < 0.025, "KS = {}", gof.ks_statistic);
+        let wrong = Dist::Exponential { rate: 1.0 / 3.0 };
+        let gof_wrong = goodness_of_fit(&wrong, &xs);
+        assert!(gof_wrong.ks_statistic > 0.2, "KS = {}", gof_wrong.ks_statistic);
+    }
+
+    #[test]
+    fn aic_and_bic_penalize_parameters() {
+        let xs = draw(Dist::Exponential { rate: 2.0 }, 2_000, 22);
+        let exp = fit_family(Family::Exponential, &xs).unwrap();
+        let gof = goodness_of_fit(&exp, &xs);
+        // AIC = 2k − 2 ln L with k = 1; BIC uses ln n ≈ 7.6 > 2.
+        let ll = exp.log_likelihood(&xs);
+        assert!((gof.aic - (2.0 - 2.0 * ll)).abs() < 1e-9);
+        assert!(gof.bic > gof.aic);
+    }
+
+    #[test]
+    fn ranked_fit_orders_by_criterion() {
+        let xs = draw(Dist::Gamma { shape: 3.0, scale: 0.2 }, 4_000, 23);
+        for criterion in [
+            SelectionCriterion::LogLikelihood,
+            SelectionCriterion::Aic,
+            SelectionCriterion::Bic,
+            SelectionCriterion::KolmogorovSmirnov,
+        ] {
+            let ranked = fit_ranked(&xs, &Family::all(), criterion);
+            assert!(!ranked.is_empty());
+            // Winner's KS must be sane under every criterion.
+            assert!(ranked[0].1.ks_statistic < 0.1, "{criterion:?}");
+            // Ordering must actually be sorted.
+            let keys: Vec<f64> = ranked
+                .iter()
+                .map(|(f, g)| match criterion {
+                    SelectionCriterion::LogLikelihood => -f.log_likelihood,
+                    SelectionCriterion::Aic => g.aic,
+                    SelectionCriterion::Bic => g.bic,
+                    SelectionCriterion::KolmogorovSmirnov => g.ks_statistic,
+                })
+                .collect();
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{criterion:?}: {keys:?}");
+        }
+    }
+
+    #[test]
+    fn best_fit_on_timing_like_data() {
+        // Timing data shaped like the paper's T_F: Normal(0.01, 0.001).
+        let xs = draw(Dist::normal_cv(0.01, 0.1), 5_000, 6);
+        let best = best_fit(&xs);
+        // Mean must be preserved whatever family wins.
+        assert!((best.mean() - 0.01).abs() < 2e-4, "{best:?}");
+    }
+}

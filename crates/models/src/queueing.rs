@@ -1,0 +1,427 @@
+//! The master-slave queueing engine shared by the performance simulation
+//! model (this crate) and the full-algorithm virtual-time executors
+//! (`borg-parallel`).
+//!
+//! The engine reproduces the event structure of the paper's SimPy model
+//! (§IV-B): workers evaluate, then *request* the master; the master is an
+//! exclusive FIFO resource *held* for `T_C + T_A + T_C` per interaction
+//! (receive, process + produce, send), after which the worker is
+//! *activated* again. What happens inside `T_A`/`T_F` is delegated to a
+//! [`MasterSlaveHooks`] implementation: the performance model just samples
+//! durations, the executors in `borg-parallel` run the real Borg MOEA.
+
+use borg_desim::queue::EventQueue;
+use borg_desim::trace::{Activity, Actor, SpanTrace};
+
+/// Problem-specific behaviour plugged into the queueing engine.
+///
+/// The engine calls, per interaction: `consume(w)` (master absorbs `w`'s
+/// result), `produce(w)` (master creates `w`'s next work item),
+/// `evaluation_time(w)` (how long `w`'s new evaluation takes) and
+/// `comm_time()` for each one-way message. Each returns the simulated
+/// duration of that step.
+pub trait MasterSlaveHooks {
+    /// Master-side time to produce the next work item for `worker`.
+    /// `now` is the simulated time at which production starts.
+    fn produce(&mut self, worker: usize, now: f64) -> f64;
+
+    /// Worker-side time to evaluate the most recently produced work item.
+    fn evaluation_time(&mut self, worker: usize) -> f64;
+
+    /// Master-side time to process the result returned by `worker`.
+    /// `now` is the simulated time at which processing starts.
+    fn consume(&mut self, worker: usize, now: f64) -> f64;
+
+    /// One-way master↔worker message time.
+    fn comm_time(&mut self) -> f64;
+}
+
+/// Aggregate outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Total simulated elapsed time (until the N-th result is processed).
+    pub elapsed: f64,
+    /// Results processed (equals the configured N).
+    pub completed: u64,
+    /// Total time the master spent busy (communication + algorithm).
+    pub master_busy: f64,
+    /// Master utilization: busy / elapsed.
+    pub master_utilization: f64,
+    /// Mean time results waited for the master after arriving.
+    pub mean_wait: f64,
+    /// Worst wait.
+    pub max_wait: f64,
+    /// Longest master queue observed (results waiting simultaneously).
+    pub max_queue: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ResultReady {
+    worker: usize,
+}
+
+/// Runs the asynchronous master-slave simulation until `n` results have
+/// been consumed.
+///
+/// `workers` is `P − 1`; the master does not evaluate in the asynchronous
+/// topology (it is saturated with bookkeeping, matching the paper's
+/// implementation). Activity spans are recorded into `trace` when enabled.
+pub fn run_async<H: MasterSlaveHooks>(
+    hooks: &mut H,
+    workers: usize,
+    n: u64,
+    trace: &mut SpanTrace,
+) -> RunOutcome {
+    assert!(workers >= 1, "need at least one worker");
+    assert!(n >= 1, "need at least one evaluation");
+
+    let mut queue: EventQueue<ResultReady> = EventQueue::new();
+    let mut master_free_at = 0.0f64;
+    let mut master_busy = 0.0f64;
+    let mut completed = 0u64;
+    let mut wait_sum = 0.0f64;
+    let mut wait_max = 0.0f64;
+
+    // Initial seeding: the master produces and ships one work item per
+    // worker, serially.
+    for w in 0..workers {
+        let ta = hooks.produce(w, master_free_at);
+        let tc = hooks.comm_time();
+        trace.record(Actor::Master, Activity::Algorithm, master_free_at, master_free_at + ta);
+        trace.record(
+            Actor::Master,
+            Activity::Communication,
+            master_free_at + ta,
+            master_free_at + ta + tc,
+        );
+        let start_eval = master_free_at + ta + tc;
+        master_busy += ta + tc;
+        master_free_at = start_eval;
+        let tf = hooks.evaluation_time(w);
+        trace.record(Actor::Worker(w), Activity::Evaluation, start_eval, start_eval + tf);
+        queue.schedule_at(start_eval + tf, ResultReady { worker: w });
+    }
+
+    let mut max_queue = 0usize;
+    while let Some((ready_at, ev)) = queue.pop() {
+        let w = ev.worker;
+        let grant = master_free_at.max(ready_at);
+        let wait = grant - ready_at;
+        wait_sum += wait;
+        wait_max = wait_max.max(wait);
+
+        // Queue length at grant time: every result ready at or before the
+        // grant is necessarily already in the event heap (time only moves
+        // forward), so counting them is exact. Sampled to bound the O(W)
+        // scan cost on large topologies.
+        if completed.is_multiple_of(32) {
+            max_queue = max_queue.max(1 + queue.count_at_or_before(grant));
+        }
+
+        let tc_in = hooks.comm_time();
+        trace.record(Actor::Worker(w), Activity::Idle, ready_at, grant);
+        trace.record(Actor::Master, Activity::Communication, grant, grant + tc_in);
+        let ta_c = hooks.consume(w, grant + tc_in);
+        completed += 1;
+
+        if completed >= n {
+            let end = grant + tc_in + ta_c;
+            trace.record(Actor::Master, Activity::Algorithm, grant + tc_in, end);
+            master_busy += tc_in + ta_c;
+            let elapsed = end;
+            return RunOutcome {
+                elapsed,
+                completed,
+                master_busy,
+                master_utilization: master_busy / elapsed,
+                mean_wait: wait_sum / completed as f64,
+                max_wait: wait_max,
+                max_queue,
+            };
+        }
+
+        let ta_p = hooks.produce(w, grant + tc_in + ta_c);
+        let tc_out = hooks.comm_time();
+        let hold_end = grant + tc_in + ta_c + ta_p + tc_out;
+        trace.record(Actor::Master, Activity::Algorithm, grant + tc_in, grant + tc_in + ta_c + ta_p);
+        trace.record(
+            Actor::Master,
+            Activity::Communication,
+            grant + tc_in + ta_c + ta_p,
+            hold_end,
+        );
+        master_busy += tc_in + ta_c + ta_p + tc_out;
+        master_free_at = hold_end;
+
+        let tf = hooks.evaluation_time(w);
+        trace.record(Actor::Worker(w), Activity::Evaluation, hold_end, hold_end + tf);
+        queue.schedule_at(hold_end + tf, ResultReady { worker: w });
+    }
+    unreachable!("event queue drained before N results were consumed");
+}
+
+/// Runs a generational synchronous master-slave simulation (Cantú-Paz's
+/// topology, Fig. 1) until at least `n` evaluations have completed.
+///
+/// Per generation the master serially produces and sends one solution per
+/// worker, evaluates one solution itself, receives results serially as
+/// they arrive, then serially processes all `P` offspring before the next
+/// generation begins (hence `T_A^sync ≈ P · T_A`).
+pub fn run_sync<H: MasterSlaveHooks>(
+    hooks: &mut H,
+    workers: usize,
+    n: u64,
+    trace: &mut SpanTrace,
+) -> RunOutcome {
+    assert!(workers >= 1);
+    assert!(n >= 1);
+    let p = workers + 1; // master evaluates too
+    let mut now = 0.0f64;
+    let mut master_busy = 0.0f64;
+    let mut completed = 0u64;
+
+    while completed < n {
+        let gen_start = now;
+        // Sends (serialized on the master).
+        let mut finish_times: Vec<(usize, f64)> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let ta = hooks.produce(w, now);
+            let tc = hooks.comm_time();
+            trace.record(Actor::Master, Activity::Algorithm, now, now + ta);
+            trace.record(Actor::Master, Activity::Communication, now + ta, now + ta + tc);
+            master_busy += ta + tc;
+            now += ta + tc;
+            let tf = hooks.evaluation_time(w);
+            trace.record(Actor::Worker(w), Activity::Evaluation, now, now + tf);
+            finish_times.push((w, now + tf));
+        }
+        // Master's own offspring (produced and evaluated locally).
+        let ta_own = hooks.produce(workers, now);
+        let tf_own = hooks.evaluation_time(workers);
+        trace.record(Actor::Master, Activity::Algorithm, now, now + ta_own);
+        trace.record(Actor::Master, Activity::Evaluation, now + ta_own, now + ta_own + tf_own);
+        master_busy += ta_own + tf_own;
+        now += ta_own + tf_own;
+
+        // Receives, serialized in completion order, no earlier than the
+        // master finishing its own evaluation.
+        finish_times.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for &(w, t_done) in &finish_times {
+            let start = now.max(t_done);
+            trace.record(Actor::Worker(w), Activity::Idle, t_done, start);
+            let tc = hooks.comm_time();
+            trace.record(Actor::Master, Activity::Communication, start, start + tc);
+            master_busy += tc;
+            now = start + tc;
+        }
+
+        // Synchronous processing of the whole generation.
+        for w in 0..=workers {
+            let ta = hooks.consume(w, now);
+            trace.record(Actor::Master, Activity::Algorithm, now, now + ta);
+            master_busy += ta;
+            now += ta;
+        }
+        completed += p as u64;
+        debug_assert!(now > gen_start);
+    }
+
+    RunOutcome {
+        elapsed: now,
+        completed,
+        master_busy,
+        master_utilization: master_busy / now,
+        mean_wait: 0.0,
+        max_wait: 0.0,
+        max_queue: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical::{async_parallel_time, TimingParams};
+
+    /// Constant-time hooks matching the analytical model's assumptions.
+    struct ConstHooks {
+        t: TimingParams,
+    }
+
+    impl MasterSlaveHooks for ConstHooks {
+        fn produce(&mut self, _w: usize, _now: f64) -> f64 {
+            // Per-interaction T_A is charged on consume; production of the
+            // *initial* work items still costs T_A each.
+            0.0
+        }
+        fn evaluation_time(&mut self, _w: usize) -> f64 {
+            self.t.t_f
+        }
+        fn consume(&mut self, _w: usize, _now: f64) -> f64 {
+            self.t.t_a
+        }
+        fn comm_time(&mut self) -> f64 {
+            self.t.t_c
+        }
+    }
+
+    #[test]
+    fn unsaturated_async_matches_eq2() {
+        // P = 17 (16 workers), T_F large enough that the master never
+        // saturates: the DES must land on Eq. (2) up to pipeline fill.
+        let t = TimingParams::new(0.01, 0.000_006, 0.000_03);
+        let n = 20_000;
+        let mut hooks = ConstHooks { t };
+        let mut trace = SpanTrace::disabled();
+        let out = run_async(&mut hooks, 16, n, &mut trace);
+        let predicted = async_parallel_time(n, 17, t);
+        let err = (out.elapsed - predicted).abs() / predicted;
+        assert!(err < 0.01, "DES {} vs Eq.2 {} (err {err})", out.elapsed, predicted);
+        assert_eq!(out.completed, n);
+        // Workers start clustered (seeding spaces them only T_C apart) and
+        // respace over the first few cycles; steady-state waits are tiny
+        // relative to T_F.
+        assert!(
+            out.mean_wait < t.t_f / 10.0,
+            "unexpected steady-state contention: mean wait {}",
+            out.mean_wait
+        );
+    }
+
+    #[test]
+    fn saturated_async_is_bounded_by_master_throughput() {
+        // Tiny T_F, many workers: throughput ≈ 1/(2 T_C + T_A), so the
+        // elapsed time decouples from Eq. (2) — the analytical model's
+        // failure mode the paper demonstrates.
+        let t = TimingParams::new(0.000_1, 0.000_006, 0.000_03);
+        let n = 10_000;
+        let mut hooks = ConstHooks { t };
+        let mut trace = SpanTrace::disabled();
+        let out = run_async(&mut hooks, 511, n, &mut trace);
+        let saturated = n as f64 * (2.0 * t.t_c + t.t_a);
+        assert!(
+            (out.elapsed - saturated).abs() / saturated < 0.05,
+            "DES {} vs saturation bound {}",
+            out.elapsed,
+            saturated
+        );
+        let eq2 = async_parallel_time(n, 512, t);
+        assert!(out.elapsed > 5.0 * eq2, "analytical model should be way off");
+        assert!(out.master_utilization > 0.99);
+        assert!(out.mean_wait > 0.0);
+    }
+
+    #[test]
+    fn async_elapsed_has_efficiency_peak_shape() {
+        // Sweep P and check time first drops ~linearly then flattens.
+        let t = TimingParams::new(0.001, 0.000_006, 0.000_03);
+        let n = 5_000;
+        let elapsed: Vec<f64> = [4usize, 8, 16, 64, 256]
+            .iter()
+            .map(|&w| {
+                let mut hooks = ConstHooks { t };
+                run_async(&mut hooks, w, n, &mut SpanTrace::disabled()).elapsed
+            })
+            .collect();
+        assert!(elapsed[1] < elapsed[0] * 0.6, "doubling workers should ~halve time");
+        // Past saturation adding workers cannot speed things up.
+        assert!(elapsed[4] > 0.9 * elapsed[3]);
+        // And the saturated time cannot drop below the master bound.
+        assert!(elapsed[4] >= n as f64 * (2.0 * t.t_c + t.t_a) * 0.99);
+    }
+
+    #[test]
+    fn sync_matches_eq6_shape() {
+        // Constant times, no straggling: generation time =
+        // (P−1)(T_A + T_C) + T_A + T_F + (P−1) T_C + P·T_A… the Cantú-Paz
+        // abstraction folds this into N/P (T_F + P T_C + P T_A). Check the
+        // DES lands within a modest factor and scales the same way.
+        let t = TimingParams::new(0.01, 0.000_006, 0.000_006);
+        let n = 9_600;
+        for workers in [7usize, 31] {
+            let p = workers + 1;
+            let mut hooks = ConstHooks { t };
+            let out = run_sync(&mut hooks, workers, n, &mut SpanTrace::disabled());
+            let predicted = crate::analytical::sync_parallel_time(n, p as u32, t);
+            let ratio = out.elapsed / predicted;
+            assert!(
+                (0.7..1.5).contains(&ratio),
+                "P={p}: DES {} vs Eq.6 {} (ratio {ratio})",
+                out.elapsed,
+                predicted
+            );
+        }
+    }
+
+    #[test]
+    fn sync_suffers_from_stragglers_async_does_not() {
+        // High-variance T_F: the synchronous generation waits for the
+        // slowest worker each round; the asynchronous pipeline does not.
+        use crate::dist::Dist;
+        use borg_core::rng::SplitMix64;
+
+        struct NoisyHooks {
+            tf: Dist,
+            t: TimingParams,
+            rng: rand::rngs::StdRng,
+        }
+        impl MasterSlaveHooks for NoisyHooks {
+            fn produce(&mut self, _w: usize, _now: f64) -> f64 {
+                0.0
+            }
+            fn evaluation_time(&mut self, _w: usize) -> f64 {
+                self.tf.sample(&mut self.rng)
+            }
+            fn consume(&mut self, _w: usize, _now: f64) -> f64 {
+                self.t.t_a
+            }
+            fn comm_time(&mut self) -> f64 {
+                self.t.t_c
+            }
+        }
+
+        let t = TimingParams::new(0.01, 0.000_006, 0.000_006);
+        let n = 3_200;
+        let workers = 15;
+        let make = |seed: u64, cv: f64| NoisyHooks {
+            tf: Dist::normal_cv(0.01, cv),
+            t,
+            rng: SplitMix64::new(seed).derive("noisy"),
+        };
+        let sync_low = run_sync(&mut make(1, 0.05), workers, n, &mut SpanTrace::disabled()).elapsed;
+        let sync_high = run_sync(&mut make(1, 1.0), workers, n, &mut SpanTrace::disabled()).elapsed;
+        let async_low = run_async(&mut make(2, 0.05), workers, n, &mut SpanTrace::disabled()).elapsed;
+        let async_high = run_async(&mut make(2, 1.0), workers, n, &mut SpanTrace::disabled()).elapsed;
+        let sync_penalty = sync_high / sync_low;
+        let async_penalty = async_high / async_low;
+        assert!(
+            sync_penalty > 1.5,
+            "sync should slow with variance: {sync_penalty}"
+        );
+        assert!(
+            async_penalty < sync_penalty * 0.75,
+            "async penalty {async_penalty} vs sync {sync_penalty}"
+        );
+    }
+
+    #[test]
+    fn trace_records_all_activity_kinds() {
+        let t = TimingParams::new(0.001, 0.000_1, 0.000_2);
+        let mut hooks = ConstHooks { t };
+        let mut trace = SpanTrace::new();
+        run_async(&mut hooks, 3, 20, &mut trace);
+        let spans = trace.spans();
+        assert!(spans.iter().any(|s| s.activity == Activity::Evaluation));
+        assert!(spans.iter().any(|s| s.activity == Activity::Communication));
+        assert!(spans.iter().any(|s| s.activity == Activity::Algorithm));
+        assert!(spans.iter().any(|s| matches!(s.actor, Actor::Worker(_))));
+        assert!(spans.iter().any(|s| s.actor == Actor::Master));
+    }
+
+    #[test]
+    fn deterministic_given_same_hooks() {
+        let t = TimingParams::new(0.005, 0.000_01, 0.000_05);
+        let a = run_async(&mut ConstHooks { t }, 9, 500, &mut SpanTrace::disabled());
+        let b = run_async(&mut ConstHooks { t }, 9, 500, &mut SpanTrace::disabled());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Controlled-delay problem wrapper.
+//!
+//! The paper's experimental control: the analytical problems evaluate in
+//! under a microsecond, so delays of 0.001–0.1 s (CV 0.1) were injected to
+//! emulate expensive engineering evaluations. [`DelayedProblem`] applies a
+//! real wall-clock delay per evaluation (for the real-thread executor and
+//! the examples); the virtual-time executors charge the same distributions
+//! on the simulated clock instead.
+
+use borg_core::problem::{Bounds, Problem};
+use borg_core::rng::SplitMix64;
+use borg_models::dist::Dist;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use std::time::{Duration, Instant};
+
+/// Delays the calling thread for `seconds`.
+///
+/// Delays of ≥ 200 µs sleep, so concurrent evaluations genuinely overlap
+/// even on machines with fewer cores than workers (a spinning delay would
+/// serialize them — the whole point of the injected delay is to emulate an
+/// evaluation that *waits* on external work, not one that burns a core).
+/// Sub-200 µs delays spin for precision.
+pub fn precise_delay(seconds: f64) {
+    if seconds <= 0.0 {
+        return;
+    }
+    if seconds >= 0.000_2 {
+        std::thread::sleep(Duration::from_secs_f64(seconds));
+    } else {
+        let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// A problem wrapper injecting a sampled wall-clock delay per evaluation.
+pub struct DelayedProblem<P> {
+    inner: P,
+    delay: Dist,
+    rng: Mutex<StdRng>,
+    name: String,
+}
+
+impl<P: Problem> DelayedProblem<P> {
+    /// Wraps `inner`, delaying each evaluation by a draw from `delay`.
+    pub fn new(inner: P, delay: Dist, seed: u64) -> Self {
+        let name = format!("{}+delay", inner.name());
+        Self {
+            inner,
+            delay,
+            rng: Mutex::new(SplitMix64::new(seed).derive("delayed-problem")),
+            name,
+        }
+    }
+
+    /// The paper's specification: mean `t_f` seconds with CV 0.1.
+    pub fn paper_delay(inner: P, t_f: f64, seed: u64) -> Self {
+        Self::new(inner, Dist::normal_cv(t_f, 0.1), seed)
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Problem> Problem for DelayedProblem<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_variables(&self) -> usize {
+        self.inner.num_variables()
+    }
+    fn num_objectives(&self) -> usize {
+        self.inner.num_objectives()
+    }
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+    fn bounds(&self, i: usize) -> Bounds {
+        self.inner.bounds(i)
+    }
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], cons: &mut [f64]) {
+        let delay = {
+            let mut rng = self.rng.lock();
+            self.delay.sample(&mut *rng)
+        };
+        precise_delay(delay);
+        self.inner.evaluate(vars, objs, cons);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_problems::misc::Schaffer;
+
+    #[test]
+    fn delay_wrapper_preserves_semantics() {
+        let p = DelayedProblem::new(Schaffer, Dist::Constant(0.0), 1);
+        assert_eq!(p.num_variables(), 1);
+        assert_eq!(p.num_objectives(), 2);
+        assert_eq!(p.name(), "Schaffer+delay");
+        let mut objs = [0.0; 2];
+        p.evaluate(&[1.0], &mut objs, &mut []);
+        assert_eq!(objs, [1.0, 1.0]);
+    }
+
+    #[test]
+    fn evaluation_takes_at_least_the_delay() {
+        let p = DelayedProblem::new(Schaffer, Dist::Constant(0.003), 2);
+        let mut objs = [0.0; 2];
+        let start = Instant::now();
+        p.evaluate(&[0.5], &mut objs, &mut []);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.003, "elapsed {elapsed}");
+        assert!(elapsed < 0.05, "delay wildly overshot: {elapsed}");
+    }
+
+    #[test]
+    fn precise_delay_hits_sub_millisecond_targets() {
+        for target in [0.0002, 0.001, 0.004] {
+            let start = Instant::now();
+            precise_delay(target);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(elapsed >= target);
+            assert!(elapsed < target + 0.003, "target {target}, got {elapsed}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_delays_are_noops() {
+        let start = Instant::now();
+        precise_delay(0.0);
+        precise_delay(-1.0);
+        assert!(start.elapsed().as_secs_f64() < 0.001);
+    }
+}

@@ -1,0 +1,62 @@
+//! # borg-parallel
+//!
+//! Parallel master-slave executors for the Borg MOEA:
+//!
+//! * [`virtual_exec`] — deterministic **virtual-time** executors that run
+//!   the real algorithm inside a discrete-event simulation of the
+//!   master-slave topology (the reproduction's experimental arm; scales to
+//!   thousands of simulated processors on one machine);
+//! * [`threads`] — a **real-thread** asynchronous executor over crossbeam
+//!   channels with measured `T_A`/`T_F`/`T_C` (the laptop-scale stand-in
+//!   for the paper's MPI deployment);
+//! * [`islands`] — the island-model (multi-master) topology named as the
+//!   paper's future work (§VII), in virtual time;
+//! * [`delayed`] — the paper's controlled-delay evaluation wrapper.
+//!
+//! ```
+//! use borg_core::algorithm::BorgConfig;
+//! use borg_desim::trace::SpanTrace;
+//! use borg_models::dist::Dist;
+//! use borg_parallel::prelude::*;
+//! use borg_problems::dtlz::{Dtlz, DtlzVariant};
+//!
+//! // Run the real Borg MOEA on 63 simulated workers, deterministically.
+//! let problem = Dtlz::new(DtlzVariant::Dtlz2, 3);
+//! let cfg = VirtualConfig {
+//!     processors: 64,
+//!     max_nfe: 2_000,
+//!     t_f: Dist::normal_cv(0.01, 0.1),
+//!     t_c: Dist::Constant(0.000_006),
+//!     t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
+//!     seed: 42,
+//! };
+//! let run = run_virtual_async(
+//!     &problem,
+//!     BorgConfig::new(3, 0.05),
+//!     &cfg,
+//!     &mut SpanTrace::disabled(),
+//!     |_, _| {},
+//! );
+//! assert_eq!(run.engine.nfe(), 2_000);
+//! assert!(run.outcome.elapsed > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod delayed;
+pub mod islands;
+pub mod sync_nsga2;
+pub mod threads;
+pub mod virtual_exec;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::delayed::{precise_delay, DelayedProblem};
+    pub use crate::islands::{run_islands, IslandConfig, IslandRunResult};
+    pub use crate::sync_nsga2::{run_virtual_sync_nsga2, SyncNsga2Config, SyncNsga2Result};
+    pub use crate::threads::{estimate_comm_time, run_threaded, ThreadedConfig, ThreadedRunResult};
+    pub use crate::virtual_exec::{
+        run_virtual_async, run_virtual_serial, run_virtual_sync, TaMode, VirtualConfig,
+        VirtualRunResult,
+    };
+}

@@ -1,0 +1,196 @@
+//! NSGA-II under the virtual-time *synchronous* master-slave topology —
+//! the concrete version of Cantú-Paz's model (Eq. 6) with a real
+//! generational algorithm behind it.
+//!
+//! Eq. 6 assumes `T_A^sync ≈ P · T_A`: the master processes the whole
+//! generation at once, so its per-generation algorithm time scales with
+//! the population (= processor) count. Running real NSGA-II generations
+//! under measured time lets us check that claim directly: the
+//! non-dominated sort is O(M N²), i.e. *super*-linear in the population —
+//! the synchronous topology is even worse than Eq. 6 assumes.
+
+use borg_core::nsga2::{Nsga2Config, Nsga2Engine};
+use borg_core::problem::Problem;
+use borg_core::rng::SplitMix64;
+use borg_core::solution::Solution;
+use borg_models::dist::Dist;
+use std::time::Instant;
+
+/// Configuration of a synchronous NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct SyncNsga2Config {
+    /// Total processors `P` (one master + `P − 1` workers); the NSGA-II
+    /// population size is set to `P` (each node evaluates one offspring
+    /// per generation, the master included — Fig. 1's layout).
+    pub processors: u32,
+    /// Evaluations to perform (rounded up to whole generations).
+    pub max_nfe: u64,
+    /// Evaluation-delay distribution.
+    pub t_f: Dist,
+    /// One-way message-time distribution.
+    pub t_c: Dist,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Result of a synchronous NSGA-II run.
+#[derive(Debug)]
+pub struct SyncNsga2Result {
+    /// Virtual elapsed time.
+    pub elapsed: f64,
+    /// Final engine.
+    pub engine: Nsga2Engine,
+    /// Measured per-generation master algorithm time `T_A^sync`
+    /// (production + environmental selection), in seconds.
+    pub ta_sync_samples: Vec<f64>,
+}
+
+/// Runs generational NSGA-II on the synchronous virtual topology.
+///
+/// Per generation: the master produces `P` offspring and ships `P − 1`
+/// serially (`T_C` each), evaluates one itself, waits for the slowest
+/// worker, receives serially, then runs environmental selection — whose
+/// *real measured cost* is charged as `T_A^sync`.
+pub fn run_virtual_sync_nsga2<P: Problem + ?Sized>(
+    problem: &P,
+    config: &SyncNsga2Config,
+) -> SyncNsga2Result {
+    assert!(config.processors >= 2);
+    let p = config.processors as usize;
+    let mut split = SplitMix64::new(config.seed);
+    let engine_seed = split.derive_seed("sync-nsga2");
+    let mut rng = split.derive("sync-nsga2-delays");
+    let mut engine = Nsga2Engine::new(
+        problem,
+        Nsga2Config {
+            population_size: p,
+            ..Nsga2Config::default()
+        },
+        engine_seed,
+    );
+
+    let mut objs = vec![0.0; problem.num_objectives()];
+    let mut cons = vec![0.0; problem.num_constraints()];
+    let mut now = 0.0f64;
+    let mut ta_sync_samples = Vec::new();
+
+    while engine.nfe() < config.max_nfe {
+        // Master produces the generation (part of T_A^sync).
+        let t0 = Instant::now();
+        let candidates = engine.produce_generation();
+        let mut ta_sync = t0.elapsed().as_secs_f64();
+
+        // Ship P − 1 offspring serially; the master evaluates the last.
+        let mut finish = 0.0f64;
+        for _ in 0..(p - 1) {
+            now += config.t_c.sample(&mut rng);
+            let tf = config.t_f.sample(&mut rng);
+            finish = finish.max(now + tf);
+        }
+        let tf_master = config.t_f.sample(&mut rng);
+        finish = finish.max(now + tf_master);
+        now = finish;
+        // Serial receives.
+        for _ in 0..(p - 1) {
+            now += config.t_c.sample(&mut rng);
+        }
+
+        // Evaluate (eagerly, real math) and run environmental selection
+        // under the wall clock.
+        let t1 = Instant::now();
+        let offspring: Vec<Solution> = candidates
+            .into_iter()
+            .map(|vars| {
+                problem.evaluate(&vars, &mut objs, &mut cons);
+                Solution::from_parts(vars, objs.clone(), cons.clone())
+            })
+            .collect();
+        engine.consume_generation(offspring);
+        ta_sync += t1.elapsed().as_secs_f64();
+        now += ta_sync;
+        ta_sync_samples.push(ta_sync);
+    }
+
+    SyncNsga2Result {
+        elapsed: now,
+        engine,
+        ta_sync_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_problems::dtlz::Dtlz;
+
+    fn config(p: u32, nfe: u64) -> SyncNsga2Config {
+        SyncNsga2Config {
+            processors: p,
+            max_nfe: nfe,
+            t_f: Dist::Constant(0.01),
+            t_c: Dist::Constant(0.000_006),
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn completes_whole_generations() {
+        let problem = Dtlz::dtlz2_5();
+        let result = run_virtual_sync_nsga2(&problem, &config(32, 1_000));
+        assert!(result.engine.nfe() >= 1_000);
+        assert_eq!(result.engine.nfe() % 32, 0);
+        assert_eq!(
+            result.ta_sync_samples.len() as u64,
+            result.engine.generations()
+        );
+        assert!(result.elapsed > 0.0);
+    }
+
+    #[test]
+    fn ta_sync_grows_superlinearly_with_p() {
+        // Eq. 6 assumes T_A^sync ≈ P·T_A; NSGA-II's O(P²) sort makes the
+        // real per-generation cost grow at least linearly in P (and the
+        // per-offspring share should not shrink).
+        let problem = Dtlz::dtlz2_5();
+        let mean_ta = |p: u32| {
+            let r = run_virtual_sync_nsga2(&problem, &config(p, 2_000.min(p as u64 * 20)));
+            r.ta_sync_samples.iter().sum::<f64>() / r.ta_sync_samples.len() as f64
+        };
+        let small = mean_ta(16);
+        let large = mean_ta(128);
+        assert!(
+            large > 4.0 * small,
+            "T_A^sync should grow strongly with P: {small} → {large}"
+        );
+    }
+
+    #[test]
+    fn generation_time_includes_barrier() {
+        // With constant T_F = 10 ms, the per-generation elapsed time is at
+        // least T_F plus the serialized sends/receives.
+        let problem = Dtlz::dtlz2_5();
+        let p = 16u32;
+        let result = run_virtual_sync_nsga2(&problem, &config(p, 320));
+        let gens = result.engine.generations() as f64;
+        let per_gen = result.elapsed / gens;
+        let floor = 0.01 + 2.0 * (p as f64 - 1.0) * 0.000_006;
+        assert!(per_gen >= floor, "per-gen {per_gen} below floor {floor}");
+    }
+
+    #[test]
+    fn converges_under_the_virtual_topology() {
+        let problem = Dtlz::new(borg_problems::dtlz::DtlzVariant::Dtlz2, 2);
+        let result = run_virtual_sync_nsga2(&problem, &config(64, 6_400));
+        // 2-objective DTLZ2: front on the unit circle.
+        let close = result
+            .engine
+            .front()
+            .iter()
+            .filter(|s| {
+                let r2: f64 = s.objectives().iter().map(|f| f * f).sum();
+                (r2 - 1.0).abs() < 0.2
+            })
+            .count();
+        assert!(close > 10, "only {close} front members near the circle");
+    }
+}

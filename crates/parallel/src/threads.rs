@@ -1,0 +1,360 @@
+//! A real-thread asynchronous master-slave executor.
+//!
+//! This is the wall-clock counterpart of the virtual-time executor: the
+//! master (caller thread) runs the [`BorgEngine`]; worker threads evaluate
+//! candidates shipped over crossbeam channels, optionally with injected
+//! delays (the paper's experimental control). It stands in for the
+//! OpenMPI deployment on TACC Ranger at laptop scale and feeds *measured*
+//! `T_A` / `T_F` / `T_C` samples into the distribution-fitting pipeline —
+//! reproducing the paper's measurement methodology end-to-end.
+
+use borg_core::algorithm::{BorgConfig, BorgEngine, Candidate};
+use borg_core::problem::Problem;
+use borg_core::rng::SplitMix64;
+use borg_models::dist::Dist;
+use crossbeam::channel;
+use std::time::Instant;
+
+use crate::delayed::precise_delay;
+
+/// Configuration of a real-thread run.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Number of worker threads (`P − 1`).
+    pub workers: usize,
+    /// Evaluations to perform.
+    pub max_nfe: u64,
+    /// Optional injected wall-clock delay per evaluation.
+    pub delay: Option<Dist>,
+    /// Seed (engine + per-worker delay streams).
+    pub seed: u64,
+}
+
+/// Result of a real-thread run.
+#[derive(Debug)]
+pub struct ThreadedRunResult {
+    /// Wall-clock elapsed seconds.
+    pub elapsed: f64,
+    /// Final engine state.
+    pub engine: BorgEngine,
+    /// Measured master algorithm times (produce + consume per interaction).
+    pub ta_samples: Vec<f64>,
+    /// Measured evaluation times (including injected delay), as seen by
+    /// the workers.
+    pub tf_samples: Vec<f64>,
+}
+
+/// Objective value substituted for evaluations that panicked: finite (so
+/// ε-box arithmetic stays well-defined) but worse than any real objective.
+pub const PANIC_OBJECTIVE: f64 = 1e30;
+
+struct WorkItem {
+    id: u64,
+    variables: Vec<f64>,
+}
+
+struct ResultItem {
+    id: u64,
+    worker: usize,
+    objectives: Vec<f64>,
+    constraints: Vec<f64>,
+    eval_seconds: f64,
+}
+
+/// Runs the Borg MOEA on real threads.
+///
+/// Nondeterministic across runs (OS scheduling decides result arrival
+/// order) but all engine invariants hold; use the virtual executor for
+/// reproducible experiments.
+pub fn run_threaded<P: Problem + ?Sized>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &ThreadedConfig,
+) -> ThreadedRunResult {
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.max_nfe >= 1);
+
+    let mut split = SplitMix64::new(config.seed);
+    let engine_seed = split.derive_seed("threaded-engine");
+    let mut engine = BorgEngine::new(problem, borg, engine_seed);
+    let mut ta_samples: Vec<f64> = Vec::new();
+    let mut tf_samples: Vec<f64> = Vec::new();
+
+    let (work_tx, work_rx) = channel::unbounded::<WorkItem>();
+    let (result_tx, result_rx) = channel::unbounded::<ResultItem>();
+
+    let start = Instant::now();
+    let mut in_flight: std::collections::HashMap<u64, Candidate> = std::collections::HashMap::new();
+    let mut next_id = 0u64;
+
+    let elapsed = std::thread::scope(|scope| {
+        // Workers.
+        for w in 0..config.workers {
+            let work_rx = work_rx.clone();
+            let result_tx = result_tx.clone();
+            let delay = config.delay;
+            let mut rng = SplitMix64::new(config.seed ^ (w as u64) << 32).derive("threaded-worker");
+            scope.spawn(move || {
+                let mut objs = vec![0.0; problem.num_objectives()];
+                let mut cons = vec![0.0; problem.num_constraints()];
+                while let Ok(item) = work_rx.recv() {
+                    let t0 = Instant::now();
+                    if let Some(d) = delay {
+                        precise_delay(d.sample(&mut rng));
+                    }
+                    // Fault tolerance: user evaluation code may panic. A
+                    // panicking evaluation is reported as a worst-possible
+                    // result (huge objectives) so the engine's dominance
+                    // machinery discards it naturally and the run — and
+                    // the worker — keep going instead of deadlocking the
+                    // master on a result that never arrives.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        problem.evaluate(&item.variables, &mut objs, &mut cons);
+                    }));
+                    if outcome.is_err() {
+                        objs.iter_mut().for_each(|o| *o = PANIC_OBJECTIVE);
+                        cons.iter_mut().for_each(|c| *c = PANIC_OBJECTIVE);
+                    }
+                    let eval_seconds = t0.elapsed().as_secs_f64();
+                    if result_tx
+                        .send(ResultItem {
+                            id: item.id,
+                            worker: w,
+                            objectives: objs.clone(),
+                            constraints: cons.clone(),
+                            eval_seconds,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx); // master keeps only the receiver
+
+        // Seed one candidate per worker.
+        for _ in 0..config.workers {
+            let t0 = Instant::now();
+            let cand = engine.produce();
+            ta_samples.push(t0.elapsed().as_secs_f64());
+            let id = next_id;
+            next_id += 1;
+            work_tx
+                .send(WorkItem {
+                    id,
+                    variables: cand.variables.clone(),
+                })
+                .expect("workers alive");
+            in_flight.insert(id, cand);
+        }
+
+        // Main master loop.
+        while engine.nfe() < config.max_nfe {
+            let result = result_rx.recv().expect("workers alive while work remains");
+            let _ = result.worker;
+            tf_samples.push(result.eval_seconds);
+            let cand = in_flight.remove(&result.id).expect("unknown result id");
+            let t0 = Instant::now();
+            let sol = engine.make_solution(cand, result.objectives, result.constraints);
+            engine.consume(sol);
+            let mut ta = t0.elapsed().as_secs_f64();
+            if engine.nfe() + (in_flight.len() as u64) < config.max_nfe {
+                let t1 = Instant::now();
+                let cand = engine.produce();
+                ta += t1.elapsed().as_secs_f64();
+                let id = next_id;
+                next_id += 1;
+                work_tx
+                    .send(WorkItem {
+                        id,
+                        variables: cand.variables.clone(),
+                    })
+                    .expect("workers alive");
+                in_flight.insert(id, cand);
+            }
+            ta_samples.push(ta);
+        }
+        drop(work_tx); // workers drain and exit
+        start.elapsed().as_secs_f64()
+    });
+
+    ThreadedRunResult {
+        elapsed,
+        engine,
+        ta_samples,
+        tf_samples,
+    }
+}
+
+/// Estimates the one-way message time `T_C` between two threads on this
+/// machine by ping-ponging `rounds` messages over crossbeam channels and
+/// halving the mean round trip — the thread-level analogue of the paper's
+/// MPI round-trip measurement (they report 6 µs on TACC Ranger).
+pub fn estimate_comm_time(rounds: u32) -> f64 {
+    assert!(rounds >= 1);
+    let (ping_tx, ping_rx) = channel::bounded::<()>(1);
+    let (pong_tx, pong_rx) = channel::bounded::<()>(1);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            while ping_rx.recv().is_ok() {
+                if pong_tx.send(()).is_err() {
+                    break;
+                }
+            }
+        });
+        // Warm-up.
+        for _ in 0..16 {
+            ping_tx.send(()).unwrap();
+            pong_rx.recv().unwrap();
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            ping_tx.send(()).unwrap();
+            pong_rx.recv().unwrap();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        drop(ping_tx);
+        elapsed / rounds as f64 / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_problems::dtlz::Dtlz;
+    use borg_problems::zdt::{Zdt, ZdtVariant};
+
+    #[test]
+    fn threaded_run_completes_exact_nfe() {
+        let problem = Zdt::new(ZdtVariant::Zdt1);
+        let cfg = ThreadedConfig {
+            workers: 4,
+            max_nfe: 2_000,
+            delay: None,
+            seed: 1,
+        };
+        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg);
+        assert_eq!(result.engine.nfe(), 2_000);
+        assert!(result.engine.archive().len() > 5);
+        result.engine.archive().check_invariants().unwrap();
+        assert_eq!(result.tf_samples.len(), 2_000);
+        assert!(result.elapsed > 0.0);
+    }
+
+    #[test]
+    fn threaded_run_converges_like_serial() {
+        let problem = Zdt::with_variables(ZdtVariant::Zdt1, 10);
+        let cfg = ThreadedConfig {
+            workers: 8,
+            max_nfe: 6_000,
+            delay: None,
+            seed: 2,
+        };
+        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg);
+        // Archive close to the true front f2 = 1 − √f1.
+        let worst = result
+            .engine
+            .archive()
+            .solutions()
+            .iter()
+            .map(|s| s.objectives()[1] - (1.0 - s.objectives()[0].max(0.0).sqrt()))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(worst < 0.4, "archive far from front: {worst}");
+    }
+
+    #[test]
+    fn injected_delay_dominates_elapsed_time() {
+        let problem = Dtlz::dtlz2_5();
+        let t_f = 0.002;
+        let nfe = 400u64;
+        let workers = 8usize;
+        let cfg = ThreadedConfig {
+            workers,
+            max_nfe: nfe,
+            delay: Some(Dist::Constant(t_f)),
+            seed: 3,
+        };
+        let result = run_threaded(&problem, BorgConfig::new(5, 0.06), &cfg);
+        let ideal = nfe as f64 * t_f / workers as f64;
+        assert!(result.elapsed >= ideal * 0.9, "{} < {}", result.elapsed, ideal);
+        assert!(
+            result.elapsed < ideal * 3.0,
+            "parallelism not effective: {} vs ideal {}",
+            result.elapsed,
+            ideal
+        );
+        // Measured T_F must reflect the injected delay.
+        let mean_tf = result.tf_samples.iter().sum::<f64>() / result.tf_samples.len() as f64;
+        assert!((mean_tf - t_f).abs() < t_f, "mean T_F {mean_tf}");
+    }
+
+    #[test]
+    fn panicking_evaluations_do_not_deadlock_or_poison_the_archive() {
+        // A problem whose evaluation panics on part of the domain: the run
+        // must still complete the full budget and the archive must contain
+        // only real (non-sentinel) solutions.
+        struct Flaky;
+        impl Problem for Flaky {
+            fn name(&self) -> &str {
+                "Flaky"
+            }
+            fn num_variables(&self) -> usize {
+                2
+            }
+            fn num_objectives(&self) -> usize {
+                2
+            }
+            fn bounds(&self, _i: usize) -> borg_core::problem::Bounds {
+                borg_core::problem::Bounds::unit()
+            }
+            fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {
+                assert!(vars[0] <= 0.9, "injected failure region");
+                objs[0] = vars[0];
+                objs[1] = 1.0 - vars[0] + vars[1];
+            }
+        }
+        // Silence the expected panic backtraces from worker threads.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let cfg = ThreadedConfig {
+            workers: 3,
+            max_nfe: 1_500,
+            delay: None,
+            seed: 11,
+        };
+        let result = run_threaded(&Flaky, BorgConfig::new(2, 0.01), &cfg);
+        std::panic::set_hook(prev_hook);
+        assert_eq!(result.engine.nfe(), 1_500);
+        assert!(!result.engine.archive().is_empty());
+        for s in result.engine.archive().solutions() {
+            assert!(
+                s.objectives().iter().all(|&o| o < crate::threads::PANIC_OBJECTIVE / 2.0),
+                "sentinel leaked into the archive: {:?}",
+                s.objectives()
+            );
+            assert!(s.variables()[0] <= 0.9);
+        }
+    }
+
+    #[test]
+    fn comm_time_estimate_is_plausible() {
+        let tc = estimate_comm_time(200);
+        assert!(tc > 0.0);
+        assert!(tc < 0.01, "thread ping should be far under 10 ms: {tc}");
+    }
+
+    #[test]
+    fn ta_samples_are_recorded_per_interaction() {
+        let problem = Zdt::new(ZdtVariant::Zdt2);
+        let cfg = ThreadedConfig {
+            workers: 2,
+            max_nfe: 500,
+            delay: None,
+            seed: 4,
+        };
+        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg);
+        assert!(result.ta_samples.len() as u64 >= 500);
+        assert!(result.ta_samples.iter().all(|&t| (0.0..1.0).contains(&t)));
+    }
+}

@@ -1,0 +1,453 @@
+//! Virtual-time master-slave executors running the **real** Borg MOEA.
+//!
+//! These executors are the reproduction's "experimental arm" (see
+//! DESIGN.md §2): the actual algorithm — population, ε-archive, operator
+//! adaptation, restarts — runs inside a deterministic discrete-event
+//! simulation of the master-slave topology. Evaluation delays `T_F`,
+//! message times `T_C` and (optionally) algorithm times `T_A` are sampled
+//! from the controlled distributions of the paper's experiment; `T_A` can
+//! instead be *measured* from the real wall-clock cost of the engine's
+//! produce/consume calls, which reproduces the paper's observation that
+//! `T_A` grows with processor count and problem complexity.
+
+use borg_core::algorithm::{BorgConfig, BorgEngine, Candidate};
+use borg_core::problem::Problem;
+use borg_core::rng::SplitMix64;
+use borg_core::solution::Solution;
+use borg_desim::trace::SpanTrace;
+use borg_models::dist::Dist;
+use borg_models::queueing::{run_async, run_sync, MasterSlaveHooks, RunOutcome};
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// How the executor charges master algorithm time `T_A`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaMode {
+    /// Sample from a distribution (like the performance model).
+    Sampled(Dist),
+    /// Measure the real wall-clock time of the engine's produce/consume
+    /// calls and use it as simulated seconds (the "experimental" mode).
+    Measured,
+}
+
+/// Configuration of a virtual-time parallel run.
+#[derive(Debug, Clone)]
+pub struct VirtualConfig {
+    /// Total processors `P` (one master + `P − 1` workers).
+    pub processors: u32,
+    /// Function evaluations to perform.
+    pub max_nfe: u64,
+    /// Evaluation-delay distribution (the paper's controlled `T_F`).
+    pub t_f: Dist,
+    /// One-way message-time distribution.
+    pub t_c: Dist,
+    /// Master algorithm-time source.
+    pub t_a: TaMode,
+    /// Master seed (split into engine / delay streams).
+    pub seed: u64,
+}
+
+impl VirtualConfig {
+    /// The paper's experimental configuration: `T_F ~ Normal(t_f, 0.1 t_f)`,
+    /// `T_C = 6 µs` constant, measured `T_A`.
+    pub fn paper(processors: u32, max_nfe: u64, t_f_mean: f64, seed: u64) -> Self {
+        Self {
+            processors,
+            max_nfe,
+            t_f: Dist::normal_cv(t_f_mean, 0.1),
+            t_c: Dist::Constant(0.000_006),
+            t_a: TaMode::Measured,
+            seed,
+        }
+    }
+}
+
+/// Result of a virtual-time parallel run.
+#[derive(Debug)]
+pub struct VirtualRunResult {
+    /// Queueing outcome (elapsed virtual time, utilization, waits).
+    pub outcome: RunOutcome,
+    /// Final engine state (archive, statistics).
+    pub engine: BorgEngine,
+    /// Measured/sampled `T_A` values (seconds), one per master interaction.
+    pub ta_samples: Vec<f64>,
+    /// Sampled `T_F` values.
+    pub tf_samples: Vec<f64>,
+}
+
+/// A produced candidate with its eagerly computed objectives/constraints,
+/// awaiting its virtual evaluation delay.
+type PendingResult = Option<(Candidate, Vec<f64>, Vec<f64>)>;
+
+/// The hooks wiring a [`BorgEngine`] + [`Problem`] into the queueing engine.
+struct BorgHooks<'p, P: Problem + ?Sized, F> {
+    engine: BorgEngine,
+    problem: &'p P,
+    pending: Vec<PendingResult>,
+    t_f: Dist,
+    t_c: Dist,
+    t_a: TaMode,
+    rng: StdRng,
+    ta_samples: Vec<f64>,
+    tf_samples: Vec<f64>,
+    objs_buf: Vec<f64>,
+    cons_buf: Vec<f64>,
+    observer: F,
+    /// In `Sampled` mode the per-interaction `T_A` is charged once, on
+    /// consume (matching the paper's `hold(T_C + T_A + T_C)` and the
+    /// performance model); only the *initial* productions draw their own
+    /// sample. `Measured` mode charges each call's real cost.
+    seeded: Vec<bool>,
+    /// `Measured` mode: the consume that just pushed a sample expects the
+    /// immediately-following produce (same master hold) to merge into it,
+    /// so `ta_samples` holds *per-interaction* sums — the quantity the
+    /// paper's models call `T_A`.
+    merge_next_produce: bool,
+}
+
+impl<'p, P: Problem + ?Sized, F: FnMut(f64, &BorgEngine)> BorgHooks<'p, P, F> {
+    fn new(problem: &'p P, config: &VirtualConfig, borg: BorgConfig, observer: F) -> Self {
+        let mut split = SplitMix64::new(config.seed);
+        let engine_seed = split.derive_seed("virtual-engine");
+        let rng = split.derive("virtual-delays");
+        let workers = (config.processors - 1) as usize;
+        Self {
+            engine: BorgEngine::new(problem, borg, engine_seed),
+            problem,
+            pending: (0..workers + 1).map(|_| None).collect(),
+            t_f: config.t_f,
+            t_c: config.t_c,
+            t_a: config.t_a,
+            rng,
+            ta_samples: Vec::new(),
+            tf_samples: Vec::new(),
+            objs_buf: vec![0.0; problem.num_objectives()],
+            cons_buf: vec![0.0; problem.num_constraints()],
+            observer,
+            seeded: vec![false; workers + 1],
+            merge_next_produce: false,
+        }
+    }
+
+    fn charge_ta(&mut self, real: f64) -> f64 {
+        let t = match self.t_a {
+            TaMode::Measured => real,
+            TaMode::Sampled(d) => d.sample(&mut self.rng),
+        };
+        self.ta_samples.push(t);
+        t
+    }
+}
+
+impl<'p, P: Problem + ?Sized, F: FnMut(f64, &BorgEngine)> MasterSlaveHooks for BorgHooks<'p, P, F> {
+    fn produce(&mut self, worker: usize, _now: f64) -> f64 {
+        let start = Instant::now();
+        let candidate = self.engine.produce();
+        let real = start.elapsed().as_secs_f64();
+        // The evaluation itself runs eagerly (we are single-threaded); its
+        // *virtual* duration is the sampled T_F charged in
+        // `evaluation_time`, matching the paper's controlled delays.
+        self.problem
+            .evaluate(&candidate.variables, &mut self.objs_buf, &mut self.cons_buf);
+        self.pending[worker] = Some((candidate, self.objs_buf.clone(), self.cons_buf.clone()));
+        match self.t_a {
+            TaMode::Measured => {
+                if self.merge_next_produce {
+                    // Same master hold as the preceding consume: fold into
+                    // that interaction's sample.
+                    self.merge_next_produce = false;
+                    if let Some(last) = self.ta_samples.last_mut() {
+                        *last += real;
+                    }
+                    real
+                } else {
+                    self.ta_samples.push(real);
+                    real
+                }
+            }
+            TaMode::Sampled(_) => {
+                // Sampled T_A is per *interaction* and charged on consume;
+                // only the initial seeding production draws its own sample.
+                if worker < self.seeded.len() && !self.seeded[worker] {
+                    self.seeded[worker] = true;
+                    self.charge_ta(real)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn evaluation_time(&mut self, _worker: usize) -> f64 {
+        let t = self.t_f.sample(&mut self.rng);
+        self.tf_samples.push(t);
+        t
+    }
+
+    fn consume(&mut self, worker: usize, now: f64) -> f64 {
+        let (candidate, objs, cons) = self.pending[worker]
+            .take()
+            .expect("consume without a pending result");
+        let start = Instant::now();
+        let solution: Solution = self.engine.make_solution(candidate, objs, cons);
+        self.engine.consume(solution);
+        let real = start.elapsed().as_secs_f64();
+        (self.observer)(now, &self.engine);
+        let charged = self.charge_ta(real);
+        if matches!(self.t_a, TaMode::Measured) {
+            self.merge_next_produce = true;
+        }
+        charged
+    }
+
+    fn comm_time(&mut self) -> f64 {
+        self.t_c.sample(&mut self.rng)
+    }
+}
+
+/// Runs the asynchronous master-slave Borg MOEA in virtual time.
+///
+/// `observer` fires after every consumed evaluation with the current
+/// virtual time and engine state (use it for hypervolume trajectories).
+pub fn run_virtual_async<P, F>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &VirtualConfig,
+    trace: &mut SpanTrace,
+    observer: F,
+) -> VirtualRunResult
+where
+    P: Problem + ?Sized,
+    F: FnMut(f64, &BorgEngine),
+{
+    assert!(config.processors >= 2, "need a master and at least one worker");
+    let workers = (config.processors - 1) as usize;
+    let mut hooks = BorgHooks::new(problem, config, borg, observer);
+    let outcome = run_async(&mut hooks, workers, config.max_nfe, trace);
+    VirtualRunResult {
+        outcome,
+        engine: hooks.engine,
+        ta_samples: hooks.ta_samples,
+        tf_samples: hooks.tf_samples,
+    }
+}
+
+/// Runs a *generational synchronous* master-slave Borg MOEA in virtual
+/// time (the Cantú-Paz topology used for comparison in §VI-B).
+pub fn run_virtual_sync<P, F>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &VirtualConfig,
+    trace: &mut SpanTrace,
+    observer: F,
+) -> VirtualRunResult
+where
+    P: Problem + ?Sized,
+    F: FnMut(f64, &BorgEngine),
+{
+    assert!(config.processors >= 2);
+    let workers = (config.processors - 1) as usize;
+    let mut hooks = BorgHooks::new(problem, config, borg, observer);
+    let outcome = run_sync(&mut hooks, workers, config.max_nfe, trace);
+    VirtualRunResult {
+        outcome,
+        engine: hooks.engine,
+        ta_samples: hooks.ta_samples,
+        tf_samples: hooks.tf_samples,
+    }
+}
+
+/// Runs the Borg MOEA *serially* while charging the same virtual clock
+/// (`T_S = Σ (T_F + T_A)`), providing the baseline for hypervolume-based
+/// speedup (`S_P^h`, §VI-A).
+pub fn run_virtual_serial<P, F>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &VirtualConfig,
+    mut observer: F,
+) -> VirtualRunResult
+where
+    P: Problem + ?Sized,
+    F: FnMut(f64, &BorgEngine),
+{
+    let mut split = SplitMix64::new(config.seed);
+    let engine_seed = split.derive_seed("virtual-engine");
+    let mut rng = split.derive("virtual-delays");
+    let mut engine = BorgEngine::new(problem, borg, engine_seed);
+    let mut clock = 0.0f64;
+    let mut ta_samples = Vec::new();
+    let mut tf_samples = Vec::new();
+    let mut objs = vec![0.0; problem.num_objectives()];
+    let mut cons = vec![0.0; problem.num_constraints()];
+
+    while engine.nfe() < config.max_nfe {
+        let t0 = Instant::now();
+        let cand = engine.produce();
+        let produce_real = t0.elapsed().as_secs_f64();
+        problem.evaluate(&cand.variables, &mut objs, &mut cons);
+        let sol = engine.make_solution(cand, objs.clone(), cons.clone());
+        let tf = config.t_f.sample(&mut rng);
+        tf_samples.push(tf);
+        clock += tf;
+        let t1 = Instant::now();
+        engine.consume(sol);
+        let consume_real = t1.elapsed().as_secs_f64();
+        let ta = match config.t_a {
+            TaMode::Measured => produce_real + consume_real,
+            TaMode::Sampled(d) => d.sample(&mut rng),
+        };
+        ta_samples.push(ta);
+        clock += ta;
+        observer(clock, &engine);
+    }
+
+    let completed = engine.nfe();
+    VirtualRunResult {
+        outcome: RunOutcome {
+            elapsed: clock,
+            completed,
+            master_busy: clock,
+            master_utilization: 1.0,
+            mean_wait: 0.0,
+            max_wait: 0.0,
+            max_queue: 0,
+        },
+        engine,
+        ta_samples,
+        tf_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_models::analytical::{async_parallel_time, relative_error, TimingParams};
+    use borg_problems::dtlz::Dtlz;
+
+    fn borg_cfg() -> BorgConfig {
+        BorgConfig::new(5, 0.06)
+    }
+
+    fn sampled_config(p: u32, nfe: u64, tf: f64, ta: f64) -> VirtualConfig {
+        VirtualConfig {
+            processors: p,
+            max_nfe: nfe,
+            t_f: Dist::Constant(tf),
+            t_c: Dist::Constant(0.000_006),
+            t_a: TaMode::Sampled(Dist::Constant(ta)),
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn async_run_completes_and_converges() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(16, 5_000, 0.01, 0.000_03);
+        let mut count = 0u64;
+        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {
+            count += 1;
+        });
+        assert_eq!(result.outcome.completed, 5_000);
+        assert_eq!(count, 5_000);
+        assert_eq!(result.engine.nfe(), 5_000);
+        assert!(result.engine.archive().len() > 10);
+        result.engine.archive().check_invariants().unwrap();
+        // ta: one per interaction + seeding; tf: one per dispatched work.
+        assert!(result.ta_samples.len() as u64 >= 5_000);
+    }
+
+    #[test]
+    fn sampled_times_match_analytical_model_below_saturation() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(16, 5_000, 0.01, 0.000_03);
+        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let t = TimingParams::new(0.01, 0.000_006, 0.000_03);
+        let eq2 = async_parallel_time(5_000, 16, t);
+        assert!(
+            relative_error(result.outcome.elapsed, eq2) < 0.01,
+            "virtual {} vs Eq.2 {}",
+            result.outcome.elapsed,
+            eq2
+        );
+    }
+
+    #[test]
+    fn virtual_async_is_deterministic_with_sampled_ta() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(8, 2_000, 0.001, 0.000_03);
+        let a = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let b = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        assert_eq!(a.outcome.elapsed, b.outcome.elapsed);
+        assert_eq!(
+            a.engine.archive().objective_vectors(),
+            b.engine.archive().objective_vectors()
+        );
+    }
+
+    #[test]
+    fn measured_ta_grows_with_archive_activity() {
+        // With TaMode::Measured the early interactions (tiny archive) must
+        // be cheaper on average than late ones (big archive + adaptation).
+        let problem = Dtlz::dtlz2_5();
+        let cfg = VirtualConfig {
+            processors: 8,
+            max_nfe: 6_000,
+            t_f: Dist::Constant(0.001),
+            t_c: Dist::Constant(0.000_006),
+            t_a: TaMode::Measured,
+            seed: 5,
+        };
+        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let n = result.ta_samples.len();
+        let early: f64 = result.ta_samples[..n / 4].iter().sum::<f64>() / (n / 4) as f64;
+        let late: f64 = result.ta_samples[3 * n / 4..].iter().sum::<f64>() / (n - 3 * n / 4) as f64;
+        assert!(early > 0.0 && late > 0.0);
+        // Not asserting a strict ordering (wall clock is noisy) but the
+        // samples must be in a sane microsecond-ish range.
+        assert!(result.ta_samples.iter().all(|&t| t < 0.1));
+    }
+
+    #[test]
+    fn serial_baseline_charges_tf_plus_ta() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(2, 3_000, 0.01, 0.000_05);
+        let result = run_virtual_serial(&problem, borg_cfg(), &cfg, |_, _| {});
+        let expect = 3_000.0 * (0.01 + 0.000_05);
+        assert!(relative_error(result.outcome.elapsed, expect) < 1e-9);
+        assert_eq!(result.engine.nfe(), 3_000);
+    }
+
+    #[test]
+    fn parallel_beats_serial_on_virtual_clock() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(16, 4_000, 0.01, 0.000_03);
+        let par = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let ser = run_virtual_serial(&problem, borg_cfg(), &cfg, |_, _| {});
+        let speedup = ser.outcome.elapsed / par.outcome.elapsed;
+        assert!(speedup > 10.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn sync_executor_runs_generationally() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(8, 2_000, 0.01, 0.000_03);
+        let result = run_virtual_sync(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        assert!(result.outcome.completed >= 2_000);
+        assert!(result.engine.archive().len() > 5);
+    }
+
+    #[test]
+    fn observer_sees_monotone_time_and_nfe() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(4, 1_000, 0.005, 0.000_02);
+        let mut last_t = -1.0;
+        let mut last_nfe = 0;
+        run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |t, e| {
+            assert!(t >= last_t, "time went backwards");
+            assert!(e.nfe() > last_nfe || last_nfe == 0);
+            last_t = t;
+            last_nfe = e.nfe();
+        });
+        assert_eq!(last_nfe, 1_000);
+    }
+}

@@ -1,0 +1,305 @@
+//! The C-DTLZ constrained test suite (Jain & Deb, IEEE TEC 2014).
+//!
+//! Constrained variants of the DTLZ problems, exercising the
+//! constrained-dominance path of the Borg MOEA (feasibility-first
+//! comparison, infeasible-placeholder archive) on standard benchmarks:
+//!
+//! * **C1-DTLZ1** — type-1 (the constraint cuts away the region just above
+//!   the front; the front itself stays feasible);
+//! * **C1-DTLZ3** — type-1 with a feasibility *band* far from the front;
+//! * **C2-DTLZ2** — type-2 (only spherical patches of the front remain
+//!   feasible — a disconnected feasible front);
+//! * **C3-DTLZ4** — type-3 (the constraints themselves define the new
+//!   front, which lies *outside* the unconstrained one).
+//!
+//! Constraint convention matches `borg-core`: values `<= 0` are feasible.
+
+use crate::dtlz::{Dtlz, DtlzVariant};
+use borg_core::problem::{Bounds, Problem};
+
+/// Which constrained variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdtlzVariant {
+    /// Type-1 constraint on DTLZ1.
+    C1Dtlz1,
+    /// Type-1 band constraint on DTLZ3.
+    C1Dtlz3,
+    /// Type-2 disconnected-front constraint on DTLZ2.
+    C2Dtlz2,
+    /// Type-3 multi-constraint front on DTLZ4.
+    C3Dtlz4,
+}
+
+/// A C-DTLZ problem instance.
+#[derive(Debug, Clone)]
+pub struct Cdtlz {
+    variant: CdtlzVariant,
+    inner: Dtlz,
+    name: String,
+}
+
+impl Cdtlz {
+    /// Creates a C-DTLZ instance with `m` objectives and the standard
+    /// distance-variable counts of the underlying DTLZ problem.
+    pub fn new(variant: CdtlzVariant, m: usize) -> Self {
+        let (inner, idx) = match variant {
+            CdtlzVariant::C1Dtlz1 => (Dtlz::new(DtlzVariant::Dtlz1, m), "C1-DTLZ1"),
+            CdtlzVariant::C1Dtlz3 => (Dtlz::new(DtlzVariant::Dtlz3, m), "C1-DTLZ3"),
+            CdtlzVariant::C2Dtlz2 => (Dtlz::new(DtlzVariant::Dtlz2, m), "C2-DTLZ2"),
+            CdtlzVariant::C3Dtlz4 => (Dtlz::new(DtlzVariant::Dtlz4, m), "C3-DTLZ4"),
+        };
+        Self {
+            variant,
+            inner,
+            name: format!("{idx}_{m}"),
+        }
+    }
+
+    /// The variant.
+    pub fn variant(&self) -> CdtlzVariant {
+        self.variant
+    }
+
+    /// C2-DTLZ2's feasible-patch radius (Jain & Deb: 0.4 for M = 3,
+    /// 0.5 otherwise).
+    fn c2_radius(m: usize) -> f64 {
+        if m == 3 {
+            0.4
+        } else {
+            0.5
+        }
+    }
+
+    /// C1-DTLZ3's band radius parameter (Jain & Deb, Table V).
+    fn c1_dtlz3_radius(m: usize) -> f64 {
+        match m {
+            2 | 3 => 9.0,
+            4..=8 => 12.5,
+            _ => 15.0,
+        }
+    }
+}
+
+impl Problem for Cdtlz {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_variables(&self) -> usize {
+        self.inner.num_variables()
+    }
+
+    fn num_objectives(&self) -> usize {
+        self.inner.num_objectives()
+    }
+
+    fn num_constraints(&self) -> usize {
+        match self.variant {
+            CdtlzVariant::C3Dtlz4 => self.inner.num_objectives(),
+            _ => 1,
+        }
+    }
+
+    fn bounds(&self, i: usize) -> Bounds {
+        self.inner.bounds(i)
+    }
+
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], cons: &mut [f64]) {
+        self.inner.evaluate(vars, objs, &mut []);
+        let m = objs.len();
+        match self.variant {
+            CdtlzVariant::C1Dtlz1 => {
+                // Feasible when c = 1 − f_M/0.6 − Σ_{i<M} f_i/0.5 ≥ 0.
+                let c = 1.0
+                    - objs[m - 1] / 0.6
+                    - objs[..m - 1].iter().map(|f| f / 0.5).sum::<f64>();
+                cons[0] = -c;
+            }
+            CdtlzVariant::C1Dtlz3 => {
+                // Feasible when (Σf² − 16)(Σf² − r²) ≥ 0: inside the inner
+                // sphere (near the front) or outside the big band.
+                let r = Self::c1_dtlz3_radius(m);
+                let sum_sq: f64 = objs.iter().map(|f| f * f).sum();
+                let c = (sum_sq - 16.0) * (sum_sq - r * r);
+                cons[0] = -c;
+            }
+            CdtlzVariant::C2Dtlz2 => {
+                // Feasible when inside one of the M spheres of radius r
+                // centred at the unit axis points, or the sphere centred at
+                // (1/√M, …): c = min over those distances − r² ≤ 0.
+                let r = Self::c2_radius(m);
+                let axis_min = (0..m)
+                    .map(|i| {
+                        objs.iter()
+                            .enumerate()
+                            .map(|(j, &f)| if i == j { (f - 1.0) * (f - 1.0) } else { f * f })
+                            .sum::<f64>()
+                            - r * r
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                let center = 1.0 / (m as f64).sqrt();
+                let middle = objs.iter().map(|&f| (f - center) * (f - center)).sum::<f64>()
+                    - r * r;
+                cons[0] = axis_min.min(middle);
+            }
+            CdtlzVariant::C3Dtlz4 => {
+                // Feasible when f_i²/4 + Σ_{j≠i} f_j² ≥ 1 for every i.
+                for (i, con) in cons.iter_mut().enumerate().take(m) {
+                    let c = objs
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &f)| if i == j { f * f / 4.0 } else { f * f })
+                        .sum::<f64>()
+                        - 1.0;
+                    *con = -c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(p: &Cdtlz, vars: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut objs = vec![0.0; p.num_objectives()];
+        let mut cons = vec![0.0; p.num_constraints()];
+        p.evaluate(vars, &mut objs, &mut cons);
+        (objs, cons)
+    }
+
+    /// Optimal distance variables + given position variables.
+    fn vars(p: &Cdtlz, pos: &[f64], xm: f64) -> Vec<f64> {
+        let mut v = pos.to_vec();
+        v.extend(std::iter::repeat_n(xm, p.num_variables() - pos.len()));
+        v
+    }
+
+    #[test]
+    fn names_and_dimensions() {
+        let p = Cdtlz::new(CdtlzVariant::C2Dtlz2, 3);
+        assert_eq!(p.name(), "C2-DTLZ2_3");
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.num_variables(), 12);
+        let p3 = Cdtlz::new(CdtlzVariant::C3Dtlz4, 3);
+        assert_eq!(p3.num_constraints(), 3);
+    }
+
+    #[test]
+    fn c1_dtlz1_front_is_feasible_but_inflated_points_are_not() {
+        let p = Cdtlz::new(CdtlzVariant::C1Dtlz1, 3);
+        // On the front (g = 0, Σf = 0.5): c = 1 − f3/0.6 − (f1+f2)/0.5 …
+        // with f = (0.1, 0.15, 0.25): 1 − 0.4167 − 0.5 = 0.083 ≥ 0 feasible.
+        let (objs, cons) = eval(&p, &vars(&p, &[0.5, 0.6], 0.5));
+        assert!((objs.iter().sum::<f64>() - 0.5).abs() < 1e-9);
+        assert!(cons[0] <= 0.0, "front point infeasible: {cons:?}");
+        // Far above the front (g large): infeasible.
+        let (_, cons) = eval(&p, &vars(&p, &[0.5, 0.6], 0.0));
+        assert!(cons[0] > 0.0, "inflated point should violate: {cons:?}");
+    }
+
+    #[test]
+    fn c1_dtlz3_has_a_feasible_inner_region_and_infeasible_band() {
+        let p = Cdtlz::new(CdtlzVariant::C1Dtlz3, 3);
+        // On the true front Σf² = 1 < 16: feasible.
+        let (_, cons) = eval(&p, &vars(&p, &[0.3, 0.7], 0.5));
+        assert!(cons[0] <= 0.0);
+        // In the band 16 < Σf² < 81 the product flips sign: infeasible.
+        // DTLZ3's Rastrigin-like g is steep: tiny offsets from the 0.5
+        // optimum already inflate Σf² into the band.
+        let mut found_band = false;
+        for xm in [0.5012, 0.5015, 0.502, 0.5025, 0.503] {
+            let (objs, cons) = eval(&p, &vars(&p, &[0.3, 0.7], xm));
+            let s: f64 = objs.iter().map(|f| f * f).sum();
+            if s > 16.0 && s < 81.0 {
+                found_band = true;
+                assert!(cons[0] > 0.0, "band point should violate (Σf²={s})");
+            }
+        }
+        assert!(found_band, "test never sampled the band");
+    }
+
+    #[test]
+    fn c2_dtlz2_keeps_axis_patches_feasible() {
+        let p = Cdtlz::new(CdtlzVariant::C2Dtlz2, 3);
+        // The corner point f = (1, 0, 0) sits at an axis sphere center.
+        let (objs, cons) = eval(&p, &vars(&p, &[0.0, 0.0], 0.5));
+        assert!((objs[0] - 1.0).abs() < 1e-9);
+        assert!(cons[0] <= 0.0, "axis patch must be feasible");
+        // The middle of an edge (45° in the f1–f2 plane, f3 = 0) is outside
+        // every radius-0.4 sphere: infeasible. pos = (0, 0.5) gives
+        // f = (cos(π/4), sin(π/4), 0).
+        let (objs, cons) = eval(&p, &vars(&p, &[0.0, 0.5], 0.5));
+        assert!(objs[2] < 1e-9, "expected f3 = 0, got {objs:?}");
+        assert!(cons[0] > 0.0, "edge midpoint should violate: {objs:?} {cons:?}");
+    }
+
+    #[test]
+    fn c3_dtlz4_unconstrained_front_is_infeasible() {
+        let p = Cdtlz::new(CdtlzVariant::C3Dtlz4, 3);
+        // Points on the unit sphere violate (the C3 front lies outside it)…
+        let (objs, cons) = eval(&p, &vars(&p, &[1.0, 0.5], 0.5));
+        let r2: f64 = objs.iter().map(|f| f * f).sum();
+        assert!((r2 - 1.0).abs() < 1e-9);
+        assert!(cons.iter().any(|&c| c > 0.0), "sphere point should violate");
+        // …while suitably inflated points are feasible: scale objectives by
+        // pushing g up. f = 2·(unit vector along f1): constraint i=0 gives
+        // 4/4 + 0 − 1 = 0 (boundary-feasible), others 4 − 1 ≥ 0.
+        let (objs2, cons2) = eval(&p, &vars(&p, &[0.0, 0.0], 1.0));
+        let r2b: f64 = objs2.iter().map(|f| f * f).sum();
+        assert!(r2b > 1.5, "inflated point expected, got {objs2:?}");
+        assert!(cons2.iter().all(|&c| c <= 1e-9), "{objs2:?} {cons2:?}");
+    }
+
+    #[test]
+    fn borg_finds_feasible_solutions_on_all_variants() {
+        use borg_core::prelude::*;
+        for (variant, eps) in [
+            (CdtlzVariant::C1Dtlz1, 0.02),
+            (CdtlzVariant::C2Dtlz2, 0.05),
+            (CdtlzVariant::C3Dtlz4, 0.05),
+        ] {
+            let p = Cdtlz::new(variant, 3);
+            let engine = run_serial(&p, BorgConfig::new(3, eps), 17, 8_000, |_| {});
+            assert!(!engine.archive().is_empty(), "{variant:?}: empty archive");
+            let feasible = engine.archive().solutions().iter().filter(|s| s.is_feasible()).count();
+            if feasible == 0 {
+                // C1-DTLZ1's feasible region requires near-convergence of
+                // DTLZ1's multimodal g; within a small budget the archive
+                // legitimately holds only the single least-violating
+                // placeholder (the documented constraint-handling rule).
+                assert_eq!(
+                    engine.archive().len(),
+                    1,
+                    "{variant:?}: infeasible archive must be a single placeholder"
+                );
+            } else {
+                assert_eq!(
+                    feasible,
+                    engine.archive().len(),
+                    "{variant:?}: archive mixed feasible and infeasible members"
+                );
+            }
+            engine.archive().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn constrained_dominance_prefers_less_violation() {
+        use borg_core::dominance::{constrained_dominance, Dominance};
+        use borg_core::solution::Solution;
+        let p = Cdtlz::new(CdtlzVariant::C2Dtlz2, 3);
+        let mk = |pos: &[f64], xm: f64| {
+            let v = vars(&p, pos, xm);
+            let (objs, cons) = eval(&p, &v);
+            Solution::from_parts(v, objs, cons)
+        };
+        let feasible = mk(&[0.0, 0.0], 0.5); // axis patch
+        let infeasible = mk(&[0.5, 1.0], 0.5); // edge midpoint
+        assert_eq!(
+            constrained_dominance(&feasible, &infeasible),
+            Dominance::Dominates
+        );
+    }
+}

@@ -1,0 +1,697 @@
+//! The WFG test suite (Huband, Hingston, Barone & While, IEEE TEC 2006).
+//!
+//! WFG problems compose a pipeline of *transition* transformations over
+//! scaled decision variables (`z_i ∈ [0, 2i]`, normalized to `y ∈ [0,1]`),
+//! then apply *shape* functions to build the objectives:
+//!
+//! ```text
+//! z → normalize → t¹ → … → tᵖ → x → f_m = x_M + S_m h_m(x_1 … x_{M−1})
+//! ```
+//!
+//! with `S_m = 2m`. WFG1 is reused by the CEC 2009 competition as **UF13**
+//! (`WFG1_M5`); WFG2–WFG9 complete the toolkit (non-separability,
+//! multimodality, deception, parameter-dependent bias, degenerate and
+//! disconnected fronts).
+//!
+//! Conventions: `k` position parameters (a multiple of `M − 1`), `l`
+//! distance parameters (even, as WFG2/3 require pairs), `n = k + l`.
+
+use borg_core::problem::{Bounds, Problem};
+use std::f64::consts::PI;
+
+// ---------------------------------------------------------------------
+// Transformation functions (WFG paper, Table 1)
+// ---------------------------------------------------------------------
+
+/// `s_linear(y, A)`: shift mapping the optimum to `y = A`.
+pub fn s_linear(y: f64, a: f64) -> f64 {
+    (y - a).abs() / ((a - y).floor() + a).abs()
+}
+
+/// `s_decept(y, A, B, C)`: deceptive shift with a global optimum at `A`
+/// and deceptive basins on either side.
+pub fn s_decept(y: f64, a: f64, b: f64, c: f64) -> f64 {
+    let tmp1 = (y - a + b).floor() * (1.0 - c + (a - b) / b) / (a - b);
+    let tmp2 = (a + b - y).floor() * (1.0 - c + (1.0 - a - b) / b) / (1.0 - a - b);
+    1.0 + ((y - a).abs() - b) * (tmp1 + tmp2 + 1.0 / b)
+}
+
+/// `s_multi(y, A, B, C)`: multimodal shift with `A` minima and hill size
+/// controlled by `B`, optimum at `C`.
+pub fn s_multi(y: f64, a: f64, b: f64, c: f64) -> f64 {
+    let tmp1 = (y - c).abs() / (2.0 * ((c - y).floor() + c));
+    let tmp2 = (4.0 * a + 2.0) * PI * (0.5 - tmp1);
+    (1.0 + tmp2.cos() + 4.0 * b * tmp1 * tmp1) / (b + 2.0)
+}
+
+/// `b_flat(y, A, B, C)`: flat-region bias.
+pub fn b_flat(y: f64, a: f64, b: f64, c: f64) -> f64 {
+    let v = a + ((y - b).floor().min(0.0)) * a * (b - y) / b
+        - ((c - y).floor().min(0.0)) * (1.0 - a) * (y - c) / (1.0 - c);
+    // Numerical guard: the expression is mathematically within [0, 1].
+    v.clamp(0.0, 1.0)
+}
+
+/// `b_poly(y, α)`: polynomial bias.
+pub fn b_poly(y: f64, alpha: f64) -> f64 {
+    y.max(0.0).powf(alpha)
+}
+
+/// `b_param(y, u, A, B, C)`: parameter-dependent bias — `y`'s effective
+/// exponent depends on another (reduced) parameter `u`.
+pub fn b_param(y: f64, u: f64, a: f64, b: f64, c: f64) -> f64 {
+    let v = a - (1.0 - 2.0 * u) * ((0.5 - u).floor() + a).abs();
+    y.max(0.0).powf(b + (c - b) * v)
+}
+
+/// `r_sum(ys, ws)`: weighted-sum reduction.
+pub fn r_sum(ys: &[f64], ws: &[f64]) -> f64 {
+    debug_assert_eq!(ys.len(), ws.len());
+    let num: f64 = ys.iter().zip(ws).map(|(y, w)| y * w).sum();
+    let den: f64 = ws.iter().sum();
+    num / den
+}
+
+/// `r_nonsep(ys, A)`: non-separable reduction of degree `A`
+/// (`A = 1` degenerates to the plain mean).
+pub fn r_nonsep(ys: &[f64], a: usize) -> f64 {
+    let n = ys.len();
+    debug_assert!(a >= 1 && n.is_multiple_of(a));
+    let mut num = 0.0;
+    for j in 0..n {
+        num += ys[j];
+        for k in 0..a.saturating_sub(1) {
+            num += (ys[j] - ys[(j + k + 1) % n]).abs();
+        }
+    }
+    let half_up = a.div_ceil(2) as f64;
+    let den = (n as f64 / a as f64) * half_up * (1.0 + 2.0 * a as f64 - 2.0 * half_up);
+    num / den
+}
+
+// ---------------------------------------------------------------------
+// Shape functions (WFG paper, Table 2)
+// ---------------------------------------------------------------------
+
+/// Linear shape `h_m` (front on the simplex Σ f_m/S_m = 1).
+pub fn shape_linear(x: &[f64], m_index: usize) -> f64 {
+    let m = x.len() + 1;
+    let mut h = 1.0;
+    for &xi in x.iter().take(m - m_index) {
+        h *= xi;
+    }
+    if m_index > 1 {
+        h *= 1.0 - x[m - m_index];
+    }
+    h
+}
+
+/// Convex shape `h_m`.
+pub fn shape_convex(x: &[f64], m_index: usize) -> f64 {
+    let m = x.len() + 1;
+    let mut h = 1.0;
+    for &xi in x.iter().take(m - m_index) {
+        h *= 1.0 - (xi * PI / 2.0).cos();
+    }
+    if m_index > 1 {
+        h *= 1.0 - (x[m - m_index] * PI / 2.0).sin();
+    }
+    h
+}
+
+/// Concave shape `h_m` (front on the unit hypersphere Σ (f_m/S_m)² = 1).
+pub fn shape_concave(x: &[f64], m_index: usize) -> f64 {
+    let m = x.len() + 1;
+    let mut h = 1.0;
+    for &xi in x.iter().take(m - m_index) {
+        h *= (xi * PI / 2.0).sin();
+    }
+    if m_index > 1 {
+        h *= (x[m - m_index] * PI / 2.0).cos();
+    }
+    h
+}
+
+/// Mixed convex/concave shape (A segments), used by WFG1's last objective.
+pub fn shape_mixed(x1: f64, a: f64, alpha: f64) -> f64 {
+    (1.0 - x1 - (2.0 * a * PI * x1 + PI / 2.0).cos() / (2.0 * a * PI))
+        .max(0.0)
+        .powf(alpha)
+}
+
+/// Disconnected shape (A regions), used by WFG2's last objective.
+pub fn shape_disc(x1: f64, a: f64, alpha: f64, beta: f64) -> f64 {
+    (1.0 - x1.powf(alpha) * (a * x1.powf(beta) * PI).cos().powi(2)).max(0.0)
+}
+
+// ---------------------------------------------------------------------
+// The problems
+// ---------------------------------------------------------------------
+
+/// Which WFG instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WfgVariant {
+    /// Biased (flat region + polynomial), convex/mixed front. = UF13.
+    Wfg1,
+    /// Non-separable, convex/disconnected front.
+    Wfg2,
+    /// Non-separable, linear *degenerate* front.
+    Wfg3,
+    /// Multimodal, concave front.
+    Wfg4,
+    /// Deceptive, concave front.
+    Wfg5,
+    /// Non-separable reduction, concave front.
+    Wfg6,
+    /// Parameter-dependent position bias, concave front.
+    Wfg7,
+    /// Parameter-dependent distance bias, concave front.
+    Wfg8,
+    /// Parameter-dependent bias + deception + multimodality, non-separable.
+    Wfg9,
+}
+
+impl WfgVariant {
+    /// All nine variants.
+    pub fn all() -> [WfgVariant; 9] {
+        [
+            WfgVariant::Wfg1,
+            WfgVariant::Wfg2,
+            WfgVariant::Wfg3,
+            WfgVariant::Wfg4,
+            WfgVariant::Wfg5,
+            WfgVariant::Wfg6,
+            WfgVariant::Wfg7,
+            WfgVariant::Wfg8,
+            WfgVariant::Wfg9,
+        ]
+    }
+}
+
+/// A WFG problem instance.
+#[derive(Debug, Clone)]
+pub struct Wfg {
+    variant: WfgVariant,
+    m: usize,
+    k: usize,
+    l: usize,
+    name: String,
+}
+
+/// Backwards-compatible alias for the WFG1 constructor type.
+pub type Wfg1 = Wfg;
+
+impl Wfg {
+    /// Creates a WFG instance with `m` objectives, `k` position and `l`
+    /// distance parameters. `k` must be a positive multiple of `m − 1`;
+    /// `l` must be even (WFG2/3 reduce distance parameters in pairs).
+    pub fn new(variant: WfgVariant, m: usize, k: usize, l: usize) -> Self {
+        assert!(m >= 2, "WFG needs at least two objectives");
+        assert!(k >= 1 && k.is_multiple_of(m - 1), "k must be a multiple of M - 1");
+        assert!(l >= 2 && l.is_multiple_of(2), "l must be even and >= 2");
+        let idx = WfgVariant::all().iter().position(|&v| v == variant).unwrap() + 1;
+        Self {
+            variant,
+            m,
+            k,
+            l,
+            name: format!("WFG{idx}_{m}"),
+        }
+    }
+
+    /// The CEC 2009 UF13 instance: `WFG1_M5` with `k = 8`, `l = 22`.
+    pub fn uf13() -> Self {
+        let mut p = Self::new(WfgVariant::Wfg1, 5, 8, 22);
+        p.name = "UF13".into();
+        p
+    }
+
+    /// The variant.
+    pub fn variant(&self) -> WfgVariant {
+        self.variant
+    }
+
+    /// Number of position parameters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Degeneracy constants `A_m`: all 1 except WFG3 (`A = (1, 0, …, 0)`).
+    fn degeneracy(&self, i: usize) -> f64 {
+        if self.variant == WfgVariant::Wfg3 && i > 0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Applies the variant's transition pipeline, producing the `M`
+    /// transition values `t`.
+    fn transition(&self, y: &mut [f64]) -> Vec<f64> {
+        let (k, l, m) = (self.k, self.l, self.m);
+        let n = k + l;
+        match self.variant {
+            WfgVariant::Wfg1 => {
+                for yi in y.iter_mut().skip(k) {
+                    *yi = s_linear(*yi, 0.35);
+                }
+                for yi in y.iter_mut().skip(k) {
+                    *yi = b_flat(*yi, 0.8, 0.75, 0.85);
+                }
+                for yi in y.iter_mut() {
+                    *yi = b_poly(*yi, 0.02);
+                }
+                let mut t = self.reduce_weighted(y);
+                t.push(r_sum(
+                    &y[k..],
+                    &(k..n).map(|j| 2.0 * (j + 1) as f64).collect::<Vec<_>>(),
+                ));
+                t
+            }
+            WfgVariant::Wfg2 | WfgVariant::Wfg3 => {
+                for yi in y.iter_mut().skip(k) {
+                    *yi = s_linear(*yi, 0.35);
+                }
+                // Pairwise non-separable reduction of the distance block.
+                let mut reduced: Vec<f64> = y[..k].to_vec();
+                for j in 0..l / 2 {
+                    reduced.push(r_nonsep(&y[k + 2 * j..k + 2 * j + 2], 2));
+                }
+                let mut t = self.reduce_uniform(&reduced[..k], m, k);
+                t.push(r_sum(&reduced[k..], &vec![1.0; l / 2]));
+                t
+            }
+            WfgVariant::Wfg4 => {
+                for yi in y.iter_mut() {
+                    *yi = s_multi(*yi, 30.0, 10.0, 0.35);
+                }
+                self.reduce_with_distance(y)
+            }
+            WfgVariant::Wfg5 => {
+                for yi in y.iter_mut() {
+                    *yi = s_decept(*yi, 0.35, 0.001, 0.05);
+                }
+                self.reduce_with_distance(y)
+            }
+            WfgVariant::Wfg6 => {
+                for yi in y.iter_mut().skip(k) {
+                    *yi = s_linear(*yi, 0.35);
+                }
+                let group = k / (m - 1);
+                let mut t: Vec<f64> = (0..m - 1)
+                    .map(|g| r_nonsep(&y[g * group..(g + 1) * group], group))
+                    .collect();
+                t.push(r_nonsep(&y[k..], l));
+                t
+            }
+            WfgVariant::Wfg7 => {
+                // Position bias depends on the *sum of all later* params.
+                let snapshot = y.to_vec();
+                for i in 0..k {
+                    let u = r_sum(&snapshot[i + 1..], &vec![1.0; n - i - 1]);
+                    y[i] = b_param(y[i], u, 0.98 / 49.98, 0.02, 50.0);
+                }
+                for yi in y.iter_mut().skip(k) {
+                    *yi = s_linear(*yi, 0.35);
+                }
+                self.reduce_with_distance(y)
+            }
+            WfgVariant::Wfg8 => {
+                // Distance bias depends on the sum of all *earlier* params.
+                let snapshot = y.to_vec();
+                for i in k..n {
+                    let u = r_sum(&snapshot[..i], &vec![1.0; i]);
+                    y[i] = b_param(y[i], u, 0.98 / 49.98, 0.02, 50.0);
+                }
+                for yi in y.iter_mut().skip(k) {
+                    *yi = s_linear(*yi, 0.35);
+                }
+                self.reduce_with_distance(y)
+            }
+            WfgVariant::Wfg9 => {
+                let snapshot = y.to_vec();
+                for i in 0..n - 1 {
+                    let u = r_sum(&snapshot[i + 1..], &vec![1.0; n - i - 1]);
+                    y[i] = b_param(y[i], u, 0.98 / 49.98, 0.02, 50.0);
+                }
+                for yi in y.iter_mut().take(k) {
+                    *yi = s_decept(*yi, 0.35, 0.001, 0.05);
+                }
+                for yi in y.iter_mut().skip(k) {
+                    *yi = s_multi(*yi, 30.0, 95.0, 0.35);
+                }
+                let group = k / (m - 1);
+                let mut t: Vec<f64> = (0..m - 1)
+                    .map(|g| r_nonsep(&y[g * group..(g + 1) * group], group))
+                    .collect();
+                t.push(r_nonsep(&y[k..], l));
+                t
+            }
+        }
+    }
+
+    /// WFG1-style reduction: weighted sums (`w_j = 2j`) of position groups.
+    fn reduce_weighted(&self, y: &[f64]) -> Vec<f64> {
+        let group = self.k / (self.m - 1);
+        (0..self.m - 1)
+            .map(|g| {
+                let lo = g * group;
+                let hi = (g + 1) * group;
+                let ws: Vec<f64> = (lo..hi).map(|j| 2.0 * (j + 1) as f64).collect();
+                r_sum(&y[lo..hi], &ws)
+            })
+            .collect()
+    }
+
+    /// Uniform-weight reduction of position groups.
+    fn reduce_uniform(&self, pos: &[f64], m: usize, k: usize) -> Vec<f64> {
+        let group = k / (m - 1);
+        (0..m - 1)
+            .map(|g| r_sum(&pos[g * group..(g + 1) * group], &vec![1.0; group]))
+            .collect()
+    }
+
+    /// Uniform reduction of position groups + the whole distance block.
+    fn reduce_with_distance(&self, y: &[f64]) -> Vec<f64> {
+        let mut t = self.reduce_uniform(&y[..self.k], self.m, self.k);
+        t.push(r_sum(&y[self.k..], &vec![1.0; self.l]));
+        t
+    }
+}
+
+impl Problem for Wfg {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_variables(&self) -> usize {
+        self.k + self.l
+    }
+
+    fn num_objectives(&self) -> usize {
+        self.m
+    }
+
+    fn bounds(&self, i: usize) -> Bounds {
+        Bounds::new(0.0, 2.0 * (i + 1) as f64)
+    }
+
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {
+        let m = self.m;
+        let mut y: Vec<f64> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| (z / (2.0 * (i + 1) as f64)).clamp(0.0, 1.0))
+            .collect();
+        let t = self.transition(&mut y);
+
+        let t_m = t[m - 1].clamp(0.0, 1.0);
+        let x: Vec<f64> = (0..m - 1)
+            .map(|i| t_m.max(self.degeneracy(i)) * (t[i].clamp(0.0, 1.0) - 0.5) + 0.5)
+            .collect();
+
+        for (idx, obj) in objs.iter_mut().enumerate() {
+            let s = 2.0 * (idx + 1) as f64;
+            let h = match self.variant {
+                WfgVariant::Wfg1 => {
+                    if idx + 1 < m {
+                        shape_convex(&x, idx + 1)
+                    } else {
+                        shape_mixed(x[0], 5.0, 1.0)
+                    }
+                }
+                WfgVariant::Wfg2 => {
+                    if idx + 1 < m {
+                        shape_convex(&x, idx + 1)
+                    } else {
+                        shape_disc(x[0], 5.0, 1.0, 1.0)
+                    }
+                }
+                WfgVariant::Wfg3 => shape_linear(&x, idx + 1),
+                _ => shape_concave(&x, idx + 1),
+            };
+            *obj = t_m + s * h;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(p: &Wfg, vars: &[f64]) -> Vec<f64> {
+        let mut objs = vec![0.0; p.num_objectives()];
+        p.evaluate(vars, &mut objs, &mut []);
+        objs
+    }
+
+    /// Distance parameters at their WFG optimum `z_i = 0.35 · 2i`.
+    fn optimal_vars(p: &Wfg, pos: f64) -> Vec<f64> {
+        (0..p.num_variables())
+            .map(|i| {
+                let scale = 2.0 * (i + 1) as f64;
+                if i < p.k() {
+                    pos * scale
+                } else {
+                    0.35 * scale
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uf13_dimensions() {
+        let p = Wfg::uf13();
+        assert_eq!(p.name(), "UF13");
+        assert_eq!(p.num_variables(), 30);
+        assert_eq!(p.num_objectives(), 5);
+        assert_eq!(p.bounds(0), Bounds::new(0.0, 2.0));
+        assert_eq!(p.bounds(29), Bounds::new(0.0, 60.0));
+    }
+
+    #[test]
+    fn transformations_have_documented_fixed_points() {
+        assert!(s_linear(0.35, 0.35).abs() < 1e-12);
+        assert!((s_linear(0.0, 0.35) - 1.0).abs() < 1e-12);
+        assert!((s_linear(1.0, 0.35) - 1.0).abs() < 1e-12);
+        assert!((b_flat(0.8, 0.8, 0.75, 0.85) - 0.8).abs() < 1e-12);
+        assert!(b_flat(0.0, 0.8, 0.75, 0.85).abs() < 1e-12);
+        assert!((b_flat(1.0, 0.8, 0.75, 0.85) - 1.0).abs() < 1e-12);
+        assert!(b_poly(0.1, 0.02) > 0.9);
+        // s_decept: global optimum at A = 0.35 maps to 0; the *deceptive*
+        // endpoint basins map to ≈ C = 0.05 (nearly-optimal-looking, hence
+        // the deception), while ordinary points map far from 0.
+        assert!(s_decept(0.35, 0.35, 0.001, 0.05).abs() < 1e-9);
+        assert!((s_decept(0.0, 0.35, 0.001, 0.05) - 0.05).abs() < 1e-9);
+        assert!((s_decept(1.0, 0.35, 0.001, 0.05) - 0.05).abs() < 1e-9);
+        assert!(s_decept(0.2, 0.35, 0.001, 0.05) > 0.5);
+        assert!(s_decept(0.6, 0.35, 0.001, 0.05) > 0.5);
+        // s_multi: optimum at C = 0.35 maps to 0.
+        assert!(s_multi(0.35, 30.0, 10.0, 0.35).abs() < 1e-9);
+        assert!(s_multi(0.0, 30.0, 10.0, 0.35) > 0.1);
+        // b_param: at u giving v = A the exponent interpolates; in-range.
+        let v = b_param(0.5, 0.3, 0.98 / 49.98, 0.02, 50.0);
+        assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+        // r_nonsep degree 1 is the plain mean.
+        assert!((r_nonsep(&[0.2, 0.4, 0.6], 1) - 0.4).abs() < 1e-12);
+        // r_nonsep rewards dispersion: zeros map to 0, the maximally
+        // unequal pair maps to 1, equal mid-values land in between
+        // (2·0.7/3 per the official normalization).
+        assert!(r_nonsep(&[0.0, 0.0], 2).abs() < 1e-12);
+        assert!((r_nonsep(&[1.0, 0.0], 2) - 1.0).abs() < 1e-12);
+        assert!((r_nonsep(&[0.7, 0.7], 2) - 1.4 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_functions_partition_correctly() {
+        // Concave shapes: Σ h_m² = 1 for any position vector.
+        let x = [0.3, 0.8, 0.5, 0.1];
+        let m = x.len() + 1;
+        let sum_sq: f64 = (1..=m).map(|i| shape_concave(&x, i).powi(2)).sum();
+        assert!((sum_sq - 1.0).abs() < 1e-12, "Σh² = {sum_sq}");
+        // Linear shapes: Σ h_m = 1.
+        let sum: f64 = (1..=m).map(|i| shape_linear(&x, i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "Σh = {sum}");
+        // All shapes within [0, 1].
+        for i in 1..=m {
+            for f in [
+                shape_concave(&x, i),
+                shape_linear(&x, i),
+                shape_convex(&x, i),
+            ] {
+                assert!((0.0..=1.0 + 1e-12).contains(&f));
+            }
+        }
+        assert!((0.0..=1.0).contains(&shape_mixed(0.37, 5.0, 1.0)));
+        assert!((0.0..=1.0).contains(&shape_disc(0.37, 5.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn concave_variants_reach_the_unit_sphere_front() {
+        // For WFG4–WFG7 the distance optimum is z_i = 0.35·2i (for WFG7 the
+        // position bias does not move it), giving t_M = 0 and a front on
+        // Σ (f_m/(2m))² = 1.
+        for variant in [WfgVariant::Wfg4, WfgVariant::Wfg5, WfgVariant::Wfg6, WfgVariant::Wfg7] {
+            let p = Wfg::new(variant, 3, 4, 6);
+            for pos in [0.0, 0.3, 0.8, 1.0] {
+                let objs = eval(&p, &optimal_vars(&p, pos));
+                let r2: f64 = objs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| (f / (2.0 * (i + 1) as f64)).powi(2))
+                    .sum();
+                assert!(
+                    (r2 - 1.0).abs() < 1e-6,
+                    "{variant:?} pos={pos}: Σ(f/S)² = {r2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wfg3_front_is_linear_and_degenerate() {
+        let p = Wfg::new(WfgVariant::Wfg3, 3, 4, 6);
+        let objs = eval(&p, &optimal_vars(&p, 0.4));
+        // t_M = 0 ⇒ linear shapes on a degenerate (1-D) front:
+        // Σ f_m / (2m) = 1.
+        let s: f64 = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| f / (2.0 * (i + 1) as f64))
+            .sum();
+        assert!((s - 1.0).abs() < 1e-9, "Σ f/S = {s}");
+        // Degeneracy: x_2.. pinned to 0.5 at the optimum, so two points
+        // with different second position parameters coincide.
+        let mut v1 = optimal_vars(&p, 0.4);
+        let mut v2 = optimal_vars(&p, 0.4);
+        // position group 2 = indices 2..4 (k = 4, M − 1 = 2 groups of 2).
+        v1[2] = 0.1 * p.bounds(2).upper;
+        v2[2] = 0.9 * p.bounds(2).upper;
+        v1[3] = v2[3];
+        let o1 = eval(&p, &v1);
+        let o2 = eval(&p, &v2);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert!((a - b).abs() < 1e-9, "degenerate front violated");
+        }
+    }
+
+    #[test]
+    fn wfg2_last_objective_is_disconnected() {
+        // Sweep x1 along the front: h_M = 1 − x1 cos²(5πx1) is
+        // non-monotone, producing disconnected Pareto segments.
+        let p = Wfg::new(WfgVariant::Wfg2, 3, 4, 6);
+        let mut last = f64::NAN;
+        let mut direction_changes = 0;
+        let mut prev_delta = 0.0f64;
+        for i in 0..=60 {
+            let pos = i as f64 / 60.0;
+            let objs = eval(&p, &optimal_vars(&p, pos));
+            if !last.is_nan() {
+                let delta = objs[2] - last;
+                if prev_delta * delta < 0.0 {
+                    direction_changes += 1;
+                }
+                prev_delta = delta;
+            }
+            last = objs[2];
+        }
+        assert!(direction_changes >= 4, "only {direction_changes} direction changes");
+    }
+
+    #[test]
+    fn all_variants_finite_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for variant in WfgVariant::all() {
+            let p = Wfg::new(variant, 3, 4, 6);
+            for _ in 0..200 {
+                let vars: Vec<f64> = (0..p.num_variables())
+                    .map(|i| rng.gen_range(0.0..=(2.0 * (i + 1) as f64)))
+                    .collect();
+                let objs = eval(&p, &vars);
+                assert!(
+                    objs.iter().all(|f| f.is_finite() && *f >= -1e-9),
+                    "{variant:?} produced {objs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn five_objective_instances_work() {
+        for variant in WfgVariant::all() {
+            let p = Wfg::new(variant, 5, 8, 22);
+            let objs = eval(&p, &optimal_vars(&p, 0.5));
+            assert_eq!(objs.len(), 5);
+            assert!(objs.iter().all(|f| f.is_finite()));
+        }
+    }
+
+    #[test]
+    fn off_optimum_distance_params_worsen_concave_variants() {
+        for variant in [WfgVariant::Wfg4, WfgVariant::Wfg6] {
+            let p = Wfg::new(variant, 3, 4, 6);
+            let on = eval(&p, &optimal_vars(&p, 0.5));
+            let mut vars = optimal_vars(&p, 0.5);
+            for (i, v) in vars.iter_mut().enumerate().skip(p.k()) {
+                *v = 0.77 * 2.0 * (i + 1) as f64;
+            }
+            let off = eval(&p, &vars);
+            let worse = on.iter().zip(&off).filter(|(a, b)| a <= b).count();
+            assert!(worse >= 2, "{variant:?}: {on:?} vs {off:?}");
+        }
+    }
+
+    #[test]
+    fn borg_makes_progress_on_uf13() {
+        use borg_core::prelude::*;
+        let p = Wfg::uf13();
+        let mut cfg = BorgConfig::new(5, 0.1);
+        cfg.epsilons = (1..=5).map(|m| 0.05 * 2.0 * m as f64).collect();
+        let engine = run_serial(&p, cfg, 11, 5_000, |_| {});
+        assert!(engine.archive().len() > 3);
+        engine.archive().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn borg_solves_wfg4_to_reasonable_quality() {
+        use borg_core::prelude::*;
+        // WFG4-3obj: concave sphere front scaled by (2, 4, 6).
+        let p = Wfg::new(WfgVariant::Wfg4, 3, 4, 6);
+        let mut cfg = BorgConfig::new(3, 0.05);
+        cfg.epsilons = vec![0.1, 0.2, 0.3];
+        let engine = run_serial(&p, cfg, 13, 10_000, |_| {});
+        // Most archive members should be near the scaled sphere.
+        let near = engine
+            .archive()
+            .solutions()
+            .iter()
+            .filter(|s| {
+                let r2: f64 = s
+                    .objectives()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| (f / (2.0 * (i + 1) as f64)).powi(2))
+                    .sum();
+                r2 < 1.3
+            })
+            .count();
+        assert!(
+            near * 2 >= engine.archive().len(),
+            "only {near}/{} near the front",
+            engine.archive().len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be a multiple")]
+    fn invalid_k_panics() {
+        Wfg::new(WfgVariant::Wfg1, 5, 7, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "l must be even")]
+    fn odd_l_panics() {
+        Wfg::new(WfgVariant::Wfg2, 3, 4, 5);
+    }
+}

@@ -1,0 +1,228 @@
+//! The ZDT bi-objective test suite (Zitzler, Deb & Thiele 2000).
+//!
+//! Included as supplementary workloads for examples and convergence tests;
+//! the paper's experiments use DTLZ2 and UF11, but the ZDT problems are the
+//! standard smoke tests for any MOEA implementation.
+
+use borg_core::problem::{Bounds, Problem};
+use std::f64::consts::PI;
+
+/// Which ZDT instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZdtVariant {
+    /// Convex front.
+    Zdt1,
+    /// Concave front.
+    Zdt2,
+    /// Disconnected front.
+    Zdt3,
+    /// Multimodal (21^9 local fronts).
+    Zdt4,
+    /// Nonuniformly spaced front.
+    Zdt6,
+}
+
+/// A ZDT problem instance.
+#[derive(Debug, Clone)]
+pub struct Zdt {
+    variant: ZdtVariant,
+    n: usize,
+    name: &'static str,
+}
+
+impl Zdt {
+    /// Creates a ZDT instance with the standard variable count
+    /// (30 for ZDT1–3, 10 for ZDT4/6).
+    pub fn new(variant: ZdtVariant) -> Self {
+        let (n, name) = match variant {
+            ZdtVariant::Zdt1 => (30, "ZDT1"),
+            ZdtVariant::Zdt2 => (30, "ZDT2"),
+            ZdtVariant::Zdt3 => (30, "ZDT3"),
+            ZdtVariant::Zdt4 => (10, "ZDT4"),
+            ZdtVariant::Zdt6 => (10, "ZDT6"),
+        };
+        Self { variant, n, name }
+    }
+
+    /// Creates a ZDT instance with a custom variable count (`n >= 2`).
+    pub fn with_variables(variant: ZdtVariant, n: usize) -> Self {
+        assert!(n >= 2, "ZDT needs at least two variables");
+        let mut p = Self::new(variant);
+        p.n = n;
+        p
+    }
+
+    /// True Pareto-front objective pair for a given `f1` (where defined);
+    /// used to build reference sets and convergence assertions.
+    pub fn front_f2(&self, f1: f64) -> f64 {
+        match self.variant {
+            ZdtVariant::Zdt1 | ZdtVariant::Zdt4 => 1.0 - f1.sqrt(),
+            ZdtVariant::Zdt2 | ZdtVariant::Zdt6 => 1.0 - f1 * f1,
+            ZdtVariant::Zdt3 => 1.0 - f1.sqrt() - f1 * (10.0 * PI * f1).sin(),
+        }
+    }
+}
+
+impl Problem for Zdt {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn num_variables(&self) -> usize {
+        self.n
+    }
+
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn bounds(&self, i: usize) -> Bounds {
+        match self.variant {
+            ZdtVariant::Zdt4 if i > 0 => Bounds::new(-5.0, 5.0),
+            _ => Bounds::unit(),
+        }
+    }
+
+    fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {
+        let n = vars.len();
+        let tail = &vars[1..];
+        match self.variant {
+            ZdtVariant::Zdt1 | ZdtVariant::Zdt2 | ZdtVariant::Zdt3 => {
+                let g = 1.0 + 9.0 * tail.iter().sum::<f64>() / (n - 1) as f64;
+                let f1 = vars[0];
+                let h = match self.variant {
+                    ZdtVariant::Zdt1 => 1.0 - (f1 / g).sqrt(),
+                    ZdtVariant::Zdt2 => 1.0 - (f1 / g) * (f1 / g),
+                    _ => 1.0 - (f1 / g).sqrt() - (f1 / g) * (10.0 * PI * f1).sin(),
+                };
+                objs[0] = f1;
+                objs[1] = g * h;
+            }
+            ZdtVariant::Zdt4 => {
+                let g = 1.0
+                    + 10.0 * (n - 1) as f64
+                    + tail
+                        .iter()
+                        .map(|&x| x * x - 10.0 * (4.0 * PI * x).cos())
+                        .sum::<f64>();
+                let f1 = vars[0];
+                objs[0] = f1;
+                objs[1] = g * (1.0 - (f1 / g).sqrt());
+            }
+            ZdtVariant::Zdt6 => {
+                let f1 = 1.0 - (-4.0 * vars[0]).exp() * (6.0 * PI * vars[0]).sin().powi(6);
+                let g = 1.0 + 9.0 * (tail.iter().sum::<f64>() / (n - 1) as f64).powf(0.25);
+                objs[0] = f1;
+                objs[1] = g * (1.0 - (f1 / g) * (f1 / g));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(p: &Zdt, vars: &[f64]) -> [f64; 2] {
+        let mut objs = [0.0; 2];
+        p.evaluate(vars, &mut objs, &mut []);
+        objs
+    }
+
+    #[test]
+    fn standard_dimensions() {
+        assert_eq!(Zdt::new(ZdtVariant::Zdt1).num_variables(), 30);
+        assert_eq!(Zdt::new(ZdtVariant::Zdt4).num_variables(), 10);
+        assert_eq!(Zdt::with_variables(ZdtVariant::Zdt1, 6).num_variables(), 6);
+    }
+
+    #[test]
+    fn zdt1_front_points() {
+        let p = Zdt::with_variables(ZdtVariant::Zdt1, 5);
+        for f1 in [0.0, 0.25, 1.0] {
+            let mut vars = vec![f1];
+            vars.extend(std::iter::repeat_n(0.0, 4));
+            let [o1, o2] = eval(&p, &vars);
+            assert_eq!(o1, f1);
+            assert!((o2 - p.front_f2(f1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zdt2_front_is_concave() {
+        let p = Zdt::with_variables(ZdtVariant::Zdt2, 5);
+        let mut vars = vec![0.5, 0.0, 0.0, 0.0, 0.0];
+        let [_, o2] = eval(&p, &vars);
+        assert!((o2 - 0.75).abs() < 1e-12);
+        vars[1] = 1.0; // off-front
+        let [_, o2b] = eval(&p, &vars);
+        assert!(o2b > o2);
+    }
+
+    #[test]
+    fn zdt3_front_can_dip_negative() {
+        let p = Zdt::with_variables(ZdtVariant::Zdt3, 5);
+        // At f1 ≈ 0.85 the sine term makes f2 negative on the true front.
+        let mut found_negative = false;
+        for i in 0..100 {
+            let f1 = i as f64 / 100.0;
+            let vars = {
+                let mut v = vec![f1];
+                v.extend(std::iter::repeat_n(0.0, 4));
+                v
+            };
+            if eval(&p, &vars)[1] < 0.0 {
+                found_negative = true;
+            }
+        }
+        assert!(found_negative);
+    }
+
+    #[test]
+    fn zdt4_bounds_are_mixed() {
+        let p = Zdt::new(ZdtVariant::Zdt4);
+        assert_eq!(p.bounds(0), Bounds::unit());
+        assert_eq!(p.bounds(1), Bounds::new(-5.0, 5.0));
+        // g is minimized at tail = 0 where the front matches ZDT1's.
+        let mut vars = vec![0.36];
+        vars.extend(std::iter::repeat_n(0.0, 9));
+        let [o1, o2] = eval(&p, &vars);
+        assert!((o2 - (1.0 - o1.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt6_first_objective_is_nonlinear_in_x0() {
+        let p = Zdt::new(ZdtVariant::Zdt6);
+        let mut vars = vec![0.0; 10];
+        let [o1, _] = eval(&p, &vars);
+        assert!((o1 - 1.0).abs() < 1e-12); // sin(0)^6 = 0 ⇒ f1 = 1
+        vars[0] = 0.08; // near the first sine peak, f1 drops well below 1
+        let [o1b, _] = eval(&p, &vars);
+        assert!(o1b < 0.9);
+    }
+
+    #[test]
+    fn finite_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for v in [
+            ZdtVariant::Zdt1,
+            ZdtVariant::Zdt2,
+            ZdtVariant::Zdt3,
+            ZdtVariant::Zdt4,
+            ZdtVariant::Zdt6,
+        ] {
+            let p = Zdt::new(v);
+            for _ in 0..100 {
+                let vars: Vec<f64> = (0..p.num_variables())
+                    .map(|i| {
+                        let b = p.bounds(i);
+                        rng.gen_range(b.lower..=b.upper)
+                    })
+                    .collect();
+                let o = eval(&p, &vars);
+                assert!(o.iter().all(|f| f.is_finite()));
+            }
+        }
+    }
+}
