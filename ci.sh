@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full correctness gate for the workspace — what CI runs, runnable locally.
+# See the "Correctness & static analysis" section of README.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> cargo xtask check --determinism"
+cargo xtask check --determinism
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --release
+
+echo "ci.sh: all gates passed"

@@ -9,7 +9,10 @@ fn bench_hv_speedup(c: &mut Criterion) {
     let mut group = c.benchmark_group("hv_speedup");
     group.sample_size(10);
 
-    for (name, problem) in [("fig3_dtlz2", PaperProblem::Dtlz2), ("fig4_uf11", PaperProblem::Uf11)] {
+    for (name, problem) in [
+        ("fig3_dtlz2", PaperProblem::Dtlz2),
+        ("fig4_uf11", PaperProblem::Uf11),
+    ] {
         let cfg = HvSpeedupConfig::new(problem).smoke();
         group.bench_with_input(BenchmarkId::new(name, "panel_tf10ms"), &cfg, |b, cfg| {
             b.iter(|| run_panel(cfg, 0.01))

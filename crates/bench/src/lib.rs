@@ -11,3 +11,4 @@
 //! * `micro` — the constituents of the paper's `T_A`: operators, archive
 //!   insertion, hypervolume, the DES engine, the queueing model, and the
 //!   steady-state Borg engine step.
+#![forbid(unsafe_code)]

@@ -17,7 +17,9 @@
 //! `T_F`.
 
 use crate::archive::EpsilonArchive;
-use crate::operators::{standard_borg_operators, AdaptiveEnsemble, EnsembleConfig, UniformMutation};
+use crate::operators::{
+    standard_borg_operators, AdaptiveEnsemble, EnsembleConfig, UniformMutation,
+};
 use crate::population::Population;
 use crate::problem::{Bounds, Problem};
 use crate::rng::SplitMix64;
@@ -147,7 +149,11 @@ pub struct TaProfile {
 impl TaProfile {
     /// Total profiled seconds.
     pub fn total(&self) -> f64 {
-        self.selection + self.variation + self.archive + self.population + self.adaptation
+        self.selection
+            + self.variation
+            + self.archive
+            + self.population
+            + self.adaptation
             + self.restarts
     }
 }
@@ -186,7 +192,8 @@ impl BorgEngine {
         let mut split = SplitMix64::new(seed);
         let rng = split.derive("borg-engine");
         let ensemble = AdaptiveEnsemble::new(standard_borg_operators(l), config.ensemble);
-        let tournament_size = tournament_size(config.selection_ratio, config.initial_population_size);
+        let tournament_size =
+            tournament_size(config.selection_ratio, config.initial_population_size);
         Self {
             bounds,
             num_objectives: problem.num_objectives(),
@@ -294,7 +301,10 @@ impl BorgEngine {
         let arity = self.ensemble.operator(op_idx).arity();
         let t0 = self.config.profile_ta.then(std::time::Instant::now);
         let parent_idx: Vec<usize> = (0..arity)
-            .map(|_| self.population.tournament_select(self.tournament_size, &mut self.rng))
+            .map(|_| {
+                self.population
+                    .tournament_select(self.tournament_size, &mut self.rng)
+            })
             .collect();
         let parents: Vec<&[f64]> = parent_idx
             .iter()
@@ -475,7 +485,13 @@ fn tournament_size(ratio: f64, population: usize) -> usize {
 ///
 /// `observer` is called after each consumed evaluation with the engine (use
 /// it to record archive snapshots, hypervolume trajectories, etc.).
-pub fn run_serial<P, F>(problem: &P, config: BorgConfig, seed: u64, max_nfe: u64, mut observer: F) -> BorgEngine
+pub fn run_serial<P, F>(
+    problem: &P,
+    config: BorgConfig,
+    seed: u64,
+    max_nfe: u64,
+    mut observer: F,
+) -> BorgEngine
 where
     P: Problem + ?Sized,
     F: FnMut(&BorgEngine),
@@ -539,7 +555,10 @@ mod tests {
         let a = run_serial(&TwoSphere, config(), 42, 2000, |_| {});
         let b = run_serial(&TwoSphere, config(), 42, 2000, |_| {});
         assert_eq!(a.archive().len(), b.archive().len());
-        assert_eq!(a.archive().objective_vectors(), b.archive().objective_vectors());
+        assert_eq!(
+            a.archive().objective_vectors(),
+            b.archive().objective_vectors()
+        );
         assert_eq!(a.stats().restarts, b.stats().restarts);
     }
 
@@ -547,7 +566,10 @@ mod tests {
     fn different_seeds_differ() {
         let a = run_serial(&TwoSphere, config(), 1, 2000, |_| {});
         let b = run_serial(&TwoSphere, config(), 2, 2000, |_| {});
-        assert_ne!(a.archive().objective_vectors(), b.archive().objective_vectors());
+        assert_ne!(
+            a.archive().objective_vectors(),
+            b.archive().objective_vectors()
+        );
     }
 
     #[test]
@@ -555,7 +577,11 @@ mod tests {
         // ZDT1's Pareto front has g = 1; after a few thousand evaluations
         // archive members should be near it.
         let e = run_serial(&TwoSphere, config(), 7, 10_000, |_| {});
-        assert!(e.archive().len() >= 5, "archive too small: {}", e.archive().len());
+        assert!(
+            e.archive().len() >= 5,
+            "archive too small: {}",
+            e.archive().len()
+        );
         let worst_sum = e
             .archive()
             .solutions()
@@ -588,7 +614,8 @@ mod tests {
         // does) and check the engine never panics and counts correctly.
         let problem = TwoSphere;
         let mut engine = BorgEngine::new(&problem, config(), 9);
-        let mut queue: std::collections::VecDeque<Candidate> = (0..8).map(|_| engine.produce()).collect();
+        let mut queue: std::collections::VecDeque<Candidate> =
+            (0..8).map(|_| engine.produce()).collect();
         let mut objs = vec![0.0; 2];
         let mut cons = vec![];
         for _ in 0..5000 {

@@ -419,7 +419,10 @@ mod tests {
         let mut a = EpsilonArchive::uniform(2, 0.1);
         assert!(a.add(csol(&[0.1, 0.1], &[5.0])).accepted());
         // Less-violating infeasible replaces.
-        assert_eq!(a.add(csol(&[0.9, 0.9], &[2.0])), ArchiveInsert::ReplacedInBox);
+        assert_eq!(
+            a.add(csol(&[0.9, 0.9], &[2.0])),
+            ArchiveInsert::ReplacedInBox
+        );
         assert_eq!(a.len(), 1);
         // More-violating infeasible rejected.
         assert_eq!(a.add(csol(&[0.0, 0.0], &[3.0])), ArchiveInsert::Rejected);

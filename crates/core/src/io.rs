@@ -100,7 +100,8 @@ pub fn solutions_from_csv(csv: &str) -> Result<Vec<Solution>, CsvError> {
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Result<Vec<f64>, _> = line.split(',').map(|f| f.trim().parse::<f64>()).collect();
+        let fields: Result<Vec<f64>, _> =
+            line.split(',').map(|f| f.trim().parse::<f64>()).collect();
         let fields = fields.map_err(|e| CsvError::BadRow {
             line: i + 2,
             reason: e.to_string(),

@@ -41,14 +41,15 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod algorithm;
 pub mod archive;
 pub mod dominance;
 pub mod io;
 pub mod moead;
-pub mod operators;
 pub mod nsga2;
+pub mod operators;
 pub mod population;
 pub mod problem;
 pub mod rng;

@@ -48,7 +48,14 @@ impl Default for MoeadConfig {
 /// `borg-problems::refsets`, duplicated here to keep `borg-core`
 /// dependency-free).
 fn weight_lattice(m: usize, h: usize) -> Vec<Vec<f64>> {
-    fn recurse(m: usize, left: usize, idx: usize, cur: &mut [usize], out: &mut Vec<Vec<f64>>, h: usize) {
+    fn recurse(
+        m: usize,
+        left: usize,
+        idx: usize,
+        cur: &mut [usize],
+        out: &mut Vec<Vec<f64>>,
+        h: usize,
+    ) {
         if idx == m - 1 {
             cur[idx] = left;
             out.push(cur.iter().map(|&c| c as f64 / h as f64).collect());
@@ -101,7 +108,7 @@ impl MoeadEngine {
                         .zip(&weights[b])
                         .map(|(x, y)| (x - y) * (x - y))
                         .sum();
-                    da.partial_cmp(&db).unwrap()
+                    da.total_cmp(&db)
                 });
                 order.truncate(t);
                 order
@@ -198,16 +205,17 @@ impl MoeadEngine {
                 }
                 // Mating pool: the neighborhood with probability δ, else
                 // the whole population.
-                let use_neighborhood =
-                    self.rng.gen::<f64>() < self.config.neighborhood_selection;
+                let use_neighborhood = self.rng.gen::<f64>() < self.config.neighborhood_selection;
                 let pool: Vec<usize> = if use_neighborhood {
                     self.neighborhoods[i].clone()
                 } else {
                     (0..self.population.len()).collect()
                 };
-                let a = *pool.choose(&mut self.rng).expect("pool non-empty");
-                let b = *pool.choose(&mut self.rng).expect("pool non-empty");
-                let c = *pool.choose(&mut self.rng).expect("pool non-empty");
+                // `choose` only returns None on an empty pool; falling back
+                // to the subproblem's own index keeps the operator total.
+                let a = *pool.choose(&mut self.rng).unwrap_or(&i);
+                let b = *pool.choose(&mut self.rng).unwrap_or(&i);
+                let c = *pool.choose(&mut self.rng).unwrap_or(&i);
                 let parents = [
                     self.population[i].variables(),
                     self.population[a].variables(),

@@ -69,8 +69,7 @@ impl Nsga2Engine {
         let bounds = problem.all_bounds();
         let l = bounds.len();
         let pm = PolynomialMutation::new(1.0 / l.max(1) as f64, config.pm_index);
-        let variation =
-            SimulatedBinaryCrossover::new(config.sbx.0, config.sbx.1).with_mutation(pm);
+        let variation = SimulatedBinaryCrossover::new(config.sbx.0, config.sbx.1).with_mutation(pm);
         let rng = SplitMix64::new(seed).derive("nsga2-engine");
         Self {
             bounds,
@@ -136,7 +135,10 @@ impl Nsga2Engine {
             .map(|_| {
                 let a = self.crowded_tournament();
                 let b = self.crowded_tournament();
-                let parents = [self.population[a].variables(), self.population[b].variables()];
+                let parents = [
+                    self.population[a].variables(),
+                    self.population[b].variables(),
+                ];
                 self.variation.evolve(&parents, &self.bounds, &mut self.rng)
             })
             .collect()
@@ -243,21 +245,22 @@ pub fn crowding_distances(solutions: &[Solution], ranks: &[usize]) -> Vec<f64> {
         for obj in 0..m {
             let mut order = members.clone();
             order.sort_by(|&a, &b| {
-                solutions[a].objectives()[obj]
-                    .partial_cmp(&solutions[b].objectives()[obj])
-                    .unwrap()
+                solutions[a].objectives()[obj].total_cmp(&solutions[b].objectives()[obj])
             });
-            let lo = solutions[order[0]].objectives()[obj];
-            let hi = solutions[*order.last().unwrap()].objectives()[obj];
-            crowding[order[0]] = f64::INFINITY;
-            crowding[*order.last().unwrap()] = f64::INFINITY;
+            let (Some(&first), Some(&last)) = (order.first(), order.last()) else {
+                continue;
+            };
+            let lo = solutions[first].objectives()[obj];
+            let hi = solutions[last].objectives()[obj];
+            crowding[first] = f64::INFINITY;
+            crowding[last] = f64::INFINITY;
             let range = hi - lo;
             if range <= 0.0 {
                 continue;
             }
             for w in order.windows(3) {
-                let gap = (solutions[w[2]].objectives()[obj] - solutions[w[0]].objectives()[obj])
-                    / range;
+                let gap =
+                    (solutions[w[2]].objectives()[obj] - solutions[w[0]].objectives()[obj]) / range;
                 crowding[w[1]] += gap;
             }
         }
@@ -267,14 +270,17 @@ pub fn crowding_distances(solutions: &[Solution], ranks: &[usize]) -> Vec<f64> {
 
 /// (μ + λ) environmental selection: keep the best `capacity` members by
 /// (rank, crowding), returning survivors and their annotations.
-fn environmental_selection(pool: Vec<Solution>, capacity: usize) -> (Vec<Solution>, Vec<RankedMeta>) {
+fn environmental_selection(
+    pool: Vec<Solution>,
+    capacity: usize,
+) -> (Vec<Solution>, Vec<RankedMeta>) {
     let ranks = fast_nondominated_sort(&pool);
     let crowding = crowding_distances(&pool, &ranks);
     let mut order: Vec<usize> = (0..pool.len()).collect();
     order.sort_by(|&a, &b| {
         ranks[a]
             .cmp(&ranks[b])
-            .then_with(|| crowding[b].partial_cmp(&crowding[a]).unwrap())
+            .then_with(|| crowding[b].total_cmp(&crowding[a]))
     });
     order.truncate(capacity);
     let meta: Vec<RankedMeta> = order
@@ -284,14 +290,14 @@ fn environmental_selection(pool: Vec<Solution>, capacity: usize) -> (Vec<Solutio
             crowding: crowding[i],
         })
         .collect();
-    // Extract survivors without cloning: sort indices descending and
-    // swap-remove… simpler: mark and filter.
-    let keep: std::collections::HashSet<usize> = order.iter().copied().collect();
+    // Extract survivors without cloning: map each kept pool index to its
+    // position in the selection order, then mark and filter.
+    let keep: std::collections::HashMap<usize, usize> =
+        order.iter().enumerate().map(|(pos, &i)| (i, pos)).collect();
     let mut survivors: Vec<Solution> = Vec::with_capacity(capacity);
     let mut kept_meta: Vec<RankedMeta> = Vec::with_capacity(capacity);
     for (i, s) in pool.into_iter().enumerate() {
-        if keep.contains(&i) {
-            let pos = order.iter().position(|&o| o == i).unwrap();
+        if let Some(&pos) = keep.get(&i) {
             survivors.push(s);
             kept_meta.push(meta[pos]);
         }
@@ -380,7 +386,7 @@ mod tests {
     fn crowding_prefers_boundary_and_spread() {
         let pool = vec![
             sol(&[0.0, 1.0]),
-            sol(&[0.1, 0.9]),  // crowded
+            sol(&[0.1, 0.9]),   // crowded
             sol(&[0.12, 0.88]), // crowded
             sol(&[0.5, 0.5]),
             sol(&[1.0, 0.0]),
@@ -425,7 +431,10 @@ mod tests {
         let a = run_nsga2_serial(&Zdt1Like, Nsga2Config::default(), 3, 2_000, |_| {});
         let b = run_nsga2_serial(&Zdt1Like, Nsga2Config::default(), 3, 2_000, |_| {});
         let objs = |e: &Nsga2Engine| -> Vec<Vec<f64>> {
-            e.population().iter().map(|s| s.objectives().to_vec()).collect()
+            e.population()
+                .iter()
+                .map(|s| s.objectives().to_vec())
+                .collect()
         };
         assert_eq!(objs(&a), objs(&b));
     }

@@ -50,7 +50,10 @@ impl AdaptiveEnsemble {
     /// # Panics
     /// If `operators` is empty or ζ is not positive.
     pub fn new(operators: Vec<Box<dyn Variation>>, config: EnsembleConfig) -> Self {
-        assert!(!operators.is_empty(), "ensemble needs at least one operator");
+        assert!(
+            !operators.is_empty(),
+            "ensemble needs at least one operator"
+        );
         assert!(config.zeta > 0.0, "zeta must be positive");
         let k = operators.len();
         Self {

@@ -138,7 +138,11 @@ mod tests {
         let base = [5.0, 5.0];
         let a = [1.0, -1.0];
         let same = [3.0, 3.0];
-        let child = de.evolve(&[&base[..], &a[..], &same[..], &same[..]], &bounds, &mut rng);
+        let child = de.evolve(
+            &[&base[..], &a[..], &same[..], &same[..]],
+            &bounds,
+            &mut rng,
+        );
         assert_eq!(child, a);
     }
 }

@@ -17,13 +17,13 @@
 
 mod adaptive;
 mod de;
-mod vecmath;
 mod pcx;
 mod pm;
 mod sbx;
 mod spx;
 mod um;
 mod undx;
+mod vecmath;
 
 pub use adaptive::{AdaptiveEnsemble, EnsembleConfig};
 pub use de::DifferentialEvolution;
@@ -109,7 +109,11 @@ pub(crate) mod test_support {
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..trials {
             let parents: Vec<Vec<f64>> = (0..op.arity())
-                .map(|_| (0..l).map(|i| rng.gen_range(bounds[i].lower..bounds[i].upper)).collect())
+                .map(|_| {
+                    (0..l)
+                        .map(|i| rng.gen_range(bounds[i].lower..bounds[i].upper))
+                        .collect()
+                })
                 .collect();
             let refs: Vec<&[f64]> = parents.iter().map(|p| p.as_slice()).collect();
             let child = op.evolve(&refs, &bounds, &mut rng);

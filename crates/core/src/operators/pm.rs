@@ -20,7 +20,10 @@ impl PolynomialMutation {
     /// Creates PM with per-variable mutation probability `rate` and
     /// distribution index `η_m` (Borg default: `1/L`, 20).
     pub fn new(rate: f64, distribution_index: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "mutation rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "mutation rate must be in [0,1]"
+        );
         assert!(distribution_index >= 0.0, "distribution index must be >= 0");
         Self {
             rate,

@@ -21,7 +21,10 @@ impl SimulatedBinaryCrossover {
     /// Creates SBX with per-variable crossover probability `rate` and
     /// distribution index `η_c` (Borg default: 1.0, 15).
     pub fn new(rate: f64, distribution_index: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "crossover rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "crossover rate must be in [0,1]"
+        );
         assert!(distribution_index >= 0.0, "distribution index must be >= 0");
         Self {
             rate,

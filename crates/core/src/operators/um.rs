@@ -17,7 +17,10 @@ pub struct UniformMutation {
 impl UniformMutation {
     /// Creates UM with per-variable resampling probability `rate`.
     pub fn new(rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "mutation rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "mutation rate must be in [0,1]"
+        );
         Self { rate }
     }
 

@@ -114,9 +114,24 @@ mod tests {
 
     #[test]
     fn respects_bounds() {
-        check_operator(&UnimodalNormalDistributionCrossover::new(10, 0.5, 0.35), 6, 300, 1);
-        check_operator(&UnimodalNormalDistributionCrossover::new(3, 0.5, 0.35), 4, 300, 2);
-        check_operator(&UnimodalNormalDistributionCrossover::new(4, 0.5, 0.35), 1, 300, 3);
+        check_operator(
+            &UnimodalNormalDistributionCrossover::new(10, 0.5, 0.35),
+            6,
+            300,
+            1,
+        );
+        check_operator(
+            &UnimodalNormalDistributionCrossover::new(3, 0.5, 0.35),
+            4,
+            300,
+            2,
+        );
+        check_operator(
+            &UnimodalNormalDistributionCrossover::new(4, 0.5, 0.35),
+            1,
+            300,
+            3,
+        );
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl<S> CallbackSim<S> {
             if t > until {
                 break;
             }
-            let (_, cb) = self.queue.pop().expect("peeked event vanished");
+            let Some((_, cb)) = self.queue.pop() else {
+                break;
+            };
             cb(self);
         }
         self.now()

@@ -67,16 +67,15 @@ impl PlainParetoArchive {
 
     fn add(&mut self, p: Vec<f64>) {
         let mut dominated = false;
-        self.points.retain(|q| {
-            match pareto_dominance_objectives(&p, q) {
+        self.points
+            .retain(|q| match pareto_dominance_objectives(&p, q) {
                 Dominance::Dominates => false,
                 Dominance::DominatedBy => {
                     dominated = true;
                     true
                 }
                 Dominance::NonDominated => true,
-            }
-        });
+            });
         if !dominated {
             self.points.push(p);
         }
@@ -109,11 +108,20 @@ pub fn ablation_archive(config: &AblationConfig) -> TextTable {
     let t1 = Instant::now();
     let mut eps = borg_core::archive::EpsilonArchive::uniform(5, 0.1);
     for p in &points {
-        eps.add(borg_core::solution::Solution::from_parts(vec![], p.clone(), vec![]));
+        eps.add(borg_core::solution::Solution::from_parts(
+            vec![],
+            p.clone(),
+            vec![],
+        ));
     }
     let eps_time = t1.elapsed().as_secs_f64();
 
-    let mut t = TextTable::new(vec!["archive", "final size", "insert time (s)", "per insert (us)"]);
+    let mut t = TextTable::new(vec![
+        "archive",
+        "final size",
+        "insert time (s)",
+        "per insert (us)",
+    ]);
     t.row(vec![
         "plain Pareto".to_string(),
         plain.points.len().to_string(),
@@ -215,9 +223,15 @@ pub fn ablation_contention(config: &AblationConfig) -> TextTable {
             p.to_string(),
             format!("{:.3}", sim.parallel_time),
             format!("{analytic:.3}"),
-            format!("{:.0}%", relative_error(sim.parallel_time, analytic) * 100.0),
+            format!(
+                "{:.0}%",
+                relative_error(sim.parallel_time, analytic) * 100.0
+            ),
             format!("{saturating:.3}"),
-            format!("{:.0}%", relative_error(sim.parallel_time, saturating) * 100.0),
+            format!(
+                "{:.0}%",
+                relative_error(sim.parallel_time, saturating) * 100.0
+            ),
         ]);
     }
     t
@@ -351,8 +365,7 @@ pub fn ablation_baseline(config: &AblationConfig) -> TextTable {
         "MOEA/D hv",
     ]);
     for case in cases {
-        let metric =
-            RelativeHypervolume::monte_carlo(&case.reference, 5_000, config.seed ^ 0xBA5E);
+        let metric = RelativeHypervolume::monte_carlo(&case.reference, 5_000, config.seed ^ 0xBA5E);
         let mut split = SplitMix64::new(config.seed ^ 0x0B);
         let m = case.problem.num_objectives();
         let (mut borg_acc, mut nsga_acc, mut moead_acc) = (0.0, 0.0, 0.0);
@@ -418,7 +431,10 @@ mod tests {
                 .take(6)
                 .map(|c| c.trim_end_matches('%').parse::<f64>().unwrap())
                 .sum();
-            assert!((pct_sum - 100.0).abs() < 3.5, "percentages sum to {pct_sum}");
+            assert!(
+                (pct_sum - 100.0).abs() < 3.5,
+                "percentages sum to {pct_sum}"
+            );
         }
     }
 
@@ -435,7 +451,10 @@ mod tests {
         // On the bi-objective problem both algorithms must do well.
         let zdt1_line = t.to_csv().lines().nth(1).unwrap().to_string();
         let nsga_zdt1: f64 = zdt1_line.split(',').nth(3).unwrap().parse().unwrap();
-        assert!(nsga_zdt1 > 0.5, "NSGA-II should make progress on ZDT1: {nsga_zdt1}");
+        assert!(
+            nsga_zdt1 > 0.5,
+            "NSGA-II should make progress on ZDT1: {nsga_zdt1}"
+        );
     }
 
     #[test]
@@ -478,7 +497,14 @@ mod tests {
         let divergences: Vec<f64> = csv
             .lines()
             .skip(1)
-            .map(|l| l.split(',').nth(3).unwrap().trim_end_matches('%').parse().unwrap())
+            .map(|l| {
+                l.split(',')
+                    .nth(3)
+                    .unwrap()
+                    .trim_end_matches('%')
+                    .parse()
+                    .unwrap()
+            })
             .collect();
         assert!(
             divergences.last().unwrap() > &50.0,

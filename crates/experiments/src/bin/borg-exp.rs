@@ -30,8 +30,6 @@ use borg_experiments::ablation::{
 };
 use borg_experiments::bounds::{paper_bounds, render_bounds};
 use borg_experiments::dynamics::{render_dynamics_summary, run_dynamics, DynamicsConfig};
-use borg_models::advisor::{recommend_partition, recommend_processor_count};
-use borg_models::perfsim::TimingModel;
 use borg_experiments::fitdemo::{run_fit_demo, FitDemoConfig};
 use borg_experiments::heatmap::{run_figure5, HeatmapConfig};
 use borg_experiments::hvspeedup::{render_panel, run_figure, HvSpeedupConfig};
@@ -40,6 +38,8 @@ use borg_experiments::report::write_output;
 use borg_experiments::suite::PaperProblem;
 use borg_experiments::table2::{render_table2, run_table2, Table2Config};
 use borg_experiments::timeline::{figure1, figure2, TimelineConfig};
+use borg_models::advisor::{recommend_partition, recommend_processor_count};
+use borg_models::perfsim::TimingModel;
 use std::path::PathBuf;
 
 #[derive(Debug, Clone)]
@@ -111,8 +111,18 @@ fn main() {
     };
     let commands: Vec<&str> = if cli.command == "all" {
         vec![
-            "bounds", "fig1", "fig2", "fig5", "table2", "fig3", "fig4", "fit", "ablations",
-            "islands", "dynamics", "advise",
+            "bounds",
+            "fig1",
+            "fig2",
+            "fig5",
+            "table2",
+            "fig3",
+            "fig4",
+            "fit",
+            "ablations",
+            "islands",
+            "dynamics",
+            "advise",
         ]
     } else if cli.command == "--help" || cli.command == "help" {
         eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
@@ -153,14 +163,19 @@ fn run_command(cmd: &str, cli: &Cli) {
         }
         "fig1" | "fig2" => {
             let cfg = TimelineConfig::default();
-            let t = if cmd == "fig1" { figure1(&cfg) } else { figure2(&cfg) };
+            let t = if cmd == "fig1" {
+                figure1(&cfg)
+            } else {
+                figure2(&cfg)
+            };
             println!("{}", t.ascii);
             println!(
                 "elapsed {:.4}s, master utilization {:.2}",
                 t.elapsed, t.master_utilization
             );
             write_output(&cli.out, &format!("{cmd}_timeline.csv"), &t.csv).expect("write timeline");
-            write_output(&cli.out, &format!("{cmd}_timeline.txt"), &t.ascii).expect("write timeline");
+            write_output(&cli.out, &format!("{cmd}_timeline.txt"), &t.ascii)
+                .expect("write timeline");
         }
         "fig3" | "fig4" => {
             let problem = if cmd == "fig3" {
@@ -205,17 +220,35 @@ fn run_command(cmd: &str, cli: &Cli) {
                 cfg.seed = s;
             }
             let surfaces = run_figure5(&cfg);
-            let sync_art = surfaces.to_ascii(&surfaces.sync, "Figure 5a: synchronous efficiency (Eq. 6)");
-            let async_art =
-                surfaces.to_ascii(&surfaces.async_, "Figure 5b: asynchronous efficiency (simulation model)");
+            let sync_art =
+                surfaces.to_ascii(&surfaces.sync, "Figure 5a: synchronous efficiency (Eq. 6)");
+            let async_art = surfaces.to_ascii(
+                &surfaces.async_,
+                "Figure 5b: asynchronous efficiency (simulation model)",
+            );
             println!("{sync_art}\n{async_art}");
             write_output(&cli.out, "fig5_sync.csv", &surfaces.to_csv(&surfaces.sync)).unwrap();
-            write_output(&cli.out, "fig5_async.csv", &surfaces.to_csv(&surfaces.async_)).unwrap();
+            write_output(
+                &cli.out,
+                "fig5_async.csv",
+                &surfaces.to_csv(&surfaces.async_),
+            )
+            .unwrap();
             write_output(&cli.out, "fig5.txt", &format!("{sync_art}\n{async_art}")).unwrap();
             // Also emit the Table II parameter ordering (see DESIGN.md §4).
             let alt = run_figure5(&HeatmapConfig::default().table2_params());
-            write_output(&cli.out, "fig5_sync_table2params.csv", &alt.to_csv(&alt.sync)).unwrap();
-            write_output(&cli.out, "fig5_async_table2params.csv", &alt.to_csv(&alt.async_)).unwrap();
+            write_output(
+                &cli.out,
+                "fig5_sync_table2params.csv",
+                &alt.to_csv(&alt.sync),
+            )
+            .unwrap();
+            write_output(
+                &cli.out,
+                "fig5_async_table2params.csv",
+                &alt.to_csv(&alt.async_),
+            )
+            .unwrap();
         }
         "bounds" => {
             let table = render_bounds(&paper_bounds());
@@ -230,7 +263,7 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
-            let demo = run_fit_demo(&cfg);
+            let demo = run_fit_demo(&cfg).expect("fit demo run");
             println!(
                 "measured on this machine: T_A mean {:.2}us (cv {:.2}), T_F mean {:.3}ms (cv {:.2}), T_C ~ {:.2}us",
                 demo.ta_stats.mean * 1e6,
@@ -262,7 +295,10 @@ fn run_command(cmd: &str, cli: &Cli) {
             }
             let runs: Vec<(&str, borg_experiments::report::TextTable)> = vec![
                 ("ablation_archive", ablation_archive(&cfg)),
-                ("ablation_baseline", borg_experiments::ablation::ablation_baseline(&cfg)),
+                (
+                    "ablation_baseline",
+                    borg_experiments::ablation::ablation_baseline(&cfg),
+                ),
                 ("ablation_operators", ablation_operators(&cfg)),
                 ("ablation_restarts", ablation_restarts(&cfg)),
                 ("ablation_contention", ablation_contention(&cfg)),
@@ -293,7 +329,8 @@ fn run_command(cmd: &str, cli: &Cli) {
             ]);
             for tf in [0.001, 0.01, 0.1] {
                 let timing = TimingModel::controlled_delay(tf, 0.1, 0.000_006, 0.000_030);
-                let single = recommend_processor_count(timing, budget, nfe, 0.0, cli.seed.unwrap_or(9));
+                let single =
+                    recommend_processor_count(timing, budget, nfe, 0.0, cli.seed.unwrap_or(9));
                 let part = recommend_partition(timing, budget, nfe, cli.seed.unwrap_or(9));
                 table.row(vec![
                     format!("{tf}"),
@@ -330,8 +367,12 @@ fn run_command(cmd: &str, cli: &Cli) {
             println!("{}", table.render());
             write_output(&cli.out, "dynamics_summary.csv", &table.to_csv()).unwrap();
             for t in &trajs {
-                write_output(&cli.out, &format!("dynamics_p{}.csv", t.processors), &t.to_csv())
-                    .unwrap();
+                write_output(
+                    &cli.out,
+                    &format!("dynamics_p{}.csv", t.processors),
+                    &t.to_csv(),
+                )
+                .unwrap();
             }
         }
         "islands" => {

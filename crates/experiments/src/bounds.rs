@@ -20,12 +20,30 @@ pub struct BoundsRow {
 /// the published `T_A` at a representative `P` per problem).
 pub fn paper_bounds() -> Vec<BoundsRow> {
     let scenarios = [
-        ("DTLZ2 T_F=1ms", TimingParams::new(0.001, 0.000_006, 0.000_029)),
-        ("DTLZ2 T_F=10ms", TimingParams::new(0.01, 0.000_006, 0.000_029)),
-        ("DTLZ2 T_F=100ms", TimingParams::new(0.1, 0.000_006, 0.000_029)),
-        ("UF11 T_F=1ms", TimingParams::new(0.001, 0.000_006, 0.000_061)),
-        ("UF11 T_F=10ms", TimingParams::new(0.01, 0.000_006, 0.000_061)),
-        ("UF11 T_F=100ms", TimingParams::new(0.1, 0.000_006, 0.000_061)),
+        (
+            "DTLZ2 T_F=1ms",
+            TimingParams::new(0.001, 0.000_006, 0.000_029),
+        ),
+        (
+            "DTLZ2 T_F=10ms",
+            TimingParams::new(0.01, 0.000_006, 0.000_029),
+        ),
+        (
+            "DTLZ2 T_F=100ms",
+            TimingParams::new(0.1, 0.000_006, 0.000_029),
+        ),
+        (
+            "UF11 T_F=1ms",
+            TimingParams::new(0.001, 0.000_006, 0.000_061),
+        ),
+        (
+            "UF11 T_F=10ms",
+            TimingParams::new(0.01, 0.000_006, 0.000_061),
+        ),
+        (
+            "UF11 T_F=100ms",
+            TimingParams::new(0.1, 0.000_006, 0.000_061),
+        ),
     ];
     scenarios
         .iter()
@@ -40,7 +58,14 @@ pub fn paper_bounds() -> Vec<BoundsRow> {
 
 /// Renders the bounds table.
 pub fn render_bounds(rows: &[BoundsRow]) -> TextTable {
-    let mut t = TextTable::new(vec!["scenario", "T_F", "T_C", "T_A", "P_LB (Eq.4)", "P_UB (Eq.3)"]);
+    let mut t = TextTable::new(vec![
+        "scenario",
+        "T_F",
+        "T_C",
+        "T_A",
+        "P_LB (Eq.4)",
+        "P_UB (Eq.3)",
+    ]);
     for r in rows {
         t.row(vec![
             r.label.clone(),

@@ -97,8 +97,7 @@ impl DynamicsTrajectory {
 
     /// CSV rendering of the full trajectory.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("time,nfe,archive,restarts,hypervolume,operator_entropy\n");
+        let mut out = String::from("time,nfe,archive,restarts,hypervolume,operator_entropy\n");
         for p in &self.points {
             out.push_str(&format!(
                 "{:.6},{},{},{},{:.4},{:.4}\n",

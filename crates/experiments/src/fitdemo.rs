@@ -7,7 +7,7 @@ use crate::report::TextTable;
 use crate::suite::PaperProblem;
 use borg_models::dist::Dist;
 use borg_models::distfit::{fit_all, Family, SampleStats};
-use borg_parallel::threads::{estimate_comm_time, run_threaded, ThreadedConfig};
+use borg_parallel::threads::{estimate_comm_time, run_threaded, ThreadedConfig, ThreadedError};
 
 /// Configuration for the fitting demonstration.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +61,10 @@ fn rank_table(samples: &[f64]) -> TextTable {
 }
 
 /// Runs the pipeline.
-pub fn run_fit_demo(config: &FitDemoConfig) -> FitDemo {
+///
+/// # Errors
+/// Propagates [`ThreadedError`] if the worker pool or the `T_C` probe dies.
+pub fn run_fit_demo(config: &FitDemoConfig) -> Result<FitDemo, ThreadedError> {
     let problem = PaperProblem::Dtlz2.build();
     let borg = PaperProblem::Dtlz2.borg_config(0.1);
     let result = run_threaded(
@@ -73,15 +76,15 @@ pub fn run_fit_demo(config: &FitDemoConfig) -> FitDemo {
             delay: Some(Dist::normal_cv(config.t_f, 0.1)),
             seed: config.seed,
         },
-    );
-    let t_c = estimate_comm_time(500);
-    FitDemo {
+    )?;
+    let t_c = estimate_comm_time(500)?;
+    Ok(FitDemo {
         ta_stats: SampleStats::of(&result.ta_samples),
         tf_stats: SampleStats::of(&result.tf_samples),
         t_c,
         ta_table: rank_table(&result.ta_samples),
         tf_table: rank_table(&result.tf_samples),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -96,7 +99,7 @@ mod tests {
             t_f: 0.002,
             seed: 9,
         };
-        let demo = run_fit_demo(&cfg);
+        let demo = run_fit_demo(&cfg).expect("fit demo run");
         // Measured T_F mean must sit near the injected 2 ms (sleep overshoot
         // allows some upward bias).
         assert!(

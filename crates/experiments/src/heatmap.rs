@@ -94,7 +94,7 @@ pub struct EfficiencySurfaces {
 /// Computes both surfaces.
 pub fn run_figure5(config: &HeatmapConfig) -> EfficiencySurfaces {
     let mut tf_grid = config.tf_grid.clone();
-    tf_grid.sort_by(|a, b| b.partial_cmp(a).unwrap()); // descending rows
+    tf_grid.sort_by(|a, b| b.total_cmp(a)); // descending rows
     let mut sync = Vec::with_capacity(tf_grid.len());
     let mut async_ = Vec::with_capacity(tf_grid.len());
     for &tf in &tf_grid {
@@ -226,7 +226,10 @@ mod tests {
             ..HeatmapConfig::default()
         };
         let s = run_figure5(&cfg);
-        assert!(s.async_[0][0] < 0.1, "tiny T_F at P=256 cannot be efficient");
+        assert!(
+            s.async_[0][0] < 0.1,
+            "tiny T_F at P=256 cannot be efficient"
+        );
     }
 
     #[test]

@@ -128,7 +128,8 @@ pub fn run_panel(config: &HvSpeedupConfig, t_f: f64) -> HvSpeedupPanel {
     let problem = config.problem.build();
     let borg = config.problem.borg_config(config.epsilon);
     let reference = config.problem.reference_front(config.ref_divisions);
-    let metric = RelativeHypervolume::monte_carlo(&reference, config.mc_samples, config.seed ^ 0xAB);
+    let metric =
+        RelativeHypervolume::monte_carlo(&reference, config.mc_samples, config.seed ^ 0xAB);
 
     let mut split = SplitMix64::new(config.seed ^ t_f.to_bits());
 
@@ -211,7 +212,11 @@ pub fn run_panel(config: &HvSpeedupConfig, t_f: f64) -> HvSpeedupPanel {
 
 /// Runs all panels (one per `T_F`).
 pub fn run_figure(config: &HvSpeedupConfig) -> Vec<HvSpeedupPanel> {
-    config.tf_means.iter().map(|&tf| run_panel(config, tf)).collect()
+    config
+        .tf_means
+        .iter()
+        .map(|&tf| run_panel(config, tf))
+        .collect()
 }
 
 /// Renders one panel as a threshold × processor-count speedup table.
@@ -259,7 +264,11 @@ mod tests {
         assert_eq!(panel.series.len(), 2);
         // Low thresholds must be attained and show real speedup.
         let low = panel.series[0].speedups[1]; // h = 0.2, P = 8
-        assert!(low.is_some(), "h=0.2 not attained: {:?}", panel.serial_times);
+        assert!(
+            low.is_some(),
+            "h=0.2 not attained: {:?}",
+            panel.serial_times
+        );
         assert!(low.unwrap() > 1.0, "expected parallel speedup, got {low:?}");
         let rendered = render_panel(&panel);
         assert_eq!(rendered.len(), panel.thresholds.len());

@@ -18,6 +18,7 @@
 //! | §VI/VII algorithm dynamics | [`dynamics`] | `borg-exp dynamics` |
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod bounds;

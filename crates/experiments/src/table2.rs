@@ -107,7 +107,14 @@ pub fn run_table2(config: &Table2Config) -> Vec<Table2Row> {
         let borg = problem_choice.borg_config(config.epsilon);
         for &tf in &config.tf_means {
             for &p in &config.processors {
-                rows.push(run_cell(config, problem_choice, problem.as_ref(), &borg, tf, p));
+                rows.push(run_cell(
+                    config,
+                    problem_choice,
+                    problem.as_ref(),
+                    &borg,
+                    tf,
+                    p,
+                ));
             }
         }
     }
@@ -127,7 +134,8 @@ fn run_cell(
     let mut util_sum = 0.0;
     let mut ta_samples: Vec<f64> = Vec::new();
 
-    let mut split = SplitMix64::new(config.seed ^ ((p as u64) << 20) ^ problem_choice.name().len() as u64);
+    let mut split =
+        SplitMix64::new(config.seed ^ ((p as u64) << 20) ^ problem_choice.name().len() as u64);
     let tf_bits = tf.to_bits();
     for r in 0..config.replicates {
         let seed = split.derive_seed("table2-replicate") ^ tf_bits ^ r as u64;
@@ -139,7 +147,13 @@ fn run_cell(
             t_a: TaMode::Measured,
             seed,
         };
-        let result = run_virtual_async(problem, borg.clone(), &vcfg, &mut SpanTrace::disabled(), |_, _| {});
+        let result = run_virtual_async(
+            problem,
+            borg.clone(),
+            &vcfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
         elapsed_sum += result.outcome.elapsed;
         util_sum += result.outcome.master_utilization;
         // Thin the samples to bound fitting cost at paper scale.
@@ -260,7 +274,11 @@ mod tests {
             );
         }
         // In all cases the simulation model must stay within a sane band.
-        assert!(r.simulation_error < 0.5, "sim error too large: {}", r.simulation_error);
+        assert!(
+            r.simulation_error < 0.5,
+            "sim error too large: {}",
+            r.simulation_error
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 use borg_desim::trace::SpanTrace;
 use borg_models::analytical::TimingParams;
-use borg_models::perfsim::{simulate_async_traced, simulate_sync_traced, PerfSimConfig, TimingModel};
+use borg_models::perfsim::{
+    simulate_async_traced, simulate_sync_traced, PerfSimConfig, TimingModel,
+};
 
 /// Configuration for the timeline figures.
 #[derive(Debug, Clone, Copy)]

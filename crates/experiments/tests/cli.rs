@@ -23,7 +23,11 @@ fn temp_out(tag: &str) -> PathBuf {
 fn bounds_subcommand_writes_csv() {
     let out = temp_out("bounds");
     let result = run(&["bounds"], &out);
-    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert!(
+        result.status.success(),
+        "{}",
+        String::from_utf8_lossy(&result.stderr)
+    );
     let csv = std::fs::read_to_string(out.join("bounds.csv")).unwrap();
     assert!(csv.lines().count() == 7); // header + 6 scenarios
     assert!(csv.contains("DTLZ2 T_F=10ms"));
@@ -48,7 +52,11 @@ fn timeline_subcommands_write_artifacts() {
 fn table2_smoke_writes_csv_with_all_cells() {
     let out = temp_out("table2");
     let result = run(&["table2", "--smoke"], &out);
-    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert!(
+        result.status.success(),
+        "{}",
+        String::from_utf8_lossy(&result.stderr)
+    );
     let csv = std::fs::read_to_string(out.join("table2.csv")).unwrap();
     // Smoke config: 2 problems × 2 T_F × 2 P + header.
     assert_eq!(csv.lines().count(), 9);
@@ -59,7 +67,11 @@ fn table2_smoke_writes_csv_with_all_cells() {
 fn hv_speedup_smoke_writes_panels() {
     let out = temp_out("fig3");
     let result = run(&["fig3", "--smoke"], &out);
-    assert!(result.status.success(), "{}", String::from_utf8_lossy(&result.stderr));
+    assert!(
+        result.status.success(),
+        "{}",
+        String::from_utf8_lossy(&result.stderr)
+    );
     assert!(out.join("fig3_dtlz2_tf0.01.csv").exists());
     let _ = std::fs::remove_dir_all(&out);
 }

@@ -32,7 +32,7 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     }
     set = nondominated_filter(set);
     // Sorting by the first objective descending improves limit-set pruning.
-    set.sort_by(|a, b| b[0].partial_cmp(&a[0]).unwrap());
+    set.sort_by(|a, b| b[0].total_cmp(&a[0]));
     wfg(&set, reference)
 }
 
@@ -87,7 +87,8 @@ pub fn hypervolume_contributions(points: &[Vec<f64>], reference: &[f64]) -> Vec<
             let without: Vec<Vec<f64>> = points
                 .iter()
                 .enumerate()
-                .filter(|&(j, _p)| j != i).map(|(_j, p)| p.clone())
+                .filter(|&(j, _p)| j != i)
+                .map(|(_j, p)| p.clone())
                 .collect();
             (total - hypervolume(&without, reference)).max(0.0)
         })
@@ -97,7 +98,7 @@ pub fn hypervolume_contributions(points: &[Vec<f64>], reference: &[f64]) -> Vec<
 /// O(n log n) sweep for the 2-D base case.
 fn hv2d(set: &[Vec<f64>], reference: &[f64]) -> f64 {
     let mut pts: Vec<(f64, f64)> = set.iter().map(|p| (p[0], p[1])).collect();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut hv = 0.0;
     let mut best_f2 = reference[1];
     for (f1, f2) in pts {
@@ -137,7 +138,10 @@ mod tests {
     #[test]
     fn dominated_points_are_ignored() {
         let a = hypervolume(&[vec![0.2, 0.2]], &[1.0, 1.0]);
-        let b = hypervolume(&[vec![0.2, 0.2], vec![0.5, 0.5], vec![0.9, 0.3]], &[1.0, 1.0]);
+        let b = hypervolume(
+            &[vec![0.2, 0.2], vec![0.5, 0.5], vec![0.9, 0.3]],
+            &[1.0, 1.0],
+        );
         assert!((a - b).abs() < 1e-12);
     }
 
@@ -151,7 +155,11 @@ mod tests {
     #[test]
     fn three_d_staircase() {
         // Three mutually nondominated unit-corner boxes in 3-D.
-        let pts = vec![vec![0.0, 0.5, 0.5], vec![0.5, 0.0, 0.5], vec![0.5, 0.5, 0.0]];
+        let pts = vec![
+            vec![0.0, 0.5, 0.5],
+            vec![0.5, 0.0, 0.5],
+            vec![0.5, 0.5, 0.0],
+        ];
         // Inclusion-exclusion: 3·(1·0.5·0.5) − 3·(0.5·0.5·0.5) + 0.125 = 0.5.
         let hv = hypervolume(&pts, &[1.0, 1.0, 1.0]);
         assert!((hv - 0.5).abs() < 1e-12, "hv = {hv}");
@@ -191,7 +199,10 @@ mod tests {
         // neighbours.
         let pts = vec![vec![0.0, 0.9], vec![0.3, 0.3], vec![0.9, 0.0]];
         let contrib = hypervolume_contributions(&pts, &[1.0, 1.0]);
-        assert!(contrib[1] > contrib[0] && contrib[1] > contrib[2], "{contrib:?}");
+        assert!(
+            contrib[1] > contrib[0] && contrib[1] > contrib[2],
+            "{contrib:?}"
+        );
     }
 
     #[test]

@@ -67,12 +67,7 @@ pub fn spacing(approx: &[Vec<f64>]) -> f64 {
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, q)| {
-                    p.iter()
-                        .zip(q)
-                        .map(|(x, y)| (x - y).abs())
-                        .sum::<f64>()
-                })
+                .map(|(_, q)| p.iter().zip(q).map(|(x, y)| (x - y).abs()).sum::<f64>())
                 .fold(f64::INFINITY, f64::min)
         })
         .collect();
@@ -144,7 +139,12 @@ mod tests {
 
     #[test]
     fn spacing_zero_for_uniform_spread() {
-        let uniform = vec![vec![0.0, 1.0], vec![0.25, 0.75], vec![0.5, 0.5], vec![0.75, 0.25]];
+        let uniform = vec![
+            vec![0.0, 1.0],
+            vec![0.25, 0.75],
+            vec![0.5, 0.5],
+            vec![0.75, 0.25],
+        ];
         assert!(spacing(&uniform).abs() < 1e-12);
     }
 

@@ -40,11 +40,7 @@ impl McHypervolume {
                     .collect()
             })
             .collect();
-        let box_volume = lower
-            .iter()
-            .zip(reference)
-            .map(|(a, b)| b - a)
-            .product();
+        let box_volume = lower.iter().zip(reference).map(|(a, b)| b - a).product();
         Self {
             samples,
             box_volume,
@@ -72,11 +68,9 @@ impl McHypervolume {
             .samples
             .iter()
             .filter(|s| {
-                points.iter().any(|p| {
-                    p.iter()
-                        .zip(s.iter())
-                        .all(|(a, b)| a <= b)
-                })
+                points
+                    .iter()
+                    .any(|p| p.iter().zip(s.iter()).all(|(a, b)| a <= b))
             })
             .count();
         self.box_volume * dominated as f64 / self.samples.len() as f64

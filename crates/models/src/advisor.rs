@@ -49,16 +49,15 @@ pub fn recommend_processor_count(
         candidates.push(p);
         p = ((p as f64) * 1.3).ceil() as u32;
     }
-    if *candidates.last().unwrap() != max_processors {
+    if candidates.last().copied() != Some(max_processors) {
         candidates.push(max_processors);
     }
 
-    let mut best: Option<(f64, ProcessorRecommendation)> = None;
     let serial_time = {
         let means = timing.means();
         crate::analytical::serial_time(evaluations, means)
     };
-    for &p in &candidates {
+    let score_candidate = |p: u32| -> (f64, ProcessorRecommendation) {
         let pred = simulate_async(&PerfSimConfig {
             processors: p,
             evaluations,
@@ -73,11 +72,18 @@ pub fn recommend_processor_count(
             efficiency: pred.efficiency,
             parallel_time: pred.parallel_time,
         };
-        if best.as_ref().is_none_or(|(s, _)| score > *s) {
-            best = Some((score, rec));
+        (score, rec)
+    };
+    // `candidates` always holds at least P = 3 (asserted above), so the
+    // running best starts from the first candidate — no empty case.
+    let mut best = score_candidate(candidates[0]);
+    for &p in &candidates[1..] {
+        let scored = score_candidate(p);
+        if scored.0 > best.0 {
+            best = scored;
         }
     }
-    best.expect("non-empty candidate set").1
+    best.1
 }
 
 /// A scored island partition of a fixed processor budget.
@@ -105,9 +111,7 @@ pub fn recommend_partition(
 ) -> PartitionRecommendation {
     assert!(total_processors >= 2);
     let serial = crate::analytical::serial_time(evaluations, timing.means());
-    let mut best: Option<PartitionRecommendation> = None;
-    let mut k = 1u32;
-    while total_processors / k >= 2 {
+    let score_partition = |k: u32| -> PartitionRecommendation {
         let per = total_processors / k;
         let share = evaluations.div_ceil(u64::from(k));
         let pred = simulate_async(&PerfSimConfig {
@@ -118,19 +122,25 @@ pub fn recommend_partition(
         });
         // All K instances run concurrently on the same makespan.
         let makespan = pred.parallel_time;
-        let efficiency = serial / (f64::from(total_processors) * makespan);
-        let rec = PartitionRecommendation {
+        PartitionRecommendation {
             islands: k,
             processors_per_island: per,
-            efficiency,
+            efficiency: serial / (f64::from(total_processors) * makespan),
             parallel_time: makespan,
-        };
-        if best.as_ref().is_none_or(|b| efficiency > b.efficiency) {
-            best = Some(rec);
+        }
+    };
+    // K = 1 is always feasible (total_processors >= 2 asserted above), so
+    // the running best starts there — no empty case.
+    let mut best = score_partition(1);
+    let mut k = 2u32;
+    while total_processors / k >= 2 {
+        let rec = score_partition(k);
+        if rec.efficiency > best.efficiency {
+            best = rec;
         }
         k *= 2;
     }
-    best.expect("at least one partition")
+    best
 }
 
 #[cfg(test)]

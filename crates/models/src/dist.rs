@@ -49,10 +49,9 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 /// Trigamma function ψ'(x) (recurrence + asymptotic series).
@@ -65,8 +64,7 @@ pub fn trigamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result
-        + inv * (1.0 + inv * (0.5 + inv * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 / 42.0))))
+    result + inv * (1.0 + inv * (0.5 + inv * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 / 42.0))))
 }
 
 /// Samples a standard normal deviate (Marsaglia polar method).
@@ -422,10 +420,22 @@ mod tests {
             Dist::Uniform { lo: 1.0, hi: 3.0 },
             Dist::Exponential { rate: 2.0 },
             Dist::Normal { mean: 5.0, sd: 0.5 },
-            Dist::LogNormal { mu: -1.0, sigma: 0.4 },
-            Dist::Gamma { shape: 3.0, scale: 0.5 },
-            Dist::Gamma { shape: 0.5, scale: 2.0 },
-            Dist::Weibull { shape: 1.5, scale: 2.0 },
+            Dist::LogNormal {
+                mu: -1.0,
+                sigma: 0.4,
+            },
+            Dist::Gamma {
+                shape: 3.0,
+                scale: 0.5,
+            },
+            Dist::Gamma {
+                shape: 0.5,
+                scale: 2.0,
+            },
+            Dist::Weibull {
+                shape: 1.5,
+                scale: 2.0,
+            },
         ];
         for d in cases {
             let (m, v) = moments(d, 100_000);
@@ -473,9 +483,30 @@ mod tests {
         let cases = [
             (Dist::Exponential { rate: 1.5 }, 0.0, 15.0),
             (Dist::Normal { mean: 2.0, sd: 0.7 }, -4.0, 8.0),
-            (Dist::LogNormal { mu: 0.0, sigma: 0.5 }, 1e-9, 12.0),
-            (Dist::Gamma { shape: 2.5, scale: 0.8 }, 1e-9, 25.0),
-            (Dist::Weibull { shape: 2.0, scale: 1.0 }, 1e-9, 8.0),
+            (
+                Dist::LogNormal {
+                    mu: 0.0,
+                    sigma: 0.5,
+                },
+                1e-9,
+                12.0,
+            ),
+            (
+                Dist::Gamma {
+                    shape: 2.5,
+                    scale: 0.8,
+                },
+                1e-9,
+                25.0,
+            ),
+            (
+                Dist::Weibull {
+                    shape: 2.0,
+                    scale: 1.0,
+                },
+                1e-9,
+                8.0,
+            ),
         ];
         for (d, lo, hi) in cases {
             let n = 40_000;
@@ -488,7 +519,10 @@ mod tests {
                 })
                 .sum::<f64>()
                 * h;
-            assert!((integral - 1.0).abs() < 1e-3, "{d:?} integrates to {integral}");
+            assert!(
+                (integral - 1.0).abs() < 1e-3,
+                "{d:?} integrates to {integral}"
+            );
         }
     }
 
@@ -499,9 +533,18 @@ mod tests {
             Dist::Uniform { lo: 0.5, hi: 2.0 },
             Dist::Exponential { rate: 3.0 },
             Dist::Normal { mean: 4.0, sd: 0.8 },
-            Dist::LogNormal { mu: 0.2, sigma: 0.4 },
-            Dist::Gamma { shape: 2.2, scale: 0.7 },
-            Dist::Weibull { shape: 1.4, scale: 1.5 },
+            Dist::LogNormal {
+                mu: 0.2,
+                sigma: 0.4,
+            },
+            Dist::Gamma {
+                shape: 2.2,
+                scale: 0.7,
+            },
+            Dist::Weibull {
+                shape: 1.4,
+                scale: 1.5,
+            },
         ];
         for d in cases {
             let n = 40_000;
@@ -521,7 +564,14 @@ mod tests {
         assert_eq!(Dist::Constant(2.0).cdf(1.9), 0.0);
         assert_eq!(Dist::Constant(2.0).cdf(2.0), 1.0);
         assert_eq!(Dist::Exponential { rate: 1.0 }.cdf(-1.0), 0.0);
-        assert_eq!(Dist::Gamma { shape: 2.0, scale: 1.0 }.cdf(0.0), 0.0);
+        assert_eq!(
+            Dist::Gamma {
+                shape: 2.0,
+                scale: 1.0
+            }
+            .cdf(0.0),
+            0.0
+        );
         assert_eq!(Dist::Uniform { lo: 0.0, hi: 1.0 }.cdf(2.0), 1.0);
     }
 
@@ -530,12 +580,22 @@ mod tests {
         assert_eq!(Dist::Constant(1.0).num_parameters(), 1);
         assert_eq!(Dist::Exponential { rate: 1.0 }.num_parameters(), 1);
         assert_eq!(Dist::Normal { mean: 0.0, sd: 1.0 }.num_parameters(), 2);
-        assert_eq!(Dist::Weibull { shape: 1.0, scale: 1.0 }.num_parameters(), 2);
+        assert_eq!(
+            Dist::Weibull {
+                shape: 1.0,
+                scale: 1.0
+            }
+            .num_parameters(),
+            2
+        );
     }
 
     #[test]
     fn log_likelihood_prefers_generating_distribution() {
-        let truth = Dist::Gamma { shape: 4.0, scale: 0.25 };
+        let truth = Dist::Gamma {
+            shape: 4.0,
+            scale: 0.25,
+        };
         let mut r = rng();
         let xs: Vec<f64> = (0..5000).map(|_| truth.sample(&mut r)).collect();
         let ll_truth = truth.log_likelihood(&xs);

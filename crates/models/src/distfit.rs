@@ -95,12 +95,10 @@ impl SampleStats {
 pub fn fit_family(family: Family, samples: &[f64]) -> Option<Dist> {
     let stats = SampleStats::of(samples);
     match family {
-        Family::Uniform => {
-            (stats.max > stats.min).then_some(Dist::Uniform {
-                lo: stats.min,
-                hi: stats.max,
-            })
-        }
+        Family::Uniform => (stats.max > stats.min).then_some(Dist::Uniform {
+            lo: stats.min,
+            hi: stats.max,
+        }),
         Family::Exponential => {
             (stats.min >= 0.0 && stats.mean > 0.0).then_some(Dist::Exponential {
                 rate: 1.0 / stats.mean,
@@ -237,7 +235,7 @@ pub fn fit_all(samples: &[f64], families: &[Family]) -> Vec<FitResult> {
             })
         })
         .collect();
-    out.sort_by(|a, b| b.log_likelihood.partial_cmp(&a.log_likelihood).unwrap());
+    out.sort_by(|a, b| b.log_likelihood.total_cmp(&a.log_likelihood));
     out
 }
 
@@ -260,7 +258,7 @@ pub fn goodness_of_fit(dist: &Dist, samples: &[f64]) -> GoodnessOfFit {
     let k = dist.num_parameters() as f64;
     let ll = dist.log_likelihood(samples);
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     // KS: compare F against the empirical CDF on both sides of each jump.
     let mut ks: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
@@ -309,7 +307,7 @@ pub fn fit_ranked(
             SelectionCriterion::Bic => g.bic,
             SelectionCriterion::KolmogorovSmirnov => g.ks_statistic,
         };
-        key(&a.0, &a.1).partial_cmp(&key(&b.0, &b.1)).unwrap()
+        key(&a.0, &a.1).total_cmp(&key(&b.0, &b.1))
     });
     out
 }
@@ -352,7 +350,14 @@ mod tests {
 
     #[test]
     fn normal_fit_recovers_parameters() {
-        let xs = draw(Dist::Normal { mean: 10.0, sd: 2.0 }, 20_000, 1);
+        let xs = draw(
+            Dist::Normal {
+                mean: 10.0,
+                sd: 2.0,
+            },
+            20_000,
+            1,
+        );
         let d = fit_family(Family::Normal, &xs).unwrap();
         if let Dist::Normal { mean, sd } = d {
             assert!((mean - 10.0).abs() < 0.1);
@@ -374,7 +379,14 @@ mod tests {
 
     #[test]
     fn gamma_fit_recovers_parameters() {
-        let xs = draw(Dist::Gamma { shape: 3.0, scale: 0.5 }, 20_000, 3);
+        let xs = draw(
+            Dist::Gamma {
+                shape: 3.0,
+                scale: 0.5,
+            },
+            20_000,
+            3,
+        );
         if let Dist::Gamma { shape, scale } = fit_family(Family::Gamma, &xs).unwrap() {
             assert!((shape - 3.0).abs() < 0.15, "shape = {shape}");
             assert!((scale - 0.5).abs() < 0.05, "scale = {scale}");
@@ -385,7 +397,14 @@ mod tests {
 
     #[test]
     fn weibull_fit_recovers_parameters() {
-        let xs = draw(Dist::Weibull { shape: 1.8, scale: 2.5 }, 20_000, 4);
+        let xs = draw(
+            Dist::Weibull {
+                shape: 1.8,
+                scale: 2.5,
+            },
+            20_000,
+            4,
+        );
         if let Dist::Weibull { shape, scale } = fit_family(Family::Weibull, &xs).unwrap() {
             assert!((shape - 1.8).abs() < 0.1, "shape = {shape}");
             assert!((scale - 2.5).abs() < 0.1, "scale = {scale}");
@@ -396,7 +415,14 @@ mod tests {
 
     #[test]
     fn lognormal_fit_recovers_parameters() {
-        let xs = draw(Dist::LogNormal { mu: -2.0, sigma: 0.3 }, 20_000, 5);
+        let xs = draw(
+            Dist::LogNormal {
+                mu: -2.0,
+                sigma: 0.3,
+            },
+            20_000,
+            5,
+        );
         if let Dist::LogNormal { mu, sigma } = fit_family(Family::LogNormal, &xs).unwrap() {
             assert!((mu + 2.0).abs() < 0.02);
             assert!((sigma - 0.3).abs() < 0.02);
@@ -412,7 +438,13 @@ mod tests {
         let cases = [
             (Family::Normal, Dist::Normal { mean: 8.0, sd: 0.8 }),
             (Family::Exponential, Dist::Exponential { rate: 10.0 }),
-            (Family::Gamma, Dist::Gamma { shape: 9.0, scale: 0.01 }),
+            (
+                Family::Gamma,
+                Dist::Gamma {
+                    shape: 9.0,
+                    scale: 0.01,
+                },
+            ),
         ];
         for (i, (family, d)) in cases.into_iter().enumerate() {
             let xs = draw(d, 10_000, 100 + i as u64);
@@ -460,7 +492,11 @@ mod tests {
         assert!(gof.ks_statistic < 0.025, "KS = {}", gof.ks_statistic);
         let wrong = Dist::Exponential { rate: 1.0 / 3.0 };
         let gof_wrong = goodness_of_fit(&wrong, &xs);
-        assert!(gof_wrong.ks_statistic > 0.2, "KS = {}", gof_wrong.ks_statistic);
+        assert!(
+            gof_wrong.ks_statistic > 0.2,
+            "KS = {}",
+            gof_wrong.ks_statistic
+        );
     }
 
     #[test]
@@ -476,7 +512,14 @@ mod tests {
 
     #[test]
     fn ranked_fit_orders_by_criterion() {
-        let xs = draw(Dist::Gamma { shape: 3.0, scale: 0.2 }, 4_000, 23);
+        let xs = draw(
+            Dist::Gamma {
+                shape: 3.0,
+                scale: 0.2,
+            },
+            4_000,
+            23,
+        );
         for criterion in [
             SelectionCriterion::LogLikelihood,
             SelectionCriterion::Aic,
@@ -497,7 +540,10 @@ mod tests {
                     SelectionCriterion::KolmogorovSmirnov => g.ks_statistic,
                 })
                 .collect();
-            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{criterion:?}: {keys:?}");
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "{criterion:?}: {keys:?}"
+            );
         }
     }
 

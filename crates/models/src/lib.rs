@@ -34,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod advisor;
 pub mod analytical;
@@ -51,9 +52,8 @@ pub mod prelude {
     };
     pub use crate::analytical::{
         async_efficiency, async_parallel_time, async_parallel_time_saturating, async_speedup,
-        processor_lower_bound,
-        processor_upper_bound, relative_error, serial_time, sync_efficiency, sync_parallel_time,
-        sync_speedup, TimingParams,
+        processor_lower_bound, processor_upper_bound, relative_error, serial_time, sync_efficiency,
+        sync_parallel_time, sync_speedup, TimingParams,
     };
     pub use crate::dist::Dist;
     pub use crate::distfit::{

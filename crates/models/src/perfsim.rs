@@ -130,7 +130,10 @@ pub fn simulate_async(config: &PerfSimConfig) -> PerfPrediction {
 
 /// As [`simulate_async`], recording activity spans (for Figure 2).
 pub fn simulate_async_traced(config: &PerfSimConfig, trace: &mut SpanTrace) -> PerfPrediction {
-    assert!(config.processors >= 2, "need a master and at least one worker");
+    assert!(
+        config.processors >= 2,
+        "need a master and at least one worker"
+    );
     let workers = (config.processors - 1) as usize;
     let mut hooks = SamplingHooks::new(config.timing, workers, config.seed);
     let outcome = run_async(&mut hooks, workers, config.evaluations, trace);
@@ -174,28 +177,25 @@ pub fn simulate_sync_traced(config: &PerfSimConfig, trace: &mut SpanTrace) -> Pe
 /// 50 replicates; its tables report means).
 pub fn simulate_async_mean(config: &PerfSimConfig, replicates: u32) -> PerfPrediction {
     assert!(replicates >= 1);
-    let mut acc: Option<PerfPrediction> = None;
-    for r in 0..replicates {
+    let replicate_config = |r: u32| {
         let mut c = *config;
         c.seed = SplitMix64::new(config.seed)
             .derive_seed("perfsim-replicate")
             .wrapping_add(r as u64);
-        let p = simulate_async(&c);
-        acc = Some(match acc {
-            None => p,
-            Some(mut a) => {
-                a.parallel_time += p.parallel_time;
-                a.speedup += p.speedup;
-                a.efficiency += p.efficiency;
-                a.outcome.elapsed += p.outcome.elapsed;
-                a.outcome.master_busy += p.outcome.master_busy;
-                a.outcome.master_utilization += p.outcome.master_utilization;
-                a.outcome.mean_wait += p.outcome.mean_wait;
-                a
-            }
-        });
+        c
+    };
+    // Replicate 0 seeds the accumulator directly — no empty case.
+    let mut a = simulate_async(&replicate_config(0));
+    for r in 1..replicates {
+        let p = simulate_async(&replicate_config(r));
+        a.parallel_time += p.parallel_time;
+        a.speedup += p.speedup;
+        a.efficiency += p.efficiency;
+        a.outcome.elapsed += p.outcome.elapsed;
+        a.outcome.master_busy += p.outcome.master_busy;
+        a.outcome.master_utilization += p.outcome.master_utilization;
+        a.outcome.mean_wait += p.outcome.mean_wait;
     }
-    let mut a = acc.expect("at least one replicate");
     let k = replicates as f64;
     a.parallel_time /= k;
     a.speedup /= k;
@@ -282,7 +282,10 @@ mod tests {
         let cfg = paper_config(64, 0.01, 0.000_027, 5_000);
         let a = simulate_async_mean(&cfg, 5);
         let b = simulate_async_mean(&cfg, 5);
-        assert_eq!(a.parallel_time, b.parallel_time, "replicate mean must be deterministic");
+        assert_eq!(
+            a.parallel_time, b.parallel_time,
+            "replicate mean must be deterministic"
+        );
         let single = simulate_async(&cfg);
         assert!(relative_error(single.parallel_time, a.parallel_time) < 0.05);
     }
@@ -300,7 +303,10 @@ mod tests {
         // The Figure 5 crossover, via the simulation models themselves.
         let at_scale = |p: u32| {
             let cfg = paper_config(p, 0.05, 0.000_02, 20_000);
-            (simulate_async(&cfg).efficiency, simulate_sync(&cfg).efficiency)
+            (
+                simulate_async(&cfg).efficiency,
+                simulate_sync(&cfg).efficiency,
+            )
         };
         let (ea_big, es_big) = at_scale(1024);
         assert!(

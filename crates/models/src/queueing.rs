@@ -87,7 +87,12 @@ pub fn run_async<H: MasterSlaveHooks>(
     for w in 0..workers {
         let ta = hooks.produce(w, master_free_at);
         let tc = hooks.comm_time();
-        trace.record(Actor::Master, Activity::Algorithm, master_free_at, master_free_at + ta);
+        trace.record(
+            Actor::Master,
+            Activity::Algorithm,
+            master_free_at,
+            master_free_at + ta,
+        );
         trace.record(
             Actor::Master,
             Activity::Communication,
@@ -98,7 +103,12 @@ pub fn run_async<H: MasterSlaveHooks>(
         master_busy += ta + tc;
         master_free_at = start_eval;
         let tf = hooks.evaluation_time(w);
-        trace.record(Actor::Worker(w), Activity::Evaluation, start_eval, start_eval + tf);
+        trace.record(
+            Actor::Worker(w),
+            Activity::Evaluation,
+            start_eval,
+            start_eval + tf,
+        );
         queue.schedule_at(start_eval + tf, ResultReady { worker: w });
     }
 
@@ -143,7 +153,12 @@ pub fn run_async<H: MasterSlaveHooks>(
         let ta_p = hooks.produce(w, grant + tc_in + ta_c);
         let tc_out = hooks.comm_time();
         let hold_end = grant + tc_in + ta_c + ta_p + tc_out;
-        trace.record(Actor::Master, Activity::Algorithm, grant + tc_in, grant + tc_in + ta_c + ta_p);
+        trace.record(
+            Actor::Master,
+            Activity::Algorithm,
+            grant + tc_in,
+            grant + tc_in + ta_c + ta_p,
+        );
         trace.record(
             Actor::Master,
             Activity::Communication,
@@ -154,7 +169,12 @@ pub fn run_async<H: MasterSlaveHooks>(
         master_free_at = hold_end;
 
         let tf = hooks.evaluation_time(w);
-        trace.record(Actor::Worker(w), Activity::Evaluation, hold_end, hold_end + tf);
+        trace.record(
+            Actor::Worker(w),
+            Activity::Evaluation,
+            hold_end,
+            hold_end + tf,
+        );
         queue.schedule_at(hold_end + tf, ResultReady { worker: w });
     }
     unreachable!("event queue drained before N results were consumed");
@@ -188,7 +208,12 @@ pub fn run_sync<H: MasterSlaveHooks>(
             let ta = hooks.produce(w, now);
             let tc = hooks.comm_time();
             trace.record(Actor::Master, Activity::Algorithm, now, now + ta);
-            trace.record(Actor::Master, Activity::Communication, now + ta, now + ta + tc);
+            trace.record(
+                Actor::Master,
+                Activity::Communication,
+                now + ta,
+                now + ta + tc,
+            );
             master_busy += ta + tc;
             now += ta + tc;
             let tf = hooks.evaluation_time(w);
@@ -199,13 +224,18 @@ pub fn run_sync<H: MasterSlaveHooks>(
         let ta_own = hooks.produce(workers, now);
         let tf_own = hooks.evaluation_time(workers);
         trace.record(Actor::Master, Activity::Algorithm, now, now + ta_own);
-        trace.record(Actor::Master, Activity::Evaluation, now + ta_own, now + ta_own + tf_own);
+        trace.record(
+            Actor::Master,
+            Activity::Evaluation,
+            now + ta_own,
+            now + ta_own + tf_own,
+        );
         master_busy += ta_own + tf_own;
         now += ta_own + tf_own;
 
         // Receives, serialized in completion order, no earlier than the
         // master finishing its own evaluation.
-        finish_times.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        finish_times.sort_by(|a, b| a.1.total_cmp(&b.1));
         for &(w, t_done) in &finish_times {
             let start = now.max(t_done);
             trace.record(Actor::Worker(w), Activity::Idle, t_done, start);
@@ -275,7 +305,12 @@ mod tests {
         let out = run_async(&mut hooks, 16, n, &mut trace);
         let predicted = async_parallel_time(n, 17, t);
         let err = (out.elapsed - predicted).abs() / predicted;
-        assert!(err < 0.01, "DES {} vs Eq.2 {} (err {err})", out.elapsed, predicted);
+        assert!(
+            err < 0.01,
+            "DES {} vs Eq.2 {} (err {err})",
+            out.elapsed,
+            predicted
+        );
         assert_eq!(out.completed, n);
         // Workers start clustered (seeding spaces them only T_C apart) and
         // respace over the first few cycles; steady-state waits are tiny
@@ -305,7 +340,10 @@ mod tests {
             saturated
         );
         let eq2 = async_parallel_time(n, 512, t);
-        assert!(out.elapsed > 5.0 * eq2, "analytical model should be way off");
+        assert!(
+            out.elapsed > 5.0 * eq2,
+            "analytical model should be way off"
+        );
         assert!(out.master_utilization > 0.99);
         assert!(out.mean_wait > 0.0);
     }
@@ -322,7 +360,10 @@ mod tests {
                 run_async(&mut hooks, w, n, &mut SpanTrace::disabled()).elapsed
             })
             .collect();
-        assert!(elapsed[1] < elapsed[0] * 0.6, "doubling workers should ~halve time");
+        assert!(
+            elapsed[1] < elapsed[0] * 0.6,
+            "doubling workers should ~halve time"
+        );
         // Past saturation adding workers cannot speed things up.
         assert!(elapsed[4] > 0.9 * elapsed[3]);
         // And the saturated time cannot drop below the master bound.
@@ -389,8 +430,10 @@ mod tests {
         };
         let sync_low = run_sync(&mut make(1, 0.05), workers, n, &mut SpanTrace::disabled()).elapsed;
         let sync_high = run_sync(&mut make(1, 1.0), workers, n, &mut SpanTrace::disabled()).elapsed;
-        let async_low = run_async(&mut make(2, 0.05), workers, n, &mut SpanTrace::disabled()).elapsed;
-        let async_high = run_async(&mut make(2, 1.0), workers, n, &mut SpanTrace::disabled()).elapsed;
+        let async_low =
+            run_async(&mut make(2, 0.05), workers, n, &mut SpanTrace::disabled()).elapsed;
+        let async_high =
+            run_async(&mut make(2, 1.0), workers, n, &mut SpanTrace::disabled()).elapsed;
         let sync_penalty = sync_high / sync_low;
         let async_penalty = async_high / async_low;
         assert!(

@@ -162,7 +162,13 @@ pub fn run_islands<P: Problem + ?Sized>(
             island.busy += ta + tc;
             island.master_free_at = start_eval;
             let tf = config.t_f.sample(&mut rng);
-            queue.schedule_at(start_eval + tf, ResultReady { island: i, worker: w });
+            queue.schedule_at(
+                start_eval + tf,
+                ResultReady {
+                    island: i,
+                    worker: w,
+                },
+            );
         }
     }
 
@@ -177,6 +183,10 @@ pub fn run_islands<P: Problem + ?Sized>(
         let tc_in = config.t_c.sample(&mut rng);
 
         // Consume.
+        // A completion event for an empty slot can only mean a scheduling
+        // bug in this event loop itself; panicking immediately (rather than
+        // propagating) is the correct response to a corrupted simulation.
+        // borg-lint: allow(BORG-L001)
         let (cand, o, c) = islands[i].pending[w].take().expect("missing result");
         let t0 = Instant::now();
         let sol = islands[i].engine.make_solution(cand, o, c);
@@ -238,11 +248,20 @@ pub fn run_islands<P: Problem + ?Sized>(
         islands[i].busy += tc_in + ta_c + ta_p + migration_cost + tc_out;
         islands[i].master_free_at = hold_end;
         let tf = config.t_f.sample(&mut rng);
-        queue.schedule_at(hold_end + tf, ResultReady { island: i, worker: w });
+        queue.schedule_at(
+            hold_end + tf,
+            ResultReady {
+                island: i,
+                worker: w,
+            },
+        );
         elapsed = hold_end;
     }
 
-    let mean_util = islands.iter().map(|is| is.busy / elapsed.max(1e-300)).sum::<f64>()
+    let mean_util = islands
+        .iter()
+        .map(|is| is.busy / elapsed.max(1e-300))
+        .sum::<f64>()
         / islands.len() as f64;
     IslandRunResult {
         elapsed,

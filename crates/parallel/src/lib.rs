@@ -42,8 +42,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod delayed;
+pub mod handshake_model;
 pub mod islands;
 pub mod sync_nsga2;
 pub mod threads;
@@ -54,7 +56,9 @@ pub mod prelude {
     pub use crate::delayed::{precise_delay, DelayedProblem};
     pub use crate::islands::{run_islands, IslandConfig, IslandRunResult};
     pub use crate::sync_nsga2::{run_virtual_sync_nsga2, SyncNsga2Config, SyncNsga2Result};
-    pub use crate::threads::{estimate_comm_time, run_threaded, ThreadedConfig, ThreadedRunResult};
+    pub use crate::threads::{
+        estimate_comm_time, run_threaded, ThreadedConfig, ThreadedError, ThreadedRunResult,
+    };
     pub use crate::virtual_exec::{
         run_virtual_async, run_virtual_serial, run_virtual_sync, TaMode, VirtualConfig,
         VirtualRunResult,

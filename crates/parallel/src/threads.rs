@@ -48,6 +48,50 @@ pub struct ThreadedRunResult {
 /// ε-box arithmetic stays well-defined) but worse than any real objective.
 pub const PANIC_OBJECTIVE: f64 = 1e30;
 
+/// Failures of the real-thread executor.
+///
+/// Worker threads catch panics inside `Problem::evaluate` and report a
+/// sentinel result, so under normal operation none of these occur; they
+/// surface as structured errors (instead of master-side panics) if the
+/// worker pool dies anyway — e.g. a panic in the delay sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadedError {
+    /// Every worker disconnected while evaluations were still owed.
+    WorkersDisconnected {
+        /// Evaluations the engine had consumed when the pool died.
+        nfe_completed: u64,
+        /// Dispatched candidates whose results will never arrive.
+        in_flight: usize,
+    },
+    /// A worker reported a result id the master never dispatched.
+    UnknownResultId(u64),
+    /// The echo thread of [`estimate_comm_time`] hung up mid-measurement.
+    CommProbeDisconnected,
+}
+
+impl std::fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkersDisconnected {
+                nfe_completed,
+                in_flight,
+            } => write!(
+                f,
+                "all worker threads disconnected after {nfe_completed} evaluations \
+                 with {in_flight} candidates in flight"
+            ),
+            Self::UnknownResultId(id) => {
+                write!(f, "worker reported unknown result id {id}")
+            }
+            Self::CommProbeDisconnected => {
+                write!(f, "comm-time echo thread disconnected mid-measurement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
 struct WorkItem {
     id: u64,
     variables: Vec<f64>,
@@ -66,11 +110,16 @@ struct ResultItem {
 /// Nondeterministic across runs (OS scheduling decides result arrival
 /// order) but all engine invariants hold; use the virtual executor for
 /// reproducible experiments.
+///
+/// # Errors
+/// [`ThreadedError`] if the worker pool dies before the evaluation budget
+/// completes (panicking *evaluations* are tolerated and do not cause this;
+/// see [`PANIC_OBJECTIVE`]).
 pub fn run_threaded<P: Problem + ?Sized>(
     problem: &P,
     borg: BorgConfig,
     config: &ThreadedConfig,
-) -> ThreadedRunResult {
+) -> Result<ThreadedRunResult, ThreadedError> {
     assert!(config.workers >= 1, "need at least one worker");
     assert!(config.max_nfe >= 1);
 
@@ -133,36 +182,24 @@ pub fn run_threaded<P: Problem + ?Sized>(
         }
         drop(result_tx); // master keeps only the receiver
 
-        // Seed one candidate per worker.
-        for _ in 0..config.workers {
-            let t0 = Instant::now();
-            let cand = engine.produce();
-            ta_samples.push(t0.elapsed().as_secs_f64());
-            let id = next_id;
-            next_id += 1;
-            work_tx
-                .send(WorkItem {
-                    id,
-                    variables: cand.variables.clone(),
-                })
-                .expect("workers alive");
-            in_flight.insert(id, cand);
-        }
+        // The master body runs in an inner closure so that `?` can
+        // propagate pool failures while `work_tx` is still dropped on
+        // every path — otherwise the scope would join workers blocked on
+        // `recv()` forever.
+        let master = (|| -> Result<f64, ThreadedError> {
+            let pool_died =
+                |engine: &BorgEngine, in_flight: &std::collections::HashMap<u64, Candidate>| {
+                    ThreadedError::WorkersDisconnected {
+                        nfe_completed: engine.nfe(),
+                        in_flight: in_flight.len(),
+                    }
+                };
 
-        // Main master loop.
-        while engine.nfe() < config.max_nfe {
-            let result = result_rx.recv().expect("workers alive while work remains");
-            let _ = result.worker;
-            tf_samples.push(result.eval_seconds);
-            let cand = in_flight.remove(&result.id).expect("unknown result id");
-            let t0 = Instant::now();
-            let sol = engine.make_solution(cand, result.objectives, result.constraints);
-            engine.consume(sol);
-            let mut ta = t0.elapsed().as_secs_f64();
-            if engine.nfe() + (in_flight.len() as u64) < config.max_nfe {
-                let t1 = Instant::now();
+            // Seed one candidate per worker.
+            for _ in 0..config.workers {
+                let t0 = Instant::now();
                 let cand = engine.produce();
-                ta += t1.elapsed().as_secs_f64();
+                ta_samples.push(t0.elapsed().as_secs_f64());
                 let id = next_id;
                 next_id += 1;
                 work_tx
@@ -170,28 +207,59 @@ pub fn run_threaded<P: Problem + ?Sized>(
                         id,
                         variables: cand.variables.clone(),
                     })
-                    .expect("workers alive");
+                    .map_err(|_| pool_died(&engine, &in_flight))?;
                 in_flight.insert(id, cand);
             }
-            ta_samples.push(ta);
-        }
+
+            // Main master loop.
+            while engine.nfe() < config.max_nfe {
+                let result = result_rx
+                    .recv()
+                    .map_err(|_| pool_died(&engine, &in_flight))?;
+                let _ = result.worker;
+                tf_samples.push(result.eval_seconds);
+                let cand = in_flight
+                    .remove(&result.id)
+                    .ok_or(ThreadedError::UnknownResultId(result.id))?;
+                let t0 = Instant::now();
+                let sol = engine.make_solution(cand, result.objectives, result.constraints);
+                engine.consume(sol);
+                let mut ta = t0.elapsed().as_secs_f64();
+                if engine.nfe() + (in_flight.len() as u64) < config.max_nfe {
+                    let t1 = Instant::now();
+                    let cand = engine.produce();
+                    ta += t1.elapsed().as_secs_f64();
+                    let id = next_id;
+                    next_id += 1;
+                    work_tx
+                        .send(WorkItem {
+                            id,
+                            variables: cand.variables.clone(),
+                        })
+                        .map_err(|_| pool_died(&engine, &in_flight))?;
+                    in_flight.insert(id, cand);
+                }
+                ta_samples.push(ta);
+            }
+            Ok(start.elapsed().as_secs_f64())
+        })();
         drop(work_tx); // workers drain and exit
-        start.elapsed().as_secs_f64()
+        master
     });
 
-    ThreadedRunResult {
-        elapsed,
+    Ok(ThreadedRunResult {
+        elapsed: elapsed?,
         engine,
         ta_samples,
         tf_samples,
-    }
+    })
 }
 
 /// Estimates the one-way message time `T_C` between two threads on this
 /// machine by ping-ponging `rounds` messages over crossbeam channels and
 /// halving the mean round trip — the thread-level analogue of the paper's
 /// MPI round-trip measurement (they report 6 µs on TACC Ranger).
-pub fn estimate_comm_time(rounds: u32) -> f64 {
+pub fn estimate_comm_time(rounds: u32) -> Result<f64, ThreadedError> {
     assert!(rounds >= 1);
     let (ping_tx, ping_rx) = channel::bounded::<()>(1);
     let (pong_tx, pong_rx) = channel::bounded::<()>(1);
@@ -203,19 +271,27 @@ pub fn estimate_comm_time(rounds: u32) -> f64 {
                 }
             }
         });
-        // Warm-up.
-        for _ in 0..16 {
-            ping_tx.send(()).unwrap();
-            pong_rx.recv().unwrap();
-        }
-        let start = Instant::now();
-        for _ in 0..rounds {
-            ping_tx.send(()).unwrap();
-            pong_rx.recv().unwrap();
-        }
-        let elapsed = start.elapsed().as_secs_f64();
+        let ping_pong = |times: u32| -> Result<(), ThreadedError> {
+            for _ in 0..times {
+                ping_tx
+                    .send(())
+                    .map_err(|_| ThreadedError::CommProbeDisconnected)?;
+                pong_rx
+                    .recv()
+                    .map_err(|_| ThreadedError::CommProbeDisconnected)?;
+            }
+            Ok(())
+        };
+        // As in `run_threaded`, measure inside an inner closure so the
+        // echo thread's sender is dropped (ending it) on every path.
+        let measured = (|| {
+            ping_pong(16)?; // warm-up
+            let start = Instant::now();
+            ping_pong(rounds)?;
+            Ok(start.elapsed().as_secs_f64() / rounds as f64 / 2.0)
+        })();
         drop(ping_tx);
-        elapsed / rounds as f64 / 2.0
+        measured
     })
 }
 
@@ -234,7 +310,7 @@ mod tests {
             delay: None,
             seed: 1,
         };
-        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg);
+        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg).expect("run");
         assert_eq!(result.engine.nfe(), 2_000);
         assert!(result.engine.archive().len() > 5);
         result.engine.archive().check_invariants().unwrap();
@@ -251,7 +327,7 @@ mod tests {
             delay: None,
             seed: 2,
         };
-        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg);
+        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg).expect("run");
         // Archive close to the true front f2 = 1 − √f1.
         let worst = result
             .engine
@@ -275,9 +351,14 @@ mod tests {
             delay: Some(Dist::Constant(t_f)),
             seed: 3,
         };
-        let result = run_threaded(&problem, BorgConfig::new(5, 0.06), &cfg);
+        let result = run_threaded(&problem, BorgConfig::new(5, 0.06), &cfg).expect("run");
         let ideal = nfe as f64 * t_f / workers as f64;
-        assert!(result.elapsed >= ideal * 0.9, "{} < {}", result.elapsed, ideal);
+        assert!(
+            result.elapsed >= ideal * 0.9,
+            "{} < {}",
+            result.elapsed,
+            ideal
+        );
         assert!(
             result.elapsed < ideal * 3.0,
             "parallelism not effective: {} vs ideal {}",
@@ -323,13 +404,15 @@ mod tests {
             delay: None,
             seed: 11,
         };
-        let result = run_threaded(&Flaky, BorgConfig::new(2, 0.01), &cfg);
+        let result = run_threaded(&Flaky, BorgConfig::new(2, 0.01), &cfg).expect("run");
         std::panic::set_hook(prev_hook);
         assert_eq!(result.engine.nfe(), 1_500);
         assert!(!result.engine.archive().is_empty());
         for s in result.engine.archive().solutions() {
             assert!(
-                s.objectives().iter().all(|&o| o < crate::threads::PANIC_OBJECTIVE / 2.0),
+                s.objectives()
+                    .iter()
+                    .all(|&o| o < crate::threads::PANIC_OBJECTIVE / 2.0),
                 "sentinel leaked into the archive: {:?}",
                 s.objectives()
             );
@@ -339,7 +422,7 @@ mod tests {
 
     #[test]
     fn comm_time_estimate_is_plausible() {
-        let tc = estimate_comm_time(200);
+        let tc = estimate_comm_time(200).expect("probe");
         assert!(tc > 0.0);
         assert!(tc < 0.01, "thread ping should be far under 10 ms: {tc}");
     }
@@ -353,7 +436,7 @@ mod tests {
             delay: None,
             seed: 4,
         };
-        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg);
+        let result = run_threaded(&problem, BorgConfig::new(2, 0.01), &cfg).expect("run");
         assert!(result.ta_samples.len() as u64 >= 500);
         assert!(result.ta_samples.iter().all(|&t| (0.0..1.0).contains(&t)));
     }

@@ -185,8 +185,11 @@ impl<'p, P: Problem + ?Sized, F: FnMut(f64, &BorgEngine)> MasterSlaveHooks for B
     }
 
     fn consume(&mut self, worker: usize, now: f64) -> f64 {
+        // The queueing engine only issues consume() after the matching
+        // produce(); an empty slot means the simulation itself is corrupted
+        // and panicking immediately is the correct response.
         let (candidate, objs, cons) = self.pending[worker]
-            .take()
+            .take() // borg-lint: allow(BORG-L001)
             .expect("consume without a pending result");
         let start = Instant::now();
         let solution: Solution = self.engine.make_solution(candidate, objs, cons);
@@ -220,7 +223,10 @@ where
     P: Problem + ?Sized,
     F: FnMut(f64, &BorgEngine),
 {
-    assert!(config.processors >= 2, "need a master and at least one worker");
+    assert!(
+        config.processors >= 2,
+        "need a master and at least one worker"
+    );
     let workers = (config.processors - 1) as usize;
     let mut hooks = BorgHooks::new(problem, config, borg, observer);
     let outcome = run_async(&mut hooks, workers, config.max_nfe, trace);
@@ -344,9 +350,15 @@ mod tests {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(16, 5_000, 0.01, 0.000_03);
         let mut count = 0u64;
-        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {
-            count += 1;
-        });
+        let result = run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {
+                count += 1;
+            },
+        );
         assert_eq!(result.outcome.completed, 5_000);
         assert_eq!(count, 5_000);
         assert_eq!(result.engine.nfe(), 5_000);
@@ -360,7 +372,13 @@ mod tests {
     fn sampled_times_match_analytical_model_below_saturation() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(16, 5_000, 0.01, 0.000_03);
-        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let result = run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
         let t = TimingParams::new(0.01, 0.000_006, 0.000_03);
         let eq2 = async_parallel_time(5_000, 16, t);
         assert!(
@@ -375,8 +393,20 @@ mod tests {
     fn virtual_async_is_deterministic_with_sampled_ta() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(8, 2_000, 0.001, 0.000_03);
-        let a = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
-        let b = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let a = run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
+        let b = run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
         assert_eq!(a.outcome.elapsed, b.outcome.elapsed);
         assert_eq!(
             a.engine.archive().objective_vectors(),
@@ -397,7 +427,13 @@ mod tests {
             t_a: TaMode::Measured,
             seed: 5,
         };
-        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let result = run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
         let n = result.ta_samples.len();
         let early: f64 = result.ta_samples[..n / 4].iter().sum::<f64>() / (n / 4) as f64;
         let late: f64 = result.ta_samples[3 * n / 4..].iter().sum::<f64>() / (n - 3 * n / 4) as f64;
@@ -421,7 +457,13 @@ mod tests {
     fn parallel_beats_serial_on_virtual_clock() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(16, 4_000, 0.01, 0.000_03);
-        let par = run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let par = run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
         let ser = run_virtual_serial(&problem, borg_cfg(), &cfg, |_, _| {});
         let speedup = ser.outcome.elapsed / par.outcome.elapsed;
         assert!(speedup > 10.0, "speedup = {speedup}");
@@ -431,7 +473,13 @@ mod tests {
     fn sync_executor_runs_generationally() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(8, 2_000, 0.01, 0.000_03);
-        let result = run_virtual_sync(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let result = run_virtual_sync(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
         assert!(result.outcome.completed >= 2_000);
         assert!(result.engine.archive().len() > 5);
     }
@@ -442,12 +490,18 @@ mod tests {
         let cfg = sampled_config(4, 1_000, 0.005, 0.000_02);
         let mut last_t = -1.0;
         let mut last_nfe = 0;
-        run_virtual_async(&problem, borg_cfg(), &cfg, &mut SpanTrace::disabled(), |t, e| {
-            assert!(t >= last_t, "time went backwards");
-            assert!(e.nfe() > last_nfe || last_nfe == 0);
-            last_t = t;
-            last_nfe = e.nfe();
-        });
+        run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |t, e| {
+                assert!(t >= last_t, "time went backwards");
+                assert!(e.nfe() > last_nfe || last_nfe == 0);
+                last_t = t;
+                last_nfe = e.nfe();
+            },
+        );
         assert_eq!(last_nfe, 1_000);
     }
 }

@@ -110,9 +110,8 @@ impl Problem for Cdtlz {
         match self.variant {
             CdtlzVariant::C1Dtlz1 => {
                 // Feasible when c = 1 − f_M/0.6 − Σ_{i<M} f_i/0.5 ≥ 0.
-                let c = 1.0
-                    - objs[m - 1] / 0.6
-                    - objs[..m - 1].iter().map(|f| f / 0.5).sum::<f64>();
+                let c =
+                    1.0 - objs[m - 1] / 0.6 - objs[..m - 1].iter().map(|f| f / 0.5).sum::<f64>();
                 cons[0] = -c;
             }
             CdtlzVariant::C1Dtlz3 => {
@@ -138,7 +137,10 @@ impl Problem for Cdtlz {
                     })
                     .fold(f64::INFINITY, f64::min);
                 let center = 1.0 / (m as f64).sqrt();
-                let middle = objs.iter().map(|&f| (f - center) * (f - center)).sum::<f64>()
+                let middle = objs
+                    .iter()
+                    .map(|&f| (f - center) * (f - center))
+                    .sum::<f64>()
                     - r * r;
                 cons[0] = axis_min.min(middle);
             }
@@ -232,7 +234,10 @@ mod tests {
         // f = (cos(π/4), sin(π/4), 0).
         let (objs, cons) = eval(&p, &vars(&p, &[0.0, 0.5], 0.5));
         assert!(objs[2] < 1e-9, "expected f3 = 0, got {objs:?}");
-        assert!(cons[0] > 0.0, "edge midpoint should violate: {objs:?} {cons:?}");
+        assert!(
+            cons[0] > 0.0,
+            "edge midpoint should violate: {objs:?} {cons:?}"
+        );
     }
 
     #[test]
@@ -263,7 +268,12 @@ mod tests {
             let p = Cdtlz::new(variant, 3);
             let engine = run_serial(&p, BorgConfig::new(3, eps), 17, 8_000, |_| {});
             assert!(!engine.archive().is_empty(), "{variant:?}: empty archive");
-            let feasible = engine.archive().solutions().iter().filter(|s| s.is_feasible()).count();
+            let feasible = engine
+                .archive()
+                .solutions()
+                .iter()
+                .filter(|s| s.is_feasible())
+                .count();
             if feasible == 0 {
                 // C1-DTLZ1's feasible region requires near-convergence of
                 // DTLZ1's multimodal g; within a small budget the archive

@@ -379,7 +379,10 @@ mod tests {
             for _ in 0..100 {
                 let vars: Vec<f64> = (0..p.num_variables()).map(|_| rng.gen()).collect();
                 let objs = eval(&p, &vars);
-                assert!(objs.iter().all(|f| f.is_finite()), "{variant:?} produced NaN");
+                assert!(
+                    objs.iter().all(|f| f.is_finite()),
+                    "{variant:?} produced NaN"
+                );
             }
         }
     }

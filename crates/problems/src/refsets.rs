@@ -14,7 +14,14 @@ pub fn das_dennis_weights(m: usize, h: usize) -> Vec<Vec<f64>> {
     assert!(m >= 1);
     let mut out = Vec::new();
     let mut current = vec![0usize; m];
-    fn recurse(m: usize, left: usize, idx: usize, current: &mut [usize], out: &mut Vec<Vec<f64>>, h: usize) {
+    fn recurse(
+        m: usize,
+        left: usize,
+        idx: usize,
+        current: &mut [usize],
+        out: &mut Vec<Vec<f64>>,
+        h: usize,
+    ) {
         if idx == m - 1 {
             current[idx] = left;
             out.push(current.iter().map(|&c| c as f64 / h as f64).collect());

@@ -277,7 +277,9 @@ mod tests {
         let inner = Dtlz::dtlz2_5();
         let mut rotated = RotatedProblem::new(Dtlz::dtlz2_5(), 7);
         rotated.rotation = OrthogonalMatrix::identity(inner.num_variables());
-        let vars: Vec<f64> = (0..inner.num_variables()).map(|i| 0.1 + 0.05 * i as f64).collect();
+        let vars: Vec<f64> = (0..inner.num_variables())
+            .map(|i| 0.1 + 0.05 * i as f64)
+            .collect();
         let mut a = vec![0.0; 5];
         let mut b = vec![0.0; 5];
         inner.evaluate(&vars, &mut a, &mut []);

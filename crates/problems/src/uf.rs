@@ -72,7 +72,10 @@ impl Uf {
     }
 
     fn is_triobjective(&self) -> bool {
-        matches!(self.variant, UfVariant::Uf8 | UfVariant::Uf9 | UfVariant::Uf10)
+        matches!(
+            self.variant,
+            UfVariant::Uf8 | UfVariant::Uf9 | UfVariant::Uf10
+        )
     }
 
     /// Σ and count over J1/J2 for the bi-objective family, where each term
@@ -189,8 +192,8 @@ impl Problem for Uf {
             }
             UfVariant::Uf2 => {
                 let y = |xj: f64, j: usize| {
-                    let a = 0.3 * x1 * x1 * (24.0 * PI * x1 + 4.0 * j as f64 * PI / n).cos()
-                        + 0.6 * x1;
+                    let a =
+                        0.3 * x1 * x1 * (24.0 * PI * x1 + 4.0 * j as f64 * PI / n).cos() + 0.6 * x1;
                     let phase = 6.0 * PI * x1 + j as f64 * PI / n;
                     if j % 2 == 1 {
                         xj - a * phase.cos()

@@ -207,9 +207,12 @@ impl Wfg {
     /// `l` must be even (WFG2/3 reduce distance parameters in pairs).
     pub fn new(variant: WfgVariant, m: usize, k: usize, l: usize) -> Self {
         assert!(m >= 2, "WFG needs at least two objectives");
-        assert!(k >= 1 && k.is_multiple_of(m - 1), "k must be a multiple of M - 1");
+        assert!(
+            k >= 1 && k.is_multiple_of(m - 1),
+            "k must be a multiple of M - 1"
+        );
         assert!(l >= 2 && l.is_multiple_of(2), "l must be even and >= 2");
-        let idx = WfgVariant::all().iter().position(|&v| v == variant).unwrap() + 1;
+        let idx = variant as usize + 1;
         Self {
             variant,
             m,
@@ -531,7 +534,12 @@ mod tests {
         // For WFG4–WFG7 the distance optimum is z_i = 0.35·2i (for WFG7 the
         // position bias does not move it), giving t_M = 0 and a front on
         // Σ (f_m/(2m))² = 1.
-        for variant in [WfgVariant::Wfg4, WfgVariant::Wfg5, WfgVariant::Wfg6, WfgVariant::Wfg7] {
+        for variant in [
+            WfgVariant::Wfg4,
+            WfgVariant::Wfg5,
+            WfgVariant::Wfg6,
+            WfgVariant::Wfg7,
+        ] {
             let p = Wfg::new(variant, 3, 4, 6);
             for pos in [0.0, 0.3, 0.8, 1.0] {
                 let objs = eval(&p, &optimal_vars(&p, pos));
@@ -595,7 +603,10 @@ mod tests {
             }
             last = objs[2];
         }
-        assert!(direction_changes >= 4, "only {direction_changes} direction changes");
+        assert!(
+            direction_changes >= 4,
+            "only {direction_changes} direction changes"
+        );
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Lint self-test fixture: every `//~ BORG-Lxxx` marker names a violation
+//! `cargo xtask check --self-test` must report on that line, and every
+//! unmarked escape hatch below must stay silent. The file is never compiled
+//! or scanned by a normal `check` run (fixtures are excluded from
+//! discovery); it is linted under a spoofed `crates/desim/src/` path so the
+//! path-scoped BORG-L003 rule is live too.
+
+use std::sync::Mutex; //~ BORG-L004
+use std::sync::{Arc, Mutex as StdMutex}; //~ BORG-L004
+use std::time::Instant; //~ BORG-L003
+
+fn library_code(opt: Option<u32>, res: Result<u32, String>) -> u32 {
+    let a = opt.unwrap(); //~ BORG-L001
+    let b = res.expect("fixture"); //~ BORG-L001
+    // Non-consuming lookalikes must not be flagged:
+    let c = opt.unwrap_or(0);
+    a + b + c
+}
+
+fn entropy_sources() -> f64 {
+    let mut rng = rand::thread_rng(); //~ BORG-L002
+    let x: f64 = rand::random(); //~ BORG-L002
+    let seeded = StdRng::from_entropy(); //~ BORG-L002
+    let os = OsRng; //~ BORG-L002
+    x
+}
+
+fn wall_clock_in_virtual_time() {
+    // In-scope because the fixture is scanned under crates/desim/src/.
+    let t0 = Instant::now(); //~ BORG-L003
+    let wall = std::time::SystemTime::now(); //~ BORG-L003
+}
+
+fn objective_equality_marked(sol: &Solution, best: f64) -> bool {
+    sol.objectives()[0] == best //~ BORG-L005
+}
+
+fn objective_inequality_marked(sol: &Solution, best: f64) -> bool {
+    best != sol.objectives()[1] //~ BORG-L005
+}
+
+// --- escapes that must NOT be reported ---------------------------------
+
+fn allowlisted() -> u32 {
+    let fine = Some(1).unwrap(); // borg-lint: allow(BORG-L001)
+    // borg-lint: allow(BORG-L001)
+    let also_fine = Some(2).unwrap();
+    fine + also_fine
+}
+
+fn unrelated_comma_argument(sol: &Solution, a: u32, b: u32) {
+    // `==` in a different argument than the objectives() call.
+    record(sol.objectives(), a == b);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = Some(5).unwrap();
+        assert!(v == 5);
+    }
+}
+
+#[test]
+fn bare_test_fn_is_also_exempt() {
+    let v: Result<u32, ()> = Ok(1);
+    v.unwrap();
+}

@@ -1,0 +1,125 @@
+//! The `xtask check --determinism` gate.
+//!
+//! Runs a small DTLZ2 instance through the virtual-time asynchronous
+//! master-slave executor twice with the same seed and demands bit-identical
+//! results: elapsed virtual time, NFE, and every archive member's variables
+//! and objectives. This is the executable form of the workspace's
+//! reproducibility contract (which BORG-L002/L003 guard statically): same
+//! seed, same archive — across runs and across machines.
+//!
+//! `T_A` is *sampled*, not measured: `TaMode::Measured` charges real
+//! wall-clock costs into the virtual event ordering, which is exactly the
+//! nondeterminism this gate must not depend on.
+
+use borg_core::algorithm::BorgConfig;
+use borg_desim::trace::SpanTrace;
+use borg_models::dist::Dist;
+use borg_parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig, VirtualRunResult};
+use borg_problems::dtlz::Dtlz;
+
+/// Summary of a passing determinism check.
+pub struct DeterminismReport {
+    pub nfe: u64,
+    pub archive_size: usize,
+    pub elapsed: f64,
+}
+
+fn run_once(seed: u64) -> VirtualRunResult {
+    let problem = Dtlz::dtlz2_5();
+    let config = VirtualConfig {
+        processors: 8,
+        max_nfe: 2_000,
+        t_f: Dist::normal_cv(0.001, 0.1),
+        t_c: Dist::Constant(0.000_006),
+        t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
+        seed,
+    };
+    run_virtual_async(
+        &problem,
+        BorgConfig::new(5, 0.06),
+        &config,
+        &mut SpanTrace::disabled(),
+        |_, _| {},
+    )
+}
+
+/// Runs the same-seed-twice check; `Err` carries a human-readable diff.
+pub fn run() -> Result<DeterminismReport, String> {
+    let seed = 0xB0C4_2026u64;
+    let a = run_once(seed);
+    let b = run_once(seed);
+
+    if a.outcome.elapsed.to_bits() != b.outcome.elapsed.to_bits() {
+        return Err(format!(
+            "elapsed virtual time diverged: {} vs {}",
+            a.outcome.elapsed, b.outcome.elapsed
+        ));
+    }
+    if a.engine.nfe() != b.engine.nfe() {
+        return Err(format!(
+            "NFE diverged: {} vs {}",
+            a.engine.nfe(),
+            b.engine.nfe()
+        ));
+    }
+    let arch_a = a.engine.archive().solutions();
+    let arch_b = b.engine.archive().solutions();
+    if arch_a.len() != arch_b.len() {
+        return Err(format!(
+            "archive size diverged: {} vs {}",
+            arch_a.len(),
+            arch_b.len()
+        ));
+    }
+    for (i, (sa, sb)) in arch_a.iter().zip(arch_b.iter()).enumerate() {
+        if !bits_eq(sa.objectives(), sb.objectives()) {
+            return Err(format!(
+                "archive member {i} objectives diverged: {:?} vs {:?}",
+                sa.objectives(),
+                sb.objectives()
+            ));
+        }
+        if !bits_eq(sa.variables(), sb.variables()) {
+            return Err(format!("archive member {i} variables diverged"));
+        }
+    }
+    Ok(DeterminismReport {
+        nfe: a.engine.nfe(),
+        archive_size: arch_a.len(),
+        elapsed: a.outcome.elapsed,
+    })
+}
+
+/// Bit-exact slice comparison (plain f64 `==` on objectives is exactly what
+/// BORG-L005 exists to prevent; bit comparison is the honest test here).
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_gate_passes() {
+        let report = run().expect("same-seed runs must be identical");
+        assert_eq!(report.nfe, 2_000);
+        assert!(report.archive_size > 5);
+        assert!(report.elapsed > 0.0);
+    }
+
+    #[test]
+    fn different_seeds_actually_differ() {
+        // Guards against the gate vacuously passing because the config is
+        // ignored: two different seeds must not produce identical archives.
+        let a = run_once(1);
+        let b = run_once(2);
+        assert_ne!(
+            a.engine.archive().objective_vectors(),
+            b.engine.archive().objective_vectors()
+        );
+    }
+}

@@ -1,0 +1,621 @@
+//! The BORG-Lxxx rule engine.
+//!
+//! Five workspace-specific correctness rules run over the token stream from
+//! [`crate::lexer`]:
+//!
+//! * **BORG-L001** — no `.unwrap()` / `.expect()` in library code outside
+//!   `#[cfg(test)]` / `#[test]` regions. Library failures must surface as
+//!   `Result`/`Option` so the engine can report structured errors.
+//! * **BORG-L002** — no entropy-seeded randomness (`thread_rng`,
+//!   `rand::random`, `from_entropy`, `OsRng`) anywhere. All randomness flows
+//!   through the seeded `SplitMix64` / `StdRng` plumbing in `borg-core::rng`
+//!   so every run is reproducible from its seed.
+//! * **BORG-L003** — no wall-clock types (`Instant`, `SystemTime`) inside
+//!   the discrete-event simulator (`crates/desim`) or the performance model
+//!   (`crates/models/src/perfsim*`). Those components operate on virtual
+//!   time; wall-clock reads would make simulated schedules nondeterministic.
+//! * **BORG-L004** — no `std::sync::Mutex`; `parking_lot` is the workspace
+//!   standard (no poisoning, smaller guards).
+//! * **BORG-L005** — no direct `==` / `!=` involving objective values.
+//!   Objective comparisons must go through the dominance / epsilon-box
+//!   predicates, not raw f64 equality.
+//!
+//! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
+//! on the same line or the line directly above.
+
+use crate::files::{discover, FileClass, SourceFile};
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::path::Path;
+
+/// Static description of one rule (drives `--list` output and README docs).
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// All rules, in id order.
+pub const RULES: [Rule; 5] = [
+    Rule {
+        id: "BORG-L001",
+        summary: "no unwrap()/expect() in library code outside test regions",
+    },
+    Rule {
+        id: "BORG-L002",
+        summary: "no entropy-seeded RNG; randomness must flow through seeded borg-core::rng",
+    },
+    Rule {
+        id: "BORG-L003",
+        summary: "no wall-clock (Instant/SystemTime) in borg-desim or the perfsim model",
+    },
+    Rule {
+        id: "BORG-L004",
+        summary: "no std::sync::Mutex; parking_lot is the workspace standard",
+    },
+    Rule {
+        id: "BORG-L005",
+        summary: "no direct f64 ==/!= on objective values; use dominance/epsilon predicates",
+    },
+];
+
+/// One reported lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub message: String,
+}
+
+/// Runs every rule over one source file and applies the allowlist.
+pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Violation> {
+    let lexed = lex(source);
+    let regions = test_regions(&lexed.tokens);
+    let in_test = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+
+    let mut found = Vec::new();
+    rule_l001(rel_path, class, &lexed.tokens, &in_test, &mut found);
+    rule_l002(rel_path, &lexed.tokens, &mut found);
+    rule_l003(rel_path, &lexed.tokens, &mut found);
+    rule_l004(rel_path, &lexed.tokens, &mut found);
+    rule_l005(rel_path, class, &lexed.tokens, &in_test, &mut found);
+
+    let allows = allow_map(&lexed);
+    found.retain(|v| {
+        let allowed_at = |line: u32| allows.get(&line).is_some_and(|set| set.contains(v.rule));
+        !(allowed_at(v.line) || (v.line > 1 && allowed_at(v.line - 1)))
+    });
+    found.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    found
+}
+
+/// Outcome of linting the whole workspace.
+pub struct WorkspaceReport {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+}
+
+/// Runs the lint pass over every discovered workspace source file.
+pub fn check_workspace(root: &Path) -> Result<WorkspaceReport, String> {
+    let files = discover(root)?;
+    let mut violations = Vec::new();
+    for file in &files {
+        violations.extend(check_file(file)?);
+    }
+    Ok(WorkspaceReport {
+        files_scanned: files.len(),
+        violations,
+    })
+}
+
+fn check_file(file: &SourceFile) -> Result<Vec<Violation>, String> {
+    let source = std::fs::read_to_string(&file.abs_path)
+        .map_err(|e| format!("read {}: {e}", file.abs_path.display()))?;
+    Ok(check_source(&file.rel_path, file.class, &source))
+}
+
+fn allow_map(lexed: &LexedFile) -> HashMap<u32, HashSet<&str>> {
+    let mut map: HashMap<u32, HashSet<&str>> = HashMap::new();
+    for allow in &lexed.allows {
+        let entry = map.entry(allow.line).or_default();
+        for rule in &allow.rules {
+            entry.insert(rule.as_str());
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// An attributed item's region runs from the attribute to the matching close
+/// brace of its body (or a top-level `;` for braceless items). Nested test
+/// attributes produce overlapping regions, which is harmless for membership
+/// queries.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
+            let (idents, close) = attribute_idents(tokens, i + 1);
+            if is_test_attribute(&idents) {
+                if let Some(end_line) = item_end_line(tokens, close + 1) {
+                    regions.push((tokens[i].line, end_line));
+                }
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Collects identifier texts inside the attribute starting at `open` (the
+/// index of `[`); returns them with the index of the matching `]`.
+fn attribute_idents(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, i);
+                }
+            }
+            _ if tokens[i].kind == TokenKind::Ident => idents.push(tokens[i].text.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, tokens.len().saturating_sub(1))
+}
+
+/// Whether an attribute's identifiers mark a test item: `#[test]`, or a
+/// `#[cfg(..)]` mentioning `test` without negation (`cfg(not(test))` is
+/// live code in a normal build and stays in scope).
+fn is_test_attribute(idents: &[String]) -> bool {
+    match idents.first().map(String::as_str) {
+        Some("test") => true,
+        Some("cfg") | Some("cfg_attr") => {
+            idents.iter().any(|t| t == "test") && !idents.iter().any(|t| t == "not")
+        }
+        _ => false,
+    }
+}
+
+/// Finds the last line of the item following an attribute: skips further
+/// attributes, then brace-matches the body (or stops at a top-level `;`).
+fn item_end_line(tokens: &[Token], mut i: usize) -> Option<u32> {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        if depth == 0 && is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
+            let (_, close) = attribute_idents(tokens, i + 1);
+            i = close + 1;
+            continue;
+        }
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(tokens[i].line);
+                }
+            }
+            ";" if depth == 0 => return Some(tokens[i].line),
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.last().map(|t| t.line)
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn rule_l001(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if class != FileClass::Library {
+        return;
+    }
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && is_punct(tokens, i - 1, ".")
+            && is_punct(tokens, i + 1, "(")
+            && !in_test(t.line)
+        {
+            out.push(Violation {
+                rule: "BORG-L001",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` in library code; propagate the error (or move the call into a \
+                     test region)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_l002(rel_path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "thread_rng" => Some("`thread_rng()` draws an entropy-seeded generator"),
+            "from_entropy" => Some("`from_entropy()` seeds from the OS entropy pool"),
+            "OsRng" => Some("`OsRng` reads OS entropy directly"),
+            "random"
+                if is_ident(tokens, i.wrapping_sub(1), "::") && path_head_is(tokens, i, "rand") =>
+            {
+                Some("`rand::random()` uses the entropy-seeded thread-local generator")
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(Violation {
+                rule: "BORG-L002",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "{what}; derive a seeded StdRng via borg-core::rng (SplitMix64) instead"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether the token at `i` is the tail of a `rand::` path (`rand :: random`).
+fn path_head_is(tokens: &[Token], i: usize, head: &str) -> bool {
+    i >= 2 && is_punct(tokens, i - 1, "::") && is_ident(tokens, i - 2, head)
+}
+
+fn rule_l003(rel_path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    let virtual_time_scope = rel_path.starts_with("crates/desim/src/")
+        || rel_path.starts_with("crates/models/src/perfsim");
+    if !virtual_time_scope {
+        return;
+    }
+    for t in tokens {
+        if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            out.push(Violation {
+                rule: "BORG-L003",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` is wall-clock time inside a virtual-time component; use simulated \
+                     clocks (desim event time) instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_l004(rel_path: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i + 4 < tokens.len() {
+        if is_ident(tokens, i, "std")
+            && is_punct(tokens, i + 1, "::")
+            && is_ident(tokens, i + 2, "sync")
+            && is_punct(tokens, i + 3, "::")
+        {
+            let after = i + 4;
+            if is_ident(tokens, after, "Mutex") {
+                push_l004(rel_path, tokens[after].line, out);
+            } else if is_punct(tokens, after, "{") {
+                // `use std::sync::{Arc, Mutex};` — scan the brace group.
+                let mut depth = 0usize;
+                let mut j = after;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "Mutex" if tokens[j].kind == TokenKind::Ident => {
+                            push_l004(rel_path, tokens[j].line, out);
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn push_l004(rel_path: &str, line: u32, out: &mut Vec<Violation>) {
+    out.push(Violation {
+        rule: "BORG-L004",
+        file: rel_path.to_string(),
+        line,
+        message: "`std::sync::Mutex` is forbidden; use `parking_lot::Mutex` (workspace standard)"
+            .to_string(),
+    });
+}
+
+/// Tokens that bound the L005 search window: an `==` on one side of these
+/// cannot syntactically involve an expression on the other side.
+const L005_WINDOW_STOPS: &[&str] = &[",", ";", "{", "}"];
+const L005_WINDOW: usize = 10;
+
+fn rule_l005(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if class == FileClass::TestOrBench {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") || in_test(t.line) {
+            continue;
+        }
+        let backward = window_has_objectives(tokens, i, true);
+        let forward = window_has_objectives(tokens, i, false);
+        if backward || forward {
+            out.push(Violation {
+                rule: "BORG-L005",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "direct `{}` on objective values; compare via dominance or epsilon-box \
+                     predicates, not raw f64 equality",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Looks up to [`L005_WINDOW`] tokens before/after position `i` for the
+/// identifier `objectives`, stopping at expression boundaries.
+fn window_has_objectives(tokens: &[Token], i: usize, backward: bool) -> bool {
+    for step in 1..=L005_WINDOW {
+        let j = if backward {
+            match i.checked_sub(step) {
+                Some(j) => j,
+                None => return false,
+            }
+        } else {
+            i + step
+        };
+        let Some(t) = tokens.get(j) else { return false };
+        if t.kind == TokenKind::Punct && L005_WINDOW_STOPS.contains(&t.text.as_str()) {
+            return false;
+        }
+        if t.kind == TokenKind::Ident && t.text == "objectives" {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+fn is_ident(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| {
+        (t.kind == TokenKind::Ident || t.kind == TokenKind::Punct) && t.text == text
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Self-test against the annotated fixture
+// ---------------------------------------------------------------------------
+
+/// Path (workspace-relative) the fixture is checked under. The spoofed
+/// `crates/desim/src/` prefix puts BORG-L003 in scope so one fixture file
+/// can exercise every rule.
+pub const FIXTURE_SCAN_PATH: &str = "crates/desim/src/__lint_fixture__.rs";
+
+/// Runs the lint pass over the annotated fixture and diffs the reported
+/// violations against the `//~ BORG-Lxxx` expectations embedded in it.
+///
+/// This proves both directions: every seeded violation is caught, and the
+/// test-region / allowlist escapes genuinely suppress reports.
+pub fn self_test(fixture: &Path) -> Result<usize, String> {
+    let source = std::fs::read_to_string(fixture)
+        .map_err(|e| format!("read fixture {}: {e}", fixture.display()))?;
+    let expected = parse_expectations(&source);
+    if expected.is_empty() {
+        return Err(format!(
+            "fixture {} contains no //~ expectations",
+            fixture.display()
+        ));
+    }
+    let found: BTreeSet<(u32, String)> =
+        check_source(FIXTURE_SCAN_PATH, FileClass::Library, &source)
+            .into_iter()
+            .map(|v| (v.line, v.rule.to_string()))
+            .collect();
+
+    let missing: Vec<_> = expected.difference(&found).collect();
+    let unexpected: Vec<_> = found.difference(&expected).collect();
+    if missing.is_empty() && unexpected.is_empty() {
+        return Ok(expected.len());
+    }
+    let mut msg = String::from("lint self-test failed:\n");
+    for (line, rule) in missing {
+        msg.push_str(&format!(
+            "  missed expected {rule} at fixture line {line}\n"
+        ));
+    }
+    for (line, rule) in unexpected {
+        msg.push_str(&format!("  unexpected {rule} at fixture line {line}\n"));
+    }
+    Err(msg)
+}
+
+/// Parses `//~ BORG-Lxxx [BORG-Lyyy ...]` markers; each names a violation
+/// expected on its own line.
+fn parse_expectations(source: &str) -> BTreeSet<(u32, String)> {
+    let mut expected = BTreeSet::new();
+    for (idx, text) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        if let Some(pos) = text.find("//~") {
+            for word in text[pos + 3..].split_whitespace() {
+                let exact_rule_id = word.len() == "BORG-L001".len()
+                    && word.starts_with("BORG-L")
+                    && word["BORG-L".len()..].chars().all(|c| c.is_ascii_digit());
+                if exact_rule_id {
+                    expected.insert((line, word.to_string()));
+                }
+            }
+        }
+    }
+    expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_lib(src: &str) -> Vec<Violation> {
+        check_source("crates/core/src/archive.rs", FileClass::Library, src)
+    }
+
+    fn rules_at(violations: &[Violation]) -> Vec<(&str, u32)> {
+        violations.iter().map(|v| (v.rule, v.line)).collect()
+    }
+
+    #[test]
+    fn l001_flags_unwrap_and_expect_in_library_code() {
+        let v = check_lib("fn f() { x.unwrap(); }\nfn g() { y.expect(\"msg\"); }");
+        assert_eq!(rules_at(&v), [("BORG-L001", 1), ("BORG-L001", 2)]);
+    }
+
+    #[test]
+    fn l001_ignores_unwrap_or_and_bins_and_tests() {
+        assert!(check_lib("fn f() { x.unwrap_or(0); }").is_empty());
+        let bin = check_source(
+            "crates/experiments/src/bin/borg-exp.rs",
+            FileClass::Bin,
+            "fn main() { x.unwrap(); }",
+        );
+        assert!(bin.is_empty());
+        let tst = check_source(
+            "tests/e2e.rs",
+            FileClass::TestOrBench,
+            "fn f() { x.unwrap(); }",
+        );
+        assert!(tst.is_empty());
+    }
+
+    #[test]
+    fn l001_exempts_cfg_test_modules_and_test_fns() {
+        let src = "fn lib() -> u32 { 1 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n";
+        assert!(check_lib(src).is_empty());
+        let src2 = "#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }";
+        assert_eq!(rules_at(&check_lib(src2)), [("BORG-L001", 3)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn lib() { x.unwrap(); }";
+        assert_eq!(rules_at(&check_lib(src)), [("BORG-L001", 2)]);
+    }
+
+    #[test]
+    fn l002_flags_entropy_sources_everywhere_including_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { let mut r = rand::thread_rng(); }\n}";
+        assert_eq!(rules_at(&check_lib(src)), [("BORG-L002", 3)]);
+        let v = check_lib("let x: f64 = rand::random();\nlet r = StdRng::from_entropy();");
+        assert_eq!(rules_at(&v), [("BORG-L002", 1), ("BORG-L002", 2)]);
+    }
+
+    #[test]
+    fn l003_only_applies_to_virtual_time_components() {
+        let src = "use std::time::Instant;";
+        assert!(check_lib(src).is_empty());
+        let v = check_source("crates/desim/src/sim.rs", FileClass::Library, src);
+        assert_eq!(rules_at(&v), [("BORG-L003", 1)]);
+        let v = check_source("crates/models/src/perfsim.rs", FileClass::Library, src);
+        assert_eq!(rules_at(&v), [("BORG-L003", 1)]);
+    }
+
+    #[test]
+    fn l004_flags_std_mutex_including_brace_imports() {
+        let v = check_lib("use std::sync::Mutex;");
+        assert_eq!(rules_at(&v), [("BORG-L004", 1)]);
+        let v = check_lib("use std::sync::{Arc,\n    Mutex};");
+        assert_eq!(rules_at(&v), [("BORG-L004", 2)]);
+        assert!(check_lib("use std::sync::Arc;\nuse parking_lot::Mutex;").is_empty());
+    }
+
+    #[test]
+    fn l005_flags_objective_equality_both_directions() {
+        let v = check_lib("if a.objectives()[0] == b { }\nif c != d.objectives()[1] { }");
+        assert_eq!(rules_at(&v), [("BORG-L005", 1), ("BORG-L005", 2)]);
+        // Equality in an unrelated argument is not flagged across a comma.
+        assert!(check_lib("f(a.objectives(), b == c);").is_empty());
+        // Tests may compare exact values they constructed.
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { assert!(s.objectives()[0] == 1.0); }\n}";
+        assert!(check_lib(src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_on_same_or_preceding_line() {
+        let same = "fn f() { x.unwrap(); } // borg-lint: allow(BORG-L001)";
+        assert!(check_lib(same).is_empty());
+        let above = "// borg-lint: allow(BORG-L001)\nfn f() { x.unwrap(); }";
+        assert!(check_lib(above).is_empty());
+        let wrong_rule = "// borg-lint: allow(BORG-L002)\nfn f() { x.unwrap(); }";
+        assert_eq!(rules_at(&check_lib(wrong_rule)), [("BORG-L001", 2)]);
+        let too_far = "// borg-lint: allow(BORG-L001)\n\nfn f() { x.unwrap(); }";
+        assert_eq!(rules_at(&check_lib(too_far)), [("BORG-L001", 3)]);
+    }
+
+    #[test]
+    fn expectation_parser_reads_markers() {
+        let exp = parse_expectations("x.unwrap(); //~ BORG-L001\ny(); //~ BORG-L002 BORG-L004\n");
+        let items: Vec<_> = exp.into_iter().collect();
+        assert_eq!(
+            items,
+            [
+                (1, "BORG-L001".to_string()),
+                (2, "BORG-L002".to_string()),
+                (2, "BORG-L004".to_string()),
+            ]
+        );
+    }
+}

@@ -32,8 +32,11 @@ fn main() {
             1,
             nfe,
         );
-        let nsga_front: Vec<Vec<f64>> =
-            nsga.front().iter().map(|s| s.objectives().to_vec()).collect();
+        let nsga_front: Vec<Vec<f64>> = nsga
+            .front()
+            .iter()
+            .map(|s| s.objectives().to_vec())
+            .collect();
         println!(
             "{:<22} {:>4}  {:>6.3}  {:>8.3}  {:>7.3}",
             "ZDT1",
@@ -74,8 +77,11 @@ fn main() {
             1,
             nfe,
         );
-        let nsga_front: Vec<Vec<f64>> =
-            nsga.front().iter().map(|s| s.objectives().to_vec()).collect();
+        let nsga_front: Vec<Vec<f64>> = nsga
+            .front()
+            .iter()
+            .map(|s| s.objectives().to_vec())
+            .collect();
         println!(
             "{:<22} {:>4}  {:>6.3}  {:>8.3}  {:>7.3}",
             name,

@@ -60,7 +60,10 @@ fn main() {
     config.epsilons = vec![5e-6, 2e-5];
     let engine = run_serial(&TwoBarTruss, config, 11, 15_000, |_| {});
 
-    println!("archive: {} trade-off designs, all feasible", engine.archive().len());
+    println!(
+        "archive: {} trade-off designs, all feasible",
+        engine.archive().len()
+    );
     println!(
         "{:>10}  {:>10}  {:>8}  {:>8}  {:>8}",
         "volume", "deflect", "a1(cm2)", "a2(cm2)", "y(m)"

@@ -18,21 +18,15 @@ fn main() {
 
     let metric = RelativeHypervolume::monte_carlo(&dtlz2_front(5, 6), 20_000, 42);
 
-    println!(
-        "DTLZ2-5D, {total_processors} total processors, N = {nfe}, T_F = {t_f}s\n"
-    );
+    println!("DTLZ2-5D, {total_processors} total processors, N = {nfe}, T_F = {t_f}s\n");
     println!(
         "{:>8}  {:>14}  {:>9}  {:>9}  {:>11}",
         "islands", "workers/island", "time (s)", "hv ratio", "migrations"
     );
 
     for k in [1usize, 2, 4, 8] {
-        let mut cfg = IslandConfig::split_processors(
-            total_processors,
-            k,
-            nfe,
-            Dist::normal_cv(t_f, 0.1),
-        );
+        let mut cfg =
+            IslandConfig::split_processors(total_processors, k, nfe, Dist::normal_cv(t_f, 0.1));
         cfg.migration_interval = 500;
         cfg.migration_size = 4;
         cfg.t_a = TaMode::Sampled(Dist::Constant(0.000_03));

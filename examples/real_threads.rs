@@ -38,7 +38,8 @@ fn main() {
             delay: Some(Dist::normal_cv(t_f, 0.1)),
             seed: 2,
         },
-    );
+    )
+    .expect("worker pool stays alive");
     println!(
         "parallel: {nfe} evaluations in {:.2}s with {workers} workers  (archive {})",
         result.elapsed,
@@ -52,14 +53,22 @@ fn main() {
     // The measurement pipeline.
     let ta = SampleStats::of(&result.ta_samples);
     let tf = SampleStats::of(&result.tf_samples);
-    let tc = estimate_comm_time(500);
+    let tc = estimate_comm_time(500).expect("echo thread stays alive");
     println!("\nmeasured timing on this machine:");
     println!("  T_A: mean {:.1}us, cv {:.2}", ta.mean * 1e6, ta.cv());
     println!("  T_F: mean {:.2}ms, cv {:.2}", tf.mean * 1e3, tf.cv());
     println!("  T_C: ~{:.1}us (thread ping-pong / 2)", tc * 1e6);
 
     println!("\nT_F distribution fits ranked by log-likelihood (the R step of §IV-B):");
-    for fit in fit_all(&result.tf_samples, &Family::all()).into_iter().take(4) {
-        println!("  {:<12} {:?}  ll = {:.1}", format!("{:?}", fit.family), fit.dist, fit.log_likelihood);
+    for fit in fit_all(&result.tf_samples, &Family::all())
+        .into_iter()
+        .take(4)
+    {
+        println!(
+            "  {:<12} {:?}  ll = {:.1}",
+            format!("{:?}", fit.family),
+            fit.dist,
+            fit.log_likelihood
+        );
     }
 }

@@ -35,7 +35,9 @@ struct State {
 fn evaluate(worker: usize) -> impl FnOnce(&mut CallbackSim<State>) + 'static {
     move |sim| {
         let t = sim.now();
-        sim.state.log.push(format!("t={t:>5.1}  worker{worker} finished evaluating"));
+        sim.state
+            .log
+            .push(format!("t={t:>5.1}  worker{worker} finished evaluating"));
         // `yield request, self, master`
         if let Some(w) = sim.state.master.request(worker) {
             hold(w)(sim);
@@ -46,7 +48,9 @@ fn evaluate(worker: usize) -> impl FnOnce(&mut CallbackSim<State>) + 'static {
 fn hold(worker: usize) -> impl FnOnce(&mut CallbackSim<State>) + 'static {
     move |sim| {
         let t = sim.now();
-        sim.state.log.push(format!("t={t:>5.1}  master serving worker{worker}"));
+        sim.state
+            .log
+            .push(format!("t={t:>5.1}  master serving worker{worker}"));
         // `yield hold, self, sampleTc() + sampleTa() + sampleTc()`
         sim.schedule(T_C + T_A + T_C, move |sim| {
             sim.state.completed += 1;
@@ -79,7 +83,10 @@ fn main() {
     for line in &sim.state.log {
         println!("{line}");
     }
-    println!("\n{} evaluations processed in {end:.1} time units", sim.state.completed);
+    println!(
+        "\n{} evaluations processed in {end:.1} time units",
+        sim.state.completed
+    );
     println!(
         "analytical Eq. 2 for comparison: N/(P-1) (T_F + 2 T_C + T_A) = {:.1}",
         TARGET as f64 / WORKERS as f64 * (T_F + 2.0 * T_C + T_A)

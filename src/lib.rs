@@ -5,6 +5,7 @@
 //! member crates; this crate simply re-exports them under one roof so the
 //! examples can write `use borg_repro::prelude::*;`.
 
+#![forbid(unsafe_code)]
 pub use borg_core as core;
 pub use borg_desim as desim;
 pub use borg_experiments as experiments;

@@ -1,6 +1,7 @@
 //! End-to-end algorithm quality: the Borg MOEA must actually solve the
 //! paper's workloads, serially and in (virtual-time) parallel.
 
+use borg_desim::trace::SpanTrace;
 use borg_repro::core::algorithm::{run_serial, BorgConfig};
 use borg_repro::metrics::relative::RelativeHypervolume;
 use borg_repro::models::dist::Dist;
@@ -9,7 +10,6 @@ use borg_repro::problems::dtlz::{Dtlz, DtlzVariant};
 use borg_repro::problems::refsets::{dtlz2_front, zdt_front};
 use borg_repro::problems::uf::uf11;
 use borg_repro::problems::zdt::{Zdt, ZdtVariant};
-use borg_desim::trace::SpanTrace;
 
 #[test]
 fn serial_borg_solves_zdt1_to_high_quality() {
@@ -38,11 +38,8 @@ fn serial_borg_makes_progress_on_dtlz2_5d() {
 #[test]
 fn hypervolume_improves_with_budget_on_uf11() {
     let problem = uf11();
-    let metric = RelativeHypervolume::monte_carlo(
-        &borg_repro::problems::refsets::uf11_front(6),
-        20_000,
-        6,
-    );
+    let metric =
+        RelativeHypervolume::monte_carlo(&borg_repro::problems::refsets::uf11_front(6), 20_000, 6);
     let cheap = run_serial(&problem, paper_cfg(), 7, 2_000, |_| {});
     let rich = run_serial(&problem, paper_cfg(), 7, 20_000, |_| {});
     let hv_cheap = metric.ratio(&cheap.archive().objective_vectors());
@@ -65,11 +62,8 @@ fn dtlz2_is_easier_than_uf11_at_equal_budget() {
     // The paper's premise: UF11's rotation makes it harder for MOEAs.
     let nfe = 15_000;
     let d_metric = RelativeHypervolume::monte_carlo(&dtlz2_front(5, 6), 20_000, 8);
-    let u_metric = RelativeHypervolume::monte_carlo(
-        &borg_repro::problems::refsets::uf11_front(6),
-        20_000,
-        8,
-    );
+    let u_metric =
+        RelativeHypervolume::monte_carlo(&borg_repro::problems::refsets::uf11_front(6), 20_000, 8);
     let d = run_serial(&Dtlz::dtlz2_5(), BorgConfig::new(5, 0.1), 9, nfe, |_| {});
     let u = run_serial(&uf11(), paper_cfg(), 9, nfe, |_| {});
     let d_hv = d_metric.ratio(&d.archive().objective_vectors());
@@ -133,7 +127,13 @@ fn dtlz34_and_uf_problems_are_solvable_end_to_end() {
         (Box::new(Wfg::new(WfgVariant::Wfg9, 3, 4, 6)), 3),
     ];
     for (problem, m) in problems {
-        let engine = run_serial(problem.as_ref(), BorgConfig::new(m, 0.05), 13, 3_000, |_| {});
+        let engine = run_serial(
+            problem.as_ref(),
+            BorgConfig::new(m, 0.05),
+            13,
+            3_000,
+            |_| {},
+        );
         assert!(
             engine.archive().len() >= 3,
             "{}: archive only {}",

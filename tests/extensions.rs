@@ -25,7 +25,11 @@ fn nsga2_and_borg_agree_on_biobjective_quality() {
     let borg_hv = metric.ratio(&borg.archive().objective_vectors());
 
     let nsga = run_nsga2_serial(&problem, Nsga2Config::default(), 5, nfe, |_| {});
-    let front: Vec<Vec<f64>> = nsga.front().iter().map(|s| s.objectives().to_vec()).collect();
+    let front: Vec<Vec<f64>> = nsga
+        .front()
+        .iter()
+        .map(|s| s.objectives().to_vec())
+        .collect();
     let nsga_hv = metric.ratio(&front);
 
     assert!(borg_hv > 0.85, "Borg hv {borg_hv}");
@@ -46,7 +50,11 @@ fn nsga2_collapses_on_many_objectives_where_borg_does_not() {
     let borg_hv = metric.ratio(&borg.archive().objective_vectors());
 
     let nsga = run_nsga2_serial(&problem, Nsga2Config::default(), 6, nfe, |_| {});
-    let front: Vec<Vec<f64>> = nsga.front().iter().map(|s| s.objectives().to_vec()).collect();
+    let front: Vec<Vec<f64>> = nsga
+        .front()
+        .iter()
+        .map(|s| s.objectives().to_vec())
+        .collect();
     let nsga_hv = metric.ratio(&front);
 
     assert!(borg_hv > 0.5, "Borg hv {borg_hv}");

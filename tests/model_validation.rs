@@ -2,6 +2,7 @@
 //! virtual executor — the reproduction-scale analogue of Table II's
 //! model-vs-experiment comparison.
 
+use borg_desim::trace::SpanTrace;
 use borg_repro::core::algorithm::BorgConfig;
 use borg_repro::models::analytical::{
     async_parallel_time, processor_upper_bound, relative_error, TimingParams,
@@ -11,7 +12,6 @@ use borg_repro::models::distfit::best_fit;
 use borg_repro::models::perfsim::{simulate_async, PerfSimConfig, TimingModel};
 use borg_repro::parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig};
 use borg_repro::problems::dtlz::Dtlz;
-use borg_desim::trace::SpanTrace;
 
 struct Cell {
     elapsed: f64,
@@ -52,7 +52,10 @@ fn analytical_model_is_accurate_below_saturation() {
     let cell = run_cell(p, nfe, tf);
     let eq2 = async_parallel_time(nfe, p, TimingParams::new(tf, 0.000_006, cell.mean_ta));
     let err = relative_error(cell.elapsed, eq2);
-    assert!(err < 0.05, "analytical error {err} too large below saturation");
+    assert!(
+        err < 0.05,
+        "analytical error {err} too large below saturation"
+    );
 }
 
 #[test]

@@ -5,14 +5,14 @@ use borg_repro::core::dominance::{
     epsilon_box_dominance, nondominated_indices, pareto_dominance_objectives, BoxDominance,
     Dominance,
 };
+use borg_repro::core::io::{solutions_from_csv, solutions_to_csv};
+use borg_repro::core::nsga2::{crowding_distances, fast_nondominated_sort};
 use borg_repro::core::operators::standard_borg_operators;
 use borg_repro::core::problem::Bounds;
 use borg_repro::core::solution::Solution;
 use borg_repro::desim::EventQueue;
 use borg_repro::metrics::hypervolume::hypervolume;
 use borg_repro::metrics::nds::nondominated_filter;
-use borg_repro::core::nsga2::{crowding_distances, fast_nondominated_sort};
-use borg_repro::core::io::{solutions_from_csv, solutions_to_csv};
 use borg_repro::models::dist::Dist;
 use borg_repro::models::queueing::{run_async, run_sync, MasterSlaveHooks};
 use proptest::prelude::*;
@@ -41,6 +41,25 @@ impl MasterSlaveHooks for ConstHooks {
 
 fn objective_vec(m: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..2.0, m)
+}
+
+/// One step of the stateful ε-archive test: mirror the three things the
+/// algorithm does to its archive over a run — insert candidates, empty it
+/// at a restart, and rebuild it under a different ε resolution (re-adding
+/// the surviving members, as `restart` does).
+#[derive(Debug, Clone)]
+enum ArchiveOp {
+    Add(Vec<f64>),
+    Truncate,
+    EpsilonRescale(f64),
+}
+
+fn archive_op(m: usize) -> impl Strategy<Value = ArchiveOp> {
+    prop_oneof![
+        8 => objective_vec(m).prop_map(ArchiveOp::Add),
+        1 => Just(ArchiveOp::Truncate),
+        2 => (0.5f64..3.0).prop_map(ArchiveOp::EpsilonRescale),
+    ]
 }
 
 proptest! {
@@ -144,6 +163,43 @@ proptest! {
                 // boxes — strong mutual domination must never occur.
                 prop_assert_ne!(pareto_dominance_objectives(a, b), Dominance::Dominates);
                 prop_assert_ne!(pareto_dominance_objectives(b, a), Dominance::Dominates);
+            }
+        }
+    }
+
+    #[test]
+    fn archive_invariants_hold_under_op_sequences(
+        ops in prop::collection::vec(archive_op(3), 1..120),
+        eps0 in 0.05f64..0.4,
+    ) {
+        // Stateful check: after EVERY step of a random add / truncate /
+        // ε-rescale sequence the archive must satisfy its full invariant
+        // set (mutual ε-box nondominance, box↔solution correspondence,
+        // counter consistency) — not just at the end of a pure-insert run.
+        let mut archive = EpsilonArchive::uniform(3, eps0);
+        let mut epsilons = vec![eps0; 3];
+        for op in ops {
+            let op_desc = format!("{op:?}");
+            match op {
+                ArchiveOp::Add(p) => {
+                    archive.add(Solution::from_parts(vec![], p, vec![]));
+                }
+                ArchiveOp::Truncate => archive.clear_solutions(),
+                ArchiveOp::EpsilonRescale(factor) => {
+                    // ε never shrinks below a floor so the box lattice stays
+                    // finite over long sequences.
+                    for e in &mut epsilons {
+                        *e = (*e * factor).max(1e-3);
+                    }
+                    let survivors = archive.solutions().to_vec();
+                    archive = EpsilonArchive::new(epsilons.clone());
+                    for s in survivors {
+                        archive.add(s);
+                    }
+                }
+            }
+            if let Err(broken) = archive.check_invariants() {
+                prop_assert!(false, "invariant broken after {op_desc}: {broken}");
             }
         }
     }

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the multi-producer multi-consumer channel subset the workspace
+//! uses (`channel::unbounded`, `channel::bounded`, cloneable senders *and*
+//! receivers, disconnect-on-drop semantics), implemented over
+//! `std::sync::{Mutex, Condvar}`. Throughput is far below real crossbeam's
+//! lock-free queues, but the master-slave executor ships tens of items per
+//! millisecond at most, so correctness — not raw channel speed — is what
+//! matters here.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC channels with crossbeam-compatible signatures.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Carries the unsent message, like crossbeam's.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        // Like crossbeam: no T: Debug bound, the payload is elided.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Signals receivers that an item arrived or all senders left.
+        recv_ready: Condvar,
+        /// Signals bounded senders that capacity freed or all receivers left.
+        send_ready: Condvar,
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages; sends
+    /// block while full. `cap` of zero is bumped to one (this stand-in has
+    /// no rendezvous mode; the workspace only uses `bounded(1)`).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            recv_ready: Condvar::new(),
+            send_ready: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    fn lock_ignore_poison<'a, T>(
+        m: &'a Mutex<VecDeque<T>>,
+    ) -> std::sync::MutexGuard<'a, VecDeque<T>> {
+        // A panicking thread cannot leave the VecDeque in a torn state
+        // (push/pop are the only mutations), so poisoning is ignored.
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        /// Fails only when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let inner = &*self.inner;
+            let mut queue = lock_ignore_poison(&inner.queue);
+            loop {
+                if inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                match inner.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = match inner.send_ready.wait(queue) {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            inner.recv_ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking while the channel is empty. Fails
+        /// only when the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let inner = &*self.inner;
+            let mut queue = lock_ignore_poison(&inner.queue);
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    inner.send_ready.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = match inner.recv_ready.wait(queue) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let inner = &*self.inner;
+            let mut queue = lock_ignore_poison(&inner.queue);
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                inner.send_ready.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            lock_ignore_poison(&self.inner.queue).len()
+        }
+
+        /// Whether the channel is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake every blocked receiver so it can
+                // observe the disconnect.
+                let _guard = lock_ignore_poison(&self.inner.queue);
+                self.inner.recv_ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = lock_ignore_poison(&self.inner.queue);
+                self.inner.send_ready.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_roundtrip_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).expect("receiver alive");
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).expect("receiver alive");
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_stream() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(1).expect("receivers alive");
+            tx.send(2).expect("receivers alive");
+            let a = rx1.recv().expect("item queued");
+            let b = rx2.recv().expect("item queued");
+            let mut got = [a, b];
+            got.sort_unstable();
+            assert_eq!(got, [1, 2]);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_capacity_frees() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).expect("receiver alive");
+            let handle = std::thread::spawn(move || {
+                tx.send(2).expect("receiver alive");
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            handle.join().expect("sender thread");
+        }
+
+        #[test]
+        fn mpmc_stress_delivers_every_item_once() {
+            let (tx, rx) = unbounded::<u64>();
+            let producers = 4;
+            let consumers = 4;
+            let per_producer = 1_000u64;
+            let total: u64 = producers * per_producer;
+            std::thread::scope(|scope| {
+                for p in 0..producers {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        for i in 0..per_producer {
+                            tx.send(p * per_producer + i).expect("receivers alive");
+                        }
+                    });
+                }
+                drop(tx);
+                let handles: Vec<_> = (0..consumers)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || {
+                            let mut got = Vec::new();
+                            while let Ok(v) = rx.recv() {
+                                got.push(v);
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                let mut all: Vec<u64> = handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("consumer thread"))
+                    .collect();
+                all.sort_unstable();
+                assert_eq!(all.len() as u64, total);
+                all.dedup();
+                assert_eq!(all.len() as u64, total, "duplicate delivery");
+            });
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors the *subset* of the `rand 0.8` API it actually
+//! uses, implemented locally. The sampling core is xoshiro256++ (Blackman &
+//! Vigna), seeded through SplitMix64 — deterministic, platform-independent,
+//! and identical across runs for a fixed seed, which is the property the
+//! reproduction's determinism gate (`cargo xtask check --determinism`)
+//! relies on. The value *streams* differ from upstream `rand`'s ChaCha12
+//! `StdRng`, but no test or experiment in this repository depends on the
+//! upstream streams — only on seed-reproducibility.
+//!
+//! Provided surface: [`RngCore`], [`SeedableRng`], [`Rng`] (with `gen`,
+//! `gen_range`, `gen_bool`), [`rngs::StdRng`], [`seq::SliceRandom`]
+//! (`shuffle`/`choose`), and [`seq::index::sample`].
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: raw integer output.
+///
+/// Object-safe, mirroring upstream `rand`: `&mut dyn RngCore` is a valid
+/// sampling source everywhere in the workspace.
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator by expanding a 64-bit state through SplitMix64
+    /// (the canonical seed-expansion function for xoshiro-family PRNGs).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut state);
+            let bytes = v.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that [`Rng::gen`] can produce with a standard distribution:
+/// uniform over the full integer range, uniform in `[0, 1)` for floats,
+/// and a fair coin for `bool`.
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $m:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+/// Types usable as `gen_range` endpoints.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)`; `high` itself may be returned
+    /// only when `inclusive` is set (integer types).
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = if inclusive {
+                    (high as u128).wrapping_sub(low as u128).wrapping_add(1)
+                } else {
+                    (high as u128).wrapping_sub(low as u128)
+                };
+                if span == 0 {
+                    // Inclusive full-range wrap: any value is in range.
+                    return Standard::sample_standard(rng);
+                }
+                // Rejection-free multiply-shift reduction (Lemire). The
+                // modulo bias for spans ≪ 2^64 is far below anything the
+                // stochastic tests can resolve, and determinism — not
+                // stream quality — is the contract here.
+                let v = rng.next_u64() as u128;
+                low.wrapping_add(((v * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit: $t = Standard::sample_standard(rng);
+                let v = low + (high - low) * unit;
+                // Guard against rounding `low + span` past `high`.
+                if v >= high {
+                    // Largest representable value below `high`.
+                    <$t>::from_bits(high.to_bits() - 1).max(low)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample from empty range");
+        T::sample_range(rng, low, high, true)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`] —
+/// including trait objects, via the blanket impl below.
+pub trait Rng: RngCore {
+    /// Samples a value with the standard distribution for its type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]: {p}");
+        let unit: f64 = f64::sample_standard(self);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Upstream `rand`'s `StdRng` is ChaCha12; this stand-in keeps the name
+    /// (so call sites compile unchanged) but uses xoshiro256++, which is
+    /// equally platform-independent and reproducible, the only properties
+    /// the workspace relies on.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            if s == [0; 4] {
+                // xoshiro256++ must not start from the all-zero state.
+                let mut state = 0x9E37_79B9_7F4A_7C15u64;
+                for w in &mut s {
+                    *w = super::splitmix64(&mut state);
+                }
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling: shuffles and index sampling.
+
+    use super::{Rng, RngCore};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    pub mod index {
+        //! Sampling of index sets without replacement.
+
+        use super::super::{Rng, RngCore};
+
+        /// A sampled set of indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Consumes the sample into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` (partial
+        /// Fisher–Yates).
+        ///
+        /// # Panics
+        /// If `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from 0..{length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_int_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(2..=4u64) {
+                2 => lo = true,
+                4 => hi = true,
+                3 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn dyn_rngcore_supports_rng_methods() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen_range(0.0f64..1.0);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let idx = super::seq::index::sample(&mut rng, 100, 10).into_vec();
+        assert_eq!(idx.len(), 10);
+        let mut uniq = idx.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn from_seed_all_zero_is_escaped() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}
