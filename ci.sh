@@ -19,4 +19,7 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --release
 
+echo "==> borg-exp faults --smoke"
+./target/release/borg-exp faults --smoke --out target/ci-results
+
 echo "ci.sh: all gates passed"

@@ -1,15 +1,21 @@
 //! Benches for the extension components: the island topology, the
-//! algorithm-dynamics sweep, and the NSGA-II baseline's generation step.
+//! algorithm-dynamics sweep, the fault-injected virtual executor (recovery
+//! overhead vs the fault-free path), and the NSGA-II baseline's generation
+//! step.
 
 use borg_core::algorithm::BorgConfig;
 use borg_core::nsga2::{Nsga2Config, Nsga2Engine};
 use borg_core::problem::Problem;
 use borg_core::solution::Solution;
+use borg_desim::fault::FaultConfig;
+use borg_desim::trace::SpanTrace;
 use borg_experiments::dynamics::{run_dynamics, DynamicsConfig};
 use borg_experiments::islands_exp::{run_islands_experiment, IslandsExpConfig};
 use borg_models::dist::Dist;
 use borg_parallel::islands::{run_islands, IslandConfig};
-use borg_parallel::virtual_exec::TaMode;
+use borg_parallel::virtual_exec::{
+    run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig,
+};
 use borg_problems::dtlz::Dtlz;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -48,6 +54,55 @@ fn bench_dynamics(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+    let problem = Dtlz::dtlz2_5();
+    let cfg = VirtualConfig {
+        processors: 64,
+        max_nfe: 2_000,
+        t_f: Dist::Constant(0.001),
+        t_c: Dist::Constant(0.000_006),
+        t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
+        seed: 7,
+    };
+    group.bench_function("virtual_2k_nfe_fault_free", |b| {
+        b.iter(|| {
+            run_virtual_async(
+                &problem,
+                BorgConfig::new(5, 0.1),
+                &cfg,
+                &mut SpanTrace::disabled(),
+                |_, _| {},
+            )
+            .outcome
+            .elapsed
+        })
+    });
+    for f in [0.1, 0.25] {
+        let faults = FaultConfig::degraded(f);
+        group.bench_with_input(
+            BenchmarkId::new("virtual_2k_nfe_degraded", f),
+            &faults,
+            |b, faults| {
+                b.iter(|| {
+                    run_virtual_async_faulty(
+                        &problem,
+                        BorgConfig::new(5, 0.1),
+                        &cfg,
+                        faults,
+                        &mut SpanTrace::disabled(),
+                        |_, _| {},
+                    )
+                    .outcome
+                    .elapsed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_nsga2(c: &mut Criterion) {
     let mut group = c.benchmark_group("nsga2");
     group.sample_size(20);
@@ -80,5 +135,11 @@ fn step(problem: &Dtlz, engine: &mut Nsga2Engine, objs: &mut [f64], cons: &mut [
     engine.consume_generation(offspring);
 }
 
-criterion_group!(benches, bench_islands, bench_dynamics, bench_nsga2);
+criterion_group!(
+    benches,
+    bench_islands,
+    bench_dynamics,
+    bench_faults,
+    bench_nsga2
+);
 criterion_main!(benches);

@@ -1,0 +1,604 @@
+//! Deterministic fault injection for master-slave simulations.
+//!
+//! The paper's experiments (and its Eq. 2–4 models) assume a perfect
+//! cluster: every worker survives the run and every message is delivered
+//! exactly once. This module supplies the machinery to *break* that
+//! assumption reproducibly: a seeded [`FaultPlan`] decides, purely as a
+//! function of `(seed, worker, dispatch index)`, which evaluations crash
+//! their worker, hang, straggle, or lose/duplicate their result message.
+//! Because every decision is a stateless hash of its coordinates, the same
+//! plan drives both the virtual-time executor (where faults become
+//! first-class DES events) and the real-thread executor (where workers
+//! consult the plan as they dequeue work) — and a same-seed replay is
+//! bit-identical.
+//!
+//! The [`FaultLog`] is the common ledger both executors fill in: every
+//! injected fault is recorded with its injection, detection and recovery
+//! timestamps, alongside the aggregate recovery counters (reissues,
+//! suppressed duplicates, wasted NFE) that the `borg-exp faults`
+//! experiment turns into effective-speedup curves.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function used to
+/// derive all fault decisions statelessly. (Re-implemented here rather
+/// than imported so `borg-desim` stays dependency-free.)
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit hash to the unit interval `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Domain-separation tags so independent decisions never share a stream.
+const TAG_CRASH: u64 = 0x11;
+const TAG_CRASH_WHEN: u64 = 0x12;
+const TAG_CRASH_FRAC: u64 = 0x13;
+const TAG_STRAGGLE: u64 = 0x21;
+const TAG_MESSAGE: u64 = 0x31;
+
+/// A worker crash forced at a specific point, regardless of the sampled
+/// rates (used by kill-the-workers tests and targeted experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedCrash {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// The crash strikes during this worker's `after_dispatches`-th
+    /// dispatched evaluation (0-based dispatch index on that worker).
+    pub after_dispatches: u64,
+}
+
+/// Configurable fault rates. All probabilities are per the unit named in
+/// their doc comment; `0.0` everywhere yields a fault-free plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a given worker *crashes* at some point during the
+    /// run (the paper-facing failure rate `f`). A crashed worker dies
+    /// silently mid-evaluation and, if [`respawn_after`](Self::respawn_after)
+    /// is set, rejoins after that downtime.
+    pub crash_rate: f64,
+    /// Probability that a given worker *hangs* during the run: it stops
+    /// responding mid-evaluation and never returns. Hung workers are
+    /// quarantined on detection and never respawn.
+    pub hang_rate: f64,
+    /// Per-dispatch probability that an evaluation straggles.
+    pub straggler_rate: f64,
+    /// Evaluation-time multiplier applied to straggling evaluations.
+    pub straggler_factor: f64,
+    /// Per-result probability that the result message is dropped.
+    pub drop_rate: f64,
+    /// Per-result probability that the result message is duplicated.
+    pub duplicate_rate: f64,
+    /// Downtime before a *crashed* worker rejoins (`None` = permanent).
+    pub respawn_after: Option<f64>,
+    /// Crashes injected unconditionally, on top of the sampled ones.
+    pub forced_crashes: Vec<ForcedCrash>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            crash_rate: 0.0,
+            hang_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 10.0,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            respawn_after: None,
+            forced_crashes: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether this configuration can inject any fault at all.
+    pub fn is_quiet(&self) -> bool {
+        self.crash_rate <= 0.0
+            && self.hang_rate <= 0.0
+            && self.straggler_rate <= 0.0
+            && self.drop_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.forced_crashes.is_empty()
+    }
+
+    /// The acceptance scenario of the fault experiments: crash rate `f`,
+    /// 1% message loss, everything else quiet.
+    pub fn degraded(f: f64) -> Self {
+        Self {
+            crash_rate: f,
+            drop_rate: 0.01,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the plan decrees for one dispatched evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchFate {
+    /// Evaluate normally.
+    Normal,
+    /// Evaluate, but take `factor` times as long.
+    Straggle {
+        /// Evaluation-time multiplier (> 1).
+        factor: f64,
+    },
+    /// The worker dies after completing fraction `frac` of this
+    /// evaluation. Respawns if the plan allows.
+    CrashDuring {
+        /// Fraction of the evaluation completed before death, in `(0, 1)`.
+        frac: f64,
+    },
+    /// The worker hangs mid-evaluation and never responds again.
+    HangDuring,
+}
+
+/// What the plan decrees for one result message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered exactly once.
+    Deliver,
+    /// Lost in transit; the master never sees it.
+    Drop,
+    /// Delivered twice (e.g. a retransmit racing the original).
+    Duplicate,
+}
+
+/// A deterministic schedule of faults for one run.
+///
+/// Per-worker crash/hang points are pre-drawn at construction (so the
+/// failure rate reads as "fraction of workers lost during the run");
+/// per-dispatch and per-message decisions are stateless hashes, so the
+/// plan can be consulted concurrently from real worker threads without
+/// any shared RNG state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    seed: u64,
+    /// Per worker: the dispatch index during which it crashes.
+    crash_at: Vec<Option<u64>>,
+    /// Per worker: the dispatch index during which it hangs.
+    hang_at: Vec<Option<u64>>,
+}
+
+impl FaultPlan {
+    /// Draws a plan for `workers` workers expected to perform about
+    /// `expected_evals` evaluations in total.
+    pub fn new(config: FaultConfig, workers: usize, expected_evals: u64, seed: u64) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let per_worker = (expected_evals / workers as u64).max(1);
+        let mut crash_at = vec![None; workers];
+        let mut hang_at = vec![None; workers];
+        for w in 0..workers {
+            let r = unit(mix64(seed ^ TAG_CRASH ^ ((w as u64) << 8)));
+            let when = 1
+                + (unit(mix64(seed ^ TAG_CRASH_WHEN ^ ((w as u64) << 8))) * (per_worker - 1) as f64)
+                    as u64;
+            if r < config.crash_rate {
+                crash_at[w] = Some(when);
+            } else if r < config.crash_rate + config.hang_rate {
+                hang_at[w] = Some(when);
+            }
+        }
+        for forced in &config.forced_crashes {
+            assert!(forced.worker < workers, "forced crash on unknown worker");
+            crash_at[forced.worker] = Some(forced.after_dispatches);
+            hang_at[forced.worker] = None;
+        }
+        Self {
+            config,
+            seed,
+            crash_at,
+            hang_at,
+        }
+    }
+
+    /// The configuration this plan was drawn from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Number of workers covered by the plan.
+    pub fn workers(&self) -> usize {
+        self.crash_at.len()
+    }
+
+    /// Workers scheduled to crash or hang at some point.
+    pub fn doomed_workers(&self) -> usize {
+        self.crash_at
+            .iter()
+            .zip(&self.hang_at)
+            .filter(|(c, h)| c.is_some() || h.is_some())
+            .count()
+    }
+
+    /// The fate of the `dispatch`-th evaluation dispatched to `worker`
+    /// (0-based, counted per worker).
+    pub fn dispatch_fate(&self, worker: usize, dispatch: u64) -> DispatchFate {
+        if self.crash_at.get(worker).copied().flatten() == Some(dispatch) {
+            let frac =
+                unit(mix64(self.seed ^ TAG_CRASH_FRAC ^ ((worker as u64) << 8))).clamp(0.05, 0.95);
+            return DispatchFate::CrashDuring { frac };
+        }
+        if self.hang_at.get(worker).copied().flatten() == Some(dispatch) {
+            return DispatchFate::HangDuring;
+        }
+        let h = mix64(self.seed ^ TAG_STRAGGLE ^ ((worker as u64) << 40) ^ dispatch);
+        if unit(h) < self.config.straggler_rate {
+            return DispatchFate::Straggle {
+                factor: self.config.straggler_factor.max(1.0),
+            };
+        }
+        DispatchFate::Normal
+    }
+
+    /// The fate of the result message for evaluation `eval_id`, on its
+    /// `attempt`-th transmission (reissues are re-rolled independently).
+    pub fn message_fate(&self, eval_id: u64, attempt: u32) -> MessageFate {
+        let h = mix64(self.seed ^ TAG_MESSAGE ^ (eval_id << 8) ^ u64::from(attempt));
+        let r = unit(h);
+        if r < self.config.drop_rate {
+            MessageFate::Drop
+        } else if r < self.config.drop_rate + self.config.duplicate_rate {
+            MessageFate::Duplicate
+        } else {
+            MessageFate::Deliver
+        }
+    }
+
+    /// Downtime before a crashed worker rejoins (`None` = permanent).
+    pub fn respawn_after(&self) -> Option<f64> {
+        self.config.respawn_after
+    }
+}
+
+/// The kind of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Worker died silently mid-evaluation.
+    Crash,
+    /// Worker hung mid-evaluation and never responded again.
+    Hang,
+    /// Evaluation took `straggler_factor` times its sampled duration.
+    Straggler,
+    /// Result message lost in transit.
+    MessageDrop,
+    /// Result message delivered twice.
+    MessageDuplicate,
+}
+
+impl FaultKind {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Crash => "crash",
+            Self::Hang => "hang",
+            Self::Straggler => "straggler",
+            Self::MessageDrop => "drop",
+            Self::MessageDuplicate => "duplicate",
+        }
+    }
+}
+
+/// One injected fault and the master's response to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Worker the fault struck.
+    pub worker: usize,
+    /// Evaluation in flight when it struck.
+    pub eval_id: u64,
+    /// Simulated (or wall-clock) time of injection.
+    pub injected_at: f64,
+    /// When the master noticed something was wrong (`None` = never).
+    pub detected_at: Option<f64>,
+    /// When the run stopped depending on the fault being repaired —
+    /// the lost evaluation was re-consumed, the duplicate suppressed, or
+    /// the run completed its budget without it (`None` = never).
+    pub recovered_at: Option<f64>,
+}
+
+impl FaultRecord {
+    /// Detection latency (detection − injection), if detected.
+    pub fn detection_latency(&self) -> Option<f64> {
+        self.detected_at.map(|d| d - self.injected_at)
+    }
+}
+
+/// The ledger of injected faults and recovery actions for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    /// Every injected fault, in injection order.
+    pub records: Vec<FaultRecord>,
+    /// Evaluations re-sent after a timeout or detected death.
+    pub reissues: u64,
+    /// Result messages discarded by duplicate/stale suppression.
+    pub duplicates_suppressed: u64,
+    /// Worker-side evaluations whose results never advanced the run:
+    /// dropped messages, suppressed duplicates, and work lost mid-crash.
+    pub wasted_nfe: u64,
+    /// Crashed workers that rejoined after their downtime.
+    pub respawns: u64,
+    /// Dead workers the master detected (ping failure or missed
+    /// heartbeats).
+    pub deaths_detected: u64,
+}
+
+impl FaultLog {
+    /// Starts a new fault record; returns its index for later updates.
+    pub fn inject(&mut self, kind: FaultKind, worker: usize, eval_id: u64, now: f64) -> usize {
+        self.records.push(FaultRecord {
+            kind,
+            worker,
+            eval_id,
+            injected_at: now,
+            detected_at: None,
+            recovered_at: None,
+        });
+        self.records.len() - 1
+    }
+
+    /// Marks the first undetected record matching `eval_id` as detected.
+    pub fn detect_eval(&mut self, eval_id: u64, now: f64) {
+        if let Some(r) = self
+            .records
+            .iter_mut()
+            .find(|r| r.eval_id == eval_id && r.detected_at.is_none())
+        {
+            r.detected_at = Some(now);
+        }
+    }
+
+    /// Marks undetected crash/hang records for `worker` as detected.
+    pub fn detect_worker_death(&mut self, worker: usize, now: f64) {
+        for r in self.records.iter_mut().filter(|r| {
+            r.worker == worker
+                && matches!(r.kind, FaultKind::Crash | FaultKind::Hang)
+                && r.detected_at.is_none()
+        }) {
+            r.detected_at = Some(now);
+        }
+        self.deaths_detected += 1;
+    }
+
+    /// Marks every unrecovered record tied to `eval_id` as recovered
+    /// (its result was finally consumed or definitively suppressed).
+    pub fn recover_eval(&mut self, eval_id: u64, now: f64) {
+        for r in self
+            .records
+            .iter_mut()
+            .filter(|r| r.eval_id == eval_id && r.recovered_at.is_none())
+        {
+            if r.detected_at.is_none() {
+                r.detected_at = Some(now);
+            }
+            r.recovered_at = Some(now);
+        }
+    }
+
+    /// Closes the ledger at run end: faults still pending when the
+    /// evaluation budget completed are trivially resolved — the run no
+    /// longer depends on them (documented in DESIGN.md §9).
+    pub fn finalize(&mut self, end: f64) {
+        for r in self.records.iter_mut() {
+            if r.detected_at.is_none() {
+                r.detected_at = Some(end);
+            }
+            if r.recovered_at.is_none() {
+                r.recovered_at = Some(end);
+            }
+        }
+    }
+
+    /// Number of injected faults.
+    pub fn injected(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of injected faults of `kind`.
+    pub fn injected_of(&self, kind: FaultKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Number of detected faults.
+    pub fn detected(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.detected_at.is_some())
+            .count()
+    }
+
+    /// Number of recovered faults.
+    pub fn recovered(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.recovered_at.is_some())
+            .count()
+    }
+
+    /// Whether every injected fault was detected and recovered.
+    pub fn all_recovered(&self) -> bool {
+        self.records
+            .iter()
+            .all(|r| r.detected_at.is_some() && r.recovered_at.is_some())
+    }
+
+    /// Mean detection latency across detected faults (0 if none).
+    pub fn mean_detection_latency(&self) -> f64 {
+        let lat: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(FaultRecord::detection_latency)
+            .collect();
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / lat.len() as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} injected ({} crash, {} hang, {} straggler, {} drop, {} dup), \
+             {} detected, {} recovered, {} reissues, {} dups suppressed, \
+             {} wasted NFE, {} respawns",
+            self.injected(),
+            self.injected_of(FaultKind::Crash),
+            self.injected_of(FaultKind::Hang),
+            self.injected_of(FaultKind::Straggler),
+            self.injected_of(FaultKind::MessageDrop),
+            self.injected_of(FaultKind::MessageDuplicate),
+            self.detected(),
+            self.recovered(),
+            self.reissues,
+            self.duplicates_suppressed,
+            self.wasted_nfe,
+            self.respawns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> FaultConfig {
+        FaultConfig {
+            crash_rate: 0.3,
+            hang_rate: 0.1,
+            straggler_rate: 0.05,
+            drop_rate: 0.02,
+            duplicate_rate: 0.02,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::new(lossy(), 16, 10_000, 42);
+        let b = FaultPlan::new(lossy(), 16, 10_000, 42);
+        assert_eq!(a, b);
+        for w in 0..16 {
+            for d in 0..50 {
+                assert_eq!(a.dispatch_fate(w, d), b.dispatch_fate(w, d));
+            }
+        }
+        for id in 0..500 {
+            assert_eq!(a.message_fate(id, 0), b.message_fate(id, 0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(lossy(), 64, 10_000, 1);
+        let b = FaultPlan::new(lossy(), 64, 10_000, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::new(lossy(), 1000, 100_000, 7);
+        let doomed = plan.doomed_workers();
+        // crash 0.3 + hang 0.1 ⇒ about 400/1000 doomed.
+        assert!((300..500).contains(&doomed), "doomed = {doomed}");
+        let drops = (0..100_000u64)
+            .filter(|&id| plan.message_fate(id, 0) == MessageFate::Drop)
+            .count();
+        assert!((1_500..2_500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn quiet_config_injects_nothing() {
+        let plan = FaultPlan::new(FaultConfig::default(), 32, 10_000, 3);
+        assert_eq!(plan.doomed_workers(), 0);
+        for w in 0..32 {
+            for d in 0..400 {
+                assert_eq!(plan.dispatch_fate(w, d), DispatchFate::Normal);
+            }
+        }
+        for id in 0..1_000 {
+            assert_eq!(plan.message_fate(id, 0), MessageFate::Deliver);
+        }
+        assert!(FaultConfig::default().is_quiet());
+        assert!(!FaultConfig::degraded(0.1).is_quiet());
+    }
+
+    #[test]
+    fn forced_crashes_override_sampling() {
+        let cfg = FaultConfig {
+            forced_crashes: vec![
+                ForcedCrash {
+                    worker: 0,
+                    after_dispatches: 3,
+                },
+                ForcedCrash {
+                    worker: 2,
+                    after_dispatches: 5,
+                },
+            ],
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(cfg, 4, 1_000, 9);
+        assert!(matches!(
+            plan.dispatch_fate(0, 3),
+            DispatchFate::CrashDuring { .. }
+        ));
+        assert!(matches!(
+            plan.dispatch_fate(2, 5),
+            DispatchFate::CrashDuring { .. }
+        ));
+        assert_eq!(plan.dispatch_fate(1, 3), DispatchFate::Normal);
+        assert_eq!(plan.doomed_workers(), 2);
+    }
+
+    #[test]
+    fn reissued_messages_reroll_their_fate() {
+        let cfg = FaultConfig {
+            drop_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(cfg, 4, 1_000, 11);
+        // With a 50% drop rate, some eval must have attempt 0 dropped but
+        // attempt 1 delivered — the reissue path out of a black hole.
+        let rerolled = (0..200u64).any(|id| {
+            plan.message_fate(id, 0) == MessageFate::Drop
+                && plan.message_fate(id, 1) == MessageFate::Deliver
+        });
+        assert!(rerolled);
+    }
+
+    #[test]
+    fn fault_log_lifecycle() {
+        let mut log = FaultLog::default();
+        let _ = log.inject(FaultKind::MessageDrop, 3, 17, 1.0);
+        log.inject(FaultKind::Crash, 1, 20, 2.0);
+        assert_eq!(log.injected(), 2);
+        assert_eq!(log.detected(), 0);
+        log.detect_eval(17, 1.5);
+        log.recover_eval(17, 1.8);
+        assert_eq!(log.detected(), 1);
+        assert_eq!(log.recovered(), 1);
+        assert!(!log.all_recovered());
+        log.detect_worker_death(1, 2.5);
+        log.recover_eval(20, 3.0);
+        assert!(log.all_recovered());
+        let rec = &log.records[1];
+        assert_eq!(rec.detection_latency(), Some(0.5));
+        assert!(log.mean_detection_latency() > 0.0);
+        assert!(log.summary().contains("2 injected"));
+    }
+
+    #[test]
+    fn finalize_resolves_pending_records() {
+        let mut log = FaultLog::default();
+        log.inject(FaultKind::MessageDuplicate, 0, 5, 1.0);
+        assert!(!log.all_recovered());
+        log.finalize(9.0);
+        assert!(log.all_recovered());
+        assert_eq!(log.records[0].recovered_at, Some(9.0));
+    }
+}

@@ -10,7 +10,10 @@
 //! * [`callback::CallbackSim`] — SimPy-flavoured chained-callback
 //!   processes;
 //! * [`trace::SpanTrace`] — activity-span recording for the paper's
-//!   timeline figures.
+//!   timeline figures;
+//! * [`fault::FaultPlan`] / [`fault::FaultLog`] — deterministic fault
+//!   injection (worker crashes, hangs, stragglers, message loss and
+//!   duplication) and the recovery ledger shared by both executors.
 //!
 //! ```
 //! use borg_desim::{EventQueue, Resource};
@@ -33,11 +36,13 @@
 #![forbid(unsafe_code)]
 
 pub mod callback;
+pub mod fault;
 pub mod queue;
 pub mod resource;
 pub mod trace;
 
 pub use callback::CallbackSim;
+pub use fault::{FaultConfig, FaultLog, FaultPlan};
 pub use queue::{EventQueue, Time};
 pub use resource::Resource;
 pub use trace::{Activity, Actor, Span, SpanTrace};

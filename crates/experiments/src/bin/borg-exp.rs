@@ -13,6 +13,7 @@
 //!   bounds      Eqs. 3–4 processor-count bounds
 //!   fit         §IV-B distribution-fitting pipeline on this machine
 //!   ablations   DESIGN.md §5 ablation studies
+//!   faults      fault-injection sweep (failure rate × P, self-healing master)
 //!   all         everything above
 //!
 //! Flags:
@@ -30,6 +31,7 @@ use borg_experiments::ablation::{
 };
 use borg_experiments::bounds::{paper_bounds, render_bounds};
 use borg_experiments::dynamics::{render_dynamics_summary, run_dynamics, DynamicsConfig};
+use borg_experiments::faults::{render_faults, run_faults, FaultsConfig};
 use borg_experiments::fitdemo::{run_fit_demo, FitDemoConfig};
 use borg_experiments::heatmap::{run_figure5, HeatmapConfig};
 use borg_experiments::hvspeedup::{render_panel, run_figure, HvSpeedupConfig};
@@ -105,7 +107,7 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
+            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
             std::process::exit(2);
         }
     };
@@ -120,12 +122,13 @@ fn main() {
             "fig4",
             "fit",
             "ablations",
+            "faults",
             "islands",
             "dynamics",
             "advise",
         ]
     } else if cli.command == "--help" || cli.command == "help" {
-        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
+        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
         return;
     } else {
         vec![cli.command.as_str()]
@@ -313,6 +316,32 @@ fn run_command(cmd: &str, cli: &Cli) {
                 println!("{}", table.render());
                 write_output(&cli.out, &format!("{name}.csv"), &table.to_csv()).unwrap();
             }
+        }
+        "faults" => {
+            let mut cfg = FaultsConfig::default();
+            if cli.smoke {
+                cfg = cfg.smoke();
+            }
+            if let Some(n) = cli.nfe {
+                cfg.evaluations = n;
+            }
+            if let Some(r) = cli.replicates {
+                cfg.replicates = r;
+            }
+            if let Some(s) = cli.seed {
+                cfg.seed = s;
+            }
+            let rows = run_faults(&cfg);
+            let table = render_faults(&rows);
+            println!(
+                "fault-injection sweep on {} (T_F = {}s, N = {}; f = crash rate + 1% msg loss):",
+                cfg.problem.name(),
+                cfg.tf_mean,
+                cfg.evaluations
+            );
+            println!("{}", table.render());
+            write_output(&cli.out, "faults.csv", &table.to_csv()).expect("write faults.csv");
+            println!("wrote {}", cli.out.join("faults.csv").display());
         }
         "advise" => {
             // §VI/§VII: use the simulation model to size the topology.

@@ -75,6 +75,8 @@ pub fn run_fit_demo(config: &FitDemoConfig) -> Result<FitDemo, ThreadedError> {
             max_nfe: config.evaluations,
             delay: Some(Dist::normal_cv(config.t_f, 0.1)),
             seed: config.seed,
+            faults: None,
+            reissue_timeout: None,
         },
     )?;
     let t_c = estimate_comm_time(500)?;

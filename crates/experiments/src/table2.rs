@@ -99,6 +99,24 @@ pub struct Table2Row {
     pub master_utilization: f64,
 }
 
+/// Per-replicate engine seeds for one (problem, `T_F`, `P`) Table II cell.
+///
+/// Exported so the faults experiment's `f = 0` arm reproduces the Table II
+/// experimental arm bit-for-bit (same seeds → same runs → same elapsed).
+pub fn replicate_seeds(
+    root: u64,
+    problem: PaperProblem,
+    tf: f64,
+    p: u32,
+    replicates: u32,
+) -> Vec<u64> {
+    let mut split = SplitMix64::new(root ^ ((p as u64) << 20) ^ problem.name().len() as u64);
+    let tf_bits = tf.to_bits();
+    (0..replicates)
+        .map(|r| split.derive_seed("table2-replicate") ^ tf_bits ^ r as u64)
+        .collect()
+}
+
 /// Runs the full Table II experiment.
 pub fn run_table2(config: &Table2Config) -> Vec<Table2Row> {
     let mut rows = Vec::new();
@@ -134,11 +152,7 @@ fn run_cell(
     let mut util_sum = 0.0;
     let mut ta_samples: Vec<f64> = Vec::new();
 
-    let mut split =
-        SplitMix64::new(config.seed ^ ((p as u64) << 20) ^ problem_choice.name().len() as u64);
-    let tf_bits = tf.to_bits();
-    for r in 0..config.replicates {
-        let seed = split.derive_seed("table2-replicate") ^ tf_bits ^ r as u64;
+    for seed in replicate_seeds(config.seed, problem_choice, tf, p, config.replicates) {
         let vcfg = VirtualConfig {
             processors: p,
             max_nfe: config.evaluations,

@@ -60,7 +60,8 @@ pub mod prelude {
         estimate_comm_time, run_threaded, ThreadedConfig, ThreadedError, ThreadedRunResult,
     };
     pub use crate::virtual_exec::{
-        run_virtual_async, run_virtual_serial, run_virtual_sync, TaMode, VirtualConfig,
+        default_recovery_policy, fault_plan_for, run_virtual_async, run_virtual_async_faulty,
+        run_virtual_async_faulty_with, run_virtual_serial, run_virtual_sync, TaMode, VirtualConfig,
         VirtualRunResult,
     };
 }

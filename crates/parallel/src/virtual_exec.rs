@@ -14,10 +14,15 @@ use borg_core::algorithm::{BorgConfig, BorgEngine, Candidate};
 use borg_core::problem::Problem;
 use borg_core::rng::SplitMix64;
 use borg_core::solution::Solution;
+use borg_desim::fault::{FaultConfig, FaultLog, FaultPlan};
 use borg_desim::trace::SpanTrace;
 use borg_models::dist::Dist;
-use borg_models::queueing::{run_async, run_sync, MasterSlaveHooks, RunOutcome};
+use borg_models::queueing::{
+    run_async, run_async_faulty, run_sync, FaultTolerantHooks, MasterSlaveHooks, RecoveryPolicy,
+    RunOutcome,
+};
 use rand::rngs::StdRng;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// How the executor charges master algorithm time `T_A`.
@@ -73,6 +78,9 @@ pub struct VirtualRunResult {
     pub ta_samples: Vec<f64>,
     /// Sampled `T_F` values.
     pub tf_samples: Vec<f64>,
+    /// Fault-injection/recovery ledger. Empty (default) for the
+    /// fault-free executors.
+    pub fault_log: FaultLog,
 }
 
 /// A produced candidate with its eagerly computed objectives/constraints,
@@ -235,6 +243,7 @@ where
         engine: hooks.engine,
         ta_samples: hooks.ta_samples,
         tf_samples: hooks.tf_samples,
+        fault_log: FaultLog::default(),
     }
 }
 
@@ -260,6 +269,7 @@ where
         engine: hooks.engine,
         ta_samples: hooks.ta_samples,
         tf_samples: hooks.tf_samples,
+        fault_log: FaultLog::default(),
     }
 }
 
@@ -317,10 +327,219 @@ where
             mean_wait: 0.0,
             max_wait: 0.0,
             max_queue: 0,
+            wasted_nfe: 0,
         },
         engine,
         ta_samples,
         tf_samples,
+        fault_log: FaultLog::default(),
+    }
+}
+
+/// The hooks wiring a [`BorgEngine`] + [`Problem`] into the
+/// *fault-tolerant* queueing engine. Work items are keyed by evaluation
+/// id so a reissued evaluation re-sends the same candidate and the
+/// first-arriving copy wins.
+struct FtBorgHooks<'p, P: Problem + ?Sized, F> {
+    engine: BorgEngine,
+    problem: &'p P,
+    pending: BTreeMap<u64, (Candidate, Vec<f64>, Vec<f64>)>,
+    t_f: Dist,
+    t_c: Dist,
+    t_a: TaMode,
+    rng: StdRng,
+    ta_samples: Vec<f64>,
+    tf_samples: Vec<f64>,
+    objs_buf: Vec<f64>,
+    cons_buf: Vec<f64>,
+    observer: F,
+    /// Same `T_A` charging convention as [`BorgHooks`]: in `Sampled` mode
+    /// each *consume* draws the per-interaction sample and the initial
+    /// per-worker seeding productions draw their own; in `Measured` mode
+    /// every call charges its real wall-clock cost (reissues are free —
+    /// the candidate already exists).
+    initial_productions: usize,
+    workers: usize,
+    merge_next_produce: bool,
+}
+
+impl<'p, P: Problem + ?Sized, F: FnMut(f64, &BorgEngine)> FtBorgHooks<'p, P, F> {
+    fn new(problem: &'p P, config: &VirtualConfig, borg: BorgConfig, observer: F) -> Self {
+        let mut split = SplitMix64::new(config.seed);
+        let engine_seed = split.derive_seed("virtual-engine");
+        let rng = split.derive("virtual-delays");
+        let workers = (config.processors - 1) as usize;
+        Self {
+            engine: BorgEngine::new(problem, borg, engine_seed),
+            problem,
+            pending: BTreeMap::new(),
+            t_f: config.t_f,
+            t_c: config.t_c,
+            t_a: config.t_a,
+            rng,
+            ta_samples: Vec::new(),
+            tf_samples: Vec::new(),
+            objs_buf: vec![0.0; problem.num_objectives()],
+            cons_buf: vec![0.0; problem.num_constraints()],
+            observer,
+            initial_productions: 0,
+            workers,
+            merge_next_produce: false,
+        }
+    }
+
+    fn charge_ta(&mut self, real: f64) -> f64 {
+        let t = match self.t_a {
+            TaMode::Measured => real,
+            TaMode::Sampled(d) => d.sample(&mut self.rng),
+        };
+        self.ta_samples.push(t);
+        t
+    }
+}
+
+impl<'p, P: Problem + ?Sized, F: FnMut(f64, &BorgEngine)> FaultTolerantHooks
+    for FtBorgHooks<'p, P, F>
+{
+    fn produce(&mut self, _worker: usize, eval_id: u64, _now: f64) -> f64 {
+        let start = Instant::now();
+        let candidate = self.engine.produce();
+        let real = start.elapsed().as_secs_f64();
+        // Evaluate eagerly (single-threaded); the virtual duration is the
+        // T_F sample charged in `evaluation_time`.
+        self.problem
+            .evaluate(&candidate.variables, &mut self.objs_buf, &mut self.cons_buf);
+        self.pending.insert(
+            eval_id,
+            (candidate, self.objs_buf.clone(), self.cons_buf.clone()),
+        );
+        match self.t_a {
+            TaMode::Measured => {
+                if self.merge_next_produce {
+                    self.merge_next_produce = false;
+                    if let Some(last) = self.ta_samples.last_mut() {
+                        *last += real;
+                    }
+                    real
+                } else {
+                    self.ta_samples.push(real);
+                    real
+                }
+            }
+            TaMode::Sampled(_) => {
+                if self.initial_productions < self.workers {
+                    self.initial_productions += 1;
+                    self.charge_ta(real)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn evaluation_time(&mut self, _worker: usize, _eval_id: u64) -> f64 {
+        let t = self.t_f.sample(&mut self.rng);
+        self.tf_samples.push(t);
+        t
+    }
+
+    fn consume(&mut self, _worker: usize, eval_id: u64, now: f64) -> f64 {
+        // The fault-tolerant engine consumes each evaluation id exactly
+        // once (duplicates are suppressed upstream); a missing entry means
+        // the simulation itself is corrupted.
+        let (candidate, objs, cons) = self
+            .pending
+            .remove(&eval_id) // borg-lint: allow(BORG-L001)
+            .expect("consume without a pending result");
+        let start = Instant::now();
+        let solution: Solution = self.engine.make_solution(candidate, objs, cons);
+        self.engine.consume(solution);
+        let real = start.elapsed().as_secs_f64();
+        (self.observer)(now, &self.engine);
+        let charged = self.charge_ta(real);
+        if matches!(self.t_a, TaMode::Measured) {
+            self.merge_next_produce = true;
+        }
+        charged
+    }
+
+    fn comm_time(&mut self) -> f64 {
+        self.t_c.sample(&mut self.rng)
+    }
+}
+
+/// Derives the [`FaultPlan`] a faulty virtual run with this configuration
+/// will use (exposed so replay checks can inspect the plan).
+pub fn fault_plan_for(config: &VirtualConfig, faults: &FaultConfig) -> FaultPlan {
+    let plan_seed = SplitMix64::new(config.seed).derive_seed("fault-plan");
+    FaultPlan::new(
+        faults.clone(),
+        (config.processors - 1) as usize,
+        config.max_nfe,
+        plan_seed,
+    )
+}
+
+/// The default recovery policy for a virtual configuration: timeout
+/// `k · E[T_F]` with `k = 4` (comfortably above the `straggler_factor`
+/// would require a larger `k`; callers needing that pass their own
+/// [`RecoveryPolicy`] to [`run_virtual_async_faulty_with`]).
+pub fn default_recovery_policy(config: &VirtualConfig) -> RecoveryPolicy {
+    RecoveryPolicy::from_expected_eval_time(config.t_f.mean(), 4.0)
+}
+
+/// Runs the asynchronous master-slave Borg MOEA in virtual time under
+/// fault injection, with the default recovery policy.
+///
+/// The master survives worker crashes, hangs, stragglers and message
+/// drop/duplication per `faults`: timed-out evaluations are reissued to
+/// live workers, dead workers are quarantined (and optionally respawned),
+/// duplicate results are suppressed by evaluation id. The full ledger is
+/// returned in [`VirtualRunResult::fault_log`].
+pub fn run_virtual_async_faulty<P, F>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &VirtualConfig,
+    faults: &FaultConfig,
+    trace: &mut SpanTrace,
+    observer: F,
+) -> VirtualRunResult
+where
+    P: Problem + ?Sized,
+    F: FnMut(f64, &BorgEngine),
+{
+    let policy = default_recovery_policy(config);
+    run_virtual_async_faulty_with(problem, borg, config, faults, policy, trace, observer)
+}
+
+/// [`run_virtual_async_faulty`] with an explicit [`RecoveryPolicy`].
+pub fn run_virtual_async_faulty_with<P, F>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &VirtualConfig,
+    faults: &FaultConfig,
+    policy: RecoveryPolicy,
+    trace: &mut SpanTrace,
+    observer: F,
+) -> VirtualRunResult
+where
+    P: Problem + ?Sized,
+    F: FnMut(f64, &BorgEngine),
+{
+    assert!(
+        config.processors >= 2,
+        "need a master and at least one worker"
+    );
+    let workers = (config.processors - 1) as usize;
+    let plan = fault_plan_for(config, faults);
+    let mut hooks = FtBorgHooks::new(problem, config, borg, observer);
+    let faulty = run_async_faulty(&mut hooks, workers, config.max_nfe, &plan, policy, trace);
+    VirtualRunResult {
+        outcome: faulty.outcome,
+        engine: hooks.engine,
+        ta_samples: hooks.ta_samples,
+        tf_samples: hooks.tf_samples,
+        fault_log: faulty.fault_log,
     }
 }
 
@@ -482,6 +701,126 @@ mod tests {
         );
         assert!(result.outcome.completed >= 2_000);
         assert!(result.engine.archive().len() > 5);
+    }
+
+    #[test]
+    fn faulty_run_with_crashes_and_loss_completes_max_nfe() {
+        // The acceptance scenario: crash rate 0.1, message loss 0.01,
+        // fixed seed — the run must still complete its full budget.
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(16, 3_000, 0.01, 0.000_03);
+        let faults = FaultConfig::degraded(0.1);
+        let result = run_virtual_async_faulty(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &faults,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
+        assert_eq!(result.outcome.completed, 3_000);
+        assert_eq!(result.engine.nfe(), 3_000);
+        assert!(result.fault_log.all_recovered());
+        assert_eq!(result.outcome.wasted_nfe, result.fault_log.wasted_nfe);
+        result.engine.archive().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_replay_is_bit_identical() {
+        // Same seed ⇒ identical FaultLog and final archive, bit for bit.
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(12, 2_000, 0.008, 0.000_03);
+        let faults = FaultConfig {
+            crash_rate: 0.25,
+            straggler_rate: 0.02,
+            drop_rate: 0.02,
+            duplicate_rate: 0.02,
+            respawn_after: Some(0.5),
+            ..FaultConfig::default()
+        };
+        let run = || {
+            run_virtual_async_faulty(
+                &problem,
+                borg_cfg(),
+                &cfg,
+                &faults,
+                &mut SpanTrace::disabled(),
+                |_, _| {},
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(a.fault_log.injected() > 0, "scenario should inject faults");
+        assert_eq!(a.fault_log, b.fault_log);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(
+            a.engine.archive().objective_vectors(),
+            b.engine.archive().objective_vectors()
+        );
+    }
+
+    #[test]
+    fn kill_half_the_workers_mid_run_still_completes() {
+        // Forced crashes on half the pool, early in the run, no respawn:
+        // the surviving workers absorb the reissues and finish the budget.
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(9, 2_000, 0.01, 0.000_03);
+        let faults = FaultConfig {
+            forced_crashes: (0..4)
+                .map(|w| borg_desim::fault::ForcedCrash {
+                    worker: w,
+                    after_dispatches: 10 + w as u64,
+                })
+                .collect(),
+            ..FaultConfig::default()
+        };
+        let result = run_virtual_async_faulty(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &faults,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
+        assert_eq!(result.outcome.completed, 2_000);
+        assert_eq!(result.engine.nfe(), 2_000);
+        assert_eq!(
+            result
+                .fault_log
+                .injected_of(borg_desim::fault::FaultKind::Crash),
+            4
+        );
+        assert!(result.fault_log.all_recovered());
+        assert!(result.fault_log.deaths_detected >= 4);
+    }
+
+    #[test]
+    fn quiet_faulty_run_matches_fault_free_elapsed_closely() {
+        let problem = Dtlz::dtlz2_5();
+        let cfg = sampled_config(8, 2_000, 0.01, 0.000_03);
+        let base = run_virtual_async(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
+        let quiet = run_virtual_async_faulty(
+            &problem,
+            borg_cfg(),
+            &cfg,
+            &FaultConfig::default(),
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
+        assert_eq!(quiet.fault_log.injected(), 0);
+        assert_eq!(quiet.outcome.wasted_nfe, 0);
+        assert!(
+            relative_error(quiet.outcome.elapsed, base.outcome.elapsed) < 0.01,
+            "quiet {} vs base {}",
+            quiet.outcome.elapsed,
+            base.outcome.elapsed
+        );
     }
 
     #[test]

@@ -39,6 +39,13 @@ fn objective_inequality_marked(sol: &Solution, best: f64) -> bool {
     best != sol.objectives()[1] //~ BORG-L005
 }
 
+// The fixture's spoofed path is also in BORG-L006 scope (executor rule),
+// so unbounded channel waits are flagged here too.
+fn master_loop_blocks_forever(rx: &Receiver<u64>) -> u64 {
+    let first = rx.recv().unwrap_or(0); //~ BORG-L006
+    first
+}
+
 // --- escapes that must NOT be reported ---------------------------------
 
 fn allowlisted() -> u32 {
@@ -51,6 +58,14 @@ fn allowlisted() -> u32 {
 fn unrelated_comma_argument(sol: &Solution, a: u32, b: u32) {
     // `==` in a different argument than the objectives() call.
     record(sol.objectives(), a == b);
+}
+
+fn bounded_waits_are_fine(rx: &Receiver<u64>, stop_rx: &Receiver<()>) {
+    // Different identifiers — not unbounded recv().
+    let _ = rx.recv_timeout(Duration::from_millis(10));
+    let _ = rx.try_recv();
+    // A deliberate disconnect-released park carries the allowlist escape.
+    let _ = stop_rx.recv(); // borg-lint: allow(BORG-L006)
 }
 
 #[cfg(test)]

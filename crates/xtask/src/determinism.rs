@@ -3,8 +3,11 @@
 //! Runs a small DTLZ2 instance through the virtual-time asynchronous
 //! master-slave executor twice with the same seed and demands bit-identical
 //! results: elapsed virtual time, NFE, and every archive member's variables
-//! and objectives. This is the executable form of the workspace's
-//! reproducibility contract (which BORG-L002/L003 guard statically): same
+//! and objectives. A second arm repeats the check **with fault injection
+//! live** (25% worker crashes + 5% message loss) and additionally demands
+//! identical fault ledgers — recovery is part of the reproducibility
+//! contract, not an excuse to break it. This is the executable form of the
+//! workspace's guarantee (which BORG-L002/L003 guard statically): same
 //! seed, same archive — across runs and across machines.
 //!
 //! `T_A` is *sampled*, not measured: `TaMode::Measured` charges real
@@ -12,9 +15,12 @@
 //! nondeterminism this gate must not depend on.
 
 use borg_core::algorithm::BorgConfig;
+use borg_desim::fault::FaultConfig;
 use borg_desim::trace::SpanTrace;
 use borg_models::dist::Dist;
-use borg_parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig, VirtualRunResult};
+use borg_parallel::virtual_exec::{
+    run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig, VirtualRunResult,
+};
 use borg_problems::dtlz::Dtlz;
 
 /// Summary of a passing determinism check.
@@ -22,6 +28,11 @@ pub struct DeterminismReport {
     pub nfe: u64,
     pub archive_size: usize,
     pub elapsed: f64,
+    /// Faults injected by the fault-replay arm (same-seed faulty runs must
+    /// inject, detect, and recover identically).
+    pub faults_injected: usize,
+    /// Reissues performed by the fault-replay arm.
+    pub fault_reissues: u64,
 }
 
 fn run_once(seed: u64) -> VirtualRunResult {
@@ -43,21 +54,43 @@ fn run_once(seed: u64) -> VirtualRunResult {
     )
 }
 
-/// Runs the same-seed-twice check; `Err` carries a human-readable diff.
-pub fn run() -> Result<DeterminismReport, String> {
-    let seed = 0xB0C4_2026u64;
-    let a = run_once(seed);
-    let b = run_once(seed);
+fn run_once_faulty(seed: u64) -> VirtualRunResult {
+    let problem = Dtlz::dtlz2_5();
+    let config = VirtualConfig {
+        processors: 8,
+        max_nfe: 2_000,
+        t_f: Dist::normal_cv(0.001, 0.1),
+        t_c: Dist::Constant(0.000_006),
+        t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
+        seed,
+    };
+    let faults = FaultConfig {
+        crash_rate: 0.25,
+        drop_rate: 0.05,
+        ..FaultConfig::default()
+    };
+    run_virtual_async_faulty(
+        &problem,
+        BorgConfig::new(5, 0.06),
+        &config,
+        &faults,
+        &mut SpanTrace::disabled(),
+        |_, _| {},
+    )
+}
 
+/// Compares two same-seed runs bit-for-bit; `Err` carries a readable diff
+/// prefixed with `label`.
+fn diff_runs(label: &str, a: &VirtualRunResult, b: &VirtualRunResult) -> Result<(), String> {
     if a.outcome.elapsed.to_bits() != b.outcome.elapsed.to_bits() {
         return Err(format!(
-            "elapsed virtual time diverged: {} vs {}",
+            "{label}: elapsed virtual time diverged: {} vs {}",
             a.outcome.elapsed, b.outcome.elapsed
         ));
     }
     if a.engine.nfe() != b.engine.nfe() {
         return Err(format!(
-            "NFE diverged: {} vs {}",
+            "{label}: NFE diverged: {} vs {}",
             a.engine.nfe(),
             b.engine.nfe()
         ));
@@ -66,7 +99,7 @@ pub fn run() -> Result<DeterminismReport, String> {
     let arch_b = b.engine.archive().solutions();
     if arch_a.len() != arch_b.len() {
         return Err(format!(
-            "archive size diverged: {} vs {}",
+            "{label}: archive size diverged: {} vs {}",
             arch_a.len(),
             arch_b.len()
         ));
@@ -74,19 +107,58 @@ pub fn run() -> Result<DeterminismReport, String> {
     for (i, (sa, sb)) in arch_a.iter().zip(arch_b.iter()).enumerate() {
         if !bits_eq(sa.objectives(), sb.objectives()) {
             return Err(format!(
-                "archive member {i} objectives diverged: {:?} vs {:?}",
+                "{label}: archive member {i} objectives diverged: {:?} vs {:?}",
                 sa.objectives(),
                 sb.objectives()
             ));
         }
         if !bits_eq(sa.variables(), sb.variables()) {
-            return Err(format!("archive member {i} variables diverged"));
+            return Err(format!("{label}: archive member {i} variables diverged"));
         }
     }
+    if a.fault_log != b.fault_log {
+        return Err(format!(
+            "{label}: fault ledgers diverged: {} vs {}",
+            a.fault_log.summary(),
+            b.fault_log.summary()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the same-seed-twice check — a fault-free arm and a fault-replay arm
+/// (crashes + message loss) — demanding bit-identical archives, virtual
+/// clocks, and fault ledgers. `Err` carries a human-readable diff.
+pub fn run() -> Result<DeterminismReport, String> {
+    let seed = 0xB0C4_2026u64;
+    let a = run_once(seed);
+    let b = run_once(seed);
+    diff_runs("fault-free", &a, &b)?;
+
+    let fa = run_once_faulty(seed);
+    let fb = run_once_faulty(seed);
+    diff_runs("fault-replay", &fa, &fb)?;
+    if fa.fault_log.injected() == 0 {
+        return Err(
+            "fault-replay arm injected nothing; the replay check is vacuous \
+             (crash/drop rates or the plan seed derivation changed?)"
+                .to_string(),
+        );
+    }
+    if fa.engine.nfe() != a.engine.nfe() {
+        return Err(format!(
+            "fault-replay arm did not complete the budget: NFE {} vs {}",
+            fa.engine.nfe(),
+            a.engine.nfe()
+        ));
+    }
+
     Ok(DeterminismReport {
         nfe: a.engine.nfe(),
-        archive_size: arch_a.len(),
+        archive_size: a.engine.archive().solutions().len(),
         elapsed: a.outcome.elapsed,
+        faults_injected: fa.fault_log.injected(),
+        fault_reissues: fa.fault_log.reissues,
     })
 }
 
@@ -109,6 +181,7 @@ mod tests {
         assert_eq!(report.nfe, 2_000);
         assert!(report.archive_size > 5);
         assert!(report.elapsed > 0.0);
+        assert!(report.faults_injected > 0, "fault-replay arm must inject");
     }
 
     #[test]

@@ -164,8 +164,9 @@ fn print_human(
     }
     match determinism {
         Some(Ok(d)) => println!(
-            "determinism OK: seed-identical archives ({} members, NFE {}, virtual {:.4}s)",
-            d.archive_size, d.nfe, d.elapsed
+            "determinism OK: seed-identical archives ({} members, NFE {}, virtual {:.4}s); \
+             fault replay identical ({} injected, {} reissues)",
+            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues
         ),
         Some(Err(e)) => println!("determinism FAIL: {e}"),
         None => {}
@@ -194,8 +195,9 @@ fn print_json(
     out.push(']');
     match determinism {
         Some(Ok(d)) => out.push_str(&format!(
-            ",\"determinism\":{{\"ok\":true,\"archive_size\":{},\"nfe\":{},\"elapsed\":{}}}",
-            d.archive_size, d.nfe, d.elapsed
+            ",\"determinism\":{{\"ok\":true,\"archive_size\":{},\"nfe\":{},\"elapsed\":{},\
+             \"faults_injected\":{},\"fault_reissues\":{}}}",
+            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues
         )),
         Some(Err(e)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":false,\"error\":{}}}",

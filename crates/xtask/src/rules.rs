@@ -1,6 +1,6 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Five workspace-specific correctness rules run over the token stream from
+//! Six workspace-specific correctness rules run over the token stream from
 //! [`crate::lexer`]:
 //!
 //! * **BORG-L001** — no `.unwrap()` / `.expect()` in library code outside
@@ -19,6 +19,12 @@
 //! * **BORG-L005** — no direct `==` / `!=` involving objective values.
 //!   Objective comparisons must go through the dominance / epsilon-box
 //!   predicates, not raw f64 equality.
+//! * **BORG-L006** — no unbounded `.recv()` in the executor crate
+//!   (`crates/parallel`) outside test regions. A master loop blocked on a
+//!   plain `recv()` deadlocks when a worker crashes or hangs; every wait
+//!   must be a `recv_timeout` / `try_recv` so the fault-recovery deadline
+//!   sweep keeps running. Deliberate unbounded waits (e.g. a hung-worker
+//!   park released by channel disconnect) carry an allowlist comment.
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
 //! on the same line or the line directly above.
@@ -35,7 +41,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 5] = [
+pub const RULES: [Rule; 6] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -55,6 +61,10 @@ pub const RULES: [Rule; 5] = [
     Rule {
         id: "BORG-L005",
         summary: "no direct f64 ==/!= on objective values; use dominance/epsilon predicates",
+    },
+    Rule {
+        id: "BORG-L006",
+        summary: "no unbounded .recv() in executor library code; use recv_timeout/try_recv",
     },
 ];
 
@@ -81,6 +91,7 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l003(rel_path, &lexed.tokens, &mut found);
     rule_l004(rel_path, &lexed.tokens, &mut found);
     rule_l005(rel_path, class, &lexed.tokens, &in_test, &mut found);
+    rule_l006(rel_path, class, &lexed.tokens, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
     found.retain(|v| {
@@ -418,6 +429,43 @@ fn window_has_objectives(tokens: &[Token], i: usize, backward: bool) -> bool {
     false
 }
 
+fn rule_l006(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Scope: the executor crate's library sources (where a blocked master
+    // loop means a deadlocked run), plus the self-test fixture.
+    let executor_scope =
+        rel_path.starts_with("crates/parallel/src/") || rel_path == FIXTURE_SCAN_PATH;
+    if !executor_scope || class != FileClass::Library {
+        return;
+    }
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        // `.recv(` exactly — `recv_timeout` / `try_recv` are different
+        // identifiers and stay silent.
+        if t.kind == TokenKind::Ident
+            && t.text == "recv"
+            && is_punct(tokens, i - 1, ".")
+            && is_punct(tokens, i + 1, "(")
+            && !in_test(t.line)
+        {
+            out.push(Violation {
+                rule: "BORG-L006",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: "unbounded `.recv()` in executor code can deadlock on a crashed or \
+                          hung worker; use `recv_timeout`/`try_recv` (or allowlist a deliberate \
+                          disconnect-released park)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Token helpers
 // ---------------------------------------------------------------------------
@@ -591,6 +639,35 @@ mod tests {
         // Tests may compare exact values they constructed.
         let src = "#[cfg(test)]\nmod tests {\n fn t() { assert!(s.objectives()[0] == 1.0); }\n}";
         assert!(check_lib(src).is_empty());
+    }
+
+    #[test]
+    fn l006_flags_unbounded_recv_only_in_executor_library_code() {
+        let src = "fn master() { let item = result_rx.recv(); }";
+        // Out of scope: a non-executor crate.
+        assert!(check_lib(src).is_empty());
+        // In scope: crates/parallel library sources.
+        let v = check_source("crates/parallel/src/threads.rs", FileClass::Library, src);
+        assert_eq!(rules_at(&v), [("BORG-L006", 1)]);
+        // Bounded waits are fine.
+        let bounded = "fn master() { let a = rx.recv_timeout(t); let b = rx.try_recv(); }";
+        assert!(check_source(
+            "crates/parallel/src/threads.rs",
+            FileClass::Library,
+            bounded
+        )
+        .is_empty());
+        // Test regions are exempt (a test may block on a known-finite send).
+        let tst = "#[cfg(test)]\nmod tests {\n fn t() { rx.recv(); }\n}";
+        assert!(check_source("crates/parallel/src/threads.rs", FileClass::Library, tst).is_empty());
+        // The allowlist escape works for deliberate parks.
+        let allowed = "fn park() { let _ = stop_rx.recv(); } // borg-lint: allow(BORG-L006)";
+        assert!(check_source(
+            "crates/parallel/src/threads.rs",
+            FileClass::Library,
+            allowed
+        )
+        .is_empty());
     }
 
     #[test]

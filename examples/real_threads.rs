@@ -32,12 +32,7 @@ fn main() {
     let result = run_threaded(
         &problem,
         BorgConfig::new(3, 0.05),
-        &ThreadedConfig {
-            workers,
-            max_nfe: nfe,
-            delay: Some(Dist::normal_cv(t_f, 0.1)),
-            seed: 2,
-        },
+        &ThreadedConfig::new(workers, nfe, Some(Dist::normal_cv(t_f, 0.1)), 2),
     )
     .expect("worker pool stays alive");
     println!(

@@ -10,11 +10,14 @@ use borg_repro::core::nsga2::{crowding_distances, fast_nondominated_sort};
 use borg_repro::core::operators::standard_borg_operators;
 use borg_repro::core::problem::Bounds;
 use borg_repro::core::solution::Solution;
+use borg_repro::desim::fault::{FaultConfig, FaultPlan};
 use borg_repro::desim::EventQueue;
 use borg_repro::metrics::hypervolume::hypervolume;
 use borg_repro::metrics::nds::nondominated_filter;
 use borg_repro::models::dist::Dist;
-use borg_repro::models::queueing::{run_async, run_sync, MasterSlaveHooks};
+use borg_repro::models::queueing::{
+    run_async, run_async_faulty, run_sync, FaultTolerantHooks, MasterSlaveHooks, RecoveryPolicy,
+};
 use proptest::prelude::*;
 
 /// Constant-time hooks for the queueing property tests.
@@ -32,6 +35,29 @@ impl MasterSlaveHooks for ConstHooks {
         self.t_f
     }
     fn consume(&mut self, _w: usize, _now: f64) -> f64 {
+        self.t_a
+    }
+    fn comm_time(&mut self) -> f64 {
+        self.t_c
+    }
+}
+
+/// Constant-time fault-tolerant hooks: every interaction has a fixed cost,
+/// so only the fault plan perturbs the schedule.
+struct ConstFaultHooks {
+    t_f: f64,
+    t_c: f64,
+    t_a: f64,
+}
+
+impl FaultTolerantHooks for ConstFaultHooks {
+    fn produce(&mut self, _w: usize, _eval_id: u64, _now: f64) -> f64 {
+        self.t_a
+    }
+    fn evaluation_time(&mut self, _w: usize, _eval_id: u64) -> f64 {
+        self.t_f
+    }
+    fn consume(&mut self, _w: usize, _eval_id: u64, _now: f64) -> f64 {
         self.t_a
     }
     fn comm_time(&mut self) -> f64 {
@@ -303,6 +329,46 @@ proptest! {
         prop_assert!(out.elapsed <= serial_bound + 1e-9, "above serial bound");
         prop_assert!((0.0..=1.0 + 1e-9).contains(&out.master_utilization));
         prop_assert!(out.mean_wait >= 0.0 && out.max_wait >= out.mean_wait);
+    }
+
+    #[test]
+    fn duplicate_suppression_never_double_counts_nfe(
+        workers in 2usize..24,
+        n in 20u64..400,
+        duplicate_rate in 0.0f64..0.5,
+        drop_rate in 0.0f64..0.3,
+        seed in 0u64..1_000,
+    ) {
+        // Arbitrary duplication and loss on the result path: the master
+        // must consume exactly N results — a duplicated result must never
+        // advance the NFE counter twice, and a dropped one must be
+        // reissued, not forgotten.
+        let (t_f, t_c, t_a) = (0.01, 0.000_006, 0.000_03);
+        let plan = FaultPlan::new(
+            FaultConfig { duplicate_rate, drop_rate, ..FaultConfig::default() },
+            workers,
+            n,
+            seed,
+        );
+        let mut hooks = ConstFaultHooks { t_f, t_c, t_a };
+        let run = run_async_faulty(
+            &mut hooks,
+            workers,
+            n,
+            &plan,
+            RecoveryPolicy::from_expected_eval_time(t_f, 4.0),
+            &mut borg_repro::desim::SpanTrace::disabled(),
+        );
+        prop_assert_eq!(run.outcome.completed, n, "budget not exactly met");
+        // Ledger consistency: every detected fault recovered, and each
+        // suppressed duplicate / dropped result is accounted as waste.
+        prop_assert!(run.fault_log.all_recovered());
+        let dupes = run.fault_log.duplicates_suppressed;
+        let drops = run.fault_log.injected_of(
+            borg_repro::desim::fault::FaultKind::MessageDrop) as u64;
+        prop_assert!(run.fault_log.wasted_nfe >= dupes.max(drops),
+            "waste accounting lost events: wasted {} dupes {} drops {}",
+            run.fault_log.wasted_nfe, dupes, drops);
     }
 
     #[test]

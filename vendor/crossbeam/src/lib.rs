@@ -72,6 +72,30 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => {
+                    write!(f, "timed out waiting on an empty channel")
+                }
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         /// Signals receivers that an item arrived or all senders left.
@@ -182,6 +206,39 @@ pub mod channel {
             }
         }
 
+        /// Receives a message, blocking at most `timeout` while the
+        /// channel is empty. Disconnect (all senders gone) is reported in
+        /// preference to timeout, like crossbeam.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let inner = &*self.inner;
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = lock_ignore_poison(&inner.queue);
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    drop(queue);
+                    inner.send_ready.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = match inner.recv_ready.wait_timeout(queue, remaining) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                // Loop re-checks the queue and deadline; a spurious or
+                // timed-out wake is handled identically.
+                queue = guard;
+            }
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let inner = &*self.inner;
@@ -251,6 +308,34 @@ pub mod channel {
     mod tests {
         use super::*;
         use std::time::Duration;
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers_then_disconnects() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).expect("receiver alive");
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_cross_thread_send() {
+            let (tx, rx) = unbounded::<u32>();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(10));
+                    tx.send(42).expect("receiver alive");
+                });
+                assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+            });
+        }
 
         #[test]
         fn unbounded_roundtrip_in_order() {
