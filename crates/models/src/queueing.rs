@@ -1,19 +1,29 @@
-//! The master-slave queueing engine shared by the performance simulation
-//! model (this crate) and the full-algorithm virtual-time executors
+//! The master-slave queueing simulation shared by the performance model
+//! (this crate) and the full-algorithm virtual-time executors
 //! (`borg-parallel`).
 //!
-//! The engine reproduces the event structure of the paper's SimPy model
-//! (§IV-B): workers evaluate, then *request* the master; the master is an
-//! exclusive FIFO resource *held* for `T_C + T_A + T_C` per interaction
-//! (receive, process + produce, send), after which the worker is
-//! *activated* again. What happens inside `T_A`/`T_F` is delegated to a
+//! The simulation reproduces the event structure of the paper's SimPy
+//! model (§IV-B): workers evaluate, then *request* the master; the master
+//! is an exclusive FIFO resource *held* for `T_C + T_A + T_C` per
+//! interaction (receive, process + produce, send), after which the worker
+//! is *activated* again. What happens inside `T_A`/`T_F` is delegated to a
 //! [`MasterSlaveHooks`] implementation: the performance model just samples
 //! durations, the executors in `borg-parallel` run the real Borg MOEA.
+//!
+//! The *protocol* itself — dispatch bookkeeping, deadline reissue,
+//! duplicate suppression, liveness beliefs — is not implemented here: it
+//! lives in the executor-agnostic [`borg_protocol::MasterEngine`]. This
+//! module contributes the DES-time adapters: [`Transport`]
+//! implementations that map the engine's decisions onto an
+//! [`EventQueue`], charging simulated master/worker time through the
+//! hooks and consulting the [`FaultPlan`] for injected fates.
 
 use borg_desim::fault::{DispatchFate, FaultKind, FaultLog, FaultPlan, MessageFate};
 use borg_desim::queue::EventQueue;
 use borg_desim::trace::{Activity, Actor, SpanTrace};
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use borg_protocol::{Clock, Command, EngineConfig, Event, MasterEngine, Transport};
+
+pub use borg_protocol::RecoveryPolicy;
 
 /// Problem-specific behaviour plugged into the queueing engine.
 ///
@@ -65,6 +75,112 @@ pub struct RunOutcome {
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct ResultReady {
     worker: usize,
+    eval_id: u64,
+}
+
+/// DES adapter for the fault-free asynchronous topology: simulated
+/// latencies, no deadlines, no fault plan. The master's consume and the
+/// follow-up produce form one contiguous hold, so the open `Algorithm`
+/// span started by [`Transport::consume`] is closed by the next
+/// [`Transport::dispatch`] (or flushed at run end after the final
+/// consume, which has no follow-up).
+struct AsyncTransport<'a, H: MasterSlaveHooks> {
+    hooks: &'a mut H,
+    trace: &'a mut SpanTrace,
+    queue: EventQueue<ResultReady>,
+    master_free_at: f64,
+    master_busy: f64,
+    completed: u64,
+    wait_sum: f64,
+    wait_max: f64,
+    max_queue: usize,
+    pending_algo: Option<f64>,
+}
+
+impl<H: MasterSlaveHooks> Clock for AsyncTransport<'_, H> {
+    fn now(&self) -> f64 {
+        self.queue.now()
+    }
+}
+
+impl<H: MasterSlaveHooks> Transport for AsyncTransport<'_, H> {
+    fn dispatch(
+        &mut self,
+        worker: usize,
+        eval_id: u64,
+        _attempt: u32,
+        _seq: u64,
+        _log: &mut FaultLog,
+    ) -> f64 {
+        let start = self.master_free_at;
+        let ta = self.hooks.produce(worker, start);
+        let tc = self.hooks.comm_time();
+        let algo_start = self.pending_algo.take().unwrap_or(start);
+        self.trace
+            .record(Actor::Master, Activity::Algorithm, algo_start, start + ta);
+        self.trace.record(
+            Actor::Master,
+            Activity::Communication,
+            start + ta,
+            start + ta + tc,
+        );
+        let start_eval = start + ta + tc;
+        self.master_busy += ta + tc;
+        self.master_free_at = start_eval;
+        let tf = self.hooks.evaluation_time(worker);
+        self.trace.record(
+            Actor::Worker(worker),
+            Activity::Evaluation,
+            start_eval,
+            start_eval + tf,
+        );
+        self.queue
+            .schedule_at(start_eval + tf, ResultReady { worker, eval_id });
+        f64::INFINITY
+    }
+
+    fn consume(&mut self, worker: usize, _eval_id: u64, ready_at: f64) -> f64 {
+        let grant = self.master_free_at.max(ready_at);
+        let wait = grant - ready_at;
+        self.wait_sum += wait;
+        self.wait_max = self.wait_max.max(wait);
+
+        // Queue length at grant time: every result ready at or before the
+        // grant is necessarily already in the event heap (time only moves
+        // forward), so counting them is exact. Sampled to bound the O(W)
+        // scan cost on large topologies.
+        if self.completed.is_multiple_of(32) {
+            self.max_queue = self.max_queue.max(1 + self.queue.count_at_or_before(grant));
+        }
+
+        let tc_in = self.hooks.comm_time();
+        self.trace
+            .record(Actor::Worker(worker), Activity::Idle, ready_at, grant);
+        self.trace
+            .record(Actor::Master, Activity::Communication, grant, grant + tc_in);
+        let ta_c = self.hooks.consume(worker, grant + tc_in);
+        self.completed += 1;
+        self.pending_algo = Some(grant + tc_in);
+        self.master_busy += tc_in + ta_c;
+        self.master_free_at = grant + tc_in + ta_c;
+        self.master_free_at
+    }
+
+    fn absorb_duplicate(&mut self, _worker: usize, _eval_id: u64, _ready_at: f64) -> f64 {
+        unreachable!("the fault-free transport never duplicates messages")
+    }
+
+    fn ping(&mut self, _worker: usize) -> (f64, f64) {
+        unreachable!("the fault-free transport never watches deadlines")
+    }
+
+    fn rearm_heartbeat(&mut self, _at: f64) {
+        unreachable!("the fault-free policy has no heartbeat")
+    }
+
+    fn abandon(&mut self, _eval_id: u64) {
+        unreachable!("the fault-free transport never abandons work")
+    }
 }
 
 /// Runs the asynchronous master-slave simulation until `n` results have
@@ -82,110 +198,177 @@ pub fn run_async<H: MasterSlaveHooks>(
     assert!(workers >= 1, "need at least one worker");
     assert!(n >= 1, "need at least one evaluation");
 
-    let mut queue: EventQueue<ResultReady> = EventQueue::new();
-    let mut master_free_at = 0.0f64;
-    let mut master_busy = 0.0f64;
-    let mut completed = 0u64;
-    let mut wait_sum = 0.0f64;
-    let mut wait_max = 0.0f64;
+    let mut transport = AsyncTransport {
+        hooks,
+        trace,
+        queue: EventQueue::new(),
+        master_free_at: 0.0,
+        master_busy: 0.0,
+        completed: 0,
+        wait_sum: 0.0,
+        wait_max: 0.0,
+        max_queue: 0,
+        pending_algo: None,
+    };
+    let mut engine = MasterEngine::new(EngineConfig::fault_free_async(workers, n));
+    engine.seed(&mut transport);
 
-    // Initial seeding: the master produces and ships one work item per
-    // worker, serially.
-    for w in 0..workers {
-        let ta = hooks.produce(w, master_free_at);
-        let tc = hooks.comm_time();
-        trace.record(
+    while let Some((ready_at, ev)) = transport.queue.pop() {
+        engine.handle(
+            Event::ResultArrived {
+                worker: ev.worker,
+                eval_id: ev.eval_id,
+                at: ready_at,
+            },
+            &mut transport,
+        );
+        if engine.finished() {
+            break;
+        }
+    }
+    assert!(
+        engine.finished(),
+        "event queue drained before N results were consumed"
+    );
+    // The final consume has no follow-up produce: close its span here.
+    if let Some(algo_start) = transport.pending_algo.take() {
+        transport.trace.record(
             Actor::Master,
             Activity::Algorithm,
-            master_free_at,
-            master_free_at + ta,
+            algo_start,
+            transport.master_free_at,
         );
-        trace.record(
-            Actor::Master,
-            Activity::Communication,
-            master_free_at + ta,
-            master_free_at + ta + tc,
-        );
-        let start_eval = master_free_at + ta + tc;
-        master_busy += ta + tc;
-        master_free_at = start_eval;
-        let tf = hooks.evaluation_time(w);
-        trace.record(
-            Actor::Worker(w),
-            Activity::Evaluation,
-            start_eval,
-            start_eval + tf,
-        );
-        queue.schedule_at(start_eval + tf, ResultReady { worker: w });
+    }
+    let elapsed = transport.master_free_at;
+    RunOutcome {
+        elapsed,
+        completed: engine.completed(),
+        master_busy: transport.master_busy,
+        master_utilization: transport.master_busy / elapsed,
+        mean_wait: transport.wait_sum / engine.completed() as f64,
+        max_wait: transport.wait_max,
+        max_queue: transport.max_queue,
+        wasted_nfe: 0,
+    }
+}
+
+/// DES adapter for the generational synchronous topology. Slot indices
+/// `0..workers` are real workers (produce + send + remote evaluation);
+/// slot `workers` is the master's own offspring (produced and evaluated
+/// locally, no communication). Receives serialize on the master in
+/// completion order; once the whole generation is in, the batch of
+/// consumes runs in slot order — after which the engine's barrier
+/// dispatches the next generation.
+struct SyncTransport<'a, H: MasterSlaveHooks> {
+    hooks: &'a mut H,
+    trace: &'a mut SpanTrace,
+    queue: EventQueue<ResultReady>,
+    workers: usize,
+    now: f64,
+    master_busy: f64,
+    arrivals_in_gen: usize,
+}
+
+impl<H: MasterSlaveHooks> Clock for SyncTransport<'_, H> {
+    fn now(&self) -> f64 {
+        self.now
+    }
+}
+
+impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
+    fn dispatch(
+        &mut self,
+        worker: usize,
+        eval_id: u64,
+        _attempt: u32,
+        _seq: u64,
+        _log: &mut FaultLog,
+    ) -> f64 {
+        if worker < self.workers {
+            let ta = self.hooks.produce(worker, self.now);
+            let tc = self.hooks.comm_time();
+            self.trace
+                .record(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
+            self.trace.record(
+                Actor::Master,
+                Activity::Communication,
+                self.now + ta,
+                self.now + ta + tc,
+            );
+            self.master_busy += ta + tc;
+            self.now += ta + tc;
+            let tf = self.hooks.evaluation_time(worker);
+            self.trace.record(
+                Actor::Worker(worker),
+                Activity::Evaluation,
+                self.now,
+                self.now + tf,
+            );
+            self.queue
+                .schedule_at(self.now + tf, ResultReady { worker, eval_id });
+        } else {
+            // Master's own offspring (produced and evaluated locally).
+            let ta = self.hooks.produce(worker, self.now);
+            let tf = self.hooks.evaluation_time(worker);
+            self.trace
+                .record(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
+            self.trace.record(
+                Actor::Master,
+                Activity::Evaluation,
+                self.now + ta,
+                self.now + ta + tf,
+            );
+            self.master_busy += ta + tf;
+            self.now += ta + tf;
+            self.queue
+                .schedule_at(self.now, ResultReady { worker, eval_id });
+        }
+        f64::INFINITY
     }
 
-    let mut max_queue = 0usize;
-    while let Some((ready_at, ev)) = queue.pop() {
-        let w = ev.worker;
-        let grant = master_free_at.max(ready_at);
-        let wait = grant - ready_at;
-        wait_sum += wait;
-        wait_max = wait_max.max(wait);
-
-        // Queue length at grant time: every result ready at or before the
-        // grant is necessarily already in the event heap (time only moves
-        // forward), so counting them is exact. Sampled to bound the O(W)
-        // scan cost on large topologies.
-        if completed.is_multiple_of(32) {
-            max_queue = max_queue.max(1 + queue.count_at_or_before(grant));
+    fn consume(&mut self, worker: usize, _eval_id: u64, ready_at: f64) -> f64 {
+        if worker < self.workers {
+            // Receive, serialized on the master, no earlier than the
+            // master finishing its own evaluation.
+            let start = self.now.max(ready_at);
+            self.trace
+                .record(Actor::Worker(worker), Activity::Idle, ready_at, start);
+            let tc = self.hooks.comm_time();
+            self.trace
+                .record(Actor::Master, Activity::Communication, start, start + tc);
+            self.master_busy += tc;
+            self.now = start + tc;
         }
-
-        let tc_in = hooks.comm_time();
-        trace.record(Actor::Worker(w), Activity::Idle, ready_at, grant);
-        trace.record(Actor::Master, Activity::Communication, grant, grant + tc_in);
-        let ta_c = hooks.consume(w, grant + tc_in);
-        completed += 1;
-
-        if completed >= n {
-            let end = grant + tc_in + ta_c;
-            trace.record(Actor::Master, Activity::Algorithm, grant + tc_in, end);
-            master_busy += tc_in + ta_c;
-            let elapsed = end;
-            return RunOutcome {
-                elapsed,
-                completed,
-                master_busy,
-                master_utilization: master_busy / elapsed,
-                mean_wait: wait_sum / completed as f64,
-                max_wait: wait_max,
-                max_queue,
-                wasted_nfe: 0,
-            };
+        self.arrivals_in_gen += 1;
+        if self.arrivals_in_gen == self.workers + 1 {
+            self.arrivals_in_gen = 0;
+            // Synchronous processing of the whole generation.
+            for w in 0..=self.workers {
+                let ta = self.hooks.consume(w, self.now);
+                self.trace
+                    .record(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
+                self.master_busy += ta;
+                self.now += ta;
+            }
         }
-
-        let ta_p = hooks.produce(w, grant + tc_in + ta_c);
-        let tc_out = hooks.comm_time();
-        let hold_end = grant + tc_in + ta_c + ta_p + tc_out;
-        trace.record(
-            Actor::Master,
-            Activity::Algorithm,
-            grant + tc_in,
-            grant + tc_in + ta_c + ta_p,
-        );
-        trace.record(
-            Actor::Master,
-            Activity::Communication,
-            grant + tc_in + ta_c + ta_p,
-            hold_end,
-        );
-        master_busy += tc_in + ta_c + ta_p + tc_out;
-        master_free_at = hold_end;
-
-        let tf = hooks.evaluation_time(w);
-        trace.record(
-            Actor::Worker(w),
-            Activity::Evaluation,
-            hold_end,
-            hold_end + tf,
-        );
-        queue.schedule_at(hold_end + tf, ResultReady { worker: w });
+        self.now
     }
-    unreachable!("event queue drained before N results were consumed");
+
+    fn absorb_duplicate(&mut self, _worker: usize, _eval_id: u64, _ready_at: f64) -> f64 {
+        unreachable!("the synchronous transport never duplicates messages")
+    }
+
+    fn ping(&mut self, _worker: usize) -> (f64, f64) {
+        unreachable!("the synchronous transport never watches deadlines")
+    }
+
+    fn rearm_heartbeat(&mut self, _at: f64) {
+        unreachable!("the synchronous policy has no heartbeat")
+    }
+
+    fn abandon(&mut self, _eval_id: u64) {
+        unreachable!("the synchronous transport never abandons work")
+    }
 }
 
 /// Runs a generational synchronous master-slave simulation (Cantú-Paz's
@@ -203,72 +386,41 @@ pub fn run_sync<H: MasterSlaveHooks>(
 ) -> RunOutcome {
     assert!(workers >= 1);
     assert!(n >= 1);
-    let p = workers + 1; // master evaluates too
-    let mut now = 0.0f64;
-    let mut master_busy = 0.0f64;
-    let mut completed = 0u64;
-
-    while completed < n {
-        let gen_start = now;
-        // Sends (serialized on the master).
-        let mut finish_times: Vec<(usize, f64)> = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let ta = hooks.produce(w, now);
-            let tc = hooks.comm_time();
-            trace.record(Actor::Master, Activity::Algorithm, now, now + ta);
-            trace.record(
-                Actor::Master,
-                Activity::Communication,
-                now + ta,
-                now + ta + tc,
-            );
-            master_busy += ta + tc;
-            now += ta + tc;
-            let tf = hooks.evaluation_time(w);
-            trace.record(Actor::Worker(w), Activity::Evaluation, now, now + tf);
-            finish_times.push((w, now + tf));
-        }
-        // Master's own offspring (produced and evaluated locally).
-        let ta_own = hooks.produce(workers, now);
-        let tf_own = hooks.evaluation_time(workers);
-        trace.record(Actor::Master, Activity::Algorithm, now, now + ta_own);
-        trace.record(
-            Actor::Master,
-            Activity::Evaluation,
-            now + ta_own,
-            now + ta_own + tf_own,
+    let mut transport = SyncTransport {
+        hooks,
+        trace,
+        queue: EventQueue::new(),
+        workers,
+        now: 0.0,
+        master_busy: 0.0,
+        arrivals_in_gen: 0,
+    };
+    // Generation width = workers + the self-evaluating master.
+    let mut engine = MasterEngine::new(EngineConfig::sync_generational(workers + 1, n));
+    engine.seed(&mut transport);
+    while let Some((ready_at, ev)) = transport.queue.pop() {
+        engine.handle(
+            Event::ResultArrived {
+                worker: ev.worker,
+                eval_id: ev.eval_id,
+                at: ready_at,
+            },
+            &mut transport,
         );
-        master_busy += ta_own + tf_own;
-        now += ta_own + tf_own;
-
-        // Receives, serialized in completion order, no earlier than the
-        // master finishing its own evaluation.
-        finish_times.sort_by(|a, b| a.1.total_cmp(&b.1));
-        for &(w, t_done) in &finish_times {
-            let start = now.max(t_done);
-            trace.record(Actor::Worker(w), Activity::Idle, t_done, start);
-            let tc = hooks.comm_time();
-            trace.record(Actor::Master, Activity::Communication, start, start + tc);
-            master_busy += tc;
-            now = start + tc;
+        if engine.finished() {
+            break;
         }
-
-        // Synchronous processing of the whole generation.
-        for w in 0..=workers {
-            let ta = hooks.consume(w, now);
-            trace.record(Actor::Master, Activity::Algorithm, now, now + ta);
-            master_busy += ta;
-            now += ta;
-        }
-        completed += p as u64;
-        debug_assert!(now > gen_start);
     }
-
+    assert!(
+        engine.finished(),
+        "event queue drained before N results were consumed"
+    );
+    let elapsed = transport.now;
     RunOutcome {
-        elapsed: now,
-        completed,
-        master_busy,
-        master_utilization: master_busy / now,
+        elapsed,
+        completed: engine.completed(),
+        master_busy: transport.master_busy,
+        master_utilization: transport.master_busy / elapsed,
         mean_wait: 0.0,
         max_wait: 0.0,
         max_queue: 0,
@@ -277,7 +429,7 @@ pub fn run_sync<H: MasterSlaveHooks>(
 }
 
 // ---------------------------------------------------------------------------
-// Fault-tolerant asynchronous engine
+// Fault-tolerant asynchronous adapter
 // ---------------------------------------------------------------------------
 
 /// Problem-specific behaviour for the *fault-tolerant* asynchronous engine.
@@ -310,43 +462,6 @@ pub trait FaultTolerantHooks {
     fn comm_time(&mut self) -> f64;
 }
 
-/// Master-side recovery policy: when to give up on an outstanding
-/// evaluation and how aggressively to probe for dead workers.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RecoveryPolicy {
-    /// Deadline per outstanding evaluation. When it passes without a
-    /// result the master pings the assigned worker and reissues.
-    pub timeout: f64,
-    /// Interval of the master's background liveness sweep; a worker that
-    /// has been silent for a full interval past its death is declared
-    /// dead even if none of its evaluations has timed out yet.
-    pub heartbeat_interval: f64,
-    /// Hard cap on reissues per evaluation; exceeding it abandons the
-    /// evaluation (the run then finishes with fewer results — this only
-    /// guards against pathological configurations such as a 100% message
-    /// drop rate).
-    pub max_reissues: u32,
-}
-
-impl RecoveryPolicy {
-    /// The paper-flavoured policy: timeout `k · E[T_F]` (`k > 1` so an
-    /// ordinary evaluation never trips it), heartbeat at half the
-    /// timeout.
-    pub fn from_expected_eval_time(expected_tf: f64, k: f64) -> Self {
-        assert!(
-            expected_tf > 0.0 && expected_tf.is_finite(),
-            "expected evaluation time must be positive"
-        );
-        assert!(k > 1.0, "timeout multiplier must exceed 1");
-        let timeout = k * expected_tf;
-        RecoveryPolicy {
-            timeout,
-            heartbeat_interval: timeout / 2.0,
-            max_reissues: 64,
-        }
-    }
-}
-
 /// Outcome of a fault-injected run: the ordinary [`RunOutcome`] plus the
 /// recovery ledger.
 #[derive(Debug, Clone, PartialEq)]
@@ -377,131 +492,24 @@ enum FaultEvent {
     Respawn { worker: usize },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Outstanding {
-    worker: usize,
-    deadline: f64,
-    attempts: u32,
-}
-
-struct FaultySim<'a, H: FaultTolerantHooks> {
+/// DES adapter for the fault-tolerant asynchronous topology: the engine's
+/// dispatches consult the [`FaultPlan`] for the evaluation's fate (crash,
+/// hang, straggle) and the result message's fate (deliver, drop,
+/// duplicate), turning each into first-class DES events; deadlines become
+/// [`FaultEvent::Timeout`] entries carrying the deadline fingerprint.
+struct FaultyTransport<'a, H: FaultTolerantHooks> {
     hooks: &'a mut H,
     plan: &'a FaultPlan,
-    policy: RecoveryPolicy,
+    timeout: f64,
     trace: &'a mut SpanTrace,
     queue: EventQueue<FaultEvent>,
-    n: u64,
-    workers: usize,
-    // Master bookkeeping.
     master_free_at: f64,
     master_busy: f64,
-    completed: u64,
     wait_sum: f64,
     wait_max: f64,
-    next_eval: u64,
-    // Physical truth vs the master's beliefs.
-    alive: Vec<bool>,
-    dead_since: Vec<f64>,
-    view_alive: Vec<bool>,
-    current_eval: Vec<Option<u64>>,
-    dispatch_count: Vec<u64>,
-    pending_respawns: usize,
-    // Recovery state.
-    outstanding: BTreeMap<u64, Outstanding>,
-    idle: BTreeSet<usize>,
-    reissue_queue: VecDeque<u64>,
-    done: HashSet<u64>,
-    abandoned: u64,
-    log: FaultLog,
-    finished_at: Option<f64>,
 }
 
-impl<H: FaultTolerantHooks> FaultySim<'_, H> {
-    /// Produce (or re-send) `eval_id` to `worker` and simulate the worker
-    /// side, consulting the fault plan for the dispatch and message fate.
-    fn dispatch(&mut self, worker: usize, eval_id: u64, attempts: u32) {
-        let start = self.master_free_at.max(self.queue.now());
-        let ta = if attempts == 0 {
-            self.hooks.produce(worker, eval_id, start)
-        } else {
-            self.log.reissues += 1;
-            self.hooks.reissue(worker, eval_id, start)
-        };
-        let tc = self.hooks.comm_time();
-        self.trace
-            .record(Actor::Master, Activity::Algorithm, start, start + ta);
-        self.trace.record(
-            Actor::Master,
-            Activity::Communication,
-            start + ta,
-            start + ta + tc,
-        );
-        self.master_busy += ta + tc;
-        self.master_free_at = start + ta + tc;
-        let start_eval = self.master_free_at;
-
-        self.current_eval[worker] = Some(eval_id);
-        self.idle.remove(&worker);
-        let seq = self.dispatch_count[worker];
-        self.dispatch_count[worker] += 1;
-        let tf = self.hooks.evaluation_time(worker, eval_id);
-
-        let deadline = start_eval + self.policy.timeout;
-        self.outstanding.insert(
-            eval_id,
-            Outstanding {
-                worker,
-                deadline,
-                attempts,
-            },
-        );
-        self.queue.schedule_at(
-            deadline,
-            FaultEvent::Timeout {
-                eval_id,
-                worker,
-                deadline_bits: deadline.to_bits(),
-            },
-        );
-
-        match self.plan.dispatch_fate(worker, seq) {
-            DispatchFate::Normal => {
-                self.finish_evaluation(worker, eval_id, start_eval, tf, attempts);
-            }
-            DispatchFate::Straggle { factor } => {
-                self.log
-                    .inject(FaultKind::Straggler, worker, eval_id, start_eval);
-                self.finish_evaluation(worker, eval_id, start_eval, tf * factor, attempts);
-            }
-            DispatchFate::CrashDuring { frac } => {
-                let at = start_eval + tf * frac;
-                self.log.inject(FaultKind::Crash, worker, eval_id, at);
-                self.log.wasted_nfe += 1;
-                let respawn = self.plan.respawn_after().is_some();
-                self.queue
-                    .schedule_at(at, FaultEvent::Death { worker, respawn });
-                if respawn {
-                    self.pending_respawns += 1;
-                }
-            }
-            DispatchFate::HangDuring => {
-                // A hang looks like a crash that never recovers: the
-                // worker stops mid-evaluation and never speaks again, so
-                // the master quarantines it once detected.
-                let at = start_eval + tf * 0.5;
-                self.log.inject(FaultKind::Hang, worker, eval_id, at);
-                self.log.wasted_nfe += 1;
-                self.queue.schedule_at(
-                    at,
-                    FaultEvent::Death {
-                        worker,
-                        respawn: false,
-                    },
-                );
-            }
-        }
-    }
-
+impl<H: FaultTolerantHooks> FaultyTransport<'_, H> {
     /// The evaluation ran to completion on the worker; decide the fate of
     /// the result message.
     fn finish_evaluation(
@@ -511,6 +519,7 @@ impl<H: FaultTolerantHooks> FaultySim<'_, H> {
         start_eval: f64,
         tf: f64,
         attempts: u32,
+        log: &mut FaultLog,
     ) {
         let finish = start_eval + tf;
         self.trace.record(
@@ -525,13 +534,11 @@ impl<H: FaultTolerantHooks> FaultySim<'_, H> {
                     .schedule_at(finish, FaultEvent::Arrival { worker, eval_id });
             }
             MessageFate::Drop => {
-                self.log
-                    .inject(FaultKind::MessageDrop, worker, eval_id, finish);
-                self.log.wasted_nfe += 1;
+                log.inject(FaultKind::MessageDrop, worker, eval_id, finish);
+                log.wasted_nfe += 1;
             }
             MessageFate::Duplicate => {
-                self.log
-                    .inject(FaultKind::MessageDuplicate, worker, eval_id, finish);
+                log.inject(FaultKind::MessageDuplicate, worker, eval_id, finish);
                 self.queue
                     .schedule_at(finish, FaultEvent::Arrival { worker, eval_id });
                 self.queue
@@ -539,51 +546,89 @@ impl<H: FaultTolerantHooks> FaultySim<'_, H> {
             }
         }
     }
+}
 
-    /// Give a freed worker its next assignment: queued reissues first,
-    /// then fresh work, otherwise park it idle.
-    fn assign_next(&mut self, worker: usize) {
-        self.current_eval[worker] = None;
-        if !self.view_alive[worker] {
-            return;
-        }
-        while let Some(id) = self.reissue_queue.pop_front() {
-            if let Some(o) = self.outstanding.get(&id).copied() {
-                self.dispatch(worker, id, o.attempts + 1);
-                return;
-            }
-        }
-        if self.completed + self.outstanding.len() as u64 + self.abandoned < self.n {
-            let id = self.next_eval;
-            self.next_eval += 1;
-            self.dispatch(worker, id, 0);
+impl<H: FaultTolerantHooks> Clock for FaultyTransport<'_, H> {
+    fn now(&self) -> f64 {
+        self.queue.now()
+    }
+}
+
+impl<H: FaultTolerantHooks> Transport for FaultyTransport<'_, H> {
+    fn dispatch(
+        &mut self,
+        worker: usize,
+        eval_id: u64,
+        attempt: u32,
+        seq: u64,
+        log: &mut FaultLog,
+    ) -> f64 {
+        let start = self.master_free_at.max(self.queue.now());
+        let ta = if attempt == 0 {
+            self.hooks.produce(worker, eval_id, start)
         } else {
-            self.idle.insert(worker);
+            self.hooks.reissue(worker, eval_id, start)
+        };
+        let tc = self.hooks.comm_time();
+        self.trace
+            .record(Actor::Master, Activity::Algorithm, start, start + ta);
+        self.trace.record(
+            Actor::Master,
+            Activity::Communication,
+            start + ta,
+            start + ta + tc,
+        );
+        self.master_busy += ta + tc;
+        self.master_free_at = start + ta + tc;
+        let start_eval = self.master_free_at;
+        let tf = self.hooks.evaluation_time(worker, eval_id);
+
+        let deadline = start_eval + self.timeout;
+        self.queue.schedule_at(
+            deadline,
+            FaultEvent::Timeout {
+                eval_id,
+                worker,
+                deadline_bits: deadline.to_bits(),
+            },
+        );
+
+        match self.plan.dispatch_fate(worker, seq) {
+            DispatchFate::Normal => {
+                self.finish_evaluation(worker, eval_id, start_eval, tf, attempt, log);
+            }
+            DispatchFate::Straggle { factor } => {
+                log.inject(FaultKind::Straggler, worker, eval_id, start_eval);
+                self.finish_evaluation(worker, eval_id, start_eval, tf * factor, attempt, log);
+            }
+            DispatchFate::CrashDuring { frac } => {
+                let at = start_eval + tf * frac;
+                log.inject(FaultKind::Crash, worker, eval_id, at);
+                log.wasted_nfe += 1;
+                let respawn = self.plan.respawn_after().is_some();
+                self.queue
+                    .schedule_at(at, FaultEvent::Death { worker, respawn });
+            }
+            DispatchFate::HangDuring => {
+                // A hang looks like a crash that never recovers: the
+                // worker stops mid-evaluation and never speaks again, so
+                // the master quarantines it once detected.
+                let at = start_eval + tf * 0.5;
+                log.inject(FaultKind::Hang, worker, eval_id, at);
+                log.wasted_nfe += 1;
+                self.queue.schedule_at(
+                    at,
+                    FaultEvent::Death {
+                        worker,
+                        respawn: false,
+                    },
+                );
+            }
         }
+        deadline
     }
 
-    fn handle_arrival(&mut self, ready_at: f64, worker: usize, eval_id: u64) {
-        if self.done.contains(&eval_id) {
-            // Duplicate or superseded copy: absorb the message, count the
-            // wasted work, free the worker if it was still pinned on it.
-            let grant = self.master_free_at.max(ready_at);
-            let tc_in = self.hooks.comm_time();
-            self.trace
-                .record(Actor::Master, Activity::Communication, grant, grant + tc_in);
-            self.master_busy += tc_in;
-            self.master_free_at = grant + tc_in;
-            self.log.duplicates_suppressed += 1;
-            self.log.wasted_nfe += 1;
-            self.log.recover_eval(eval_id, self.master_free_at);
-            if self.current_eval[worker] == Some(eval_id) {
-                self.assign_next(worker);
-            }
-            return;
-        }
-        let Some(_) = self.outstanding.remove(&eval_id) else {
-            // Neither done nor outstanding: abandoned past max_reissues.
-            return;
-        };
+    fn consume(&mut self, worker: usize, eval_id: u64, ready_at: f64) -> f64 {
         let grant = self.master_free_at.max(ready_at);
         let wait = grant - ready_at;
         self.wait_sum += wait;
@@ -602,182 +647,35 @@ impl<H: FaultTolerantHooks> FaultySim<'_, H> {
         );
         self.master_busy += tc_in + ta;
         self.master_free_at = grant + tc_in + ta;
-        self.completed += 1;
-        self.done.insert(eval_id);
-        self.log.recover_eval(eval_id, self.master_free_at);
-        // Results prove liveness: a quarantined worker that speaks again
-        // (e.g. a straggler mistaken for dead) rejoins the pool.
-        self.view_alive[worker] = self.alive[worker] || self.view_alive[worker];
-        if self.completed >= self.n {
-            self.finished_at = Some(self.master_free_at);
-            return;
-        }
-        if self.current_eval[worker] == Some(eval_id) {
-            self.assign_next(worker);
-        }
+        self.master_free_at
     }
 
-    fn handle_timeout(&mut self, eval_id: u64, worker: usize, deadline_bits: u64) {
-        let Some(o) = self.outstanding.get(&eval_id).copied() else {
-            // Evaluation already consumed; if this worker's copy never
-            // arrived (its message was dropped after a reissue raced it),
-            // stop waiting on it.
-            if self.current_eval[worker] == Some(eval_id) {
-                self.assign_next(worker);
-            }
-            return;
-        };
-        if o.deadline.to_bits() != deadline_bits {
-            return; // superseded by a reissue
-        }
-        let now = self.queue.now();
-        let start = self.master_free_at.max(now);
-        self.log.detect_eval(eval_id, start);
-        // Ping the assigned worker: one round-trip of master time.
+    fn absorb_duplicate(&mut self, _worker: usize, _eval_id: u64, ready_at: f64) -> f64 {
+        let grant = self.master_free_at.max(ready_at);
+        let tc_in = self.hooks.comm_time();
+        self.trace
+            .record(Actor::Master, Activity::Communication, grant, grant + tc_in);
+        self.master_busy += tc_in;
+        self.master_free_at = grant + tc_in;
+        self.master_free_at
+    }
+
+    fn ping(&mut self, _worker: usize) -> (f64, f64) {
+        let start = self.master_free_at.max(self.queue.now());
+        // One round-trip of master time.
         let ping = self.hooks.comm_time() + self.hooks.comm_time();
         self.trace
             .record(Actor::Master, Activity::Communication, start, start + ping);
         self.master_busy += ping;
         self.master_free_at = start + ping;
-        let w = o.worker;
-        if !self.alive[w] {
-            if self.view_alive[w] {
-                self.view_alive[w] = false;
-                self.idle.remove(&w);
-                self.log.detect_worker_death(w, self.master_free_at);
-            }
-            self.current_eval[w] = None;
-        }
-        if o.attempts >= self.policy.max_reissues {
-            self.outstanding.remove(&eval_id);
-            self.abandoned += 1;
-            return;
-        }
-        // Reissue: back to the pinged worker when it is alive (it lost
-        // the message, or is straggling and the retry races it), else to
-        // any idle worker, else queue until one frees up.
-        if self.view_alive[w] {
-            self.dispatch(w, eval_id, o.attempts + 1);
-        } else if let Some(v) = self.idle.iter().next().copied() {
-            self.idle.remove(&v);
-            self.dispatch(v, eval_id, o.attempts + 1);
-        } else {
-            self.park_for_reissue(eval_id);
-        }
+        (start, self.master_free_at)
     }
 
-    /// Queue `eval_id` for reissue when a worker frees up, neutralising
-    /// its pending timeout so it is not reissued twice.
-    fn park_for_reissue(&mut self, eval_id: u64) {
-        if let Some(o) = self.outstanding.get_mut(&eval_id) {
-            o.deadline = f64::INFINITY;
-            self.reissue_queue.push_back(eval_id);
-        }
+    fn rearm_heartbeat(&mut self, at: f64) {
+        self.queue.schedule_at(at, FaultEvent::Heartbeat);
     }
 
-    fn handle_heartbeat(&mut self) {
-        let now = self.queue.now();
-        for w in 0..self.workers {
-            if self.alive[w]
-                || !self.view_alive[w]
-                || now - self.dead_since[w] < self.policy.heartbeat_interval
-            {
-                continue;
-            }
-            self.view_alive[w] = false;
-            self.idle.remove(&w);
-            self.log.detect_worker_death(w, now);
-            if let Some(id) = self.current_eval[w].take() {
-                if self.outstanding.contains_key(&id) {
-                    if let Some(v) = self.idle.iter().next().copied() {
-                        self.idle.remove(&v);
-                        let attempts = self.outstanding[&id].attempts;
-                        if attempts >= self.policy.max_reissues {
-                            self.outstanding.remove(&id);
-                            self.abandoned += 1;
-                        } else {
-                            self.dispatch(v, id, attempts + 1);
-                        }
-                    } else {
-                        self.park_for_reissue(id);
-                    }
-                }
-            }
-        }
-        // Keep sweeping only while the run can still make progress: some
-        // worker is (or will be) alive and the target is still reachable
-        // despite abandoned evaluations.
-        if self.finished_at.is_none()
-            && self.completed + self.abandoned < self.n
-            && (self.alive.iter().any(|&a| a) || self.pending_respawns > 0)
-        {
-            self.queue
-                .schedule_at(now + self.policy.heartbeat_interval, FaultEvent::Heartbeat);
-        }
-    }
-
-    fn handle_respawn(&mut self, worker: usize) {
-        self.pending_respawns = self.pending_respawns.saturating_sub(1);
-        self.alive[worker] = true;
-        self.view_alive[worker] = true;
-        self.log.respawns += 1;
-        self.assign_next(worker);
-    }
-
-    fn run(mut self) -> FaultyRunOutcome {
-        // Initial seeding, one work item per worker, serially.
-        for w in 0..self.workers {
-            let id = self.next_eval;
-            self.next_eval += 1;
-            self.dispatch(w, id, 0);
-        }
-        self.queue
-            .schedule_at(self.policy.heartbeat_interval, FaultEvent::Heartbeat);
-
-        while let Some((at, ev)) = self.queue.pop() {
-            match ev {
-                FaultEvent::Arrival { worker, eval_id } => self.handle_arrival(at, worker, eval_id),
-                FaultEvent::Death { worker, respawn } => {
-                    self.alive[worker] = false;
-                    self.dead_since[worker] = at;
-                    if respawn {
-                        let downtime = self.plan.respawn_after().unwrap_or(0.0);
-                        self.queue
-                            .schedule_at(at + downtime, FaultEvent::Respawn { worker });
-                    }
-                }
-                FaultEvent::Timeout {
-                    eval_id,
-                    worker,
-                    deadline_bits,
-                } => self.handle_timeout(eval_id, worker, deadline_bits),
-                FaultEvent::Heartbeat => self.handle_heartbeat(),
-                FaultEvent::Respawn { worker } => self.handle_respawn(worker),
-            }
-            if self.finished_at.is_some() {
-                break;
-            }
-        }
-
-        // If the queue drained first (every worker dead, no respawns) the
-        // run ends early with however many results were consumed.
-        let end = self.finished_at.unwrap_or_else(|| self.queue.now());
-        self.log.finalize(end);
-        let elapsed = if end > 0.0 { end } else { f64::MIN_POSITIVE };
-        FaultyRunOutcome {
-            outcome: RunOutcome {
-                elapsed: end,
-                completed: self.completed,
-                master_busy: self.master_busy,
-                master_utilization: self.master_busy / elapsed,
-                mean_wait: self.wait_sum / self.completed.max(1) as f64,
-                max_wait: self.wait_max,
-                max_queue: 0, // not tracked under fault injection
-                wasted_nfe: self.log.wasted_nfe,
-            },
-            fault_log: self.log,
-        }
-    }
+    fn abandon(&mut self, _eval_id: u64) {}
 }
 
 /// Runs the asynchronous master-slave simulation under fault injection
@@ -787,8 +685,9 @@ impl<H: FaultTolerantHooks> FaultySim<'_, H> {
 /// drop/duplication per `plan`: it tracks a deadline per outstanding
 /// evaluation, pings and reissues on timeout, quarantines dead workers
 /// (heartbeat sweep), suppresses duplicate results by evaluation id, and
-/// re-admits respawned workers. With a quiet plan this engine follows the
-/// same event structure as [`run_async`] (timeouts never fire as long as
+/// re-admits respawned workers — all decided by the shared
+/// [`MasterEngine`]. With a quiet plan this engine follows the same event
+/// structure as [`run_async`] (timeouts never fire as long as
 /// `policy.timeout` exceeds the worst evaluation time).
 pub fn run_async_faulty<H: FaultTolerantHooks>(
     hooks: &mut H,
@@ -798,6 +697,33 @@ pub fn run_async_faulty<H: FaultTolerantHooks>(
     policy: RecoveryPolicy,
     trace: &mut SpanTrace,
 ) -> FaultyRunOutcome {
+    run_async_faulty_inner(hooks, workers, n, plan, policy, trace, false).0
+}
+
+/// [`run_async_faulty`] with the engine's command trace enabled: also
+/// returns every protocol [`Command`] in decision order. The trace is the
+/// executor-independent transcript the differential equivalence tests
+/// compare across adapters.
+pub fn run_async_faulty_traced<H: FaultTolerantHooks>(
+    hooks: &mut H,
+    workers: usize,
+    n: u64,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    trace: &mut SpanTrace,
+) -> (FaultyRunOutcome, Vec<Command>) {
+    run_async_faulty_inner(hooks, workers, n, plan, policy, trace, true)
+}
+
+fn run_async_faulty_inner<H: FaultTolerantHooks>(
+    hooks: &mut H,
+    workers: usize,
+    n: u64,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    trace: &mut SpanTrace,
+    record_commands: bool,
+) -> (FaultyRunOutcome, Vec<Command>) {
     assert!(workers >= 1, "need at least one worker");
     assert!(n >= 1, "need at least one evaluation");
     assert!(
@@ -813,35 +739,93 @@ pub fn run_async_faulty<H: FaultTolerantHooks>(
         workers,
         "fault plan sized for a different worker pool"
     );
-    let sim = FaultySim {
+
+    let mut transport = FaultyTransport {
         hooks,
         plan,
-        policy,
+        timeout: policy.timeout,
         trace,
         queue: EventQueue::new(),
-        n,
-        workers,
         master_free_at: 0.0,
         master_busy: 0.0,
-        completed: 0,
         wait_sum: 0.0,
         wait_max: 0.0,
-        next_eval: 0,
-        alive: vec![true; workers],
-        dead_since: vec![0.0; workers],
-        view_alive: vec![true; workers],
-        current_eval: vec![None; workers],
-        dispatch_count: vec![0; workers],
-        pending_respawns: 0,
-        outstanding: BTreeMap::new(),
-        idle: BTreeSet::new(),
-        reissue_queue: VecDeque::new(),
-        done: HashSet::new(),
-        abandoned: 0,
-        log: FaultLog::default(),
-        finished_at: None,
     };
-    sim.run()
+    let mut engine = MasterEngine::new(EngineConfig::fault_tolerant_async(workers, n, policy));
+    if record_commands {
+        engine.record_commands();
+    }
+    engine.seed(&mut transport);
+
+    while let Some((at, ev)) = transport.queue.pop() {
+        let event = match ev {
+            FaultEvent::Arrival { worker, eval_id } => Event::ResultArrived {
+                worker,
+                eval_id,
+                at,
+            },
+            FaultEvent::Death { worker, respawn } => {
+                if respawn {
+                    let downtime = transport.plan.respawn_after().unwrap_or(0.0);
+                    transport
+                        .queue
+                        .schedule_at(at + downtime, FaultEvent::Respawn { worker });
+                }
+                Event::WorkerDied {
+                    worker,
+                    at,
+                    will_respawn: respawn,
+                    lost_eval: None,
+                }
+            }
+            FaultEvent::Timeout {
+                eval_id,
+                worker,
+                deadline_bits,
+            } => Event::DeadlineFired {
+                eval_id,
+                worker,
+                deadline_bits,
+                at,
+            },
+            FaultEvent::Heartbeat => Event::HeartbeatTick { at },
+            FaultEvent::Respawn { worker } => Event::WorkerRespawned { worker, at },
+        };
+        engine.handle(event, &mut transport);
+        if engine.finished() {
+            break;
+        }
+    }
+
+    // If the queue drained first (every worker dead, no respawns) the
+    // run ends early with however many results were consumed.
+    let end = if engine.finished() {
+        transport.master_free_at
+    } else {
+        transport.queue.now()
+    };
+    let completed = engine.completed();
+    let master_busy = transport.master_busy;
+    let wait_sum = transport.wait_sum;
+    let wait_max = transport.wait_max;
+    let commands = engine.take_commands();
+    let mut log = engine.into_log();
+    log.finalize(end);
+    let elapsed = if end > 0.0 { end } else { f64::MIN_POSITIVE };
+    let outcome = FaultyRunOutcome {
+        outcome: RunOutcome {
+            elapsed: end,
+            completed,
+            master_busy,
+            master_utilization: master_busy / elapsed,
+            mean_wait: wait_sum / completed.max(1) as f64,
+            max_wait: wait_max,
+            max_queue: 0, // not tracked under fault injection
+            wasted_nfe: log.wasted_nfe,
+        },
+        fault_log: log,
+    };
+    (outcome, commands)
 }
 
 #[cfg(test)]
@@ -1240,5 +1224,59 @@ mod tests {
         // point is that hung workers never respawn and never deadlock us.
         assert_eq!(out.fault_log.respawns, 0);
         assert!(out.fault_log.all_recovered());
+    }
+
+    #[test]
+    fn command_trace_mirrors_the_ledger() {
+        let t = TimingParams::new(0.01, 0.000_006, 0.000_03);
+        let n = 500;
+        let cfg = FaultConfig {
+            crash_rate: 0.3,
+            drop_rate: 0.02,
+            duplicate_rate: 0.02,
+            respawn_after: Some(0.5),
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(cfg, 8, n, 4242);
+        let (out, commands) = run_async_faulty_traced(
+            &mut ConstFtHooks { t },
+            8,
+            n,
+            &plan,
+            ft_policy(t),
+            &mut SpanTrace::disabled(),
+        );
+        assert!(!commands.is_empty());
+        // The command trace and the ledger agree on every counter.
+        let reissues = commands
+            .iter()
+            .filter(|c| matches!(c, Command::Dispatch { attempt, .. } if *attempt > 0))
+            .count() as u64;
+        let consumes = commands
+            .iter()
+            .filter(|c| matches!(c, Command::Consume { .. }))
+            .count() as u64;
+        let dups = commands
+            .iter()
+            .filter(|c| matches!(c, Command::SuppressDuplicate { .. }))
+            .count() as u64;
+        let retired = commands
+            .iter()
+            .filter(|c| matches!(c, Command::RetireWorker { .. }))
+            .count() as u64;
+        assert_eq!(reissues, out.fault_log.reissues);
+        assert_eq!(consumes, out.outcome.completed);
+        assert_eq!(dups, out.fault_log.duplicates_suppressed);
+        assert_eq!(retired, out.fault_log.deaths_detected);
+        // And an untraced run is bit-identical.
+        let untraced = run_async_faulty(
+            &mut ConstFtHooks { t },
+            8,
+            n,
+            &plan,
+            ft_policy(t),
+            &mut SpanTrace::disabled(),
+        );
+        assert_eq!(untraced, out);
     }
 }

@@ -13,7 +13,9 @@ use borg_core::problem::Problem;
 use borg_core::rng::SplitMix64;
 use borg_desim::fault::{DispatchFate, FaultConfig, FaultKind, FaultLog, FaultPlan, MessageFate};
 use borg_models::dist::Dist;
+use borg_protocol::{Clock, Command, EngineConfig, Event, MasterEngine, RecoveryPolicy, Transport};
 use crossbeam::channel;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use crate::delayed::precise_delay;
@@ -181,15 +183,159 @@ struct FaultNote {
     at: f64,
 }
 
-/// Master-side bookkeeping for one outstanding evaluation.
-struct InFlight {
-    cand: Candidate,
-    issued: Instant,
-    attempts: u32,
-}
-
 /// Hard cap on reissues per evaluation in the real-thread executor.
 const MAX_REISSUES: u32 = 32;
+
+/// The executor half of the protocol on real threads: performs the
+/// [`MasterEngine`]'s decisions on the crossbeam channels in wall-clock
+/// time, measures `T_A`/`T_F`, and latches pool failures for the master
+/// loop to surface as [`ThreadedError`]s.
+struct ThreadedTransport<'a> {
+    engine: &'a mut BorgEngine,
+    work_tx: &'a channel::Sender<WorkItem>,
+    start: Instant,
+    /// Master-side reissue deadline, if any (`None` disables deadlines).
+    timeout: Option<f64>,
+    /// Candidates in flight by eval id — the resend source for reissues,
+    /// moved into the engine when the result is consumed.
+    candidates: HashMap<u64, Candidate>,
+    /// The result message the current engine event is about.
+    pending: Option<ResultItem>,
+    /// Open `T_A` sample: consume time, extended by the produce the engine
+    /// may order next, so one sample covers one master interaction.
+    pending_ta: Option<f64>,
+    ta_samples: &'a mut Vec<f64>,
+    tf_samples: &'a mut Vec<f64>,
+    /// First pool failure observed while executing a command; the master
+    /// loop checks after every event and aborts the run.
+    error: Option<ThreadedError>,
+}
+
+impl ThreadedTransport<'_> {
+    /// Close the open `T_A` sample, if any (after each handled event).
+    fn flush_ta(&mut self) {
+        if let Some(ta) = self.pending_ta.take() {
+            self.ta_samples.push(ta);
+        }
+    }
+}
+
+impl Clock for ThreadedTransport<'_> {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Transport for ThreadedTransport<'_> {
+    fn dispatch(
+        &mut self,
+        _worker: usize,
+        eval_id: u64,
+        attempt: u32,
+        _seq: u64,
+        _log: &mut FaultLog,
+    ) -> f64 {
+        if self.error.is_some() {
+            return f64::INFINITY;
+        }
+        let variables = if attempt == 0 {
+            let t0 = Instant::now();
+            let cand = self.engine.produce();
+            let ta = t0.elapsed().as_secs_f64();
+            // Seed-time produces stand alone; a produce ordered after a
+            // consume extends that interaction's open sample.
+            match self.pending_ta.as_mut() {
+                Some(open) => *open += ta,
+                None => self.ta_samples.push(ta),
+            }
+            let vars = cand.variables.clone();
+            self.candidates.insert(eval_id, cand);
+            vars
+        } else {
+            match self.candidates.get(&eval_id) {
+                Some(cand) => cand.variables.clone(),
+                // Raced away (consumed/abandoned since): nothing to resend.
+                None => return f64::INFINITY,
+            }
+        };
+        if self
+            .work_tx
+            .send(WorkItem {
+                id: eval_id,
+                attempt,
+                variables,
+            })
+            .is_err()
+        {
+            // Placeholder counts; the master loop fills in the real ones.
+            self.error
+                .get_or_insert(ThreadedError::WorkersDisconnected {
+                    nfe_completed: 0,
+                    in_flight: 0,
+                });
+        }
+        self.timeout
+            .map(|t| self.now() + t)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    fn consume(&mut self, _worker: usize, eval_id: u64, _ready_at: f64) -> f64 {
+        let (Some(result), Some(cand)) = (self.pending.take(), self.candidates.remove(&eval_id))
+        else {
+            return self.now();
+        };
+        self.tf_samples.push(result.eval_seconds);
+        let t0 = Instant::now();
+        let sol = self
+            .engine
+            .make_solution(cand, result.objectives, result.constraints);
+        self.engine.consume(sol);
+        self.pending_ta = Some(t0.elapsed().as_secs_f64());
+        self.now()
+    }
+
+    fn absorb_duplicate(&mut self, _worker: usize, _eval_id: u64, _ready_at: f64) -> f64 {
+        self.pending = None;
+        self.now()
+    }
+
+    fn ping(&mut self, _worker: usize) -> (f64, f64) {
+        // No liveness probe exists at thread level: deaths are reported
+        // out-of-band by fault notes, so the "ping" is instantaneous.
+        let now = self.now();
+        (now, now)
+    }
+
+    fn rearm_heartbeat(&mut self, _at: f64) {
+        // Heartbeat sweep disabled (EngineConfig::shared_pool_async).
+    }
+
+    fn abandon(&mut self, eval_id: u64) {
+        self.candidates.remove(&eval_id);
+        self.error
+            .get_or_insert(ThreadedError::ReissueLimitExceeded { eval_id });
+    }
+
+    fn unknown_result(&mut self, _worker: usize, eval_id: u64) {
+        self.pending = None;
+        self.error
+            .get_or_insert(ThreadedError::UnknownResultId(eval_id));
+    }
+}
+
+/// Surface a transport-latched failure, filling in the live counts.
+fn surface(t: &mut ThreadedTransport<'_>, proto: &MasterEngine) -> Result<(), ThreadedError> {
+    match t.error.take() {
+        None => Ok(()),
+        Some(ThreadedError::WorkersDisconnected { .. }) => {
+            Err(ThreadedError::WorkersDisconnected {
+                nfe_completed: t.engine.nfe(),
+                in_flight: proto.outstanding_len(),
+            })
+        }
+        Some(other) => Err(other),
+    }
+}
 
 /// Runs the Borg MOEA on real threads.
 ///
@@ -215,6 +361,29 @@ pub fn run_threaded<P: Problem + ?Sized>(
     borg: BorgConfig,
     config: &ThreadedConfig,
 ) -> Result<ThreadedRunResult, ThreadedError> {
+    run_threaded_inner(problem, borg, config, false).map(|(result, _)| result)
+}
+
+/// [`run_threaded`] with the [`MasterEngine`]'s [`Command`] trace recorded
+/// — the wall-clock executor's protocol transcript, for event-ordering
+/// assertions that do not depend on machine load.
+///
+/// # Errors
+/// As [`run_threaded`].
+pub fn run_threaded_traced<P: Problem + ?Sized>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &ThreadedConfig,
+) -> Result<(ThreadedRunResult, Vec<Command>), ThreadedError> {
+    run_threaded_inner(problem, borg, config, true)
+}
+
+fn run_threaded_inner<P: Problem + ?Sized>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &ThreadedConfig,
+    record: bool,
+) -> Result<(ThreadedRunResult, Vec<Command>), ThreadedError> {
     assert!(config.workers >= 1, "need at least one worker");
     assert!(config.max_nfe >= 1);
 
@@ -223,7 +392,6 @@ pub fn run_threaded<P: Problem + ?Sized>(
     let mut engine = BorgEngine::new(problem, borg, engine_seed);
     let mut ta_samples: Vec<f64> = Vec::new();
     let mut tf_samples: Vec<f64> = Vec::new();
-    let mut fault_log = FaultLog::default();
 
     let plan = config.fault_plan();
     let reissue_timeout = config.effective_reissue_timeout();
@@ -243,9 +411,21 @@ pub fn run_threaded<P: Problem + ?Sized>(
     let (stop_tx, stop_rx) = channel::bounded::<()>(0);
 
     let start = Instant::now();
-    let mut in_flight: std::collections::HashMap<u64, InFlight> = std::collections::HashMap::new();
-    let mut completed_ids: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    let mut next_id = 0u64;
+    // All recovery state — the deadline map, the seen-eval-id set, attempt
+    // counters — lives in the shared protocol engine; this executor only
+    // performs its commands.
+    let mut proto = MasterEngine::new(EngineConfig::shared_pool_async(
+        config.workers,
+        config.max_nfe,
+        RecoveryPolicy {
+            timeout: reissue_timeout.unwrap_or(f64::INFINITY),
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: MAX_REISSUES,
+        },
+    ));
+    if record {
+        proto.record_commands();
+    }
 
     let elapsed = std::thread::scope(|scope| {
         // Workers.
@@ -390,84 +570,55 @@ pub fn run_threaded<P: Problem + ?Sized>(
         // every path — otherwise the scope would join workers blocked on
         // `recv()` forever.
         let master = (|| -> Result<f64, ThreadedError> {
-            let pool_died =
-                |engine: &BorgEngine, in_flight: &std::collections::HashMap<u64, InFlight>| {
-                    ThreadedError::WorkersDisconnected {
-                        nfe_completed: engine.nfe(),
-                        in_flight: in_flight.len(),
-                    }
-                };
-            let now_secs = || start.elapsed().as_secs_f64();
-
-            // Reissue one outstanding evaluation (same id, same
-            // candidate, bumped attempt).
-            let reissue =
-                |id: u64, inf: &mut InFlight, log: &mut FaultLog| -> Result<(), ThreadedError> {
-                    if inf.attempts >= MAX_REISSUES {
-                        return Err(ThreadedError::ReissueLimitExceeded { eval_id: id });
-                    }
-                    inf.attempts += 1;
-                    inf.issued = Instant::now();
-                    log.reissues += 1;
-                    work_tx
-                        .send(WorkItem {
-                            id,
-                            attempt: inf.attempts,
-                            variables: inf.cand.variables.clone(),
-                        })
-                        .map_err(|_| ThreadedError::WorkersDisconnected {
-                            nfe_completed: 0,
-                            in_flight: 0,
-                        })
-                };
+            let mut t = ThreadedTransport {
+                engine: &mut engine,
+                work_tx: &work_tx,
+                start,
+                timeout: reissue_timeout,
+                candidates: HashMap::new(),
+                pending: None,
+                pending_ta: None,
+                ta_samples: &mut ta_samples,
+                tf_samples: &mut tf_samples,
+                error: None,
+            };
 
             // Seed one candidate per worker.
-            for _ in 0..config.workers {
-                let t0 = Instant::now();
-                let cand = engine.produce();
-                ta_samples.push(t0.elapsed().as_secs_f64());
-                let id = next_id;
-                next_id += 1;
-                work_tx
-                    .send(WorkItem {
-                        id,
-                        attempt: 0,
-                        variables: cand.variables.clone(),
-                    })
-                    .map_err(|_| pool_died(&engine, &in_flight))?;
-                in_flight.insert(
-                    id,
-                    InFlight {
-                        cand,
-                        issued: Instant::now(),
-                        attempts: 0,
-                    },
-                );
-            }
+            proto.seed(&mut t);
+            surface(&mut t, &proto)?;
 
-            // Main master loop.
-            while engine.nfe() < config.max_nfe {
+            // Main master loop: translate channel traffic into protocol
+            // events; the engine decides what to do about each.
+            while !proto.finished() {
                 // Drain fault notifications first so the ledger is
                 // populated before any detection/recovery bookkeeping.
                 while let Ok(note) = fault_rx.try_recv() {
-                    fault_log.inject(note.kind, note.worker, note.eval_id, note.at);
+                    proto
+                        .log_mut()
+                        .inject(note.kind, note.worker, note.eval_id, note.at);
                     match note.kind {
                         FaultKind::Crash | FaultKind::Hang => {
-                            // The transport reported a dead peer: mark the
-                            // death detected and reissue its evaluation
-                            // right away rather than waiting for the
-                            // deadline.
-                            fault_log.detect_worker_death(note.worker, now_secs());
-                            if let Some(inf) = in_flight.get_mut(&note.eval_id) {
-                                fault_log.wasted_nfe += 1;
-                                reissue(note.eval_id, inf, &mut fault_log)?;
-                            }
+                            // The transport reported a dead peer: the
+                            // engine detects the death and reissues the
+                            // lost evaluation right away rather than
+                            // waiting for the deadline.
+                            let at = t.now();
+                            proto.handle(
+                                Event::WorkerDied {
+                                    worker: note.worker,
+                                    at,
+                                    will_respawn: false,
+                                    lost_eval: Some(note.eval_id),
+                                },
+                                &mut t,
+                            );
+                            surface(&mut t, &proto)?;
                         }
                         FaultKind::MessageDrop => {
                             // The master does NOT get to act on this (a
                             // real master never sees a lost message); the
                             // reissue deadline discovers it. Ledger only.
-                            fault_log.wasted_nfe += 1;
+                            proto.log_mut().wasted_nfe += 1;
                         }
                         FaultKind::MessageDuplicate | FaultKind::Straggler => {}
                     }
@@ -476,71 +627,41 @@ pub fn run_threaded<P: Problem + ?Sized>(
                 let result = match result_rx.recv_timeout(tick) {
                     Ok(result) => result,
                     Err(channel::RecvTimeoutError::Timeout) => {
-                        if let Some(deadline) = reissue_timeout {
-                            let now = Instant::now();
-                            let expired: Vec<u64> = in_flight
-                                .iter()
-                                .filter(|(_, inf)| {
-                                    now.duration_since(inf.issued).as_secs_f64() > deadline
-                                })
-                                .map(|(&id, _)| id)
-                                .collect();
-                            for id in expired {
-                                fault_log.detect_eval(id, now_secs());
-                                if let Some(inf) = in_flight.get_mut(&id) {
-                                    reissue(id, inf, &mut fault_log)?;
-                                }
-                            }
+                        let now = t.now();
+                        for (eval_id, worker, deadline_bits) in proto.expired_deadlines(now) {
+                            proto.handle(
+                                Event::DeadlineFired {
+                                    eval_id,
+                                    worker,
+                                    deadline_bits,
+                                    at: now,
+                                },
+                                &mut t,
+                            );
+                            surface(&mut t, &proto)?;
                         }
                         continue;
                     }
                     Err(channel::RecvTimeoutError::Disconnected) => {
-                        return Err(pool_died(&engine, &in_flight))
-                    }
-                };
-                let _ = result.worker;
-                let Some(inf) = in_flight.remove(&result.id) else {
-                    if completed_ids.contains(&result.id) {
-                        // Duplicate (or a reissue racing the original):
-                        // suppress — consuming it twice would double-count
-                        // NFE and corrupt the archive.
-                        fault_log.duplicates_suppressed += 1;
-                        fault_log.wasted_nfe += 1;
-                        fault_log.recover_eval(result.id, now_secs());
-                        continue;
-                    }
-                    return Err(ThreadedError::UnknownResultId(result.id));
-                };
-                tf_samples.push(result.eval_seconds);
-                let t0 = Instant::now();
-                let sol = engine.make_solution(inf.cand, result.objectives, result.constraints);
-                engine.consume(sol);
-                let mut ta = t0.elapsed().as_secs_f64();
-                completed_ids.insert(result.id);
-                fault_log.recover_eval(result.id, now_secs());
-                if engine.nfe() + (in_flight.len() as u64) < config.max_nfe {
-                    let t1 = Instant::now();
-                    let cand = engine.produce();
-                    ta += t1.elapsed().as_secs_f64();
-                    let id = next_id;
-                    next_id += 1;
-                    work_tx
-                        .send(WorkItem {
-                            id,
-                            attempt: 0,
-                            variables: cand.variables.clone(),
+                        return Err(ThreadedError::WorkersDisconnected {
+                            nfe_completed: t.engine.nfe(),
+                            in_flight: proto.outstanding_len(),
                         })
-                        .map_err(|_| pool_died(&engine, &in_flight))?;
-                    in_flight.insert(
-                        id,
-                        InFlight {
-                            cand,
-                            issued: Instant::now(),
-                            attempts: 0,
-                        },
-                    );
-                }
-                ta_samples.push(ta);
+                    }
+                };
+                let (worker, eval_id) = (result.worker, result.id);
+                let at = t.now();
+                t.pending = Some(result);
+                proto.handle(
+                    Event::ResultArrived {
+                        worker,
+                        eval_id,
+                        at,
+                    },
+                    &mut t,
+                );
+                t.flush_ta();
+                surface(&mut t, &proto)?;
             }
             Ok(start.elapsed().as_secs_f64())
         })();
@@ -550,6 +671,8 @@ pub fn run_threaded<P: Problem + ?Sized>(
     });
 
     let elapsed = elapsed?;
+    let commands = proto.take_commands();
+    let mut fault_log = proto.into_log();
     // Collect any fault notes still in transit (e.g. a straggler note
     // sent after the budget completed), then close the ledger.
     while let Ok(note) = fault_rx.try_recv() {
@@ -557,13 +680,16 @@ pub fn run_threaded<P: Problem + ?Sized>(
     }
     fault_log.finalize(elapsed);
 
-    Ok(ThreadedRunResult {
-        elapsed,
-        engine,
-        ta_samples,
-        tf_samples,
-        fault_log,
-    })
+    Ok((
+        ThreadedRunResult {
+            elapsed,
+            engine,
+            ta_samples,
+            tf_samples,
+            fault_log,
+        },
+        commands,
+    ))
 }
 
 /// Estimates the one-way message time `T_C` between two threads on this
@@ -673,7 +799,8 @@ mod tests {
             faults: None,
             reissue_timeout: None,
         };
-        let result = run_threaded(&problem, BorgConfig::new(5, 0.06), &cfg).expect("run");
+        let (result, commands) =
+            run_threaded_traced(&problem, BorgConfig::new(5, 0.06), &cfg).expect("run");
         let ideal = nfe as f64 * t_f / workers as f64;
         assert!(
             result.elapsed >= ideal * 0.9,
@@ -681,14 +808,40 @@ mod tests {
             result.elapsed,
             ideal
         );
-        // Generous bound: on a loaded single-core runner, waking 8 sleeping
-        // workers serially can multiply the ideal overlap time severalfold.
-        assert!(
-            result.elapsed < ideal * 6.0,
-            "parallelism not effective: {} vs ideal {}",
-            result.elapsed,
-            ideal
-        );
+        // Parallelism is asserted on the protocol transcript, not the wall
+        // clock (a loaded runner can stretch elapsed time arbitrarily):
+        // the master must seed the whole pool before consuming anything,
+        // keep `workers` evaluations outstanding until only the tail is
+        // left, and refill the slot immediately after every consume.
+        let mut outstanding = 0usize;
+        let mut consumed = 0u64;
+        for (i, c) in commands.iter().enumerate() {
+            if i < workers {
+                assert!(
+                    matches!(c, Command::Dispatch { .. }),
+                    "master consumed before the pool was seeded: {c:?} at {i}"
+                );
+            }
+            match c {
+                Command::Dispatch { attempt: 0, .. } => {
+                    outstanding += 1;
+                    assert!(outstanding <= workers, "overdispatched at command {i}");
+                }
+                Command::Consume { .. } => {
+                    outstanding -= 1;
+                    consumed += 1;
+                    if consumed + (workers as u64) <= nfe {
+                        assert!(
+                            matches!(commands.get(i + 1), Some(Command::Dispatch { .. })),
+                            "consume at command {i} was not followed by a refill"
+                        );
+                    }
+                }
+                Command::Finish => assert_eq!(i, commands.len() - 1),
+                other => panic!("fault-free run emitted {other:?}"),
+            }
+        }
+        assert_eq!(consumed, nfe);
         // Measured T_F must reflect the injected delay.
         let mean_tf = result.tf_samples.iter().sum::<f64>() / result.tf_samples.len() as f64;
         assert!((mean_tf - t_f).abs() < t_f, "mean T_F {mean_tf}");

@@ -18,9 +18,10 @@ use borg_desim::fault::{FaultConfig, FaultLog, FaultPlan};
 use borg_desim::trace::SpanTrace;
 use borg_models::dist::Dist;
 use borg_models::queueing::{
-    run_async, run_async_faulty, run_sync, FaultTolerantHooks, MasterSlaveHooks, RecoveryPolicy,
-    RunOutcome,
+    run_async, run_async_faulty, run_async_faulty_traced, run_sync, FaultTolerantHooks,
+    MasterSlaveHooks, RecoveryPolicy, RunOutcome,
 };
+use borg_protocol::Command;
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -541,6 +542,46 @@ where
         tf_samples: hooks.tf_samples,
         fault_log: faulty.fault_log,
     }
+}
+
+/// [`run_virtual_async_faulty_with`] with the protocol engine's command
+/// trace enabled: also returns every [`Command`] the shared
+/// [`MasterEngine`](borg_protocol::MasterEngine) issued, in decision
+/// order. The differential equivalence tests compare this transcript
+/// against the performance-model adapter's under identical timing to
+/// prove both executors run the same protocol.
+pub fn run_virtual_async_faulty_traced<P, F>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &VirtualConfig,
+    faults: &FaultConfig,
+    policy: RecoveryPolicy,
+    trace: &mut SpanTrace,
+    observer: F,
+) -> (VirtualRunResult, Vec<Command>)
+where
+    P: Problem + ?Sized,
+    F: FnMut(f64, &BorgEngine),
+{
+    assert!(
+        config.processors >= 2,
+        "need a master and at least one worker"
+    );
+    let workers = (config.processors - 1) as usize;
+    let plan = fault_plan_for(config, faults);
+    let mut hooks = FtBorgHooks::new(problem, config, borg, observer);
+    let (faulty, commands) =
+        run_async_faulty_traced(&mut hooks, workers, config.max_nfe, &plan, policy, trace);
+    (
+        VirtualRunResult {
+            outcome: faulty.outcome,
+            engine: hooks.engine,
+            ta_samples: hooks.ta_samples,
+            tf_samples: hooks.tf_samples,
+            fault_log: faulty.fault_log,
+        },
+        commands,
+    )
 }
 
 #[cfg(test)]

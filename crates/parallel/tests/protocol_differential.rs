@@ -1,0 +1,138 @@
+//! Differential equivalence of the shared protocol core across adapters.
+//!
+//! The same seeded timing/fault scenario runs twice through the
+//! [`MasterEngine`]: once via the bare DES adapter with constant-time
+//! hooks, once via the virtual-time executor carrying the real Borg
+//! algorithm. The recorded [`Command`] traces, recovery ledgers, and
+//! queueing outcomes must be identical to the bit — the protocol's
+//! decisions depend only on the event stream (timing values and the fault
+//! plan), never on which executor hosts it or what payload rides on it.
+//!
+//! [`MasterEngine`]: borg_protocol::MasterEngine
+//! [`Command`]: borg_protocol::Command
+
+use borg_core::algorithm::BorgConfig;
+use borg_desim::fault::FaultConfig;
+use borg_desim::trace::SpanTrace;
+use borg_models::dist::Dist;
+use borg_models::queueing::{run_async_faulty_traced, FaultTolerantHooks};
+use borg_parallel::prelude::*;
+use borg_parallel::virtual_exec::VirtualConfig;
+use borg_problems::zdt::{Zdt, ZdtVariant};
+use proptest::prelude::*;
+
+/// Constant-time hooks mirroring the virtual adapter's
+/// `TaMode::Sampled(Dist::Constant(..))` semantics: the first `workers`
+/// fresh productions charge `T_A` (pipeline seeding); later productions
+/// are folded into the preceding consume and charge nothing extra.
+struct ConstHooks {
+    ta: f64,
+    tf: f64,
+    tc: f64,
+    produced: usize,
+    workers: usize,
+}
+
+impl FaultTolerantHooks for ConstHooks {
+    fn produce(&mut self, _worker: usize, _eval_id: u64, _now: f64) -> f64 {
+        if self.produced < self.workers {
+            self.produced += 1;
+            self.ta
+        } else {
+            0.0
+        }
+    }
+
+    fn evaluation_time(&mut self, _worker: usize, _eval_id: u64) -> f64 {
+        self.tf
+    }
+
+    fn consume(&mut self, _worker: usize, _eval_id: u64, _now: f64) -> f64 {
+        self.ta
+    }
+
+    fn comm_time(&mut self) -> f64 {
+        self.tc
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn des_and_virtual_adapters_emit_identical_traces_and_ledgers(
+        workers in 1usize..8,
+        n in 1u64..150,
+        tf in 0.5f64..2.0,
+        tc in 0.000_1f64..0.01,
+        ta in 0.000_1f64..0.05,
+        crash_rate in 0.0f64..0.5,
+        hang_rate in 0.0f64..0.3,
+        straggler_rate in 0.0f64..0.3,
+        straggler_factor in 1.0f64..6.0,
+        drop_rate in 0.0f64..0.15,
+        duplicate_rate in 0.0f64..0.15,
+        respawn_after in prop_oneof![
+            Just(None),
+            (0.5f64..5.0).prop_map(Some),
+        ],
+        seed in 0u64..u64::MAX,
+    ) {
+        let faults = FaultConfig {
+            crash_rate,
+            hang_rate,
+            straggler_rate,
+            straggler_factor,
+            drop_rate,
+            duplicate_rate,
+            respawn_after,
+            forced_crashes: Vec::new(),
+        };
+        let vcfg = VirtualConfig {
+            processors: workers as u32 + 1,
+            max_nfe: n,
+            t_f: Dist::Constant(tf),
+            t_c: Dist::Constant(tc),
+            t_a: TaMode::Sampled(Dist::Constant(ta)),
+            seed,
+        };
+        let policy = default_recovery_policy(&vcfg);
+
+        // Arm 1: the virtual-time executor (real Borg algorithm payload).
+        let (virt, virt_cmds) = run_virtual_async_faulty_traced(
+            &Zdt::new(ZdtVariant::Zdt1),
+            BorgConfig::new(2, 0.01),
+            &vcfg,
+            &faults,
+            policy,
+            &mut SpanTrace::disabled(),
+            |_, _| {},
+        );
+
+        // Arm 2: the bare DES adapter (no algorithm, constant hooks), fed
+        // the same fault plan and policy.
+        let plan = fault_plan_for(&vcfg, &faults);
+        let mut hooks = ConstHooks {
+            ta,
+            tf,
+            tc,
+            produced: 0,
+            workers,
+        };
+        let (des, des_cmds) = run_async_faulty_traced(
+            &mut hooks,
+            workers,
+            n,
+            &plan,
+            policy,
+            &mut SpanTrace::disabled(),
+        );
+
+        // The protocol transcript is executor-independent.
+        prop_assert_eq!(&virt_cmds, &des_cmds);
+        // So is the recovery ledger, record for record...
+        prop_assert_eq!(&virt.fault_log, &des.fault_log);
+        // ...and the queueing outcome, to the bit.
+        prop_assert_eq!(&virt.outcome, &des.outcome);
+    }
+}

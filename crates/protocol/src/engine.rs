@@ -1,0 +1,907 @@
+//! The [`MasterEngine`] state machine.
+
+use crate::command::{Command, Event};
+use crate::policy::RecoveryPolicy;
+use crate::Clock;
+use borg_desim::fault::FaultLog;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// Asynchronous pipeline vs generational barrier — the protocol-level
+/// distinction the paper studies (its Fig. 1 topologies), expressed as a
+/// mode of one engine rather than separate implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// Steady-state pipeline: every consumed result immediately funds the
+    /// next dispatch.
+    Async,
+    /// Generational barrier (Cantú-Paz's topology): the master consumes a
+    /// whole generation, then dispatches the next one en bloc.
+    Sync,
+}
+
+/// How dispatch targets relate to physical workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolDiscipline {
+    /// The master assigns work to a specific worker and tracks per-worker
+    /// liveness beliefs (the DES and virtual-time executors): reissues
+    /// prefer the pinged worker, then an idle one, else queue.
+    Assigned,
+    /// Workers pull from a shared queue (the real-thread executor):
+    /// dispatch targets are notional, any live worker picks the item up,
+    /// so reissues always go out immediately and nothing parks idle.
+    Shared,
+}
+
+/// Whether the master keeps dispatching past the point where outstanding
+/// work covers the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Dispatch after every consume unconditionally (the fault-free
+    /// asynchronous master: a few tail evaluations are still in flight
+    /// when the budget completes — exactly the paper's topology).
+    Eager,
+    /// Stop dispatching fresh work once `completed + outstanding +
+    /// abandoned` covers the budget (the fault-tolerant masters, which
+    /// must terminate even when reissues inflate the in-flight set).
+    Budgeted,
+}
+
+/// Static shape of a protocol run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Dispatch slots. `Async`: the worker pool (`P − 1`). `Sync`: the
+    /// generation width — workers *plus* the self-evaluating master.
+    pub workers: usize,
+    /// Results to consume before the protocol finishes.
+    pub budget: u64,
+    /// Deadline / heartbeat / reissue-cap policy.
+    pub policy: RecoveryPolicy,
+    /// Pipeline vs generational.
+    pub mode: ProtocolMode,
+    /// Assigned vs shared worker pool.
+    pub discipline: PoolDiscipline,
+    /// Eager vs budgeted dispatch.
+    pub dispatch_policy: DispatchPolicy,
+}
+
+impl EngineConfig {
+    /// The fault-free asynchronous protocol (no deadlines, no sweep).
+    pub fn fault_free_async(workers: usize, budget: u64) -> Self {
+        EngineConfig {
+            workers,
+            budget,
+            policy: RecoveryPolicy::disabled(),
+            mode: ProtocolMode::Async,
+            discipline: PoolDiscipline::Assigned,
+            dispatch_policy: DispatchPolicy::Eager,
+        }
+    }
+
+    /// The fault-tolerant asynchronous protocol on an assigned pool (the
+    /// DES / virtual-time executors).
+    pub fn fault_tolerant_async(workers: usize, budget: u64, policy: RecoveryPolicy) -> Self {
+        EngineConfig {
+            workers,
+            budget,
+            policy,
+            mode: ProtocolMode::Async,
+            discipline: PoolDiscipline::Assigned,
+            dispatch_policy: DispatchPolicy::Budgeted,
+        }
+    }
+
+    /// The asynchronous protocol on a shared pull queue (the real-thread
+    /// executor): deadline reissue without the heartbeat sweep — thread
+    /// deaths are reported out-of-band by the transport.
+    pub fn shared_pool_async(workers: usize, budget: u64, policy: RecoveryPolicy) -> Self {
+        EngineConfig {
+            workers,
+            budget,
+            policy: RecoveryPolicy {
+                heartbeat_interval: f64::INFINITY,
+                ..policy
+            },
+            mode: ProtocolMode::Async,
+            discipline: PoolDiscipline::Shared,
+            dispatch_policy: DispatchPolicy::Budgeted,
+        }
+    }
+
+    /// The generational synchronous protocol (`slots` = workers + the
+    /// self-evaluating master).
+    pub fn sync_generational(slots: usize, budget: u64) -> Self {
+        EngineConfig {
+            workers: slots,
+            budget,
+            policy: RecoveryPolicy::disabled(),
+            mode: ProtocolMode::Sync,
+            discipline: PoolDiscipline::Assigned,
+            dispatch_policy: DispatchPolicy::Eager,
+        }
+    }
+}
+
+/// The executor-specific half of the protocol. The engine decides *what*
+/// happens; the transport performs it in its own notion of time and
+/// returns the timestamps the recovery ledger needs. Call order is part
+/// of the contract: adapters sample RNGs inside these calls, so the
+/// engine invokes them in one deterministic order per event.
+pub trait Transport: Clock {
+    /// Send `eval_id` to `worker` (`attempt` 0 = fresh produce, else
+    /// reissue; `seq` counts dispatches to this worker, for fate plans).
+    /// Returns the deadline for this dispatch — `f64::INFINITY` when no
+    /// deadline is being watched. `log` is the run's shared ledger:
+    /// simulated transports record the faults they inject here (the engine
+    /// itself only ever records detections and recoveries).
+    fn dispatch(
+        &mut self,
+        worker: usize,
+        eval_id: u64,
+        attempt: u32,
+        seq: u64,
+        log: &mut FaultLog,
+    ) -> f64;
+
+    /// Master absorbs the result of `eval_id` from `worker` that became
+    /// ready at `ready_at`; returns the time processing completed.
+    fn consume(&mut self, worker: usize, eval_id: u64, ready_at: f64) -> f64;
+
+    /// Master absorbs and discards a duplicate/superseded result message;
+    /// returns the time the message was absorbed.
+    fn absorb_duplicate(&mut self, worker: usize, eval_id: u64, ready_at: f64) -> f64;
+
+    /// Ping `worker` after a deadline miss (one round trip of master
+    /// time); returns `(start, end)` of the probe.
+    fn ping(&mut self, worker: usize) -> (f64, f64);
+
+    /// Re-arm the liveness sweep to tick at `at`.
+    fn rearm_heartbeat(&mut self, at: f64);
+
+    /// `eval_id` exhausted its reissue budget and was abandoned.
+    fn abandon(&mut self, eval_id: u64);
+
+    /// A result arrived for an id the master never dispatched — transport
+    /// corruption in a real executor, a stale message in simulated ones.
+    fn unknown_result(&mut self, _worker: usize, _eval_id: u64) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    worker: usize,
+    deadline: f64,
+    attempts: u32,
+}
+
+/// The pure, deterministic master state machine.
+///
+/// Feed it [`Event`]s via [`MasterEngine::handle`]; it updates its
+/// beliefs (outstanding deadlines, seen eval ids, per-worker liveness),
+/// writes the recovery ledger, and drives the [`Transport`]. It holds
+/// every piece of state the three executors used to triplicate:
+/// the deadline map, the seen-eval-id set, the reissue queue, attempt
+/// counters, and the alive/believed-alive distinction.
+pub struct MasterEngine {
+    config: EngineConfig,
+    // Identity of work.
+    next_eval: u64,
+    completed: u64,
+    abandoned: u64,
+    // Recovery state (the formerly triplicated core).
+    outstanding: BTreeMap<u64, Outstanding>,
+    done: HashSet<u64>,
+    reissue_queue: VecDeque<u64>,
+    idle: BTreeSet<usize>,
+    // Physical truth vs the master's beliefs.
+    alive: Vec<bool>,
+    dead_since: Vec<f64>,
+    view_alive: Vec<bool>,
+    current_eval: Vec<Option<u64>>,
+    dispatch_count: Vec<u64>,
+    pending_respawns: usize,
+    // Sync mode: results still owed by the running generation.
+    gen_remaining: usize,
+    finished: bool,
+    log: FaultLog,
+    commands: Option<Vec<Command>>,
+}
+
+impl MasterEngine {
+    /// A fresh engine; call [`MasterEngine::seed`] to dispatch the
+    /// initial work.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.budget >= 1, "need at least one evaluation");
+        let w = config.workers;
+        MasterEngine {
+            config,
+            next_eval: 0,
+            completed: 0,
+            abandoned: 0,
+            outstanding: BTreeMap::new(),
+            done: HashSet::new(),
+            reissue_queue: VecDeque::new(),
+            idle: BTreeSet::new(),
+            alive: vec![true; w],
+            dead_since: vec![0.0; w],
+            view_alive: vec![true; w],
+            current_eval: vec![None; w],
+            dispatch_count: vec![0; w],
+            pending_respawns: 0,
+            gen_remaining: 0,
+            finished: false,
+            log: FaultLog::default(),
+            commands: None,
+        }
+    }
+
+    /// Record every [`Command`] for later inspection (differential tests,
+    /// event-ordering assertions). Off by default — the hot path stays
+    /// allocation-free.
+    pub fn record_commands(&mut self) {
+        self.commands = Some(Vec::new());
+    }
+
+    /// The commands recorded so far (empty unless
+    /// [`MasterEngine::record_commands`] was called).
+    pub fn take_commands(&mut self) -> Vec<Command> {
+        self.commands.take().unwrap_or_default()
+    }
+
+    fn emit(&mut self, c: Command) {
+        if let Some(cs) = self.commands.as_mut() {
+            cs.push(c);
+        }
+    }
+
+    /// Results consumed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Evaluations currently in flight.
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Evaluations given up past the reissue cap.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Whether the budget is complete.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The shared recovery ledger. Transports record *injections* (ground
+    /// truth about faults they created or observed) here; the engine
+    /// records detections and recoveries.
+    pub fn log_mut(&mut self) -> &mut FaultLog {
+        &mut self.log
+    }
+
+    /// Read access to the ledger.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Consume the engine, yielding the ledger.
+    pub fn into_log(self) -> FaultLog {
+        self.log
+    }
+
+    /// Outstanding evaluations whose deadline is at or before `now`, as
+    /// `(eval_id, worker, deadline_bits)` — the shared-pool adapter polls
+    /// this on its tick and feeds each back as [`Event::DeadlineFired`].
+    pub fn expired_deadlines(&self, now: f64) -> Vec<(u64, usize, u64)> {
+        self.outstanding
+            .iter()
+            .filter(|(_, o)| o.deadline <= now)
+            .map(|(&id, o)| (id, o.worker, o.deadline.to_bits()))
+            .collect()
+    }
+
+    /// Dispatch the initial work: one item per slot, in slot order, plus
+    /// the first heartbeat when the policy sweeps.
+    pub fn seed<T: Transport>(&mut self, t: &mut T) {
+        for w in 0..self.config.workers {
+            let id = self.next_eval;
+            self.next_eval += 1;
+            self.dispatch(t, w, id, 0);
+        }
+        if self.config.mode == ProtocolMode::Sync {
+            self.gen_remaining = self.config.workers;
+        }
+        if self.config.policy.heartbeat_interval.is_finite() {
+            self.emit(Command::RearmHeartbeat);
+            t.rearm_heartbeat(self.config.policy.heartbeat_interval);
+        }
+    }
+
+    /// Advance the protocol by one event.
+    pub fn handle<T: Transport>(&mut self, event: Event, t: &mut T) {
+        match event {
+            Event::ResultArrived {
+                worker,
+                eval_id,
+                at,
+            } => self.handle_arrival(t, at, worker, eval_id),
+            Event::DeadlineFired {
+                eval_id,
+                worker,
+                deadline_bits,
+                ..
+            } => self.handle_deadline(t, eval_id, worker, deadline_bits),
+            Event::HeartbeatTick { at } => self.handle_heartbeat(t, at),
+            Event::WorkerDied {
+                worker,
+                at,
+                will_respawn,
+                lost_eval,
+            } => self.handle_death(t, worker, at, will_respawn, lost_eval),
+            Event::WorkerRespawned { worker, .. } => self.handle_respawn(t, worker),
+        }
+    }
+
+    /// Produce (or re-send) `eval_id` to `worker`.
+    fn dispatch<T: Transport>(&mut self, t: &mut T, worker: usize, eval_id: u64, attempts: u32) {
+        if attempts > 0 {
+            self.log.reissues += 1;
+        }
+        self.current_eval[worker] = Some(eval_id);
+        self.idle.remove(&worker);
+        let seq = self.dispatch_count[worker];
+        self.dispatch_count[worker] += 1;
+        self.emit(Command::Dispatch {
+            worker,
+            eval_id,
+            attempt: attempts,
+        });
+        let deadline = t.dispatch(worker, eval_id, attempts, seq, &mut self.log);
+        self.outstanding.insert(
+            eval_id,
+            Outstanding {
+                worker,
+                deadline,
+                attempts,
+            },
+        );
+    }
+
+    /// Give a freed worker its next assignment: queued reissues first,
+    /// then fresh work, otherwise park it idle.
+    fn assign_next<T: Transport>(&mut self, t: &mut T, worker: usize) {
+        self.current_eval[worker] = None;
+        if self.config.discipline == PoolDiscipline::Assigned && !self.view_alive[worker] {
+            return;
+        }
+        if self.config.discipline == PoolDiscipline::Assigned {
+            while let Some(id) = self.reissue_queue.pop_front() {
+                if let Some(o) = self.outstanding.get(&id).copied() {
+                    self.dispatch(t, worker, id, o.attempts + 1);
+                    return;
+                }
+            }
+        }
+        let fresh_ok = match self.config.dispatch_policy {
+            DispatchPolicy::Eager => true,
+            DispatchPolicy::Budgeted => {
+                self.completed + self.outstanding.len() as u64 + self.abandoned < self.config.budget
+            }
+        };
+        if fresh_ok {
+            let id = self.next_eval;
+            self.next_eval += 1;
+            self.dispatch(t, worker, id, 0);
+        } else {
+            self.idle.insert(worker);
+        }
+    }
+
+    fn handle_arrival<T: Transport>(
+        &mut self,
+        t: &mut T,
+        ready_at: f64,
+        worker: usize,
+        eval_id: u64,
+    ) {
+        if self.done.contains(&eval_id) {
+            // Duplicate or superseded copy: absorb the message, count the
+            // wasted work, free the worker if it was still pinned on it.
+            self.emit(Command::SuppressDuplicate { worker, eval_id });
+            let end = t.absorb_duplicate(worker, eval_id, ready_at);
+            self.log.duplicates_suppressed += 1;
+            self.log.wasted_nfe += 1;
+            self.log.recover_eval(eval_id, end);
+            if self.current_eval[worker] == Some(eval_id) {
+                self.assign_next(t, worker);
+            }
+            return;
+        }
+        let Some(o) = self.outstanding.remove(&eval_id) else {
+            // Neither done nor outstanding: abandoned past max_reissues
+            // (simulated transports) or corruption (real ones decide).
+            t.unknown_result(worker, eval_id);
+            return;
+        };
+        // Whose dispatch slot this result frees: on an assigned pool the
+        // delivering worker's, on a shared pool the notional assignee's
+        // (any thread may have picked the item up).
+        let freed = match self.config.discipline {
+            PoolDiscipline::Assigned => worker,
+            PoolDiscipline::Shared => o.worker,
+        };
+        self.emit(Command::Consume { worker, eval_id });
+        let end = t.consume(worker, eval_id, ready_at);
+        self.completed += 1;
+        self.done.insert(eval_id);
+        self.log.recover_eval(eval_id, end);
+        // Results prove liveness: a quarantined worker that speaks again
+        // (e.g. a straggler mistaken for dead) rejoins the pool.
+        self.view_alive[worker] = self.alive[worker] || self.view_alive[worker];
+
+        if self.config.mode == ProtocolMode::Sync {
+            self.gen_remaining -= 1;
+            if self.gen_remaining == 0 {
+                if self.completed >= self.config.budget {
+                    self.finished = true;
+                    self.emit(Command::Finish);
+                } else {
+                    // Barrier passed: dispatch the next generation en bloc.
+                    for w in 0..self.config.workers {
+                        let id = self.next_eval;
+                        self.next_eval += 1;
+                        self.dispatch(t, w, id, 0);
+                    }
+                    self.gen_remaining = self.config.workers;
+                }
+            }
+            return;
+        }
+
+        if self.completed >= self.config.budget {
+            self.finished = true;
+            self.emit(Command::Finish);
+            return;
+        }
+        if self.current_eval[freed] == Some(eval_id) {
+            self.assign_next(t, freed);
+        }
+    }
+
+    fn handle_deadline<T: Transport>(
+        &mut self,
+        t: &mut T,
+        eval_id: u64,
+        worker: usize,
+        deadline_bits: u64,
+    ) {
+        let Some(o) = self.outstanding.get(&eval_id).copied() else {
+            // Evaluation already consumed; if this worker's copy never
+            // arrived (its message was dropped after a reissue raced it),
+            // stop waiting on it.
+            if self.current_eval[worker] == Some(eval_id) {
+                self.assign_next(t, worker);
+            }
+            return;
+        };
+        if o.deadline.to_bits() != deadline_bits {
+            return; // superseded by a reissue
+        }
+        // Ping the assigned worker: one round-trip of master time.
+        self.emit(Command::Ping { worker: o.worker });
+        let (start, end) = t.ping(o.worker);
+        self.log.detect_eval(eval_id, start);
+        let w = o.worker;
+        if !self.alive[w] {
+            if self.view_alive[w] {
+                self.view_alive[w] = false;
+                self.idle.remove(&w);
+                self.emit(Command::RetireWorker { worker: w });
+                self.log.detect_worker_death(w, end);
+            }
+            self.current_eval[w] = None;
+        }
+        if o.attempts >= self.config.policy.max_reissues {
+            self.outstanding.remove(&eval_id);
+            self.abandoned += 1;
+            self.emit(Command::Abandon { eval_id });
+            t.abandon(eval_id);
+            return;
+        }
+        match self.config.discipline {
+            // Shared pool: the reissue goes straight back on the queue —
+            // any live worker will pick it up.
+            PoolDiscipline::Shared => self.dispatch(t, w, eval_id, o.attempts + 1),
+            // Assigned pool: back to the pinged worker when it is believed
+            // alive (it lost the message, or is straggling and the retry
+            // races it), else to any idle worker, else queue until one
+            // frees up.
+            PoolDiscipline::Assigned => {
+                if self.view_alive[w] {
+                    self.dispatch(t, w, eval_id, o.attempts + 1);
+                } else if let Some(v) = self.idle.iter().next().copied() {
+                    self.idle.remove(&v);
+                    self.dispatch(t, v, eval_id, o.attempts + 1);
+                } else {
+                    self.park_for_reissue(eval_id);
+                }
+            }
+        }
+    }
+
+    /// Queue `eval_id` for reissue when a worker frees up, neutralising
+    /// its pending deadline so it is not reissued twice.
+    fn park_for_reissue(&mut self, eval_id: u64) {
+        if let Some(o) = self.outstanding.get_mut(&eval_id) {
+            o.deadline = f64::INFINITY;
+            self.reissue_queue.push_back(eval_id);
+        }
+    }
+
+    fn handle_heartbeat<T: Transport>(&mut self, t: &mut T, now: f64) {
+        for w in 0..self.config.workers {
+            if self.alive[w]
+                || !self.view_alive[w]
+                || now - self.dead_since[w] < self.config.policy.heartbeat_interval
+            {
+                continue;
+            }
+            self.view_alive[w] = false;
+            self.idle.remove(&w);
+            self.emit(Command::RetireWorker { worker: w });
+            self.log.detect_worker_death(w, now);
+            if let Some(id) = self.current_eval[w].take() {
+                if self.outstanding.contains_key(&id) {
+                    if let Some(v) = self.idle.iter().next().copied() {
+                        self.idle.remove(&v);
+                        let attempts = self.outstanding[&id].attempts;
+                        if attempts >= self.config.policy.max_reissues {
+                            self.outstanding.remove(&id);
+                            self.abandoned += 1;
+                            self.emit(Command::Abandon { eval_id: id });
+                            t.abandon(id);
+                        } else {
+                            self.dispatch(t, v, id, attempts + 1);
+                        }
+                    } else {
+                        self.park_for_reissue(id);
+                    }
+                }
+            }
+        }
+        // Keep sweeping only while the run can still make progress: some
+        // worker is (or will be) alive and the target is still reachable
+        // despite abandoned evaluations.
+        if !self.finished
+            && self.completed + self.abandoned < self.config.budget
+            && (self.alive.iter().any(|&a| a) || self.pending_respawns > 0)
+        {
+            self.emit(Command::RearmHeartbeat);
+            t.rearm_heartbeat(now + self.config.policy.heartbeat_interval);
+        }
+    }
+
+    fn handle_death<T: Transport>(
+        &mut self,
+        t: &mut T,
+        worker: usize,
+        at: f64,
+        will_respawn: bool,
+        lost_eval: Option<u64>,
+    ) {
+        self.alive[worker] = false;
+        self.dead_since[worker] = at;
+        if will_respawn {
+            self.pending_respawns += 1;
+        }
+        // Out-of-band death report (real transports): detect immediately
+        // and reissue the lost evaluation rather than waiting for its
+        // deadline. Simulated transports pass `lost_eval: None` and the
+        // deadline/heartbeat machinery discovers the loss instead.
+        if self.config.discipline == PoolDiscipline::Shared {
+            if self.view_alive[worker] {
+                self.view_alive[worker] = false;
+                self.emit(Command::RetireWorker { worker });
+                self.log.detect_worker_death(worker, at);
+            }
+            if let Some(id) = lost_eval {
+                if let Some(o) = self.outstanding.get(&id).copied() {
+                    self.log.wasted_nfe += 1;
+                    if o.attempts >= self.config.policy.max_reissues {
+                        self.outstanding.remove(&id);
+                        self.abandoned += 1;
+                        self.emit(Command::Abandon { eval_id: id });
+                        t.abandon(id);
+                    } else {
+                        self.dispatch(t, worker, id, o.attempts + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_respawn<T: Transport>(&mut self, t: &mut T, worker: usize) {
+        self.pending_respawns = self.pending_respawns.saturating_sub(1);
+        self.alive[worker] = true;
+        self.view_alive[worker] = true;
+        self.log.respawns += 1;
+        self.assign_next(t, worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A transport that just records calls and hands out fixed deadlines.
+    struct NullTransport {
+        now: f64,
+        timeout: f64,
+        calls: Vec<String>,
+    }
+
+    impl NullTransport {
+        fn new(timeout: f64) -> Self {
+            NullTransport {
+                now: 0.0,
+                timeout,
+                calls: Vec::new(),
+            }
+        }
+    }
+
+    impl Clock for NullTransport {
+        fn now(&self) -> f64 {
+            self.now
+        }
+    }
+
+    impl Transport for NullTransport {
+        fn dispatch(
+            &mut self,
+            worker: usize,
+            eval_id: u64,
+            attempt: u32,
+            _seq: u64,
+            _log: &mut FaultLog,
+        ) -> f64 {
+            self.calls
+                .push(format!("dispatch {worker} {eval_id} {attempt}"));
+            self.now + self.timeout
+        }
+        fn consume(&mut self, worker: usize, eval_id: u64, _ready_at: f64) -> f64 {
+            self.calls.push(format!("consume {worker} {eval_id}"));
+            self.now
+        }
+        fn absorb_duplicate(&mut self, worker: usize, eval_id: u64, _ready_at: f64) -> f64 {
+            self.calls.push(format!("dup {worker} {eval_id}"));
+            self.now
+        }
+        fn ping(&mut self, worker: usize) -> (f64, f64) {
+            self.calls.push(format!("ping {worker}"));
+            (self.now, self.now)
+        }
+        fn rearm_heartbeat(&mut self, at: f64) {
+            self.calls.push(format!("heartbeat {at}"));
+        }
+        fn abandon(&mut self, eval_id: u64) {
+            self.calls.push(format!("abandon {eval_id}"));
+        }
+    }
+
+    fn arrival(worker: usize, eval_id: u64, at: f64) -> Event {
+        Event::ResultArrived {
+            worker,
+            eval_id,
+            at,
+        }
+    }
+
+    #[test]
+    fn fault_free_pipeline_runs_to_budget() {
+        let mut t = NullTransport::new(f64::INFINITY);
+        let mut e = MasterEngine::new(EngineConfig::fault_free_async(2, 4));
+        e.record_commands();
+        e.seed(&mut t);
+        assert_eq!(e.outstanding_len(), 2);
+        // Workers alternate; eager dispatch keeps the pipeline full even
+        // on the last consume.
+        e.handle(arrival(0, 0, 1.0), &mut t);
+        e.handle(arrival(1, 1, 1.1), &mut t);
+        e.handle(arrival(0, 2, 2.0), &mut t);
+        assert!(!e.finished());
+        e.handle(arrival(1, 3, 2.1), &mut t);
+        assert!(e.finished());
+        assert_eq!(e.completed(), 4);
+        let cmds = e.take_commands();
+        // Every consume of a non-final result is followed by a dispatch.
+        assert_eq!(
+            cmds.iter()
+                .filter(|c| matches!(c, Command::Dispatch { .. }))
+                .count(),
+            2 + 3 // seeding + one per non-final consume
+        );
+        assert!(matches!(cmds.last(), Some(Command::Finish)));
+    }
+
+    #[test]
+    fn duplicate_results_are_suppressed_by_eval_id() {
+        let mut t = NullTransport::new(f64::INFINITY);
+        let mut e = MasterEngine::new(EngineConfig::fault_free_async(1, 3));
+        e.seed(&mut t);
+        e.handle(arrival(0, 0, 1.0), &mut t);
+        e.handle(arrival(0, 0, 1.0), &mut t); // duplicate copy
+        assert_eq!(e.completed(), 1);
+        assert_eq!(e.log().duplicates_suppressed, 1);
+        assert_eq!(e.log().wasted_nfe, 1);
+    }
+
+    #[test]
+    fn deadline_reissues_then_abandons_at_the_cap() {
+        let mut t = NullTransport::new(10.0);
+        let policy = RecoveryPolicy {
+            timeout: 10.0,
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: 2,
+        };
+        let mut e = MasterEngine::new(EngineConfig::shared_pool_async(1, 2, policy));
+        e.seed(&mut t);
+        for round in 0..3 {
+            t.now += 10.0;
+            let expired = e.expired_deadlines(t.now + 0.5);
+            assert_eq!(expired.len(), 1, "round {round}");
+            let (id, w, bits) = expired[0];
+            e.handle(
+                Event::DeadlineFired {
+                    eval_id: id,
+                    worker: w,
+                    deadline_bits: bits,
+                    at: t.now,
+                },
+                &mut t,
+            );
+        }
+        // Two reissues allowed, third firing abandons.
+        assert_eq!(e.log().reissues, 2);
+        assert_eq!(e.abandoned(), 1);
+        assert!(t.calls.iter().any(|c| c == "abandon 0"));
+    }
+
+    #[test]
+    fn stale_deadline_is_a_no_op() {
+        let mut t = NullTransport::new(10.0);
+        let policy = RecoveryPolicy {
+            timeout: 10.0,
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: 8,
+        };
+        let mut e = MasterEngine::new(EngineConfig::shared_pool_async(1, 2, policy));
+        e.seed(&mut t);
+        t.now += 10.0;
+        let (id, w, bits) = e.expired_deadlines(t.now + 0.5)[0];
+        e.handle(
+            Event::DeadlineFired {
+                eval_id: id,
+                worker: w,
+                deadline_bits: bits,
+                at: t.now,
+            },
+            &mut t,
+        );
+        assert_eq!(e.log().reissues, 1);
+        // Refiring the *old* deadline after the reissue moved it: no-op.
+        e.handle(
+            Event::DeadlineFired {
+                eval_id: id,
+                worker: w,
+                deadline_bits: bits,
+                at: t.now,
+            },
+            &mut t,
+        );
+        assert_eq!(e.log().reissues, 1);
+    }
+
+    #[test]
+    fn shared_pool_death_note_reissues_the_lost_eval() {
+        let mut t = NullTransport::new(10.0);
+        let policy = RecoveryPolicy {
+            timeout: 10.0,
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: 8,
+        };
+        let mut e = MasterEngine::new(EngineConfig::shared_pool_async(2, 4, policy));
+        e.seed(&mut t);
+        e.handle(
+            Event::WorkerDied {
+                worker: 0,
+                at: 1.0,
+                will_respawn: false,
+                lost_eval: Some(0),
+            },
+            &mut t,
+        );
+        assert_eq!(e.log().deaths_detected, 1);
+        assert_eq!(e.log().reissues, 1);
+        assert_eq!(e.log().wasted_nfe, 1);
+        // The reissued eval can still be consumed (any worker delivers).
+        e.handle(arrival(1, 0, 2.0), &mut t);
+        assert_eq!(e.completed(), 1);
+    }
+
+    #[test]
+    fn sync_mode_dispatches_generations_at_the_barrier() {
+        let mut t = NullTransport::new(f64::INFINITY);
+        let mut e = MasterEngine::new(EngineConfig::sync_generational(3, 5));
+        e.record_commands();
+        e.seed(&mut t);
+        // Mid-generation consumes do not dispatch.
+        e.handle(arrival(0, 0, 1.0), &mut t);
+        e.handle(arrival(1, 1, 1.0), &mut t);
+        assert_eq!(e.outstanding_len(), 1);
+        assert_eq!(
+            t.calls.iter().filter(|c| c.starts_with("dispatch")).count(),
+            3
+        );
+        // Barrier: the whole next generation goes out at once.
+        e.handle(arrival(2, 2, 1.0), &mut t);
+        assert_eq!(
+            t.calls.iter().filter(|c| c.starts_with("dispatch")).count(),
+            6
+        );
+        // Second generation overshoots the budget of 5 and finishes.
+        e.handle(arrival(0, 3, 2.0), &mut t);
+        e.handle(arrival(1, 4, 2.0), &mut t);
+        e.handle(arrival(2, 5, 2.0), &mut t);
+        assert!(e.finished());
+        assert_eq!(e.completed(), 6);
+    }
+
+    #[test]
+    fn shared_pool_pipeline_flows_when_any_thread_delivers() {
+        // On a shared pull queue the delivering thread is rarely the
+        // notional assignee; consuming must still free the assignee's
+        // dispatch slot or the pipeline stalls.
+        let mut t = NullTransport::new(f64::INFINITY);
+        let policy = RecoveryPolicy {
+            timeout: f64::INFINITY,
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: 8,
+        };
+        let mut e = MasterEngine::new(EngineConfig::shared_pool_async(2, 6, policy));
+        e.seed(&mut t);
+        // Worker 1's thread delivers every result, including those
+        // notionally assigned to worker 0.
+        for id in 0..6 {
+            e.handle(arrival(1, id, id as f64), &mut t);
+        }
+        assert!(e.finished());
+        assert_eq!(e.completed(), 6);
+        assert_eq!(
+            t.calls.iter().filter(|c| c.starts_with("dispatch")).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn budgeted_dispatch_parks_workers_once_covered() {
+        let mut t = NullTransport::new(10.0);
+        let policy = RecoveryPolicy {
+            timeout: 10.0,
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: 8,
+        };
+        let mut e = MasterEngine::new(EngineConfig::fault_tolerant_async(3, 4, policy));
+        e.seed(&mut t);
+        // 3 outstanding; after one consume: completed 1 + outstanding 2 =
+        // 3 < 4 → one fresh dispatch. After the second consume: 2 + 2 = 4
+        // → park.
+        e.handle(arrival(0, 0, 1.0), &mut t);
+        assert_eq!(e.outstanding_len(), 3);
+        e.handle(arrival(1, 1, 1.0), &mut t);
+        assert_eq!(e.outstanding_len(), 2);
+        let dispatches = t.calls.iter().filter(|c| c.starts_with("dispatch")).count();
+        assert_eq!(dispatches, 4);
+    }
+}

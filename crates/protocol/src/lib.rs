@@ -1,0 +1,55 @@
+//! The executor-agnostic master-slave protocol core.
+//!
+//! The paper's whole argument rests on *one* master-slave protocol being
+//! observed through three lenses — analytical (Eq. 2), simulated (the
+//! SimPy-style queueing model), and experimental (real workers). A
+//! model/experiment comparison is only trustworthy when both arms run
+//! identical control logic, so this crate carries the single source of
+//! truth: a pure, deterministic [`MasterEngine`] state machine that
+//! consumes [`Event`]s (result arrived, deadline fired, heartbeat tick,
+//! worker died/respawned) and drives a small [`Transport`] trait with the
+//! resulting actions (dispatch, consume, suppress duplicate, ping,
+//! abandon). Everything an executor disagrees about — how time passes
+//! ([`Clock`]), how messages move, how long the master holds per
+//! interaction — lives in the adapter; everything the executors must
+//! *agree* on — dispatch bookkeeping, deadline reissue, duplicate
+//! suppression by eval id, liveness beliefs, wasted-NFE accounting —
+//! lives here.
+//!
+//! Adapters in this workspace:
+//!
+//! | executor | crate | clock | transport |
+//! |---|---|---|---|
+//! | queueing DES (`run_async*`) | `borg-models` | event-queue virtual time | simulated latencies + [`FaultPlan`] fates |
+//! | virtual Borg (`run_virtual_*`) | `borg-parallel` | event-queue virtual time | same DES, hooks run the real MOEA |
+//! | real threads (`run_threaded`) | `borg-parallel` | wall clock (seconds since start) | crossbeam channels |
+//!
+//! The engine never reads a wall clock, never samples an RNG, and never
+//! allocates on the arrival hot path beyond its bookkeeping maps — same
+//! seed and same event stream give bit-identical decisions on every
+//! machine, which is what the workspace's determinism gate (and the
+//! golden Table II / faults cells under `results/golden/`) enforce.
+//!
+//! [`FaultPlan`]: borg_desim::fault::FaultPlan
+
+mod command;
+mod engine;
+mod policy;
+
+pub use command::{Command, Event};
+pub use engine::{
+    DispatchPolicy, EngineConfig, MasterEngine, PoolDiscipline, ProtocolMode, Transport,
+};
+pub use policy::RecoveryPolicy;
+
+/// A source of protocol time, in seconds.
+///
+/// The engine itself is time-agnostic — times reach it inside events and
+/// as return values of [`Transport`] calls — but adapters implement this
+/// so the deadline sweep and ledger stamps share one notion of "now":
+/// the DES adapters report the event-queue clock, the real-thread
+/// executor reports wall seconds since the run started.
+pub trait Clock {
+    /// Current time in seconds.
+    fn now(&self) -> f64;
+}

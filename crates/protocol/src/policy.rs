@@ -1,0 +1,78 @@
+//! Master-side recovery policy (moved here from `borg-models` so all
+//! executors share one definition).
+
+/// Master-side recovery policy: when to give up on an outstanding
+/// evaluation and how aggressively to probe for dead workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Deadline per outstanding evaluation. When it passes without a
+    /// result the master pings the assigned worker and reissues.
+    /// `f64::INFINITY` disables deadline tracking (fault-free runs).
+    pub timeout: f64,
+    /// Interval of the master's background liveness sweep; a worker that
+    /// has been silent for a full interval past its death is declared
+    /// dead even if none of its evaluations has timed out yet.
+    /// `f64::INFINITY` disables the sweep.
+    pub heartbeat_interval: f64,
+    /// Hard cap on reissues per evaluation; exceeding it abandons the
+    /// evaluation (the run then finishes with fewer results — this only
+    /// guards against pathological configurations such as a 100% message
+    /// drop rate).
+    pub max_reissues: u32,
+}
+
+impl RecoveryPolicy {
+    /// The paper-flavoured policy: timeout `k · E[T_F]` (`k > 1` so an
+    /// ordinary evaluation never trips it), heartbeat at half the
+    /// timeout.
+    pub fn from_expected_eval_time(expected_tf: f64, k: f64) -> Self {
+        assert!(
+            expected_tf > 0.0 && expected_tf.is_finite(),
+            "expected evaluation time must be positive"
+        );
+        assert!(k > 1.0, "timeout multiplier must exceed 1");
+        let timeout = k * expected_tf;
+        RecoveryPolicy {
+            timeout,
+            heartbeat_interval: timeout / 2.0,
+            max_reissues: 64,
+        }
+    }
+
+    /// A policy that never times out, never sweeps, never reissues —
+    /// the fault-free protocol.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            timeout: f64::INFINITY,
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_policy_derives_heartbeat_from_timeout() {
+        let p = RecoveryPolicy::from_expected_eval_time(0.01, 4.0);
+        assert!((p.timeout - 0.04).abs() < 1e-12);
+        assert!((p.heartbeat_interval - 0.02).abs() < 1e-12);
+        assert_eq!(p.max_reissues, 64);
+    }
+
+    #[test]
+    fn disabled_policy_never_fires() {
+        let p = RecoveryPolicy::disabled();
+        assert!(p.timeout.is_infinite());
+        assert!(p.heartbeat_interval.is_infinite());
+        assert_eq!(p.max_reissues, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout multiplier")]
+    fn k_must_exceed_one() {
+        let _ = RecoveryPolicy::from_expected_eval_time(0.01, 1.0);
+    }
+}

@@ -46,6 +46,18 @@ fn master_loop_blocks_forever(rx: &Receiver<u64>) -> u64 {
     first
 }
 
+// The fixture's spoofed path is also in BORG-L007 scope (executor rule):
+// recovery bookkeeping belongs to borg_protocol::MasterEngine, not here.
+struct ShadowMaster {
+    in_flight: HashMap<u64, ReissueRecord>, //~ BORG-L007
+    completed_ids: HashSet<u64>, //~ BORG-L007
+}
+
+fn shadow_recovery_state() {
+    let mut deadlines: BTreeMap<u64, f64> = BTreeMap::new(); //~ BORG-L007
+    let mut reissue_queue: VecDeque<u64> = VecDeque::new(); //~ BORG-L007
+}
+
 // --- escapes that must NOT be reported ---------------------------------
 
 fn allowlisted() -> u32 {
@@ -68,12 +80,31 @@ fn bounded_waits_are_fine(rx: &Receiver<u64>, stop_rx: &Receiver<()>) {
     let _ = stop_rx.recv(); // borg-lint: allow(BORG-L006)
 }
 
+fn benign_collections_and_counts(proto: &MasterEngine) {
+    // A collection bound to a non-protocol name is not recovery state.
+    let candidates: HashMap<u64, Candidate> = HashMap::new();
+    // A protocol name holding a plain count is fine — only keyed
+    // maps/sets/queues of eval-ids re-create the engine's job.
+    let in_flight: usize = proto.outstanding_len();
+    // A name in an unrelated argument is not matched across a comma.
+    record_state(outstanding, HashMap::new());
+    // A deliberate local mirror carries the allowlist escape.
+    let seen_ids: HashSet<u64> = HashSet::new(); // borg-lint: allow(BORG-L007)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn unwrap_is_fine_in_tests() {
         let v = Some(5).unwrap();
         assert!(v == 5);
+    }
+
+    #[test]
+    fn tests_may_build_expectation_tables() {
+        // Test regions are exempt from BORG-L007.
+        let deadlines: HashSet<u64> = HashSet::new();
+        assert!(deadlines.is_empty());
     }
 }
 

@@ -33,6 +33,9 @@ pub struct DeterminismReport {
     pub faults_injected: usize,
     /// Reissues performed by the fault-replay arm.
     pub fault_reissues: u64,
+    /// Golden Table II / faults cells compared bit-for-bit against the
+    /// checked-in CSV (see [`crate::golden`]).
+    pub golden_rows: usize,
 }
 
 fn run_once(seed: u64) -> VirtualRunResult {
@@ -128,8 +131,10 @@ fn diff_runs(label: &str, a: &VirtualRunResult, b: &VirtualRunResult) -> Result<
 
 /// Runs the same-seed-twice check — a fault-free arm and a fault-replay arm
 /// (crashes + message loss) — demanding bit-identical archives, virtual
-/// clocks, and fault ledgers. `Err` carries a human-readable diff.
-pub fn run() -> Result<DeterminismReport, String> {
+/// clocks, and fault ledgers, then diffs the golden Table II / faults cells
+/// under `results/golden/` against the current engine. `Err` carries a
+/// human-readable diff.
+pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
     let seed = 0xB0C4_2026u64;
     let a = run_once(seed);
     let b = run_once(seed);
@@ -153,12 +158,15 @@ pub fn run() -> Result<DeterminismReport, String> {
         ));
     }
 
+    let golden = crate::golden::check(root)?;
+
     Ok(DeterminismReport {
         nfe: a.engine.nfe(),
         archive_size: a.engine.archive().solutions().len(),
         elapsed: a.outcome.elapsed,
         faults_injected: fa.fault_log.injected(),
         fault_reissues: fa.fault_log.reissues,
+        golden_rows: golden.rows,
     })
 }
 
@@ -177,11 +185,13 @@ mod tests {
 
     #[test]
     fn determinism_gate_passes() {
-        let report = run().expect("same-seed runs must be identical");
+        let root = crate::files::workspace_root().expect("workspace root");
+        let report = run(&root).expect("same-seed runs must be identical");
         assert_eq!(report.nfe, 2_000);
         assert!(report.archive_size > 5);
         assert!(report.elapsed > 0.0);
         assert!(report.faults_injected > 0, "fault-replay arm must inject");
+        assert!(report.golden_rows > 0, "golden gate must compare rows");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 mod determinism;
 mod files;
+mod golden;
 mod lexer;
 mod rules;
 
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("check") => check_command(&args[1..]),
+        Some("golden") => golden_command(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print_help();
             Ok(ExitCode::SUCCESS)
@@ -54,17 +56,31 @@ fn print_help() {
          \n\
          USAGE:\n\
          \x20   cargo xtask check [--json] [--determinism] [--self-test] [--list]\n\
+         \x20   cargo xtask golden --bless\n\
          \n\
          FLAGS:\n\
          \x20   --json          machine-readable JSON report on stdout\n\
          \x20   --determinism   also run the same-seed-twice determinism gate\n\
+         \x20                   and diff golden Table II / faults cells\n\
          \x20   --self-test     run only the annotated-fixture self-test\n\
          \x20   --list          print the rule catalog and exit\n\
+         \x20   --bless         (golden) regenerate results/golden CSVs\n\
          \n\
          RULES:"
     );
     for rule in &RULES {
         println!("    {}  {}", rule.id, rule.summary);
+    }
+}
+
+fn golden_command(args: &[String]) -> Result<ExitCode, String> {
+    match args {
+        [flag] if flag == "--bless" => {
+            let root = files::workspace_root()?;
+            golden::bless(&root)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("usage: cargo xtask golden --bless".to_string()),
     }
 }
 
@@ -121,7 +137,7 @@ fn check_command(args: &[String]) -> Result<ExitCode, String> {
 
     let report = rules::check_workspace(&root)?;
     let determinism_result = if flags.determinism {
-        Some(determinism::run())
+        Some(determinism::run(&root))
     } else {
         None
     };
@@ -165,8 +181,9 @@ fn print_human(
     match determinism {
         Some(Ok(d)) => println!(
             "determinism OK: seed-identical archives ({} members, NFE {}, virtual {:.4}s); \
-             fault replay identical ({} injected, {} reissues)",
-            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues
+             fault replay identical ({} injected, {} reissues); \
+             golden cells match ({} rows)",
+            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues, d.golden_rows
         ),
         Some(Err(e)) => println!("determinism FAIL: {e}"),
         None => {}
@@ -196,8 +213,8 @@ fn print_json(
     match determinism {
         Some(Ok(d)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":true,\"archive_size\":{},\"nfe\":{},\"elapsed\":{},\
-             \"faults_injected\":{},\"fault_reissues\":{}}}",
-            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues
+             \"faults_injected\":{},\"fault_reissues\":{},\"golden_rows\":{}}}",
+            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues, d.golden_rows
         )),
         Some(Err(e)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":false,\"error\":{}}}",

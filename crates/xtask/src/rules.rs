@@ -1,6 +1,6 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Six workspace-specific correctness rules run over the token stream from
+//! Seven workspace-specific correctness rules run over the token stream from
 //! [`crate::lexer`]:
 //!
 //! * **BORG-L001** — no `.unwrap()` / `.expect()` in library code outside
@@ -25,6 +25,12 @@
 //!   must be a `recv_timeout` / `try_recv` so the fault-recovery deadline
 //!   sweep keeps running. Deliberate unbounded waits (e.g. a hung-worker
 //!   park released by channel disconnect) carry an allowlist comment.
+//! * **BORG-L007** — no direct construction of protocol recovery state
+//!   (deadline maps, in-flight tables, seen-eval-id sets, reissue queues)
+//!   in executor library code (`crates/models`, `crates/parallel`). That
+//!   bookkeeping lives in `borg_protocol::MasterEngine`; a local copy in an
+//!   executor re-creates the triplicated reissue/suppression logic the
+//!   protocol crate exists to centralise.
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
 //! on the same line or the line directly above.
@@ -41,7 +47,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 7] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -65,6 +71,11 @@ pub const RULES: [Rule; 6] = [
     Rule {
         id: "BORG-L006",
         summary: "no unbounded .recv() in executor library code; use recv_timeout/try_recv",
+    },
+    Rule {
+        id: "BORG-L007",
+        summary: "no executor-local recovery state (deadline maps, seen-id sets); \
+                  use borg_protocol::MasterEngine",
     },
 ];
 
@@ -92,6 +103,7 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l004(rel_path, &lexed.tokens, &mut found);
     rule_l005(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l006(rel_path, class, &lexed.tokens, &in_test, &mut found);
+    rule_l007(rel_path, class, &lexed.tokens, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
     found.retain(|v| {
@@ -466,6 +478,86 @@ fn rule_l006(
     }
 }
 
+/// Identifiers that name protocol recovery state. A declaration binding one
+/// of these to a collection type outside `borg-protocol` is an executor
+/// growing its own reissue/suppression bookkeeping.
+const L007_STATE_NAMES: &[&str] = &[
+    "in_flight",
+    "outstanding",
+    "completed_ids",
+    "seen_eval_ids",
+    "seen_ids",
+    "reissue_queue",
+    "deadlines",
+    "deadline_map",
+];
+
+/// Collection types that hold per-eval recovery state. A scalar named
+/// `deadline` or a `Vec<f64>` of samples is fine; a keyed map/set of
+/// eval-ids is the protocol engine's job.
+const L007_COLLECTIONS: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque"];
+
+/// Tokens that bound the L007 backward search: a binding name on the far
+/// side of these cannot be the one annotated with the collection type.
+const L007_WINDOW_STOPS: &[&str] = &[",", ";", "{", "}"];
+const L007_WINDOW: usize = 12;
+
+fn rule_l007(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Scope: the executor crates' library sources (the homes of the three
+    // master-slave adapters), plus the self-test fixture. `crates/protocol`
+    // deliberately stays out of scope — it is where this state belongs.
+    let executor_scope = rel_path.starts_with("crates/models/src/")
+        || rel_path.starts_with("crates/parallel/src/")
+        || rel_path == FIXTURE_SCAN_PATH;
+    if !executor_scope || class != FileClass::Library {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident
+            || !L007_COLLECTIONS.contains(&t.text.as_str())
+            || in_test(t.line)
+        {
+            continue;
+        }
+        if let Some(name) = l007_state_name_behind(tokens, i) {
+            out.push(Violation {
+                rule: "BORG-L007",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{name}` declared as `{}` re-creates protocol recovery state in an \
+                     executor; route reissue/suppression bookkeeping through \
+                     borg_protocol::MasterEngine",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Looks up to [`L007_WINDOW`] tokens before the collection type at `i` for
+/// a recovery-state binding name, stopping at declaration boundaries.
+fn l007_state_name_behind(tokens: &[Token], i: usize) -> Option<String> {
+    for step in 1..=L007_WINDOW {
+        let j = i.checked_sub(step)?;
+        let t = tokens.get(j)?;
+        if t.kind == TokenKind::Punct && L007_WINDOW_STOPS.contains(&t.text.as_str()) {
+            return None;
+        }
+        if t.kind == TokenKind::Ident && L007_STATE_NAMES.contains(&t.text.as_str()) {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
 // ---------------------------------------------------------------------------
 // Token helpers
 // ---------------------------------------------------------------------------
@@ -668,6 +760,44 @@ mod tests {
             allowed
         )
         .is_empty());
+    }
+
+    #[test]
+    fn l007_flags_executor_local_recovery_state() {
+        let src = "fn master() { let mut in_flight: HashMap<u64, InFlight> = HashMap::new(); }";
+        // Out of scope: a non-executor crate, and the protocol crate itself.
+        assert!(check_lib(src).is_empty());
+        assert!(check_source("crates/protocol/src/engine.rs", FileClass::Library, src).is_empty());
+        // In scope: both executor crates' library sources.
+        let v = check_source("crates/parallel/src/threads.rs", FileClass::Library, src);
+        assert_eq!(rules_at(&v), [("BORG-L007", 1)]);
+        let v = check_source("crates/models/src/queueing.rs", FileClass::Library, src);
+        assert_eq!(rules_at(&v), [("BORG-L007", 1)]);
+        // Struct fields are declarations too.
+        let field = "struct Shadow {\n    deadlines: BTreeMap<u64, f64>,\n}";
+        let v = check_source("crates/parallel/src/threads.rs", FileClass::Library, field);
+        assert_eq!(rules_at(&v), [("BORG-L007", 2)]);
+    }
+
+    #[test]
+    fn l007_ignores_benign_names_boundaries_and_tests() {
+        let in_parallel =
+            |src| check_source("crates/parallel/src/threads.rs", FileClass::Library, src);
+        // A collection bound to a non-protocol name is fine.
+        assert!(
+            in_parallel("let candidates: HashMap<u64, Candidate> = HashMap::new();").is_empty()
+        );
+        // A protocol name without a collection type is fine (e.g. a count).
+        assert!(in_parallel("let in_flight: usize = proto.outstanding_len();").is_empty());
+        // A name in an unrelated argument is not matched across a comma.
+        assert!(in_parallel("report(outstanding, HashMap::new());").is_empty());
+        // Test regions may build whatever expectation tables they like.
+        let tst = "#[cfg(test)]\nmod tests {\n fn t() { let deadlines: HashSet<u64> = x; }\n}";
+        assert!(in_parallel(tst).is_empty());
+        // The allowlist escape works.
+        let allowed =
+            "let in_flight: HashMap<u64, F> = HashMap::new(); // borg-lint: allow(BORG-L007)";
+        assert!(in_parallel(allowed).is_empty());
     }
 
     #[test]
