@@ -22,4 +22,13 @@ cargo test -q --release
 echo "==> borg-exp faults --smoke"
 ./target/release/borg-exp faults --smoke --out target/ci-results
 
+echo "==> borg-exp table2 --smoke with trace + metrics export"
+./target/release/borg-exp table2 --smoke --out target/ci-results \
+  --trace-out target/ci-results/trace_smoke.json \
+  --metrics-out target/ci-results/metrics_smoke.jsonl
+test -s target/ci-results/trace_smoke.json
+test -s target/ci-results/metrics_smoke.jsonl
+grep -q '"ph":"X"' target/ci-results/trace_smoke.json
+grep -q 't_f_seconds' target/ci-results/metrics_smoke.jsonl
+
 echo "ci.sh: all gates passed"

@@ -8,10 +8,10 @@ use borg_core::nsga2::{Nsga2Config, Nsga2Engine};
 use borg_core::problem::Problem;
 use borg_core::solution::Solution;
 use borg_desim::fault::FaultConfig;
-use borg_desim::trace::SpanTrace;
 use borg_experiments::dynamics::{run_dynamics, DynamicsConfig};
 use borg_experiments::islands_exp::{run_islands_experiment, IslandsExpConfig};
 use borg_models::dist::Dist;
+use borg_obs::NoopRecorder;
 use borg_parallel::islands::{run_islands, IslandConfig};
 use borg_parallel::virtual_exec::{
     run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig,
@@ -72,7 +72,7 @@ fn bench_faults(c: &mut Criterion) {
                 &problem,
                 BorgConfig::new(5, 0.1),
                 &cfg,
-                &mut SpanTrace::disabled(),
+                &NoopRecorder,
                 |_, _| {},
             )
             .outcome
@@ -91,7 +91,7 @@ fn bench_faults(c: &mut Criterion) {
                         BorgConfig::new(5, 0.1),
                         &cfg,
                         faults,
-                        &mut SpanTrace::disabled(),
+                        &NoopRecorder,
                         |_, _| {},
                     )
                     .outcome

@@ -8,8 +8,8 @@
 //! and duplicate suppression cost when nothing goes wrong.
 
 use borg_desim::fault::{FaultConfig, FaultLog, FaultPlan};
-use borg_desim::trace::SpanTrace;
 use borg_models::queueing::{run_async, run_async_faulty, FaultTolerantHooks, MasterSlaveHooks};
+use borg_obs::NoopRecorder;
 use borg_protocol::{Clock, EngineConfig, Event, MasterEngine, RecoveryPolicy, Transport};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -52,10 +52,10 @@ impl Transport for NullTransport {
 
 /// Drives a fault-free engine to completion with results delivered in
 /// dispatch order (eval id `n` lands on worker `n % workers`).
-fn drive_engine(workers: usize, budget: u64) -> u64 {
+fn drive_engine<R: borg_obs::Recorder + ?Sized>(workers: usize, budget: u64, rec: &R) -> u64 {
     let mut engine = MasterEngine::new(EngineConfig::fault_free_async(workers, budget));
     let mut t = NullTransport { now: 0.0 };
-    engine.seed(&mut t);
+    engine.seed(&mut t, rec);
     let mut eval_id = 0u64;
     while !engine.finished() {
         t.now += 1.0;
@@ -66,6 +66,7 @@ fn drive_engine(workers: usize, budget: u64) -> u64 {
                 at: t.now,
             },
             &mut t,
+            rec,
         );
         eval_id += 1;
     }
@@ -119,19 +120,14 @@ fn bench_protocol(c: &mut Criterion) {
 
     let (workers, events) = (64, 10_000u64);
     group.bench_function("engine_null_transport_w64_10k_events", |b| {
-        b.iter(|| drive_engine(black_box(workers), events))
+        b.iter(|| drive_engine(black_box(workers), events, &NoopRecorder))
     });
 
     let (workers, n) = (32, 2_000u64);
     group.bench_function("des_async_fault_free_w32_2k", |b| {
         b.iter(|| {
             let mut hooks = HOOKS;
-            run_async(
-                &mut hooks,
-                black_box(workers),
-                n,
-                &mut SpanTrace::disabled(),
-            )
+            run_async(&mut hooks, black_box(workers), n, &NoopRecorder)
         })
     });
 
@@ -159,7 +155,7 @@ fn bench_protocol(c: &mut Criterion) {
                 n,
                 &plan,
                 policy,
-                &mut SpanTrace::disabled(),
+                &NoopRecorder,
             )
         })
     });

@@ -9,8 +9,9 @@
 //!   request/hold/release pattern (the master node);
 //! * [`callback::CallbackSim`] — SimPy-flavoured chained-callback
 //!   processes;
-//! * [`trace::SpanTrace`] — activity-span recording for the paper's
-//!   timeline figures;
+//! * [`trace::SpanTrace`] — activity-span vocabulary for the paper's
+//!   timeline figures (re-exported from `borg-obs`, the workspace's
+//!   observability layer);
 //! * [`fault::FaultPlan`] / [`fault::FaultLog`] — deterministic fault
 //!   injection (worker crashes, hangs, stragglers, message loss and
 //!   duplication) and the recovery ledger shared by both executors.

@@ -23,6 +23,12 @@
 //!   --seed S          root seed
 //!   --smoke           tiny scale (CI)
 //!   --full            paper scale (hours)
+//!   --trace-out FILE  also run the three-executor trace bundle and write
+//!                     Chrome-trace JSON (open in chrome://tracing or
+//!                     https://ui.perfetto.dev)
+//!   --metrics-out FILE  write per-cell metrics as JSON Lines (table2:
+//!                     empirical T_F/T_C/T_A histograms, engine counters,
+//!                     master occupancy)
 //! ```
 
 use borg_experiments::ablation::{
@@ -38,11 +44,13 @@ use borg_experiments::hvspeedup::{render_panel, run_figure, HvSpeedupConfig};
 use borg_experiments::islands_exp::{render_islands, run_islands_experiment, IslandsExpConfig};
 use borg_experiments::report::write_output;
 use borg_experiments::suite::PaperProblem;
-use borg_experiments::table2::{render_table2, run_table2, Table2Config};
+use borg_experiments::table2::{render_table2, run_table2_with, Table2Config};
 use borg_experiments::timeline::{figure1, figure2, TimelineConfig};
+use borg_experiments::tracebundle::{trace_bundle, TraceBundleConfig};
 use borg_models::advisor::{recommend_partition, recommend_processor_count};
 use borg_models::perfsim::TimingModel;
-use std::path::PathBuf;
+use borg_obs::export::metrics_jsonl;
+use std::path::{Path, PathBuf};
 
 #[derive(Debug, Clone)]
 struct Cli {
@@ -53,6 +61,8 @@ struct Cli {
     seed: Option<u64>,
     smoke: bool,
     full: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -66,6 +76,8 @@ fn parse_args() -> Result<Cli, String> {
         seed: None,
         smoke: false,
         full: false,
+        trace_out: None,
+        metrics_out: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -96,6 +108,16 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--smoke" => cli.smoke = true,
             "--full" => cli.full = true,
+            "--trace-out" => {
+                cli.trace_out = Some(PathBuf::from(
+                    args.next().ok_or("--trace-out needs a value")?,
+                ))
+            }
+            "--metrics-out" => {
+                cli.metrics_out = Some(PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a value")?,
+                ))
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -137,6 +159,40 @@ fn main() {
         println!("==> {cmd}");
         run_command(cmd, &cli);
     }
+    if let Some(path) = &cli.trace_out {
+        let mut tcfg = TraceBundleConfig::default();
+        if cli.smoke {
+            tcfg.processors = 4;
+            tcfg.evaluations = 80;
+        }
+        if let Some(s) = cli.seed {
+            tcfg.seed = s;
+        }
+        eprintln!(
+            "tracing one seeded run per executor path (P = {}, N = {})...",
+            tcfg.processors, tcfg.evaluations
+        );
+        let bundle = trace_bundle(&tcfg);
+        write_file(path, &bundle.json).expect("write trace bundle");
+        println!(
+            "wrote {} ({} DES + {} virtual + {} threaded spans; open in chrome://tracing or ui.perfetto.dev)",
+            path.display(),
+            bundle.span_counts[0],
+            bundle.span_counts[1],
+            bundle.span_counts[2]
+        );
+    }
+}
+
+/// Writes to an explicit path (unlike [`write_output`], which is rooted
+/// at `--out`), creating parent directories as needed.
+fn write_file(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, content)
 }
 
 fn run_command(cmd: &str, cli: &Cli) {
@@ -158,11 +214,40 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
-            let rows = run_table2(&cfg);
+            let total = cfg.problems.len() * cfg.tf_means.len() * cfg.processors.len();
+            let mut done = 0usize;
+            let mut metrics = String::new();
+            let rows = run_table2_with(&cfg, |row, snap| {
+                done += 1;
+                eprintln!(
+                    "  [{done}/{total}] {} P={} T_F={}s: time {:.2}s, util {:.2}, T_A p50 {:.1}us",
+                    row.problem,
+                    row.processors,
+                    row.t_f,
+                    row.experimental_time,
+                    row.master_utilization,
+                    snap.histograms
+                        .get("t_a_seconds")
+                        .map_or(f64::NAN, |h| h.quantile(0.5) * 1e6)
+                );
+                if cli.metrics_out.is_some() {
+                    let labels = [
+                        ("experiment", "table2".to_string()),
+                        ("problem", row.problem.to_string()),
+                        ("P", row.processors.to_string()),
+                        ("t_f", format!("{}", row.t_f)),
+                    ];
+                    metrics.push_str(&metrics_jsonl(&labels, snap));
+                }
+            });
             let table = render_table2(&rows);
             println!("{}", table.render());
             write_output(&cli.out, "table2.csv", &table.to_csv()).expect("write table2.csv");
             println!("wrote {}", cli.out.join("table2.csv").display());
+            if let Some(path) = &cli.metrics_out {
+                write_file(path, &metrics).expect("write metrics jsonl");
+                println!("wrote {}", path.display());
+            }
         }
         "fig1" | "fig2" => {
             let cfg = TimelineConfig::default();

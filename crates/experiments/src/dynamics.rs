@@ -16,9 +16,9 @@
 use crate::report::TextTable;
 use crate::suite::PaperProblem;
 use borg_core::rng::SplitMix64;
-use borg_desim::trace::SpanTrace;
 use borg_metrics::relative::RelativeHypervolume;
 use borg_models::dist::Dist;
+use borg_obs::NoopRecorder;
 use borg_parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig};
 
 /// Configuration of the dynamics experiment.
@@ -145,7 +145,7 @@ pub fn run_dynamics(config: &DynamicsConfig) -> Vec<DynamicsTrajectory> {
             problem.as_ref(),
             borg.clone(),
             &vcfg,
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |t, engine| {
                 if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
                     points.push(DynamicsPoint {

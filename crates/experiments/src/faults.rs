@@ -20,11 +20,11 @@ use crate::report::TextTable;
 use crate::suite::PaperProblem;
 use crate::table2::replicate_seeds;
 use borg_desim::fault::FaultConfig;
-use borg_desim::trace::SpanTrace;
 use borg_models::analytical::{
     async_parallel_time_degraded, relative_error, serial_time, TimingParams,
 };
 use borg_models::dist::Dist;
+use borg_obs::NoopRecorder;
 use borg_parallel::virtual_exec::{
     run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig,
 };
@@ -170,20 +170,14 @@ fn run_cell(
         // Table II experimental arm, and proof the fault machinery adds
         // nothing when quiet.
         let result = if faults.is_quiet() {
-            run_virtual_async(
-                problem,
-                borg.clone(),
-                &vcfg,
-                &mut SpanTrace::disabled(),
-                |_, _| {},
-            )
+            run_virtual_async(problem, borg.clone(), &vcfg, &NoopRecorder, |_, _| {})
         } else {
             run_virtual_async_faulty(
                 problem,
                 borg.clone(),
                 &vcfg,
                 &faults,
-                &mut SpanTrace::disabled(),
+                &NoopRecorder,
                 |_, _| {},
             )
         };

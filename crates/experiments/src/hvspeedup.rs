@@ -11,9 +11,9 @@
 use crate::report::TextTable;
 use crate::suite::PaperProblem;
 use borg_core::rng::SplitMix64;
-use borg_desim::trace::SpanTrace;
 use borg_metrics::relative::RelativeHypervolume;
 use borg_models::dist::Dist;
+use borg_obs::NoopRecorder;
 use borg_parallel::virtual_exec::{run_virtual_async, run_virtual_serial, TaMode, VirtualConfig};
 
 /// Configuration for the hypervolume-speedup experiment.
@@ -176,7 +176,7 @@ pub fn run_panel(config: &HvSpeedupConfig, t_f: f64) -> HvSpeedupPanel {
                 problem.as_ref(),
                 borg.clone(),
                 &vcfg,
-                &mut SpanTrace::disabled(),
+                &NoopRecorder,
                 |t, engine| {
                     if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
                         traj.push((t, metric.ratio(&engine.archive().objective_vectors())));

@@ -33,3 +33,4 @@ pub mod report;
 pub mod suite;
 pub mod table2;
 pub mod timeline;
+pub mod tracebundle;

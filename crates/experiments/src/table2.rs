@@ -10,11 +10,11 @@
 use crate::report::TextTable;
 use crate::suite::PaperProblem;
 use borg_core::rng::SplitMix64;
-use borg_desim::trace::SpanTrace;
 use borg_models::analytical::{async_parallel_time, relative_error, serial_time, TimingParams};
 use borg_models::dist::Dist;
 use borg_models::distfit::best_fit;
 use borg_models::perfsim::{simulate_async_mean, PerfSimConfig, TimingModel};
+use borg_obs::{InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 use borg_parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig};
 
 /// Configuration for regenerating Table II.
@@ -117,35 +117,67 @@ pub fn replicate_seeds(
         .collect()
 }
 
-/// Runs the full Table II experiment.
+/// Runs the full Table II experiment (no observation; see
+/// [`run_table2_with`] for the instrumented variant).
 pub fn run_table2(config: &Table2Config) -> Vec<Table2Row> {
+    for_each_cell(config, |cfg, choice, problem, borg, tf, p| {
+        run_cell(cfg, choice, problem, borg, tf, p, &NoopRecorder)
+    })
+}
+
+/// Runs Table II with a per-cell metrics observer.
+///
+/// Each cell's replicates share a metrics-only [`InMemoryRecorder`], so
+/// `observer` receives — alongside the finished row — the cell's empirical
+/// `t_f_seconds` / `t_c_seconds` / `t_a_seconds` duration histograms
+/// (aggregated over all replicates), the engine's protocol counters, and
+/// the last replicate's `master.busy_seconds` / `master.utilization`
+/// gauges. Recorders never influence the runs, so the returned rows are
+/// bit-identical to [`run_table2`]'s.
+pub fn run_table2_with<F>(config: &Table2Config, mut observer: F) -> Vec<Table2Row>
+where
+    F: FnMut(&Table2Row, &MetricsSnapshot),
+{
+    for_each_cell(config, |cfg, choice, problem, borg, tf, p| {
+        let rec = InMemoryRecorder::metrics_only();
+        let row = run_cell(cfg, choice, problem, borg, tf, p, &rec);
+        observer(&row, &rec.snapshot());
+        row
+    })
+}
+
+fn for_each_cell<F>(config: &Table2Config, mut cell: F) -> Vec<Table2Row>
+where
+    F: FnMut(
+        &Table2Config,
+        PaperProblem,
+        &dyn borg_core::problem::Problem,
+        &borg_core::algorithm::BorgConfig,
+        f64,
+        u32,
+    ) -> Table2Row,
+{
     let mut rows = Vec::new();
     for &problem_choice in &config.problems {
         let problem = problem_choice.build();
         let borg = problem_choice.borg_config(config.epsilon);
         for &tf in &config.tf_means {
             for &p in &config.processors {
-                rows.push(run_cell(
-                    config,
-                    problem_choice,
-                    problem.as_ref(),
-                    &borg,
-                    tf,
-                    p,
-                ));
+                rows.push(cell(config, problem_choice, problem.as_ref(), &borg, tf, p));
             }
         }
     }
     rows
 }
 
-fn run_cell(
+fn run_cell<R: Recorder + ?Sized>(
     config: &Table2Config,
     problem_choice: PaperProblem,
     problem: &dyn borg_core::problem::Problem,
     borg: &borg_core::algorithm::BorgConfig,
     tf: f64,
     p: u32,
+    rec: &R,
 ) -> Table2Row {
     let t_c = 0.000_006;
     let mut elapsed_sum = 0.0;
@@ -161,13 +193,7 @@ fn run_cell(
             t_a: TaMode::Measured,
             seed,
         };
-        let result = run_virtual_async(
-            problem,
-            borg.clone(),
-            &vcfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let result = run_virtual_async(problem, borg.clone(), &vcfg, rec, |_, _| {});
         elapsed_sum += result.outcome.elapsed;
         util_sum += result.outcome.master_utilization;
         // Thin the samples to bound fitting cost at paper scale.

@@ -7,11 +7,11 @@
 //! perpetual evaluation and the master briefly busy per result — exactly
 //! the reduced idle time the paper highlights.
 
-use borg_desim::trace::SpanTrace;
 use borg_models::analytical::TimingParams;
 use borg_models::perfsim::{
     simulate_async_traced, simulate_sync_traced, PerfSimConfig, TimingModel,
 };
+use borg_obs::InMemoryRecorder;
 
 /// Configuration for the timeline figures.
 #[derive(Debug, Clone, Copy)]
@@ -59,8 +59,9 @@ fn config_to_perfsim(config: &TimelineConfig) -> PerfSimConfig {
 
 /// Figure 1: the synchronous, generational timeline.
 pub fn figure1(config: &TimelineConfig) -> Timeline {
-    let mut trace = SpanTrace::new();
-    let pred = simulate_sync_traced(&config_to_perfsim(config), &mut trace);
+    let rec = InMemoryRecorder::new();
+    let pred = simulate_sync_traced(&config_to_perfsim(config), &rec);
+    let trace = rec.span_trace();
     Timeline {
         csv: trace.to_csv(),
         ascii: trace.to_ascii(96),
@@ -71,8 +72,9 @@ pub fn figure1(config: &TimelineConfig) -> Timeline {
 
 /// Figure 2: the asynchronous timeline.
 pub fn figure2(config: &TimelineConfig) -> Timeline {
-    let mut trace = SpanTrace::new();
-    let pred = simulate_async_traced(&config_to_perfsim(config), &mut trace);
+    let rec = InMemoryRecorder::new();
+    let pred = simulate_async_traced(&config_to_perfsim(config), &rec);
+    let trace = rec.span_trace();
     Timeline {
         csv: trace.to_csv(),
         ascii: trace.to_ascii(96),

@@ -1,0 +1,158 @@
+//! Three-executor Chrome-trace bundle.
+//!
+//! One small seeded run per executor path — the simulation model's pure
+//! DES, the virtual-time executor running the real algorithm, and the
+//! real-thread executor — each recorded through the shared [`borg_obs`]
+//! span vocabulary and merged into a single Chrome Trace Event Format
+//! document. Load the output in `chrome://tracing` or
+//! <https://ui.perfetto.dev>: each executor appears as its own process,
+//! with the master on thread 0 and workers on threads 1..P.
+//!
+//! The first two paths run in virtual time and are fully deterministic
+//! for a given seed; the threaded path measures wall-clock spans, so its
+//! timeline varies with machine load (that variation is the point — it
+//! shows the real executor next to its two models).
+
+use crate::suite::PaperProblem;
+use borg_models::dist::Dist;
+use borg_models::perfsim::{simulate_async_traced, PerfSimConfig, TimingModel};
+use borg_obs::export::{chrome_trace_json, TraceGroup};
+use borg_obs::InMemoryRecorder;
+use borg_parallel::threads::{run_threaded_observed, ThreadedConfig};
+use borg_parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig};
+
+/// Configuration for the three-run trace bundle.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceBundleConfig {
+    /// Processors per run (one master + `P − 1` workers).
+    pub processors: u32,
+    /// Evaluations per run (keep small: every span becomes a JSON event).
+    pub evaluations: u64,
+    /// Mean injected `T_F` (seconds).
+    pub tf_mean: f64,
+    /// Root seed for the two virtual-time runs.
+    pub seed: u64,
+}
+
+impl Default for TraceBundleConfig {
+    fn default() -> Self {
+        Self {
+            processors: 8,
+            evaluations: 240,
+            tf_mean: 0.002,
+            seed: 20130520,
+        }
+    }
+}
+
+/// A rendered bundle plus per-path span counts (for progress reporting).
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// The Chrome Trace Event Format JSON document.
+    pub json: String,
+    /// Spans recorded per path, in bundle order (DES, virtual, threads).
+    pub span_counts: [usize; 3],
+}
+
+/// Runs the three executor paths and renders the combined trace.
+pub fn trace_bundle(config: &TraceBundleConfig) -> TraceBundle {
+    let timing = TimingModel {
+        t_f: Dist::normal_cv(config.tf_mean, 0.1),
+        t_c: Dist::Constant(0.000_006),
+        t_a: Dist::Constant(0.000_030),
+    };
+
+    // Path 1: the simulation model's DES (no real algorithm).
+    let des_rec = InMemoryRecorder::new();
+    simulate_async_traced(
+        &PerfSimConfig {
+            processors: config.processors,
+            evaluations: config.evaluations,
+            timing,
+            seed: config.seed,
+        },
+        &des_rec,
+    );
+
+    // Path 2: the real Borg MOEA inside the virtual-time executor.
+    let problem = PaperProblem::Dtlz2.build();
+    let borg = PaperProblem::Dtlz2.borg_config(0.1);
+    let virt_rec = InMemoryRecorder::new();
+    run_virtual_async(
+        problem.as_ref(),
+        borg.clone(),
+        &VirtualConfig {
+            processors: config.processors,
+            max_nfe: config.evaluations,
+            t_f: Dist::normal_cv(config.tf_mean, 0.1),
+            t_c: Dist::Constant(0.000_006),
+            t_a: TaMode::Measured,
+            seed: config.seed,
+        },
+        &virt_rec,
+        |_, _| {},
+    );
+
+    // Path 3: the real-thread executor over wall-clock time.
+    let thread_rec = InMemoryRecorder::new();
+    let workers = (config.processors as usize).saturating_sub(1).max(1);
+    let threaded = ThreadedConfig::new(
+        workers.min(8),
+        config.evaluations,
+        Some(Dist::Constant(config.tf_mean)),
+        config.seed,
+    );
+    // A dead worker pool only loses us the third timeline; keep the
+    // deterministic two rather than failing the whole export.
+    let _ = run_threaded_observed(problem.as_ref(), borg, &threaded, &thread_rec);
+
+    let groups = [
+        ("simulation-model-des", &des_rec),
+        ("virtual-async", &virt_rec),
+        ("real-threads", &thread_rec),
+    ];
+    let span_counts = [
+        des_rec.span_trace().spans().len(),
+        virt_rec.span_trace().spans().len(),
+        thread_rec.span_trace().spans().len(),
+    ];
+    let groups: Vec<TraceGroup> = groups
+        .iter()
+        .map(|(name, rec)| TraceGroup {
+            name: (*name).to_string(),
+            trace: rec.span_trace(),
+        })
+        .collect();
+    TraceBundle {
+        json: chrome_trace_json(&groups),
+        span_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_covers_all_three_executor_paths() {
+        let bundle = trace_bundle(&TraceBundleConfig {
+            processors: 4,
+            evaluations: 60,
+            tf_mean: 0.0005,
+            seed: 7,
+        });
+        for (i, n) in bundle.span_counts.iter().enumerate() {
+            assert!(*n > 0, "path {i} recorded no spans");
+        }
+        // All three pids present, with master and worker threads named.
+        for pid in 1..=3 {
+            assert!(bundle.json.contains(&format!("\"pid\":{pid}")));
+        }
+        assert!(bundle.json.contains("{\"name\":\"simulation-model-des\"}"));
+        assert!(bundle.json.contains("{\"name\":\"virtual-async\"}"));
+        assert!(bundle.json.contains("{\"name\":\"real-threads\"}"));
+        assert!(bundle.json.contains("{\"name\":\"master\"}"));
+        assert!(bundle.json.contains("{\"name\":\"worker1\"}"));
+        assert!(bundle.json.contains("\"name\":\"evaluation\""));
+    }
+}

@@ -1,0 +1,76 @@
+//! Golden-file test for the Chrome-trace exporter.
+//!
+//! Renders the trace of a small seeded constant-timing run of the
+//! simulation model (the Figure 2 configuration) and demands the JSON be
+//! byte-identical to the checked-in golden. This pins three things at
+//! once: the DES event ordering, the span instrumentation points, and the
+//! exporter's formatting — a change to any of them shows up as a diff
+//! here instead of as a silently different timeline.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p borg-experiments --test trace_golden
+//! ```
+
+use borg_models::analytical::TimingParams;
+use borg_models::perfsim::{simulate_async_traced, PerfSimConfig, TimingModel};
+use borg_obs::export::{chrome_trace_json, TraceGroup};
+use borg_obs::InMemoryRecorder;
+use std::path::PathBuf;
+
+fn rendered_trace() -> String {
+    let rec = InMemoryRecorder::new();
+    simulate_async_traced(
+        &PerfSimConfig {
+            processors: 4,
+            evaluations: 12,
+            timing: TimingModel::constant(TimingParams::new(0.008, 0.001, 0.002)),
+            seed: 7,
+        },
+        &rec,
+    );
+    chrome_trace_json(&[TraceGroup {
+        name: "figure2-async".to_string(),
+        trace: rec.span_trace(),
+    }])
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/timeline_trace.json")
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let json = rendered_trace();
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &json).expect("bless golden trace");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(&path).expect("golden trace file missing; regenerate with BLESS=1");
+    assert_eq!(
+        json, golden,
+        "Chrome-trace export diverged from the golden; if the change is \
+         intentional, regenerate with BLESS=1 cargo test -p borg-experiments \
+         --test trace_golden"
+    );
+}
+
+#[test]
+fn golden_trace_is_valid_and_complete() {
+    // Shape checks independent of the byte-exact golden: every actor of
+    // the P = 4 run appears, and all span categories are present.
+    let json = rendered_trace();
+    assert!(json.contains("{\"name\":\"master\"}"));
+    for w in 0..3 {
+        assert!(json.contains(&format!("{{\"name\":\"worker{w}\"}}")));
+    }
+    for activity in ["algorithm", "communication", "evaluation"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{activity}\"")),
+            "missing {activity} spans"
+        );
+    }
+}

@@ -11,7 +11,7 @@ use crate::analytical::TimingParams;
 use crate::dist::Dist;
 use crate::queueing::{run_async, run_sync, MasterSlaveHooks, RunOutcome};
 use borg_core::rng::SplitMix64;
-use borg_desim::trace::SpanTrace;
+use borg_obs::{NoopRecorder, Recorder};
 use rand::rngs::StdRng;
 
 /// Distributional timing model for one configuration.
@@ -125,18 +125,22 @@ pub struct PerfPrediction {
 
 /// Runs the asynchronous simulation model for one configuration.
 pub fn simulate_async(config: &PerfSimConfig) -> PerfPrediction {
-    simulate_async_traced(config, &mut SpanTrace::disabled())
+    simulate_async_traced(config, &NoopRecorder)
 }
 
-/// As [`simulate_async`], recording activity spans (for Figure 2).
-pub fn simulate_async_traced(config: &PerfSimConfig, trace: &mut SpanTrace) -> PerfPrediction {
+/// As [`simulate_async`], emitting activity spans and metrics through
+/// `rec` (for Figure 2 and the telemetry exports).
+pub fn simulate_async_traced<R: Recorder + ?Sized>(
+    config: &PerfSimConfig,
+    rec: &R,
+) -> PerfPrediction {
     assert!(
         config.processors >= 2,
         "need a master and at least one worker"
     );
     let workers = (config.processors - 1) as usize;
     let mut hooks = SamplingHooks::new(config.timing, workers, config.seed);
-    let outcome = run_async(&mut hooks, workers, config.evaluations, trace);
+    let outcome = run_async(&mut hooks, workers, config.evaluations, rec);
     let means = config.timing.means();
     let serial = crate::analytical::serial_time(config.evaluations, means);
     let speedup = serial / outcome.elapsed;
@@ -152,15 +156,19 @@ pub fn simulate_async_traced(config: &PerfSimConfig, trace: &mut SpanTrace) -> P
 /// Runs the synchronous (generational) simulation model (for Figure 5's
 /// comparison and the straggler ablation).
 pub fn simulate_sync(config: &PerfSimConfig) -> PerfPrediction {
-    simulate_sync_traced(config, &mut SpanTrace::disabled())
+    simulate_sync_traced(config, &NoopRecorder)
 }
 
-/// As [`simulate_sync`], recording activity spans (for Figure 1).
-pub fn simulate_sync_traced(config: &PerfSimConfig, trace: &mut SpanTrace) -> PerfPrediction {
+/// As [`simulate_sync`], emitting activity spans and metrics through
+/// `rec` (for Figure 1 and the telemetry exports).
+pub fn simulate_sync_traced<R: Recorder + ?Sized>(
+    config: &PerfSimConfig,
+    rec: &R,
+) -> PerfPrediction {
     assert!(config.processors >= 2);
     let workers = (config.processors - 1) as usize;
     let mut hooks = SamplingHooks::new(config.timing, workers, config.seed);
-    let outcome = run_sync(&mut hooks, workers, config.evaluations, trace);
+    let outcome = run_sync(&mut hooks, workers, config.evaluations, rec);
     let means = config.timing.means();
     let serial = crate::analytical::serial_time(config.evaluations, means);
     let speedup = serial / outcome.elapsed;

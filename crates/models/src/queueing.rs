@@ -20,7 +20,8 @@
 
 use borg_desim::fault::{DispatchFate, FaultKind, FaultLog, FaultPlan, MessageFate};
 use borg_desim::queue::EventQueue;
-use borg_desim::trace::{Activity, Actor, SpanTrace};
+use borg_desim::trace::{Activity, Actor};
+use borg_obs::Recorder;
 use borg_protocol::{Clock, Command, EngineConfig, Event, MasterEngine, Transport};
 
 pub use borg_protocol::RecoveryPolicy;
@@ -84,9 +85,9 @@ struct ResultReady {
 /// span started by [`Transport::consume`] is closed by the next
 /// [`Transport::dispatch`] (or flushed at run end after the final
 /// consume, which has no follow-up).
-struct AsyncTransport<'a, H: MasterSlaveHooks> {
+struct AsyncTransport<'a, H: MasterSlaveHooks, R: Recorder + ?Sized> {
     hooks: &'a mut H,
-    trace: &'a mut SpanTrace,
+    rec: &'a R,
     queue: EventQueue<ResultReady>,
     master_free_at: f64,
     master_busy: f64,
@@ -97,13 +98,13 @@ struct AsyncTransport<'a, H: MasterSlaveHooks> {
     pending_algo: Option<f64>,
 }
 
-impl<H: MasterSlaveHooks> Clock for AsyncTransport<'_, H> {
+impl<H: MasterSlaveHooks, R: Recorder + ?Sized> Clock for AsyncTransport<'_, H, R> {
     fn now(&self) -> f64 {
         self.queue.now()
     }
 }
 
-impl<H: MasterSlaveHooks> Transport for AsyncTransport<'_, H> {
+impl<H: MasterSlaveHooks, R: Recorder + ?Sized> Transport for AsyncTransport<'_, H, R> {
     fn dispatch(
         &mut self,
         worker: usize,
@@ -116,9 +117,9 @@ impl<H: MasterSlaveHooks> Transport for AsyncTransport<'_, H> {
         let ta = self.hooks.produce(worker, start);
         let tc = self.hooks.comm_time();
         let algo_start = self.pending_algo.take().unwrap_or(start);
-        self.trace
-            .record(Actor::Master, Activity::Algorithm, algo_start, start + ta);
-        self.trace.record(
+        self.rec
+            .span(Actor::Master, Activity::Algorithm, algo_start, start + ta);
+        self.rec.span(
             Actor::Master,
             Activity::Communication,
             start + ta,
@@ -128,7 +129,7 @@ impl<H: MasterSlaveHooks> Transport for AsyncTransport<'_, H> {
         self.master_busy += ta + tc;
         self.master_free_at = start_eval;
         let tf = self.hooks.evaluation_time(worker);
-        self.trace.record(
+        self.rec.span(
             Actor::Worker(worker),
             Activity::Evaluation,
             start_eval,
@@ -154,10 +155,10 @@ impl<H: MasterSlaveHooks> Transport for AsyncTransport<'_, H> {
         }
 
         let tc_in = self.hooks.comm_time();
-        self.trace
-            .record(Actor::Worker(worker), Activity::Idle, ready_at, grant);
-        self.trace
-            .record(Actor::Master, Activity::Communication, grant, grant + tc_in);
+        self.rec
+            .span(Actor::Worker(worker), Activity::Idle, ready_at, grant);
+        self.rec
+            .span(Actor::Master, Activity::Communication, grant, grant + tc_in);
         let ta_c = self.hooks.consume(worker, grant + tc_in);
         self.completed += 1;
         self.pending_algo = Some(grant + tc_in);
@@ -188,19 +189,20 @@ impl<H: MasterSlaveHooks> Transport for AsyncTransport<'_, H> {
 ///
 /// `workers` is `P − 1`; the master does not evaluate in the asynchronous
 /// topology (it is saturated with bookkeeping, matching the paper's
-/// implementation). Activity spans are recorded into `trace` when enabled.
-pub fn run_async<H: MasterSlaveHooks>(
+/// implementation). Activity spans and engine metrics are emitted through
+/// `rec`; pass [`borg_obs::NoopRecorder`] for an uninstrumented run.
+pub fn run_async<H: MasterSlaveHooks, R: Recorder + ?Sized>(
     hooks: &mut H,
     workers: usize,
     n: u64,
-    trace: &mut SpanTrace,
+    rec: &R,
 ) -> RunOutcome {
     assert!(workers >= 1, "need at least one worker");
     assert!(n >= 1, "need at least one evaluation");
 
     let mut transport = AsyncTransport {
         hooks,
-        trace,
+        rec,
         queue: EventQueue::new(),
         master_free_at: 0.0,
         master_busy: 0.0,
@@ -211,7 +213,7 @@ pub fn run_async<H: MasterSlaveHooks>(
         pending_algo: None,
     };
     let mut engine = MasterEngine::new(EngineConfig::fault_free_async(workers, n));
-    engine.seed(&mut transport);
+    engine.seed(&mut transport, rec);
 
     while let Some((ready_at, ev)) = transport.queue.pop() {
         engine.handle(
@@ -221,6 +223,7 @@ pub fn run_async<H: MasterSlaveHooks>(
                 at: ready_at,
             },
             &mut transport,
+            rec,
         );
         if engine.finished() {
             break;
@@ -232,7 +235,7 @@ pub fn run_async<H: MasterSlaveHooks>(
     );
     // The final consume has no follow-up produce: close its span here.
     if let Some(algo_start) = transport.pending_algo.take() {
-        transport.trace.record(
+        transport.rec.span(
             Actor::Master,
             Activity::Algorithm,
             algo_start,
@@ -240,6 +243,8 @@ pub fn run_async<H: MasterSlaveHooks>(
         );
     }
     let elapsed = transport.master_free_at;
+    rec.gauge("master.busy_seconds", transport.master_busy);
+    rec.gauge("master.utilization", transport.master_busy / elapsed);
     RunOutcome {
         elapsed,
         completed: engine.completed(),
@@ -259,9 +264,9 @@ pub fn run_async<H: MasterSlaveHooks>(
 /// completion order; once the whole generation is in, the batch of
 /// consumes runs in slot order — after which the engine's barrier
 /// dispatches the next generation.
-struct SyncTransport<'a, H: MasterSlaveHooks> {
+struct SyncTransport<'a, H: MasterSlaveHooks, R: Recorder + ?Sized> {
     hooks: &'a mut H,
-    trace: &'a mut SpanTrace,
+    rec: &'a R,
     queue: EventQueue<ResultReady>,
     workers: usize,
     now: f64,
@@ -269,13 +274,13 @@ struct SyncTransport<'a, H: MasterSlaveHooks> {
     arrivals_in_gen: usize,
 }
 
-impl<H: MasterSlaveHooks> Clock for SyncTransport<'_, H> {
+impl<H: MasterSlaveHooks, R: Recorder + ?Sized> Clock for SyncTransport<'_, H, R> {
     fn now(&self) -> f64 {
         self.now
     }
 }
 
-impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
+impl<H: MasterSlaveHooks, R: Recorder + ?Sized> Transport for SyncTransport<'_, H, R> {
     fn dispatch(
         &mut self,
         worker: usize,
@@ -287,9 +292,9 @@ impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
         if worker < self.workers {
             let ta = self.hooks.produce(worker, self.now);
             let tc = self.hooks.comm_time();
-            self.trace
-                .record(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
-            self.trace.record(
+            self.rec
+                .span(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
+            self.rec.span(
                 Actor::Master,
                 Activity::Communication,
                 self.now + ta,
@@ -298,7 +303,7 @@ impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
             self.master_busy += ta + tc;
             self.now += ta + tc;
             let tf = self.hooks.evaluation_time(worker);
-            self.trace.record(
+            self.rec.span(
                 Actor::Worker(worker),
                 Activity::Evaluation,
                 self.now,
@@ -310,9 +315,9 @@ impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
             // Master's own offspring (produced and evaluated locally).
             let ta = self.hooks.produce(worker, self.now);
             let tf = self.hooks.evaluation_time(worker);
-            self.trace
-                .record(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
-            self.trace.record(
+            self.rec
+                .span(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
+            self.rec.span(
                 Actor::Master,
                 Activity::Evaluation,
                 self.now + ta,
@@ -331,11 +336,11 @@ impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
             // Receive, serialized on the master, no earlier than the
             // master finishing its own evaluation.
             let start = self.now.max(ready_at);
-            self.trace
-                .record(Actor::Worker(worker), Activity::Idle, ready_at, start);
+            self.rec
+                .span(Actor::Worker(worker), Activity::Idle, ready_at, start);
             let tc = self.hooks.comm_time();
-            self.trace
-                .record(Actor::Master, Activity::Communication, start, start + tc);
+            self.rec
+                .span(Actor::Master, Activity::Communication, start, start + tc);
             self.master_busy += tc;
             self.now = start + tc;
         }
@@ -345,8 +350,8 @@ impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
             // Synchronous processing of the whole generation.
             for w in 0..=self.workers {
                 let ta = self.hooks.consume(w, self.now);
-                self.trace
-                    .record(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
+                self.rec
+                    .span(Actor::Master, Activity::Algorithm, self.now, self.now + ta);
                 self.master_busy += ta;
                 self.now += ta;
             }
@@ -378,17 +383,17 @@ impl<H: MasterSlaveHooks> Transport for SyncTransport<'_, H> {
 /// worker, evaluates one solution itself, receives results serially as
 /// they arrive, then serially processes all `P` offspring before the next
 /// generation begins (hence `T_A^sync ≈ P · T_A`).
-pub fn run_sync<H: MasterSlaveHooks>(
+pub fn run_sync<H: MasterSlaveHooks, R: Recorder + ?Sized>(
     hooks: &mut H,
     workers: usize,
     n: u64,
-    trace: &mut SpanTrace,
+    rec: &R,
 ) -> RunOutcome {
     assert!(workers >= 1);
     assert!(n >= 1);
     let mut transport = SyncTransport {
         hooks,
-        trace,
+        rec,
         queue: EventQueue::new(),
         workers,
         now: 0.0,
@@ -397,7 +402,7 @@ pub fn run_sync<H: MasterSlaveHooks>(
     };
     // Generation width = workers + the self-evaluating master.
     let mut engine = MasterEngine::new(EngineConfig::sync_generational(workers + 1, n));
-    engine.seed(&mut transport);
+    engine.seed(&mut transport, rec);
     while let Some((ready_at, ev)) = transport.queue.pop() {
         engine.handle(
             Event::ResultArrived {
@@ -406,6 +411,7 @@ pub fn run_sync<H: MasterSlaveHooks>(
                 at: ready_at,
             },
             &mut transport,
+            rec,
         );
         if engine.finished() {
             break;
@@ -416,6 +422,8 @@ pub fn run_sync<H: MasterSlaveHooks>(
         "event queue drained before N results were consumed"
     );
     let elapsed = transport.now;
+    rec.gauge("master.busy_seconds", transport.master_busy);
+    rec.gauge("master.utilization", transport.master_busy / elapsed);
     RunOutcome {
         elapsed,
         completed: engine.completed(),
@@ -497,11 +505,11 @@ enum FaultEvent {
 /// hang, straggle) and the result message's fate (deliver, drop,
 /// duplicate), turning each into first-class DES events; deadlines become
 /// [`FaultEvent::Timeout`] entries carrying the deadline fingerprint.
-struct FaultyTransport<'a, H: FaultTolerantHooks> {
+struct FaultyTransport<'a, H: FaultTolerantHooks, R: Recorder + ?Sized> {
     hooks: &'a mut H,
     plan: &'a FaultPlan,
     timeout: f64,
-    trace: &'a mut SpanTrace,
+    rec: &'a R,
     queue: EventQueue<FaultEvent>,
     master_free_at: f64,
     master_busy: f64,
@@ -509,7 +517,7 @@ struct FaultyTransport<'a, H: FaultTolerantHooks> {
     wait_max: f64,
 }
 
-impl<H: FaultTolerantHooks> FaultyTransport<'_, H> {
+impl<H: FaultTolerantHooks, R: Recorder + ?Sized> FaultyTransport<'_, H, R> {
     /// The evaluation ran to completion on the worker; decide the fate of
     /// the result message.
     fn finish_evaluation(
@@ -522,7 +530,7 @@ impl<H: FaultTolerantHooks> FaultyTransport<'_, H> {
         log: &mut FaultLog,
     ) {
         let finish = start_eval + tf;
-        self.trace.record(
+        self.rec.span(
             Actor::Worker(worker),
             Activity::Evaluation,
             start_eval,
@@ -548,13 +556,13 @@ impl<H: FaultTolerantHooks> FaultyTransport<'_, H> {
     }
 }
 
-impl<H: FaultTolerantHooks> Clock for FaultyTransport<'_, H> {
+impl<H: FaultTolerantHooks, R: Recorder + ?Sized> Clock for FaultyTransport<'_, H, R> {
     fn now(&self) -> f64 {
         self.queue.now()
     }
 }
 
-impl<H: FaultTolerantHooks> Transport for FaultyTransport<'_, H> {
+impl<H: FaultTolerantHooks, R: Recorder + ?Sized> Transport for FaultyTransport<'_, H, R> {
     fn dispatch(
         &mut self,
         worker: usize,
@@ -570,9 +578,9 @@ impl<H: FaultTolerantHooks> Transport for FaultyTransport<'_, H> {
             self.hooks.reissue(worker, eval_id, start)
         };
         let tc = self.hooks.comm_time();
-        self.trace
-            .record(Actor::Master, Activity::Algorithm, start, start + ta);
-        self.trace.record(
+        self.rec
+            .span(Actor::Master, Activity::Algorithm, start, start + ta);
+        self.rec.span(
             Actor::Master,
             Activity::Communication,
             start + ta,
@@ -633,13 +641,13 @@ impl<H: FaultTolerantHooks> Transport for FaultyTransport<'_, H> {
         let wait = grant - ready_at;
         self.wait_sum += wait;
         self.wait_max = self.wait_max.max(wait);
-        self.trace
-            .record(Actor::Worker(worker), Activity::Idle, ready_at, grant);
+        self.rec
+            .span(Actor::Worker(worker), Activity::Idle, ready_at, grant);
         let tc_in = self.hooks.comm_time();
-        self.trace
-            .record(Actor::Master, Activity::Communication, grant, grant + tc_in);
+        self.rec
+            .span(Actor::Master, Activity::Communication, grant, grant + tc_in);
         let ta = self.hooks.consume(worker, eval_id, grant + tc_in);
-        self.trace.record(
+        self.rec.span(
             Actor::Master,
             Activity::Algorithm,
             grant + tc_in,
@@ -653,8 +661,8 @@ impl<H: FaultTolerantHooks> Transport for FaultyTransport<'_, H> {
     fn absorb_duplicate(&mut self, _worker: usize, _eval_id: u64, ready_at: f64) -> f64 {
         let grant = self.master_free_at.max(ready_at);
         let tc_in = self.hooks.comm_time();
-        self.trace
-            .record(Actor::Master, Activity::Communication, grant, grant + tc_in);
+        self.rec
+            .span(Actor::Master, Activity::Communication, grant, grant + tc_in);
         self.master_busy += tc_in;
         self.master_free_at = grant + tc_in;
         self.master_free_at
@@ -664,8 +672,8 @@ impl<H: FaultTolerantHooks> Transport for FaultyTransport<'_, H> {
         let start = self.master_free_at.max(self.queue.now());
         // One round-trip of master time.
         let ping = self.hooks.comm_time() + self.hooks.comm_time();
-        self.trace
-            .record(Actor::Master, Activity::Communication, start, start + ping);
+        self.rec
+            .span(Actor::Master, Activity::Communication, start, start + ping);
         self.master_busy += ping;
         self.master_free_at = start + ping;
         (start, self.master_free_at)
@@ -689,39 +697,39 @@ impl<H: FaultTolerantHooks> Transport for FaultyTransport<'_, H> {
 /// [`MasterEngine`]. With a quiet plan this engine follows the same event
 /// structure as [`run_async`] (timeouts never fire as long as
 /// `policy.timeout` exceeds the worst evaluation time).
-pub fn run_async_faulty<H: FaultTolerantHooks>(
+pub fn run_async_faulty<H: FaultTolerantHooks, R: Recorder + ?Sized>(
     hooks: &mut H,
     workers: usize,
     n: u64,
     plan: &FaultPlan,
     policy: RecoveryPolicy,
-    trace: &mut SpanTrace,
+    rec: &R,
 ) -> FaultyRunOutcome {
-    run_async_faulty_inner(hooks, workers, n, plan, policy, trace, false).0
+    run_async_faulty_inner(hooks, workers, n, plan, policy, rec, false).0
 }
 
 /// [`run_async_faulty`] with the engine's command trace enabled: also
 /// returns every protocol [`Command`] in decision order. The trace is the
 /// executor-independent transcript the differential equivalence tests
 /// compare across adapters.
-pub fn run_async_faulty_traced<H: FaultTolerantHooks>(
+pub fn run_async_faulty_traced<H: FaultTolerantHooks, R: Recorder + ?Sized>(
     hooks: &mut H,
     workers: usize,
     n: u64,
     plan: &FaultPlan,
     policy: RecoveryPolicy,
-    trace: &mut SpanTrace,
+    rec: &R,
 ) -> (FaultyRunOutcome, Vec<Command>) {
-    run_async_faulty_inner(hooks, workers, n, plan, policy, trace, true)
+    run_async_faulty_inner(hooks, workers, n, plan, policy, rec, true)
 }
 
-fn run_async_faulty_inner<H: FaultTolerantHooks>(
+fn run_async_faulty_inner<H: FaultTolerantHooks, R: Recorder + ?Sized>(
     hooks: &mut H,
     workers: usize,
     n: u64,
     plan: &FaultPlan,
     policy: RecoveryPolicy,
-    trace: &mut SpanTrace,
+    rec: &R,
     record_commands: bool,
 ) -> (FaultyRunOutcome, Vec<Command>) {
     assert!(workers >= 1, "need at least one worker");
@@ -744,7 +752,7 @@ fn run_async_faulty_inner<H: FaultTolerantHooks>(
         hooks,
         plan,
         timeout: policy.timeout,
-        trace,
+        rec,
         queue: EventQueue::new(),
         master_free_at: 0.0,
         master_busy: 0.0,
@@ -755,7 +763,7 @@ fn run_async_faulty_inner<H: FaultTolerantHooks>(
     if record_commands {
         engine.record_commands();
     }
-    engine.seed(&mut transport);
+    engine.seed(&mut transport, rec);
 
     while let Some((at, ev)) = transport.queue.pop() {
         let event = match ev {
@@ -791,7 +799,7 @@ fn run_async_faulty_inner<H: FaultTolerantHooks>(
             FaultEvent::Heartbeat => Event::HeartbeatTick { at },
             FaultEvent::Respawn { worker } => Event::WorkerRespawned { worker, at },
         };
-        engine.handle(event, &mut transport);
+        engine.handle(event, &mut transport, rec);
         if engine.finished() {
             break;
         }
@@ -812,6 +820,8 @@ fn run_async_faulty_inner<H: FaultTolerantHooks>(
     let mut log = engine.into_log();
     log.finalize(end);
     let elapsed = if end > 0.0 { end } else { f64::MIN_POSITIVE };
+    rec.gauge("master.busy_seconds", master_busy);
+    rec.gauge("master.utilization", master_busy / elapsed);
     let outcome = FaultyRunOutcome {
         outcome: RunOutcome {
             elapsed: end,
@@ -832,6 +842,7 @@ fn run_async_faulty_inner<H: FaultTolerantHooks>(
 mod tests {
     use super::*;
     use crate::analytical::{async_parallel_time, TimingParams};
+    use borg_obs::{InMemoryRecorder, NoopRecorder};
 
     /// Constant-time hooks matching the analytical model's assumptions.
     struct ConstHooks {
@@ -862,8 +873,7 @@ mod tests {
         let t = TimingParams::new(0.01, 0.000_006, 0.000_03);
         let n = 20_000;
         let mut hooks = ConstHooks { t };
-        let mut trace = SpanTrace::disabled();
-        let out = run_async(&mut hooks, 16, n, &mut trace);
+        let out = run_async(&mut hooks, 16, n, &NoopRecorder);
         let predicted = async_parallel_time(n, 17, t);
         let err = (out.elapsed - predicted).abs() / predicted;
         assert!(
@@ -891,8 +901,7 @@ mod tests {
         let t = TimingParams::new(0.000_1, 0.000_006, 0.000_03);
         let n = 10_000;
         let mut hooks = ConstHooks { t };
-        let mut trace = SpanTrace::disabled();
-        let out = run_async(&mut hooks, 511, n, &mut trace);
+        let out = run_async(&mut hooks, 511, n, &NoopRecorder);
         let saturated = n as f64 * (2.0 * t.t_c + t.t_a);
         assert!(
             (out.elapsed - saturated).abs() / saturated < 0.05,
@@ -918,7 +927,7 @@ mod tests {
             .iter()
             .map(|&w| {
                 let mut hooks = ConstHooks { t };
-                run_async(&mut hooks, w, n, &mut SpanTrace::disabled()).elapsed
+                run_async(&mut hooks, w, n, &NoopRecorder).elapsed
             })
             .collect();
         assert!(
@@ -942,7 +951,7 @@ mod tests {
         for workers in [7usize, 31] {
             let p = workers + 1;
             let mut hooks = ConstHooks { t };
-            let out = run_sync(&mut hooks, workers, n, &mut SpanTrace::disabled());
+            let out = run_sync(&mut hooks, workers, n, &NoopRecorder);
             let predicted = crate::analytical::sync_parallel_time(n, p as u32, t);
             let ratio = out.elapsed / predicted;
             assert!(
@@ -989,12 +998,10 @@ mod tests {
             t,
             rng: SplitMix64::new(seed).derive("noisy"),
         };
-        let sync_low = run_sync(&mut make(1, 0.05), workers, n, &mut SpanTrace::disabled()).elapsed;
-        let sync_high = run_sync(&mut make(1, 1.0), workers, n, &mut SpanTrace::disabled()).elapsed;
-        let async_low =
-            run_async(&mut make(2, 0.05), workers, n, &mut SpanTrace::disabled()).elapsed;
-        let async_high =
-            run_async(&mut make(2, 1.0), workers, n, &mut SpanTrace::disabled()).elapsed;
+        let sync_low = run_sync(&mut make(1, 0.05), workers, n, &NoopRecorder).elapsed;
+        let sync_high = run_sync(&mut make(1, 1.0), workers, n, &NoopRecorder).elapsed;
+        let async_low = run_async(&mut make(2, 0.05), workers, n, &NoopRecorder).elapsed;
+        let async_high = run_async(&mut make(2, 1.0), workers, n, &NoopRecorder).elapsed;
         let sync_penalty = sync_high / sync_low;
         let async_penalty = async_high / async_low;
         assert!(
@@ -1011,21 +1018,28 @@ mod tests {
     fn trace_records_all_activity_kinds() {
         let t = TimingParams::new(0.001, 0.000_1, 0.000_2);
         let mut hooks = ConstHooks { t };
-        let mut trace = SpanTrace::new();
-        run_async(&mut hooks, 3, 20, &mut trace);
+        let rec = InMemoryRecorder::new();
+        run_async(&mut hooks, 3, 20, &rec);
+        let trace = rec.span_trace();
         let spans = trace.spans();
         assert!(spans.iter().any(|s| s.activity == Activity::Evaluation));
         assert!(spans.iter().any(|s| s.activity == Activity::Communication));
         assert!(spans.iter().any(|s| s.activity == Activity::Algorithm));
         assert!(spans.iter().any(|s| matches!(s.actor, Actor::Worker(_))));
         assert!(spans.iter().any(|s| s.actor == Actor::Master));
+        // The recorder also derives the paper's timing histograms.
+        let snap = rec.snapshot();
+        assert!(snap.histograms["t_f_seconds"].count() >= 20);
+        assert!(snap.histograms["t_c_seconds"].count() > 0);
+        assert!(snap.histograms["t_a_seconds"].count() > 0);
+        assert!(snap.gauges.contains_key("master.utilization"));
     }
 
     #[test]
     fn deterministic_given_same_hooks() {
         let t = TimingParams::new(0.005, 0.000_01, 0.000_05);
-        let a = run_async(&mut ConstHooks { t }, 9, 500, &mut SpanTrace::disabled());
-        let b = run_async(&mut ConstHooks { t }, 9, 500, &mut SpanTrace::disabled());
+        let a = run_async(&mut ConstHooks { t }, 9, 500, &NoopRecorder);
+        let b = run_async(&mut ConstHooks { t }, 9, 500, &NoopRecorder);
         assert_eq!(a, b);
     }
 
@@ -1062,14 +1076,14 @@ mod tests {
         let t = TimingParams::new(0.01, 0.000_006, 0.000_03);
         let n = 5_000;
         let plan = FaultPlan::new(FaultConfig::default(), 16, n, 77);
-        let base = run_async(&mut ConstHooks { t }, 16, n, &mut SpanTrace::disabled());
+        let base = run_async(&mut ConstHooks { t }, 16, n, &NoopRecorder);
         let faulty = run_async_faulty(
             &mut ConstFtHooks { t },
             16,
             n,
             &plan,
             ft_policy(t),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
         assert_eq!(faulty.outcome.completed, n);
         assert_eq!(faulty.fault_log.injected(), 0);
@@ -1105,7 +1119,7 @@ mod tests {
             n,
             &plan,
             ft_policy(t),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
         assert_eq!(out.outcome.completed, n);
         assert!(out.fault_log.injected() > 0);
@@ -1134,7 +1148,7 @@ mod tests {
             n,
             &plan,
             ft_policy(t),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
         // No deadlock, no panic: the run ends early with what it had.
         assert!(out.outcome.completed < n);
@@ -1163,7 +1177,7 @@ mod tests {
             n,
             &plan,
             ft_policy(t),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
         assert_eq!(out.outcome.completed, n);
         assert_eq!(out.fault_log.respawns, 4);
@@ -1191,7 +1205,7 @@ mod tests {
                 n,
                 &plan,
                 ft_policy(t),
-                &mut SpanTrace::disabled(),
+                &NoopRecorder,
             )
         };
         let a = run();
@@ -1217,7 +1231,7 @@ mod tests {
             n,
             &plan,
             ft_policy(t),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
         // Hang points are drawn over ~100k/6 dispatches; with n = 800 most
         // workers hang late enough that the budget completes first — the
@@ -1244,7 +1258,7 @@ mod tests {
             n,
             &plan,
             ft_policy(t),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
         assert!(!commands.is_empty());
         // The command trace and the ledger agree on every counter.
@@ -1275,7 +1289,7 @@ mod tests {
             n,
             &plan,
             ft_policy(t),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
         assert_eq!(untraced, out);
     }

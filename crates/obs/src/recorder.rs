@@ -1,0 +1,265 @@
+//! The [`Recorder`] facade and its two sinks.
+//!
+//! Instrumented code (the protocol engine, all three executors) takes
+//! `rec: &R` with `R: Recorder + ?Sized` and calls the facade
+//! unconditionally; the sink decides what happens. [`NoopRecorder`]'s
+//! methods are the trait's empty defaults, so with it the hooks
+//! monomorphize to nothing — observation is free unless requested.
+//! [`InMemoryRecorder`] is the concurrent collecting sink.
+//!
+//! The facade is deliberately *read-only with respect to the experiment*:
+//! recorders receive values, never influence control flow, RNG draws or
+//! event ordering — the determinism gate (`cargo xtask check
+//! --determinism`) verifies a run with the in-memory sink attached is
+//! bit-identical to one with the no-op sink.
+
+use crate::hist::Histogram;
+use crate::span::{Activity, Actor, Span, SpanTrace};
+use std::collections::BTreeMap;
+
+/// The instrumentation facade: counters, gauges, histograms, spans.
+///
+/// All methods take `&self` so one recorder can be shared by a master
+/// loop and its transports; every method has an empty default body.
+pub trait Recorder {
+    /// Whether this sink keeps anything (lets callers skip building
+    /// expensive labels; the hooks themselves need no gating).
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    fn gauge(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records `value` into the named log-bucketed histogram.
+    fn observe(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one activity span. Implementations also feed the span's
+    /// duration into the activity's histogram (see
+    /// [`Activity::metric_name`]) so `T_F`/`T_C`/`T_A` distributions fall
+    /// out of tracing for free.
+    fn span(&self, actor: Actor, activity: Activity, start: f64, end: f64) {
+        let _ = (actor, activity, start, end);
+    }
+}
+
+/// The default sink: every hook is the trait's empty default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A point-in-time copy of an [`InMemoryRecorder`]'s metric state.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauges by name (last written value).
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Log-bucketed histograms by name.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: Vec<Span>,
+    dropped_spans: u64,
+}
+
+/// The collecting sink: concurrent (`&self`, internally mutex-guarded)
+/// and deterministic (pure accumulation, no clock or RNG access).
+///
+/// Zero-dependency by design, so the guard is `std::sync::Mutex` rather
+/// than the workspace-standard `parking_lot` (poisoning is neutralised by
+/// taking the data from a poisoned lock — all stored state is valid at
+/// every instruction boundary).
+pub struct InMemoryRecorder {
+    // borg-lint: allow(BORG-L004)
+    inner: std::sync::Mutex<Store>,
+    span_limit: usize,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    /// A recorder keeping everything, including every span.
+    pub fn new() -> Self {
+        Self::with_span_limit(usize::MAX)
+    }
+
+    /// A recorder that keeps metrics (counters, gauges, histograms —
+    /// including the per-activity duration histograms derived from spans)
+    /// but stores no span list. Use for long sweeps where a full timeline
+    /// would be unbounded memory.
+    pub fn metrics_only() -> Self {
+        Self::with_span_limit(0)
+    }
+
+    /// A recorder storing at most `limit` spans; further spans still feed
+    /// the duration histograms and are counted as dropped.
+    pub fn with_span_limit(limit: usize) -> Self {
+        InMemoryRecorder {
+            // borg-lint: allow(BORG-L004)
+            inner: std::sync::Mutex::new(Store::default()),
+            span_limit: limit,
+        }
+    }
+
+    fn store(&self) -> std::sync::MutexGuard<'_, Store> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Copies out the current metric state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.store();
+        MetricsSnapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s.histograms.clone(),
+        }
+    }
+
+    /// Copies the stored spans into a renderable [`SpanTrace`].
+    pub fn span_trace(&self) -> SpanTrace {
+        SpanTrace::from_spans(self.store().spans.clone())
+    }
+
+    /// Moves the stored spans out (the recorder keeps collecting after).
+    pub fn take_spans(&self) -> Vec<Span> {
+        std::mem::take(&mut self.store().spans)
+    }
+
+    /// Spans discarded because of the span limit.
+    pub fn dropped_spans(&self) -> u64 {
+        self.store().dropped_spans
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        *self.store().counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.store().gauges.insert(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        self.store()
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    fn span(&self, actor: Actor, activity: Activity, start: f64, end: f64) {
+        debug_assert!(end >= start, "span ends before it starts");
+        if end <= start {
+            return; // zero-length spans carry no time; drop like SpanTrace
+        }
+        let mut s = self.store();
+        s.histograms
+            .entry(activity.metric_name())
+            .or_default()
+            .record(end - start);
+        if s.spans.len() < self.span_limit {
+            s.spans.push(Span {
+                actor,
+                activity,
+                start,
+                end,
+            });
+        } else {
+            s.dropped_spans += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.counter("x", 1);
+        rec.gauge("y", 2.0);
+        rec.observe("z", 3.0);
+        rec.span(Actor::Master, Activity::Algorithm, 0.0, 1.0);
+    }
+
+    #[test]
+    fn in_memory_recorder_accumulates_everything() {
+        let rec = InMemoryRecorder::new();
+        rec.counter("engine.reissues", 2);
+        rec.counter("engine.reissues", 3);
+        rec.gauge("master.utilization", 0.5);
+        rec.gauge("master.utilization", 0.9);
+        rec.observe("engine.deadline_slack_seconds", 0.25);
+        rec.span(Actor::Worker(1), Activity::Evaluation, 1.0, 1.5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["engine.reissues"], 5);
+        assert_eq!(snap.gauges["master.utilization"], 0.9);
+        assert_eq!(snap.histograms["engine.deadline_slack_seconds"].count(), 1);
+        // The span fed both the span list and the t_f histogram.
+        assert_eq!(snap.histograms["t_f_seconds"].count(), 1);
+        assert_eq!(rec.span_trace().spans().len(), 1);
+    }
+
+    #[test]
+    fn span_limit_keeps_histograms_but_drops_spans() {
+        let rec = InMemoryRecorder::metrics_only();
+        for i in 0..10 {
+            rec.span(Actor::Master, Activity::Algorithm, i as f64, i as f64 + 0.5);
+        }
+        assert_eq!(rec.span_trace().spans().len(), 0);
+        assert_eq!(rec.dropped_spans(), 10);
+        assert_eq!(rec.snapshot().histograms["t_a_seconds"].count(), 10);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = InMemoryRecorder::new();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        rec.counter("hits", 1);
+                        rec.span(
+                            Actor::Worker(w),
+                            Activity::Evaluation,
+                            i as f64,
+                            i as f64 + 1.0,
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counters["hits"], 400);
+        assert_eq!(rec.span_trace().spans().len(), 400);
+    }
+}

@@ -1,0 +1,338 @@
+//! Activity-span vocabulary for timeline diagrams (Figures 1 and 2).
+//!
+//! The paper's Figures 1–2 are Gantt-style timelines of the master and
+//! worker nodes showing communication (`T_C`), algorithm (`T_A`),
+//! evaluation (`T_F`) and idle periods. Executors emit [`Span`]s through a
+//! [`crate::Recorder`]; the experiment harness renders a collected
+//! [`SpanTrace`] as CSV, as an ASCII Gantt chart, or as Chrome-trace JSON
+//! via [`crate::export`].
+//!
+//! Times are plain `f64` seconds — virtual (DES / virtual-time executors)
+//! or wall-clock (real threads); the vocabulary does not care which.
+
+/// Who performed an activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Actor {
+    /// The master node.
+    Master,
+    /// Worker node `i` (0-based).
+    Worker(usize),
+}
+
+impl std::fmt::Display for Actor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Actor::Master => write!(f, "master"),
+            Actor::Worker(i) => write!(f, "worker{i}"),
+        }
+    }
+}
+
+/// What kind of work a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Message transfer (`T_C`).
+    Communication,
+    /// Master-side algorithm work (`T_A`).
+    Algorithm,
+    /// Objective function evaluation (`T_F`).
+    Evaluation,
+    /// Waiting (explicit idle spans are optional; gaps read as idle too).
+    Idle,
+}
+
+impl Activity {
+    /// One-character glyph for the ASCII Gantt rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            Activity::Communication => 'C',
+            Activity::Algorithm => 'A',
+            Activity::Evaluation => 'F',
+            Activity::Idle => '.',
+        }
+    }
+
+    /// The empirical-distribution histogram this activity's durations feed
+    /// (the paper's `T_C` / `T_A` / `T_F` plus explicit idle time).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Activity::Communication => "t_c_seconds",
+            Activity::Algorithm => "t_a_seconds",
+            Activity::Evaluation => "t_f_seconds",
+            Activity::Idle => "idle_seconds",
+        }
+    }
+
+    /// Lowercase label used for Chrome-trace event names/categories.
+    pub fn trace_name(self) -> &'static str {
+        match self {
+            Activity::Communication => "communication",
+            Activity::Algorithm => "algorithm",
+            Activity::Evaluation => "evaluation",
+            Activity::Idle => "idle",
+        }
+    }
+}
+
+/// One contiguous activity of one actor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Performing actor.
+    pub actor: Actor,
+    /// Activity kind.
+    pub activity: Activity,
+    /// Start time (inclusive), seconds.
+    pub start: f64,
+    /// End time (exclusive), seconds.
+    pub end: f64,
+}
+
+/// A recorded collection of spans.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTrace {
+    spans: Vec<Span>,
+    enabled: bool,
+}
+
+impl SpanTrace {
+    /// Creates an enabled trace.
+    pub fn new() -> Self {
+        Self {
+            spans: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace (recording is a no-op; prefer passing
+    /// [`crate::NoopRecorder`] to executors instead).
+    pub fn disabled() -> Self {
+        Self {
+            spans: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// An enabled trace over pre-collected spans (e.g. drained from an
+    /// [`crate::InMemoryRecorder`]).
+    pub fn from_spans(spans: Vec<Span>) -> Self {
+        Self {
+            spans,
+            enabled: true,
+        }
+    }
+
+    /// Records a span (no-op when disabled; zero-length spans are dropped).
+    pub fn record(&mut self, actor: Actor, activity: Activity, start: f64, end: f64) {
+        debug_assert!(end >= start, "span ends before it starts");
+        if self.enabled && end > start {
+            self.spans.push(Span {
+                actor,
+                activity,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// All recorded spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// End time of the latest span (0 when empty).
+    pub fn horizon(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Renders the trace as CSV (`actor,activity,start,end`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("actor,activity,start,end\n");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{},{:?},{:.9},{:.9}\n",
+                s.actor, s.activity, s.start, s.end
+            ));
+        }
+        out
+    }
+
+    /// Renders an ASCII Gantt chart with `width` time columns, one row per
+    /// actor (masters first). Glyphs: `C` communication, `A` algorithm,
+    /// `F` evaluation, `.` idle.
+    pub fn to_ascii(&self, width: usize) -> String {
+        assert!(width >= 2);
+        let horizon = self.horizon();
+        if horizon <= 0.0 {
+            return String::new();
+        }
+        let mut actors: Vec<Actor> = self.spans.iter().map(|s| s.actor).collect();
+        actors.sort();
+        actors.dedup();
+        let label_w = actors
+            .iter()
+            .map(|a| a.to_string().len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for actor in actors {
+            let mut row = vec!['.'; width];
+            for s in self.spans.iter().filter(|s| s.actor == actor) {
+                let a = ((s.start / horizon) * width as f64).floor() as usize;
+                let b = (((s.end / horizon) * width as f64).ceil() as usize).min(width);
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    *c = s.activity.glyph();
+                }
+            }
+            out.push_str(&format!(
+                "{:<label_w$} |{}|\n",
+                actor.to_string(),
+                row.into_iter().collect::<String>()
+            ));
+        }
+        out
+    }
+}
+
+/// Per-actor open/close span stacks for instrumenting code that does not
+/// know span end times up front. `open` pushes a frame; `close` pops the
+/// innermost frame and emits it to a [`crate::Recorder`]. Frames close
+/// LIFO per actor, so emitted spans are always well-nested: two spans of
+/// one actor are either disjoint or one contains the other.
+#[derive(Debug, Default)]
+pub struct SpanTracker {
+    stacks: std::collections::BTreeMap<Actor, Vec<(Activity, f64)>>,
+}
+
+impl SpanTracker {
+    /// A tracker with no open frames.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a frame for `actor` at time `at`.
+    pub fn open(&mut self, actor: Actor, activity: Activity, at: f64) {
+        self.stacks.entry(actor).or_default().push((activity, at));
+    }
+
+    /// Closes `actor`'s innermost frame at time `at`, emitting the span to
+    /// `rec`; returns the span, or `None` when no frame is open. A close
+    /// time earlier than the open time is clamped to the open time.
+    pub fn close<R: crate::Recorder + ?Sized>(
+        &mut self,
+        actor: Actor,
+        at: f64,
+        rec: &R,
+    ) -> Option<Span> {
+        let (activity, start) = self.stacks.get_mut(&actor)?.pop()?;
+        let end = at.max(start);
+        rec.span(actor, activity, start, end);
+        Some(Span {
+            actor,
+            activity,
+            start,
+            end,
+        })
+    }
+
+    /// Closes every open frame of every actor at time `at`, innermost
+    /// first, emitting each to `rec`.
+    pub fn close_all<R: crate::Recorder + ?Sized>(&mut self, at: f64, rec: &R) {
+        let actors: Vec<Actor> = self.stacks.keys().copied().collect();
+        for actor in actors {
+            while self.close(actor, at, rec).is_some() {}
+        }
+    }
+
+    /// Open-frame depth for `actor`.
+    pub fn depth(&self, actor: Actor) -> usize {
+        self.stacks.get(&actor).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_horizon() {
+        let mut t = SpanTrace::new();
+        t.record(Actor::Master, Activity::Algorithm, 0.0, 1.0);
+        t.record(Actor::Worker(0), Activity::Evaluation, 1.0, 4.0);
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.horizon(), 4.0);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = SpanTrace::disabled();
+        t.record(Actor::Master, Activity::Algorithm, 0.0, 1.0);
+        assert!(t.spans().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn zero_length_spans_dropped() {
+        let mut t = SpanTrace::new();
+        t.record(Actor::Master, Activity::Communication, 1.0, 1.0);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = SpanTrace::new();
+        t.record(Actor::Worker(3), Activity::Evaluation, 0.5, 2.5);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "actor,activity,start,end");
+        assert!(lines[1].starts_with("worker3,Evaluation,0.5"));
+    }
+
+    #[test]
+    fn ascii_chart_shows_glyphs_per_actor() {
+        let mut t = SpanTrace::new();
+        t.record(Actor::Master, Activity::Algorithm, 0.0, 5.0);
+        t.record(Actor::Master, Activity::Communication, 5.0, 10.0);
+        t.record(Actor::Worker(0), Activity::Evaluation, 0.0, 10.0);
+        let chart = t.to_ascii(10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("master"));
+        assert!(lines[0].contains('A') && lines[0].contains('C'));
+        assert!(lines[1].contains("worker0"));
+        assert!(lines[1].matches('F').count() == 10);
+    }
+
+    #[test]
+    fn actors_sort_master_first() {
+        let mut t = SpanTrace::new();
+        t.record(Actor::Worker(1), Activity::Evaluation, 0.0, 1.0);
+        t.record(Actor::Master, Activity::Algorithm, 0.0, 1.0);
+        t.record(Actor::Worker(0), Activity::Evaluation, 0.0, 1.0);
+        let chart = t.to_ascii(4);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].starts_with("master"));
+        assert!(lines[1].starts_with("worker0"));
+        assert!(lines[2].starts_with("worker1"));
+    }
+
+    #[test]
+    fn tracker_closes_lifo_and_clamps() {
+        let rec = crate::InMemoryRecorder::new();
+        let mut tk = SpanTracker::new();
+        tk.open(Actor::Master, Activity::Algorithm, 0.0);
+        tk.open(Actor::Master, Activity::Communication, 1.0);
+        let inner = tk.close(Actor::Master, 2.0, &rec).unwrap();
+        assert_eq!(inner.activity, Activity::Communication);
+        // Closing before the open time clamps instead of going negative.
+        let outer = tk.close(Actor::Master, -1.0, &rec).unwrap();
+        assert_eq!(outer.activity, Activity::Algorithm);
+        assert_eq!(outer.end, outer.start);
+        assert!(tk.close(Actor::Master, 3.0, &rec).is_none());
+        assert_eq!(rec.span_trace().spans().len(), 1); // zero-length dropped
+    }
+}

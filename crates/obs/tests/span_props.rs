@@ -1,0 +1,130 @@
+//! Property tests for [`SpanTracker`]: spans emitted by arbitrary
+//! open/close sequences are well-formed (end ≥ start), well-nested per
+//! actor (any two spans of one actor are disjoint or one contains the
+//! other), and the in-memory sink agrees with the tracker about exactly
+//! which spans were emitted.
+
+use borg_obs::span::{Activity, Actor, Span, SpanTracker};
+use borg_obs::InMemoryRecorder;
+use proptest::prelude::*;
+
+const ACTIVITIES: [Activity; 4] = [
+    Activity::Algorithm,
+    Activity::Communication,
+    Activity::Evaluation,
+    Activity::Idle,
+];
+
+const ACTORS: usize = 4;
+
+fn actor(idx: usize) -> Actor {
+    if idx == 0 {
+        Actor::Master
+    } else {
+        Actor::Worker(idx - 1)
+    }
+}
+
+fn contains(outer: &Span, inner: &Span) -> bool {
+    outer.start <= inner.start && inner.end <= outer.end
+}
+
+fn disjoint(a: &Span, b: &Span) -> bool {
+    a.end <= b.start || b.end <= a.start
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tracker_output_is_well_formed_and_well_nested(
+        // (actor, op, time step): op 0..4 opens that activity, 4..6 closes
+        // (biased toward opens so stacks actually grow); dt 0 exercises
+        // zero-length spans and same-instant nesting boundaries.
+        ops in prop::collection::vec((0usize..ACTORS, 0usize..6, 0u32..50), 1..200)
+    ) {
+        let rec = InMemoryRecorder::new();
+        let mut tk = SpanTracker::new();
+        let mut now = 0.0f64;
+        let mut emitted: Vec<Span> = Vec::new();
+        for &(a, op, dt) in &ops {
+            now += f64::from(dt) * 1e-3;
+            if op < ACTIVITIES.len() {
+                tk.open(actor(a), ACTIVITIES[op], now);
+            } else if let Some(span) = tk.close(actor(a), now, &rec) {
+                emitted.push(span);
+            }
+        }
+        // Drain every stack, innermost first, and verify all depths hit 0.
+        for a in 0..ACTORS {
+            while let Some(span) = tk.close(actor(a), now, &rec) {
+                emitted.push(span);
+            }
+            prop_assert_eq!(tk.depth(actor(a)), 0);
+        }
+
+        for s in &emitted {
+            prop_assert!(s.end >= s.start, "span ends before it starts: {s:?}");
+            prop_assert!(s.end <= now, "span outlives the clock: {s:?}");
+        }
+        // Well-nested per actor: LIFO closes over a monotone clock can
+        // never produce partially overlapping spans of one actor.
+        for (i, a) in emitted.iter().enumerate() {
+            for b in emitted.iter().skip(i + 1) {
+                if a.actor != b.actor {
+                    continue;
+                }
+                prop_assert!(
+                    disjoint(a, b) || contains(a, b) || contains(b, a),
+                    "partial overlap between {a:?} and {b:?}"
+                );
+            }
+        }
+        // Sink agreement: the recorder stored exactly the positive-length
+        // emissions, and their durations all landed in histograms.
+        let positive = emitted.iter().filter(|s| s.end > s.start).count();
+        prop_assert_eq!(rec.span_trace().spans().len(), positive);
+        let snap = rec.snapshot();
+        let hist_total: u64 = ACTIVITIES
+            .iter()
+            .filter_map(|act| snap.histograms.get(act.metric_name()))
+            .map(|h| h.count())
+            .sum();
+        prop_assert_eq!(hist_total, positive as u64);
+    }
+
+    #[test]
+    fn close_is_lifo_per_actor(
+        depth in 1usize..12,
+        steps in prop::collection::vec(1u32..10, 12)
+    ) {
+        // Open `depth` frames on one actor at strictly increasing times,
+        // then close them all: spans must come back innermost-first, each
+        // containing the previous (earlier start, later-or-equal end).
+        let rec = InMemoryRecorder::new();
+        let mut tk = SpanTracker::new();
+        let mut now = 0.0f64;
+        let mut opened = Vec::new();
+        for (i, &dt) in steps.iter().take(depth).enumerate() {
+            now += f64::from(dt) * 1e-3;
+            let activity = ACTIVITIES[i % ACTIVITIES.len()];
+            tk.open(Actor::Master, activity, now);
+            opened.push((activity, now));
+        }
+        now += 1.0;
+        let mut prev: Option<Span> = None;
+        for expected in opened.iter().rev() {
+            let span = tk.close(Actor::Master, now, &rec).expect("frame open");
+            prop_assert_eq!(span.activity, expected.0);
+            prop_assert_eq!(span.start, expected.1);
+            if let Some(p) = &prev {
+                prop_assert!(
+                    span.start <= p.start && p.end <= span.end,
+                    "outer span {span:?} does not contain inner {p:?}"
+                );
+            }
+            prev = Some(span);
+        }
+        prop_assert!(tk.close(Actor::Master, now, &rec).is_none());
+    }
+}

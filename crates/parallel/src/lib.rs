@@ -15,8 +15,8 @@
 //!
 //! ```
 //! use borg_core::algorithm::BorgConfig;
-//! use borg_desim::trace::SpanTrace;
 //! use borg_models::dist::Dist;
+//! use borg_obs::NoopRecorder;
 //! use borg_parallel::prelude::*;
 //! use borg_problems::dtlz::{Dtlz, DtlzVariant};
 //!
@@ -34,7 +34,7 @@
 //!     &problem,
 //!     BorgConfig::new(3, 0.05),
 //!     &cfg,
-//!     &mut SpanTrace::disabled(),
+//!     &NoopRecorder,
 //!     |_, _| {},
 //! );
 //! assert_eq!(run.engine.nfe(), 2_000);
@@ -57,8 +57,8 @@ pub mod prelude {
     pub use crate::islands::{run_islands, IslandConfig, IslandRunResult};
     pub use crate::sync_nsga2::{run_virtual_sync_nsga2, SyncNsga2Config, SyncNsga2Result};
     pub use crate::threads::{
-        estimate_comm_time, run_threaded, run_threaded_traced, ThreadedConfig, ThreadedError,
-        ThreadedRunResult,
+        estimate_comm_time, run_threaded, run_threaded_observed, run_threaded_traced,
+        ThreadedConfig, ThreadedError, ThreadedRunResult,
     };
     pub use crate::virtual_exec::{
         default_recovery_policy, fault_plan_for, run_virtual_async, run_virtual_async_faulty,

@@ -12,7 +12,9 @@ use borg_core::algorithm::{BorgConfig, BorgEngine, Candidate};
 use borg_core::problem::Problem;
 use borg_core::rng::SplitMix64;
 use borg_desim::fault::{DispatchFate, FaultConfig, FaultKind, FaultLog, FaultPlan, MessageFate};
+use borg_desim::trace::{Activity, Actor};
 use borg_models::dist::Dist;
+use borg_obs::{NoopRecorder, Recorder};
 use borg_protocol::{Clock, Command, EngineConfig, Event, MasterEngine, RecoveryPolicy, Transport};
 use crossbeam::channel;
 use std::collections::HashMap;
@@ -190,8 +192,9 @@ const MAX_REISSUES: u32 = 32;
 /// [`MasterEngine`]'s decisions on the crossbeam channels in wall-clock
 /// time, measures `T_A`/`T_F`, and latches pool failures for the master
 /// loop to surface as [`ThreadedError`]s.
-struct ThreadedTransport<'a> {
+struct ThreadedTransport<'a, R: Recorder + ?Sized> {
     engine: &'a mut BorgEngine,
+    rec: &'a R,
     work_tx: &'a channel::Sender<WorkItem>,
     start: Instant,
     /// Master-side reissue deadline, if any (`None` disables deadlines).
@@ -211,7 +214,7 @@ struct ThreadedTransport<'a> {
     error: Option<ThreadedError>,
 }
 
-impl ThreadedTransport<'_> {
+impl<R: Recorder + ?Sized> ThreadedTransport<'_, R> {
     /// Close the open `T_A` sample, if any (after each handled event).
     fn flush_ta(&mut self) {
         if let Some(ta) = self.pending_ta.take() {
@@ -220,13 +223,13 @@ impl ThreadedTransport<'_> {
     }
 }
 
-impl Clock for ThreadedTransport<'_> {
+impl<R: Recorder + ?Sized> Clock for ThreadedTransport<'_, R> {
     fn now(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
     }
 }
 
-impl Transport for ThreadedTransport<'_> {
+impl<R: Recorder + ?Sized> Transport for ThreadedTransport<'_, R> {
     fn dispatch(
         &mut self,
         _worker: usize,
@@ -239,9 +242,12 @@ impl Transport for ThreadedTransport<'_> {
             return f64::INFINITY;
         }
         let variables = if attempt == 0 {
+            let began = self.now();
             let t0 = Instant::now();
             let cand = self.engine.produce();
             let ta = t0.elapsed().as_secs_f64();
+            self.rec
+                .span(Actor::Master, Activity::Algorithm, began, began + ta);
             // Seed-time produces stand alone; a produce ordered after a
             // consume extends that interaction's open sample.
             match self.pending_ta.as_mut() {
@@ -285,12 +291,16 @@ impl Transport for ThreadedTransport<'_> {
             return self.now();
         };
         self.tf_samples.push(result.eval_seconds);
+        let began = self.now();
         let t0 = Instant::now();
         let sol = self
             .engine
             .make_solution(cand, result.objectives, result.constraints);
         self.engine.consume(sol);
-        self.pending_ta = Some(t0.elapsed().as_secs_f64());
+        let ta = t0.elapsed().as_secs_f64();
+        self.rec
+            .span(Actor::Master, Activity::Algorithm, began, began + ta);
+        self.pending_ta = Some(ta);
         self.now()
     }
 
@@ -324,7 +334,10 @@ impl Transport for ThreadedTransport<'_> {
 }
 
 /// Surface a transport-latched failure, filling in the live counts.
-fn surface(t: &mut ThreadedTransport<'_>, proto: &MasterEngine) -> Result<(), ThreadedError> {
+fn surface<R: Recorder + ?Sized>(
+    t: &mut ThreadedTransport<'_, R>,
+    proto: &MasterEngine,
+) -> Result<(), ThreadedError> {
     match t.error.take() {
         None => Ok(()),
         Some(ThreadedError::WorkersDisconnected { .. }) => {
@@ -361,7 +374,24 @@ pub fn run_threaded<P: Problem + ?Sized>(
     borg: BorgConfig,
     config: &ThreadedConfig,
 ) -> Result<ThreadedRunResult, ThreadedError> {
-    run_threaded_inner(problem, borg, config, false).map(|(result, _)| result)
+    run_threaded_inner(problem, borg, config, &NoopRecorder, false).map(|(result, _)| result)
+}
+
+/// [`run_threaded`] emitting telemetry through `rec`: master `Algorithm`
+/// and worker `Evaluation` spans (wall-clock seconds since run start),
+/// protocol event/command counters, and end-of-run master-occupancy
+/// gauges. The recorder is shared with the worker threads, so it must be
+/// [`Sync`].
+///
+/// # Errors
+/// As [`run_threaded`].
+pub fn run_threaded_observed<P: Problem + ?Sized, R: Recorder + Sync + ?Sized>(
+    problem: &P,
+    borg: BorgConfig,
+    config: &ThreadedConfig,
+    rec: &R,
+) -> Result<ThreadedRunResult, ThreadedError> {
+    run_threaded_inner(problem, borg, config, rec, false).map(|(result, _)| result)
 }
 
 /// [`run_threaded`] with the [`MasterEngine`]'s [`Command`] trace recorded
@@ -375,13 +405,14 @@ pub fn run_threaded_traced<P: Problem + ?Sized>(
     borg: BorgConfig,
     config: &ThreadedConfig,
 ) -> Result<(ThreadedRunResult, Vec<Command>), ThreadedError> {
-    run_threaded_inner(problem, borg, config, true)
+    run_threaded_inner(problem, borg, config, &NoopRecorder, true)
 }
 
-fn run_threaded_inner<P: Problem + ?Sized>(
+fn run_threaded_inner<P: Problem + ?Sized, R: Recorder + Sync + ?Sized>(
     problem: &P,
     borg: BorgConfig,
     config: &ThreadedConfig,
+    rec: &R,
     record: bool,
 ) -> Result<(ThreadedRunResult, Vec<Command>), ThreadedError> {
     assert!(config.workers >= 1, "need at least one worker");
@@ -515,6 +546,13 @@ fn run_threaded_inner<P: Problem + ?Sized>(
                         cons.iter_mut().for_each(|c| *c = PANIC_OBJECTIVE);
                     }
                     let eval_seconds = t0.elapsed().as_secs_f64();
+                    let eval_end = start.elapsed().as_secs_f64();
+                    rec.span(
+                        Actor::Worker(w),
+                        Activity::Evaluation,
+                        eval_end - eval_seconds,
+                        eval_end,
+                    );
                     let message = plan
                         .map(|p| p.message_fate(item.id, item.attempt))
                         .unwrap_or(MessageFate::Deliver);
@@ -572,6 +610,7 @@ fn run_threaded_inner<P: Problem + ?Sized>(
         let master = (|| -> Result<f64, ThreadedError> {
             let mut t = ThreadedTransport {
                 engine: &mut engine,
+                rec,
                 work_tx: &work_tx,
                 start,
                 timeout: reissue_timeout,
@@ -584,7 +623,7 @@ fn run_threaded_inner<P: Problem + ?Sized>(
             };
 
             // Seed one candidate per worker.
-            proto.seed(&mut t);
+            proto.seed(&mut t, rec);
             surface(&mut t, &proto)?;
 
             // Main master loop: translate channel traffic into protocol
@@ -611,6 +650,7 @@ fn run_threaded_inner<P: Problem + ?Sized>(
                                     lost_eval: Some(note.eval_id),
                                 },
                                 &mut t,
+                                rec,
                             );
                             surface(&mut t, &proto)?;
                         }
@@ -637,6 +677,7 @@ fn run_threaded_inner<P: Problem + ?Sized>(
                                     at: now,
                                 },
                                 &mut t,
+                                rec,
                             );
                             surface(&mut t, &proto)?;
                         }
@@ -659,6 +700,7 @@ fn run_threaded_inner<P: Problem + ?Sized>(
                         at,
                     },
                     &mut t,
+                    rec,
                 );
                 t.flush_ta();
                 surface(&mut t, &proto)?;
@@ -671,6 +713,12 @@ fn run_threaded_inner<P: Problem + ?Sized>(
     });
 
     let elapsed = elapsed?;
+    let master_busy: f64 = ta_samples.iter().sum();
+    rec.gauge("master.busy_seconds", master_busy);
+    rec.gauge(
+        "master.utilization",
+        master_busy / elapsed.max(f64::MIN_POSITIVE),
+    );
     let commands = proto.take_commands();
     let mut fault_log = proto.into_log();
     // Collect any fault notes still in transit (e.g. a straggler note

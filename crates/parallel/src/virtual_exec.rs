@@ -15,12 +15,12 @@ use borg_core::problem::Problem;
 use borg_core::rng::SplitMix64;
 use borg_core::solution::Solution;
 use borg_desim::fault::{FaultConfig, FaultLog, FaultPlan};
-use borg_desim::trace::SpanTrace;
 use borg_models::dist::Dist;
 use borg_models::queueing::{
     run_async, run_async_faulty, run_async_faulty_traced, run_sync, FaultTolerantHooks,
     MasterSlaveHooks, RecoveryPolicy, RunOutcome,
 };
+use borg_obs::Recorder;
 use borg_protocol::Command;
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
@@ -221,16 +221,17 @@ impl<'p, P: Problem + ?Sized, F: FnMut(f64, &BorgEngine)> MasterSlaveHooks for B
 ///
 /// `observer` fires after every consumed evaluation with the current
 /// virtual time and engine state (use it for hypervolume trajectories).
-pub fn run_virtual_async<P, F>(
+pub fn run_virtual_async<P, F, R>(
     problem: &P,
     borg: BorgConfig,
     config: &VirtualConfig,
-    trace: &mut SpanTrace,
+    rec: &R,
     observer: F,
 ) -> VirtualRunResult
 where
     P: Problem + ?Sized,
     F: FnMut(f64, &BorgEngine),
+    R: Recorder + ?Sized,
 {
     assert!(
         config.processors >= 2,
@@ -238,7 +239,7 @@ where
     );
     let workers = (config.processors - 1) as usize;
     let mut hooks = BorgHooks::new(problem, config, borg, observer);
-    let outcome = run_async(&mut hooks, workers, config.max_nfe, trace);
+    let outcome = run_async(&mut hooks, workers, config.max_nfe, rec);
     VirtualRunResult {
         outcome,
         engine: hooks.engine,
@@ -250,21 +251,22 @@ where
 
 /// Runs a *generational synchronous* master-slave Borg MOEA in virtual
 /// time (the Cantú-Paz topology used for comparison in §VI-B).
-pub fn run_virtual_sync<P, F>(
+pub fn run_virtual_sync<P, F, R>(
     problem: &P,
     borg: BorgConfig,
     config: &VirtualConfig,
-    trace: &mut SpanTrace,
+    rec: &R,
     observer: F,
 ) -> VirtualRunResult
 where
     P: Problem + ?Sized,
     F: FnMut(f64, &BorgEngine),
+    R: Recorder + ?Sized,
 {
     assert!(config.processors >= 2);
     let workers = (config.processors - 1) as usize;
     let mut hooks = BorgHooks::new(problem, config, borg, observer);
-    let outcome = run_sync(&mut hooks, workers, config.max_nfe, trace);
+    let outcome = run_sync(&mut hooks, workers, config.max_nfe, rec);
     VirtualRunResult {
         outcome,
         engine: hooks.engine,
@@ -497,35 +499,37 @@ pub fn default_recovery_policy(config: &VirtualConfig) -> RecoveryPolicy {
 /// live workers, dead workers are quarantined (and optionally respawned),
 /// duplicate results are suppressed by evaluation id. The full ledger is
 /// returned in [`VirtualRunResult::fault_log`].
-pub fn run_virtual_async_faulty<P, F>(
+pub fn run_virtual_async_faulty<P, F, R>(
     problem: &P,
     borg: BorgConfig,
     config: &VirtualConfig,
     faults: &FaultConfig,
-    trace: &mut SpanTrace,
+    rec: &R,
     observer: F,
 ) -> VirtualRunResult
 where
     P: Problem + ?Sized,
     F: FnMut(f64, &BorgEngine),
+    R: Recorder + ?Sized,
 {
     let policy = default_recovery_policy(config);
-    run_virtual_async_faulty_with(problem, borg, config, faults, policy, trace, observer)
+    run_virtual_async_faulty_with(problem, borg, config, faults, policy, rec, observer)
 }
 
 /// [`run_virtual_async_faulty`] with an explicit [`RecoveryPolicy`].
-pub fn run_virtual_async_faulty_with<P, F>(
+pub fn run_virtual_async_faulty_with<P, F, R>(
     problem: &P,
     borg: BorgConfig,
     config: &VirtualConfig,
     faults: &FaultConfig,
     policy: RecoveryPolicy,
-    trace: &mut SpanTrace,
+    rec: &R,
     observer: F,
 ) -> VirtualRunResult
 where
     P: Problem + ?Sized,
     F: FnMut(f64, &BorgEngine),
+    R: Recorder + ?Sized,
 {
     assert!(
         config.processors >= 2,
@@ -534,7 +538,7 @@ where
     let workers = (config.processors - 1) as usize;
     let plan = fault_plan_for(config, faults);
     let mut hooks = FtBorgHooks::new(problem, config, borg, observer);
-    let faulty = run_async_faulty(&mut hooks, workers, config.max_nfe, &plan, policy, trace);
+    let faulty = run_async_faulty(&mut hooks, workers, config.max_nfe, &plan, policy, rec);
     VirtualRunResult {
         outcome: faulty.outcome,
         engine: hooks.engine,
@@ -550,18 +554,19 @@ where
 /// order. The differential equivalence tests compare this transcript
 /// against the performance-model adapter's under identical timing to
 /// prove both executors run the same protocol.
-pub fn run_virtual_async_faulty_traced<P, F>(
+pub fn run_virtual_async_faulty_traced<P, F, R>(
     problem: &P,
     borg: BorgConfig,
     config: &VirtualConfig,
     faults: &FaultConfig,
     policy: RecoveryPolicy,
-    trace: &mut SpanTrace,
+    rec: &R,
     observer: F,
 ) -> (VirtualRunResult, Vec<Command>)
 where
     P: Problem + ?Sized,
     F: FnMut(f64, &BorgEngine),
+    R: Recorder + ?Sized,
 {
     assert!(
         config.processors >= 2,
@@ -571,7 +576,7 @@ where
     let plan = fault_plan_for(config, faults);
     let mut hooks = FtBorgHooks::new(problem, config, borg, observer);
     let (faulty, commands) =
-        run_async_faulty_traced(&mut hooks, workers, config.max_nfe, &plan, policy, trace);
+        run_async_faulty_traced(&mut hooks, workers, config.max_nfe, &plan, policy, rec);
     (
         VirtualRunResult {
             outcome: faulty.outcome,
@@ -588,6 +593,7 @@ where
 mod tests {
     use super::*;
     use borg_models::analytical::{async_parallel_time, relative_error, TimingParams};
+    use borg_obs::NoopRecorder;
     use borg_problems::dtlz::Dtlz;
 
     fn borg_cfg() -> BorgConfig {
@@ -610,15 +616,9 @@ mod tests {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(16, 5_000, 0.01, 0.000_03);
         let mut count = 0u64;
-        let result = run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {
-                count += 1;
-            },
-        );
+        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {
+            count += 1;
+        });
         assert_eq!(result.outcome.completed, 5_000);
         assert_eq!(count, 5_000);
         assert_eq!(result.engine.nfe(), 5_000);
@@ -632,13 +632,7 @@ mod tests {
     fn sampled_times_match_analytical_model_below_saturation() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(16, 5_000, 0.01, 0.000_03);
-        let result = run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {});
         let t = TimingParams::new(0.01, 0.000_006, 0.000_03);
         let eq2 = async_parallel_time(5_000, 16, t);
         assert!(
@@ -653,20 +647,8 @@ mod tests {
     fn virtual_async_is_deterministic_with_sampled_ta() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(8, 2_000, 0.001, 0.000_03);
-        let a = run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
-        let b = run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let a = run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {});
+        let b = run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {});
         assert_eq!(a.outcome.elapsed, b.outcome.elapsed);
         assert_eq!(
             a.engine.archive().objective_vectors(),
@@ -687,13 +669,7 @@ mod tests {
             t_a: TaMode::Measured,
             seed: 5,
         };
-        let result = run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let result = run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {});
         let n = result.ta_samples.len();
         let early: f64 = result.ta_samples[..n / 4].iter().sum::<f64>() / (n / 4) as f64;
         let late: f64 = result.ta_samples[3 * n / 4..].iter().sum::<f64>() / (n - 3 * n / 4) as f64;
@@ -717,13 +693,7 @@ mod tests {
     fn parallel_beats_serial_on_virtual_clock() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(16, 4_000, 0.01, 0.000_03);
-        let par = run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let par = run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {});
         let ser = run_virtual_serial(&problem, borg_cfg(), &cfg, |_, _| {});
         let speedup = ser.outcome.elapsed / par.outcome.elapsed;
         assert!(speedup > 10.0, "speedup = {speedup}");
@@ -733,13 +703,7 @@ mod tests {
     fn sync_executor_runs_generationally() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(8, 2_000, 0.01, 0.000_03);
-        let result = run_virtual_sync(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let result = run_virtual_sync(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {});
         assert!(result.outcome.completed >= 2_000);
         assert!(result.engine.archive().len() > 5);
     }
@@ -756,7 +720,7 @@ mod tests {
             borg_cfg(),
             &cfg,
             &faults,
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |_, _| {},
         );
         assert_eq!(result.outcome.completed, 3_000);
@@ -785,7 +749,7 @@ mod tests {
                 borg_cfg(),
                 &cfg,
                 &faults,
-                &mut SpanTrace::disabled(),
+                &NoopRecorder,
                 |_, _| {},
             )
         };
@@ -820,7 +784,7 @@ mod tests {
             borg_cfg(),
             &cfg,
             &faults,
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |_, _| {},
         );
         assert_eq!(result.outcome.completed, 2_000);
@@ -839,19 +803,13 @@ mod tests {
     fn quiet_faulty_run_matches_fault_free_elapsed_closely() {
         let problem = Dtlz::dtlz2_5();
         let cfg = sampled_config(8, 2_000, 0.01, 0.000_03);
-        let base = run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let base = run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |_, _| {});
         let quiet = run_virtual_async_faulty(
             &problem,
             borg_cfg(),
             &cfg,
             &FaultConfig::default(),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |_, _| {},
         );
         assert_eq!(quiet.fault_log.injected(), 0);
@@ -870,18 +828,12 @@ mod tests {
         let cfg = sampled_config(4, 1_000, 0.005, 0.000_02);
         let mut last_t = -1.0;
         let mut last_nfe = 0;
-        run_virtual_async(
-            &problem,
-            borg_cfg(),
-            &cfg,
-            &mut SpanTrace::disabled(),
-            |t, e| {
-                assert!(t >= last_t, "time went backwards");
-                assert!(e.nfe() > last_nfe || last_nfe == 0);
-                last_t = t;
-                last_nfe = e.nfe();
-            },
-        );
+        run_virtual_async(&problem, borg_cfg(), &cfg, &NoopRecorder, |t, e| {
+            assert!(t >= last_t, "time went backwards");
+            assert!(e.nfe() > last_nfe || last_nfe == 0);
+            last_t = t;
+            last_nfe = e.nfe();
+        });
         assert_eq!(last_nfe, 1_000);
     }
 }

@@ -13,9 +13,9 @@
 
 use borg_core::algorithm::BorgConfig;
 use borg_desim::fault::FaultConfig;
-use borg_desim::trace::SpanTrace;
 use borg_models::dist::Dist;
 use borg_models::queueing::{run_async_faulty_traced, FaultTolerantHooks};
+use borg_obs::NoopRecorder;
 use borg_parallel::prelude::*;
 use borg_parallel::virtual_exec::VirtualConfig;
 use borg_problems::zdt::{Zdt, ZdtVariant};
@@ -105,7 +105,7 @@ proptest! {
             &vcfg,
             &faults,
             policy,
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |_, _| {},
         );
 
@@ -125,7 +125,7 @@ proptest! {
             n,
             &plan,
             policy,
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
         );
 
         // The protocol transcript is executor-independent.

@@ -4,7 +4,33 @@ use crate::command::{Command, Event};
 use crate::policy::RecoveryPolicy;
 use crate::Clock;
 use borg_desim::fault::FaultLog;
+use borg_obs::Recorder;
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// Counter fed once per emitted [`Command`] (the per-command hook).
+fn command_metric(c: &Command) -> &'static str {
+    match c {
+        Command::Dispatch { .. } => "engine.commands.dispatch",
+        Command::Consume { .. } => "engine.commands.consume",
+        Command::SuppressDuplicate { .. } => "engine.commands.suppress_duplicate",
+        Command::Ping { .. } => "engine.commands.ping",
+        Command::RetireWorker { .. } => "engine.commands.retire_worker",
+        Command::Abandon { .. } => "engine.commands.abandon",
+        Command::RearmHeartbeat => "engine.commands.rearm_heartbeat",
+        Command::Finish => "engine.commands.finish",
+    }
+}
+
+/// Counter fed once per handled [`Event`] (the per-event hook).
+fn event_metric(e: &Event) -> &'static str {
+    match e {
+        Event::ResultArrived { .. } => "engine.events.result_arrived",
+        Event::DeadlineFired { .. } => "engine.events.deadline_fired",
+        Event::HeartbeatTick { .. } => "engine.events.heartbeat_tick",
+        Event::WorkerDied { .. } => "engine.events.worker_died",
+        Event::WorkerRespawned { .. } => "engine.events.worker_respawned",
+    }
+}
 
 /// Asynchronous pipeline vs generational barrier — the protocol-level
 /// distinction the paper studies (its Fig. 1 topologies), expressed as a
@@ -247,7 +273,8 @@ impl MasterEngine {
         self.commands.take().unwrap_or_default()
     }
 
-    fn emit(&mut self, c: Command) {
+    fn emit<R: Recorder + ?Sized>(&mut self, rec: &R, c: Command) {
+        rec.counter(command_metric(&c), 1);
         if let Some(cs) = self.commands.as_mut() {
             cs.push(c);
         }
@@ -302,62 +329,82 @@ impl MasterEngine {
     }
 
     /// Dispatch the initial work: one item per slot, in slot order, plus
-    /// the first heartbeat when the policy sweeps.
-    pub fn seed<T: Transport>(&mut self, t: &mut T) {
+    /// the first heartbeat when the policy sweeps. `rec` observes but
+    /// never influences the protocol (pass [`borg_obs::NoopRecorder`] for
+    /// a free no-op).
+    pub fn seed<T: Transport, R: Recorder + ?Sized>(&mut self, t: &mut T, rec: &R) {
         for w in 0..self.config.workers {
             let id = self.next_eval;
             self.next_eval += 1;
-            self.dispatch(t, w, id, 0);
+            self.dispatch(t, rec, w, id, 0);
         }
         if self.config.mode == ProtocolMode::Sync {
             self.gen_remaining = self.config.workers;
         }
         if self.config.policy.heartbeat_interval.is_finite() {
-            self.emit(Command::RearmHeartbeat);
+            self.emit(rec, Command::RearmHeartbeat);
             t.rearm_heartbeat(self.config.policy.heartbeat_interval);
         }
     }
 
-    /// Advance the protocol by one event.
-    pub fn handle<T: Transport>(&mut self, event: Event, t: &mut T) {
+    /// Advance the protocol by one event. `rec` receives one counter per
+    /// event and per emitted command, the latency/slack histograms, and
+    /// the occupancy gauges; it never influences the decisions.
+    pub fn handle<T: Transport, R: Recorder + ?Sized>(&mut self, event: Event, t: &mut T, rec: &R) {
+        rec.counter(event_metric(&event), 1);
         match event {
             Event::ResultArrived {
                 worker,
                 eval_id,
                 at,
-            } => self.handle_arrival(t, at, worker, eval_id),
+            } => self.handle_arrival(t, rec, at, worker, eval_id),
             Event::DeadlineFired {
                 eval_id,
                 worker,
                 deadline_bits,
                 ..
-            } => self.handle_deadline(t, eval_id, worker, deadline_bits),
-            Event::HeartbeatTick { at } => self.handle_heartbeat(t, at),
+            } => self.handle_deadline(t, rec, eval_id, worker, deadline_bits),
+            Event::HeartbeatTick { at } => self.handle_heartbeat(t, rec, at),
             Event::WorkerDied {
                 worker,
                 at,
                 will_respawn,
                 lost_eval,
-            } => self.handle_death(t, worker, at, will_respawn, lost_eval),
-            Event::WorkerRespawned { worker, .. } => self.handle_respawn(t, worker),
+            } => self.handle_death(t, rec, worker, at, will_respawn, lost_eval),
+            Event::WorkerRespawned { worker, .. } => self.handle_respawn(t, rec, worker),
         }
+        rec.gauge("engine.outstanding", self.outstanding.len() as f64);
+        rec.gauge("engine.idle_workers", self.idle.len() as f64);
     }
 
     /// Produce (or re-send) `eval_id` to `worker`.
-    fn dispatch<T: Transport>(&mut self, t: &mut T, worker: usize, eval_id: u64, attempts: u32) {
+    fn dispatch<T: Transport, R: Recorder + ?Sized>(
+        &mut self,
+        t: &mut T,
+        rec: &R,
+        worker: usize,
+        eval_id: u64,
+        attempts: u32,
+    ) {
         if attempts > 0 {
             self.log.reissues += 1;
+            rec.counter("engine.reissues", 1);
         }
         self.current_eval[worker] = Some(eval_id);
         self.idle.remove(&worker);
         let seq = self.dispatch_count[worker];
         self.dispatch_count[worker] += 1;
-        self.emit(Command::Dispatch {
-            worker,
-            eval_id,
-            attempt: attempts,
-        });
+        self.emit(
+            rec,
+            Command::Dispatch {
+                worker,
+                eval_id,
+                attempt: attempts,
+            },
+        );
+        let sent_at = t.now();
         let deadline = t.dispatch(worker, eval_id, attempts, seq, &mut self.log);
+        rec.observe("engine.dispatch_latency_seconds", t.now() - sent_at);
         self.outstanding.insert(
             eval_id,
             Outstanding {
@@ -370,7 +417,12 @@ impl MasterEngine {
 
     /// Give a freed worker its next assignment: queued reissues first,
     /// then fresh work, otherwise park it idle.
-    fn assign_next<T: Transport>(&mut self, t: &mut T, worker: usize) {
+    fn assign_next<T: Transport, R: Recorder + ?Sized>(
+        &mut self,
+        t: &mut T,
+        rec: &R,
+        worker: usize,
+    ) {
         self.current_eval[worker] = None;
         if self.config.discipline == PoolDiscipline::Assigned && !self.view_alive[worker] {
             return;
@@ -378,7 +430,7 @@ impl MasterEngine {
         if self.config.discipline == PoolDiscipline::Assigned {
             while let Some(id) = self.reissue_queue.pop_front() {
                 if let Some(o) = self.outstanding.get(&id).copied() {
-                    self.dispatch(t, worker, id, o.attempts + 1);
+                    self.dispatch(t, rec, worker, id, o.attempts + 1);
                     return;
                 }
             }
@@ -392,15 +444,16 @@ impl MasterEngine {
         if fresh_ok {
             let id = self.next_eval;
             self.next_eval += 1;
-            self.dispatch(t, worker, id, 0);
+            self.dispatch(t, rec, worker, id, 0);
         } else {
             self.idle.insert(worker);
         }
     }
 
-    fn handle_arrival<T: Transport>(
+    fn handle_arrival<T: Transport, R: Recorder + ?Sized>(
         &mut self,
         t: &mut T,
+        rec: &R,
         ready_at: f64,
         worker: usize,
         eval_id: u64,
@@ -408,13 +461,13 @@ impl MasterEngine {
         if self.done.contains(&eval_id) {
             // Duplicate or superseded copy: absorb the message, count the
             // wasted work, free the worker if it was still pinned on it.
-            self.emit(Command::SuppressDuplicate { worker, eval_id });
+            self.emit(rec, Command::SuppressDuplicate { worker, eval_id });
             let end = t.absorb_duplicate(worker, eval_id, ready_at);
             self.log.duplicates_suppressed += 1;
             self.log.wasted_nfe += 1;
             self.log.recover_eval(eval_id, end);
             if self.current_eval[worker] == Some(eval_id) {
-                self.assign_next(t, worker);
+                self.assign_next(t, rec, worker);
             }
             return;
         }
@@ -424,6 +477,11 @@ impl MasterEngine {
             t.unknown_result(worker, eval_id);
             return;
         };
+        // How much headroom the deadline had left when the result arrived
+        // (negative slack means a reissue raced the original and lost).
+        if o.deadline.is_finite() {
+            rec.observe("engine.deadline_slack_seconds", o.deadline - ready_at);
+        }
         // Whose dispatch slot this result frees: on an assigned pool the
         // delivering worker's, on a shared pool the notional assignee's
         // (any thread may have picked the item up).
@@ -431,8 +489,9 @@ impl MasterEngine {
             PoolDiscipline::Assigned => worker,
             PoolDiscipline::Shared => o.worker,
         };
-        self.emit(Command::Consume { worker, eval_id });
+        self.emit(rec, Command::Consume { worker, eval_id });
         let end = t.consume(worker, eval_id, ready_at);
+        rec.observe("engine.consume_seconds", end - ready_at);
         self.completed += 1;
         self.done.insert(eval_id);
         self.log.recover_eval(eval_id, end);
@@ -445,13 +504,13 @@ impl MasterEngine {
             if self.gen_remaining == 0 {
                 if self.completed >= self.config.budget {
                     self.finished = true;
-                    self.emit(Command::Finish);
+                    self.emit(rec, Command::Finish);
                 } else {
                     // Barrier passed: dispatch the next generation en bloc.
                     for w in 0..self.config.workers {
                         let id = self.next_eval;
                         self.next_eval += 1;
-                        self.dispatch(t, w, id, 0);
+                        self.dispatch(t, rec, w, id, 0);
                     }
                     self.gen_remaining = self.config.workers;
                 }
@@ -461,17 +520,18 @@ impl MasterEngine {
 
         if self.completed >= self.config.budget {
             self.finished = true;
-            self.emit(Command::Finish);
+            self.emit(rec, Command::Finish);
             return;
         }
         if self.current_eval[freed] == Some(eval_id) {
-            self.assign_next(t, freed);
+            self.assign_next(t, rec, freed);
         }
     }
 
-    fn handle_deadline<T: Transport>(
+    fn handle_deadline<T: Transport, R: Recorder + ?Sized>(
         &mut self,
         t: &mut T,
+        rec: &R,
         eval_id: u64,
         worker: usize,
         deadline_bits: u64,
@@ -481,7 +541,7 @@ impl MasterEngine {
             // arrived (its message was dropped after a reissue raced it),
             // stop waiting on it.
             if self.current_eval[worker] == Some(eval_id) {
-                self.assign_next(t, worker);
+                self.assign_next(t, rec, worker);
             }
             return;
         };
@@ -489,15 +549,16 @@ impl MasterEngine {
             return; // superseded by a reissue
         }
         // Ping the assigned worker: one round-trip of master time.
-        self.emit(Command::Ping { worker: o.worker });
+        self.emit(rec, Command::Ping { worker: o.worker });
         let (start, end) = t.ping(o.worker);
+        rec.observe("engine.ping_seconds", end - start);
         self.log.detect_eval(eval_id, start);
         let w = o.worker;
         if !self.alive[w] {
             if self.view_alive[w] {
                 self.view_alive[w] = false;
                 self.idle.remove(&w);
-                self.emit(Command::RetireWorker { worker: w });
+                self.emit(rec, Command::RetireWorker { worker: w });
                 self.log.detect_worker_death(w, end);
             }
             self.current_eval[w] = None;
@@ -505,24 +566,24 @@ impl MasterEngine {
         if o.attempts >= self.config.policy.max_reissues {
             self.outstanding.remove(&eval_id);
             self.abandoned += 1;
-            self.emit(Command::Abandon { eval_id });
+            self.emit(rec, Command::Abandon { eval_id });
             t.abandon(eval_id);
             return;
         }
         match self.config.discipline {
             // Shared pool: the reissue goes straight back on the queue —
             // any live worker will pick it up.
-            PoolDiscipline::Shared => self.dispatch(t, w, eval_id, o.attempts + 1),
+            PoolDiscipline::Shared => self.dispatch(t, rec, w, eval_id, o.attempts + 1),
             // Assigned pool: back to the pinged worker when it is believed
             // alive (it lost the message, or is straggling and the retry
             // races it), else to any idle worker, else queue until one
             // frees up.
             PoolDiscipline::Assigned => {
                 if self.view_alive[w] {
-                    self.dispatch(t, w, eval_id, o.attempts + 1);
+                    self.dispatch(t, rec, w, eval_id, o.attempts + 1);
                 } else if let Some(v) = self.idle.iter().next().copied() {
                     self.idle.remove(&v);
-                    self.dispatch(t, v, eval_id, o.attempts + 1);
+                    self.dispatch(t, rec, v, eval_id, o.attempts + 1);
                 } else {
                     self.park_for_reissue(eval_id);
                 }
@@ -539,7 +600,12 @@ impl MasterEngine {
         }
     }
 
-    fn handle_heartbeat<T: Transport>(&mut self, t: &mut T, now: f64) {
+    fn handle_heartbeat<T: Transport, R: Recorder + ?Sized>(
+        &mut self,
+        t: &mut T,
+        rec: &R,
+        now: f64,
+    ) {
         for w in 0..self.config.workers {
             if self.alive[w]
                 || !self.view_alive[w]
@@ -549,7 +615,7 @@ impl MasterEngine {
             }
             self.view_alive[w] = false;
             self.idle.remove(&w);
-            self.emit(Command::RetireWorker { worker: w });
+            self.emit(rec, Command::RetireWorker { worker: w });
             self.log.detect_worker_death(w, now);
             if let Some(id) = self.current_eval[w].take() {
                 if self.outstanding.contains_key(&id) {
@@ -559,10 +625,10 @@ impl MasterEngine {
                         if attempts >= self.config.policy.max_reissues {
                             self.outstanding.remove(&id);
                             self.abandoned += 1;
-                            self.emit(Command::Abandon { eval_id: id });
+                            self.emit(rec, Command::Abandon { eval_id: id });
                             t.abandon(id);
                         } else {
-                            self.dispatch(t, v, id, attempts + 1);
+                            self.dispatch(t, rec, v, id, attempts + 1);
                         }
                     } else {
                         self.park_for_reissue(id);
@@ -577,14 +643,15 @@ impl MasterEngine {
             && self.completed + self.abandoned < self.config.budget
             && (self.alive.iter().any(|&a| a) || self.pending_respawns > 0)
         {
-            self.emit(Command::RearmHeartbeat);
+            self.emit(rec, Command::RearmHeartbeat);
             t.rearm_heartbeat(now + self.config.policy.heartbeat_interval);
         }
     }
 
-    fn handle_death<T: Transport>(
+    fn handle_death<T: Transport, R: Recorder + ?Sized>(
         &mut self,
         t: &mut T,
+        rec: &R,
         worker: usize,
         at: f64,
         will_respawn: bool,
@@ -602,7 +669,7 @@ impl MasterEngine {
         if self.config.discipline == PoolDiscipline::Shared {
             if self.view_alive[worker] {
                 self.view_alive[worker] = false;
-                self.emit(Command::RetireWorker { worker });
+                self.emit(rec, Command::RetireWorker { worker });
                 self.log.detect_worker_death(worker, at);
             }
             if let Some(id) = lost_eval {
@@ -611,28 +678,34 @@ impl MasterEngine {
                     if o.attempts >= self.config.policy.max_reissues {
                         self.outstanding.remove(&id);
                         self.abandoned += 1;
-                        self.emit(Command::Abandon { eval_id: id });
+                        self.emit(rec, Command::Abandon { eval_id: id });
                         t.abandon(id);
                     } else {
-                        self.dispatch(t, worker, id, o.attempts + 1);
+                        self.dispatch(t, rec, worker, id, o.attempts + 1);
                     }
                 }
             }
         }
     }
 
-    fn handle_respawn<T: Transport>(&mut self, t: &mut T, worker: usize) {
+    fn handle_respawn<T: Transport, R: Recorder + ?Sized>(
+        &mut self,
+        t: &mut T,
+        rec: &R,
+        worker: usize,
+    ) {
         self.pending_respawns = self.pending_respawns.saturating_sub(1);
         self.alive[worker] = true;
         self.view_alive[worker] = true;
         self.log.respawns += 1;
-        self.assign_next(t, worker);
+        self.assign_next(t, rec, worker);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use borg_obs::{InMemoryRecorder, NoopRecorder};
 
     /// A transport that just records calls and hands out fixed deadlines.
     struct NullTransport {
@@ -703,15 +776,15 @@ mod tests {
         let mut t = NullTransport::new(f64::INFINITY);
         let mut e = MasterEngine::new(EngineConfig::fault_free_async(2, 4));
         e.record_commands();
-        e.seed(&mut t);
+        e.seed(&mut t, &NoopRecorder);
         assert_eq!(e.outstanding_len(), 2);
         // Workers alternate; eager dispatch keeps the pipeline full even
         // on the last consume.
-        e.handle(arrival(0, 0, 1.0), &mut t);
-        e.handle(arrival(1, 1, 1.1), &mut t);
-        e.handle(arrival(0, 2, 2.0), &mut t);
+        e.handle(arrival(0, 0, 1.0), &mut t, &NoopRecorder);
+        e.handle(arrival(1, 1, 1.1), &mut t, &NoopRecorder);
+        e.handle(arrival(0, 2, 2.0), &mut t, &NoopRecorder);
         assert!(!e.finished());
-        e.handle(arrival(1, 3, 2.1), &mut t);
+        e.handle(arrival(1, 3, 2.1), &mut t, &NoopRecorder);
         assert!(e.finished());
         assert_eq!(e.completed(), 4);
         let cmds = e.take_commands();
@@ -729,9 +802,9 @@ mod tests {
     fn duplicate_results_are_suppressed_by_eval_id() {
         let mut t = NullTransport::new(f64::INFINITY);
         let mut e = MasterEngine::new(EngineConfig::fault_free_async(1, 3));
-        e.seed(&mut t);
-        e.handle(arrival(0, 0, 1.0), &mut t);
-        e.handle(arrival(0, 0, 1.0), &mut t); // duplicate copy
+        e.seed(&mut t, &NoopRecorder);
+        e.handle(arrival(0, 0, 1.0), &mut t, &NoopRecorder);
+        e.handle(arrival(0, 0, 1.0), &mut t, &NoopRecorder); // duplicate copy
         assert_eq!(e.completed(), 1);
         assert_eq!(e.log().duplicates_suppressed, 1);
         assert_eq!(e.log().wasted_nfe, 1);
@@ -746,7 +819,7 @@ mod tests {
             max_reissues: 2,
         };
         let mut e = MasterEngine::new(EngineConfig::shared_pool_async(1, 2, policy));
-        e.seed(&mut t);
+        e.seed(&mut t, &NoopRecorder);
         for round in 0..3 {
             t.now += 10.0;
             let expired = e.expired_deadlines(t.now + 0.5);
@@ -760,6 +833,7 @@ mod tests {
                     at: t.now,
                 },
                 &mut t,
+                &NoopRecorder,
             );
         }
         // Two reissues allowed, third firing abandons.
@@ -777,7 +851,7 @@ mod tests {
             max_reissues: 8,
         };
         let mut e = MasterEngine::new(EngineConfig::shared_pool_async(1, 2, policy));
-        e.seed(&mut t);
+        e.seed(&mut t, &NoopRecorder);
         t.now += 10.0;
         let (id, w, bits) = e.expired_deadlines(t.now + 0.5)[0];
         e.handle(
@@ -788,6 +862,7 @@ mod tests {
                 at: t.now,
             },
             &mut t,
+            &NoopRecorder,
         );
         assert_eq!(e.log().reissues, 1);
         // Refiring the *old* deadline after the reissue moved it: no-op.
@@ -799,6 +874,7 @@ mod tests {
                 at: t.now,
             },
             &mut t,
+            &NoopRecorder,
         );
         assert_eq!(e.log().reissues, 1);
     }
@@ -812,7 +888,7 @@ mod tests {
             max_reissues: 8,
         };
         let mut e = MasterEngine::new(EngineConfig::shared_pool_async(2, 4, policy));
-        e.seed(&mut t);
+        e.seed(&mut t, &NoopRecorder);
         e.handle(
             Event::WorkerDied {
                 worker: 0,
@@ -821,12 +897,13 @@ mod tests {
                 lost_eval: Some(0),
             },
             &mut t,
+            &NoopRecorder,
         );
         assert_eq!(e.log().deaths_detected, 1);
         assert_eq!(e.log().reissues, 1);
         assert_eq!(e.log().wasted_nfe, 1);
         // The reissued eval can still be consumed (any worker delivers).
-        e.handle(arrival(1, 0, 2.0), &mut t);
+        e.handle(arrival(1, 0, 2.0), &mut t, &NoopRecorder);
         assert_eq!(e.completed(), 1);
     }
 
@@ -835,25 +912,25 @@ mod tests {
         let mut t = NullTransport::new(f64::INFINITY);
         let mut e = MasterEngine::new(EngineConfig::sync_generational(3, 5));
         e.record_commands();
-        e.seed(&mut t);
+        e.seed(&mut t, &NoopRecorder);
         // Mid-generation consumes do not dispatch.
-        e.handle(arrival(0, 0, 1.0), &mut t);
-        e.handle(arrival(1, 1, 1.0), &mut t);
+        e.handle(arrival(0, 0, 1.0), &mut t, &NoopRecorder);
+        e.handle(arrival(1, 1, 1.0), &mut t, &NoopRecorder);
         assert_eq!(e.outstanding_len(), 1);
         assert_eq!(
             t.calls.iter().filter(|c| c.starts_with("dispatch")).count(),
             3
         );
         // Barrier: the whole next generation goes out at once.
-        e.handle(arrival(2, 2, 1.0), &mut t);
+        e.handle(arrival(2, 2, 1.0), &mut t, &NoopRecorder);
         assert_eq!(
             t.calls.iter().filter(|c| c.starts_with("dispatch")).count(),
             6
         );
         // Second generation overshoots the budget of 5 and finishes.
-        e.handle(arrival(0, 3, 2.0), &mut t);
-        e.handle(arrival(1, 4, 2.0), &mut t);
-        e.handle(arrival(2, 5, 2.0), &mut t);
+        e.handle(arrival(0, 3, 2.0), &mut t, &NoopRecorder);
+        e.handle(arrival(1, 4, 2.0), &mut t, &NoopRecorder);
+        e.handle(arrival(2, 5, 2.0), &mut t, &NoopRecorder);
         assert!(e.finished());
         assert_eq!(e.completed(), 6);
     }
@@ -870,11 +947,11 @@ mod tests {
             max_reissues: 8,
         };
         let mut e = MasterEngine::new(EngineConfig::shared_pool_async(2, 6, policy));
-        e.seed(&mut t);
+        e.seed(&mut t, &NoopRecorder);
         // Worker 1's thread delivers every result, including those
         // notionally assigned to worker 0.
         for id in 0..6 {
-            e.handle(arrival(1, id, id as f64), &mut t);
+            e.handle(arrival(1, id, id as f64), &mut t, &NoopRecorder);
         }
         assert!(e.finished());
         assert_eq!(e.completed(), 6);
@@ -893,15 +970,72 @@ mod tests {
             max_reissues: 8,
         };
         let mut e = MasterEngine::new(EngineConfig::fault_tolerant_async(3, 4, policy));
-        e.seed(&mut t);
+        e.seed(&mut t, &NoopRecorder);
         // 3 outstanding; after one consume: completed 1 + outstanding 2 =
         // 3 < 4 → one fresh dispatch. After the second consume: 2 + 2 = 4
         // → park.
-        e.handle(arrival(0, 0, 1.0), &mut t);
+        e.handle(arrival(0, 0, 1.0), &mut t, &NoopRecorder);
         assert_eq!(e.outstanding_len(), 3);
-        e.handle(arrival(1, 1, 1.0), &mut t);
+        e.handle(arrival(1, 1, 1.0), &mut t, &NoopRecorder);
         assert_eq!(e.outstanding_len(), 2);
         let dispatches = t.calls.iter().filter(|c| c.starts_with("dispatch")).count();
         assert_eq!(dispatches, 4);
+    }
+
+    #[test]
+    fn engine_hooks_feed_the_recorder() {
+        let rec = InMemoryRecorder::new();
+        let mut t = NullTransport::new(10.0);
+        let policy = RecoveryPolicy {
+            timeout: 10.0,
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: 8,
+        };
+        let mut e = MasterEngine::new(EngineConfig::shared_pool_async(2, 3, policy));
+        e.seed(&mut t, &rec);
+        e.handle(arrival(0, 0, 1.0), &mut t, &rec);
+        e.handle(arrival(0, 0, 1.0), &mut t, &rec); // duplicate
+        t.now += 20.0;
+        let (id, w, bits) = e.expired_deadlines(t.now)[0];
+        e.handle(
+            Event::DeadlineFired {
+                eval_id: id,
+                worker: w,
+                deadline_bits: bits,
+                at: t.now,
+            },
+            &mut t,
+            &rec,
+        );
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["engine.events.result_arrived"], 2);
+        assert_eq!(snap.counters["engine.events.deadline_fired"], 1);
+        assert_eq!(snap.counters["engine.commands.suppress_duplicate"], 1);
+        assert_eq!(snap.counters["engine.commands.ping"], 1);
+        assert_eq!(snap.counters["engine.reissues"], 1);
+        // Seed dispatched 2, the consume refilled 1, the reissue re-sent 1.
+        assert_eq!(snap.counters["engine.commands.dispatch"], 4);
+        // The consumed result's deadline had 9 seconds of slack left.
+        assert_eq!(snap.histograms["engine.deadline_slack_seconds"].count(), 1);
+        assert_eq!(snap.histograms["engine.deadline_slack_seconds"].max(), 9.0);
+        assert!(snap.gauges.contains_key("engine.outstanding"));
+    }
+
+    #[test]
+    fn recorder_choice_does_not_change_decisions() {
+        // Same event stream through a noop-observed and an in-memory-
+        // observed engine: identical transport call sequences.
+        let run = |rec: &dyn Recorder| {
+            let mut t = NullTransport::new(f64::INFINITY);
+            let mut e = MasterEngine::new(EngineConfig::fault_free_async(2, 4));
+            e.seed(&mut t, rec);
+            for (w, id) in [(0, 0), (1, 1), (0, 2), (1, 3)] {
+                e.handle(arrival(w, id, 1.0 + id as f64), &mut t, rec);
+            }
+            (t.calls, e.completed())
+        };
+        let noop = run(&NoopRecorder);
+        let mem = run(&InMemoryRecorder::new());
+        assert_eq!(noop, mem);
     }
 }

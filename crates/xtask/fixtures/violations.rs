@@ -58,6 +58,14 @@ fn shadow_recovery_state() {
     let mut reissue_queue: VecDeque<u64> = VecDeque::new(); //~ BORG-L007
 }
 
+// Library code must not write to the terminal: report through the
+// borg_obs::Recorder facade or return a renderable value.
+fn chatty_library(progress: f64) {
+    println!("progress: {progress:.1}%"); //~ BORG-L008
+    eprintln!("warning: master saturated"); //~ BORG-L008
+    print!("partial"); //~ BORG-L008
+}
+
 // --- escapes that must NOT be reported ---------------------------------
 
 fn allowlisted() -> u32 {
@@ -78,6 +86,15 @@ fn bounded_waits_are_fine(rx: &Receiver<u64>, stop_rx: &Receiver<()>) {
     let _ = rx.try_recv();
     // A deliberate disconnect-released park carries the allowlist escape.
     let _ = stop_rx.recv(); // borg-lint: allow(BORG-L006)
+}
+
+fn quiet_library(w: &mut impl Write, log: &InMemoryRecorder) {
+    // Writing to a caller-supplied sink is not terminal output.
+    writeln!(w, "row").ok();
+    // The facade is the sanctioned reporting channel.
+    log.counter("engine.reissues", 1);
+    // A deliberate terminal write carries the allowlist escape.
+    println!("blessed"); // borg-lint: allow(BORG-L008)
 }
 
 fn benign_collections_and_counts(proto: &MasterEngine) {
@@ -105,6 +122,12 @@ mod tests {
         // Test regions are exempt from BORG-L007.
         let deadlines: HashSet<u64> = HashSet::new();
         assert!(deadlines.is_empty());
+    }
+
+    #[test]
+    fn tests_may_print_debug_output() {
+        // Test regions are exempt from BORG-L008.
+        println!("debugging a failure");
     }
 }
 

@@ -13,11 +13,17 @@
 //! `T_A` is *sampled*, not measured: `TaMode::Measured` charges real
 //! wall-clock costs into the virtual event ordering, which is exactly the
 //! nondeterminism this gate must not depend on.
+//!
+//! A third arm checks the observability contract: a run observed through
+//! an [`InMemoryRecorder`] must be bit-identical (archive, virtual clock,
+//! fault ledger) to the same-seed run with the no-op recorder. Recorders
+//! receive values and never influence control flow; this arm is what makes
+//! that a tested guarantee instead of a comment.
 
 use borg_core::algorithm::BorgConfig;
 use borg_desim::fault::FaultConfig;
-use borg_desim::trace::SpanTrace;
 use borg_models::dist::Dist;
+use borg_obs::{InMemoryRecorder, NoopRecorder, Recorder};
 use borg_parallel::virtual_exec::{
     run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig, VirtualRunResult,
 };
@@ -36,9 +42,16 @@ pub struct DeterminismReport {
     /// Golden Table II / faults cells compared bit-for-bit against the
     /// checked-in CSV (see [`crate::golden`]).
     pub golden_rows: usize,
+    /// Evaluations observed by the recorder arm (an in-memory recorder
+    /// attached to a run must observe everything and change nothing).
+    pub recorder_evals: u64,
 }
 
 fn run_once(seed: u64) -> VirtualRunResult {
+    run_once_observed(seed, &NoopRecorder)
+}
+
+fn run_once_observed(seed: u64, rec: &dyn Recorder) -> VirtualRunResult {
     let problem = Dtlz::dtlz2_5();
     let config = VirtualConfig {
         processors: 8,
@@ -48,16 +61,14 @@ fn run_once(seed: u64) -> VirtualRunResult {
         t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
         seed,
     };
-    run_virtual_async(
-        &problem,
-        BorgConfig::new(5, 0.06),
-        &config,
-        &mut SpanTrace::disabled(),
-        |_, _| {},
-    )
+    run_virtual_async(&problem, BorgConfig::new(5, 0.06), &config, rec, |_, _| {})
 }
 
 fn run_once_faulty(seed: u64) -> VirtualRunResult {
+    run_once_faulty_observed(seed, &NoopRecorder)
+}
+
+fn run_once_faulty_observed(seed: u64, rec: &dyn Recorder) -> VirtualRunResult {
     let problem = Dtlz::dtlz2_5();
     let config = VirtualConfig {
         processors: 8,
@@ -77,7 +88,7 @@ fn run_once_faulty(seed: u64) -> VirtualRunResult {
         BorgConfig::new(5, 0.06),
         &config,
         &faults,
-        &mut SpanTrace::disabled(),
+        rec,
         |_, _| {},
     )
 }
@@ -158,6 +169,28 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
         ));
     }
 
+    // Observability arm: attaching the collecting sink must not perturb
+    // the run — archive, virtual clock, and fault ledger stay bit-identical
+    // to the no-op-recorder runs above.
+    let rec = InMemoryRecorder::metrics_only();
+    let observed = run_once_observed(seed, &rec);
+    diff_runs("recorder-attach", &a, &observed)?;
+    let frec = InMemoryRecorder::metrics_only();
+    let fobserved = run_once_faulty_observed(seed, &frec);
+    diff_runs("recorder-attach (fault replay)", &fa, &fobserved)?;
+    let recorder_evals = rec
+        .snapshot()
+        .histograms
+        .get("t_f_seconds")
+        .map_or(0, |h| h.count());
+    if recorder_evals < a.engine.nfe() {
+        return Err(format!(
+            "recorder arm observed {recorder_evals} evaluations for an NFE-{} run; \
+             instrumentation hooks lost?",
+            a.engine.nfe()
+        ));
+    }
+
     let golden = crate::golden::check(root)?;
 
     Ok(DeterminismReport {
@@ -167,6 +200,7 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
         faults_injected: fa.fault_log.injected(),
         fault_reissues: fa.fault_log.reissues,
         golden_rows: golden.rows,
+        recorder_evals,
     })
 }
 
@@ -192,6 +226,10 @@ mod tests {
         assert!(report.elapsed > 0.0);
         assert!(report.faults_injected > 0, "fault-replay arm must inject");
         assert!(report.golden_rows > 0, "golden gate must compare rows");
+        assert!(
+            report.recorder_evals >= report.nfe,
+            "recorder arm must observe every evaluation"
+        );
     }
 
     #[test]

@@ -15,10 +15,10 @@
 //! silence a diff you cannot explain.
 
 use borg_desim::fault::FaultConfig;
-use borg_desim::trace::SpanTrace;
 use borg_experiments::suite::PaperProblem;
 use borg_experiments::table2::replicate_seeds;
 use borg_models::dist::Dist;
+use borg_obs::NoopRecorder;
 use borg_parallel::virtual_exec::{
     run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig, VirtualRunResult,
 };
@@ -121,7 +121,7 @@ pub fn compute() -> String {
             problem.as_ref(),
             borg.clone(),
             &cell_config(seed),
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |_, _| {},
         );
         push_row(&mut out, "table2", 0.0, i as u32, seed, &r);
@@ -134,7 +134,7 @@ pub fn compute() -> String {
             borg.clone(),
             &cell_config(seed),
             &faults,
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |_, _| {},
         );
         push_row(&mut out, "faults", FAILURE_RATE, i as u32, seed, &r);

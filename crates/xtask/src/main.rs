@@ -182,8 +182,15 @@ fn print_human(
         Some(Ok(d)) => println!(
             "determinism OK: seed-identical archives ({} members, NFE {}, virtual {:.4}s); \
              fault replay identical ({} injected, {} reissues); \
+             recorder-attached run identical ({} evals observed); \
              golden cells match ({} rows)",
-            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues, d.golden_rows
+            d.archive_size,
+            d.nfe,
+            d.elapsed,
+            d.faults_injected,
+            d.fault_reissues,
+            d.recorder_evals,
+            d.golden_rows
         ),
         Some(Err(e)) => println!("determinism FAIL: {e}"),
         None => {}
@@ -213,8 +220,15 @@ fn print_json(
     match determinism {
         Some(Ok(d)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":true,\"archive_size\":{},\"nfe\":{},\"elapsed\":{},\
-             \"faults_injected\":{},\"fault_reissues\":{},\"golden_rows\":{}}}",
-            d.archive_size, d.nfe, d.elapsed, d.faults_injected, d.fault_reissues, d.golden_rows
+             \"faults_injected\":{},\"fault_reissues\":{},\"recorder_evals\":{},\
+             \"golden_rows\":{}}}",
+            d.archive_size,
+            d.nfe,
+            d.elapsed,
+            d.faults_injected,
+            d.fault_reissues,
+            d.recorder_evals,
+            d.golden_rows
         )),
         Some(Err(e)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":false,\"error\":{}}}",

@@ -1,6 +1,6 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Seven workspace-specific correctness rules run over the token stream from
+//! Eight workspace-specific correctness rules run over the token stream from
 //! [`crate::lexer`]:
 //!
 //! * **BORG-L001** — no `.unwrap()` / `.expect()` in library code outside
@@ -31,6 +31,11 @@
 //!   bookkeeping lives in `borg_protocol::MasterEngine`; a local copy in an
 //!   executor re-creates the triplicated reissue/suppression logic the
 //!   protocol crate exists to centralise.
+//! * **BORG-L008** — no `println!` / `eprintln!` (or `print!` / `eprint!`)
+//!   in library code outside test regions. Libraries report through the
+//!   `borg_obs::Recorder` facade or return renderable values; terminal
+//!   output belongs to bin code, the xtask console tool, and the borg-obs
+//!   exporters (both carved out).
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
 //! on the same line or the line directly above.
@@ -47,7 +52,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 8] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -77,6 +82,11 @@ pub const RULES: [Rule; 7] = [
         summary: "no executor-local recovery state (deadline maps, seen-id sets); \
                   use borg_protocol::MasterEngine",
     },
+    Rule {
+        id: "BORG-L008",
+        summary: "no println!/eprintln! in library code; report through borg_obs::Recorder \
+                  or return renderable values",
+    },
 ];
 
 /// One reported lint violation.
@@ -104,6 +114,7 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l005(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l006(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l007(rel_path, class, &lexed.tokens, &in_test, &mut found);
+    rule_l008(rel_path, class, &lexed.tokens, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
     found.retain(|v| {
@@ -558,6 +569,46 @@ fn l007_state_name_behind(tokens: &[Token], i: usize) -> Option<String> {
     None
 }
 
+/// Print macros caught by L008. `write!`/`writeln!` to a caller-supplied
+/// sink stay legal — the rule targets ambient stdout/stderr only.
+const L008_PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+fn rule_l008(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Carve-outs: the xtask console tool (its whole interface is terminal
+    // output) and the borg-obs exporters (the designated rendering sink).
+    let exempt =
+        rel_path.starts_with("crates/xtask/src/") || rel_path.starts_with("crates/obs/src/export");
+    if class != FileClass::Library || exempt {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && L008_PRINT_MACROS.contains(&t.text.as_str())
+            && is_punct(tokens, i + 1, "!")
+            && !in_test(t.line)
+        {
+            out.push(Violation {
+                rule: "BORG-L008",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}!` writes to the terminal from library code; record through \
+                     borg_obs::Recorder or return a renderable value (terminal output \
+                     belongs to bin code)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Token helpers
 // ---------------------------------------------------------------------------
@@ -798,6 +849,38 @@ mod tests {
         let allowed =
             "let in_flight: HashMap<u64, F> = HashMap::new(); // borg-lint: allow(BORG-L007)";
         assert!(in_parallel(allowed).is_empty());
+    }
+
+    #[test]
+    fn l008_flags_print_macros_in_library_code() {
+        let v = check_lib("fn f() { println!(\"x = {x}\"); }\nfn g() { eprintln!(\"oops\"); }");
+        assert_eq!(rules_at(&v), [("BORG-L008", 1), ("BORG-L008", 2)]);
+        // `writeln!` to a caller-supplied sink is fine, as is a plain
+        // identifier named `println` without the macro bang.
+        assert!(check_lib("fn f(w: &mut W) { writeln!(w, \"x\").ok(); }").is_empty());
+        assert!(check_lib("fn f() { let println = 3; }").is_empty());
+    }
+
+    #[test]
+    fn l008_exempts_bins_tests_and_carved_out_paths() {
+        let src = "fn f() { println!(\"progress\"); }";
+        let bin = check_source(
+            "crates/experiments/src/bin/borg-exp.rs",
+            FileClass::Bin,
+            src,
+        );
+        assert!(bin.is_empty());
+        let tst = check_source("tests/e2e.rs", FileClass::TestOrBench, src);
+        assert!(tst.is_empty());
+        // The console tool and the obs exporters are carved out by path.
+        assert!(check_source("crates/xtask/src/golden.rs", FileClass::Library, src).is_empty());
+        assert!(check_source("crates/obs/src/export.rs", FileClass::Library, src).is_empty());
+        // Test regions inside a library file are exempt.
+        let region = "#[cfg(test)]\nmod tests {\n fn t() { println!(\"dbg\"); }\n}";
+        assert!(check_lib(region).is_empty());
+        // The allowlist escape works.
+        let allowed = "fn f() { println!(\"x\"); } // borg-lint: allow(BORG-L008)";
+        assert!(check_lib(allowed).is_empty());
     }
 
     #[test]

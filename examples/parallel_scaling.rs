@@ -9,7 +9,7 @@
 //! cargo run --release --example parallel_scaling
 //! ```
 
-use borg_desim::trace::SpanTrace;
+use borg_obs::NoopRecorder;
 use borg_repro::models::analytical::{async_parallel_time, serial_time, TimingParams};
 use borg_repro::models::dist::Dist;
 use borg_repro::parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig};
@@ -37,13 +37,7 @@ fn main() {
             t_a: TaMode::Measured,
             seed: 7 + u64::from(p),
         };
-        let result = run_virtual_async(
-            &problem,
-            borg.clone(),
-            &vcfg,
-            &mut SpanTrace::disabled(),
-            |_, _| {},
-        );
+        let result = run_virtual_async(&problem, borg.clone(), &vcfg, &NoopRecorder, |_, _| {});
         let mean_ta = result.ta_samples.iter().sum::<f64>() / result.ta_samples.len() as f64;
         let t = TimingParams::new(t_f, t_c, mean_ta);
         let eq2 = async_parallel_time(nfe, p, t);

@@ -11,6 +11,7 @@ pub use borg_desim as desim;
 pub use borg_experiments as experiments;
 pub use borg_metrics as metrics;
 pub use borg_models as models;
+pub use borg_obs as obs;
 pub use borg_parallel as parallel;
 pub use borg_problems as problems;
 

@@ -1,7 +1,7 @@
 //! End-to-end algorithm quality: the Borg MOEA must actually solve the
 //! paper's workloads, serially and in (virtual-time) parallel.
 
-use borg_desim::trace::SpanTrace;
+use borg_obs::NoopRecorder;
 use borg_repro::core::algorithm::{run_serial, BorgConfig};
 use borg_repro::metrics::relative::RelativeHypervolume;
 use borg_repro::models::dist::Dist;
@@ -97,7 +97,7 @@ fn parallel_execution_preserves_search_quality() {
         &problem,
         BorgConfig::new(3, 0.05),
         &vcfg,
-        &mut SpanTrace::disabled(),
+        &NoopRecorder,
         |_, _| {},
     );
     let parallel_hv = metric.ratio(&parallel.engine.archive().objective_vectors());

@@ -2,7 +2,7 @@
 //! virtual executor — the reproduction-scale analogue of Table II's
 //! model-vs-experiment comparison.
 
-use borg_desim::trace::SpanTrace;
+use borg_obs::NoopRecorder;
 use borg_repro::core::algorithm::BorgConfig;
 use borg_repro::models::analytical::{
     async_parallel_time, processor_upper_bound, relative_error, TimingParams,
@@ -33,7 +33,7 @@ fn run_cell(p: u32, nfe: u64, tf: f64) -> Cell {
         &problem,
         BorgConfig::new(5, 0.1),
         &cfg,
-        &mut SpanTrace::disabled(),
+        &NoopRecorder,
         |_, _| {},
     );
     let mean_ta = result.ta_samples.iter().sum::<f64>() / result.ta_samples.len() as f64;
@@ -131,7 +131,7 @@ fn measured_ta_is_microseconds_and_grows_with_problem_complexity() {
             t_a: TaMode::Measured,
             seed: 7,
         };
-        let r = run_virtual_async(problem, borg, &cfg, &mut SpanTrace::disabled(), |_, _| {});
+        let r = run_virtual_async(problem, borg, &cfg, &NoopRecorder, |_, _| {});
         r.ta_samples.iter().sum::<f64>() / r.ta_samples.len() as f64
     };
     let dtlz2 = Dtlz::dtlz2_5();
@@ -165,7 +165,7 @@ fn perfsim_and_full_executor_agree_when_fed_the_same_distributions() {
             &problem,
             BorgConfig::new(5, 0.1),
             &vcfg,
-            &mut SpanTrace::disabled(),
+            &NoopRecorder,
             |_, _| {},
         );
         let sim = simulate_async(&PerfSimConfig {

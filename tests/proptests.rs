@@ -313,7 +313,7 @@ proptest! {
             &mut hooks,
             workers,
             n,
-            &mut borg_repro::desim::SpanTrace::disabled(),
+            &borg_obs::NoopRecorder,
         );
         prop_assert_eq!(out.completed, n);
         // Work conservation: W workers cannot evaluate faster than W-way.
@@ -357,7 +357,7 @@ proptest! {
             n,
             &plan,
             RecoveryPolicy::from_expected_eval_time(t_f, 4.0),
-            &mut borg_repro::desim::SpanTrace::disabled(),
+            &borg_obs::NoopRecorder,
         );
         prop_assert_eq!(run.outcome.completed, n, "budget not exactly met");
         // Ledger consistency: every detected fault recovered, and each
@@ -383,13 +383,13 @@ proptest! {
             &mut ConstHooks { t_f, t_c, t_a },
             workers,
             n,
-            &mut borg_repro::desim::SpanTrace::disabled(),
+            &borg_obs::NoopRecorder,
         );
         let s = run_sync(
             &mut ConstHooks { t_f, t_c, t_a },
             workers,
             n,
-            &mut borg_repro::desim::SpanTrace::disabled(),
+            &borg_obs::NoopRecorder,
         );
         // The sync topology has one more evaluator (the master) but pays
         // the barrier + P·T_A per generation; with constant times and the
