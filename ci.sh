@@ -22,6 +22,9 @@ cargo test -q --release
 echo "==> borg-exp faults --smoke"
 ./target/release/borg-exp faults --smoke --out target/ci-results
 
+echo "==> borg-exp table2 --smoke --jobs 2 (work-stealing runner)"
+./target/release/borg-exp table2 --smoke --jobs 2 --out target/ci-results-jobs2
+
 echo "==> borg-exp table2 --smoke with trace + metrics export"
 ./target/release/borg-exp table2 --smoke --out target/ci-results \
   --trace-out target/ci-results/trace_smoke.json \

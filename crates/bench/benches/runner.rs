@@ -1,0 +1,49 @@
+//! Benches for the deterministic work-stealing runner: per-job dispatch
+//! overhead (serial pool vs four workers over a uniform batch) and a
+//! skewed, steal-heavy batch where the front chunks carry most of the
+//! work — the case the steal-on-empty path exists for.
+
+use borg_runner::map_jobs;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A small CPU-bound spin whose cost scales with `weight`; the rotate/xor
+/// mix keeps the loop from being optimized away.
+fn spin(weight: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..weight {
+        acc = acc.wrapping_add(i).rotate_left(7) ^ 0x9E37_79B9_7F4A_7C15;
+    }
+    acc
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner");
+    group.sample_size(10);
+    group.bench_function("map_jobs_serial_256_uniform", |b| {
+        b.iter(|| {
+            let items: Vec<u64> = (0..256).collect();
+            map_jobs(1, items, |i, x| spin(black_box(400)) ^ x ^ i as u64)
+        })
+    });
+    group.bench_function("map_jobs_w4_256_uniform", |b| {
+        b.iter(|| {
+            let items: Vec<u64> = (0..256).collect();
+            map_jobs(4, items, |i, x| spin(black_box(400)) ^ x ^ i as u64)
+        })
+    });
+    group.bench_function("map_jobs_w4_64_skewed_steal_heavy", |b| {
+        b.iter(|| {
+            let items: Vec<u64> = (0..64).collect();
+            map_jobs(4, items, |i, x| {
+                // Front-loaded weights: worker 0's chunk dominates, so the
+                // other workers drain their chunks and steal from its tail.
+                let weight = if i < 16 { 4_000 } else { 100 };
+                spin(black_box(weight)) ^ x
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runner);
+criterion_main!(benches);

@@ -55,6 +55,8 @@ pub struct EpsilonArchive {
     accepts: u64,
     /// Total rejected insertions.
     rejects: u64,
+    /// Times the archive content was cleared (restart truncation).
+    clears: u64,
     /// Archive contributions per operator index (drives operator adaptation).
     operator_credits: Vec<u64>,
 }
@@ -77,6 +79,7 @@ impl EpsilonArchive {
             improvements: 0,
             accepts: 0,
             rejects: 0,
+            clears: 0,
             operator_credits: Vec::new(),
         }
     }
@@ -119,6 +122,16 @@ impl EpsilonArchive {
     /// Total rejected insertions.
     pub fn rejects(&self) -> u64 {
         self.rejects
+    }
+
+    /// Content generation counter: changes every time the archive's member
+    /// set *may* have changed (any accepted insertion or a clear), and
+    /// never changes otherwise. Callers computing expensive functions of
+    /// the archive content (e.g. the hypervolume ratio in the experiment
+    /// drivers) can cache keyed on this value and skip recomputation while
+    /// the archive is unchanged.
+    pub fn generation(&self) -> u64 {
+        self.accepts + self.clears
     }
 
     /// Archive contributions per operator (index = operator id).
@@ -288,6 +301,7 @@ impl EpsilonArchive {
     pub fn clear_solutions(&mut self) {
         self.solutions.clear();
         self.boxes.clear();
+        self.clears += 1;
     }
 
     /// Verifies the archive invariants; used in tests and `debug_assert!`s.
@@ -446,6 +460,23 @@ mod tests {
         a.check_invariants().unwrap();
         assert!(a.len() > 1);
         assert_eq!(a.accepts() + a.rejects(), 500);
+    }
+
+    #[test]
+    fn generation_changes_iff_content_may_have_changed() {
+        let mut a = EpsilonArchive::uniform(2, 0.1);
+        let g0 = a.generation();
+        a.add(sol(&[0.05, 0.95]));
+        let g1 = a.generation();
+        assert_ne!(g0, g1, "accepted insertion must bump the generation");
+        // A rejected insertion leaves the content — and the generation —
+        // untouched.
+        a.add(sol(&[0.55, 0.95]));
+        assert_eq!(a.generation(), g1);
+        // Clearing empties the content, so the generation must move even
+        // though nothing was accepted.
+        a.clear_solutions();
+        assert_ne!(a.generation(), g1);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct AblationConfig {
     pub replicates: u32,
     /// Seed.
     pub seed: u64,
+    /// Worker threads for the replicate sweeps (`0` auto, `1` serial);
+    /// results are bit-identical for any value (see `borg-runner`).
+    pub jobs: usize,
 }
 
 impl Default for AblationConfig {
@@ -37,6 +40,7 @@ impl Default for AblationConfig {
             evaluations: 10_000,
             replicates: 3,
             seed: 77,
+            jobs: 0,
         }
     }
 }
@@ -144,21 +148,22 @@ pub fn ablation_archive(config: &AblationConfig) -> TextTable {
 fn mean_final_hv(
     problem_choice: PaperProblem,
     config: &AblationConfig,
-    tweak: impl Fn(&mut borg_core::algorithm::BorgConfig),
+    tweak: impl Fn(&mut borg_core::algorithm::BorgConfig) + Sync,
 ) -> f64 {
-    let problem = problem_choice.build();
     let reference = problem_choice.reference_front(6);
     let metric = RelativeHypervolume::monte_carlo(&reference, 5_000, config.seed ^ 0xF0);
     let mut split = SplitMix64::new(config.seed);
-    let mut acc = 0.0;
-    for _ in 0..config.replicates {
+    let seeds: Vec<u64> = (0..config.replicates)
+        .map(|_| split.derive_seed("ablation-hv"))
+        .collect();
+    let ratios = crate::par::run_jobs(config.jobs, seeds, |_, seed| {
+        let problem = problem_choice.build();
         let mut borg = problem_choice.borg_config(0.1);
         tweak(&mut borg);
-        let seed = split.derive_seed("ablation-hv");
         let engine = run_serial(problem.as_ref(), borg, seed, config.evaluations, |_| {});
-        acc += metric.ratio(&engine.archive().objective_vectors());
-    }
-    acc / config.replicates as f64
+        metric.ratio(&engine.archive().objective_vectors())
+    });
+    ratios.iter().sum::<f64>() / config.replicates as f64
 }
 
 /// Adaptive six-operator ensemble vs SBX-only.
@@ -334,28 +339,74 @@ pub fn ablation_baseline(config: &AblationConfig) -> TextTable {
     use borg_problems::refsets::zdt_front;
     use borg_problems::zdt::{Zdt, ZdtVariant};
 
-    struct Case {
-        name: &'static str,
-        problem: Box<dyn borg_core::problem::Problem>,
-        reference: Vec<Vec<f64>>,
-        borg: borg_core::algorithm::BorgConfig,
+    /// A rebuildable case identifier, so every (case, replicate) pair can
+    /// be an independent job that constructs its own problem and metric.
+    #[derive(Clone, Copy)]
+    enum CaseId {
+        Zdt1,
+        Paper(PaperProblem),
     }
-    let zdt1 = Zdt::with_variables(ZdtVariant::Zdt1, 15);
-    let zdt1_front = zdt_front(&zdt1, 500);
-    let mut cases = vec![Case {
-        name: "ZDT1",
-        problem: Box::new(zdt1),
-        reference: zdt1_front,
-        borg: borg_core::algorithm::BorgConfig::new(2, 0.01),
-    }];
-    for p in PaperProblem::all() {
-        cases.push(Case {
-            name: p.name(),
-            problem: p.build(),
-            reference: p.reference_front(6),
-            borg: p.borg_config(0.1),
-        });
+    let cases = [
+        CaseId::Zdt1,
+        CaseId::Paper(PaperProblem::Dtlz2),
+        CaseId::Paper(PaperProblem::Uf11),
+    ];
+    let build = |id: CaseId| -> (
+        Box<dyn borg_core::problem::Problem>,
+        Vec<Vec<f64>>,
+        borg_core::algorithm::BorgConfig,
+    ) {
+        match id {
+            CaseId::Zdt1 => {
+                let zdt1 = Zdt::with_variables(ZdtVariant::Zdt1, 15);
+                let front = zdt_front(&zdt1, 500);
+                (
+                    Box::new(zdt1),
+                    front,
+                    borg_core::algorithm::BorgConfig::new(2, 0.01),
+                )
+            }
+            CaseId::Paper(p) => (p.build(), p.reference_front(6), p.borg_config(0.1)),
+        }
+    };
+
+    // Each case derives its replicate seeds from a fresh splitter — the
+    // same sequence per case, exactly as the old per-case loop did.
+    let mut jobs = Vec::new();
+    for (index, _) in cases.iter().enumerate() {
+        let mut split = SplitMix64::new(config.seed ^ 0x0B);
+        for _ in 0..config.replicates {
+            jobs.push((index, split.derive_seed("baseline")));
+        }
     }
+    let outcomes = crate::par::run_jobs(config.jobs, jobs, |_, (index, seed)| {
+        let (problem, reference, borg_cfg) = build(cases[index]);
+        let metric = RelativeHypervolume::monte_carlo(&reference, 5_000, config.seed ^ 0xBA5E);
+        let m = problem.num_objectives();
+        let borg = run_serial(problem.as_ref(), borg_cfg, seed, config.evaluations, |_| {});
+        let borg_hv = metric.ratio(&borg.archive().objective_vectors());
+        let nsga = run_nsga2_serial(
+            problem.as_ref(),
+            Nsga2Config::default(),
+            seed,
+            config.evaluations,
+            |_| {},
+        );
+        let front: Vec<Vec<f64>> = nsga
+            .front()
+            .iter()
+            .map(|s| s.objectives().to_vec())
+            .collect();
+        let nsga_hv = metric.ratio(&front);
+        // Lattice sized near 100 subproblems regardless of M.
+        let moead_cfg = MoeadConfig {
+            divisions: if m == 2 { 99 } else { 6 },
+            ..MoeadConfig::default()
+        };
+        let moead = run_moead_serial(problem.as_ref(), moead_cfg, seed, config.evaluations);
+        let moead_hv = metric.ratio(&moead.front());
+        (borg_hv, nsga_hv, moead_hv)
+    });
 
     let mut t = TextTable::new(vec![
         "problem",
@@ -364,45 +415,21 @@ pub fn ablation_baseline(config: &AblationConfig) -> TextTable {
         "NSGA-II hv",
         "MOEA/D hv",
     ]);
-    for case in cases {
-        let metric = RelativeHypervolume::monte_carlo(&case.reference, 5_000, config.seed ^ 0xBA5E);
-        let mut split = SplitMix64::new(config.seed ^ 0x0B);
-        let m = case.problem.num_objectives();
+    let replicates = config.replicates as usize;
+    for (index, &id) in cases.iter().enumerate() {
+        let mine = &outcomes[index * replicates..(index + 1) * replicates];
         let (mut borg_acc, mut nsga_acc, mut moead_acc) = (0.0, 0.0, 0.0);
-        for _ in 0..config.replicates {
-            let seed = split.derive_seed("baseline");
-            let borg = run_serial(
-                case.problem.as_ref(),
-                case.borg.clone(),
-                seed,
-                config.evaluations,
-                |_| {},
-            );
-            borg_acc += metric.ratio(&borg.archive().objective_vectors());
-            let nsga = run_nsga2_serial(
-                case.problem.as_ref(),
-                Nsga2Config::default(),
-                seed,
-                config.evaluations,
-                |_| {},
-            );
-            let front: Vec<Vec<f64>> = nsga
-                .front()
-                .iter()
-                .map(|s| s.objectives().to_vec())
-                .collect();
-            nsga_acc += metric.ratio(&front);
-            // Lattice sized near 100 subproblems regardless of M.
-            let moead_cfg = MoeadConfig {
-                divisions: if m == 2 { 99 } else { 6 },
-                ..MoeadConfig::default()
-            };
-            let moead =
-                run_moead_serial(case.problem.as_ref(), moead_cfg, seed, config.evaluations);
-            moead_acc += metric.ratio(&moead.front());
+        for &(b, n, d) in mine {
+            borg_acc += b;
+            nsga_acc += n;
+            moead_acc += d;
         }
+        let (name, m) = match id {
+            CaseId::Zdt1 => ("ZDT1", 2),
+            CaseId::Paper(p) => (p.name(), 5),
+        };
         t.row(vec![
-            case.name.to_string(),
+            name.to_string(),
             m.to_string(),
             format!("{:.3}", borg_acc / config.replicates as f64),
             format!("{:.3}", nsga_acc / config.replicates as f64),

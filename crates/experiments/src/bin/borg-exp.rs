@@ -21,6 +21,9 @@
 //!   --nfe N           evaluations per run (overrides defaults)
 //!   --replicates R    replicates per configuration
 //!   --seed S          root seed
+//!   --jobs N          worker threads for replicate sweeps (default: all
+//!                     cores; 1 = serial; the fan-out is deterministic —
+//!                     see README "Parallel experiment runner")
 //!   --smoke           tiny scale (CI)
 //!   --full            paper scale (hours)
 //!   --trace-out FILE  also run the three-executor trace bundle and write
@@ -59,6 +62,7 @@ struct Cli {
     nfe: Option<u64>,
     replicates: Option<u32>,
     seed: Option<u64>,
+    jobs: usize,
     smoke: bool,
     full: bool,
     trace_out: Option<PathBuf>,
@@ -74,6 +78,7 @@ fn parse_args() -> Result<Cli, String> {
         nfe: None,
         replicates: None,
         seed: None,
+        jobs: 0,
         smoke: false,
         full: false,
         trace_out: None,
@@ -106,6 +111,13 @@ fn parse_args() -> Result<Cli, String> {
                         .map_err(|e| format!("--seed: {e}"))?,
                 )
             }
+            "--jobs" => {
+                cli.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
             "--smoke" => cli.smoke = true,
             "--full" => cli.full = true,
             "--trace-out" => {
@@ -129,7 +141,7 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
+            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
             std::process::exit(2);
         }
     };
@@ -150,7 +162,7 @@ fn main() {
             "advise",
         ]
     } else if cli.command == "--help" || cli.command == "help" {
-        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--smoke|--full]");
+        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
         return;
     } else {
         vec![cli.command.as_str()]
@@ -214,6 +226,7 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
+            cfg.jobs = cli.jobs;
             let total = cfg.problems.len() * cfg.tf_means.len() * cfg.processors.len();
             let mut done = 0usize;
             let mut metrics = String::new();
@@ -288,6 +301,7 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
+            cfg.jobs = cli.jobs;
             for panel in run_figure(&cfg) {
                 let table = render_panel(&panel);
                 println!(
@@ -307,6 +321,7 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
+            cfg.jobs = cli.jobs;
             let surfaces = run_figure5(&cfg);
             let sync_art =
                 surfaces.to_ascii(&surfaces.sync, "Figure 5a: synchronous efficiency (Eq. 6)");
@@ -324,7 +339,9 @@ fn run_command(cmd: &str, cli: &Cli) {
             .unwrap();
             write_output(&cli.out, "fig5.txt", &format!("{sync_art}\n{async_art}")).unwrap();
             // Also emit the Table II parameter ordering (see DESIGN.md §4).
-            let alt = run_figure5(&HeatmapConfig::default().table2_params());
+            let mut alt_cfg = HeatmapConfig::default().table2_params();
+            alt_cfg.jobs = cli.jobs;
+            let alt = run_figure5(&alt_cfg);
             write_output(
                 &cli.out,
                 "fig5_sync_table2params.csv",
@@ -381,6 +398,7 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
+            cfg.jobs = cli.jobs;
             let runs: Vec<(&str, borg_experiments::report::TextTable)> = vec![
                 ("ablation_archive", ablation_archive(&cfg)),
                 (
@@ -416,6 +434,7 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
+            cfg.jobs = cli.jobs;
             let rows = run_faults(&cfg);
             let table = render_faults(&rows);
             println!(
@@ -470,6 +489,7 @@ fn run_command(cmd: &str, cli: &Cli) {
             if let Some(s) = cli.seed {
                 cfg.seed = s;
             }
+            cfg.jobs = cli.jobs;
             let trajs = run_dynamics(&cfg);
             println!(
                 "algorithm dynamics on {} (T_F = {}s, N = {}):",

@@ -13,6 +13,7 @@
 //! adaptation, and quality — making the paper's "dynamics" argument
 //! quantitative.
 
+use crate::hvcache::HvCache;
 use crate::report::TextTable;
 use crate::suite::PaperProblem;
 use borg_core::rng::SplitMix64;
@@ -36,6 +37,11 @@ pub struct DynamicsConfig {
     pub check_every: u64,
     /// Seed.
     pub seed: u64,
+    /// Worker threads for the per-`P` sweep (`0` auto, `1` serial). The
+    /// fan-out adds no nondeterminism — seeds are pre-derived and results
+    /// fold in `processors` order (see `borg-runner`); measured `T_A`
+    /// still varies with host timing run to run regardless of `jobs`.
+    pub jobs: usize,
 }
 
 impl Default for DynamicsConfig {
@@ -47,6 +53,7 @@ impl Default for DynamicsConfig {
             t_f: 0.001,
             check_every: 500,
             seed: 0xD1A,
+            jobs: 0,
         }
     }
 }
@@ -123,48 +130,53 @@ pub fn normalized_entropy(probs: &[f64]) -> f64 {
 }
 
 /// Runs the dynamics experiment, returning one trajectory per `P`.
+///
+/// Each processor count is one job: its seed is pre-derived from the
+/// shared SplitMix64 stream in `config.processors` order, the runs fan
+/// out over `config.jobs` workers, and the trajectories come back in
+/// that same order — bit-identical for every `jobs` setting. Hypervolume
+/// checkpoints go through an [`HvCache`] so the metric only re-runs when
+/// the archive changed since the previous checkpoint.
 pub fn run_dynamics(config: &DynamicsConfig) -> Vec<DynamicsTrajectory> {
-    let problem = config.problem.build();
-    let borg = config.problem.borg_config(0.1);
     let metric =
         RelativeHypervolume::monte_carlo(&config.problem.reference_front(6), 10_000, config.seed);
     let mut split = SplitMix64::new(config.seed);
-    let mut out = Vec::new();
-    for &p in &config.processors {
+    let jobs: Vec<(u32, u64)> = config
+        .processors
+        .iter()
+        .map(|&p| (p, split.derive_seed("dynamics") ^ u64::from(p)))
+        .collect();
+    crate::par::run_jobs(config.jobs, jobs, |_, (p, seed)| {
+        let problem = config.problem.build();
+        let borg = config.problem.borg_config(0.1);
         let vcfg = VirtualConfig {
             processors: p,
             max_nfe: config.evaluations,
             t_f: Dist::normal_cv(config.t_f, 0.1),
             t_c: Dist::Constant(0.000_006),
             t_a: TaMode::Measured,
-            seed: split.derive_seed("dynamics") ^ u64::from(p),
+            seed,
         };
         let mut points = Vec::new();
         let check = config.check_every.max(1);
-        run_virtual_async(
-            problem.as_ref(),
-            borg.clone(),
-            &vcfg,
-            &NoopRecorder,
-            |t, engine| {
-                if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
-                    points.push(DynamicsPoint {
-                        time: t,
-                        nfe: engine.nfe(),
-                        archive: engine.archive().len(),
-                        restarts: engine.stats().restarts,
-                        hypervolume: metric.ratio(&engine.archive().objective_vectors()),
-                        operator_entropy: normalized_entropy(engine.operator_probabilities()),
-                    });
-                }
-            },
-        );
-        out.push(DynamicsTrajectory {
+        let mut cache = HvCache::new();
+        run_virtual_async(problem.as_ref(), borg, &vcfg, &NoopRecorder, |t, engine| {
+            if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
+                points.push(DynamicsPoint {
+                    time: t,
+                    nfe: engine.nfe(),
+                    archive: engine.archive().len(),
+                    restarts: engine.stats().restarts,
+                    hypervolume: cache.ratio(&metric, engine.archive()),
+                    operator_entropy: normalized_entropy(engine.operator_probabilities()),
+                });
+            }
+        });
+        DynamicsTrajectory {
             processors: p,
             points,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Summary table at the common time point where the fastest configuration

@@ -49,6 +49,14 @@ pub struct FaultsConfig {
     pub epsilon: f64,
     /// Root seed (shared with Table II so the baselines coincide).
     pub seed: u64,
+    /// Worker threads for the replicate sweep (`0` auto, `1` serial). The
+    /// fan-out adds no nondeterminism: with `sampled_ta` pinned, every
+    /// value produces byte-identical rows and fault ledgers (see
+    /// `borg-runner`); measured `T_A` varies with host timing regardless.
+    pub jobs: usize,
+    /// `Some(v)`: sampled constant `T_A` of `v` seconds instead of
+    /// measured `T_A` (used by the determinism gate); `None`: measure.
+    pub sampled_ta: Option<f64>,
 }
 
 impl Default for FaultsConfig {
@@ -62,6 +70,8 @@ impl Default for FaultsConfig {
             problem: PaperProblem::Dtlz2,
             epsilon: 0.1,
             seed: 20130520,
+            jobs: 0,
+            sampled_ta: None,
         }
     }
 }
@@ -112,27 +122,65 @@ pub struct FaultsRow {
     pub wasted_nfe: f64,
 }
 
-/// Runs the sweep.
-pub fn run_faults(config: &FaultsConfig) -> Vec<FaultsRow> {
-    let mut rows = Vec::new();
-    let problem = config.problem.build();
-    let borg = config.problem.borg_config(config.epsilon);
-    for &f in &config.failure_rates {
-        for &p in &config.processors {
-            rows.push(run_cell(config, problem.as_ref(), &borg, f, p));
-        }
-    }
-    rows
+/// `T_C` injected into every run (seconds), matching Table II's.
+const T_C: f64 = 0.000_006;
+
+/// What one replicate run hands back to the per-cell fold.
+struct ReplicateOutcome {
+    elapsed: f64,
+    ta_sum: f64,
+    ta_count: usize,
+    completed: u64,
+    injected: usize,
+    detected: usize,
+    recovered: usize,
+    reissues: u64,
+    wasted: u64,
 }
 
-fn run_cell(
-    config: &FaultsConfig,
-    problem: &dyn borg_core::problem::Problem,
-    borg: &borg_core::algorithm::BorgConfig,
-    f: f64,
-    p: u32,
-) -> FaultsRow {
-    let t_c = 0.000_006;
+/// Runs the sweep: replicate seeds are pre-derived in (cell, replicate)
+/// order, the replicates fan out over `config.jobs` workers, and each
+/// cell folds its outcomes in replicate order — so the rows (and the
+/// fault ledgers they summarise) are bit-identical for every `jobs`
+/// setting.
+pub fn run_faults(config: &FaultsConfig) -> Vec<FaultsRow> {
+    let mut cells = Vec::new();
+    for &f in &config.failure_rates {
+        for &p in &config.processors {
+            cells.push((f, p));
+        }
+    }
+    let mut jobs = Vec::new();
+    for (index, &(_, p)) in cells.iter().enumerate() {
+        for seed in replicate_seeds(
+            config.seed,
+            config.problem,
+            config.tf_mean,
+            p,
+            config.replicates,
+        ) {
+            jobs.push((index, seed));
+        }
+    }
+    let outcomes = crate::par::run_jobs(config.jobs, jobs, |_, (cell, seed)| {
+        let (f, p) = cells[cell];
+        run_replicate(config, f, p, seed)
+    });
+    let replicates = config.replicates as usize;
+    cells
+        .iter()
+        .enumerate()
+        .map(|(index, &(f, p))| {
+            let mine = &outcomes[index * replicates..(index + 1) * replicates];
+            finalize_cell(config, f, p, mine)
+        })
+        .collect()
+}
+
+/// Runs one replicate (workload built fresh; jobs share nothing).
+fn run_replicate(config: &FaultsConfig, f: f64, p: u32, seed: u64) -> ReplicateOutcome {
+    let problem = config.problem.build();
+    let borg = config.problem.borg_config(config.epsilon);
     // f = 0 means a clean pool — not even the background message loss
     // `degraded` adds — so the baseline is exactly the Table II arm.
     let faults = if f == 0.0 {
@@ -140,6 +188,53 @@ fn run_cell(
     } else {
         FaultConfig::degraded(f)
     };
+    let vcfg = VirtualConfig {
+        processors: p,
+        max_nfe: config.evaluations,
+        t_f: Dist::normal_cv(config.tf_mean, 0.1),
+        t_c: Dist::Constant(T_C),
+        t_a: match config.sampled_ta {
+            Some(v) => TaMode::Sampled(Dist::Constant(v)),
+            None => TaMode::Measured,
+        },
+        seed,
+    };
+    // f = 0 routes through the plain executor: identical to the
+    // Table II experimental arm, and proof the fault machinery adds
+    // nothing when quiet.
+    let result = if faults.is_quiet() {
+        run_virtual_async(problem.as_ref(), borg, &vcfg, &NoopRecorder, |_, _| {})
+    } else {
+        run_virtual_async_faulty(
+            problem.as_ref(),
+            borg,
+            &vcfg,
+            &faults,
+            &NoopRecorder,
+            |_, _| {},
+        )
+    };
+    ReplicateOutcome {
+        elapsed: result.outcome.elapsed,
+        ta_sum: result.ta_samples.iter().sum::<f64>(),
+        ta_count: result.ta_samples.len(),
+        completed: result.engine.nfe(),
+        injected: result.fault_log.injected(),
+        detected: result.fault_log.detected(),
+        recovered: result.fault_log.recovered(),
+        reissues: result.fault_log.reissues,
+        wasted: result.fault_log.wasted_nfe,
+    }
+}
+
+/// Folds one cell's replicate outcomes (in replicate order) into its row.
+fn finalize_cell(
+    config: &FaultsConfig,
+    f: f64,
+    p: u32,
+    outcomes: &[ReplicateOutcome],
+) -> FaultsRow {
+    let t_c = T_C;
     let mut elapsed_sum = 0.0;
     let mut ta_sum = 0.0;
     let mut ta_count = 0usize;
@@ -149,47 +244,16 @@ fn run_cell(
     let mut recovered = 0usize;
     let mut reissues = 0u64;
     let mut wasted = 0u64;
-
-    let seeds = replicate_seeds(
-        config.seed,
-        config.problem,
-        config.tf_mean,
-        p,
-        config.replicates,
-    );
-    for seed in seeds {
-        let vcfg = VirtualConfig {
-            processors: p,
-            max_nfe: config.evaluations,
-            t_f: Dist::normal_cv(config.tf_mean, 0.1),
-            t_c: Dist::Constant(t_c),
-            t_a: TaMode::Measured,
-            seed,
-        };
-        // f = 0 routes through the plain executor: identical to the
-        // Table II experimental arm, and proof the fault machinery adds
-        // nothing when quiet.
-        let result = if faults.is_quiet() {
-            run_virtual_async(problem, borg.clone(), &vcfg, &NoopRecorder, |_, _| {})
-        } else {
-            run_virtual_async_faulty(
-                problem,
-                borg.clone(),
-                &vcfg,
-                &faults,
-                &NoopRecorder,
-                |_, _| {},
-            )
-        };
-        elapsed_sum += result.outcome.elapsed;
-        ta_sum += result.ta_samples.iter().sum::<f64>();
-        ta_count += result.ta_samples.len();
-        completed = completed.max(result.engine.nfe());
-        injected += result.fault_log.injected();
-        detected += result.fault_log.detected();
-        recovered += result.fault_log.recovered();
-        reissues += result.fault_log.reissues;
-        wasted += result.fault_log.wasted_nfe;
+    for outcome in outcomes {
+        elapsed_sum += outcome.elapsed;
+        ta_sum += outcome.ta_sum;
+        ta_count += outcome.ta_count;
+        completed = completed.max(outcome.completed);
+        injected += outcome.injected;
+        detected += outcome.detected;
+        recovered += outcome.recovered;
+        reissues += outcome.reissues;
+        wasted += outcome.wasted;
     }
 
     let reps = config.replicates as f64;

@@ -33,6 +33,9 @@ pub struct HeatmapConfig {
     pub min_evaluations: u64,
     /// Seed.
     pub seed: u64,
+    /// Worker threads for the grid sweep (`0` auto, `1` serial); surfaces
+    /// are bit-identical for any value (see `borg-runner`).
+    pub jobs: usize,
 }
 
 impl Default for HeatmapConfig {
@@ -47,6 +50,7 @@ impl Default for HeatmapConfig {
             cv: 0.1,
             min_evaluations: 4_000,
             seed: 5150,
+            jobs: 0,
         }
     }
 }
@@ -92,34 +96,46 @@ pub struct EfficiencySurfaces {
 }
 
 /// Computes both surfaces.
+///
+/// Each `(T_F, P)` grid cell is an independent job (its simulation seed
+/// is derived from the cell coordinates alone); cells fan out over
+/// `config.jobs` workers and land in a row-major index-ordered buffer, so
+/// the surfaces are bit-identical for every `jobs` setting.
 pub fn run_figure5(config: &HeatmapConfig) -> EfficiencySurfaces {
     let mut tf_grid = config.tf_grid.clone();
     tf_grid.sort_by(|a, b| b.total_cmp(a)); // descending rows
-    let mut sync = Vec::with_capacity(tf_grid.len());
-    let mut async_ = Vec::with_capacity(tf_grid.len());
+    let mut jobs = Vec::with_capacity(tf_grid.len() * config.p_grid.len());
     for &tf in &tf_grid {
-        let mut sync_row = Vec::with_capacity(config.p_grid.len());
-        let mut async_row = Vec::with_capacity(config.p_grid.len());
         for &p in &config.p_grid {
-            let t = TimingParams::new(tf, config.t_c, config.t_a);
-            // N only normalizes away in the analytical formula.
-            sync_row.push(sync_efficiency(1_000_000, p, t));
-            let n = config.min_evaluations.max(4 * u64::from(p));
-            let pred = simulate_async(&PerfSimConfig {
-                processors: p.max(2),
-                evaluations: n,
-                timing: TimingModel {
-                    t_f: Dist::normal_cv(tf, config.cv),
-                    t_c: Dist::Constant(config.t_c),
-                    t_a: Dist::Constant(config.t_a),
-                },
-                seed: config.seed ^ u64::from(p) ^ tf.to_bits(),
-            });
-            async_row.push(pred.efficiency);
+            jobs.push((tf, p));
         }
-        sync.push(sync_row);
-        async_.push(async_row);
     }
+    let cells = crate::par::run_jobs(config.jobs, jobs, |_, (tf, p)| {
+        let t = TimingParams::new(tf, config.t_c, config.t_a);
+        // N only normalizes away in the analytical formula.
+        let sync_eff = sync_efficiency(1_000_000, p, t);
+        let n = config.min_evaluations.max(4 * u64::from(p));
+        let pred = simulate_async(&PerfSimConfig {
+            processors: p.max(2),
+            evaluations: n,
+            timing: TimingModel {
+                t_f: Dist::normal_cv(tf, config.cv),
+                t_c: Dist::Constant(config.t_c),
+                t_a: Dist::Constant(config.t_a),
+            },
+            seed: config.seed ^ u64::from(p) ^ tf.to_bits(),
+        });
+        (sync_eff, pred.efficiency)
+    });
+    let cols = config.p_grid.len();
+    let sync = cells
+        .chunks(cols)
+        .map(|row| row.iter().map(|&(s, _)| s).collect())
+        .collect();
+    let async_ = cells
+        .chunks(cols)
+        .map(|row| row.iter().map(|&(_, a)| a).collect())
+        .collect();
     EfficiencySurfaces {
         tf_grid,
         p_grid: config.p_grid.clone(),

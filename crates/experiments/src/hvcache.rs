@@ -1,0 +1,86 @@
+//! Generation-keyed hypervolume caching for trajectory sampling.
+//!
+//! The figure drivers sample the relative hypervolume of the evolving
+//! archive at every checkpoint. Naively that means rebuilding the
+//! `Vec<Vec<f64>>` objective matrix *and* re-running the (Monte Carlo)
+//! hypervolume estimator per sample — even though between most checkpoints
+//! the archive has not changed at all. [`HvCache`] keys the last computed
+//! ratio on [`EpsilonArchive::generation`], which moves exactly when the
+//! archive's content may have changed, so unchanged archives cost one
+//! integer compare instead of an allocation plus a full metric pass.
+//!
+//! The cached value is the bit-identical `f64` the metric returned, so
+//! trajectories are unchanged — this is purely a hot-path optimisation.
+
+use borg_core::archive::EpsilonArchive;
+use borg_metrics::relative::RelativeHypervolume;
+
+/// Caches the last hypervolume ratio, keyed on the archive generation.
+#[derive(Debug, Clone, Default)]
+pub struct HvCache {
+    last: Option<(u64, f64)>,
+}
+
+impl HvCache {
+    /// An empty cache (first `ratio` call always computes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The relative hypervolume of `archive` under `metric`, recomputed
+    /// only when the archive generation changed since the last call.
+    pub fn ratio(&mut self, metric: &RelativeHypervolume, archive: &EpsilonArchive) -> f64 {
+        let generation = archive.generation();
+        if let Some((cached_generation, cached_ratio)) = self.last {
+            if cached_generation == generation {
+                return cached_ratio;
+            }
+        }
+        let ratio = metric.ratio(&archive.objective_vectors());
+        self.last = Some((generation, ratio));
+        ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_core::solution::Solution;
+
+    fn metric() -> RelativeHypervolume {
+        let reference = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]];
+        RelativeHypervolume::monte_carlo(&reference, 2_000, 7)
+    }
+
+    fn sol(objs: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), vec![])
+    }
+
+    #[test]
+    fn cached_ratio_is_bit_identical_to_direct_computation() {
+        let metric = metric();
+        let mut archive = EpsilonArchive::uniform(2, 0.05);
+        archive.add(sol(&[0.2, 0.8]));
+        let mut cache = HvCache::new();
+        let direct = metric.ratio(&archive.objective_vectors());
+        assert_eq!(cache.ratio(&metric, &archive), direct);
+        // Unchanged archive: same value again (served from cache).
+        assert_eq!(cache.ratio(&metric, &archive), direct);
+        // A rejected insertion leaves the generation — and the cache — valid.
+        archive.add(sol(&[0.9, 0.9]));
+        assert_eq!(cache.ratio(&metric, &archive), direct);
+    }
+
+    #[test]
+    fn cache_invalidates_when_archive_changes() {
+        let metric = metric();
+        let mut archive = EpsilonArchive::uniform(2, 0.05);
+        archive.add(sol(&[0.2, 0.8]));
+        let mut cache = HvCache::new();
+        let before = cache.ratio(&metric, &archive);
+        archive.add(sol(&[0.8, 0.2]));
+        let after = cache.ratio(&metric, &archive);
+        assert_eq!(after, metric.ratio(&archive.objective_vectors()));
+        assert!(after > before, "growing front must grow the ratio");
+    }
+}

@@ -8,6 +8,7 @@
 //! runs inefficiently (large `P`, small `T_F`) — more strongly on the
 //! non-separable UF11 than on DTLZ2.
 
+use crate::hvcache::HvCache;
 use crate::report::TextTable;
 use crate::suite::PaperProblem;
 use borg_core::rng::SplitMix64;
@@ -41,6 +42,12 @@ pub struct HvSpeedupConfig {
     pub ref_divisions: usize,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads for the replicate sweep (`0` auto, `1` serial). The
+    /// fan-out adds no nondeterminism — seeds are pre-derived and results
+    /// fold in derivation order (see `borg-runner`); measured `T_A` still
+    /// charges host timing into the virtual clocks, so repeated runs
+    /// differ by machine noise regardless of `jobs`.
+    pub jobs: usize,
 }
 
 impl HvSpeedupConfig {
@@ -58,6 +65,7 @@ impl HvSpeedupConfig {
             mc_samples: 5_000,
             ref_divisions: 6,
             seed: 4242,
+            jobs: 0,
         }
     }
 
@@ -124,68 +132,43 @@ fn mean_times(trajs: &[Trajectory], thresholds: &[f64]) -> Vec<Option<f64>> {
 }
 
 /// Runs one panel of the experiment.
+///
+/// Every run (the serial baseline replicates and each processor count's
+/// replicates) is an independent job: seeds are pre-derived from the
+/// panel's SplitMix64 stream in the exact order the old nested loops drew
+/// them, the runs fan out over `config.jobs` workers, and trajectories
+/// are folded back in derivation order — so the panel is bit-identical
+/// for every `jobs` setting.
 pub fn run_panel(config: &HvSpeedupConfig, t_f: f64) -> HvSpeedupPanel {
-    let problem = config.problem.build();
-    let borg = config.problem.borg_config(config.epsilon);
     let reference = config.problem.reference_front(config.ref_divisions);
     let metric =
         RelativeHypervolume::monte_carlo(&reference, config.mc_samples, config.seed ^ 0xAB);
 
     let mut split = SplitMix64::new(config.seed ^ t_f.to_bits());
 
-    // Serial baseline.
-    let mut serial_trajs: Vec<Trajectory> = Vec::new();
+    // Pre-derive every run's seed in the historical order: all serial
+    // replicates first, then each processor count's replicates. `None`
+    // marks a serial-baseline run.
+    let mut jobs: Vec<(Option<u32>, u64)> = Vec::new();
     for _ in 0..config.replicates {
-        let seed = split.derive_seed("hv-serial");
-        let vcfg = VirtualConfig {
-            processors: 2, // unused by the serial runner beyond validation
-            max_nfe: config.evaluations,
-            t_f: Dist::normal_cv(t_f, 0.1),
-            t_c: Dist::Constant(0.000_006),
-            t_a: TaMode::Measured,
-            seed,
-        };
-        let mut traj: Trajectory = Vec::new();
-        let check = config.check_every.max(1);
-        run_virtual_serial(problem.as_ref(), borg.clone(), &vcfg, |t, engine| {
-            if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
-                traj.push((t, metric.ratio(&engine.archive().objective_vectors())));
-            }
-        });
-        serial_trajs.push(traj);
+        jobs.push((None, split.derive_seed("hv-serial")));
     }
-    let serial_times = mean_times(&serial_trajs, &config.thresholds);
-
-    // Parallel series.
-    let mut series = Vec::new();
     for &p in &config.processors {
-        let mut trajs: Vec<Trajectory> = Vec::new();
         for _ in 0..config.replicates {
-            let seed = split.derive_seed("hv-parallel") ^ u64::from(p);
-            let vcfg = VirtualConfig {
-                processors: p,
-                max_nfe: config.evaluations,
-                t_f: Dist::normal_cv(t_f, 0.1),
-                t_c: Dist::Constant(0.000_006),
-                t_a: TaMode::Measured,
-                seed,
-            };
-            let mut traj: Trajectory = Vec::new();
-            let check = config.check_every.max(1);
-            run_virtual_async(
-                problem.as_ref(),
-                borg.clone(),
-                &vcfg,
-                &NoopRecorder,
-                |t, engine| {
-                    if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
-                        traj.push((t, metric.ratio(&engine.archive().objective_vectors())));
-                    }
-                },
-            );
-            trajs.push(traj);
+            jobs.push((Some(p), split.derive_seed("hv-parallel") ^ u64::from(p)));
         }
-        let times = mean_times(&trajs, &config.thresholds);
+    }
+    let trajs = crate::par::run_jobs(config.jobs, jobs, |_, (processors, seed)| {
+        run_trajectory(config, t_f, &metric, processors, seed)
+    });
+
+    let replicates = config.replicates as usize;
+    let serial_times = mean_times(&trajs[..replicates], &config.thresholds);
+
+    let mut series = Vec::new();
+    for (pi, &p) in config.processors.iter().enumerate() {
+        let start = replicates + pi * replicates;
+        let times = mean_times(&trajs[start..start + replicates], &config.thresholds);
         let speedups = serial_times
             .iter()
             .zip(&times)
@@ -208,6 +191,50 @@ pub fn run_panel(config: &HvSpeedupConfig, t_f: f64) -> HvSpeedupPanel {
         serial_times,
         series,
     }
+}
+
+/// Runs one trajectory (serial when `processors` is `None`), sampling the
+/// relative hypervolume at every checkpoint through an [`HvCache`] so the
+/// objective matrix is rebuilt — and the metric re-run — only when the
+/// archive actually changed since the previous checkpoint.
+fn run_trajectory(
+    config: &HvSpeedupConfig,
+    t_f: f64,
+    metric: &RelativeHypervolume,
+    processors: Option<u32>,
+    seed: u64,
+) -> Trajectory {
+    let problem = config.problem.build();
+    let borg = config.problem.borg_config(config.epsilon);
+    let vcfg = VirtualConfig {
+        // The serial runner ignores the processor count beyond validation.
+        processors: processors.unwrap_or(2),
+        max_nfe: config.evaluations,
+        t_f: Dist::normal_cv(t_f, 0.1),
+        t_c: Dist::Constant(0.000_006),
+        t_a: TaMode::Measured,
+        seed,
+    };
+    let mut traj: Trajectory = Vec::new();
+    let check = config.check_every.max(1);
+    let mut cache = HvCache::new();
+    match processors {
+        None => {
+            run_virtual_serial(problem.as_ref(), borg, &vcfg, |t, engine| {
+                if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
+                    traj.push((t, cache.ratio(metric, engine.archive())));
+                }
+            });
+        }
+        Some(_) => {
+            run_virtual_async(problem.as_ref(), borg, &vcfg, &NoopRecorder, |t, engine| {
+                if engine.nfe() % check == 0 || engine.nfe() == config.evaluations {
+                    traj.push((t, cache.ratio(metric, engine.archive())));
+                }
+            });
+        }
+    }
+    traj
 }
 
 /// Runs all panels (one per `T_F`).

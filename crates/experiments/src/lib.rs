@@ -27,8 +27,10 @@ pub mod dynamics;
 pub mod faults;
 pub mod fitdemo;
 pub mod heatmap;
+pub mod hvcache;
 pub mod hvspeedup;
 pub mod islands_exp;
+pub(crate) mod par;
 pub mod report;
 pub mod suite;
 pub mod table2;

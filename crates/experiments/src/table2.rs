@@ -14,7 +14,7 @@ use borg_models::analytical::{async_parallel_time, relative_error, serial_time, 
 use borg_models::dist::Dist;
 use borg_models::distfit::best_fit;
 use borg_models::perfsim::{simulate_async_mean, PerfSimConfig, TimingModel};
-use borg_obs::{InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder};
+use borg_obs::{InMemoryRecorder, MetricsSnapshot, NoopRecorder};
 use borg_parallel::virtual_exec::{run_virtual_async, TaMode, VirtualConfig};
 
 /// Configuration for regenerating Table II.
@@ -34,6 +34,18 @@ pub struct Table2Config {
     pub epsilon: f64,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads for the replicate sweep: `0` auto-detects
+    /// (`available_parallelism`), `1` runs serially. The fan-out adds no
+    /// nondeterminism — for fixed `T_A` inputs (set [`Self::sampled_ta`])
+    /// every value produces byte-identical rows (see `borg-runner`). Under
+    /// measured `T_A` the timing samples themselves vary run to run, even
+    /// serially, so only statistical agreement is possible there.
+    pub jobs: usize,
+    /// `Some(v)`: replace measured `T_A` with a sampled constant `v`
+    /// seconds (`TaMode::Sampled`), making runs independent of host
+    /// timing — used by the determinism gate. `None` (default): measure
+    /// `T_A`, the paper's methodology.
+    pub sampled_ta: Option<f64>,
 }
 
 impl Default for Table2Config {
@@ -48,6 +60,8 @@ impl Default for Table2Config {
             problems: vec![PaperProblem::Dtlz2, PaperProblem::Uf11],
             epsilon: 0.1,
             seed: 20130520,
+            jobs: 0,
+            sampled_ta: None,
         }
     }
 }
@@ -111,94 +125,190 @@ pub fn replicate_seeds(
     replicates: u32,
 ) -> Vec<u64> {
     let mut split = SplitMix64::new(root ^ ((p as u64) << 20) ^ problem.name().len() as u64);
-    let tf_bits = tf.to_bits();
+    let tf_mixed = mix64(tf.to_bits());
     (0..replicates)
-        .map(|r| split.derive_seed("table2-replicate") ^ tf_bits ^ r as u64)
+        .map(|r| {
+            // Hash-combine (add + finalize) rather than raw XOR: with XOR,
+            // any (tf, r) pair whose bits cancel against another pair's
+            // yields the same seed from the same split stream. The
+            // avalanche of the finalizer makes a collision require a full
+            // 64-bit hash collision instead of a low-bit coincidence.
+            mix64(
+                split
+                    .derive_seed("table2-replicate")
+                    .wrapping_add(tf_mixed)
+                    .wrapping_add(u64::from(r)),
+            )
+        })
         .collect()
+}
+
+/// The SplitMix64 output finalizer (Vigna's public-domain constants): a
+/// bijective avalanche mix used to hash-combine seed components.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `T_C` injected into every Table II run (seconds).
+const T_C: f64 = 0.000_006;
+
+/// One (problem, `T_F`, `P`) cell of the table, in row order.
+#[derive(Debug, Clone, Copy)]
+struct CellSpec {
+    problem: PaperProblem,
+    tf: f64,
+    p: u32,
+}
+
+/// What one replicate run hands back to the per-cell fold.
+struct ReplicateOutcome {
+    elapsed: f64,
+    utilization: f64,
+    ta_samples: Vec<f64>,
+    metrics: Option<MetricsSnapshot>,
 }
 
 /// Runs the full Table II experiment (no observation; see
 /// [`run_table2_with`] for the instrumented variant).
 pub fn run_table2(config: &Table2Config) -> Vec<Table2Row> {
-    for_each_cell(config, |cfg, choice, problem, borg, tf, p| {
-        run_cell(cfg, choice, problem, borg, tf, p, &NoopRecorder)
-    })
+    run_table2_inner(config, false)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect()
 }
 
 /// Runs Table II with a per-cell metrics observer.
 ///
-/// Each cell's replicates share a metrics-only [`InMemoryRecorder`], so
-/// `observer` receives — alongside the finished row — the cell's empirical
-/// `t_f_seconds` / `t_c_seconds` / `t_a_seconds` duration histograms
-/// (aggregated over all replicates), the engine's protocol counters, and
-/// the last replicate's `master.busy_seconds` / `master.utilization`
-/// gauges. Recorders never influence the runs, so the returned rows are
-/// bit-identical to [`run_table2`]'s.
+/// Each replicate records into its own metrics-only [`InMemoryRecorder`];
+/// the snapshots are merged **in replicate order**, so `observer` receives
+/// — alongside the finished row — the cell's empirical `t_f_seconds` /
+/// `t_c_seconds` / `t_a_seconds` duration histograms (aggregated over all
+/// replicates), the engine's protocol counters summed across replicates,
+/// and the last replicate's `master.busy_seconds` / `master.utilization`
+/// gauges. The fixed merge order makes the snapshot — like the rows —
+/// bit-identical for every `jobs` setting; recorders never influence the
+/// runs, so the rows also match [`run_table2`]'s exactly.
 pub fn run_table2_with<F>(config: &Table2Config, mut observer: F) -> Vec<Table2Row>
 where
     F: FnMut(&Table2Row, &MetricsSnapshot),
 {
-    for_each_cell(config, |cfg, choice, problem, borg, tf, p| {
-        let rec = InMemoryRecorder::metrics_only();
-        let row = run_cell(cfg, choice, problem, borg, tf, p, &rec);
-        observer(&row, &rec.snapshot());
-        row
-    })
+    run_table2_inner(config, true)
+        .into_iter()
+        .map(|(row, metrics)| {
+            observer(&row, &metrics.unwrap_or_default());
+            row
+        })
+        .collect()
 }
 
-fn for_each_cell<F>(config: &Table2Config, mut cell: F) -> Vec<Table2Row>
-where
-    F: FnMut(
-        &Table2Config,
-        PaperProblem,
-        &dyn borg_core::problem::Problem,
-        &borg_core::algorithm::BorgConfig,
-        f64,
-        u32,
-    ) -> Table2Row,
-{
-    let mut rows = Vec::new();
-    for &problem_choice in &config.problems {
-        let problem = problem_choice.build();
-        let borg = problem_choice.borg_config(config.epsilon);
+/// The sweep core: pre-derives every replicate seed in (cell, replicate)
+/// order, fans the replicates out over `config.jobs` workers, then folds
+/// results per cell in replicate order — the same float accumulation
+/// order as the serial nested loops this replaced.
+fn run_table2_inner(
+    config: &Table2Config,
+    observe: bool,
+) -> Vec<(Table2Row, Option<MetricsSnapshot>)> {
+    let mut cells = Vec::new();
+    for &problem in &config.problems {
         for &tf in &config.tf_means {
             for &p in &config.processors {
-                rows.push(cell(config, problem_choice, problem.as_ref(), &borg, tf, p));
+                cells.push(CellSpec { problem, tf, p });
             }
         }
     }
-    rows
+    let mut jobs = Vec::new();
+    for (index, cell) in cells.iter().enumerate() {
+        for seed in replicate_seeds(
+            config.seed,
+            cell.problem,
+            cell.tf,
+            cell.p,
+            config.replicates,
+        ) {
+            jobs.push((index, seed));
+        }
+    }
+    let outcomes = crate::par::run_jobs(config.jobs, jobs, |_, (cell, seed)| {
+        run_replicate(config, &cells[cell], seed, observe)
+    });
+    let replicates = config.replicates as usize;
+    cells
+        .iter()
+        .enumerate()
+        .map(|(index, cell)| {
+            let mine = &outcomes[index * replicates..(index + 1) * replicates];
+            let metrics = observe.then(|| {
+                let mut merged = MetricsSnapshot::default();
+                for outcome in mine {
+                    if let Some(snapshot) = &outcome.metrics {
+                        merged.merge(snapshot);
+                    }
+                }
+                merged
+            });
+            (finalize_cell(config, cell, mine), metrics)
+        })
+        .collect()
 }
 
-fn run_cell<R: Recorder + ?Sized>(
+/// Runs one replicate: builds the workload fresh (jobs share nothing),
+/// runs the virtual-time executor, and returns the per-replicate summary
+/// plus (when observing) the replicate's own metrics snapshot.
+fn run_replicate(
     config: &Table2Config,
-    problem_choice: PaperProblem,
-    problem: &dyn borg_core::problem::Problem,
-    borg: &borg_core::algorithm::BorgConfig,
-    tf: f64,
-    p: u32,
-    rec: &R,
+    cell: &CellSpec,
+    seed: u64,
+    observe: bool,
+) -> ReplicateOutcome {
+    let problem = cell.problem.build();
+    let borg = cell.problem.borg_config(config.epsilon);
+    let vcfg = VirtualConfig {
+        processors: cell.p,
+        max_nfe: config.evaluations,
+        t_f: Dist::normal_cv(cell.tf, 0.1),
+        t_c: Dist::Constant(T_C),
+        t_a: match config.sampled_ta {
+            Some(v) => TaMode::Sampled(Dist::Constant(v)),
+            None => TaMode::Measured,
+        },
+        seed,
+    };
+    let (result, metrics) = if observe {
+        let rec = InMemoryRecorder::metrics_only();
+        let result = run_virtual_async(problem.as_ref(), borg, &vcfg, &rec, |_, _| {});
+        (result, Some(rec.snapshot()))
+    } else {
+        let result = run_virtual_async(problem.as_ref(), borg, &vcfg, &NoopRecorder, |_, _| {});
+        (result, None)
+    };
+    // Thin the samples to bound fitting cost at paper scale.
+    let stride = (result.ta_samples.len() / 20_000).max(1);
+    ReplicateOutcome {
+        elapsed: result.outcome.elapsed,
+        utilization: result.outcome.master_utilization,
+        ta_samples: result.ta_samples.iter().step_by(stride).copied().collect(),
+        metrics,
+    }
+}
+
+/// Folds one cell's replicate outcomes (in replicate order) into its row.
+fn finalize_cell(
+    config: &Table2Config,
+    cell: &CellSpec,
+    outcomes: &[ReplicateOutcome],
 ) -> Table2Row {
-    let t_c = 0.000_006;
+    let (problem_choice, tf, p) = (cell.problem, cell.tf, cell.p);
+    let t_c = T_C;
     let mut elapsed_sum = 0.0;
     let mut util_sum = 0.0;
     let mut ta_samples: Vec<f64> = Vec::new();
-
-    for seed in replicate_seeds(config.seed, problem_choice, tf, p, config.replicates) {
-        let vcfg = VirtualConfig {
-            processors: p,
-            max_nfe: config.evaluations,
-            t_f: Dist::normal_cv(tf, 0.1),
-            t_c: Dist::Constant(t_c),
-            t_a: TaMode::Measured,
-            seed,
-        };
-        let result = run_virtual_async(problem, borg.clone(), &vcfg, rec, |_, _| {});
-        elapsed_sum += result.outcome.elapsed;
-        util_sum += result.outcome.master_utilization;
-        // Thin the samples to bound fitting cost at paper scale.
-        let stride = (result.ta_samples.len() / 20_000).max(1);
-        ta_samples.extend(result.ta_samples.iter().step_by(stride));
+    for outcome in outcomes {
+        elapsed_sum += outcome.elapsed;
+        util_sum += outcome.utilization;
+        ta_samples.extend_from_slice(&outcome.ta_samples);
     }
     let experimental_time = elapsed_sum / config.replicates as f64;
     let mean_ta = ta_samples.iter().sum::<f64>() / ta_samples.len() as f64;
@@ -319,6 +429,62 @@ mod tests {
             "sim error too large: {}",
             r.simulation_error
         );
+    }
+
+    #[test]
+    fn replicate_seeds_have_no_collisions_over_full_grid() {
+        // Regression for the pre-finalizer scheme (`derive ^ tf_bits ^ r`),
+        // where (tf, r) bit patterns could cancel: every seed across the
+        // full paper-scale Table II grid — every problem, T_F, P, and all
+        // 50 replicates — must be distinct.
+        let cfg = Table2Config::default().paper_scale();
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for &problem in &cfg.problems {
+            for &tf in &cfg.tf_means {
+                for &p in &cfg.processors {
+                    for seed in replicate_seeds(cfg.seed, problem, tf, p, cfg.replicates) {
+                        seen.insert(seed);
+                        total += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), total, "replicate seed collision in the grid");
+        // 2 problems × 3 T_F × 7 P × 50 replicates.
+        assert_eq!(total, 2100);
+    }
+
+    #[test]
+    fn jobs_setting_does_not_change_rows() {
+        // The tentpole contract at the driver level: a parallel sweep is
+        // bit-identical to the serial one. Sampled T_A keeps the run
+        // independent of host timing so the comparison is exact.
+        let cfg = Table2Config {
+            evaluations: 1_000,
+            replicates: 2,
+            processors: vec![8],
+            tf_means: vec![0.001],
+            problems: vec![PaperProblem::Dtlz2],
+            sampled_ta: Some(0.000_03),
+            ..Table2Config::default()
+        };
+        let serial = run_table2(&Table2Config {
+            jobs: 1,
+            ..cfg.clone()
+        });
+        let parallel = run_table2(&Table2Config { jobs: 4, ..cfg });
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.experimental_time.to_bits(), p.experimental_time.to_bits());
+            assert_eq!(s.t_a.to_bits(), p.t_a.to_bits());
+            assert_eq!(s.efficiency.to_bits(), p.efficiency.to_bits());
+            assert_eq!(s.simulation_time.to_bits(), p.simulation_time.to_bits());
+            assert_eq!(
+                s.master_utilization.to_bits(),
+                p.master_utilization.to_bits()
+            );
+        }
     }
 
     #[test]

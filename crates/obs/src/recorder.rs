@@ -69,6 +69,30 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<&'static str, Histogram>,
 }
 
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise, gauges are last-write-wins (`other` overwrites, since
+    /// it is the later snapshot in merge order).
+    ///
+    /// This is how per-job recorders from `borg-runner` fan-ins become one
+    /// deterministic snapshot: each parallel job records into its own
+    /// [`InMemoryRecorder`], and the caller merges the snapshots **in job
+    /// index order**. Because merge order is fixed, the merged snapshot —
+    /// and every export derived from it — is bit-identical regardless of
+    /// how many workers ran the jobs.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name, *value);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(hist);
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Store {
     counters: BTreeMap<&'static str, u64>,
@@ -238,6 +262,52 @@ mod tests {
         assert_eq!(rec.span_trace().spans().len(), 0);
         assert_eq!(rec.dropped_spans(), 10);
         assert_eq!(rec.snapshot().histograms["t_a_seconds"].count(), 10);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_merges_histograms_last_wins_gauges() {
+        let a = InMemoryRecorder::new();
+        a.counter("engine.reissues", 2);
+        a.gauge("master.utilization", 0.5);
+        a.observe("t_f_seconds", 1.0);
+
+        let b = InMemoryRecorder::new();
+        b.counter("engine.reissues", 3);
+        b.counter("engine.evaluations", 7);
+        b.gauge("master.utilization", 0.9);
+        b.observe("t_f_seconds", 2.0);
+        b.observe("t_a_seconds", 0.25);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["engine.reissues"], 5);
+        assert_eq!(merged.counters["engine.evaluations"], 7);
+        assert_eq!(merged.gauges["master.utilization"], 0.9);
+        assert_eq!(merged.histograms["t_f_seconds"].count(), 2);
+        assert_eq!(merged.histograms["t_f_seconds"].sum(), 3.0);
+        assert_eq!(merged.histograms["t_a_seconds"].count(), 1);
+    }
+
+    #[test]
+    fn index_ordered_merge_equals_shared_recorder_counters() {
+        // The runner contract: per-job recorders merged in index order
+        // carry the same counter totals as one shared recorder would.
+        let shared = InMemoryRecorder::new();
+        let mut merged = MetricsSnapshot::default();
+        for job in 0..5u64 {
+            let per_job = InMemoryRecorder::new();
+            for rec in [&shared, &per_job] {
+                rec.counter("engine.evaluations", job + 1);
+                rec.observe("t_f_seconds", job as f64);
+            }
+            merged.merge(&per_job.snapshot());
+        }
+        let whole = shared.snapshot();
+        assert_eq!(merged.counters, whole.counters);
+        assert_eq!(
+            merged.histograms["t_f_seconds"].count(),
+            whole.histograms["t_f_seconds"].count()
+        );
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! The runner's core contract as a property: for arbitrary item vectors
+//! and worker counts, `map_jobs` returns exactly what the serial loop
+//! returns, in the same order — work-stealing changes scheduling, never
+//! results.
+
+use borg_runner::map_jobs;
+use proptest::prelude::*;
+
+/// A job whose output depends on both the index and the item, so any
+/// index/slot mix-up changes the result.
+fn job(index: usize, item: u64) -> (usize, u64) {
+    (
+        index,
+        item.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index as u64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_jobs_equals_serial_for_arbitrary_inputs(
+        items in prop::collection::vec(0u64..=u64::MAX, 0..48),
+        workers in 0usize..9,
+    ) {
+        let serial: Vec<(usize, u64)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| job(i, x))
+            .collect();
+        let pooled = map_jobs(workers, items, job).expect("pure jobs never panic");
+        prop_assert_eq!(pooled, serial);
+    }
+
+    #[test]
+    fn worker_count_never_changes_output(
+        items in prop::collection::vec(0u64..=u64::MAX, 1..32),
+    ) {
+        let one = map_jobs(1, items.clone(), job).expect("no panics");
+        for workers in 2usize..6 {
+            let many = map_jobs(workers, items.clone(), job).expect("no panics");
+            prop_assert_eq!(&many, &one, "workers = {}", workers);
+        }
+    }
+}

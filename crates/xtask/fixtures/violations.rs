@@ -66,6 +66,13 @@ fn chatty_library(progress: f64) {
     print!("partial"); //~ BORG-L008
 }
 
+// The fixture's spoofed path is also in BORG-L009 scope (experiments-crate
+// rule): sweeps fan out through borg-runner, never raw threads.
+fn raw_threads_in_experiments() {
+    let handle = std::thread::spawn(worker); //~ BORG-L009
+    let other = thread::spawn(|| evaluate()); //~ BORG-L009
+}
+
 // --- escapes that must NOT be reported ---------------------------------
 
 fn allowlisted() -> u32 {
@@ -95,6 +102,14 @@ fn quiet_library(w: &mut impl Write, log: &InMemoryRecorder) {
     log.counter("engine.reissues", 1);
     // A deliberate terminal write carries the allowlist escape.
     println!("blessed"); // borg-lint: allow(BORG-L008)
+}
+
+fn structured_scopes_are_fine(scope: &Scope) {
+    // `scope.spawn` is a structured pool handle (borg-runner's internals),
+    // not a raw thread spawn.
+    scope.spawn(|| work());
+    // A deliberate raw spawn carries the allowlist escape.
+    let h = std::thread::spawn(run); // borg-lint: allow(BORG-L009)
 }
 
 fn benign_collections_and_counts(proto: &MasterEngine) {
@@ -128,6 +143,13 @@ mod tests {
     fn tests_may_print_debug_output() {
         // Test regions are exempt from BORG-L008.
         println!("debugging a failure");
+    }
+
+    #[test]
+    fn tests_may_spawn_raw_threads() {
+        // Test regions are exempt from BORG-L009.
+        let handle = std::thread::spawn(|| 42);
+        assert!(handle.join().is_ok());
     }
 }
 

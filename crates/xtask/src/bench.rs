@@ -1,0 +1,170 @@
+//! `cargo xtask bench` — the perf-trajectory step.
+//!
+//! Runs the smoke criterion groups (`protocol`, `faults`, `obs`, `runner`)
+//! through the vendored criterion stand-in with `CRITERION_JSON` set, then
+//! aggregates the per-bench medians into `BENCH_runner.json` at the
+//! workspace root: one median ns/op per group (the median of the group's
+//! per-bench medians) plus every bench that contributed. The file is a
+//! trajectory point — commit-over-commit diffs show where protocol,
+//! fault-handling, observability, or runner-dispatch cost moved.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The groups the trajectory tracks, each with the bench target hosting it
+/// (the `faults` group lives in the `extensions` bench binary).
+const GROUPS: [(&str, &str); 4] = [
+    ("protocol", "protocol"),
+    ("faults", "extensions"),
+    ("obs", "obs"),
+    ("runner", "runner"),
+];
+
+/// Output file, relative to the workspace root.
+pub const BENCH_OUT_REL: &str = "BENCH_runner.json";
+
+/// One sampled benchmark from the `CRITERION_JSON` stream.
+struct Sample {
+    id: String,
+    group: String,
+    median_ns: u128,
+}
+
+/// Summary of a completed `xtask bench` run.
+pub struct BenchReport {
+    /// `(group, median ns/op, benches contributing)`, in [`GROUPS`] order.
+    pub groups: Vec<(&'static str, u128, usize)>,
+    /// Where the JSON report was written.
+    pub out_path: std::path::PathBuf,
+}
+
+/// Runs the tracked bench targets and writes [`BENCH_OUT_REL`].
+pub fn run(root: &Path) -> Result<BenchReport, String> {
+    let samples_path = root.join("target").join("criterion-samples.jsonl");
+    let _ = std::fs::remove_file(&samples_path);
+
+    let mut targets: Vec<&str> = GROUPS.iter().map(|&(_, target)| target).collect();
+    targets.dedup();
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .arg("bench")
+        .arg("-p")
+        .arg("borg-bench");
+    for target in targets {
+        cmd.arg("--bench").arg(target);
+    }
+    cmd.env("CRITERION_JSON", &samples_path);
+    let status = cmd
+        .status()
+        .map_err(|e| format!("spawn cargo bench: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench exited with {status}"));
+    }
+
+    let text = std::fs::read_to_string(&samples_path).map_err(|e| {
+        format!(
+            "read {}: {e} (CRITERION_JSON hook lost?)",
+            samples_path.display()
+        )
+    })?;
+    let samples = parse_samples(&text)?;
+
+    let mut groups = Vec::new();
+    let mut json =
+        String::from("{\n  \"schema\": \"borg-bench-trajectory/v1\",\n  \"groups\": {\n");
+    for (gi, &(group, _)) in GROUPS.iter().enumerate() {
+        let mine: Vec<&Sample> = samples.iter().filter(|s| s.group == group).collect();
+        if mine.is_empty() {
+            return Err(format!(
+                "bench group `{group}` produced no samples; its bench target changed names?"
+            ));
+        }
+        let mut medians: Vec<u128> = mine.iter().map(|s| s.median_ns).collect();
+        medians.sort_unstable();
+        let group_median = medians[medians.len() / 2];
+        json.push_str(&format!(
+            "    \"{group}\": {{\n      \"median_ns_per_op\": {group_median},\n      \"benches\": {{\n"
+        ));
+        for (i, s) in mine.iter().enumerate() {
+            let comma = if i + 1 < mine.len() { "," } else { "" };
+            json.push_str(&format!("        \"{}\": {}{comma}\n", s.id, s.median_ns));
+        }
+        let comma = if gi + 1 < GROUPS.len() { "," } else { "" };
+        json.push_str(&format!("      }}\n    }}{comma}\n"));
+        groups.push((group, group_median, mine.len()));
+    }
+    json.push_str("  }\n}\n");
+
+    let out_path = root.join(BENCH_OUT_REL);
+    std::fs::write(&out_path, json).map_err(|e| format!("write {}: {e}", out_path.display()))?;
+    Ok(BenchReport { groups, out_path })
+}
+
+/// Parses the stand-in criterion's JSONL stream. The lines are produced by
+/// workspace code, so a forgiving field scan beats a JSON dependency.
+fn parse_samples(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = (|| {
+            Some(Sample {
+                id: field_str(line, "id")?.to_string(),
+                group: field_str(line, "group")?.to_string(),
+                median_ns: field_u128(line, "median_ns")?,
+            })
+        })();
+        match parsed {
+            Some(sample) => samples.push(sample),
+            None => return Err(format!("malformed CRITERION_JSON line {}: {line}", n + 1)),
+        }
+    }
+    if samples.is_empty() {
+        return Err("CRITERION_JSON stream was empty; no benchmarks ran".to_string());
+    }
+    Ok(samples)
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_standin_criterion_lines() {
+        let text = "{\"id\":\"runner/map_jobs_w4\",\"group\":\"runner\",\"iters\":10,\
+                    \"median_ns\":1234,\"mean_ns\":1300}\n\
+                    {\"id\":\"obs/sink\",\"group\":\"obs\",\"iters\":10,\
+                    \"median_ns\":77,\"mean_ns\":80}\n";
+        let samples = parse_samples(text).expect("parse");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].id, "runner/map_jobs_w4");
+        assert_eq!(samples[0].group, "runner");
+        assert_eq!(samples[0].median_ns, 1234);
+        assert_eq!(samples[1].median_ns, 77);
+    }
+
+    #[test]
+    fn rejects_malformed_and_empty_streams() {
+        assert!(parse_samples("not json\n").is_err());
+        assert!(parse_samples("").is_err());
+        assert!(parse_samples("{\"id\":\"a/b\",\"group\":\"a\"}\n").is_err());
+    }
+}

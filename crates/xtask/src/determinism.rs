@@ -19,10 +19,20 @@
 //! fault ledger) to the same-seed run with the no-op recorder. Recorders
 //! receive values and never influence control flow; this arm is what makes
 //! that a tested guarantee instead of a comment.
+//!
+//! A fourth arm checks the parallel-runner contract: the same smoke-scale
+//! Table II and fault sweeps run with `jobs = 1` and `jobs = 4` must
+//! produce byte-identical rows, fault ledgers, and metrics JSONL — the
+//! work-stealing pool in `borg-runner` may change *when* a replicate runs,
+//! never *what* it produces or the order results are folded in.
 
 use borg_core::algorithm::BorgConfig;
 use borg_desim::fault::FaultConfig;
+use borg_experiments::faults::{render_faults, run_faults, FaultsConfig};
+use borg_experiments::suite::PaperProblem;
+use borg_experiments::table2::{render_table2, run_table2_with, Table2Config};
 use borg_models::dist::Dist;
+use borg_obs::export::metrics_jsonl;
 use borg_obs::{InMemoryRecorder, NoopRecorder, Recorder};
 use borg_parallel::virtual_exec::{
     run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig, VirtualRunResult,
@@ -45,6 +55,11 @@ pub struct DeterminismReport {
     /// Evaluations observed by the recorder arm (an in-memory recorder
     /// attached to a run must observe everything and change nothing).
     pub recorder_evals: u64,
+    /// Table II + fault-sweep rows compared byte-for-byte between the
+    /// `jobs = 1` and `jobs = 4` sweeps by the parallel-runner arm.
+    pub parallel_rows: usize,
+    /// Metrics-JSONL lines compared byte-for-byte by the same arm.
+    pub parallel_jsonl_lines: usize,
 }
 
 fn run_once(seed: u64) -> VirtualRunResult {
@@ -191,6 +206,10 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
         ));
     }
 
+    // Parallel-runner arm: the work-stealing sweep contract. `--jobs 1`
+    // and `--jobs 4` must yield byte-identical experiment outputs.
+    let (parallel_rows, parallel_jsonl_lines) = parallel_runner_arm()?;
+
     let golden = crate::golden::check(root)?;
 
     Ok(DeterminismReport {
@@ -201,7 +220,140 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
         fault_reissues: fa.fault_log.reissues,
         golden_rows: golden.rows,
         recorder_evals,
+        parallel_rows,
+        parallel_jsonl_lines,
     })
+}
+
+/// One jobs-setting's rendered sweep outputs, plus bit-exact row
+/// fingerprints (rendering rounds floats; the raw bits catch 1-ulp drift
+/// the CSV would hide).
+struct SweepOutputs {
+    table_csv: String,
+    table_bits: Vec<u64>,
+    faults_csv: String,
+    faults_bits: Vec<u64>,
+    metrics_jsonl: String,
+}
+
+fn sweep_outputs(jobs: usize) -> SweepOutputs {
+    // Sampled T_A keeps the runs independent of host timing, so equality
+    // across jobs settings is exact, not approximate.
+    let t2 = Table2Config {
+        evaluations: 1_000,
+        replicates: 2,
+        processors: vec![8],
+        tf_means: vec![0.001],
+        problems: vec![PaperProblem::Dtlz2],
+        sampled_ta: Some(0.000_03),
+        jobs,
+        ..Table2Config::default()
+    };
+    let mut jsonl = String::new();
+    let rows = run_table2_with(&t2, |row, snap| {
+        jsonl.push_str(&metrics_jsonl(
+            &[
+                ("problem", row.problem.to_string()),
+                ("p", row.processors.to_string()),
+            ],
+            snap,
+        ));
+    });
+    let mut table_bits = Vec::new();
+    for r in &rows {
+        table_bits.extend([
+            r.experimental_time.to_bits(),
+            r.t_a.to_bits(),
+            r.efficiency.to_bits(),
+            r.simulation_time.to_bits(),
+            r.master_utilization.to_bits(),
+        ]);
+    }
+
+    let fcfg = FaultsConfig {
+        evaluations: 1_000,
+        replicates: 2,
+        processors: vec![8],
+        failure_rates: vec![0.0, 0.25],
+        tf_mean: 0.001,
+        sampled_ta: Some(0.000_03),
+        jobs,
+        ..FaultsConfig::default()
+    };
+    let frows = run_faults(&fcfg);
+    let mut faults_bits = Vec::new();
+    for r in &frows {
+        faults_bits.extend([
+            r.experimental_time.to_bits(),
+            r.completed_nfe,
+            r.injected.to_bits(),
+            r.detected.to_bits(),
+            r.recovered.to_bits(),
+            r.reissues.to_bits(),
+            r.wasted_nfe.to_bits(),
+        ]);
+    }
+
+    SweepOutputs {
+        table_csv: render_table2(&rows).to_csv(),
+        table_bits,
+        faults_csv: render_faults(&frows).to_csv(),
+        faults_bits,
+        metrics_jsonl: jsonl,
+    }
+}
+
+/// Runs the smoke sweeps at `jobs = 1` and `jobs = 4` and demands
+/// byte-identical outputs; returns (rows compared, JSONL lines compared).
+fn parallel_runner_arm() -> Result<(usize, usize), String> {
+    let serial = sweep_outputs(1);
+    let parallel = sweep_outputs(4);
+    if serial.table_bits != parallel.table_bits || serial.table_csv != parallel.table_csv {
+        return Err(format!(
+            "parallel-runner arm: Table II rows diverged between jobs=1 and jobs=4:\n\
+             --- jobs=1 ---\n{}--- jobs=4 ---\n{}",
+            serial.table_csv, parallel.table_csv
+        ));
+    }
+    if serial.faults_bits != parallel.faults_bits || serial.faults_csv != parallel.faults_csv {
+        return Err(format!(
+            "parallel-runner arm: fault-sweep rows/ledgers diverged between jobs=1 and jobs=4:\n\
+             --- jobs=1 ---\n{}--- jobs=4 ---\n{}",
+            serial.faults_csv, parallel.faults_csv
+        ));
+    }
+    if serial.metrics_jsonl != parallel.metrics_jsonl {
+        let diverged = serial
+            .metrics_jsonl
+            .lines()
+            .zip(parallel.metrics_jsonl.lines())
+            .enumerate()
+            .find(|(_, (s, p))| s != p);
+        return Err(match diverged {
+            Some((n, (s, p))) => format!(
+                "parallel-runner arm: metrics JSONL diverged at line {}: jobs=1 `{s}` vs \
+                 jobs=4 `{p}`",
+                n + 1
+            ),
+            None => format!(
+                "parallel-runner arm: metrics JSONL line counts diverged: jobs=1 has {}, \
+                 jobs=4 has {}",
+                serial.metrics_jsonl.lines().count(),
+                parallel.metrics_jsonl.lines().count()
+            ),
+        });
+    }
+    let jsonl_lines = serial.metrics_jsonl.lines().count();
+    if jsonl_lines == 0 {
+        return Err(
+            "parallel-runner arm compared zero metrics lines; the check is vacuous \
+             (per-replicate recorders lost?)"
+                .to_string(),
+        );
+    }
+    let rows = serial.table_csv.lines().count().saturating_sub(1)
+        + serial.faults_csv.lines().count().saturating_sub(1);
+    Ok((rows, jsonl_lines))
 }
 
 /// Bit-exact slice comparison (plain f64 `==` on objectives is exactly what
@@ -229,6 +381,14 @@ mod tests {
         assert!(
             report.recorder_evals >= report.nfe,
             "recorder arm must observe every evaluation"
+        );
+        assert!(
+            report.parallel_rows > 0,
+            "parallel-runner arm must compare rows"
+        );
+        assert!(
+            report.parallel_jsonl_lines > 0,
+            "parallel-runner arm must compare metrics lines"
         );
     }
 

@@ -5,13 +5,15 @@
 //! annotated-fixture self-test as a preflight so a silently broken lint
 //! pass cannot report a clean workspace. `--determinism` additionally runs
 //! a same-seed-twice virtual-time Borg run and demands bit-identical
-//! archives.
+//! archives, plus the jobs=1-vs-jobs=4 parallel-runner arm. The `bench`
+//! subcommand records the perf trajectory (see [`bench`]).
 //!
 //! Exit codes: `0` clean, `1` violations or determinism divergence,
 //! `2` usage / IO / self-test errors.
 
 #![forbid(unsafe_code)]
 
+mod bench;
 mod determinism;
 mod files;
 mod golden;
@@ -38,6 +40,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("check") => check_command(&args[1..]),
         Some("golden") => golden_command(&args[1..]),
+        Some("bench") => bench_command(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print_help();
             Ok(ExitCode::SUCCESS)
@@ -57,20 +60,40 @@ fn print_help() {
          USAGE:\n\
          \x20   cargo xtask check [--json] [--determinism] [--self-test] [--list]\n\
          \x20   cargo xtask golden --bless\n\
+         \x20   cargo xtask bench\n\
          \n\
          FLAGS:\n\
          \x20   --json          machine-readable JSON report on stdout\n\
          \x20   --determinism   also run the same-seed-twice determinism gate\n\
-         \x20                   and diff golden Table II / faults cells\n\
+         \x20                   (incl. the jobs=1-vs-jobs=4 parallel-runner\n\
+         \x20                   arm) and diff golden Table II / faults cells\n\
          \x20   --self-test     run only the annotated-fixture self-test\n\
          \x20   --list          print the rule catalog and exit\n\
          \x20   --bless         (golden) regenerate results/golden CSVs\n\
+         \n\
+         SUBCOMMANDS:\n\
+         \x20   bench           run the smoke criterion groups (protocol,\n\
+         \x20                   faults, obs, runner) and write BENCH_runner.json\n\
+         \x20                   with median ns/op per group\n\
          \n\
          RULES:"
     );
     for rule in &RULES {
         println!("    {}  {}", rule.id, rule.summary);
     }
+}
+
+fn bench_command(args: &[String]) -> Result<ExitCode, String> {
+    if !args.is_empty() {
+        return Err("usage: cargo xtask bench".to_string());
+    }
+    let root = files::workspace_root()?;
+    let report = bench::run(&root)?;
+    for (group, median_ns, benches) in &report.groups {
+        println!("bench trajectory: {group:<10} median {median_ns:>12} ns/op ({benches} benches)");
+    }
+    println!("wrote {}", report.out_path.display());
+    Ok(ExitCode::SUCCESS)
 }
 
 fn golden_command(args: &[String]) -> Result<ExitCode, String> {
@@ -183,6 +206,7 @@ fn print_human(
             "determinism OK: seed-identical archives ({} members, NFE {}, virtual {:.4}s); \
              fault replay identical ({} injected, {} reissues); \
              recorder-attached run identical ({} evals observed); \
+             jobs=1 ≡ jobs=4 sweeps ({} rows, {} metrics lines byte-identical); \
              golden cells match ({} rows)",
             d.archive_size,
             d.nfe,
@@ -190,6 +214,8 @@ fn print_human(
             d.faults_injected,
             d.fault_reissues,
             d.recorder_evals,
+            d.parallel_rows,
+            d.parallel_jsonl_lines,
             d.golden_rows
         ),
         Some(Err(e)) => println!("determinism FAIL: {e}"),
@@ -221,13 +247,15 @@ fn print_json(
         Some(Ok(d)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":true,\"archive_size\":{},\"nfe\":{},\"elapsed\":{},\
              \"faults_injected\":{},\"fault_reissues\":{},\"recorder_evals\":{},\
-             \"golden_rows\":{}}}",
+             \"parallel_rows\":{},\"parallel_jsonl_lines\":{},\"golden_rows\":{}}}",
             d.archive_size,
             d.nfe,
             d.elapsed,
             d.faults_injected,
             d.fault_reissues,
             d.recorder_evals,
+            d.parallel_rows,
+            d.parallel_jsonl_lines,
             d.golden_rows
         )),
         Some(Err(e)) => out.push_str(&format!(

@@ -1,6 +1,6 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Eight workspace-specific correctness rules run over the token stream from
+//! Nine workspace-specific correctness rules run over the token stream from
 //! [`crate::lexer`]:
 //!
 //! * **BORG-L001** — no `.unwrap()` / `.expect()` in library code outside
@@ -36,6 +36,11 @@
 //!   `borg_obs::Recorder` facade or return renderable values; terminal
 //!   output belongs to bin code, the xtask console tool, and the borg-obs
 //!   exporters (both carved out).
+//! * **BORG-L009** — no direct `std::thread::spawn` in the experiments
+//!   crate (`crates/experiments`) outside test regions. Experiment sweeps
+//!   fan out through `borg-runner` (`crate::par::run_jobs`), whose
+//!   index-ordered collection is what keeps parallel sweeps bit-identical
+//!   to serial ones; a raw spawned thread bypasses that contract.
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
 //! on the same line or the line directly above.
@@ -52,7 +57,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 8] = [
+pub const RULES: [Rule; 9] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -87,6 +92,11 @@ pub const RULES: [Rule; 8] = [
         summary: "no println!/eprintln! in library code; report through borg_obs::Recorder \
                   or return renderable values",
     },
+    Rule {
+        id: "BORG-L009",
+        summary: "no std::thread::spawn in crates/experiments; fan sweeps out through \
+                  borg-runner (crate::par::run_jobs)",
+    },
 ];
 
 /// One reported lint violation.
@@ -115,6 +125,7 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l006(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l007(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l008(rel_path, class, &lexed.tokens, &in_test, &mut found);
+    rule_l009(rel_path, class, &lexed.tokens, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
     found.retain(|v| {
@@ -609,6 +620,45 @@ fn rule_l008(
     }
 }
 
+fn rule_l009(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Scope: the experiments crate (library and bin sources — the sweep
+    // drivers and the CLI both belong to the deterministic-runner
+    // contract), plus the self-test fixture.
+    let experiments_scope =
+        rel_path.starts_with("crates/experiments/src/") || rel_path == FIXTURE_SCAN_PATH;
+    if !experiments_scope || class == FileClass::TestOrBench {
+        return;
+    }
+    for i in 2..tokens.len() {
+        let t = &tokens[i];
+        // `thread::spawn` exactly (covers `std::thread::spawn` too);
+        // `scope.spawn` — a structured pool handle — is preceded by `.`
+        // and stays silent.
+        if t.kind == TokenKind::Ident
+            && t.text == "spawn"
+            && is_punct(tokens, i - 1, "::")
+            && is_ident(tokens, i - 2, "thread")
+            && !in_test(t.line)
+        {
+            out.push(Violation {
+                rule: "BORG-L009",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: "`std::thread::spawn` in the experiments crate bypasses the \
+                          deterministic work-stealing runner; fan the sweep out through \
+                          `crate::par::run_jobs` (borg-runner) instead"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Token helpers
 // ---------------------------------------------------------------------------
@@ -881,6 +931,43 @@ mod tests {
         // The allowlist escape works.
         let allowed = "fn f() { println!(\"x\"); } // borg-lint: allow(BORG-L008)";
         assert!(check_lib(allowed).is_empty());
+    }
+
+    #[test]
+    fn l009_flags_raw_thread_spawn_in_experiments() {
+        let src = "fn sweep() { let h = std::thread::spawn(worker); }";
+        // Out of scope: any other crate may spawn (borg-runner itself must).
+        assert!(check_lib(src).is_empty());
+        assert!(check_source("crates/runner/src/lib.rs", FileClass::Library, src).is_empty());
+        // In scope: experiments library and bin sources.
+        let v = check_source("crates/experiments/src/table2.rs", FileClass::Library, src);
+        assert_eq!(rules_at(&v), [("BORG-L009", 1)]);
+        let v = check_source(
+            "crates/experiments/src/bin/borg-exp.rs",
+            FileClass::Bin,
+            src,
+        );
+        assert_eq!(rules_at(&v), [("BORG-L009", 1)]);
+        // The bare `thread::spawn` path form is the same call.
+        let bare = "fn sweep() { thread::spawn(|| work()); }";
+        let v = check_source("crates/experiments/src/faults.rs", FileClass::Library, bare);
+        assert_eq!(rules_at(&v), [("BORG-L009", 1)]);
+    }
+
+    #[test]
+    fn l009_ignores_scoped_pools_tests_and_allowlist() {
+        let in_exp =
+            |src| check_source("crates/experiments/src/table2.rs", FileClass::Library, src);
+        // A structured scope handle is not a raw spawn.
+        assert!(in_exp("fn pool(scope: &Scope) { scope.spawn(|| work()); }").is_empty());
+        // An unrelated `spawn` identifier without the `thread::` path is silent.
+        assert!(in_exp("fn f() { spawn(); }").is_empty());
+        // Test regions are exempt (a test may exercise raw threads).
+        let tst = "#[cfg(test)]\nmod tests {\n fn t() { std::thread::spawn(|| 1); }\n}";
+        assert!(in_exp(tst).is_empty());
+        // The allowlist escape works.
+        let allowed = "fn f() { std::thread::spawn(run); } // borg-lint: allow(BORG-L009)";
+        assert!(in_exp(allowed).is_empty());
     }
 
     #[test]

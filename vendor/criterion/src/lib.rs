@@ -3,10 +3,16 @@
 //! Implements the API subset the workspace's benches use (`Criterion`,
 //! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `black_box`, `criterion_group!`, `criterion_main!`) with a simple
-//! mean-of-N timing loop instead of criterion's statistical machinery.
-//! Results print as `<group>/<name> ... <mean> per iter`; there is no
-//! outlier analysis, no HTML report, and no regression tracking. Good
-//! enough to keep the bench targets compiling and runnable offline.
+//! N-sample timing loop instead of criterion's statistical machinery.
+//! Results print as `<group>/<name> ... <mean> per iter (median <m>)`;
+//! there is no outlier analysis, no HTML report, and no regression
+//! tracking. Good enough to keep the bench targets compiling and runnable
+//! offline.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! finished benchmark additionally appends one JSON line there —
+//! `{"id":…,"group":…,"iters":…,"median_ns":…,"mean_ns":…}` — which is
+//! how `cargo xtask bench` harvests medians into `BENCH_runner.json`.
 
 #![forbid(unsafe_code)]
 
@@ -124,33 +130,66 @@ impl BenchmarkGroup<'_> {
 /// Times closures handed to it by a benchmark body.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    elapsed: Duration,
-    iters: u32,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Calls `routine` repeatedly and records the mean duration.
+    /// Calls `routine` repeatedly, recording each timed call's duration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // One warm-up call outside the timed window.
         black_box(routine());
-        let start = Instant::now();
+        self.samples.clear();
         for _ in 0..TIMED_ITERS {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = start.elapsed();
-        self.iters = TIMED_ITERS;
     }
+}
+
+/// Mean and median of the recorded samples (lower-middle median for even
+/// counts — a real sample, never an interpolated value).
+fn summarize(samples: &[Duration]) -> (Duration, Duration) {
+    if samples.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    (mean, sorted[sorted.len() / 2])
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
     let mut bencher = Bencher::default();
     f(&mut bencher);
-    let mean = if bencher.iters > 0 {
-        bencher.elapsed / bencher.iters
-    } else {
-        Duration::ZERO
-    };
-    println!("bench: {label:<50} {mean:>12.3?} per iter");
+    let (mean, median) = summarize(&bencher.samples);
+    println!("bench: {label:<50} {mean:>12.3?} per iter (median {median:.3?})");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_jsonl(&path, label, bencher.samples.len(), median, mean);
+        }
+    }
+}
+
+/// Appends one sample line to the `CRITERION_JSON` file. Labels are
+/// identifier/parameter text (no quotes or backslashes), so no escaping.
+fn append_jsonl(path: &str, label: &str, iters: usize, median: Duration, mean: Duration) {
+    use std::io::Write as _;
+    let group = label.split('/').next().unwrap_or(label);
+    let line = format!(
+        "{{\"id\":\"{label}\",\"group\":\"{group}\",\"iters\":{iters},\
+         \"median_ns\":{},\"mean_ns\":{}}}\n",
+        median.as_nanos(),
+        mean.as_nanos()
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
 }
 
 /// Declares a benchmark group function, mirroring criterion's macro.
@@ -184,7 +223,19 @@ mod tests {
         let mut count = 0u64;
         b.iter(|| count += 1);
         assert_eq!(count, u64::from(TIMED_ITERS) + 1);
-        assert_eq!(b.iters, TIMED_ITERS);
+        assert_eq!(b.samples.len(), TIMED_ITERS as usize);
+    }
+
+    #[test]
+    fn summarize_reports_mean_and_lower_middle_median() {
+        let samples: Vec<Duration> = [4u64, 1, 3, 2]
+            .iter()
+            .map(|&n| Duration::from_nanos(n))
+            .collect();
+        let (mean, median) = summarize(&samples);
+        assert_eq!(mean, Duration::from_nanos(2)); // 10 / 4 truncates
+        assert_eq!(median, Duration::from_nanos(3)); // sorted[2] of 1,2,3,4
+        assert_eq!(summarize(&[]), (Duration::ZERO, Duration::ZERO));
     }
 
     #[test]
