@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo xtask check --determinism"
 cargo xtask check --determinism
 
+echo "==> cargo xtask mc --smoke (schedule-space model checker)"
+cargo xtask mc --smoke
+
 echo "==> cargo build --release"
 cargo build --release
 

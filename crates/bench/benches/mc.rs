@@ -1,0 +1,38 @@
+//! Benches for the schedule-space model checker: full exhaustive
+//! exploration of the smoke scenarios (schedules/second is the figure of
+//! merit — the exploration rate bounds how rich a scenario catalogue CI
+//! can afford) plus the duplicate-heavy scenario whose overlay doubles
+//! the pending-event fan-out.
+
+use borg_mc::{run_scenario, scenarios};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc");
+    group.sample_size(10);
+    group.bench_function("explore_fault_free_async", |b| {
+        b.iter(|| {
+            let report = run_scenario(black_box(&scenarios::fault_free_async()));
+            assert!(report.violations.is_empty());
+            report.schedules
+        })
+    });
+    group.bench_function("explore_duplicates_overlay", |b| {
+        b.iter(|| {
+            let report = run_scenario(black_box(&scenarios::duplicates()));
+            assert!(report.violations.is_empty());
+            report.schedules
+        })
+    });
+    group.bench_function("explore_sync_generational", |b| {
+        b.iter(|| {
+            let report = run_scenario(black_box(&scenarios::sync_generational()));
+            assert!(report.violations.is_empty());
+            report.schedules
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

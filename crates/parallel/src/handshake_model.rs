@@ -95,6 +95,7 @@ impl Mailbox {
         // Sole producer: between the check above and the release store
         // below only the consumer can touch `state`, and it only moves
         // Full → Empty, never Empty → anything.
+        // borg-lint: relaxed-ok(publication ordering comes from the Release store on `state` below)
         self.payload.store(value, Ordering::Relaxed);
         self.state.store(SlotState::Full as u8, Ordering::Release);
         true
@@ -105,6 +106,7 @@ impl Mailbox {
         if SlotState::from_u8(self.state.load(Ordering::Acquire)) != SlotState::Full {
             return None;
         }
+        // borg-lint: relaxed-ok(the Acquire load of `state` above synchronizes with the producer's Release)
         let value = self.payload.load(Ordering::Relaxed);
         self.state.store(SlotState::Empty as u8, Ordering::Release);
         Some(value)
@@ -115,6 +117,7 @@ impl Mailbox {
         loop {
             match SlotState::from_u8(self.state.load(Ordering::Acquire)) {
                 SlotState::Full => {
+                    // borg-lint: relaxed-ok(the Acquire load of `state` above synchronizes with the producer's Release)
                     let value = self.payload.load(Ordering::Relaxed);
                     self.state.store(SlotState::Empty as u8, Ordering::Release);
                     return Some(value);

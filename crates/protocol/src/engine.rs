@@ -5,7 +5,7 @@ use crate::policy::RecoveryPolicy;
 use crate::Clock;
 use borg_desim::fault::FaultLog;
 use borg_obs::Recorder;
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Counter fed once per emitted [`Command`] (the per-command hook).
 fn command_metric(c: &Command) -> &'static str {
@@ -206,6 +206,10 @@ struct Outstanding {
 /// every piece of state the three executors used to triplicate:
 /// the deadline map, the seen-eval-id set, the reissue queue, attempt
 /// counters, and the alive/believed-alive distinction.
+///
+/// `Clone` exists for the model checker (`borg-mc`): exhaustive
+/// schedule exploration forks the engine at every branch point.
+#[derive(Clone)]
 pub struct MasterEngine {
     config: EngineConfig,
     // Identity of work.
@@ -214,7 +218,7 @@ pub struct MasterEngine {
     abandoned: u64,
     // Recovery state (the formerly triplicated core).
     outstanding: BTreeMap<u64, Outstanding>,
-    done: HashSet<u64>,
+    done: BTreeSet<u64>,
     reissue_queue: VecDeque<u64>,
     idle: BTreeSet<usize>,
     // Physical truth vs the master's beliefs.
@@ -229,6 +233,10 @@ pub struct MasterEngine {
     finished: bool,
     log: FaultLog,
     commands: Option<Vec<Command>>,
+    // Mutation hook for the model checker's self-test: when false, the
+    // duplicate-suppression check in `handle_arrival` is skipped, which
+    // must make `borg-mc` report a double-consume violation.
+    suppress_duplicates: bool,
 }
 
 impl MasterEngine {
@@ -244,7 +252,7 @@ impl MasterEngine {
             completed: 0,
             abandoned: 0,
             outstanding: BTreeMap::new(),
-            done: HashSet::new(),
+            done: BTreeSet::new(),
             reissue_queue: VecDeque::new(),
             idle: BTreeSet::new(),
             alive: vec![true; w],
@@ -257,7 +265,20 @@ impl MasterEngine {
             finished: false,
             log: FaultLog::default(),
             commands: None,
+            suppress_duplicates: true,
         }
+    }
+
+    /// Disable the duplicate-suppression check in the arrival path.
+    ///
+    /// This exists solely so the model checker's mutation self-test can
+    /// prove its invariants have teeth: with suppression off, a schedule
+    /// that delivers both copies of a duplicated result must consume the
+    /// same eval id twice, which `borg-mc` must flag. Never call this
+    /// outside that self-test.
+    #[doc(hidden)]
+    pub fn sabotage_duplicate_suppression(&mut self) {
+        self.suppress_duplicates = false;
     }
 
     /// Record every [`Command`] for later inspection (differential tests,
@@ -328,6 +349,87 @@ impl MasterEngine {
             .collect()
     }
 
+    /// A 64-bit digest over every decision-relevant field of the engine.
+    ///
+    /// Two engines with equal digests react identically to every future
+    /// event sequence (modulo hash collisions): the digest covers work
+    /// identity, the whole recovery core, liveness beliefs, and the
+    /// ledger counters. The model checker keys its visited-state memo on
+    /// this, which is what lets it fold interleavings that commute into
+    /// the same state instead of re-exploring the subtree.
+    pub fn state_digest(&self) -> u64 {
+        // SplitMix64 finalizer, same construction as borg-desim's fault
+        // plan hashing; re-derived locally to keep the digest definition
+        // self-contained in this file.
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fold(h: u64, v: u64) -> u64 {
+            mix(h ^ v)
+        }
+        let mut h = 0x243F_6A88_85A3_08D3u64;
+        h = fold(h, self.next_eval);
+        h = fold(h, self.completed);
+        h = fold(h, self.abandoned);
+        h = fold(h, u64::from(self.finished));
+        h = fold(h, self.gen_remaining as u64);
+        h = fold(h, self.pending_respawns as u64);
+        h = fold(h, u64::from(self.suppress_duplicates));
+        h = fold(h, self.outstanding.len() as u64);
+        for (&id, o) in &self.outstanding {
+            h = fold(h, id);
+            h = fold(h, o.worker as u64);
+            h = fold(h, o.deadline.to_bits());
+            h = fold(h, u64::from(o.attempts));
+        }
+        h = fold(h, self.done.len() as u64);
+        for &id in &self.done {
+            h = fold(h, id);
+        }
+        h = fold(h, self.reissue_queue.len() as u64);
+        for &id in &self.reissue_queue {
+            h = fold(h, id);
+        }
+        h = fold(h, self.idle.len() as u64);
+        for &w in &self.idle {
+            h = fold(h, w as u64);
+        }
+        for w in 0..self.config.workers {
+            h = fold(h, u64::from(self.alive.get(w).copied().unwrap_or(false)));
+            h = fold(
+                h,
+                u64::from(self.view_alive.get(w).copied().unwrap_or(false)),
+            );
+            h = fold(
+                h,
+                self.dead_since
+                    .get(w)
+                    .copied()
+                    .unwrap_or(f64::NAN)
+                    .to_bits(),
+            );
+            h = fold(
+                h,
+                self.current_eval
+                    .get(w)
+                    .copied()
+                    .flatten()
+                    .map_or(u64::MAX, |id| id),
+            );
+            h = fold(h, self.dispatch_count.get(w).copied().unwrap_or(0));
+        }
+        h = fold(h, self.log.records.len() as u64);
+        h = fold(h, self.log.reissues);
+        h = fold(h, self.log.duplicates_suppressed);
+        h = fold(h, self.log.wasted_nfe);
+        h = fold(h, self.log.respawns);
+        h = fold(h, self.log.deaths_detected);
+        h
+    }
+
     /// Dispatch the initial work: one item per slot, in slot order, plus
     /// the first heartbeat when the policy sweeps. `rec` observes but
     /// never influences the protocol (pass [`borg_obs::NoopRecorder`] for
@@ -351,6 +453,21 @@ impl MasterEngine {
     /// event and per emitted command, the latency/slack histograms, and
     /// the occupancy gauges; it never influences the decisions.
     pub fn handle<T: Transport, R: Recorder + ?Sized>(&mut self, event: Event, t: &mut T, rec: &R) {
+        // A corrupt transport could name a worker slot the engine never
+        // configured; indexing the per-worker vectors with it would
+        // panic. Reject such events up front instead (BORG-L012: public
+        // entry points of this crate must not panic on bad input).
+        let named_worker = match event {
+            Event::ResultArrived { worker, .. }
+            | Event::DeadlineFired { worker, .. }
+            | Event::WorkerDied { worker, .. }
+            | Event::WorkerRespawned { worker, .. } => Some(worker),
+            Event::HeartbeatTick { .. } => None,
+        };
+        if named_worker.is_some_and(|w| w >= self.config.workers) {
+            rec.counter("engine.events.rejected", 1);
+            return;
+        }
         rec.counter(event_metric(&event), 1);
         match event {
             Event::ResultArrived {
@@ -458,7 +575,7 @@ impl MasterEngine {
         worker: usize,
         eval_id: u64,
     ) {
-        if self.done.contains(&eval_id) {
+        if self.suppress_duplicates && self.done.contains(&eval_id) {
             // Duplicate or superseded copy: absorb the message, count the
             // wasted work, free the worker if it was still pinned on it.
             self.emit(rec, Command::SuppressDuplicate { worker, eval_id });

@@ -40,6 +40,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod steal_model;
+
 use crossbeam::channel;
 use parking_lot::Mutex;
 use std::collections::VecDeque;

@@ -73,6 +73,36 @@ fn raw_threads_in_experiments() {
     let other = thread::spawn(|| evaluate()); //~ BORG-L009
 }
 
+// The fixture's spoofed path is in BORG-L010 scope (determinism rule):
+// hash-order iteration can leak into reported results.
+fn order_sensitive_fold() -> u64 {
+    let weights: HashMap<u64, u64> = HashMap::new();
+    let mut ranked: Vec<u64> = weights.keys().copied().collect(); //~ BORG-L010
+    for (id, w) in &weights { //~ BORG-L010
+        ranked.push(id + w);
+    }
+    ranked.first().copied().unwrap_or(0)
+}
+
+// Library class puts BORG-L011 (relaxed atomics need a written
+// justification) in scope here.
+fn unjustified_relaxed(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed) //~ BORG-L011
+}
+
+fn empty_reason_does_not_count(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed) // borg-lint: relaxed-ok() //~ BORG-L011
+}
+
+// The fixture's spoofed path is also in BORG-L012 scope (protocol rule):
+// a public engine entry point must reject adversarial input, not panic.
+pub fn dispatch_nth(events: &[Event], idx: usize) -> Event {
+    if idx >= events.len() {
+        unreachable!("caller promised a valid index"); //~ BORG-L012
+    }
+    events[idx] //~ BORG-L012
+}
+
 // --- escapes that must NOT be reported ---------------------------------
 
 fn allowlisted() -> u32 {
@@ -124,6 +154,50 @@ fn benign_collections_and_counts(proto: &MasterEngine) {
     let seen_ids: HashSet<u64> = HashSet::new(); // borg-lint: allow(BORG-L007)
 }
 
+fn ordered_and_lookup_only(totals: &BTreeMap<u64, u64>) -> u64 {
+    // BTreeMap iterates in key order — deterministic, silent.
+    let mut sum = 0;
+    for (_, v) in totals {
+        sum += v;
+    }
+    // Point lookups into a hash map never observe iteration order.
+    let lookup_cache: HashMap<u64, u64> = HashMap::new();
+    sum + lookup_cache.get(&7).copied().unwrap_or(0)
+}
+
+// A proven order-insensitive fold carries an item-wide allow: the
+// directive above the header suppresses every hit in the item's body.
+// borg-lint: allow(BORG-L010)
+fn order_insensitive_sum(counts: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for v in counts.values() {
+        sum += v;
+    }
+    sum + counts.keys().count() as u64
+}
+
+fn relaxed_with_reasons(flag: &AtomicBool, events_seen: &AtomicU64) {
+    // borg-lint: relaxed-ok(standalone counter; nothing else is ordered by it)
+    events_seen.fetch_add(1, Ordering::Relaxed);
+    flag.store(true, Ordering::Relaxed); // borg-lint: relaxed-ok(advisory flag only)
+}
+
+// Non-pub helpers may index behind validated invariants (BORG-L012 scopes
+// to pub fn bodies), and `.get()` is the sanctioned form everywhere.
+fn private_index(events: &[Event], idx: usize) -> &Event {
+    &events[idx]
+}
+
+pub fn checked_lookup(events: &[Event], idx: usize) -> Option<&Event> {
+    events.get(idx)
+}
+
+// A bounds check at entry plus an item-wide allow covers a hot path.
+// borg-lint: allow(BORG-L012)
+pub fn hot_path_pair(table: &[u64], i: usize, j: usize) -> u64 {
+    table[i] ^ table[j]
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -150,6 +224,15 @@ mod tests {
         // Test regions are exempt from BORG-L009.
         let handle = std::thread::spawn(|| 42);
         assert!(handle.join().is_ok());
+    }
+
+    #[test]
+    fn tests_may_iterate_hash_maps_and_relax_atomics() {
+        // Test regions are exempt from BORG-L010 and BORG-L011.
+        let scratch: HashMap<u64, u64> = HashMap::new();
+        let n = scratch.keys().count();
+        let seen = FLAG.load(Ordering::Relaxed);
+        assert!(n == 0 && !seen);
     }
 }
 

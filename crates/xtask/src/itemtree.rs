@@ -1,0 +1,438 @@
+//! A brace-matched item tree over the lexed token stream.
+//!
+//! The first-generation rules ran over the flat token stream with
+//! backward windows; the semantic rules (BORG-L010..L012) need to know
+//! *where* they are — which item a token belongs to, whether that item
+//! is a `pub fn` of a protocol entry point, and which line range an
+//! item-scoped allow directive covers. This module parses the token
+//! stream into a tree of items (functions, modules, impls, traits,
+//! type definitions) by brace matching. Function bodies are treated as
+//! opaque token ranges — the rules scan them linearly — while module,
+//! impl, and trait bodies recurse into child items.
+//!
+//! The parser is deliberately forgiving: anything it cannot classify
+//! becomes an [`ItemKind::Other`] spanning to the next top-level `;` or
+//! brace group, so a novel syntax form degrades to a coarse span rather
+//! than a parse failure.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What sort of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` — body is an opaque token range, no children.
+    Fn,
+    /// `mod` — children are the items inside the braces.
+    Mod,
+    /// `impl` — children are the associated items.
+    Impl,
+    /// `trait` — children are the trait items (default bodies included).
+    Trait,
+    /// `struct` / `enum` / `union` — no children.
+    TypeDef,
+    /// Anything else (`use`, `const`, `static`, `type`, macros, …).
+    Other,
+}
+
+/// One parsed item.
+#[derive(Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Declared name, when the form has one (`fn NAME`, `mod NAME`, …).
+    pub name: Option<String>,
+    /// Whether the item carries a `pub` visibility (any restriction —
+    /// `pub(crate)` counts; the rules that care treat restricted
+    /// visibility as non-public separately if they need to).
+    pub is_pub: bool,
+    /// Identifier texts inside the item's outer attributes, in order
+    /// (drives `#[cfg(test)]` / `#[test]` detection).
+    pub attr_idents: Vec<String>,
+    /// First line of the item, attributes included (1-based).
+    pub start_line: u32,
+    /// Line of the declaring keyword (`fn`, `mod`, `impl`, …).
+    pub header_line: u32,
+    /// Last line of the item (closing brace or terminating `;`).
+    pub end_line: u32,
+    /// For `Fn`: token index range of the body, braces included
+    /// (`tokens[body.0] == "{"`, `tokens[body.1] == "}"`). `None` for a
+    /// braceless declaration (`fn f();` in a trait).
+    pub body: Option<(usize, usize)>,
+    /// Nested items for `Mod` / `Impl` / `Trait`.
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    /// Visits this item and every descendant.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a Item)) {
+        visit(self);
+        for child in &self.children {
+            child.walk(visit);
+        }
+    }
+}
+
+/// Parses a whole token stream into top-level items.
+pub fn parse(tokens: &[Token]) -> Vec<Item> {
+    parse_range(tokens, 0, tokens.len())
+}
+
+/// Keywords that may precede the declaring keyword of an item.
+const MODIFIERS: &[&str] = &["pub", "default", "unsafe", "extern", "const", "async"];
+
+fn parse_range(tokens: &[Token], start: usize, end: usize) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut i = start;
+    while i < end {
+        // Inner attributes (`#![...]`) belong to the enclosing scope.
+        if is_text(tokens, i, "#") && is_text(tokens, i + 1, "!") && is_text(tokens, i + 2, "[") {
+            i = skip_balanced(tokens, i + 2, "[", "]", end) + 1;
+            continue;
+        }
+
+        let item_start = i;
+        let start_line = tokens[i].line;
+
+        // Outer attributes, collecting their identifiers.
+        let mut attr_idents = Vec::new();
+        while is_text(tokens, i, "#") && is_text(tokens, i + 1, "[") {
+            let close = skip_balanced(tokens, i + 1, "[", "]", end);
+            for t in &tokens[i + 2..close.min(end)] {
+                if t.kind == TokenKind::Ident {
+                    attr_idents.push(t.text.clone());
+                }
+            }
+            i = close + 1;
+        }
+        if i >= end {
+            break;
+        }
+
+        // Modifiers before the declaring keyword.
+        let mut is_pub = false;
+        while tokens[i].kind == TokenKind::Ident && MODIFIERS.contains(&tokens[i].text.as_str()) {
+            let modifier = tokens[i].text.as_str();
+            if modifier == "pub" {
+                is_pub = true;
+            }
+            i += 1;
+            if i >= end {
+                break;
+            }
+            // `pub(crate)` / `pub(in path)` restriction group.
+            if modifier == "pub" && is_text(tokens, i, "(") {
+                i = skip_balanced(tokens, i, "(", ")", end) + 1;
+            }
+            // `extern "C"` ABI string.
+            if modifier == "extern" && tokens.get(i).is_some_and(|t| t.kind == TokenKind::Literal) {
+                i += 1;
+            }
+            // `const fn` vs `const NAME: T = ...;` — if the next token
+            // after `const` is not `fn`, this is a const item, not a
+            // modifier; rewind and let the keyword dispatch see `const`.
+            if modifier == "const" && !is_text(tokens, i, "fn") {
+                i -= 1;
+                break;
+            }
+        }
+        if i >= end {
+            break;
+        }
+
+        let header_line = tokens[i].line;
+        let keyword = tokens[i].text.clone();
+        let (last_index, item) = match keyword.as_str() {
+            "fn" => parse_fn(tokens, item_start, i, end),
+            "mod" | "trait" | "impl" => parse_scoped(tokens, item_start, i, end, &keyword),
+            "struct" | "enum" | "union" => {
+                let last = item_extent(tokens, i, end);
+                (
+                    last,
+                    Item {
+                        kind: ItemKind::TypeDef,
+                        name: ident_after(tokens, i, end),
+                        is_pub,
+                        attr_idents: Vec::new(),
+                        start_line,
+                        header_line,
+                        end_line: tokens[last.min(end - 1)].line,
+                        body: None,
+                        children: Vec::new(),
+                    },
+                )
+            }
+            _ => {
+                let last = item_extent(tokens, i, end);
+                (
+                    last,
+                    Item {
+                        kind: ItemKind::Other,
+                        name: None,
+                        is_pub,
+                        attr_idents: Vec::new(),
+                        start_line,
+                        header_line,
+                        end_line: tokens[last.min(end - 1)].line,
+                        body: None,
+                        children: Vec::new(),
+                    },
+                )
+            }
+        };
+        let mut item = item;
+        item.is_pub = item.is_pub || is_pub;
+        item.attr_idents = attr_idents;
+        item.start_line = start_line;
+        item.header_line = header_line;
+        items.push(item);
+        i = last_index + 1;
+    }
+    items
+}
+
+/// Parses a `fn` starting with the keyword at `kw`; returns the index of
+/// its last token and the item.
+fn parse_fn(tokens: &[Token], _item_start: usize, kw: usize, end: usize) -> (usize, Item) {
+    let name = ident_after(tokens, kw, end);
+    // The body is the first `{` outside parens/brackets (where-clauses
+    // and return types contain neither at top level); a `;` first means
+    // a braceless declaration.
+    let mut depth = 0usize;
+    let mut j = kw + 1;
+    let mut body = None;
+    while j < end {
+        match tokens[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => {
+                let close = skip_balanced(tokens, j, "{", "}", end);
+                body = Some((j, close));
+                j = close;
+                break;
+            }
+            ";" if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let last = j.min(end - 1);
+    (
+        last,
+        Item {
+            kind: ItemKind::Fn,
+            name,
+            is_pub: false,
+            attr_idents: Vec::new(),
+            start_line: tokens[kw].line,
+            header_line: tokens[kw].line,
+            end_line: tokens[last].line,
+            body,
+            children: Vec::new(),
+        },
+    )
+}
+
+/// Parses a `mod` / `trait` / `impl` starting at keyword index `kw`;
+/// recurses into the brace body for children.
+fn parse_scoped(
+    tokens: &[Token],
+    _item_start: usize,
+    kw: usize,
+    end: usize,
+    keyword: &str,
+) -> (usize, Item) {
+    let kind = match keyword {
+        "mod" => ItemKind::Mod,
+        "trait" => ItemKind::Trait,
+        _ => ItemKind::Impl,
+    };
+    let name = if kind == ItemKind::Impl {
+        None
+    } else {
+        ident_after(tokens, kw, end)
+    };
+    let mut j = kw + 1;
+    let mut children = Vec::new();
+    let mut last = kw;
+    while j < end {
+        match tokens[j].text.as_str() {
+            "{" => {
+                let close = skip_balanced(tokens, j, "{", "}", end);
+                children = parse_range(tokens, j + 1, close.min(end));
+                last = close.min(end - 1);
+                break;
+            }
+            ";" => {
+                last = j;
+                break;
+            }
+            _ => {
+                j += 1;
+                last = j.min(end - 1);
+            }
+        }
+    }
+    (
+        last,
+        Item {
+            kind,
+            name,
+            is_pub: false,
+            attr_idents: Vec::new(),
+            start_line: tokens[kw].line,
+            header_line: tokens[kw].line,
+            end_line: tokens[last].line,
+            body: None,
+            children,
+        },
+    )
+}
+
+/// Index of the last token of a braces-or-semicolon-terminated item whose
+/// declaring keyword is at `kw`: the first top-level `;`, or the close of
+/// the first top-level brace group (whichever comes first).
+fn item_extent(tokens: &[Token], kw: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = kw;
+    while j < end {
+        match tokens[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => return skip_balanced(tokens, j, "{", "}", end).min(end - 1),
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    end - 1
+}
+
+/// First identifier after index `i` (the declared name), skipping nothing.
+fn ident_after(tokens: &[Token], i: usize, end: usize) -> Option<String> {
+    tokens
+        .get(i + 1)
+        .filter(|t| i + 1 < end && t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Index of the delimiter matching `open_text` at `open`; saturates at
+/// `end - 1` on unbalanced input.
+fn skip_balanced(
+    tokens: &[Token],
+    open: usize,
+    open_text: &str,
+    close_text: &str,
+    end: usize,
+) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        if tokens[j].text == open_text {
+            depth += 1;
+        } else if tokens[j].text == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end.saturating_sub(1)
+}
+
+fn is_text(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.text == text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> Vec<Item> {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn parses_functions_with_bodies() {
+        let items = tree("pub fn entry(x: u64) -> u64 {\n    x + 1\n}\nfn helper() {}\n");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].kind, ItemKind::Fn);
+        assert_eq!(items[0].name.as_deref(), Some("entry"));
+        assert!(items[0].is_pub);
+        assert!(items[0].body.is_some());
+        assert_eq!((items[0].start_line, items[0].end_line), (1, 3));
+        assert!(!items[1].is_pub);
+        assert_eq!(items[1].name.as_deref(), Some("helper"));
+    }
+
+    #[test]
+    fn modules_and_impls_recurse() {
+        let src = "mod inner {\n    pub fn a() {}\n}\nimpl Engine {\n    pub fn b(&self) {}\n    fn c(&self) {}\n}\n";
+        let items = tree(src);
+        assert_eq!(items[0].kind, ItemKind::Mod);
+        assert_eq!(items[0].children.len(), 1);
+        assert!(items[0].children[0].is_pub);
+        assert_eq!(items[1].kind, ItemKind::Impl);
+        let names: Vec<_> = items[1]
+            .children
+            .iter()
+            .map(|c| (c.name.as_deref().unwrap_or(""), c.is_pub))
+            .collect();
+        assert_eq!(names, [("b", true), ("c", false)]);
+    }
+
+    #[test]
+    fn attributes_attach_to_the_following_item() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n";
+        let items = tree(src);
+        assert_eq!(items[0].attr_idents, ["cfg", "test"]);
+        assert_eq!(items[0].start_line, 1);
+        assert_eq!(items[0].header_line, 2);
+        assert_eq!(items[0].children[0].attr_idents, ["test"]);
+    }
+
+    #[test]
+    fn fn_bodies_are_opaque() {
+        // An `if {}` block inside a body must not terminate the item or
+        // produce children.
+        let src = "fn f() {\n    if x { y(); }\n    z();\n}\nfn g() {}\n";
+        let items = tree(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].end_line, 4);
+        assert!(items[0].children.is_empty());
+    }
+
+    #[test]
+    fn structs_consts_and_uses_get_spans() {
+        let src = "use std::fmt;\npub struct S {\n    field: u64,\n}\nconst TABLE: [u64; 3] = [1, 2, 3];\n";
+        let items = tree(src);
+        assert_eq!(items[0].kind, ItemKind::Other);
+        assert_eq!(items[0].end_line, 1);
+        assert_eq!(items[1].kind, ItemKind::TypeDef);
+        assert_eq!(items[1].name.as_deref(), Some("S"));
+        assert!(items[1].is_pub);
+        assert_eq!((items[1].start_line, items[1].end_line), (2, 4));
+        assert_eq!(items[2].kind, ItemKind::Other);
+        assert_eq!(items[2].end_line, 5);
+    }
+
+    #[test]
+    fn pub_crate_and_where_clauses_parse() {
+        let src = "pub(crate) fn f<T>(x: T) -> u64\nwhere\n    T: Into<u64>,\n{\n    x.into()\n}\n";
+        let items = tree(src);
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_pub);
+        assert_eq!(items[0].end_line, 6);
+        let (open, close) = items[0].body.expect("body");
+        assert!(open < close);
+    }
+
+    #[test]
+    fn nested_generics_in_signatures_do_not_derail() {
+        let src = "fn f(m: BTreeMap<u64, Vec<u64>>) -> Option<Vec<u8>> { None }\nfn g() {}\n";
+        let items = tree(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name.as_deref(), Some("f"));
+        assert_eq!(items[1].name.as_deref(), Some("g"));
+    }
+}

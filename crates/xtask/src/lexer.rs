@@ -39,19 +39,33 @@ pub struct AllowDirective {
     pub line: u32,
 }
 
+/// A `// borg-lint: relaxed-ok(reason)` directive justifying a relaxed
+/// atomic ordering on its line (BORG-L011). The reason is mandatory —
+/// an empty parenthesis is not a directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelaxedOkDirective {
+    /// The justification text inside the parentheses.
+    pub reason: String,
+    /// Line the comment appears on (1-based).
+    pub line: u32,
+}
+
 /// Result of lexing one file.
 #[derive(Debug, Default)]
 pub struct LexedFile {
     pub tokens: Vec<Token>,
     pub allows: Vec<AllowDirective>,
+    pub relaxed_oks: Vec<RelaxedOkDirective>,
 }
 
 /// Multi-character punctuation recognized as single tokens, longest first.
 /// Only operators the rules inspect (or that would confuse them if split)
-/// need to be here; everything else lexes as single characters.
+/// need to be here; everything else lexes as single characters. `>>` is
+/// absent on purpose: whether it is a shift or two closing angle brackets
+/// is contextual, and the lexer decides with an angle-depth counter.
 const MULTI_PUNCT: &[&str] = &[
     "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "+=", "-=",
-    "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>",
+    "*=", "/=", "%=", "^=", "|=", "&=", "<<",
 ];
 
 /// Lexes Rust source into the token stream the rules consume.
@@ -60,6 +74,11 @@ pub fn lex(source: &str) -> LexedFile {
     let mut out = LexedFile::default();
     let mut i = 0usize;
     let mut line: u32 = 1;
+    // Open generic angle brackets at the cursor. `<` opens one when the
+    // preceding token could start a generic path (identifier, `::`, or a
+    // closing `>`); statement boundaries reset it. Heuristic, but exact on
+    // rustfmt-formatted code, where a shift at angle depth ≥ 2 cannot occur.
+    let mut angle_depth: u32 = 0;
 
     while i < chars.len() {
         let c = chars[i];
@@ -83,6 +102,9 @@ pub fn lex(source: &str) -> LexedFile {
             let text: String = chars[start..i].iter().collect();
             if let Some(directive) = parse_allow_directive(&text, line) {
                 out.allows.push(directive);
+            }
+            if let Some(directive) = parse_relaxed_ok_directive(&text, line) {
+                out.relaxed_oks.push(directive);
             }
             continue;
         }
@@ -121,9 +143,19 @@ pub fn lex(source: &str) -> LexedFile {
             continue;
         }
 
-        // Identifiers and keywords.
+        // Identifiers and keywords, including raw identifiers (`r#type`).
+        // Raw *strings* (`r#"…"`) were consumed above, so an `r#` here is
+        // always an identifier prefix.
         if c.is_alphabetic() || c == '_' {
             let start = i;
+            if c == 'r'
+                && chars.get(i + 1) == Some(&'#')
+                && chars
+                    .get(i + 2)
+                    .is_some_and(|x| x.is_alphabetic() || *x == '_')
+            {
+                i += 2;
+            }
             while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                 i += 1;
             }
@@ -204,29 +236,60 @@ pub fn lex(source: &str) -> LexedFile {
             continue;
         }
 
+        // `>>` at angle depth ≥ 2 is two closing brackets of nested
+        // generics (`Vec<Vec<u64>>`), not a shift: split it so the rules
+        // see the type structure. `>>=` is always a shift-assign.
+        if c == '>'
+            && chars.get(i + 1) == Some(&'>')
+            && chars.get(i + 2) != Some(&'=')
+            && angle_depth >= 2
+        {
+            for _ in 0..2 {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: ">".to_string(),
+                    line,
+                });
+            }
+            angle_depth -= 2;
+            i += 2;
+            continue;
+        }
+
         // Punctuation, longest known operator first.
-        let mut matched = false;
+        let mut text = c.to_string();
         for op in MULTI_PUNCT {
             let op_chars: Vec<char> = op.chars().collect();
             if chars[i..].starts_with(&op_chars) {
-                out.tokens.push(Token {
-                    kind: TokenKind::Punct,
-                    text: (*op).to_string(),
-                    line,
-                });
-                i += op_chars.len();
-                matched = true;
+                text = (*op).to_string();
                 break;
             }
         }
-        if !matched {
-            out.tokens.push(Token {
-                kind: TokenKind::Punct,
-                text: c.to_string(),
-                line,
-            });
-            i += 1;
+        if text == ">" && chars.get(i + 1) == Some(&'>') {
+            // A real shift (or shift outside generic context): the depth
+            // check above declined to split, so keep the pair whole.
+            text = ">>".to_string();
         }
+        match text.as_str() {
+            "<" => {
+                let opens_generic = out
+                    .tokens
+                    .last()
+                    .is_some_and(|t| t.kind == TokenKind::Ident || t.text == "::" || t.text == ">");
+                if opens_generic {
+                    angle_depth += 1;
+                }
+            }
+            ">" => angle_depth = angle_depth.saturating_sub(1),
+            ";" | "{" | "}" => angle_depth = 0,
+            _ => {}
+        }
+        i += text.chars().count();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text,
+            line,
+        });
     }
 
     out
@@ -246,6 +309,21 @@ fn parse_allow_directive(comment: &str, line: u32) -> Option<AllowDirective> {
         None
     } else {
         Some(AllowDirective { rules, line })
+    }
+}
+
+/// Recognizes `// borg-lint: relaxed-ok(<non-empty reason>)` comments.
+fn parse_relaxed_ok_directive(comment: &str, line: u32) -> Option<RelaxedOkDirective> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("borg-lint:")?.trim();
+    let reason = rest.strip_prefix("relaxed-ok(")?.strip_suffix(')')?.trim();
+    if reason.is_empty() {
+        None
+    } else {
+        Some(RelaxedOkDirective {
+            reason: reason.to_string(),
+            line,
+        })
     }
 }
 
@@ -446,6 +524,83 @@ mod tests {
         assert_eq!(lexed.allows.len(), 1);
         assert_eq!(lexed.allows[0].line, 1);
         assert_eq!(lexed.allows[0].rules, ["BORG-L001", "BORG-L003"]);
+    }
+
+    #[test]
+    fn nested_generics_split_but_shifts_stay_whole() {
+        let lexed = lex("let m: Vec<Vec<u64>> = v; let s = a >> b; let t = c >>= 1;");
+        let puncts: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        // The nested-generic close is two `>` tokens; the shifts survive.
+        assert_eq!(
+            puncts,
+            [":", "<", "<", ">", ">", "=", ";", "=", ">>", ";", "=", ">>=", ";"]
+        );
+    }
+
+    #[test]
+    fn triple_nested_generics_split_fully() {
+        let lexed = lex("x: Option<Option<Option<u8>>>");
+        let closes = lexed.tokens.iter().filter(|t| t.text == ">").count();
+        assert_eq!(closes, 3);
+        assert!(!lexed.tokens.iter().any(|t| t.text == ">>"));
+    }
+
+    #[test]
+    fn turbofish_counts_toward_angle_depth() {
+        let lexed = lex("m.entry::<BTreeMap<u64, Vec<u8>>>(k)");
+        let closes = lexed.tokens.iter().filter(|t| t.text == ">").count();
+        assert_eq!(closes, 3);
+    }
+
+    #[test]
+    fn comparison_does_not_poison_shift_after_boundary() {
+        // `a < b` bumps the heuristic depth, but the `;` boundary resets
+        // it before the shift on the next statement.
+        let lexed = lex("let p = a < b; let q = c >> d;");
+        assert!(lexed.tokens.iter().any(|t| t.text == ">>"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        let lexed = lex("let r#type = r#fn + 1;");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "r#type", "r#fn"]);
+    }
+
+    #[test]
+    fn raw_identifier_does_not_break_raw_strings() {
+        assert_eq!(
+            idents(r##"let s = r#"not an ident"# ; r#match"##),
+            ["let", "s", "r#match"]
+        );
+    }
+
+    #[test]
+    fn relaxed_ok_directives_are_captured() {
+        let lexed =
+            lex("x.load(Ordering::Relaxed); // borg-lint: relaxed-ok(counter is monotonic)\ny();");
+        assert_eq!(lexed.relaxed_oks.len(), 1);
+        assert_eq!(lexed.relaxed_oks[0].line, 1);
+        assert_eq!(lexed.relaxed_oks[0].reason, "counter is monotonic");
+    }
+
+    #[test]
+    fn relaxed_ok_requires_a_reason() {
+        assert!(lex("// borg-lint: relaxed-ok()").relaxed_oks.is_empty());
+        assert!(lex("// borg-lint: relaxed-ok(  )").relaxed_oks.is_empty());
+        assert!(lex("// mentions relaxed-ok(x) in prose")
+            .relaxed_oks
+            .is_empty());
     }
 
     #[test]

@@ -17,7 +17,9 @@ mod bench;
 mod determinism;
 mod files;
 mod golden;
+mod itemtree;
 mod lexer;
+mod mc_cmd;
 mod rules;
 
 use rules::{Violation, RULES};
@@ -41,6 +43,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("check") => check_command(&args[1..]),
         Some("golden") => golden_command(&args[1..]),
         Some("bench") => bench_command(&args[1..]),
+        Some("mc") => mc_cmd::mc_command(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print_help();
             Ok(ExitCode::SUCCESS)
@@ -61,6 +64,7 @@ fn print_help() {
          \x20   cargo xtask check [--json] [--determinism] [--self-test] [--list]\n\
          \x20   cargo xtask golden --bless\n\
          \x20   cargo xtask bench\n\
+         \x20   cargo xtask mc [--smoke] [--depth N] [--json]\n\
          \n\
          FLAGS:\n\
          \x20   --json          machine-readable JSON report on stdout\n\
@@ -73,8 +77,11 @@ fn print_help() {
          \n\
          SUBCOMMANDS:\n\
          \x20   bench           run the smoke criterion groups (protocol,\n\
-         \x20                   faults, obs, runner) and write BENCH_runner.json\n\
-         \x20                   with median ns/op per group\n\
+         \x20                   faults, obs, runner, mc) and write\n\
+         \x20                   BENCH_runner.json with median ns/op per group\n\
+         \x20   mc              explore every event-delivery schedule into the\n\
+         \x20                   protocol engine (borg-mc): --smoke runs the CI\n\
+         \x20                   subset, --depth caps deliveries per schedule\n\
          \n\
          RULES:"
     );

@@ -1,7 +1,8 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Nine workspace-specific correctness rules run over the token stream from
-//! [`crate::lexer`]:
+//! Twelve workspace-specific correctness rules run over the token stream
+//! from [`crate::lexer`] and the brace-matched item tree from
+//! [`crate::itemtree`]:
 //!
 //! * **BORG-L001** — no `.unwrap()` / `.expect()` in library code outside
 //!   `#[cfg(test)]` / `#[test]` regions. Library failures must surface as
@@ -41,11 +42,31 @@
 //!   fan out through `borg-runner` (`crate::par::run_jobs`), whose
 //!   index-ordered collection is what keeps parallel sweeps bit-identical
 //!   to serial ones; a raw spawned thread bypasses that contract.
+//! * **BORG-L010** — no iteration over `HashMap` / `HashSet` bindings in
+//!   result-affecting library code. Hash iteration order varies with the
+//!   hasher seed and insertion history; anything folded out of it (sums
+//!   are safe only by luck, selection and tie-breaking are not) threatens
+//!   the same-seed determinism gate. Use `BTreeMap` / `BTreeSet`, or
+//!   allowlist a proven order-insensitive fold.
+//! * **BORG-L011** — every `Ordering::Relaxed` carries a
+//!   `// borg-lint: relaxed-ok(reason)` comment on the same or previous
+//!   line, with a non-empty reason. Relaxed atomics are legal exactly
+//!   when no other memory access depends on their ordering; the directive
+//!   forces that argument to be written down where the ordering is
+//!   chosen.
+//! * **BORG-L012** — no `unreachable!` / `unimplemented!` / `todo!` or
+//!   panicking slice indexing (`x[i]`) inside `pub fn` bodies of the
+//!   protocol crate (`crates/protocol`). The engine is driven by
+//!   adversarial event schedules (the model checker delivers them in
+//!   every order); a public entry point must reject bad input, not panic
+//!   on it. Private helpers may index behind validated invariants.
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
-//! on the same line or the line directly above.
+//! on the same line or the line directly above — or, item-wide, by one on
+//! the item's header (or the line above it), which covers the whole item.
 
 use crate::files::{discover, FileClass, SourceFile};
+use crate::itemtree::{self, Item, ItemKind};
 use crate::lexer::{lex, LexedFile, Token, TokenKind};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::path::Path;
@@ -57,7 +78,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 9] = [
+pub const RULES: [Rule; 12] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -97,6 +118,21 @@ pub const RULES: [Rule; 9] = [
         summary: "no std::thread::spawn in crates/experiments; fan sweeps out through \
                   borg-runner (crate::par::run_jobs)",
     },
+    Rule {
+        id: "BORG-L010",
+        summary: "no HashMap/HashSet iteration in result-affecting library code; \
+                  use BTreeMap/BTreeSet or allowlist a proven order-insensitive fold",
+    },
+    Rule {
+        id: "BORG-L011",
+        summary: "every Ordering::Relaxed carries a `// borg-lint: relaxed-ok(reason)` \
+                  justification on the same or previous line",
+    },
+    Rule {
+        id: "BORG-L012",
+        summary: "no unreachable!/unimplemented!/todo! or panicking slice indexing in \
+                  borg-protocol pub fn bodies; entry points reject bad input",
+    },
 ];
 
 /// One reported lint violation.
@@ -113,7 +149,8 @@ pub struct Violation {
 /// Runs every rule over one source file and applies the allowlist.
 pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Violation> {
     let lexed = lex(source);
-    let regions = test_regions(&lexed.tokens);
+    let items = itemtree::parse(&lexed.tokens);
+    let regions = test_regions_of(&items, &lexed.tokens);
     let in_test = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
 
     let mut found = Vec::new();
@@ -126,11 +163,18 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l007(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l008(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l009(rel_path, class, &lexed.tokens, &in_test, &mut found);
+    rule_l010(rel_path, class, &lexed.tokens, &in_test, &mut found);
+    rule_l011(rel_path, class, &lexed, &in_test, &mut found);
+    rule_l012(rel_path, class, &lexed.tokens, &items, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
+    let item_allows = item_allow_ranges(&items, &allows);
     found.retain(|v| {
         let allowed_at = |line: u32| allows.get(&line).is_some_and(|set| set.contains(v.rule));
-        !(allowed_at(v.line) || (v.line > 1 && allowed_at(v.line - 1)))
+        let item_allowed = item_allows
+            .iter()
+            .any(|(rule, a, b)| *rule == v.rule && *a <= v.line && v.line <= *b);
+        !(allowed_at(v.line) || (v.line > 1 && allowed_at(v.line - 1)) || item_allowed)
     });
     found.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     found
@@ -173,16 +217,34 @@ fn allow_map(lexed: &LexedFile) -> HashMap<u32, HashSet<&str>> {
 }
 
 // ---------------------------------------------------------------------------
-// Test-region detection
+// Test-region detection and item-scoped allows
 // ---------------------------------------------------------------------------
 
-/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
-///
-/// An attributed item's region runs from the attribute to the matching close
-/// brace of its body (or a top-level `;` for braceless items). Nested test
-/// attributes produce overlapping regions, which is harmless for membership
-/// queries.
-fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items,
+/// computed from the item tree: a test-attributed item's whole span is a
+/// region (children included), and function bodies — opaque to the tree —
+/// fall back to the token scan so statement-level test attributes inside
+/// them are still honored.
+fn test_regions_of(items: &[Item], tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    for item in items {
+        item.walk(&mut |it| {
+            if is_test_attribute(&it.attr_idents) {
+                regions.push((it.start_line, it.end_line));
+            } else if it.kind == ItemKind::Fn {
+                if let Some((open, close)) = it.body {
+                    regions.extend(scan_test_regions(
+                        &tokens[open..=close.min(tokens.len() - 1)],
+                    ));
+                }
+            }
+        });
+    }
+    regions
+}
+
+/// Token-scan fallback for test regions (attributes anywhere in a slice).
+fn scan_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -199,6 +261,30 @@ fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
         }
     }
     regions
+}
+
+/// `(rule, first_line, last_line)` spans from item-scoped allow
+/// directives: a `// borg-lint: allow(...)` on an item's header line, on
+/// any of its attribute lines, or on the line directly above the item
+/// suppresses the named rules across the item's whole span.
+fn item_allow_ranges<'a>(
+    items: &[Item],
+    allows: &HashMap<u32, HashSet<&'a str>>,
+) -> Vec<(&'a str, u32, u32)> {
+    let mut ranges = Vec::new();
+    for item in items {
+        item.walk(&mut |it| {
+            let first = it.start_line.saturating_sub(1);
+            for line in first..=it.header_line {
+                if let Some(rules) = allows.get(&line) {
+                    for rule in rules {
+                        ranges.push((*rule, it.start_line, it.end_line));
+                    }
+                }
+            }
+        });
+    }
+    ranges
 }
 
 /// Collects identifier texts inside the attribute starting at `open` (the
@@ -656,6 +742,232 @@ fn rule_l009(
                     .to_string(),
             });
         }
+    }
+}
+
+/// Crates whose library code feeds archives, metrics, or experiment
+/// results — where hash-order iteration can leak into a reported value
+/// and break the same-seed determinism gate.
+const L010_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/metrics/src/",
+    "crates/models/src/",
+    "crates/desim/src/",
+    "crates/protocol/src/",
+    "crates/parallel/src/",
+    "crates/experiments/src/",
+    "crates/runner/src/",
+    "crates/obs/src/",
+    "crates/mc/src/",
+];
+
+/// Iteration methods whose visit order is the hasher's, not the caller's.
+const L010_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Glue tokens allowed between a binding name and its `HashMap`/`HashSet`
+/// type or constructor (`let m: HashMap<..>`, `m = HashMap::new()`,
+/// `m: &mut HashMap<..>`).
+const L010_BINDING_GLUE: &[&str] = &[":", "=", "&", "mut", "<"];
+
+fn rule_l010(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    let in_scope =
+        L010_SCOPE.iter().any(|p| rel_path.starts_with(p)) || rel_path == FIXTURE_SCAN_PATH;
+    if !in_scope || class != FileClass::Library {
+        return;
+    }
+
+    // Pass 1: names bound to a hash collection (declarations, fields,
+    // params, and `= HashMap::new()` initializers).
+    let mut hashed: HashSet<&str> = HashSet::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 {
+            let prev = &tokens[j - 1];
+            let glue = (prev.kind == TokenKind::Punct || prev.text == "mut")
+                && L010_BINDING_GLUE.contains(&prev.text.as_str());
+            if glue {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j < i && j > 0 && tokens[j - 1].kind == TokenKind::Ident {
+            hashed.insert(tokens[j - 1].text.as_str());
+        }
+    }
+    if hashed.is_empty() {
+        return;
+    }
+
+    // Pass 2: iteration over those names.
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / …
+        if L010_ITER_METHODS.contains(&t.text.as_str())
+            && is_punct(tokens, i - 1, ".")
+            && is_punct(tokens, i + 1, "(")
+            && i >= 2
+            && tokens[i - 2].kind == TokenKind::Ident
+            && hashed.contains(tokens[i - 2].text.as_str())
+        {
+            push_l010(rel_path, t.line, &tokens[i - 2].text, &t.text, out);
+            continue;
+        }
+        // `for pat in name {` / `for pat in &name {`
+        if hashed.contains(t.text.as_str()) && is_punct(tokens, i + 1, "{") {
+            let mut j = i - 1;
+            while j > 0 && (is_punct(tokens, j, "&") || is_ident(tokens, j, "mut")) {
+                j -= 1;
+            }
+            if is_ident(tokens, j, "in") {
+                push_l010(rel_path, t.line, &t.text, "for-loop", out);
+            }
+        }
+    }
+}
+
+fn push_l010(rel_path: &str, line: u32, name: &str, how: &str, out: &mut Vec<Violation>) {
+    out.push(Violation {
+        rule: "BORG-L010",
+        file: rel_path.to_string(),
+        line,
+        message: format!(
+            "iterating hash collection `{name}` ({how}) visits entries in hasher order, \
+             which can leak into results; use BTreeMap/BTreeSet or allowlist a proven \
+             order-insensitive fold"
+        ),
+    });
+}
+
+fn rule_l011(
+    rel_path: &str,
+    class: FileClass,
+    lexed: &LexedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if class != FileClass::Library {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    let justified = |line: u32| {
+        lexed
+            .relaxed_oks
+            .iter()
+            .any(|d| d.line == line || d.line + 1 == line)
+    };
+    for i in 2..tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && t.text == "Relaxed"
+            && is_punct(tokens, i - 1, "::")
+            && is_ident(tokens, i - 2, "Ordering")
+            && !in_test(t.line)
+            && !justified(t.line)
+        {
+            out.push(Violation {
+                rule: "BORG-L011",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: "`Ordering::Relaxed` without a `// borg-lint: relaxed-ok(reason)` \
+                          justification on the same or previous line; state why no other \
+                          memory access depends on this ordering (an empty reason does \
+                          not count)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Panic macros forbidden in protocol entry points.
+const L012_PANIC_MACROS: &[&str] = &["unreachable", "unimplemented", "todo"];
+
+fn rule_l012(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    items: &[Item],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Scope: the protocol crate's library sources (the engine is driven by
+    // adversarial schedules — see crates/mc), plus the self-test fixture.
+    let protocol_scope =
+        rel_path.starts_with("crates/protocol/src/") || rel_path == FIXTURE_SCAN_PATH;
+    if !protocol_scope || class != FileClass::Library {
+        return;
+    }
+    for item in items {
+        item.walk(&mut |it| {
+            if it.kind != ItemKind::Fn || !it.is_pub {
+                return;
+            }
+            let Some((open, close)) = it.body else { return };
+            for i in open..=close.min(tokens.len() - 1) {
+                let t = &tokens[i];
+                if in_test(t.line) {
+                    continue;
+                }
+                if t.kind == TokenKind::Ident
+                    && L012_PANIC_MACROS.contains(&t.text.as_str())
+                    && is_punct(tokens, i + 1, "!")
+                {
+                    out.push(Violation {
+                        rule: "BORG-L012",
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "`{}!` inside protocol entry point `{}`; the engine is driven \
+                             by adversarial event schedules — reject the input (or record \
+                             a counter) instead of panicking",
+                            t.text,
+                            it.name.as_deref().unwrap_or("?"),
+                        ),
+                    });
+                }
+                // `x[i]` / `call()[i]` / `arr[0][1]` — panicking index.
+                if t.kind == TokenKind::Punct
+                    && t.text == "["
+                    && i > open
+                    && (tokens[i - 1].kind == TokenKind::Ident
+                        || tokens[i - 1].text == ")"
+                        || tokens[i - 1].text == "]")
+                {
+                    out.push(Violation {
+                        rule: "BORG-L012",
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "slice indexing inside protocol entry point `{}` panics on an \
+                             out-of-range value; use `.get()` and handle the miss (or \
+                             validate bounds at entry and allowlist the item)",
+                            it.name.as_deref().unwrap_or("?"),
+                        ),
+                    });
+                }
+            }
+        });
     }
 }
 
