@@ -37,4 +37,32 @@ test -s target/ci-results/metrics_smoke.jsonl
 grep -q '"ph":"X"' target/ci-results/trace_smoke.json
 grep -q 't_f_seconds' target/ci-results/metrics_smoke.jsonl
 
+echo "==> borg-exp serve/worker loopback smoke (fault-free)"
+NET_SOCK="target/ci-net.sock"
+rm -f "$NET_SOCK"
+./target/release/borg-exp worker --connect "unix:$NET_SOCK" &
+NET_W1=$!
+./target/release/borg-exp worker --connect "unix:$NET_SOCK" &
+NET_W2=$!
+./target/release/borg-exp serve --listen "unix:$NET_SOCK" --workers 2 \
+  --nfe 300 --seed 7 --metrics-out target/ci-results/net_metrics.jsonl
+wait "$NET_W1" "$NET_W2"
+test -s target/ci-results/net_metrics.jsonl
+grep -q 'net\.frames_sent' target/ci-results/net_metrics.jsonl
+
+echo "==> borg-exp serve/worker loopback smoke (chaos arm)"
+NET_CHAOS_SOCK="target/ci-net-chaos.sock"
+rm -f "$NET_CHAOS_SOCK" "$NET_CHAOS_SOCK.master"
+./target/release/borg-exp worker --connect "unix:$NET_CHAOS_SOCK" &
+NET_W3=$!
+./target/release/borg-exp worker --connect "unix:$NET_CHAOS_SOCK" &
+NET_W4=$!
+./target/release/borg-exp worker --connect "unix:$NET_CHAOS_SOCK" &
+NET_W5=$!
+./target/release/borg-exp serve --chaos --listen "unix:$NET_CHAOS_SOCK" --workers 3 \
+  --nfe 400 --seed 7 --metrics-out target/ci-results/net_chaos_metrics.jsonl
+wait "$NET_W3" "$NET_W4" "$NET_W5"
+test -s target/ci-results/net_chaos_metrics.jsonl
+grep -q 'net\.chaos_injections' target/ci-results/net_chaos_metrics.jsonl
+
 echo "ci.sh: all gates passed"

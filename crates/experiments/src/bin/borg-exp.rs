@@ -14,7 +14,9 @@
 //!   fit         §IV-B distribution-fitting pipeline on this machine
 //!   ablations   DESIGN.md §5 ablation studies
 //!   faults      fault-injection sweep (failure rate × P, self-healing master)
-//!   all         everything above
+//!   serve       networked master: listen, register workers, run a budget
+//!   worker      networked worker: connect to a master and evaluate
+//!   all         everything above (excluding serve/worker)
 //!
 //! Flags:
 //!   --out DIR         output directory (default ./results)
@@ -31,9 +33,26 @@
 //!                     https://ui.perfetto.dev)
 //!   --metrics-out FILE  write per-cell metrics as JSON Lines (table2:
 //!                     empirical T_F/T_C/T_A histograms, engine counters,
-//!                     master occupancy)
+//!                     master occupancy; serve/worker: net.* counters)
+//!
+//! Networked flags (serve/worker; see README "Networked deployment"):
+//!   --listen ADDR        serve: endpoint (`tcp:HOST:PORT` / `unix:PATH`)
+//!   --connect ADDR       worker: master (or chaos proxy) endpoint
+//!   --workers N          serve: registrations to wait for (default 2)
+//!   --problem NAME       problem announced to workers (default dtlz2-5)
+//!   --eval-delay-us N    artificial per-evaluation delay (keeps smoke
+//!                        runs killable mid-flight)
+//!   --reissue-timeout S  serve: wall-clock reissue deadline in seconds
+//!   --chaos              serve: loopback chaos mode — pinned virtual
+//!                        timing, seeded fault plan enacted on the wire
+//!   --crash-rate F       chaos: per-worker crash probability (default 0.25)
+//!   --drop-rate F        chaos: per-result drop probability (default 0.05)
+//!   --duplicate-rate F   chaos: per-result duplication probability (0.02)
 //! ```
 
+use borg_core::algorithm::BorgConfig;
+use borg_core::problem::Problem;
+use borg_desim::fault::FaultConfig;
 use borg_experiments::ablation::{
     ablation_archive, ablation_contention, ablation_operators, ablation_restarts,
     ablation_variance, AblationConfig,
@@ -51,9 +70,17 @@ use borg_experiments::table2::{render_table2, run_table2_with, Table2Config};
 use borg_experiments::timeline::{figure1, figure2, TimelineConfig};
 use borg_experiments::tracebundle::{trace_bundle, TraceBundleConfig};
 use borg_models::advisor::{recommend_partition, recommend_processor_count};
+use borg_models::dist::Dist;
 use borg_models::perfsim::TimingModel;
+use borg_net::chaos::{run_chaos_loopback, ChaosConfig};
+use borg_net::serve::{serve, ServeConfig};
+use borg_net::worker::{run_worker, WorkerOptions};
+use borg_net::NetAddr;
 use borg_obs::export::metrics_jsonl;
+use borg_obs::InMemoryRecorder;
+use borg_parallel::virtual_exec::{TaMode, VirtualConfig};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 #[derive(Debug, Clone)]
 struct Cli {
@@ -67,6 +94,16 @@ struct Cli {
     full: bool,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    listen: Option<String>,
+    connect: Option<String>,
+    workers: Option<usize>,
+    problem: String,
+    eval_delay_us: u64,
+    reissue_timeout: Option<f64>,
+    chaos: bool,
+    crash_rate: f64,
+    drop_rate: f64,
+    duplicate_rate: f64,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -83,6 +120,16 @@ fn parse_args() -> Result<Cli, String> {
         full: false,
         trace_out: None,
         metrics_out: None,
+        listen: None,
+        connect: None,
+        workers: None,
+        problem: "dtlz2-5".to_string(),
+        eval_delay_us: 0,
+        reissue_timeout: None,
+        chaos: false,
+        crash_rate: 0.25,
+        drop_rate: 0.05,
+        duplicate_rate: 0.02,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -130,6 +177,54 @@ fn parse_args() -> Result<Cli, String> {
                     args.next().ok_or("--metrics-out needs a value")?,
                 ))
             }
+            "--listen" => cli.listen = Some(args.next().ok_or("--listen needs a value")?),
+            "--connect" => cli.connect = Some(args.next().ok_or("--connect needs a value")?),
+            "--workers" => {
+                cli.workers = Some(
+                    args.next()
+                        .ok_or("--workers needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--problem" => cli.problem = args.next().ok_or("--problem needs a value")?,
+            "--eval-delay-us" => {
+                cli.eval_delay_us = args
+                    .next()
+                    .ok_or("--eval-delay-us needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--eval-delay-us: {e}"))?
+            }
+            "--reissue-timeout" => {
+                cli.reissue_timeout = Some(
+                    args.next()
+                        .ok_or("--reissue-timeout needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--reissue-timeout: {e}"))?,
+                )
+            }
+            "--chaos" => cli.chaos = true,
+            "--crash-rate" => {
+                cli.crash_rate = args
+                    .next()
+                    .ok_or("--crash-rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--crash-rate: {e}"))?
+            }
+            "--drop-rate" => {
+                cli.drop_rate = args
+                    .next()
+                    .ok_or("--drop-rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--drop-rate: {e}"))?
+            }
+            "--duplicate-rate" => {
+                cli.duplicate_rate = args
+                    .next()
+                    .ok_or("--duplicate-rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--duplicate-rate: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -141,7 +236,7 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
+            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|serve|worker|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
             std::process::exit(2);
         }
     };
@@ -162,7 +257,7 @@ fn main() {
             "advise",
         ]
     } else if cli.command == "--help" || cli.command == "help" {
-        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
+        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|serve|worker|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
         return;
     } else {
         vec![cli.command.as_str()]
@@ -205,6 +300,49 @@ fn write_file(path: &Path, content: &str) -> std::io::Result<()> {
         }
     }
     std::fs::write(path, content)
+}
+
+/// Parses a wire address or exits with usage.
+fn parse_addr(s: &str) -> NetAddr {
+    NetAddr::parse(s).unwrap_or_else(|e| {
+        eprintln!("bad address {s:?}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// For chaos mode the proxy needs a second, master-facing endpoint
+/// derived from the public one.
+fn derive_master_addr(public: &NetAddr) -> NetAddr {
+    match public {
+        NetAddr::Unix(path) => {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".master");
+            NetAddr::Unix(PathBuf::from(os))
+        }
+        NetAddr::Tcp(_) => NetAddr::Tcp("127.0.0.1:0".to_string()),
+    }
+}
+
+/// Maps a wire problem name to an instance (the `Welcome` vocabulary).
+fn resolve_problem(name: &str) -> Option<Box<dyn Problem>> {
+    match name {
+        "dtlz2-5" => Some(Box::new(borg_problems::dtlz::Dtlz::dtlz2_5())),
+        "dtlz2-2" => Some(Box::new(borg_problems::dtlz::Dtlz::new(
+            borg_problems::dtlz::DtlzVariant::Dtlz2,
+            2,
+        ))),
+        _ => None,
+    }
+}
+
+/// Dumps the recorder's `net.*` metrics as JSON Lines if requested.
+fn write_net_metrics(cli: &Cli, rec: &InMemoryRecorder, role: &str) {
+    if let Some(path) = &cli.metrics_out {
+        let labels = [("experiment", role.to_string())];
+        let jsonl = metrics_jsonl(&labels, &rec.snapshot());
+        write_file(path, &jsonl).expect("write metrics jsonl");
+        println!("wrote {}", path.display());
+    }
 }
 
 fn run_command(cmd: &str, cli: &Cli) {
@@ -530,6 +668,130 @@ fn run_command(cmd: &str, cli: &Cli) {
             );
             println!("{}", table.render());
             write_output(&cli.out, "islands.csv", &table.to_csv()).unwrap();
+        }
+        "serve" => {
+            let listen = match &cli.listen {
+                Some(a) => parse_addr(a),
+                None => {
+                    eprintln!("serve needs --listen (tcp:HOST:PORT or unix:PATH)");
+                    std::process::exit(2);
+                }
+            };
+            let workers = cli.workers.unwrap_or(2);
+            let nfe = cli.nfe.unwrap_or(500);
+            let seed = cli.seed.unwrap_or(42);
+            let problem = resolve_problem(&cli.problem).unwrap_or_else(|| {
+                eprintln!("unknown problem {:?} (try dtlz2-5)", cli.problem);
+                std::process::exit(2);
+            });
+            let borg = BorgConfig::new(problem.num_objectives(), 0.06);
+            let rec = InMemoryRecorder::metrics_only();
+            if cli.chaos {
+                // Pinned-timing chaos mode: the DES fault oracle drives a
+                // real master whose faults the proxy enacts on the wire.
+                let config = VirtualConfig {
+                    processors: workers as u32 + 1,
+                    max_nfe: nfe,
+                    t_f: Dist::normal_cv(0.001, 0.1),
+                    t_c: Dist::Constant(0.000_006),
+                    t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
+                    seed,
+                };
+                let faults = FaultConfig {
+                    crash_rate: cli.crash_rate,
+                    drop_rate: cli.drop_rate,
+                    duplicate_rate: cli.duplicate_rate,
+                    ..FaultConfig::default()
+                };
+                let chaos = ChaosConfig {
+                    master_listen: derive_master_addr(&listen),
+                    listen,
+                    in_process_workers: 0,
+                    read_timeout: Duration::from_millis(25),
+                    result_wait: Duration::from_secs(30),
+                    reset_on_crash: true,
+                };
+                let result = run_chaos_loopback(
+                    &*problem,
+                    borg,
+                    &config,
+                    &faults,
+                    &chaos,
+                    &cli.problem,
+                    &resolve_problem,
+                    &rec,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("chaos serve failed: {e}");
+                    std::process::exit(1);
+                });
+                println!(
+                    "serve summary: mode=chaos nfe={} archive={} elapsed={:.6} \
+                     deaths_detected={} reissues={} wasted_nfe={} wire_results={} \
+                     wire_duplicates={} wire_faults={} worker_reconnects={}",
+                    result.engine.nfe(),
+                    result.engine.archive().solutions().len(),
+                    result.outcome.elapsed,
+                    result.fault_log.detected(),
+                    result.fault_log.reissues,
+                    result.fault_log.wasted_nfe,
+                    result.wire_results,
+                    result.wire_duplicates,
+                    result.wire_log.injected(),
+                    result.worker_reconnects,
+                );
+                write_net_metrics(cli, &rec, "serve-chaos");
+                if let Some(err) = &result.degraded {
+                    eprintln!("run degraded to local evaluation: {err}");
+                    std::process::exit(1);
+                }
+            } else {
+                let mut scfg = ServeConfig::new(listen, workers, nfe, seed);
+                scfg.problem_name = cli.problem.clone();
+                scfg.eval_delay = Duration::from_micros(cli.eval_delay_us);
+                scfg.reissue_timeout = cli.reissue_timeout;
+                let report = serve(&*problem, borg, &scfg, &rec).unwrap_or_else(|e| {
+                    eprintln!("serve failed: {e}");
+                    std::process::exit(1);
+                });
+                println!(
+                    "serve summary: mode=real nfe={} archive={} elapsed={:.3} \
+                     deaths_detected={} reissues={} wire_results={} wire_duplicates={} \
+                     wire_heartbeats={}",
+                    report.engine.nfe(),
+                    report.engine.archive().solutions().len(),
+                    report.elapsed,
+                    report.fault_log.injected(),
+                    report.fault_log.reissues,
+                    report.wire_results,
+                    report.wire_duplicates,
+                    report.wire_heartbeats,
+                );
+                write_net_metrics(cli, &rec, "serve");
+            }
+        }
+        "worker" => {
+            let connect = match &cli.connect {
+                Some(a) => parse_addr(a),
+                None => {
+                    eprintln!("worker needs --connect (tcp:HOST:PORT or unix:PATH)");
+                    std::process::exit(2);
+                }
+            };
+            let opts = WorkerOptions {
+                connect,
+                ..WorkerOptions::default()
+            };
+            let rec = InMemoryRecorder::metrics_only();
+            let report = run_worker(&opts, &resolve_problem, &rec).unwrap_or_else(|e| {
+                eprintln!("worker failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "worker summary: worker={} evaluated={} reconnects={} heartbeats={}",
+                report.worker, report.evaluated, report.reconnects, report.heartbeats_sent,
+            );
+            write_net_metrics(cli, &rec, "worker");
         }
         other => {
             eprintln!("unknown subcommand {other}");

@@ -1,0 +1,802 @@
+//! Hand-rolled, dependency-free length-framed binary codec for the wire.
+//!
+//! The workspace is offline (no serde/bincode), so every message is
+//! encoded by hand into a frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic      0xB0C6_F7A1 (LE)
+//! 4       1     version    1
+//! 5       4     payload length (LE, capped at MAX_PAYLOAD)
+//! 9       4     FNV-1a-32 checksum of the payload (LE)
+//! 13      len   payload    (tag byte + fields, all integers LE,
+//!                           f64 as IEEE-754 bit pattern LE)
+//! ```
+//!
+//! Decode is *total*: malformed input returns [`DecodeError`], never
+//! panics, and never allocates more than the bytes actually present —
+//! the payload length is validated against [`MAX_PAYLOAD`] before any
+//! allocation, and every vector length inside the payload is validated
+//! against the remaining payload bytes before reserving capacity.
+
+use borg_protocol::{Command, Event};
+use std::fmt;
+
+/// Frame magic: rejects cross-protocol and mid-stream garbage early.
+pub const MAGIC: u32 = 0xB0C6_F7A1;
+/// Wire format version; bumped on any incompatible layout change.
+pub const VERSION: u8 = 1;
+/// Hard cap on a frame's payload. A `Work` frame for a 1000-variable
+/// problem is ~8 KiB; 1 MiB leaves two orders of magnitude of headroom
+/// while bounding what a corrupt length field can make us buffer.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+/// Fixed frame header size (magic + version + length + checksum).
+pub const HEADER_LEN: usize = 13;
+
+/// Everything that travels on a connection. `Cmd`/`Evt` carry the
+/// protocol vocabulary verbatim; the remaining variants are the
+/// deployment envelope (registration, work items, results, liveness).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → master registration. `worker` is [`UNASSIGNED`] on first
+    /// contact and the previously assigned index on reconnect.
+    Hello { worker: u64 },
+    /// Master → worker registration reply: assigned index, the problem
+    /// the worker must resolve, and an artificial per-evaluation delay
+    /// (microseconds; used by tests to keep runs killable mid-flight).
+    Welcome {
+        worker: u64,
+        problem: String,
+        eval_delay_us: u64,
+    },
+    /// Master → worker work item. `seq` counts dispatches to this worker
+    /// (the engine's fate-plan coordinate); `attempt` 0 = fresh produce.
+    Work {
+        eval_id: u64,
+        attempt: u32,
+        seq: u64,
+        variables: Vec<f64>,
+    },
+    /// Worker → master result, echoing the dispatch coordinates.
+    Outcome {
+        worker: u64,
+        eval_id: u64,
+        attempt: u32,
+        objectives: Vec<f64>,
+        constraints: Vec<f64>,
+    },
+    /// Worker → master liveness beacon.
+    Heartbeat { worker: u64 },
+    /// Master → worker: the run is over, exit cleanly.
+    Shutdown,
+    /// A protocol [`Command`], verbatim.
+    Cmd(Command),
+    /// A protocol [`Event`], verbatim.
+    Evt(Event),
+}
+
+/// `Hello.worker` value meaning "no index assigned yet".
+pub const UNASSIGNED: u64 = u64::MAX;
+
+/// Why a frame failed to decode. Total: every malformed input maps here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends mid-frame and no more bytes can arrive (EOF).
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic(u32),
+    /// Unknown wire format version.
+    BadVersion(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Payload bytes do not match the header checksum.
+    BadChecksum { expected: u32, found: u32 },
+    /// Unknown message/enum tag byte.
+    BadTag(u8),
+    /// An inner length field exceeds the bytes actually present.
+    BadLength,
+    /// A boolean field held something other than 0 or 1.
+    BadBool(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// The payload decoded but left unconsumed bytes behind.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            DecodeError::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch (header {expected:#010x}, payload {found:#010x})"
+                )
+            }
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadLength => write!(f, "inner length exceeds payload"),
+            DecodeError::BadBool(b) => write!(f, "invalid boolean byte {b}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing payload bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a over the payload. Not cryptographic — it guards against
+/// corruption and framing bugs, not adversaries (single-byte corruption
+/// is always detected: each absorption step is injective in the byte).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Payload writer
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    // Bit pattern, not value: NaNs and signed zeros survive verbatim so
+    // the networked archive stays bit-identical to the oracle's.
+    put_u64(buf, v.to_bits());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_f64(buf, v);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    put_u8(buf, u8::from(v));
+}
+
+// ---------------------------------------------------------------------------
+// Payload reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::BadLength)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::BadLength);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let n = self.u32()? as usize;
+        // Validate against the bytes actually present *before* reserving
+        // capacity: a corrupt count cannot make us over-allocate.
+        let bytes = n.checked_mul(8).ok_or(DecodeError::BadLength)?;
+        if self.pos.checked_add(bytes).ok_or(DecodeError::BadLength)? > self.buf.len() {
+            return Err(DecodeError::BadLength);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::BadBool(b)),
+        }
+    }
+
+    fn usize_field(&mut self) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::BadLength)
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message encoding
+// ---------------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 0;
+const TAG_WELCOME: u8 = 1;
+const TAG_WORK: u8 = 2;
+const TAG_OUTCOME: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_SHUTDOWN: u8 = 5;
+const TAG_CMD: u8 = 6;
+const TAG_EVT: u8 = 7;
+
+fn encode_command(buf: &mut Vec<u8>, cmd: &Command) {
+    match *cmd {
+        Command::Dispatch {
+            worker,
+            eval_id,
+            attempt,
+        } => {
+            put_u8(buf, 0);
+            put_u64(buf, worker as u64);
+            put_u64(buf, eval_id);
+            put_u32(buf, attempt);
+        }
+        Command::Consume { worker, eval_id } => {
+            put_u8(buf, 1);
+            put_u64(buf, worker as u64);
+            put_u64(buf, eval_id);
+        }
+        Command::SuppressDuplicate { worker, eval_id } => {
+            put_u8(buf, 2);
+            put_u64(buf, worker as u64);
+            put_u64(buf, eval_id);
+        }
+        Command::Ping { worker } => {
+            put_u8(buf, 3);
+            put_u64(buf, worker as u64);
+        }
+        Command::RetireWorker { worker } => {
+            put_u8(buf, 4);
+            put_u64(buf, worker as u64);
+        }
+        Command::Abandon { eval_id } => {
+            put_u8(buf, 5);
+            put_u64(buf, eval_id);
+        }
+        Command::RearmHeartbeat => put_u8(buf, 6),
+        Command::Finish => put_u8(buf, 7),
+    }
+}
+
+fn decode_command(r: &mut Reader<'_>) -> Result<Command, DecodeError> {
+    match r.u8()? {
+        0 => Ok(Command::Dispatch {
+            worker: r.usize_field()?,
+            eval_id: r.u64()?,
+            attempt: r.u32()?,
+        }),
+        1 => Ok(Command::Consume {
+            worker: r.usize_field()?,
+            eval_id: r.u64()?,
+        }),
+        2 => Ok(Command::SuppressDuplicate {
+            worker: r.usize_field()?,
+            eval_id: r.u64()?,
+        }),
+        3 => Ok(Command::Ping {
+            worker: r.usize_field()?,
+        }),
+        4 => Ok(Command::RetireWorker {
+            worker: r.usize_field()?,
+        }),
+        5 => Ok(Command::Abandon { eval_id: r.u64()? }),
+        6 => Ok(Command::RearmHeartbeat),
+        7 => Ok(Command::Finish),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn encode_event(buf: &mut Vec<u8>, evt: &Event) {
+    match *evt {
+        Event::ResultArrived {
+            worker,
+            eval_id,
+            at,
+        } => {
+            put_u8(buf, 0);
+            put_u64(buf, worker as u64);
+            put_u64(buf, eval_id);
+            put_f64(buf, at);
+        }
+        Event::DeadlineFired {
+            eval_id,
+            worker,
+            deadline_bits,
+            at,
+        } => {
+            put_u8(buf, 1);
+            put_u64(buf, eval_id);
+            put_u64(buf, worker as u64);
+            put_u64(buf, deadline_bits);
+            put_f64(buf, at);
+        }
+        Event::HeartbeatTick { at } => {
+            put_u8(buf, 2);
+            put_f64(buf, at);
+        }
+        Event::WorkerDied {
+            worker,
+            at,
+            will_respawn,
+            lost_eval,
+        } => {
+            put_u8(buf, 3);
+            put_u64(buf, worker as u64);
+            put_f64(buf, at);
+            put_bool(buf, will_respawn);
+            match lost_eval {
+                None => put_u8(buf, 0),
+                Some(id) => {
+                    put_u8(buf, 1);
+                    put_u64(buf, id);
+                }
+            }
+        }
+        Event::WorkerRespawned { worker, at } => {
+            put_u8(buf, 4);
+            put_u64(buf, worker as u64);
+            put_f64(buf, at);
+        }
+    }
+}
+
+fn decode_event(r: &mut Reader<'_>) -> Result<Event, DecodeError> {
+    match r.u8()? {
+        0 => Ok(Event::ResultArrived {
+            worker: r.usize_field()?,
+            eval_id: r.u64()?,
+            at: r.f64()?,
+        }),
+        1 => Ok(Event::DeadlineFired {
+            eval_id: r.u64()?,
+            worker: r.usize_field()?,
+            deadline_bits: r.u64()?,
+            at: r.f64()?,
+        }),
+        2 => Ok(Event::HeartbeatTick { at: r.f64()? }),
+        3 => Ok(Event::WorkerDied {
+            worker: r.usize_field()?,
+            at: r.f64()?,
+            will_respawn: r.bool()?,
+            lost_eval: match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                t => return Err(DecodeError::BadTag(t)),
+            },
+        }),
+        4 => Ok(Event::WorkerRespawned {
+            worker: r.usize_field()?,
+            at: r.f64()?,
+        }),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn encode_payload(buf: &mut Vec<u8>, msg: &Msg) {
+    match *msg {
+        Msg::Hello { worker } => {
+            put_u8(buf, TAG_HELLO);
+            put_u64(buf, worker);
+        }
+        Msg::Welcome {
+            worker,
+            ref problem,
+            eval_delay_us,
+        } => {
+            put_u8(buf, TAG_WELCOME);
+            put_u64(buf, worker);
+            put_str(buf, problem);
+            put_u64(buf, eval_delay_us);
+        }
+        Msg::Work {
+            eval_id,
+            attempt,
+            seq,
+            ref variables,
+        } => {
+            put_u8(buf, TAG_WORK);
+            put_u64(buf, eval_id);
+            put_u32(buf, attempt);
+            put_u64(buf, seq);
+            put_f64s(buf, variables);
+        }
+        Msg::Outcome {
+            worker,
+            eval_id,
+            attempt,
+            ref objectives,
+            ref constraints,
+        } => {
+            put_u8(buf, TAG_OUTCOME);
+            put_u64(buf, worker);
+            put_u64(buf, eval_id);
+            put_u32(buf, attempt);
+            put_f64s(buf, objectives);
+            put_f64s(buf, constraints);
+        }
+        Msg::Heartbeat { worker } => {
+            put_u8(buf, TAG_HEARTBEAT);
+            put_u64(buf, worker);
+        }
+        Msg::Shutdown => put_u8(buf, TAG_SHUTDOWN),
+        Msg::Cmd(ref cmd) => {
+            put_u8(buf, TAG_CMD);
+            encode_command(buf, cmd);
+        }
+        Msg::Evt(ref evt) => {
+            put_u8(buf, TAG_EVT);
+            encode_event(buf, evt);
+        }
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Msg, DecodeError> {
+    let mut r = Reader::new(payload);
+    let msg = match r.u8()? {
+        TAG_HELLO => Msg::Hello { worker: r.u64()? },
+        TAG_WELCOME => Msg::Welcome {
+            worker: r.u64()?,
+            problem: r.string()?,
+            eval_delay_us: r.u64()?,
+        },
+        TAG_WORK => Msg::Work {
+            eval_id: r.u64()?,
+            attempt: r.u32()?,
+            seq: r.u64()?,
+            variables: r.f64s()?,
+        },
+        TAG_OUTCOME => Msg::Outcome {
+            worker: r.u64()?,
+            eval_id: r.u64()?,
+            attempt: r.u32()?,
+            objectives: r.f64s()?,
+            constraints: r.f64s()?,
+        },
+        TAG_HEARTBEAT => Msg::Heartbeat { worker: r.u64()? },
+        TAG_SHUTDOWN => Msg::Shutdown,
+        TAG_CMD => Msg::Cmd(decode_command(&mut r)?),
+        TAG_EVT => Msg::Evt(decode_event(&mut r)?),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Encodes `msg` into a complete frame (header + payload).
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_payload(&mut payload, msg);
+    debug_assert!(payload.len() <= MAX_PAYLOAD, "frame payload exceeds cap");
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.push(VERSION);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds a valid prefix of a frame
+/// and more bytes are needed (streaming case); `Ok(Some((msg, n)))`
+/// consumes `n` bytes. Header fields are validated as soon as they are
+/// present — a bad magic, version, or oversized length is reported
+/// before the rest of the frame arrives.
+pub fn decode(buf: &[u8]) -> Result<Option<(Msg, usize)>, DecodeError> {
+    if buf.len() >= 4 {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&buf[..4]);
+        let magic = u32::from_le_bytes(m);
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+    }
+    if buf.len() >= 5 && buf[4] != VERSION {
+        return Err(DecodeError::BadVersion(buf[4]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let mut b4 = [0u8; 4];
+    b4.copy_from_slice(&buf[5..9]);
+    let len = u32::from_le_bytes(b4);
+    if len as usize > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized(len));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    b4.copy_from_slice(&buf[9..13]);
+    let expected = u32::from_le_bytes(b4);
+    let payload = &buf[HEADER_LEN..total];
+    let found = fnv1a(payload);
+    if found != expected {
+        return Err(DecodeError::BadChecksum { expected, found });
+    }
+    let msg = decode_payload(payload)?;
+    Ok(Some((msg, total)))
+}
+
+/// Decodes a buffer that must hold exactly one complete frame — what a
+/// connection does at EOF, where "more bytes" can never arrive. An
+/// incomplete frame is [`DecodeError::Truncated`]; bytes after the frame
+/// are [`DecodeError::TrailingBytes`].
+pub fn decode_complete(buf: &[u8]) -> Result<Msg, DecodeError> {
+    match decode(buf)? {
+        None => Err(DecodeError::Truncated),
+        Some((msg, n)) if n == buf.len() => Ok(msg),
+        Some((_, n)) => Err(DecodeError::TrailingBytes(buf.len() - n)),
+    }
+}
+
+/// Incremental frame assembler for a byte stream: `feed` raw socket
+/// reads in, pull complete messages out with `next`. A decode error
+/// poisons the stream (the caller must drop the connection — framing
+/// cannot resynchronize after corruption).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing; keeps the buffer at
+        // O(one frame) regardless of connection lifetime.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete message, if one is buffered.
+    pub fn next_msg(&mut self) -> Result<Option<Msg>, DecodeError> {
+        match decode(&self.buf[self.start..])? {
+            None => Ok(None),
+            Some((msg, n)) => {
+                self.start += n;
+                Ok(Some(msg))
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet decoded (nonzero at EOF means the
+    /// stream ended mid-frame).
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msgs() -> Vec<Msg> {
+        vec![
+            Msg::Hello { worker: UNASSIGNED },
+            Msg::Welcome {
+                worker: 3,
+                problem: "dtlz2-5".to_string(),
+                eval_delay_us: 250,
+            },
+            Msg::Work {
+                eval_id: 42,
+                attempt: 1,
+                seq: 7,
+                // Include a non-default NaN payload: bit patterns must
+                // survive the wire verbatim.
+                variables: vec![0.25, -1.5, f64::from_bits(0x7ff8_0000_0000_0001), 0.0],
+            },
+            Msg::Outcome {
+                worker: 2,
+                eval_id: 42,
+                attempt: 1,
+                objectives: vec![1.0, 2.0, 3.0],
+                constraints: vec![],
+            },
+            Msg::Heartbeat { worker: 9 },
+            Msg::Shutdown,
+            Msg::Cmd(Command::Dispatch {
+                worker: 1,
+                eval_id: 10,
+                attempt: 0,
+            }),
+            Msg::Evt(Event::WorkerDied {
+                worker: 4,
+                at: 1.5,
+                will_respawn: true,
+                lost_eval: Some(99),
+            }),
+        ]
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn round_trips_every_sample_message() {
+        for msg in sample_msgs() {
+            let frame = encode(&msg);
+            let back = decode_complete(&frame).unwrap();
+            match (&msg, &back) {
+                // NaN payloads break PartialEq; compare variable bits.
+                (
+                    Msg::Work {
+                        variables: a,
+                        eval_id: ia,
+                        attempt: aa,
+                        seq: sa,
+                    },
+                    Msg::Work {
+                        variables: b,
+                        eval_id: ib,
+                        attempt: ab,
+                        seq: sb,
+                    },
+                ) => {
+                    assert_eq!((ia, aa, sa), (ib, ab, sb));
+                    assert_eq!(bits(a), bits(b));
+                }
+                _ => assert_eq!(msg, back),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reader_reassembles_split_frames() {
+        let msgs = sample_msgs();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode(m));
+        }
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        // Feed one byte at a time: worst-case fragmentation.
+        for &b in &wire {
+            reader.feed(&[b]);
+            while let Some(m) = reader.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out.len(), msgs.len());
+        assert_eq!(reader.pending_len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_before_full_header() {
+        let err = decode(&[0xde, 0xad, 0xbe, 0xef]).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic(_)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_buffering_payload() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC.to_le_bytes());
+        frame.push(VERSION);
+        frame.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        // Only the header is present: the length check must fire before
+        // any attempt to wait for (or allocate) the bogus payload.
+        assert_eq!(
+            decode(&frame).unwrap_err(),
+            DecodeError::Oversized(MAX_PAYLOAD as u32 + 1)
+        );
+    }
+
+    #[test]
+    fn corrupt_inner_vector_length_cannot_overallocate() {
+        // A Work frame whose variable count claims 2^30 entries but whose
+        // payload holds none: decode must fail on the length check.
+        let mut payload = Vec::new();
+        put_u8(&mut payload, TAG_WORK);
+        put_u64(&mut payload, 1);
+        put_u32(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 1 << 30);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC.to_le_bytes());
+        frame.push(VERSION);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(decode_complete(&frame).unwrap_err(), DecodeError::BadLength);
+    }
+
+    #[test]
+    fn truncated_frame_errors_at_eof_but_streams_cleanly() {
+        let frame = encode(&Msg::Shutdown);
+        let cut = &frame[..frame.len() - 1];
+        // Streaming: a prefix just means "more bytes coming".
+        assert_eq!(decode(cut).unwrap(), None);
+        // EOF: the same prefix is an error.
+        assert_eq!(decode_complete(cut).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn payload_corruption_is_always_detected() {
+        let frame = encode(&Msg::Heartbeat { worker: 7 });
+        for i in HEADER_LEN..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    decode_complete(&bad).is_err(),
+                    "flip of payload byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+}

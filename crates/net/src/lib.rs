@@ -1,0 +1,37 @@
+//! `borg-net`: wire-level transport for the master-slave protocol.
+//!
+//! Carries `borg_protocol::{Command, Event}` (and the deployment
+//! envelope around them) across process and machine boundaries:
+//!
+//! - [`codec`] — hand-rolled length-framed binary codec (magic, version,
+//!   checksum; total decode: malformed input is an error, never a panic,
+//!   never an over-allocation).
+//! - [`transport`] — TCP and Unix-domain-socket streams with mandatory
+//!   per-connection read timeouts and bounded exponential reconnect
+//!   backoff.
+//! - [`worker`] — the remote evaluation loop: register, evaluate
+//!   dispatched candidates, stream results, heartbeat, reconnect.
+//! - [`serve`] — the real-clock master: drives
+//!   `borg_protocol::MasterEngine` over live sockets (deadline reissue,
+//!   EOF + heartbeat-staleness death detection, duplicate suppression).
+//! - [`chaos`] — the loopback chaos harness: an interposing proxy maps
+//!   the seeded `borg_desim::fault::FaultPlan` onto real sockets while
+//!   the master replays the *same* plan through the DES fault engine in
+//!   virtual time (`sampled_ta`), making the networked run's fault
+//!   ledger and final archive bit-identical to the DES oracle.
+//!
+//! Socket I/O in this crate must not `unwrap()`/`expect()` and blocking
+//! reads must carry a timeout — enforced by `cargo xtask check` rule
+//! BORG-L013 on top of the workspace-wide rules.
+
+pub mod chaos;
+pub mod codec;
+pub mod metrics;
+pub mod serve;
+pub mod transport;
+pub mod worker;
+
+pub use codec::{DecodeError, FrameReader, Msg};
+pub use transport::{
+    connect_with_backoff, Backoff, Conn, NetAddr, NetError, NetListener, NetStream,
+};

@@ -1,0 +1,34 @@
+//! The `net.*` metric catalogue (see DESIGN §11 for the house
+//! conventions): counter/gauge/histogram names this crate feeds through
+//! the `borg_obs::Recorder` facade. Centralised so exporters, docs, and
+//! tests reference one vocabulary.
+
+/// Frames written to a socket (any message type, either role).
+pub const FRAMES_SENT: &str = "net.frames_sent";
+/// Frames successfully decoded off a socket.
+pub const FRAMES_RECEIVED: &str = "net.frames_received";
+/// Bytes written (frame-complete).
+pub const BYTES_SENT: &str = "net.bytes_sent";
+/// Bytes received in decoded frames.
+pub const BYTES_RECEIVED: &str = "net.bytes_received";
+/// Work items dispatched over the wire.
+pub const DISPATCHES: &str = "net.dispatches";
+/// Result frames consumed by the master.
+pub const RESULTS: &str = "net.results";
+/// Duplicate result frames absorbed (chaos duplication, reissue races).
+pub const DUPLICATES: &str = "net.duplicates";
+/// Heartbeat frames received by the master.
+pub const HEARTBEATS: &str = "net.heartbeats";
+/// Successful (re)connections, worker side.
+pub const RECONNECTS: &str = "net.reconnects";
+/// Frames that failed to decode (connection subsequently dropped).
+pub const DECODE_ERRORS: &str = "net.decode_errors";
+/// Worker deaths detected by the master (EOF or stale heartbeat).
+pub const WORKER_DEATHS: &str = "net.worker_deaths";
+/// Faults the chaos proxy physically injected on the wire.
+pub const CHAOS_INJECTIONS: &str = "net.chaos_injections";
+/// Histogram: wall-clock seconds from dispatch write to result decode.
+pub const RTT_SECONDS: &str = "net.rtt_seconds";
+/// Histogram: wall-clock seconds the master blocked waiting for a
+/// pinned-mode wire result.
+pub const RESULT_WAIT_SECONDS: &str = "net.result_wait_seconds";

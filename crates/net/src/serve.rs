@@ -1,0 +1,618 @@
+//! The real-clock networked master: drives the shared
+//! `borg_protocol::MasterEngine` over live sockets.
+//!
+//! Mirrors the real-thread executor (`borg_parallel::threads`) with the
+//! channel pair replaced by framed socket connections: per-connection
+//! reader threads translate wire frames into notes, the master loop
+//! translates notes into protocol [`Event`]s, and the engine decides
+//! everything else (deadline reissue, duplicate suppression by eval id,
+//! worker retirement). Worker death is detected two ways — connection
+//! EOF (a `SIGKILL`ed process closes its socket) and wire-heartbeat
+//! staleness (a hung-but-connected peer) — and both feed the engine's
+//! existing recovery machinery via [`Event::WorkerDied`].
+
+use crate::codec::{self, Msg};
+use crate::metrics;
+use crate::transport::{Conn, NetAddr, NetError, NetListener, NetStream};
+use borg_core::algorithm::{BorgConfig, BorgEngine, Candidate};
+use borg_core::problem::Problem;
+use borg_core::rng::SplitMix64;
+use borg_desim::fault::{FaultKind, FaultLog};
+use borg_obs::Recorder;
+use borg_protocol::{Clock, Event, MasterEngine, RecoveryPolicy, Transport};
+use crossbeam::channel;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Reissue cap before an evaluation is abandoned (matches the
+/// real-thread executor).
+const MAX_REISSUES: u32 = 32;
+
+/// How the networked master runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Endpoint to listen on (`tcp:HOST:PORT` / `unix:PATH`).
+    pub listen: NetAddr,
+    /// Worker registrations to wait for before starting.
+    pub workers: usize,
+    /// Evaluation budget.
+    pub max_nfe: u64,
+    /// Engine seed (derived deterministically).
+    pub seed: u64,
+    /// Problem name announced to workers in `Welcome`.
+    pub problem_name: String,
+    /// Artificial per-evaluation delay announced to workers (keeps test
+    /// runs killable mid-flight). Zero for real runs.
+    pub eval_delay: Duration,
+    /// Reissue deadline in wall-clock seconds (`None` = never).
+    pub reissue_timeout: Option<f64>,
+    /// Declare a worker dead after this much wire silence, in seconds
+    /// (`INFINITY` = EOF detection only). Must exceed the worst
+    /// evaluation time: workers only heartbeat while idle.
+    pub heartbeat_timeout: f64,
+    /// How long to wait for the pool to register.
+    pub register_timeout: Duration,
+    /// Per-connection read timeout (also the reader-thread stop tick).
+    pub read_timeout: Duration,
+}
+
+impl ServeConfig {
+    pub fn new(listen: NetAddr, workers: usize, max_nfe: u64, seed: u64) -> Self {
+        ServeConfig {
+            listen,
+            workers,
+            max_nfe,
+            seed,
+            problem_name: "dtlz2-5".to_string(),
+            eval_delay: Duration::ZERO,
+            reissue_timeout: None,
+            heartbeat_timeout: f64::INFINITY,
+            register_timeout: Duration::from_secs(20),
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What a networked run produced.
+pub struct ServeReport {
+    /// Final engine state (archive, NFE).
+    pub engine: BorgEngine,
+    /// Wall-clock seconds from pool-ready to budget completion.
+    pub elapsed: f64,
+    /// Recovery ledger (real deaths are injected as `Crash` records).
+    pub fault_log: FaultLog,
+    /// Result frames consumed.
+    pub wire_results: u64,
+    /// Duplicate result frames absorbed.
+    pub wire_duplicates: u64,
+    /// Heartbeat frames received.
+    pub wire_heartbeats: u64,
+}
+
+/// A decoded result waiting for the engine to consume it.
+struct WireResult {
+    worker: usize,
+    eval_id: u64,
+    objectives: Vec<f64>,
+    constraints: Vec<f64>,
+}
+
+/// What a reader thread tells the master loop.
+enum Note {
+    Result(WireResult),
+    Beat { worker: usize },
+    Dead { worker: usize },
+}
+
+/// The engine's executor half over live sockets.
+struct NetTransport<'a, R: Recorder + ?Sized> {
+    start: Instant,
+    engine: BorgEngine,
+    writers: Vec<Option<NetStream>>,
+    candidates: BTreeMap<u64, Candidate>,
+    dispatched_at: BTreeMap<u64, f64>,
+    /// The evaluation each worker currently holds (shared-pool mode
+    /// dispatches one at a time), for fast `lost_eval` reporting on EOF.
+    current_eval: Vec<Option<u64>>,
+    /// Per-worker dispatch counters, carried in `Work.seq`.
+    dispatch_seq: Vec<u64>,
+    pending: Option<WireResult>,
+    timeout: Option<f64>,
+    latched: Option<NetError>,
+    wire_results: u64,
+    wire_duplicates: u64,
+    rec: &'a R,
+}
+
+impl<R: Recorder + ?Sized> NetTransport<'_, R> {
+    /// Sends a work item toward `worker`'s socket — or any live socket
+    /// if that one is gone. The engine's shared-pool discipline treats
+    /// dispatch indices as notional (it reissues a dead worker's lost
+    /// eval under the dead worker's own index, the way the thread
+    /// executor's shared queue lets any survivor pick it up), so the
+    /// physical route is ours to choose. Returns the socket actually
+    /// written, `None` if nothing could be sent (EOF detection and the
+    /// deadline machinery cover the loss).
+    fn send_work(
+        &mut self,
+        worker: usize,
+        eval_id: u64,
+        attempt: u32,
+        variables: Vec<f64>,
+    ) -> Option<usize> {
+        let target = if self.writers[worker].is_some() {
+            worker
+        } else {
+            self.writers.iter().position(Option::is_some)?
+        };
+        let seq = self.dispatch_seq[target];
+        self.dispatch_seq[target] += 1;
+        let frame = codec::encode(&Msg::Work {
+            eval_id,
+            attempt,
+            seq,
+            variables,
+        });
+        let stream = self.writers[target].as_mut()?;
+        if stream.write_all(&frame).is_ok() {
+            self.rec.counter(metrics::DISPATCHES, 1);
+            self.rec.counter(metrics::FRAMES_SENT, 1);
+            self.rec.counter(metrics::BYTES_SENT, frame.len() as u64);
+            Some(target)
+        } else {
+            // The reader thread on this connection will surface the
+            // death; until then the deadline machinery covers us.
+            self.writers[target] = None;
+            None
+        }
+    }
+}
+
+impl<R: Recorder + ?Sized> Clock for NetTransport<'_, R> {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl<R: Recorder + ?Sized> Transport for NetTransport<'_, R> {
+    fn dispatch(
+        &mut self,
+        worker: usize,
+        eval_id: u64,
+        attempt: u32,
+        _seq: u64,
+        _log: &mut FaultLog,
+    ) -> f64 {
+        let variables = if attempt == 0 {
+            let cand = self.engine.produce();
+            let vars = cand.variables.clone();
+            self.candidates.insert(eval_id, cand);
+            vars
+        } else {
+            match self.candidates.get(&eval_id) {
+                Some(cand) => cand.variables.clone(),
+                // Abandoned and re-dispatched? Should not happen; fail
+                // open with no deadline rather than panic.
+                None => return f64::INFINITY,
+            }
+        };
+        if let Some(target) = self.send_work(worker, eval_id, attempt, variables) {
+            // Track the eval on the socket that physically carries it
+            // (may differ from the notional index after a death), so a
+            // later EOF on that connection reports the right lost eval.
+            self.current_eval[target] = Some(eval_id);
+        }
+        let now = self.now();
+        self.dispatched_at.insert(eval_id, now);
+        self.timeout.map_or(f64::INFINITY, |t| now + t)
+    }
+
+    fn consume(&mut self, worker: usize, eval_id: u64, _ready_at: f64) -> f64 {
+        let Some(result) = self.pending.take() else {
+            self.latched = Some(NetError::Protocol(format!(
+                "engine consumed eval {eval_id} with no wire result staged"
+            )));
+            return self.now();
+        };
+        let Some(candidate) = self.candidates.remove(&eval_id) else {
+            self.latched = Some(NetError::Protocol(format!(
+                "wire result for eval {eval_id} has no produced candidate"
+            )));
+            return self.now();
+        };
+        let solution = self
+            .engine
+            .make_solution(candidate, result.objectives, result.constraints);
+        self.engine.consume(solution);
+        self.current_eval[worker] = None;
+        self.wire_results += 1;
+        self.rec.counter(metrics::RESULTS, 1);
+        if let Some(at) = self.dispatched_at.remove(&eval_id) {
+            self.rec.observe(metrics::RTT_SECONDS, self.now() - at);
+        }
+        self.now()
+    }
+
+    fn absorb_duplicate(&mut self, _worker: usize, _eval_id: u64, _ready_at: f64) -> f64 {
+        self.pending = None;
+        self.wire_duplicates += 1;
+        self.rec.counter(metrics::DUPLICATES, 1);
+        self.now()
+    }
+
+    fn ping(&mut self, _worker: usize) -> (f64, f64) {
+        let now = self.now();
+        (now, now)
+    }
+
+    fn rearm_heartbeat(&mut self, _at: f64) {}
+
+    fn abandon(&mut self, eval_id: u64) {
+        self.candidates.remove(&eval_id);
+        self.latched = Some(NetError::Protocol(format!(
+            "eval {eval_id} exhausted its {MAX_REISSUES} reissues"
+        )));
+    }
+
+    fn unknown_result(&mut self, _worker: usize, _eval_id: u64) {
+        // A result for an id the engine no longer tracks (late duplicate
+        // after abandonment): absorb and count, don't fail the run.
+        self.pending = None;
+        self.wire_duplicates += 1;
+        self.rec.counter(metrics::DUPLICATES, 1);
+    }
+}
+
+/// Waits for `Hello` on a fresh connection (bounded by read timeouts).
+fn await_hello(conn: &mut Conn, deadline: Instant) -> Result<u64, NetError> {
+    loop {
+        match conn.recv()? {
+            Some(Msg::Hello { worker }) => return Ok(worker),
+            Some(other) => {
+                return Err(NetError::Protocol(format!(
+                    "expected Hello during registration, got {other:?}"
+                )))
+            }
+            None => {
+                if Instant::now() > deadline {
+                    return Err(NetError::Protocol(
+                        "connection never sent Hello".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Accepts and registers the full worker pool. `pub(crate)` so the
+/// chaos harness can register proxy-splice connections itself.
+pub(crate) fn register_pool(
+    listener: &NetListener,
+    cfg: &ServeConfig,
+) -> Result<Vec<Conn>, NetError> {
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + cfg.register_timeout;
+    let mut conns: Vec<Conn> = Vec::with_capacity(cfg.workers);
+    while conns.len() < cfg.workers {
+        if Instant::now() > deadline {
+            return Err(NetError::Protocol(format!(
+                "only {}/{} workers registered within {:?}",
+                conns.len(),
+                cfg.workers,
+                cfg.register_timeout
+            )));
+        }
+        let Some(stream) = listener.accept(cfg.read_timeout)? else {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        let mut conn = Conn::new(stream);
+        await_hello(&mut conn, deadline)?;
+        let worker = conns.len() as u64;
+        conn.send(&Msg::Welcome {
+            worker,
+            problem: cfg.problem_name.clone(),
+            eval_delay_us: cfg.eval_delay.as_micros() as u64,
+        })?;
+        conns.push(conn);
+    }
+    Ok(conns)
+}
+
+/// One connection's reader loop: frames in, notes out. Exits on EOF,
+/// decode error, or the stop flag.
+fn reader_loop<R: Recorder + ?Sized>(
+    mut conn: Conn,
+    worker: usize,
+    tx: &channel::Sender<Note>,
+    stop: &AtomicBool,
+    rec: &R,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn.recv() {
+            Ok(Some(Msg::Outcome {
+                eval_id,
+                objectives,
+                constraints,
+                ..
+            })) => {
+                rec.counter(metrics::FRAMES_RECEIVED, 1);
+                // Trust the connection index, not the frame's claim.
+                let note = Note::Result(WireResult {
+                    worker,
+                    eval_id,
+                    objectives,
+                    constraints,
+                });
+                if tx.send(note).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Msg::Heartbeat { .. })) => {
+                rec.counter(metrics::HEARTBEATS, 1);
+                if tx.send(Note::Beat { worker }).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(_)) => rec.counter(metrics::FRAMES_RECEIVED, 1),
+            Ok(None) => {} // read timeout: poll the stop flag again
+            Err(e) => {
+                if matches!(e, NetError::Decode(_)) {
+                    rec.counter(metrics::DECODE_ERRORS, 1);
+                }
+                let _ = tx.send(Note::Dead { worker });
+                return;
+            }
+        }
+    }
+}
+
+/// Binds, registers the pool, runs the budget, returns the report.
+pub fn serve<P, R>(
+    problem: &P,
+    borg: BorgConfig,
+    cfg: &ServeConfig,
+    rec: &R,
+) -> Result<ServeReport, NetError>
+where
+    P: Problem + ?Sized,
+    R: Recorder + Sync + ?Sized,
+{
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(cfg.max_nfe >= 1, "need at least one evaluation");
+    let listener = NetListener::bind(&cfg.listen)?;
+    let conns = register_pool(&listener, cfg)?;
+    serve_registered(problem, borg, cfg, conns, rec)
+}
+
+/// [`serve`] with an already-registered pool (the chaos harness
+/// registers through its proxy and hands the master-side connections
+/// over directly).
+pub(crate) fn serve_registered<P, R>(
+    problem: &P,
+    borg: BorgConfig,
+    cfg: &ServeConfig,
+    conns: Vec<Conn>,
+    rec: &R,
+) -> Result<ServeReport, NetError>
+where
+    P: Problem + ?Sized,
+    R: Recorder + Sync + ?Sized,
+{
+    let workers = conns.len();
+    let engine_seed = SplitMix64::new(cfg.seed).derive_seed("net-serve-engine");
+    let mut writers = Vec::with_capacity(workers);
+    for conn in &conns {
+        writers.push(Some(conn.stream().try_clone()?));
+    }
+    let mut transport = NetTransport {
+        start: Instant::now(),
+        engine: BorgEngine::new(problem, borg, engine_seed),
+        writers,
+        candidates: BTreeMap::new(),
+        dispatched_at: BTreeMap::new(),
+        current_eval: vec![None; workers],
+        dispatch_seq: vec![0; workers],
+        pending: None,
+        timeout: cfg.reissue_timeout,
+        latched: None,
+        wire_results: 0,
+        wire_duplicates: 0,
+        rec,
+    };
+    let mut proto = MasterEngine::new(borg_protocol::EngineConfig::shared_pool_async(
+        workers,
+        cfg.max_nfe,
+        RecoveryPolicy {
+            timeout: cfg.reissue_timeout.unwrap_or(f64::INFINITY),
+            heartbeat_interval: f64::INFINITY,
+            max_reissues: MAX_REISSUES,
+        },
+    ));
+    let (tx, rx) = channel::unbounded::<Note>();
+    let stop = AtomicBool::new(false);
+    let tick = cfg.reissue_timeout.map_or(Duration::from_millis(50), |t| {
+        Duration::from_secs_f64((t / 4.0).clamp(0.001, 0.1))
+    });
+
+    let run = std::thread::scope(|scope| -> Result<(f64, u64), NetError> {
+        for (worker, conn) in conns.into_iter().enumerate() {
+            let tx = tx.clone();
+            let stop = &stop;
+            scope.spawn(move || reader_loop(conn, worker, &tx, stop, rec));
+        }
+        drop(tx);
+
+        let result = drive_master(&mut proto, &mut transport, &rx, cfg, workers, tick, rec);
+
+        // Orderly teardown regardless of outcome: tell live workers the
+        // run is over, then sever every connection so blocked reader
+        // threads return immediately and the scope join cannot hang.
+        let shutdown_frame = codec::encode(&Msg::Shutdown);
+        for writer in transport.writers.iter_mut().flatten() {
+            let _ = writer.write_all(&shutdown_frame);
+        }
+        stop.store(true, Ordering::SeqCst);
+        for writer in transport.writers.iter().flatten() {
+            writer.shutdown();
+        }
+        result
+    });
+    let (elapsed, wire_heartbeats) = run?;
+
+    let mut fault_log = proto.into_log();
+    fault_log.finalize(elapsed);
+    rec.gauge("master.busy_seconds", elapsed);
+    rec.gauge("master.utilization", 1.0);
+    Ok(ServeReport {
+        engine: transport.engine,
+        elapsed,
+        fault_log,
+        wire_results: transport.wire_results,
+        wire_duplicates: transport.wire_duplicates,
+        wire_heartbeats,
+    })
+}
+
+/// The note→event pump. Split out so teardown runs on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn drive_master<R: Recorder + Sync + ?Sized>(
+    proto: &mut MasterEngine,
+    transport: &mut NetTransport<'_, R>,
+    rx: &channel::Receiver<Note>,
+    cfg: &ServeConfig,
+    workers: usize,
+    tick: Duration,
+    rec: &R,
+) -> Result<(f64, u64), NetError> {
+    let mut alive = vec![true; workers];
+    let mut last_seen = vec![transport.now(); workers];
+    let mut wire_heartbeats = 0u64;
+
+    proto.seed(transport, rec);
+    if let Some(err) = transport.latched.take() {
+        return Err(err);
+    }
+
+    while !proto.finished() {
+        if alive.iter().all(|a| !*a) {
+            return Err(NetError::AllWorkersLost {
+                completed: transport.engine.nfe(),
+                target: cfg.max_nfe,
+            });
+        }
+        let note = match rx.recv_timeout(tick) {
+            Ok(note) => note,
+            Err(channel::RecvTimeoutError::Timeout) => {
+                let now = transport.now();
+                for (eval_id, worker, deadline_bits) in proto.expired_deadlines(now) {
+                    proto.handle(
+                        Event::DeadlineFired {
+                            eval_id,
+                            worker,
+                            deadline_bits,
+                            at: now,
+                        },
+                        transport,
+                        rec,
+                    );
+                    if let Some(err) = transport.latched.take() {
+                        return Err(err);
+                    }
+                }
+                if cfg.heartbeat_timeout.is_finite() {
+                    for worker in 0..workers {
+                        if alive[worker] && now - last_seen[worker] > cfg.heartbeat_timeout {
+                            alive[worker] = false;
+                            declare_dead(proto, transport, worker, FaultKind::Hang, rec);
+                            if let Some(err) = transport.latched.take() {
+                                return Err(err);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                return Err(NetError::AllWorkersLost {
+                    completed: transport.engine.nfe(),
+                    target: cfg.max_nfe,
+                });
+            }
+        };
+        match note {
+            Note::Result(result) => {
+                let (worker, eval_id) = (result.worker, result.eval_id);
+                if !alive[worker] {
+                    // A result from a worker already declared dead:
+                    // stale by definition (its eval was reissued).
+                    continue;
+                }
+                let at = transport.now();
+                last_seen[worker] = at;
+                transport.pending = Some(result);
+                proto.handle(
+                    Event::ResultArrived {
+                        worker,
+                        eval_id,
+                        at,
+                    },
+                    transport,
+                    rec,
+                );
+                transport.pending = None;
+                if let Some(err) = transport.latched.take() {
+                    return Err(err);
+                }
+            }
+            Note::Beat { worker } => {
+                wire_heartbeats += 1;
+                last_seen[worker] = transport.now();
+            }
+            Note::Dead { worker } => {
+                if alive[worker] {
+                    alive[worker] = false;
+                    declare_dead(proto, transport, worker, FaultKind::Crash, rec);
+                    if let Some(err) = transport.latched.take() {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+    Ok((transport.now(), wire_heartbeats))
+}
+
+/// Records a physically observed death in the ledger and lets the
+/// engine's recovery machinery (retire + immediate reissue of the lost
+/// evaluation) act on it.
+fn declare_dead<R: Recorder + Sync + ?Sized>(
+    proto: &mut MasterEngine,
+    transport: &mut NetTransport<'_, R>,
+    worker: usize,
+    kind: FaultKind,
+    rec: &R,
+) {
+    let at = transport.now();
+    let lost_eval = transport.current_eval[worker];
+    proto
+        .log_mut()
+        .inject(kind, worker, lost_eval.unwrap_or(0), at);
+    transport.writers[worker] = None;
+    rec.counter(metrics::WORKER_DEATHS, 1);
+    proto.handle(
+        Event::WorkerDied {
+            worker,
+            at,
+            will_respawn: false,
+            lost_eval,
+        },
+        transport,
+        rec,
+    );
+}

@@ -1,0 +1,195 @@
+//! The worker side of the deployment pair: connect, register, evaluate
+//! dispatched candidates, stream results back, heartbeat while idle,
+//! and reconnect (bounded backoff) when the connection drops.
+
+use crate::codec::{Msg, UNASSIGNED};
+use crate::metrics;
+use crate::transport::{connect_with_backoff, Backoff, Conn, NetAddr, NetError};
+use borg_core::problem::Problem;
+use borg_obs::Recorder;
+use std::time::{Duration, Instant};
+
+/// How a worker connects and paces itself.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Master (or chaos proxy) endpoint.
+    pub connect: NetAddr,
+    /// Per-read socket timeout; also the idle-loop tick.
+    pub read_timeout: Duration,
+    /// Send a heartbeat frame after this much idle time.
+    pub heartbeat_every: Duration,
+    /// Reconnect schedule (applies to the initial connect too).
+    pub backoff: Backoff,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            connect: NetAddr::Tcp("127.0.0.1:0".to_string()),
+            read_timeout: Duration::from_millis(50),
+            heartbeat_every: Duration::from_millis(100),
+            backoff: Backoff::default_schedule(),
+        }
+    }
+}
+
+/// What a worker did over its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Index the master assigned at registration.
+    pub worker: u64,
+    /// Evaluations completed (results sent, delivered or not).
+    pub evaluated: u64,
+    /// Successful re-registrations after a connection drop.
+    pub reconnects: u64,
+    /// Heartbeat frames sent.
+    pub heartbeats_sent: u64,
+}
+
+/// Maximum consecutive read timeouts while waiting for `Welcome` before
+/// declaring registration failed (~10 s at the 50 ms default timeout).
+const REGISTRATION_READS: u32 = 200;
+
+fn await_welcome(conn: &mut Conn) -> Result<(u64, String, u64), NetError> {
+    for _ in 0..REGISTRATION_READS {
+        match conn.recv()? {
+            Some(Msg::Welcome {
+                worker,
+                problem,
+                eval_delay_us,
+            }) => return Ok((worker, problem, eval_delay_us)),
+            Some(other) => {
+                return Err(NetError::Protocol(format!(
+                    "expected Welcome during registration, got {other:?}"
+                )))
+            }
+            None => {} // timeout tick; keep waiting
+        }
+    }
+    Err(NetError::Protocol(
+        "no Welcome within the registration window".to_string(),
+    ))
+}
+
+fn connect_and_register(
+    opts: &WorkerOptions,
+    announce: u64,
+) -> Result<(Conn, u64, String, u64), NetError> {
+    let mut backoff = opts.backoff;
+    let stream = connect_with_backoff(&opts.connect, &mut backoff, opts.read_timeout)?;
+    let mut conn = Conn::new(stream);
+    conn.send(&Msg::Hello { worker: announce })?;
+    let (worker, problem, eval_delay_us) = await_welcome(&mut conn)?;
+    Ok((conn, worker, problem, eval_delay_us))
+}
+
+/// Runs the worker loop until the master sends `Shutdown` or goes away.
+///
+/// `resolve` maps the problem name announced in `Welcome` to a live
+/// [`Problem`] instance (keeps this crate independent of any particular
+/// problem suite). A master that disappears *after* registration ends
+/// the run cleanly with the report so far — operationally the master
+/// finishing and closing sockets is a normal way for a worker to learn
+/// the run is over; failing to register at all is an error.
+pub fn run_worker<R: Recorder + ?Sized>(
+    opts: &WorkerOptions,
+    resolve: &dyn Fn(&str) -> Option<Box<dyn Problem>>,
+    rec: &R,
+) -> Result<WorkerReport, NetError> {
+    let mut report = WorkerReport::default();
+    let (mut conn, worker, problem_name, eval_delay_us) = connect_and_register(opts, UNASSIGNED)?;
+    report.worker = worker;
+    let problem = resolve(&problem_name)
+        .ok_or_else(|| NetError::Protocol(format!("cannot resolve problem {problem_name:?}")))?;
+    let eval_delay = Duration::from_micros(eval_delay_us);
+    let mut objs = vec![0.0; problem.num_objectives()];
+    let mut cons = vec![0.0; problem.num_constraints()];
+    let mut last_beat = Instant::now();
+    // A result that could not be written before the connection dropped;
+    // re-sent after re-registration (the master suppresses duplicates by
+    // eval id, so re-sending is always safe).
+    let mut unsent: Option<Msg> = None;
+
+    'session: loop {
+        if let Some(msg) = unsent.take() {
+            if conn.send(&msg).is_err() {
+                unsent = Some(msg);
+                match reconnect(opts, worker, &mut report) {
+                    Some(c) => {
+                        conn = c;
+                        rec.counter(metrics::RECONNECTS, 1);
+                        continue 'session;
+                    }
+                    None => return Ok(report),
+                }
+            }
+            rec.counter(metrics::FRAMES_SENT, 1);
+        }
+        match conn.recv() {
+            Ok(Some(Msg::Work {
+                eval_id,
+                attempt,
+                seq: _,
+                variables,
+            })) => {
+                rec.counter(metrics::FRAMES_RECEIVED, 1);
+                if eval_delay > Duration::ZERO {
+                    std::thread::sleep(eval_delay);
+                }
+                if variables.len() != problem.num_variables() {
+                    return Err(NetError::Protocol(format!(
+                        "work item has {} variables, problem {problem_name:?} wants {}",
+                        variables.len(),
+                        problem.num_variables()
+                    )));
+                }
+                problem.evaluate(&variables, &mut objs, &mut cons);
+                report.evaluated += 1;
+                unsent = Some(Msg::Outcome {
+                    worker,
+                    eval_id,
+                    attempt,
+                    objectives: objs.clone(),
+                    constraints: cons.clone(),
+                });
+            }
+            Ok(Some(Msg::Shutdown)) => {
+                rec.counter(metrics::FRAMES_RECEIVED, 1);
+                return Ok(report);
+            }
+            Ok(Some(_)) => rec.counter(metrics::FRAMES_RECEIVED, 1),
+            Ok(None) => {
+                // Idle tick: heartbeat if due.
+                if last_beat.elapsed() >= opts.heartbeat_every {
+                    last_beat = Instant::now();
+                    if conn.send(&Msg::Heartbeat { worker }).is_ok() {
+                        report.heartbeats_sent += 1;
+                        rec.counter(metrics::HEARTBEATS, 1);
+                    }
+                    // A failed heartbeat write is caught by the next
+                    // recv returning an error.
+                }
+            }
+            Err(_) => match reconnect(opts, worker, &mut report) {
+                Some(c) => {
+                    conn = c;
+                    rec.counter(metrics::RECONNECTS, 1);
+                }
+                None => return Ok(report),
+            },
+        }
+    }
+}
+
+/// One bounded reconnect + re-registration round. `None` means the
+/// master is gone for good (schedule exhausted or registration refused)
+/// — the worker should exit with its report.
+fn reconnect(opts: &WorkerOptions, worker: u64, report: &mut WorkerReport) -> Option<Conn> {
+    match connect_and_register(opts, worker) {
+        Ok((conn, assigned, _, _)) if assigned == worker => {
+            report.reconnects += 1;
+            Some(conn)
+        }
+        _ => None,
+    }
+}

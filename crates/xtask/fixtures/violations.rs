@@ -103,6 +103,28 @@ pub fn dispatch_nth(events: &[Event], idx: usize) -> Event {
     events[idx] //~ BORG-L012
 }
 
+// The fixture's spoofed path is also in BORG-L013 scope (wire rule):
+// socket I/O propagates its errors and every blocking read keeps a
+// deadline. A consuming unwrap on a socket path is both a generic
+// library unwrap (L001) and a wire-contract violation (L013).
+fn swallow_wire_errors(stream: &mut TcpStream, buf: &mut [u8]) {
+    stream.read_exact(buf).unwrap(); //~ BORG-L001 BORG-L013
+    stream.write_all(buf).expect("wire"); //~ BORG-L001 BORG-L013
+}
+
+fn dial_without_deadline(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr) //~ BORG-L013
+}
+
+fn accept_without_deadline(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    let (stream, _peer) = listener.accept()?; //~ BORG-L013
+    Ok(stream)
+}
+
+fn drop_the_read_deadline(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(None) //~ BORG-L013
+}
+
 // --- escapes that must NOT be reported ---------------------------------
 
 fn allowlisted() -> u32 {
@@ -196,6 +218,25 @@ pub fn checked_lookup(events: &[Event], idx: usize) -> Option<&Event> {
 // borg-lint: allow(BORG-L012)
 pub fn hot_path_pair(table: &[u64], i: usize, j: usize) -> u64 {
     table[i] ^ table[j]
+}
+
+// BORG-L013 escapes: an acquisition whose body installs the deadline is
+// the sanctioned shape, and the workspace accept wrapper carries the
+// timeout as an argument (it installs it before returning).
+fn guarded_dial(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    Ok(stream)
+}
+
+fn accept_through_guarded_wrapper(listener: &NetListener) -> Result<(), NetError> {
+    let _stream = listener.accept(read_timeout)?;
+    Ok(())
+}
+
+// A deliberate fire-and-forget liveness probe carries the escape.
+fn deliberate_unguarded_probe(addr: &str) -> bool {
+    TcpStream::connect(addr).is_ok() // borg-lint: allow(BORG-L013)
 }
 
 #[cfg(test)]

@@ -13,12 +13,13 @@ use std::process::Command;
 
 /// The groups the trajectory tracks, each with the bench target hosting it
 /// (the `faults` group lives in the `extensions` bench binary).
-const GROUPS: [(&str, &str); 5] = [
+const GROUPS: [(&str, &str); 6] = [
     ("protocol", "protocol"),
     ("faults", "extensions"),
     ("obs", "obs"),
     ("runner", "runner"),
     ("mc", "mc"),
+    ("net", "net"),
 ];
 
 /// Output file, relative to the workspace root.

@@ -25,13 +25,23 @@
 //! produce byte-identical rows, fault ledgers, and metrics JSONL — the
 //! work-stealing pool in `borg-runner` may change *when* a replicate runs,
 //! never *what* it produces or the order results are folded in.
+//!
+//! A fifth arm takes the contract onto real sockets: a chaos-mode
+//! networked loopback run (`borg_net::chaos`) — in-process workers over
+//! Unix-domain sockets, a chaos proxy physically enacting the same seeded
+//! `FaultPlan` — must produce a fault ledger, recovery actions, virtual
+//! clock, and final archive bit-identical to the DES fault oracle (the
+//! fault-replay arm above), with the proxy's wire-side ledger matching
+//! the oracle's injections kind for kind.
 
 use borg_core::algorithm::BorgConfig;
-use borg_desim::fault::FaultConfig;
+use borg_core::problem::Problem;
+use borg_desim::fault::{FaultConfig, FaultKind};
 use borg_experiments::faults::{render_faults, run_faults, FaultsConfig};
 use borg_experiments::suite::PaperProblem;
 use borg_experiments::table2::{render_table2, run_table2_with, Table2Config};
 use borg_models::dist::Dist;
+use borg_net::chaos::{run_chaos_loopback, ChaosConfig};
 use borg_obs::export::metrics_jsonl;
 use borg_obs::{InMemoryRecorder, NoopRecorder, Recorder};
 use borg_parallel::virtual_exec::{
@@ -60,6 +70,12 @@ pub struct DeterminismReport {
     pub parallel_rows: usize,
     /// Metrics-JSONL lines compared byte-for-byte by the same arm.
     pub parallel_jsonl_lines: usize,
+    /// Result frames the networked chaos arm consumed off real sockets
+    /// while staying bit-identical to the DES fault oracle.
+    pub net_wire_results: u64,
+    /// Faults the chaos proxy physically enacted on the wire in that run
+    /// (matched kind-for-kind against the oracle's ledger).
+    pub net_wire_faults: usize,
 }
 
 fn run_once(seed: u64) -> VirtualRunResult {
@@ -68,15 +84,32 @@ fn run_once(seed: u64) -> VirtualRunResult {
 
 fn run_once_observed(seed: u64, rec: &dyn Recorder) -> VirtualRunResult {
     let problem = Dtlz::dtlz2_5();
-    let config = VirtualConfig {
+    run_virtual_async(
+        &problem,
+        BorgConfig::new(5, 0.06),
+        &gate_config(seed),
+        rec,
+        |_, _| {},
+    )
+}
+
+fn gate_config(seed: u64) -> VirtualConfig {
+    VirtualConfig {
         processors: 8,
         max_nfe: 2_000,
         t_f: Dist::normal_cv(0.001, 0.1),
         t_c: Dist::Constant(0.000_006),
         t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
         seed,
-    };
-    run_virtual_async(&problem, BorgConfig::new(5, 0.06), &config, rec, |_, _| {})
+    }
+}
+
+fn gate_faults() -> FaultConfig {
+    FaultConfig {
+        crash_rate: 0.25,
+        drop_rate: 0.05,
+        ..FaultConfig::default()
+    }
 }
 
 fn run_once_faulty(seed: u64) -> VirtualRunResult {
@@ -85,24 +118,11 @@ fn run_once_faulty(seed: u64) -> VirtualRunResult {
 
 fn run_once_faulty_observed(seed: u64, rec: &dyn Recorder) -> VirtualRunResult {
     let problem = Dtlz::dtlz2_5();
-    let config = VirtualConfig {
-        processors: 8,
-        max_nfe: 2_000,
-        t_f: Dist::normal_cv(0.001, 0.1),
-        t_c: Dist::Constant(0.000_006),
-        t_a: TaMode::Sampled(Dist::Constant(0.000_03)),
-        seed,
-    };
-    let faults = FaultConfig {
-        crash_rate: 0.25,
-        drop_rate: 0.05,
-        ..FaultConfig::default()
-    };
     run_virtual_async_faulty(
         &problem,
         BorgConfig::new(5, 0.06),
-        &config,
-        &faults,
+        &gate_config(seed),
+        &gate_faults(),
         rec,
         |_, _| {},
     )
@@ -210,6 +230,11 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
     // and `--jobs 4` must yield byte-identical experiment outputs.
     let (parallel_rows, parallel_jsonl_lines) = parallel_runner_arm()?;
 
+    // Networked arm: the same faulty run over real Unix-domain sockets
+    // with the chaos proxy enacting the plan must match the DES oracle
+    // (the fault-replay run above) bit for bit.
+    let (net_wire_results, net_wire_faults) = networked_chaos_arm(seed, &fa)?;
+
     let golden = crate::golden::check(root)?;
 
     Ok(DeterminismReport {
@@ -222,7 +247,106 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
         recorder_evals,
         parallel_rows,
         parallel_jsonl_lines,
+        net_wire_results,
+        net_wire_faults,
     })
+}
+
+/// Runs the chaos-mode networked loopback (in-process workers over Unix
+/// sockets, faults physically enacted by the proxy) and demands
+/// bit-identity with the DES fault oracle; returns (result frames
+/// consumed off the wire, faults enacted on the wire).
+fn networked_chaos_arm(seed: u64, oracle: &VirtualRunResult) -> Result<(u64, usize), String> {
+    let problem = Dtlz::dtlz2_5();
+    let config = gate_config(seed);
+    let workers = (config.processors - 1) as usize;
+    let chaos = ChaosConfig::loopback(&std::env::temp_dir(), "determinism-gate", workers);
+    let resolve = |name: &str| -> Option<Box<dyn Problem>> {
+        (name == "dtlz2-5").then(|| Box::new(Dtlz::dtlz2_5()) as Box<dyn Problem>)
+    };
+    let net = run_chaos_loopback(
+        &problem,
+        BorgConfig::new(5, 0.06),
+        &config,
+        &gate_faults(),
+        &chaos,
+        "dtlz2-5",
+        &resolve,
+        &NoopRecorder,
+    )
+    .map_err(|e| format!("networked arm: chaos loopback run failed: {e}"))?;
+
+    if let Some(why) = &net.degraded {
+        return Err(format!(
+            "networked arm degraded to local evaluation ({why}); the wire was not load-bearing"
+        ));
+    }
+    if net.wire_results == 0 {
+        return Err("networked arm consumed zero result frames off the wire; \
+                    the check is vacuous"
+            .to_string());
+    }
+    if net.fault_log != oracle.fault_log {
+        return Err(format!(
+            "networked arm: fault ledger diverged from the DES oracle: {} vs {}",
+            net.fault_log.summary(),
+            oracle.fault_log.summary()
+        ));
+    }
+    if net.outcome.elapsed.to_bits() != oracle.outcome.elapsed.to_bits() {
+        return Err(format!(
+            "networked arm: elapsed virtual time diverged: {} vs {}",
+            net.outcome.elapsed, oracle.outcome.elapsed
+        ));
+    }
+    if net.engine.nfe() != oracle.engine.nfe() {
+        return Err(format!(
+            "networked arm: NFE diverged: {} vs {}",
+            net.engine.nfe(),
+            oracle.engine.nfe()
+        ));
+    }
+    let arch_net = net.engine.archive().solutions();
+    let arch_oracle = oracle.engine.archive().solutions();
+    if arch_net.len() != arch_oracle.len() {
+        return Err(format!(
+            "networked arm: archive size diverged: {} vs {}",
+            arch_net.len(),
+            arch_oracle.len()
+        ));
+    }
+    for (i, (sa, sb)) in arch_net.iter().zip(arch_oracle.iter()).enumerate() {
+        if !bits_eq(sa.objectives(), sb.objectives()) {
+            return Err(format!(
+                "networked arm: archive member {i} objectives diverged: {:?} vs {:?}",
+                sa.objectives(),
+                sb.objectives()
+            ));
+        }
+        if !bits_eq(sa.variables(), sb.variables()) {
+            return Err(format!(
+                "networked arm: archive member {i} variables diverged"
+            ));
+        }
+    }
+    // The proxy's wire-side ledger enacted the same faults kind for kind
+    // (its timestamps are wall-clock, so only the counts are comparable).
+    for kind in [
+        FaultKind::Crash,
+        FaultKind::Hang,
+        FaultKind::Straggler,
+        FaultKind::MessageDrop,
+        FaultKind::MessageDuplicate,
+    ] {
+        if net.wire_log.injected_of(kind) != oracle.fault_log.injected_of(kind) {
+            return Err(format!(
+                "networked arm: wire ledger count for {kind:?} diverged: {} vs {}",
+                net.wire_log.injected_of(kind),
+                oracle.fault_log.injected_of(kind)
+            ));
+        }
+    }
+    Ok((net.wire_results, net.wire_log.injected()))
 }
 
 /// One jobs-setting's rendered sweep outputs, plus bit-exact row
@@ -389,6 +513,14 @@ mod tests {
         assert!(
             report.parallel_jsonl_lines > 0,
             "parallel-runner arm must compare metrics lines"
+        );
+        assert_eq!(
+            report.net_wire_results, report.nfe,
+            "networked arm must pull every evaluation off the wire"
+        );
+        assert!(
+            report.net_wire_faults > 0,
+            "networked arm must physically enact faults"
         );
     }
 

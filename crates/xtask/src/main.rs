@@ -70,14 +70,16 @@ fn print_help() {
          \x20   --json          machine-readable JSON report on stdout\n\
          \x20   --determinism   also run the same-seed-twice determinism gate\n\
          \x20                   (incl. the jobs=1-vs-jobs=4 parallel-runner\n\
-         \x20                   arm) and diff golden Table II / faults cells\n\
+         \x20                   arm and the networked chaos-loopback-vs-DES-\n\
+         \x20                   oracle arm) and diff golden Table II / faults\n\
+         \x20                   cells\n\
          \x20   --self-test     run only the annotated-fixture self-test\n\
          \x20   --list          print the rule catalog and exit\n\
          \x20   --bless         (golden) regenerate results/golden CSVs\n\
          \n\
          SUBCOMMANDS:\n\
          \x20   bench           run the smoke criterion groups (protocol,\n\
-         \x20                   faults, obs, runner, mc) and write\n\
+         \x20                   faults, obs, runner, mc, net) and write\n\
          \x20                   BENCH_runner.json with median ns/op per group\n\
          \x20   mc              explore every event-delivery schedule into the\n\
          \x20                   protocol engine (borg-mc): --smoke runs the CI\n\
@@ -214,6 +216,7 @@ fn print_human(
              fault replay identical ({} injected, {} reissues); \
              recorder-attached run identical ({} evals observed); \
              jobs=1 ≡ jobs=4 sweeps ({} rows, {} metrics lines byte-identical); \
+             networked chaos loopback ≡ DES oracle ({} wire results, {} wire faults); \
              golden cells match ({} rows)",
             d.archive_size,
             d.nfe,
@@ -223,6 +226,8 @@ fn print_human(
             d.recorder_evals,
             d.parallel_rows,
             d.parallel_jsonl_lines,
+            d.net_wire_results,
+            d.net_wire_faults,
             d.golden_rows
         ),
         Some(Err(e)) => println!("determinism FAIL: {e}"),
@@ -254,7 +259,8 @@ fn print_json(
         Some(Ok(d)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":true,\"archive_size\":{},\"nfe\":{},\"elapsed\":{},\
              \"faults_injected\":{},\"fault_reissues\":{},\"recorder_evals\":{},\
-             \"parallel_rows\":{},\"parallel_jsonl_lines\":{},\"golden_rows\":{}}}",
+             \"parallel_rows\":{},\"parallel_jsonl_lines\":{},\
+             \"net_wire_results\":{},\"net_wire_faults\":{},\"golden_rows\":{}}}",
             d.archive_size,
             d.nfe,
             d.elapsed,
@@ -263,6 +269,8 @@ fn print_json(
             d.recorder_evals,
             d.parallel_rows,
             d.parallel_jsonl_lines,
+            d.net_wire_results,
+            d.net_wire_faults,
             d.golden_rows
         )),
         Some(Err(e)) => out.push_str(&format!(

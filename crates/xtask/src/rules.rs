@@ -1,6 +1,6 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Twelve workspace-specific correctness rules run over the token stream
+//! Thirteen workspace-specific correctness rules run over the token stream
 //! from [`crate::lexer`] and the brace-matched item tree from
 //! [`crate::itemtree`]:
 //!
@@ -60,6 +60,16 @@
 //!   adversarial event schedules (the model checker delivers them in
 //!   every order); a public entry point must reject bad input, not panic
 //!   on it. Private helpers may index behind validated invariants.
+//! * **BORG-L013** — socket I/O in the wire transport (`crates/net`)
+//!   must not `.unwrap()` / `.expect()`: wire errors (peer death,
+//!   connection resets, read timeouts) are routine there and must reach
+//!   the reconnect/reissue machinery as values. Additionally, every
+//!   blocking `connect` / `accept` acquisition installs a read deadline
+//!   (`set_read_timeout(Some(..))`) in the same function body before the
+//!   stream escapes, and `set_read_timeout(None)` never removes one — an
+//!   unguarded read blocks forever when the peer hangs, which is exactly
+//!   the fault the chaos proxy injects. Extends BORG-L006's
+//!   no-unbounded-wait contract to the wire.
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
 //! on the same line or the line directly above — or, item-wide, by one on
@@ -78,7 +88,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 12] = [
+pub const RULES: [Rule; 13] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -133,6 +143,12 @@ pub const RULES: [Rule; 12] = [
         summary: "no unreachable!/unimplemented!/todo! or panicking slice indexing in \
                   borg-protocol pub fn bodies; entry points reject bad input",
     },
+    Rule {
+        id: "BORG-L013",
+        summary: "socket I/O in borg-net must not unwrap()/expect(); blocking \
+                  connect/accept installs set_read_timeout(Some(..)) before the stream \
+                  escapes, and set_read_timeout(None) never removes a deadline",
+    },
 ];
 
 /// One reported lint violation.
@@ -166,6 +182,7 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l010(rel_path, class, &lexed.tokens, &in_test, &mut found);
     rule_l011(rel_path, class, &lexed, &in_test, &mut found);
     rule_l012(rel_path, class, &lexed.tokens, &items, &in_test, &mut found);
+    rule_l013(rel_path, class, &lexed.tokens, &items, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
     let item_allows = item_allow_ranges(&items, &allows);
@@ -759,6 +776,7 @@ const L010_SCOPE: &[&str] = &[
     "crates/runner/src/",
     "crates/obs/src/",
     "crates/mc/src/",
+    "crates/net/src/",
 ];
 
 /// Iteration methods whose visit order is the hasher's, not the caller's.
@@ -965,6 +983,145 @@ fn rule_l012(
                             it.name.as_deref().unwrap_or("?"),
                         ),
                     });
+                }
+            }
+        });
+    }
+}
+
+/// Identifier texts whose presence in a `fn` body marks it as socket I/O
+/// (the wire scope of BORG-L013). `connect` / `accept` acquisitions are
+/// matched structurally instead (see below), so a field or wrapper named
+/// `connect` does not put a function in scope by itself.
+const L013_SOCKET_TOKENS: &[&str] = &[
+    "TcpStream",
+    "TcpListener",
+    "UnixStream",
+    "UnixListener",
+    "NetStream",
+    "NetListener",
+    "read_exact",
+    "write_all",
+    "set_read_timeout",
+    "set_nonblocking",
+    "shutdown",
+];
+
+fn rule_l013(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    items: &[Item],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Scope: the wire transport crate's library sources, plus the fixture.
+    let net_scope = rel_path.starts_with("crates/net/src/") || rel_path == FIXTURE_SCAN_PATH;
+    if !net_scope || class != FileClass::Library {
+        return;
+    }
+    for item in items {
+        item.walk(&mut |it| {
+            if it.kind != ItemKind::Fn {
+                return;
+            }
+            let Some((open, close)) = it.body else { return };
+            let close = close.min(tokens.len() - 1);
+            let name = it.name.as_deref().unwrap_or("?");
+
+            // One scan of the body collects everything the three checks
+            // need: socket evidence, consuming unwraps, blocking
+            // acquisitions, and the timeout guard.
+            let mut socket_fn = false;
+            let mut unwraps: Vec<(u32, String)> = Vec::new();
+            let mut acquires: Vec<(u32, String)> = Vec::new();
+            let mut has_timeout_guard = false;
+            for i in (open + 1)..=close {
+                let t = &tokens[i];
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                match t.text.as_str() {
+                    s if L013_SOCKET_TOKENS.contains(&s) => {
+                        socket_fn = true;
+                        if s == "set_read_timeout" && is_punct(tokens, i + 1, "(") {
+                            if is_ident(tokens, i + 2, "Some") {
+                                has_timeout_guard = true;
+                            } else if is_ident(tokens, i + 2, "None") && !in_test(t.line) {
+                                out.push(Violation {
+                                    rule: "BORG-L013",
+                                    file: rel_path.to_string(),
+                                    line: t.line,
+                                    message: format!(
+                                        "`set_read_timeout(None)` in `{name}` removes the read \
+                                         deadline; a blocking socket read with no timeout hangs \
+                                         forever when the peer dies mid-frame"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    // `TcpStream::connect(..)` / `stream.connect(..)` —
+                    // a blocking connection acquisition.
+                    "connect"
+                        if (is_punct(tokens, i - 1, "::") || is_punct(tokens, i - 1, "."))
+                            && is_punct(tokens, i + 1, "(") =>
+                    {
+                        socket_fn = true;
+                        acquires.push((t.line, "connect".to_string()));
+                    }
+                    // Raw zero-arg `.accept()` (the std form). The
+                    // workspace wrapper takes the timeout as an argument
+                    // and installs it before returning, so `.accept(dur)`
+                    // is already guarded.
+                    "accept"
+                        if is_punct(tokens, i - 1, ".")
+                            && is_punct(tokens, i + 1, "(")
+                            && is_punct(tokens, i + 2, ")") =>
+                    {
+                        socket_fn = true;
+                        acquires.push((t.line, "accept".to_string()));
+                    }
+                    u @ ("unwrap" | "expect")
+                        if is_punct(tokens, i - 1, ".") && is_punct(tokens, i + 1, "(") =>
+                    {
+                        unwraps.push((t.line, u.to_string()));
+                    }
+                    _ => {}
+                }
+            }
+
+            if socket_fn {
+                for (line, which) in &unwraps {
+                    if !in_test(*line) {
+                        out.push(Violation {
+                            rule: "BORG-L013",
+                            file: rel_path.to_string(),
+                            line: *line,
+                            message: format!(
+                                "`.{which}()` on a socket I/O path in `{name}`; wire errors \
+                                 (peer death, resets, read timeouts) are routine — propagate \
+                                 them so the reconnect/reissue machinery can act"
+                            ),
+                        });
+                    }
+                }
+            }
+            if !has_timeout_guard {
+                for (line, which) in &acquires {
+                    if !in_test(*line) {
+                        out.push(Violation {
+                            rule: "BORG-L013",
+                            file: rel_path.to_string(),
+                            line: *line,
+                            message: format!(
+                                "blocking `{which}` in `{name}` without \
+                                 `set_read_timeout(Some(..))` in the same body; install the \
+                                 read deadline before the stream escapes so no read can \
+                                 block forever"
+                            ),
+                        });
+                    }
                 }
             }
         });
@@ -1280,6 +1437,55 @@ mod tests {
         // The allowlist escape works.
         let allowed = "fn f() { std::thread::spawn(run); } // borg-lint: allow(BORG-L009)";
         assert!(in_exp(allowed).is_empty());
+    }
+
+    #[test]
+    fn l013_flags_socket_unwraps_only_in_net_library_code() {
+        let src = "fn pump(s: &mut TcpStream) { s.read_exact(&mut buf).unwrap(); }";
+        // Out of scope: other crates get the generic L001 but not L013.
+        assert_eq!(rules_at(&check_lib(src)), [("BORG-L001", 1)]);
+        // In scope: the same unwrap is also a wire-contract violation.
+        let v = check_source("crates/net/src/transport.rs", FileClass::Library, src);
+        assert_eq!(rules_at(&v), [("BORG-L001", 1), ("BORG-L013", 1)]);
+        // An unwrap in a fn with no socket evidence stays L001-only even
+        // inside the net crate.
+        let plain = "fn parse(x: Option<u32>) -> u32 { x.unwrap() }";
+        let v = check_source("crates/net/src/codec.rs", FileClass::Library, plain);
+        assert_eq!(rules_at(&v), [("BORG-L001", 1)]);
+        // Test regions are exempt.
+        let tst = "#[cfg(test)]\nmod tests {\n fn t(s: &mut TcpStream) \
+                   { s.read_exact(&mut b).unwrap(); }\n}";
+        assert!(check_source("crates/net/src/transport.rs", FileClass::Library, tst).is_empty());
+    }
+
+    #[test]
+    fn l013_requires_read_deadlines_on_blocking_acquisitions() {
+        let in_net = |src| check_source("crates/net/src/transport.rs", FileClass::Library, src);
+        // A connect with no deadline in the same body.
+        let bare = "fn dial(a: &str) -> std::io::Result<TcpStream> { TcpStream::connect(a) }";
+        assert_eq!(rules_at(&in_net(bare)), [("BORG-L013", 1)]);
+        // A raw zero-arg accept with no deadline.
+        let acc = "fn admit(l: &TcpListener) { let (s, _) = l.accept()?; }";
+        assert_eq!(rules_at(&in_net(acc)), [("BORG-L013", 1)]);
+        // Installing the deadline in the same body is the sanctioned shape.
+        let guarded = "fn dial(a: &str) -> std::io::Result<TcpStream> {\n\
+                       let s = TcpStream::connect(a)?;\n\
+                       s.set_read_timeout(Some(t))?;\n\
+                       Ok(s)\n}";
+        assert!(in_net(guarded).is_empty());
+        // The workspace wrapper form carries the timeout as an argument.
+        let wrapper = "fn admit(l: &NetListener) { let s = l.accept(timeout)?; }";
+        assert!(in_net(wrapper).is_empty());
+        // Removing a deadline is flagged wherever it happens.
+        let none = "fn unguard(s: &NetStream) { s.set_read_timeout(None).ok(); }";
+        assert_eq!(rules_at(&in_net(none)), [("BORG-L013", 1)]);
+        // A field access or wrapper named `connect` is not an acquisition.
+        let field = "fn go(o: &Opts) { connect_with_backoff(&o.connect, &mut b, t); }";
+        assert!(in_net(field).is_empty());
+        // The allowlist escape works for deliberate probes.
+        let allowed = "fn probe(a: &str) -> bool { TcpStream::connect(a).is_ok() } \
+             // borg-lint: allow(BORG-L013)";
+        assert!(in_net(allowed).is_empty());
     }
 
     #[test]
