@@ -22,6 +22,9 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --release
 
+echo "==> cargo xtask bench --compare (perf-trajectory regression gate)"
+cargo xtask bench --compare BENCH_runner.json --max-regress 10
+
 echo "==> borg-exp faults --smoke"
 ./target/release/borg-exp faults --smoke --out target/ci-results
 
@@ -37,18 +40,39 @@ test -s target/ci-results/metrics_smoke.jsonl
 grep -q '"ph":"X"' target/ci-results/trace_smoke.json
 grep -q 't_f_seconds' target/ci-results/metrics_smoke.jsonl
 
-echo "==> borg-exp serve/worker loopback smoke (fault-free)"
+echo "==> borg-exp serve/worker loopback smoke (tracing + flight + live tap)"
 NET_SOCK="target/ci-net.sock"
-rm -f "$NET_SOCK"
-./target/release/borg-exp worker --connect "unix:$NET_SOCK" &
+TAP_SOCK="target/ci-tap.sock"
+rm -f "$NET_SOCK" "$TAP_SOCK"
+./target/release/borg-exp worker --connect "unix:$NET_SOCK" \
+  --trace-shard target/ci-results/net_shard_w1.jsonl &
 NET_W1=$!
-./target/release/borg-exp worker --connect "unix:$NET_SOCK" &
+./target/release/borg-exp worker --connect "unix:$NET_SOCK" \
+  --trace-shard target/ci-results/net_shard_w2.jsonl &
 NET_W2=$!
+./target/release/borg-exp tail --connect "unix:$TAP_SOCK" --ticks 3 \
+  > target/ci-results/net_tail.txt &
+NET_TAIL=$!
 ./target/release/borg-exp serve --listen "unix:$NET_SOCK" --workers 2 \
-  --nfe 300 --seed 7 --metrics-out target/ci-results/net_metrics.jsonl
-wait "$NET_W1" "$NET_W2"
+  --nfe 300 --seed 7 --eval-delay-us 8000 \
+  --live "unix:$TAP_SOCK" \
+  --flight-out target/ci-results/net_flight.jsonl \
+  --trace-shard target/ci-results/net_shard_master.jsonl \
+  --metrics-out target/ci-results/net_metrics.jsonl
+wait "$NET_W1" "$NET_W2" "$NET_TAIL"
 test -s target/ci-results/net_metrics.jsonl
 grep -q 'net\.frames_sent' target/ci-results/net_metrics.jsonl
+grep -q '"flight":"borg-flight/v1"' target/ci-results/net_flight.jsonl
+grep -Eq '^ *[0-9]+ ' target/ci-results/net_tail.txt
+
+echo "==> borg-exp trace-merge (cross-process causal trace)"
+./target/release/borg-exp trace-merge \
+  target/ci-results/net_shard_master.jsonl \
+  target/ci-results/net_shard_w1.jsonl \
+  target/ci-results/net_shard_w2.jsonl \
+  --out target/ci-results/net_trace_merged.json
+grep -q '"ph":"X"' target/ci-results/net_trace_merged.json
+grep -q 't_c_out' target/ci-results/net_trace_merged.json
 
 echo "==> borg-exp serve/worker loopback smoke (chaos arm)"
 NET_CHAOS_SOCK="target/ci-net-chaos.sock"
@@ -60,9 +84,12 @@ NET_W4=$!
 ./target/release/borg-exp worker --connect "unix:$NET_CHAOS_SOCK" &
 NET_W5=$!
 ./target/release/borg-exp serve --chaos --listen "unix:$NET_CHAOS_SOCK" --workers 3 \
-  --nfe 400 --seed 7 --metrics-out target/ci-results/net_chaos_metrics.jsonl
+  --nfe 400 --seed 7 --metrics-out target/ci-results/net_chaos_metrics.jsonl \
+  --flight-out target/ci-results/net_chaos_flight.jsonl
 wait "$NET_W3" "$NET_W4" "$NET_W5"
 test -s target/ci-results/net_chaos_metrics.jsonl
 grep -q 'net\.chaos_injections' target/ci-results/net_chaos_metrics.jsonl
+grep -q '"flight":"borg-flight/v1"' target/ci-results/net_chaos_flight.jsonl
+grep -q '"code":"net.work_sent"' target/ci-results/net_chaos_flight.jsonl
 
 echo "ci.sh: all gates passed"

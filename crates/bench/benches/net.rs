@@ -4,11 +4,21 @@
 //! per-evaluation wire overhead a networked deployment adds on top of
 //! the evaluation itself.
 
-use borg_net::codec::{decode_complete, encode, Msg};
+use borg_net::codec::{decode_complete, encode, Msg, TraceCtx};
 use borg_net::Conn;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::os::unix::net::UnixStream;
 use std::time::Duration;
+
+// The deployment stamps a trace context on every hot-path frame, so the
+// benches carry one too — the measured cost includes trace propagation.
+fn ctx() -> Option<TraceCtx> {
+    Some(TraceCtx {
+        trace_id: 123_456,
+        parent_span: 7,
+        sent_at: 0.061_803,
+    })
+}
 
 fn work_msg() -> Msg {
     Msg::Work {
@@ -16,6 +26,7 @@ fn work_msg() -> Msg {
         attempt: 0,
         seq: 42,
         variables: (0..14).map(|i| f64::from(i) * 0.061_803).collect(),
+        ctx: ctx(),
     }
 }
 
@@ -26,6 +37,7 @@ fn outcome_msg() -> Msg {
         attempt: 0,
         objectives: vec![0.25, 0.5, 0.75, 0.125, 0.625],
         constraints: Vec::new(),
+        ctx: ctx(),
     }
 }
 

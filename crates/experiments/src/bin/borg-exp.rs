@@ -16,7 +16,9 @@
 //!   faults      fault-injection sweep (failure rate × P, self-healing master)
 //!   serve       networked master: listen, register workers, run a budget
 //!   worker      networked worker: connect to a master and evaluate
-//!   all         everything above (excluding serve/worker)
+//!   tail        subscribe to a serving master's live metrics tap
+//!   trace-merge merge per-process trace shards into one Chrome trace
+//!   all         everything above (excluding serve/worker/tail/trace-merge)
 //!
 //! Flags:
 //!   --out DIR         output directory (default ./results)
@@ -48,6 +50,22 @@
 //!   --crash-rate F       chaos: per-worker crash probability (default 0.25)
 //!   --drop-rate F        chaos: per-result drop probability (default 0.05)
 //!   --duplicate-rate F   chaos: per-result duplication probability (0.02)
+//!
+//! Observability flags (see README "Distributed tracing & flight
+//! recorder"):
+//!   --live ADDR          serve: stream live MetricsSnapshot deltas to
+//!                        subscribers on this endpoint (`borg-exp tail`)
+//!   --flight-out FILE    serve/worker: dump the black-box flight
+//!                        recorder (deterministic JSONL) when the run
+//!                        ends, a worker dies, or the process panics
+//!   --trace-shard FILE   serve/worker: write this process's trace-edge
+//!                        shard (JSONL) for `borg-exp trace-merge`
+//!   --ticks N            tail: tap frames to render before exiting (8)
+//!
+//! trace-merge usage:
+//!   borg-exp trace-merge SHARD... --out FILE   (master shard + one per
+//!   worker; writes a merged cross-process Chrome trace with per-eval
+//!   t_c_out / t_f / t_c_back decomposition on the master clock)
 //! ```
 
 use borg_core::algorithm::BorgConfig;
@@ -74,12 +92,15 @@ use borg_models::dist::Dist;
 use borg_models::perfsim::TimingModel;
 use borg_net::chaos::{run_chaos_loopback, ChaosConfig};
 use borg_net::serve::{serve, ServeConfig};
+use borg_net::tap::{tap_loop, TapConfig};
 use borg_net::worker::{run_worker, WorkerOptions};
-use borg_net::NetAddr;
+use borg_net::{connect_with_backoff, Backoff, Conn, Msg, NetAddr, NetListener};
 use borg_obs::export::metrics_jsonl;
-use borg_obs::InMemoryRecorder;
+use borg_obs::{merge_shards, FlightRecorder, InMemoryRecorder, Recorder, TraceShard, WithFlight};
 use borg_parallel::virtual_exec::{TaMode, VirtualConfig};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Debug, Clone)]
@@ -104,6 +125,12 @@ struct Cli {
     crash_rate: f64,
     drop_rate: f64,
     duplicate_rate: f64,
+    live: Option<String>,
+    flight_out: Option<PathBuf>,
+    trace_shard: Option<PathBuf>,
+    ticks: u64,
+    /// Positional arguments after the subcommand (trace-merge shards).
+    rest: Vec<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -130,6 +157,11 @@ fn parse_args() -> Result<Cli, String> {
         crash_rate: 0.25,
         drop_rate: 0.05,
         duplicate_rate: 0.02,
+        live: None,
+        flight_out: None,
+        trace_shard: None,
+        ticks: 8,
+        rest: Vec::new(),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -225,6 +257,25 @@ fn parse_args() -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--duplicate-rate: {e}"))?
             }
+            "--live" => cli.live = Some(args.next().ok_or("--live needs a value")?),
+            "--flight-out" => {
+                cli.flight_out = Some(PathBuf::from(
+                    args.next().ok_or("--flight-out needs a value")?,
+                ))
+            }
+            "--trace-shard" => {
+                cli.trace_shard = Some(PathBuf::from(
+                    args.next().ok_or("--trace-shard needs a value")?,
+                ))
+            }
+            "--ticks" => {
+                cli.ticks = args
+                    .next()
+                    .ok_or("--ticks needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--ticks: {e}"))?
+            }
+            other if !other.starts_with("--") => cli.rest.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -236,7 +287,7 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|serve|worker|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
+            eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|serve|worker|tail|trace-merge|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
             std::process::exit(2);
         }
     };
@@ -257,7 +308,7 @@ fn main() {
             "advise",
         ]
     } else if cli.command == "--help" || cli.command == "help" {
-        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|serve|worker|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
+        eprintln!("usage: borg-exp <table2|fig1|fig2|fig3|fig4|fig5|bounds|fit|ablations|faults|islands|dynamics|advise|serve|worker|tail|trace-merge|all> [--out DIR] [--nfe N] [--replicates R] [--seed S] [--jobs N] [--smoke|--full]");
         return;
     } else {
         vec![cli.command.as_str()]
@@ -341,6 +392,74 @@ fn write_net_metrics(cli: &Cli, rec: &InMemoryRecorder, role: &str) {
         let labels = [("experiment", role.to_string())];
         let jsonl = metrics_jsonl(&labels, &rec.snapshot());
         write_file(path, &jsonl).expect("write metrics jsonl");
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Runs `body` with an optional live metrics tap alongside: when
+/// `--live ADDR` was given, the tap listens there and streams
+/// stable-schema `MetricsSnapshot` deltas to any `borg-exp tail`
+/// subscriber for the duration of the run.
+fn with_optional_tap<T>(live: Option<&str>, rec: &InMemoryRecorder, body: impl FnOnce() -> T) -> T {
+    let Some(addr) = live else { return body() };
+    let addr = parse_addr(addr);
+    let listener = NetListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind live tap {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("live metrics tap on {addr} (subscribe with: borg-exp tail --connect ...)");
+    let tap = TapConfig::new(addr.clone());
+    let stop = AtomicBool::new(false);
+    let out = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| tap_loop(&listener, &tap, &|| rec.snapshot(), &stop, rec));
+        let out = body();
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+        out
+    });
+    if let NetAddr::Unix(path) = &addr {
+        let _ = std::fs::remove_file(path);
+    }
+    out
+}
+
+/// Installs a panic hook that dumps the flight recorder before the
+/// default hook runs, so a crashing master/worker still leaves its black
+/// box behind.
+fn install_panic_dump(ring: &Arc<FlightRecorder>, path: &Path) {
+    let ring = Arc::clone(ring);
+    let path = path.to_path_buf();
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let _ = write_file(&path, &ring.dump_jsonl("panic"));
+        default(info);
+    }));
+}
+
+/// End-of-run observability drain: dumps the flight recorder (trigger
+/// `worker_death` when the ring saw one, else `shutdown`) and writes
+/// this process's trace-edge shard for `borg-exp trace-merge`.
+fn finish_observability(
+    cli: &Cli,
+    rec: &InMemoryRecorder,
+    ring: &FlightRecorder,
+    process: &str,
+    worker: Option<u64>,
+) {
+    rec.counter(borg_net::metrics::FLIGHT_EVENTS, ring.recorded());
+    if let Some(path) = &cli.flight_out {
+        let trigger = if ring.events().iter().any(|e| e.code == "net.worker_death") {
+            "worker_death"
+        } else {
+            "shutdown"
+        };
+        rec.counter(borg_net::metrics::FLIGHT_DUMPS, 1);
+        write_file(path, &ring.dump_jsonl(trigger)).expect("write flight dump");
+        println!("wrote {} (trigger: {trigger})", path.display());
+    }
+    if let Some(path) = &cli.trace_shard {
+        let shard = TraceShard::new(process, worker, rec.take_trace_edges());
+        write_file(path, &shard.to_jsonl()).expect("write trace shard");
         println!("wrote {}", path.display());
     }
 }
@@ -686,6 +805,11 @@ fn run_command(cmd: &str, cli: &Cli) {
             });
             let borg = BorgConfig::new(problem.num_objectives(), 0.06);
             let rec = InMemoryRecorder::metrics_only();
+            let ring = Arc::new(FlightRecorder::new(4096));
+            if let Some(path) = &cli.flight_out {
+                install_panic_dump(&ring, path);
+            }
+            let frec = WithFlight::new(&rec, &ring);
             if cli.chaos {
                 // Pinned-timing chaos mode: the DES fault oracle drives a
                 // real master whose faults the proxy enacts on the wire.
@@ -711,16 +835,18 @@ fn run_command(cmd: &str, cli: &Cli) {
                     result_wait: Duration::from_secs(30),
                     reset_on_crash: true,
                 };
-                let result = run_chaos_loopback(
-                    &*problem,
-                    borg,
-                    &config,
-                    &faults,
-                    &chaos,
-                    &cli.problem,
-                    &resolve_problem,
-                    &rec,
-                )
+                let result = with_optional_tap(cli.live.as_deref(), &rec, || {
+                    run_chaos_loopback(
+                        &*problem,
+                        borg,
+                        &config,
+                        &faults,
+                        &chaos,
+                        &cli.problem,
+                        &resolve_problem,
+                        &frec,
+                    )
+                })
                 .unwrap_or_else(|e| {
                     eprintln!("chaos serve failed: {e}");
                     std::process::exit(1);
@@ -740,6 +866,7 @@ fn run_command(cmd: &str, cli: &Cli) {
                     result.wire_log.injected(),
                     result.worker_reconnects,
                 );
+                finish_observability(cli, &rec, &ring, "master", None);
                 write_net_metrics(cli, &rec, "serve-chaos");
                 if let Some(err) = &result.degraded {
                     eprintln!("run degraded to local evaluation: {err}");
@@ -750,7 +877,10 @@ fn run_command(cmd: &str, cli: &Cli) {
                 scfg.problem_name = cli.problem.clone();
                 scfg.eval_delay = Duration::from_micros(cli.eval_delay_us);
                 scfg.reissue_timeout = cli.reissue_timeout;
-                let report = serve(&*problem, borg, &scfg, &rec).unwrap_or_else(|e| {
+                let report = with_optional_tap(cli.live.as_deref(), &rec, || {
+                    serve(&*problem, borg, &scfg, &frec)
+                })
+                .unwrap_or_else(|e| {
                     eprintln!("serve failed: {e}");
                     std::process::exit(1);
                 });
@@ -767,6 +897,7 @@ fn run_command(cmd: &str, cli: &Cli) {
                     report.wire_duplicates,
                     report.wire_heartbeats,
                 );
+                finish_observability(cli, &rec, &ring, "master", None);
                 write_net_metrics(cli, &rec, "serve");
             }
         }
@@ -783,7 +914,12 @@ fn run_command(cmd: &str, cli: &Cli) {
                 ..WorkerOptions::default()
             };
             let rec = InMemoryRecorder::metrics_only();
-            let report = run_worker(&opts, &resolve_problem, &rec).unwrap_or_else(|e| {
+            let ring = Arc::new(FlightRecorder::new(4096));
+            if let Some(path) = &cli.flight_out {
+                install_panic_dump(&ring, path);
+            }
+            let frec = WithFlight::new(&rec, &ring);
+            let report = run_worker(&opts, &resolve_problem, &frec).unwrap_or_else(|e| {
                 eprintln!("worker failed: {e}");
                 std::process::exit(1);
             });
@@ -791,11 +927,131 @@ fn run_command(cmd: &str, cli: &Cli) {
                 "worker summary: worker={} evaluated={} reconnects={} heartbeats={}",
                 report.worker, report.evaluated, report.reconnects, report.heartbeats_sent,
             );
+            finish_observability(
+                cli,
+                &rec,
+                &ring,
+                &format!("worker{}", report.worker),
+                Some(report.worker),
+            );
             write_net_metrics(cli, &rec, "worker");
+        }
+        "tail" => {
+            let connect = match &cli.connect {
+                Some(a) => parse_addr(a),
+                None => {
+                    eprintln!("tail needs --connect (the master's --live endpoint)");
+                    std::process::exit(2);
+                }
+            };
+            let mut backoff = Backoff::default_schedule();
+            let stream = connect_with_backoff(&connect, &mut backoff, Duration::from_millis(100))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot reach live tap {connect}: {e}");
+                    std::process::exit(1);
+                });
+            let mut conn = Conn::new(stream);
+            println!(
+                "{:>6} {:>9} {:>8} {:>8} {:>8} {:>9} {:>8}",
+                "tick", "t(s)", "results", "reissue", "outst", "frames/s", "util"
+            );
+            let mut shown = 0u64;
+            let mut prev_at: Option<f64> = None;
+            while shown < cli.ticks {
+                match conn.recv() {
+                    Ok(Some(Msg::Tap { seq, at, jsonl })) => {
+                        let results = tap_value(&jsonl, "counter", "net.results").unwrap_or(0.0);
+                        let reissues =
+                            tap_value(&jsonl, "counter", "engine.reissues").unwrap_or(0.0);
+                        let frames = tap_value(&jsonl, "counter", "net.frames_sent").unwrap_or(0.0)
+                            + tap_value(&jsonl, "counter", "net.frames_received").unwrap_or(0.0);
+                        let outstanding =
+                            tap_value(&jsonl, "gauge", "engine.outstanding").unwrap_or(0.0);
+                        let idle = tap_value(&jsonl, "gauge", "engine.idle_workers").unwrap_or(0.0);
+                        let dt = prev_at.map_or(0.0, |p| at - p);
+                        prev_at = Some(at);
+                        let fps = if dt > 0.0 { frames / dt } else { 0.0 };
+                        // Busy-worker estimate: in-flight work over the
+                        // pool the master believes is available.
+                        let pool = outstanding + idle;
+                        let util = if pool > 0.0 { outstanding / pool } else { 0.0 };
+                        println!(
+                            "{seq:>6} {at:>9.2} {results:>8} {reissues:>8} {outstanding:>8} {fps:>9.1} {util:>8.2}"
+                        );
+                        shown += 1;
+                    }
+                    Ok(Some(_)) => {}
+                    // A read timeout between tap ticks; keep waiting.
+                    Ok(None) => {}
+                    Err(_) => {
+                        eprintln!("tap closed after {shown} frames");
+                        break;
+                    }
+                }
+            }
+        }
+        "trace-merge" => {
+            if cli.rest.is_empty() {
+                eprintln!(
+                    "trace-merge needs shard paths: borg-exp trace-merge SHARD... --out FILE"
+                );
+                std::process::exit(2);
+            }
+            let shards: Vec<TraceShard> = cli
+                .rest
+                .iter()
+                .map(|p| {
+                    let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                        eprintln!("cannot read shard {p}: {e}");
+                        std::process::exit(1);
+                    });
+                    TraceShard::from_jsonl(&text).unwrap_or_else(|e| {
+                        eprintln!("bad shard {p}: {e}");
+                        std::process::exit(1);
+                    })
+                })
+                .collect();
+            let merged = merge_shards(&shards).unwrap_or_else(|e| {
+                eprintln!("merge failed: {e}");
+                std::process::exit(1);
+            });
+            let out = if cli.out.extension().is_some_and(|e| e == "json") {
+                cli.out.clone()
+            } else {
+                cli.out.join("trace_merged.json")
+            };
+            write_file(&out, &merged.chrome_json()).expect("write merged trace");
+            println!(
+                "merged {} shards: {} eval chains ({} incomplete)",
+                shards.len(),
+                merged.chains.len(),
+                merged.incomplete,
+            );
+            for (w, off) in &merged.offsets {
+                let samples = merged.clock_samples.get(w).copied().unwrap_or(0);
+                println!(
+                    "  worker {w}: clock offset {off:+.6}s vs master ({samples} probe samples)"
+                );
+            }
+            println!(
+                "wrote {} (open in chrome://tracing or ui.perfetto.dev)",
+                out.display()
+            );
         }
         other => {
             eprintln!("unknown subcommand {other}");
             std::process::exit(2);
         }
     }
+}
+
+/// Extracts the `value` of a named metric from one stable-schema tap
+/// JSONL payload (hand-rolled scan; the workspace has no serde).
+fn tap_value(jsonl: &str, kind: &str, name: &str) -> Option<f64> {
+    let needle = format!("{{\"type\":\"{kind}\",\"name\":\"{name}\",");
+    let line = jsonl.lines().find(|l| l.starts_with(&needle))?;
+    let idx = line.rfind("\"value\":")?;
+    let tail = &line[idx + 8..];
+    let end = tail.find(['}', ','])?;
+    tail[..end].trim().parse().ok()
 }

@@ -44,6 +44,11 @@ fn sigkilled_worker_is_detected_and_its_work_reissued() {
     let _ = std::fs::remove_file(&sock_path);
     let sock = format!("unix:{}", sock_path.display());
 
+    let flight_path = dir.join(format!(
+        "borg-kill-test-{}.flight.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&flight_path);
     let mut serve = Command::new(exe())
         .args([
             "serve",
@@ -57,6 +62,8 @@ fn sigkilled_worker_is_detected_and_its_work_reissued() {
             "99",
             "--eval-delay-us",
             &EVAL_DELAY_US.to_string(),
+            "--flight-out",
+            &flight_path.display().to_string(),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -133,5 +140,20 @@ fn sigkilled_worker_is_detected_and_its_work_reissued() {
         "surviving worker exited abnormally"
     );
 
+    // The master's black-box flight recorder must have been dumped with
+    // the worker-death trigger and contain the death event itself.
+    let flight = std::fs::read_to_string(&flight_path)
+        .unwrap_or_else(|e| panic!("flight dump {} missing: {e}", flight_path.display()));
+    let header = flight.lines().next().expect("flight dump empty");
+    assert!(
+        header.contains("\"trigger\":\"worker_death\""),
+        "flight dump not triggered by the death: {header}"
+    );
+    assert!(
+        flight.contains("\"code\":\"net.worker_death\""),
+        "flight dump is missing the net.worker_death event"
+    );
+
     let _ = std::fs::remove_file(&sock_path);
+    let _ = std::fs::remove_file(&flight_path);
 }

@@ -28,7 +28,7 @@
 //! is swallowed, duplicate ⇒ the result frame is forwarded twice. Its
 //! wire-side ledger must agree with the oracle's per fault kind.
 
-use crate::codec::{self, Msg, UNASSIGNED};
+use crate::codec::{self, Msg, TraceCtx, UNASSIGNED};
 use crate::metrics;
 use crate::serve::register_pool;
 use crate::serve::ServeConfig;
@@ -42,7 +42,7 @@ use borg_core::rng::SplitMix64;
 use borg_desim::fault::{DispatchFate, FaultConfig, FaultKind, FaultLog, FaultPlan, MessageFate};
 use borg_models::dist::Dist;
 use borg_models::queueing::{run_async_faulty, FaultTolerantHooks, RunOutcome};
-use borg_obs::Recorder;
+use borg_obs::{Recorder, TraceEdge, TraceEdgeKind};
 use borg_parallel::virtual_exec::{default_recovery_policy, fault_plan_for, TaMode, VirtualConfig};
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -128,8 +128,10 @@ pub struct ChaosRunResult {
 /// A decoded result frame waiting for its `consume`.
 struct WireOutcome {
     eval_id: u64,
+    attempt: u32,
     objectives: Vec<f64>,
     constraints: Vec<f64>,
+    ctx: Option<TraceCtx>,
 }
 
 enum MasterNote {
@@ -224,7 +226,16 @@ impl<'p, 'w, P: Problem + ?Sized, R: Recorder + ?Sized> NetFtHooks<'p, 'w, P, R>
         t
     }
 
-    fn send_work(&mut self, worker: usize, eval_id: u64, attempt: u32, variables: Vec<f64>) {
+    /// `now` is the DES virtual clock: trace stamps and flight events on
+    /// the pinned master stay deterministic for a fixed seed.
+    fn send_work(
+        &mut self,
+        worker: usize,
+        eval_id: u64,
+        attempt: u32,
+        variables: Vec<f64>,
+        now: f64,
+    ) {
         let seq = self.dispatch_seq[worker];
         self.dispatch_seq[worker] += 1;
         let frame = codec::encode(&Msg::Work {
@@ -232,11 +243,28 @@ impl<'p, 'w, P: Problem + ?Sized, R: Recorder + ?Sized> NetFtHooks<'p, 'w, P, R>
             attempt,
             seq,
             variables,
+            ctx: Some(TraceCtx {
+                trace_id: eval_id,
+                parent_span: codec::span_id(eval_id, attempt, 0),
+                sent_at: now,
+            }),
         });
         if self.writers[worker].write_all(&frame).is_ok() {
             self.rec.counter(metrics::DISPATCHES, 1);
             self.rec.counter(metrics::FRAMES_SENT, 1);
             self.rec.counter(metrics::BYTES_SENT, frame.len() as u64);
+            self.rec.counter(metrics::TRACE_CTX_SENT, 1);
+            self.rec.trace_edge(TraceEdge {
+                kind: TraceEdgeKind::DispatchSent,
+                trace_id: eval_id,
+                eval_id,
+                attempt,
+                worker: worker as u64,
+                local_t: now,
+                remote_t: 0.0,
+            });
+            self.rec
+                .flight("net.work_sent", now, eval_id, worker as u64, attempt.into());
         } else if self.error.is_none() {
             self.error = Some(NetError::Disconnected {
                 context: "chaos dispatch write",
@@ -301,10 +329,10 @@ impl<'p, 'w, P: Problem + ?Sized, R: Recorder + ?Sized> NetFtHooks<'p, 'w, P, R>
 }
 
 impl<P: Problem + ?Sized, R: Recorder + ?Sized> FaultTolerantHooks for NetFtHooks<'_, '_, P, R> {
-    fn produce(&mut self, worker: usize, eval_id: u64, _now: f64) -> f64 {
+    fn produce(&mut self, worker: usize, eval_id: u64, now: f64) -> f64 {
         let candidate = self.engine.produce();
         self.attempts.insert(eval_id, 0);
-        self.send_work(worker, eval_id, 0, candidate.variables.clone());
+        self.send_work(worker, eval_id, 0, candidate.variables.clone(), now);
         self.pending.insert(eval_id, candidate);
         // Sampled-T_A charging convention shared with FtBorgHooks: the
         // initial per-worker seeding productions each draw a sample,
@@ -317,7 +345,7 @@ impl<P: Problem + ?Sized, R: Recorder + ?Sized> FaultTolerantHooks for NetFtHook
         }
     }
 
-    fn reissue(&mut self, worker: usize, eval_id: u64, _now: f64) -> f64 {
+    fn reissue(&mut self, worker: usize, eval_id: u64, now: f64) -> f64 {
         let attempt = self
             .attempts
             .entry(eval_id)
@@ -327,7 +355,7 @@ impl<P: Problem + ?Sized, R: Recorder + ?Sized> FaultTolerantHooks for NetFtHook
         match self.pending.get(&eval_id) {
             Some(candidate) => {
                 let variables = candidate.variables.clone();
-                self.send_work(worker, eval_id, attempt, variables);
+                self.send_work(worker, eval_id, attempt, variables, now);
             }
             None => {
                 if self.error.is_none() {
@@ -349,7 +377,7 @@ impl<P: Problem + ?Sized, R: Recorder + ?Sized> FaultTolerantHooks for NetFtHook
         t
     }
 
-    fn consume(&mut self, _worker: usize, eval_id: u64, _now: f64) -> f64 {
+    fn consume(&mut self, worker: usize, eval_id: u64, now: f64) -> f64 {
         let Some(candidate) = self.pending.remove(&eval_id) else {
             if self.error.is_none() {
                 self.error = Some(NetError::Protocol(format!(
@@ -361,6 +389,20 @@ impl<P: Problem + ?Sized, R: Recorder + ?Sized> FaultTolerantHooks for NetFtHook
         let (objectives, constraints) = match self.await_outcome(eval_id) {
             Ok(outcome) => {
                 self.wire_results += 1;
+                // Only consumed wire results close a trace chain (the
+                // local-fallback path below is a degraded run, not a
+                // cross-process evaluation).
+                self.rec.trace_edge(TraceEdge {
+                    kind: TraceEdgeKind::ResultReceived,
+                    trace_id: eval_id,
+                    eval_id,
+                    attempt: outcome.attempt,
+                    worker: worker as u64,
+                    local_t: now,
+                    remote_t: outcome.ctx.map_or(0.0, |c| c.sent_at),
+                });
+                self.rec
+                    .flight("net.result_received", now, eval_id, worker as u64, 0.0);
                 (outcome.objectives, outcome.constraints)
             }
             Err(err) => {
@@ -698,15 +740,22 @@ fn master_reader<R: Recorder + Sync + ?Sized>(
         match conn.recv() {
             Ok(Some(Msg::Outcome {
                 eval_id,
+                attempt,
                 objectives,
                 constraints,
+                ctx,
                 ..
             })) => {
                 rec.counter(metrics::FRAMES_RECEIVED, 1);
+                if ctx.is_some() {
+                    rec.counter(metrics::TRACE_CTX_RECEIVED, 1);
+                }
                 let note = MasterNote::Outcome(WireOutcome {
                     eval_id,
+                    attempt,
                     objectives,
                     constraints,
+                    ctx,
                 });
                 if tx.send(note).is_err() {
                     return;

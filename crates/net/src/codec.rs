@@ -33,9 +33,29 @@ pub const MAX_PAYLOAD: usize = 1 << 20;
 /// Fixed frame header size (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 13;
 
+/// Compact distributed-trace context piggybacked on `Work`, `Outcome`
+/// and `Heartbeat` frames.
+///
+/// Encoded as an *optional trailer* after the variant's fixed fields:
+/// `None` appends nothing, so a context-free frame is byte-identical to
+/// the pre-trace wire format (old and new peers interoperate both ways);
+/// `Some` appends a marker byte `1` followed by the three fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceCtx {
+    /// Trace identity: the eval id for dispatch/result frames, a probe
+    /// sequence number for heartbeat RTT probes.
+    pub trace_id: u64,
+    /// The sender's span id (or an opaque echo payload for heartbeats).
+    pub parent_span: u64,
+    /// The sender's clock when the frame was handed to the wire, seconds
+    /// on the sender's own epoch (bit pattern preserved).
+    pub sent_at: f64,
+}
+
 /// Everything that travels on a connection. `Cmd`/`Evt` carry the
 /// protocol vocabulary verbatim; the remaining variants are the
-/// deployment envelope (registration, work items, results, liveness).
+/// deployment envelope (registration, work items, results, liveness,
+/// and the read-only metrics tap).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
     /// Worker → master registration. `worker` is [`UNASSIGNED`] on first
@@ -56,6 +76,7 @@ pub enum Msg {
         attempt: u32,
         seq: u64,
         variables: Vec<f64>,
+        ctx: Option<TraceCtx>,
     },
     /// Worker → master result, echoing the dispatch coordinates.
     Outcome {
@@ -64,19 +85,35 @@ pub enum Msg {
         attempt: u32,
         objectives: Vec<f64>,
         constraints: Vec<f64>,
+        ctx: Option<TraceCtx>,
     },
-    /// Worker → master liveness beacon.
-    Heartbeat { worker: u64 },
+    /// Worker → master liveness beacon; with a [`TraceCtx`] it doubles
+    /// as a clock probe, which the master echoes back verbatim plus its
+    /// own receive timestamp.
+    Heartbeat { worker: u64, ctx: Option<TraceCtx> },
     /// Master → worker: the run is over, exit cleanly.
     Shutdown,
     /// A protocol [`Command`], verbatim.
     Cmd(Command),
     /// A protocol [`Event`], verbatim.
     Evt(Event),
+    /// Master → tap subscriber: one [`borg_obs::MetricsSnapshot`] delta
+    /// tick, pre-rendered as metrics JSONL. `seq` counts ticks on this
+    /// tap connection; `at` is the master clock.
+    Tap { seq: u64, at: f64, jsonl: String },
 }
 
 /// `Hello.worker` value meaning "no index assigned yet".
 pub const UNASSIGNED: u64 = u64::MAX;
+
+/// Packs a deterministic span id from the trace coordinates both roles
+/// agree on: `(eval_id << 16) | (attempt << 2) | role`. Roles: 0 =
+/// master dispatch, 1 = worker evaluation, 2 = worker result send,
+/// 3 = master consume. Attempts above the 14-bit field (16383) alias,
+/// which is harmless — MAX_REISSUES caps attempts far below that.
+pub fn span_id(eval_id: u64, attempt: u32, role: u8) -> u64 {
+    (eval_id << 16) | ((u64::from(attempt) & 0x3fff) << 2) | u64::from(role & 0x3)
+}
 
 /// Why a frame failed to decode. Total: every malformed input maps here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,6 +294,10 @@ impl<'a> Reader<'a> {
         usize::try_from(v).map_err(|_| DecodeError::BadLength)
     }
 
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
     fn finish(&self) -> Result<(), DecodeError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -278,6 +319,35 @@ const TAG_HEARTBEAT: u8 = 4;
 const TAG_SHUTDOWN: u8 = 5;
 const TAG_CMD: u8 = 6;
 const TAG_EVT: u8 = 7;
+const TAG_TAP: u8 = 8;
+
+/// Marker byte introducing an encoded [`TraceCtx`] trailer.
+const CTX_PRESENT: u8 = 1;
+
+fn put_ctx(buf: &mut Vec<u8>, ctx: &Option<TraceCtx>) {
+    if let Some(c) = ctx {
+        put_u8(buf, CTX_PRESENT);
+        put_u64(buf, c.trace_id);
+        put_u64(buf, c.parent_span);
+        put_f64(buf, c.sent_at);
+    }
+}
+
+/// Reads the optional [`TraceCtx`] trailer: an exhausted payload is the
+/// backward-compatible "no context" form.
+fn read_ctx(r: &mut Reader<'_>) -> Result<Option<TraceCtx>, DecodeError> {
+    if r.at_end() {
+        return Ok(None);
+    }
+    match r.u8()? {
+        CTX_PRESENT => Ok(Some(TraceCtx {
+            trace_id: r.u64()?,
+            parent_span: r.u64()?,
+            sent_at: r.f64()?,
+        })),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
 
 fn encode_command(buf: &mut Vec<u8>, cmd: &Command) {
     match *cmd {
@@ -453,12 +523,14 @@ fn encode_payload(buf: &mut Vec<u8>, msg: &Msg) {
             attempt,
             seq,
             ref variables,
+            ref ctx,
         } => {
             put_u8(buf, TAG_WORK);
             put_u64(buf, eval_id);
             put_u32(buf, attempt);
             put_u64(buf, seq);
             put_f64s(buf, variables);
+            put_ctx(buf, ctx);
         }
         Msg::Outcome {
             worker,
@@ -466,6 +538,7 @@ fn encode_payload(buf: &mut Vec<u8>, msg: &Msg) {
             attempt,
             ref objectives,
             ref constraints,
+            ref ctx,
         } => {
             put_u8(buf, TAG_OUTCOME);
             put_u64(buf, worker);
@@ -473,10 +546,12 @@ fn encode_payload(buf: &mut Vec<u8>, msg: &Msg) {
             put_u32(buf, attempt);
             put_f64s(buf, objectives);
             put_f64s(buf, constraints);
+            put_ctx(buf, ctx);
         }
-        Msg::Heartbeat { worker } => {
+        Msg::Heartbeat { worker, ref ctx } => {
             put_u8(buf, TAG_HEARTBEAT);
             put_u64(buf, worker);
+            put_ctx(buf, ctx);
         }
         Msg::Shutdown => put_u8(buf, TAG_SHUTDOWN),
         Msg::Cmd(ref cmd) => {
@@ -486,6 +561,12 @@ fn encode_payload(buf: &mut Vec<u8>, msg: &Msg) {
         Msg::Evt(ref evt) => {
             put_u8(buf, TAG_EVT);
             encode_event(buf, evt);
+        }
+        Msg::Tap { seq, at, ref jsonl } => {
+            put_u8(buf, TAG_TAP);
+            put_u64(buf, seq);
+            put_f64(buf, at);
+            put_str(buf, jsonl);
         }
     }
 }
@@ -504,6 +585,7 @@ fn decode_payload(payload: &[u8]) -> Result<Msg, DecodeError> {
             attempt: r.u32()?,
             seq: r.u64()?,
             variables: r.f64s()?,
+            ctx: read_ctx(&mut r)?,
         },
         TAG_OUTCOME => Msg::Outcome {
             worker: r.u64()?,
@@ -511,11 +593,20 @@ fn decode_payload(payload: &[u8]) -> Result<Msg, DecodeError> {
             attempt: r.u32()?,
             objectives: r.f64s()?,
             constraints: r.f64s()?,
+            ctx: read_ctx(&mut r)?,
         },
-        TAG_HEARTBEAT => Msg::Heartbeat { worker: r.u64()? },
+        TAG_HEARTBEAT => Msg::Heartbeat {
+            worker: r.u64()?,
+            ctx: read_ctx(&mut r)?,
+        },
         TAG_SHUTDOWN => Msg::Shutdown,
         TAG_CMD => Msg::Cmd(decode_command(&mut r)?),
         TAG_EVT => Msg::Evt(decode_event(&mut r)?),
+        TAG_TAP => Msg::Tap {
+            seq: r.u64()?,
+            at: r.f64()?,
+            jsonl: r.string()?,
+        },
         t => return Err(DecodeError::BadTag(t)),
     };
     r.finish()?;
@@ -658,6 +749,18 @@ mod tests {
                 // Include a non-default NaN payload: bit patterns must
                 // survive the wire verbatim.
                 variables: vec![0.25, -1.5, f64::from_bits(0x7ff8_0000_0000_0001), 0.0],
+                ctx: None,
+            },
+            Msg::Work {
+                eval_id: 43,
+                attempt: 0,
+                seq: 8,
+                variables: vec![0.5],
+                ctx: Some(TraceCtx {
+                    trace_id: 43,
+                    parent_span: 43 << 16,
+                    sent_at: 1.25,
+                }),
             },
             Msg::Outcome {
                 worker: 2,
@@ -665,9 +768,39 @@ mod tests {
                 attempt: 1,
                 objectives: vec![1.0, 2.0, 3.0],
                 constraints: vec![],
+                ctx: None,
             },
-            Msg::Heartbeat { worker: 9 },
+            Msg::Outcome {
+                worker: 2,
+                eval_id: 43,
+                attempt: 0,
+                objectives: vec![0.5],
+                constraints: vec![0.0],
+                ctx: Some(TraceCtx {
+                    trace_id: 43,
+                    parent_span: (43 << 16) | 2,
+                    sent_at: -0.0,
+                }),
+            },
+            Msg::Heartbeat {
+                worker: 9,
+                ctx: None,
+            },
+            Msg::Heartbeat {
+                worker: 9,
+                ctx: Some(TraceCtx {
+                    trace_id: 12,
+                    parent_span: 0,
+                    sent_at: 0.125,
+                }),
+            },
             Msg::Shutdown,
+            Msg::Tap {
+                seq: 3,
+                at: 2.5,
+                jsonl: "{\"type\":\"counter\",\"name\":\"net.frames_sent\",\"value\":1}\n"
+                    .to_string(),
+            },
             Msg::Cmd(Command::Dispatch {
                 worker: 1,
                 eval_id: 10,
@@ -699,16 +832,19 @@ mod tests {
                         eval_id: ia,
                         attempt: aa,
                         seq: sa,
+                        ctx: ca,
                     },
                     Msg::Work {
                         variables: b,
                         eval_id: ib,
                         attempt: ab,
                         seq: sb,
+                        ctx: cb,
                     },
                 ) => {
                     assert_eq!((ia, aa, sa), (ib, ab, sb));
                     assert_eq!(bits(a), bits(b));
+                    assert_eq!(ca, cb);
                 }
                 _ => assert_eq!(msg, back),
             }
@@ -786,8 +922,81 @@ mod tests {
     }
 
     #[test]
+    fn context_free_frames_match_the_legacy_wire_bytes() {
+        // A pre-TraceCtx peer encodes Work/Outcome/Heartbeat with no
+        // trailer. Build those byte sequences by hand and check (a) they
+        // decode to `ctx: None`, (b) our own `ctx: None` encoding is
+        // byte-identical — interop holds in both directions.
+        let mut legacy = Vec::new();
+        put_u8(&mut legacy, TAG_HEARTBEAT);
+        put_u64(&mut legacy, 5);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC.to_le_bytes());
+        frame.push(VERSION);
+        frame.extend_from_slice(&(legacy.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&legacy).to_le_bytes());
+        frame.extend_from_slice(&legacy);
+        assert_eq!(
+            decode_complete(&frame).unwrap(),
+            Msg::Heartbeat {
+                worker: 5,
+                ctx: None
+            }
+        );
+        assert_eq!(
+            encode(&Msg::Heartbeat {
+                worker: 5,
+                ctx: None
+            }),
+            frame
+        );
+
+        // A garbage marker byte after the fixed fields is rejected, not
+        // misread as data.
+        let mut bad = legacy.clone();
+        put_u8(&mut bad, 7);
+        let mut bad_frame = Vec::new();
+        bad_frame.extend_from_slice(&MAGIC.to_le_bytes());
+        bad_frame.push(VERSION);
+        bad_frame.extend_from_slice(&(bad.len() as u32).to_le_bytes());
+        bad_frame.extend_from_slice(&fnv1a(&bad).to_le_bytes());
+        bad_frame.extend_from_slice(&bad);
+        assert_eq!(
+            decode_complete(&bad_frame).unwrap_err(),
+            DecodeError::BadTag(7)
+        );
+    }
+
+    #[test]
+    fn trace_ctx_survives_the_wire_bit_exactly() {
+        let ctx = TraceCtx {
+            trace_id: u64::MAX,
+            parent_span: 0xDEAD_BEEF,
+            sent_at: f64::from_bits(0x7ff8_0000_0000_0042),
+        };
+        let frame = encode(&Msg::Heartbeat {
+            worker: 1,
+            ctx: Some(ctx),
+        });
+        match decode_complete(&frame).unwrap() {
+            Msg::Heartbeat {
+                worker: 1,
+                ctx: Some(back),
+            } => {
+                assert_eq!(back.trace_id, ctx.trace_id);
+                assert_eq!(back.parent_span, ctx.parent_span);
+                assert_eq!(back.sent_at.to_bits(), ctx.sent_at.to_bits());
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
     fn payload_corruption_is_always_detected() {
-        let frame = encode(&Msg::Heartbeat { worker: 7 });
+        let frame = encode(&Msg::Heartbeat {
+            worker: 7,
+            ctx: None,
+        });
         for i in HEADER_LEN..frame.len() {
             for bit in 0..8 {
                 let mut bad = frame.clone();

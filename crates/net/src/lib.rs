@@ -19,6 +19,9 @@
 //!   the master replays the *same* plan through the DES fault engine in
 //!   virtual time (`sampled_ta`), making the networked run's fault
 //!   ledger and final archive bit-identical to the DES oracle.
+//! - [`tap`] — the live metrics tap: a read-only side-channel streaming
+//!   periodic `MetricsSnapshot` deltas (stable-schema JSONL inside
+//!   [`codec::Msg::Tap`] frames) to any number of subscribers.
 //!
 //! Socket I/O in this crate must not `unwrap()`/`expect()` and blocking
 //! reads must carry a timeout — enforced by `cargo xtask check` rule
@@ -28,10 +31,11 @@ pub mod chaos;
 pub mod codec;
 pub mod metrics;
 pub mod serve;
+pub mod tap;
 pub mod transport;
 pub mod worker;
 
-pub use codec::{DecodeError, FrameReader, Msg};
+pub use codec::{DecodeError, FrameReader, Msg, TraceCtx};
 pub use transport::{
     connect_with_backoff, Backoff, Conn, NetAddr, NetError, NetListener, NetStream,
 };

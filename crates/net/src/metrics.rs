@@ -32,3 +32,19 @@ pub const RTT_SECONDS: &str = "net.rtt_seconds";
 /// Histogram: wall-clock seconds the master blocked waiting for a
 /// pinned-mode wire result.
 pub const RESULT_WAIT_SECONDS: &str = "net.result_wait_seconds";
+/// Trace contexts stamped onto outgoing frames (either role).
+pub const TRACE_CTX_SENT: &str = "net.trace.ctx_sent";
+/// Trace contexts observed on incoming frames (either role).
+pub const TRACE_CTX_RECEIVED: &str = "net.trace.ctx_received";
+/// Heartbeat clock-probe echoes the master sent back.
+pub const TRACE_PROBE_ECHOES: &str = "net.trace.probe_echoes";
+/// Histogram: heartbeat probe round-trip seconds (worker side).
+pub const TRACE_PROBE_RTT_SECONDS: &str = "net.trace.probe_rtt_seconds";
+/// Tap frames streamed to live metrics subscribers.
+pub const TAP_FRAMES: &str = "net.tap.frames";
+/// Tap subscriber connections accepted.
+pub const TAP_SUBSCRIBERS: &str = "net.tap.subscribers";
+/// Flight-recorder events captured into the ring (any process).
+pub const FLIGHT_EVENTS: &str = "flight.events";
+/// Flight-recorder dumps written (worker death, sever, panic, shutdown).
+pub const FLIGHT_DUMPS: &str = "flight.dumps";

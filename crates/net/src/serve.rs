@@ -11,14 +11,14 @@
 //! staleness (a hung-but-connected peer) — and both feed the engine's
 //! existing recovery machinery via [`Event::WorkerDied`].
 
-use crate::codec::{self, Msg};
+use crate::codec::{self, Msg, TraceCtx};
 use crate::metrics;
 use crate::transport::{Conn, NetAddr, NetError, NetListener, NetStream};
 use borg_core::algorithm::{BorgConfig, BorgEngine, Candidate};
 use borg_core::problem::Problem;
 use borg_core::rng::SplitMix64;
 use borg_desim::fault::{FaultKind, FaultLog};
-use borg_obs::Recorder;
+use borg_obs::{Recorder, TraceEdge, TraceEdgeKind};
 use borg_protocol::{Clock, Event, MasterEngine, RecoveryPolicy, Transport};
 use crossbeam::channel;
 use std::collections::BTreeMap;
@@ -95,15 +95,22 @@ pub struct ServeReport {
 struct WireResult {
     worker: usize,
     eval_id: u64,
+    attempt: u32,
     objectives: Vec<f64>,
     constraints: Vec<f64>,
+    ctx: Option<TraceCtx>,
 }
 
 /// What a reader thread tells the master loop.
 enum Note {
     Result(WireResult),
-    Beat { worker: usize },
-    Dead { worker: usize },
+    Beat {
+        worker: usize,
+        ctx: Option<TraceCtx>,
+    },
+    Dead {
+        worker: usize,
+    },
 }
 
 /// The engine's executor half over live sockets.
@@ -149,17 +156,35 @@ impl<R: Recorder + ?Sized> NetTransport<'_, R> {
         };
         let seq = self.dispatch_seq[target];
         self.dispatch_seq[target] += 1;
+        let now = self.start.elapsed().as_secs_f64();
         let frame = codec::encode(&Msg::Work {
             eval_id,
             attempt,
             seq,
             variables,
+            ctx: Some(TraceCtx {
+                trace_id: eval_id,
+                parent_span: codec::span_id(eval_id, attempt, 0),
+                sent_at: now,
+            }),
         });
         let stream = self.writers[target].as_mut()?;
         if stream.write_all(&frame).is_ok() {
             self.rec.counter(metrics::DISPATCHES, 1);
             self.rec.counter(metrics::FRAMES_SENT, 1);
             self.rec.counter(metrics::BYTES_SENT, frame.len() as u64);
+            self.rec.counter(metrics::TRACE_CTX_SENT, 1);
+            self.rec.trace_edge(TraceEdge {
+                kind: TraceEdgeKind::DispatchSent,
+                trace_id: eval_id,
+                eval_id,
+                attempt,
+                worker: target as u64,
+                local_t: now,
+                remote_t: 0.0,
+            });
+            self.rec
+                .flight("net.work_sent", now, eval_id, target as u64, attempt.into());
             Some(target)
         } else {
             // The reader thread on this connection will surface the
@@ -222,6 +247,7 @@ impl<R: Recorder + ?Sized> Transport for NetTransport<'_, R> {
             )));
             return self.now();
         };
+        let (attempt, ctx) = (result.attempt, result.ctx);
         let solution = self
             .engine
             .make_solution(candidate, result.objectives, result.constraints);
@@ -229,10 +255,25 @@ impl<R: Recorder + ?Sized> Transport for NetTransport<'_, R> {
         self.current_eval[worker] = None;
         self.wire_results += 1;
         self.rec.counter(metrics::RESULTS, 1);
+        let now = self.now();
         if let Some(at) = self.dispatched_at.remove(&eval_id) {
-            self.rec.observe(metrics::RTT_SECONDS, self.now() - at);
+            self.rec.observe(metrics::RTT_SECONDS, now - at);
         }
-        self.now()
+        // Only *consumed* results close a trace chain: duplicates and
+        // late frames never reach here, so the merged trace has exactly
+        // one master-consume leg per completed evaluation.
+        self.rec.trace_edge(TraceEdge {
+            kind: TraceEdgeKind::ResultReceived,
+            trace_id: eval_id,
+            eval_id,
+            attempt,
+            worker: worker as u64,
+            local_t: now,
+            remote_t: ctx.map_or(0.0, |c| c.sent_at),
+        });
+        self.rec
+            .flight("net.result_received", now, eval_id, worker as u64, 0.0);
+        now
     }
 
     fn absorb_duplicate(&mut self, _worker: usize, _eval_id: u64, _ready_at: f64) -> f64 {
@@ -337,25 +378,35 @@ fn reader_loop<R: Recorder + ?Sized>(
         match conn.recv() {
             Ok(Some(Msg::Outcome {
                 eval_id,
+                attempt,
                 objectives,
                 constraints,
+                ctx,
                 ..
             })) => {
                 rec.counter(metrics::FRAMES_RECEIVED, 1);
+                if ctx.is_some() {
+                    rec.counter(metrics::TRACE_CTX_RECEIVED, 1);
+                }
                 // Trust the connection index, not the frame's claim.
                 let note = Note::Result(WireResult {
                     worker,
                     eval_id,
+                    attempt,
                     objectives,
                     constraints,
+                    ctx,
                 });
                 if tx.send(note).is_err() {
                     return;
                 }
             }
-            Ok(Some(Msg::Heartbeat { .. })) => {
+            Ok(Some(Msg::Heartbeat { ctx, .. })) => {
                 rec.counter(metrics::HEARTBEATS, 1);
-                if tx.send(Note::Beat { worker }).is_err() {
+                if ctx.is_some() {
+                    rec.counter(metrics::TRACE_CTX_RECEIVED, 1);
+                }
+                if tx.send(Note::Beat { worker, ctx }).is_err() {
                     return;
                 }
             }
@@ -570,9 +621,34 @@ fn drive_master<R: Recorder + Sync + ?Sized>(
                     return Err(err);
                 }
             }
-            Note::Beat { worker } => {
+            Note::Beat { worker, ctx } => {
                 wire_heartbeats += 1;
                 last_seen[worker] = transport.now();
+                // A heartbeat carrying a context is a clock probe: echo
+                // it back with the probe's send time preserved in
+                // `parent_span` (bit pattern) plus our own clock, so the
+                // worker can compute RTT and clock offset. Written from
+                // this thread only — the single-writer discipline keeps
+                // frames from interleaving with dispatches.
+                if let Some(probe) = ctx {
+                    let echo = codec::encode(&Msg::Heartbeat {
+                        worker: worker as u64,
+                        ctx: Some(TraceCtx {
+                            trace_id: probe.trace_id,
+                            parent_span: probe.sent_at.to_bits(),
+                            sent_at: transport.now(),
+                        }),
+                    });
+                    if let Some(stream) = transport.writers[worker].as_mut() {
+                        if stream.write_all(&echo).is_ok() {
+                            rec.counter(metrics::TRACE_PROBE_ECHOES, 1);
+                            rec.counter(metrics::FRAMES_SENT, 1);
+                            rec.counter(metrics::BYTES_SENT, echo.len() as u64);
+                        } else {
+                            transport.writers[worker] = None;
+                        }
+                    }
+                }
             }
             Note::Dead { worker } => {
                 if alive[worker] {
@@ -605,6 +681,16 @@ fn declare_dead<R: Recorder + Sync + ?Sized>(
         .inject(kind, worker, lost_eval.unwrap_or(0), at);
     transport.writers[worker] = None;
     rec.counter(metrics::WORKER_DEATHS, 1);
+    rec.flight(
+        "net.worker_death",
+        at,
+        worker as u64,
+        lost_eval.unwrap_or(u64::MAX),
+        match kind {
+            FaultKind::Hang => 1.0,
+            _ => 0.0,
+        },
+    );
     proto.handle(
         Event::WorkerDied {
             worker,

@@ -477,9 +477,19 @@ mod tests {
             .unwrap();
         let mut left = Conn::new(NetStream::Unix(a));
         let mut right = Conn::new(NetStream::Unix(b));
-        left.send(&Msg::Heartbeat { worker: 5 }).unwrap();
+        left.send(&Msg::Heartbeat {
+            worker: 5,
+            ctx: None,
+        })
+        .unwrap();
         let got = right.recv().unwrap();
-        assert_eq!(got, Some(Msg::Heartbeat { worker: 5 }));
+        assert_eq!(
+            got,
+            Some(Msg::Heartbeat {
+                worker: 5,
+                ctx: None
+            })
+        );
         // No more data: the read honours its timeout instead of hanging.
         assert!(right.recv().unwrap().is_none());
     }

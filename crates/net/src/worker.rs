@@ -2,11 +2,11 @@
 //! dispatched candidates, stream results back, heartbeat while idle,
 //! and reconnect (bounded backoff) when the connection drops.
 
-use crate::codec::{Msg, UNASSIGNED};
+use crate::codec::{self, Msg, TraceCtx, UNASSIGNED};
 use crate::metrics;
 use crate::transport::{connect_with_backoff, Backoff, Conn, NetAddr, NetError};
 use borg_core::problem::Problem;
-use borg_obs::Recorder;
+use borg_obs::{Activity, Actor, Recorder, TraceEdge, TraceEdgeKind};
 use std::time::{Duration, Instant};
 
 /// How a worker connects and paces itself.
@@ -104,14 +104,24 @@ pub fn run_worker<R: Recorder + ?Sized>(
     let eval_delay = Duration::from_micros(eval_delay_us);
     let mut objs = vec![0.0; problem.num_objectives()];
     let mut cons = vec![0.0; problem.num_constraints()];
+    // The worker's own trace clock: seconds on its private epoch. The
+    // merge aligns it to the master clock from heartbeat-probe samples.
+    let epoch = Instant::now();
     let mut last_beat = Instant::now();
+    let mut probe_seq = 0u64;
     // A result that could not be written before the connection dropped;
     // re-sent after re-registration (the master suppresses duplicates by
     // eval id, so re-sending is always safe).
     let mut unsent: Option<Msg> = None;
 
     'session: loop {
-        if let Some(msg) = unsent.take() {
+        if let Some(mut msg) = unsent.take() {
+            // Stamp the context at the moment the frame actually goes to
+            // the wire (resends after a reconnect get a fresh stamp).
+            let send_at = epoch.elapsed().as_secs_f64();
+            if let Msg::Outcome { ctx: Some(c), .. } = &mut msg {
+                c.sent_at = send_at;
+            }
             if conn.send(&msg).is_err() {
                 unsent = Some(msg);
                 match reconnect(opts, worker, &mut report) {
@@ -124,6 +134,22 @@ pub fn run_worker<R: Recorder + ?Sized>(
                 }
             }
             rec.counter(metrics::FRAMES_SENT, 1);
+            if let Msg::Outcome {
+                eval_id, attempt, ..
+            } = &msg
+            {
+                rec.counter(metrics::TRACE_CTX_SENT, 1);
+                rec.trace_edge(TraceEdge {
+                    kind: TraceEdgeKind::ResultSent,
+                    trace_id: *eval_id,
+                    eval_id: *eval_id,
+                    attempt: *attempt,
+                    worker,
+                    local_t: send_at,
+                    remote_t: 0.0,
+                });
+                rec.flight("net.result_sent", send_at, *eval_id, worker, 0.0);
+            }
         }
         match conn.recv() {
             Ok(Some(Msg::Work {
@@ -131,8 +157,23 @@ pub fn run_worker<R: Recorder + ?Sized>(
                 attempt,
                 seq: _,
                 variables,
+                ctx,
             })) => {
                 rec.counter(metrics::FRAMES_RECEIVED, 1);
+                let received_at = epoch.elapsed().as_secs_f64();
+                if ctx.is_some() {
+                    rec.counter(metrics::TRACE_CTX_RECEIVED, 1);
+                }
+                rec.trace_edge(TraceEdge {
+                    kind: TraceEdgeKind::WorkReceived,
+                    trace_id: ctx.map_or(eval_id, |c| c.trace_id),
+                    eval_id,
+                    attempt,
+                    worker,
+                    local_t: received_at,
+                    remote_t: ctx.map_or(0.0, |c| c.sent_at),
+                });
+                rec.flight("net.work_received", received_at, eval_id, worker, 0.0);
                 if eval_delay > Duration::ZERO {
                     std::thread::sleep(eval_delay);
                 }
@@ -145,26 +186,72 @@ pub fn run_worker<R: Recorder + ?Sized>(
                 }
                 problem.evaluate(&variables, &mut objs, &mut cons);
                 report.evaluated += 1;
+                let done_at = epoch.elapsed().as_secs_f64();
+                rec.span(
+                    Actor::Worker(worker as usize),
+                    Activity::Evaluation,
+                    received_at,
+                    done_at,
+                );
                 unsent = Some(Msg::Outcome {
                     worker,
                     eval_id,
                     attempt,
                     objectives: objs.clone(),
                     constraints: cons.clone(),
+                    ctx: Some(TraceCtx {
+                        trace_id: eval_id,
+                        parent_span: codec::span_id(eval_id, attempt, 2),
+                        sent_at: done_at,
+                    }),
                 });
             }
             Ok(Some(Msg::Shutdown)) => {
                 rec.counter(metrics::FRAMES_RECEIVED, 1);
                 return Ok(report);
             }
+            Ok(Some(Msg::Heartbeat {
+                ctx: Some(echo), ..
+            })) => {
+                // The master echoed one of our clock probes: our send
+                // time came back in `parent_span` (bit pattern), the
+                // master's clock in `sent_at`. Estimate the offset at
+                // the probe midpoint (symmetric-path assumption).
+                rec.counter(metrics::FRAMES_RECEIVED, 1);
+                let t1 = epoch.elapsed().as_secs_f64();
+                let t0 = f64::from_bits(echo.parent_span);
+                let rtt = t1 - t0;
+                let offset = echo.sent_at - (t0 + t1) / 2.0;
+                rec.observe(metrics::TRACE_PROBE_RTT_SECONDS, rtt);
+                rec.trace_edge(TraceEdge {
+                    kind: TraceEdgeKind::ClockSample,
+                    trace_id: echo.trace_id,
+                    eval_id: u64::MAX,
+                    attempt: 0,
+                    worker,
+                    local_t: rtt,
+                    remote_t: offset,
+                });
+            }
             Ok(Some(_)) => rec.counter(metrics::FRAMES_RECEIVED, 1),
             Ok(None) => {
-                // Idle tick: heartbeat if due.
+                // Idle tick: heartbeat if due. Every idle heartbeat
+                // doubles as a clock probe.
                 if last_beat.elapsed() >= opts.heartbeat_every {
                     last_beat = Instant::now();
-                    if conn.send(&Msg::Heartbeat { worker }).is_ok() {
+                    probe_seq += 1;
+                    let beat = Msg::Heartbeat {
+                        worker,
+                        ctx: Some(TraceCtx {
+                            trace_id: probe_seq,
+                            parent_span: 0,
+                            sent_at: epoch.elapsed().as_secs_f64(),
+                        }),
+                    };
+                    if conn.send(&beat).is_ok() {
                         report.heartbeats_sent += 1;
                         rec.counter(metrics::HEARTBEATS, 1);
+                        rec.counter(metrics::TRACE_CTX_SENT, 1);
                     }
                     // A failed heartbeat write is caught by the next
                     // recv returning an error.

@@ -9,8 +9,8 @@
 //! to the same checksum.
 
 use borg_net::codec::{
-    decode, decode_complete, encode, DecodeError, Msg, HEADER_LEN, MAGIC, MAX_PAYLOAD, UNASSIGNED,
-    VERSION,
+    decode, decode_complete, encode, DecodeError, Msg, TraceCtx, HEADER_LEN, MAGIC, MAX_PAYLOAD,
+    UNASSIGNED, VERSION,
 };
 use borg_protocol::{Command, Event};
 use proptest::prelude::*;
@@ -81,6 +81,21 @@ fn event_strategy() -> Union<Event> {
     ]
 }
 
+/// Optional trace context, absent half the time: absent-context frames
+/// exercise the backward-compatible (legacy wire bytes) form.
+fn ctx_strategy() -> impl Strategy<Value = Option<TraceCtx>> {
+    prop_oneof![
+        Just(None),
+        (0u64..1_000_000, 0u64..u64::MAX, finite_f64()).prop_map(
+            |(trace_id, parent_span, sent_at)| Some(TraceCtx {
+                trace_id,
+                parent_span,
+                sent_at,
+            })
+        ),
+    ]
+}
+
 /// Every `Msg` variant, including the full `Command`/`Event` vocabulary.
 fn msg_strategy() -> Union<Msg> {
     prop_oneof![
@@ -93,24 +108,44 @@ fn msg_strategy() -> Union<Msg> {
                 eval_delay_us,
             }
         ),
-        (0u64..1_000_000, 0u32..8, 0u64..1_000_000, f64_vec()).prop_map(
-            |(eval_id, attempt, seq, variables)| Msg::Work {
+        (
+            0u64..1_000_000,
+            0u32..8,
+            0u64..1_000_000,
+            f64_vec(),
+            ctx_strategy()
+        )
+            .prop_map(|(eval_id, attempt, seq, variables, ctx)| Msg::Work {
                 eval_id,
                 attempt,
                 seq,
                 variables,
-            }
-        ),
-        (0u64..1_000, 0u64..1_000_000, 0u32..8, f64_vec(), f64_vec()).prop_map(
-            |(worker, eval_id, attempt, objectives, constraints)| Msg::Outcome {
-                worker,
-                eval_id,
-                attempt,
-                objectives,
-                constraints,
-            }
-        ),
-        (0u64..1_000).prop_map(|worker| Msg::Heartbeat { worker }),
+                ctx,
+            }),
+        (
+            0u64..1_000,
+            0u64..1_000_000,
+            0u32..8,
+            f64_vec(),
+            f64_vec(),
+            ctx_strategy()
+        )
+            .prop_map(|(worker, eval_id, attempt, objectives, constraints, ctx)| {
+                Msg::Outcome {
+                    worker,
+                    eval_id,
+                    attempt,
+                    objectives,
+                    constraints,
+                    ctx,
+                }
+            }),
+        (0u64..1_000, ctx_strategy()).prop_map(|(worker, ctx)| Msg::Heartbeat { worker, ctx }),
+        (0u64..1_000_000, finite_f64(), name_string()).prop_map(|(seq, at, jsonl)| Msg::Tap {
+            seq,
+            at,
+            jsonl
+        }),
         Just(Msg::Shutdown),
         command_strategy().prop_map(Msg::Cmd),
         event_strategy().prop_map(Msg::Evt),
@@ -207,6 +242,11 @@ fn non_finite_payloads_round_trip_at_the_bit_level() {
             -0.0,
             f64::MIN_POSITIVE,
         ],
+        ctx: Some(TraceCtx {
+            trace_id: 7,
+            parent_span: 0,
+            sent_at: f64::NAN,
+        }),
     };
     let frame = encode(&msg);
     let back = decode_complete(&frame).expect("non-finite frame must decode");

@@ -25,7 +25,7 @@ pub struct TraceGroup {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -43,7 +43,7 @@ fn json_escape(s: &str) -> String {
 
 /// Formats an f64 as a JSON number (round-trip precision; non-finite
 /// values become `null`, which Perfetto and jq both tolerate).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -135,9 +135,14 @@ impl Histogram {
             .map(|(&k, &n)| (Self::bucket_lower(k), Self::bucket_upper(k), n))
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1);
-    /// `0.0` if the quantile falls among non-positive samples, `NaN` when
-    /// empty. Error is bounded by the ~9% relative bucket width.
+    /// The `q`-quantile (0 ≤ q ≤ 1) computed exactly from the bucket
+    /// counts: the bucket containing the target rank is located by an
+    /// exact integer walk, and the returned bound is clamped into the
+    /// observed `[min, max]` range, so single-valued histograms and the
+    /// extreme quantiles are exact rather than bucket-rounded. Returns
+    /// `0.0` if the quantile falls among non-positive samples and `NaN`
+    /// when empty. Interior error stays bounded by the ~9% relative
+    /// bucket width.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return f64::NAN;
@@ -150,10 +155,42 @@ impl Histogram {
         for (&k, &n) in &self.buckets {
             seen += n;
             if seen >= target {
-                return Self::bucket_upper(k);
+                // The rank is in this bucket. The bucket's upper bound can
+                // overshoot the largest sample actually recorded (and its
+                // lower bound can undershoot the smallest), so clamp into
+                // the exact observed range; when the target rank is the
+                // last observation overall, the answer is exactly `max`.
+                if seen == self.count {
+                    return self.max;
+                }
+                return Self::bucket_upper(k).min(self.max).max(self.min.max(0.0));
             }
         }
         self.max
+    }
+
+    /// The histogram of observations recorded since `prev` was a snapshot
+    /// of this histogram (counts and sums subtract; `prev` must be an
+    /// earlier state of `self`, as enforced by saturating arithmetic).
+    ///
+    /// `min`/`max` stay *cumulative* — a log-bucketed histogram cannot
+    /// recover the extrema of just the new samples — which the live
+    /// metrics tap documents on its wire format.
+    pub fn diff(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (&k, &n) in &self.buckets {
+            let before = prev.buckets.get(&k).copied().unwrap_or(0);
+            let delta = n.saturating_sub(before);
+            if delta > 0 {
+                out.buckets.insert(k, delta);
+            }
+        }
+        out.nonpositive = self.nonpositive.saturating_sub(prev.nonpositive);
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = self.sum - prev.sum;
+        out.min = self.min;
+        out.max = self.max;
+        out
     }
 }
 
@@ -236,5 +273,49 @@ mod tests {
         assert!(h.quantile(0.5) < 0.0015);
         assert!(h.quantile(0.99) >= 1.0);
         assert!(Histogram::new().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        // A single-valued histogram reports that value exactly at every
+        // quantile, not its bucket's upper bound.
+        let mut h = Histogram::new();
+        h.record(3.7);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.7);
+        }
+        // Two values: the top quantile is exactly the max, the bottom is
+        // never below the min.
+        let mut h = Histogram::new();
+        h.record(0.001);
+        h.record(7.25);
+        assert_eq!(h.quantile(1.0), 7.25);
+        assert_eq!(h.quantile(0.99), 7.25);
+        assert!(h.quantile(0.25) >= 0.001);
+        assert!(h.quantile(0.25) < 0.0015);
+    }
+
+    #[test]
+    fn diff_subtracts_counts_and_keeps_cumulative_extrema() {
+        let mut h = Histogram::new();
+        h.record(0.001);
+        h.record(2.0);
+        let before = h.clone();
+        h.record(4.0);
+        h.record(0.001);
+        h.record(-1.0);
+        let d = h.diff(&before);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.nonpositive(), 1);
+        assert!((d.sum() - (4.0 + 0.001 + -1.0)).abs() < 1e-12);
+        // Extrema are cumulative (documented tap semantics).
+        assert_eq!(d.min(), -1.0);
+        assert_eq!(d.max(), 4.0);
+        let occupied: Vec<(f64, f64, u64)> = d.buckets().collect();
+        assert_eq!(occupied.iter().map(|&(_, _, n)| n).sum::<u64>(), 2);
+        // Diff against itself is empty.
+        let z = h.diff(&h.clone());
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.sum(), 0.0);
     }
 }

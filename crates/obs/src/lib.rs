@@ -22,6 +22,12 @@
 //!   for well-nested open/close instrumentation.
 //! * [`export`] — renderers: Chrome `chrome://tracing` JSON (open in
 //!   Perfetto) and a JSONL metrics dump.
+//! * [`flight`] — the black-box flight recorder: a fixed-capacity,
+//!   allocation-free ring of recent events, dumped as deterministic
+//!   JSONL on worker death / fault sever / panic.
+//! * [`shard`] — per-process distributed-trace shards
+//!   ([`TraceEdge`] JSONL) and [`merge_shards`], the deterministic
+//!   clock-aligning merge into one causal cross-process trace.
 //!
 //! ```
 //! use borg_obs::{InMemoryRecorder, Recorder};
@@ -40,10 +46,16 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod recorder;
+pub mod shard;
 pub mod span;
 
+pub use flight::{FlightEvent, FlightRecorder, WithFlight};
 pub use hist::Histogram;
-pub use recorder::{InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder};
+pub use recorder::{
+    InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder, TraceEdge, TraceEdgeKind,
+};
+pub use shard::{merge_shards, EvalChain, MergedTrace, TraceShard};
 pub use span::{Activity, Actor, Span, SpanTrace, SpanTracker};

@@ -17,6 +17,76 @@ use crate::hist::Histogram;
 use crate::span::{Activity, Actor, Span, SpanTrace};
 use std::collections::BTreeMap;
 
+/// Which leg of a cross-process exchange a [`TraceEdge`] marks.
+///
+/// A completed evaluation produces the four-point NTP-style quad
+/// `DispatchSent` (master) → `WorkReceived` (worker) → `ResultSent`
+/// (worker) → `ResultReceived` (master); `ClockSample` carries a
+/// heartbeat-RTT clock-offset estimate instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceEdgeKind {
+    /// Master handed a `Work` frame to the wire.
+    DispatchSent,
+    /// Worker pulled the `Work` frame off the wire.
+    WorkReceived,
+    /// Worker handed the `Outcome` frame to the wire.
+    ResultSent,
+    /// Master pulled the `Outcome` frame off the wire.
+    ResultReceived,
+    /// A heartbeat round-trip: `local_t` is the measured RTT and
+    /// `remote_t` the estimated master-minus-local clock offset.
+    ClockSample,
+}
+
+impl TraceEdgeKind {
+    /// Stable lowercase label used by the shard JSONL format.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEdgeKind::DispatchSent => "dispatch_sent",
+            TraceEdgeKind::WorkReceived => "work_received",
+            TraceEdgeKind::ResultSent => "result_sent",
+            TraceEdgeKind::ResultReceived => "result_received",
+            TraceEdgeKind::ClockSample => "clock_sample",
+        }
+    }
+
+    /// Inverse of [`TraceEdgeKind::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "dispatch_sent" => TraceEdgeKind::DispatchSent,
+            "work_received" => TraceEdgeKind::WorkReceived,
+            "result_sent" => TraceEdgeKind::ResultSent,
+            "result_received" => TraceEdgeKind::ResultReceived,
+            "clock_sample" => TraceEdgeKind::ClockSample,
+            _ => return None,
+        })
+    }
+}
+
+/// One timestamped point of a distributed trace, recorded on whichever
+/// process observed it. The trace-merge step joins edges across process
+/// shards on `(trace_id, eval_id, attempt)` to reconstruct the causal
+/// span chain of every evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEdge {
+    /// Which leg this edge marks.
+    pub kind: TraceEdgeKind,
+    /// Trace identity (the evaluation id for dispatch/result legs, a
+    /// probe sequence number for clock samples).
+    pub trace_id: u64,
+    /// Evaluation id (`u64::MAX` for clock samples).
+    pub eval_id: u64,
+    /// Dispatch attempt (0 = first issue).
+    pub attempt: u32,
+    /// Worker slot involved (`u64::MAX` when unknown).
+    pub worker: u64,
+    /// Timestamp on the recording process's own clock, seconds.
+    pub local_t: f64,
+    /// The peer's clock reading carried in the frame (the `sent_at`
+    /// field), or the offset estimate for [`TraceEdgeKind::ClockSample`].
+    pub remote_t: f64,
+}
+
 /// The instrumentation facade: counters, gauges, histograms, spans.
 ///
 /// All methods take `&self` so one recorder can be shared by a master
@@ -50,6 +120,23 @@ pub trait Recorder {
     fn span(&self, actor: Actor, activity: Activity, start: f64, end: f64) {
         let _ = (actor, activity, start, end);
     }
+
+    /// Records one distributed-trace edge (a cross-process send/receive
+    /// point or a clock-offset sample). Like every facade hook this is
+    /// observation only — sinks collect edges for the trace-merge step.
+    fn trace_edge(&self, edge: TraceEdge) {
+        let _ = edge;
+    }
+
+    /// Records one black-box flight event: `code` names what happened
+    /// (an `evt.*`/`cmd.*` engine code or a `net.*` frame code), `t` is
+    /// the recording process's clock, and `a`/`b`/`x` are code-specific
+    /// payloads (typically eval id, worker slot, and a float detail).
+    /// Default is a no-op; [`crate::flight::WithFlight`] routes it into a
+    /// fixed-capacity ring for postmortem dumps.
+    fn flight(&self, code: &'static str, t: f64, a: u64, b: u64, x: f64) {
+        let _ = (code, t, a, b, x);
+    }
 }
 
 /// The default sink: every hook is the trait's empty default.
@@ -80,6 +167,11 @@ impl MetricsSnapshot {
     /// index order**. Because merge order is fixed, the merged snapshot —
     /// and every export derived from it — is bit-identical regardless of
     /// how many workers ran the jobs.
+    /// Schema stability: every key present in *either* side survives the
+    /// merge — zero-count histograms and gauges that were set and later
+    /// reset to a neutral value are carried through rather than elided —
+    /// so the merged JSONL line set is identical across `jobs=1` and
+    /// `jobs=N` partitionings of the same work.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, delta) in &other.counters {
             *self.counters.entry(name).or_insert(0) += delta;
@@ -91,6 +183,34 @@ impl MetricsSnapshot {
             self.histograms.entry(name).or_default().merge(hist);
         }
     }
+
+    /// The change from `prev` (an earlier snapshot of the same recorder)
+    /// to `self`: counters subtract, histograms bucket-diff (see
+    /// [`Histogram::diff`]), gauges report their current value.
+    ///
+    /// Every key of `self` is present in the delta even when nothing
+    /// changed — the live metrics tap relies on a stable per-tick schema,
+    /// so zero-delta counters and zero-count histograms are kept, not
+    /// dropped.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (name, value) in &self.counters {
+            let before = prev.counters.get(name).copied().unwrap_or(0);
+            out.counters.insert(name, value.saturating_sub(before));
+        }
+        for (name, value) in &self.gauges {
+            out.gauges.insert(name, *value);
+        }
+        for (name, hist) in &self.histograms {
+            let before = prev.histograms.get(name);
+            let diff = match before {
+                Some(b) => hist.diff(b),
+                None => hist.clone(),
+            };
+            out.histograms.insert(name, diff);
+        }
+        out
+    }
 }
 
 #[derive(Debug, Default)]
@@ -100,6 +220,7 @@ struct Store {
     histograms: BTreeMap<&'static str, Histogram>,
     spans: Vec<Span>,
     dropped_spans: u64,
+    trace_edges: Vec<TraceEdge>,
 }
 
 /// The collecting sink: concurrent (`&self`, internally mutex-guarded)
@@ -175,6 +296,16 @@ impl InMemoryRecorder {
     pub fn dropped_spans(&self) -> u64 {
         self.store().dropped_spans
     }
+
+    /// Copies out the distributed-trace edges recorded so far.
+    pub fn trace_edges(&self) -> Vec<TraceEdge> {
+        self.store().trace_edges.clone()
+    }
+
+    /// Moves the recorded trace edges out (collection continues after).
+    pub fn take_trace_edges(&self) -> Vec<TraceEdge> {
+        std::mem::take(&mut self.store().trace_edges)
+    }
 }
 
 impl Recorder for InMemoryRecorder {
@@ -218,6 +349,10 @@ impl Recorder for InMemoryRecorder {
         } else {
             s.dropped_spans += 1;
         }
+    }
+
+    fn trace_edge(&self, edge: TraceEdge) {
+        self.store().trace_edges.push(edge);
     }
 }
 
@@ -308,6 +443,117 @@ mod tests {
             merged.histograms["t_f_seconds"].count(),
             whole.histograms["t_f_seconds"].count()
         );
+    }
+
+    #[test]
+    fn merge_keeps_zero_count_histograms_and_reset_gauges() {
+        // jobs=N regression: a job whose histogram ended up empty (e.g. a
+        // replicate that observed nothing into it) and a gauge that was
+        // set then reset to a neutral value must still appear in the
+        // merged snapshot, or the per-replicate JSONL schema would differ
+        // between jobs=1 and jobs=N.
+        let mut empty_hist = MetricsSnapshot::default();
+        empty_hist
+            .histograms
+            .insert("t_c_seconds", Histogram::new());
+        empty_hist.gauges.insert("engine.outstanding", 0.0);
+
+        let mut merged = MetricsSnapshot::default();
+        merged.merge(&empty_hist);
+        assert!(merged.histograms.contains_key("t_c_seconds"));
+        assert_eq!(merged.histograms["t_c_seconds"].count(), 0);
+        assert_eq!(merged.gauges["engine.outstanding"], 0.0);
+
+        // And a later shard with data folds into the placeholder.
+        let b = InMemoryRecorder::new();
+        b.observe("t_c_seconds", 0.5);
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.histograms["t_c_seconds"].count(), 1);
+    }
+
+    #[test]
+    fn merge_order_only_affects_gauges_not_schema() {
+        // Merge-ordering regression: the key *set* (the JSONL schema) is
+        // order-independent; only gauge values follow merge order
+        // (last-write-wins by contract).
+        let a = InMemoryRecorder::new();
+        a.counter("engine.evaluations", 1);
+        a.gauge("engine.outstanding", 3.0);
+        a.observe("t_f_seconds", 1.0);
+        let b = InMemoryRecorder::new();
+        b.counter("engine.reissues", 1);
+        b.gauge("engine.outstanding", 0.0);
+        b.observe("t_c_seconds", 0.1);
+
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+
+        assert_eq!(
+            ab.counters.keys().collect::<Vec<_>>(),
+            ba.counters.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            ab.gauges.keys().collect::<Vec<_>>(),
+            ba.gauges.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            ab.histograms.keys().collect::<Vec<_>>(),
+            ba.histograms.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(ab.counters, ba.counters);
+        // Gauge values differ by order — by contract, not by accident.
+        assert_eq!(ab.gauges["engine.outstanding"], 0.0);
+        assert_eq!(ba.gauges["engine.outstanding"], 3.0);
+    }
+
+    #[test]
+    fn delta_since_keeps_stable_schema() {
+        let rec = InMemoryRecorder::new();
+        rec.counter("net.frames_sent", 5);
+        rec.gauge("engine.outstanding", 2.0);
+        rec.observe("t_f_seconds", 1.0);
+        let first = rec.snapshot();
+
+        // Nothing new for t_f; a new counter appears.
+        rec.counter("net.frames_sent", 3);
+        let second = rec.snapshot();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.counters["net.frames_sent"], 3);
+        assert_eq!(delta.histograms["t_f_seconds"].count(), 0);
+        assert!(delta.gauges.contains_key("engine.outstanding"));
+        // Same keys as the full snapshot — the tap's schema guarantee.
+        assert_eq!(
+            delta.counters.keys().collect::<Vec<_>>(),
+            second.counters.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            delta.histograms.keys().collect::<Vec<_>>(),
+            second.histograms.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trace_edges_accumulate_and_drain() {
+        let rec = InMemoryRecorder::new();
+        rec.trace_edge(TraceEdge {
+            kind: TraceEdgeKind::DispatchSent,
+            trace_id: 7,
+            eval_id: 7,
+            attempt: 0,
+            worker: 1,
+            local_t: 0.5,
+            remote_t: 0.0,
+        });
+        assert_eq!(rec.trace_edges().len(), 1);
+        let drained = rec.take_trace_edges();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].kind, TraceEdgeKind::DispatchSent);
+        assert!(rec.trace_edges().is_empty());
+        // The noop sink ignores edges and flight events silently.
+        NoopRecorder.trace_edge(drained[0]);
+        NoopRecorder.flight("evt.result_arrived", 1.0, 7, 1, 0.0);
     }
 
     #[test]

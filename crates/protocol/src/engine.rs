@@ -32,6 +32,51 @@ fn event_metric(e: &Event) -> &'static str {
     }
 }
 
+/// Flight-recorder coordinates of a [`Command`]: `(worker, eval_id, x)`
+/// with `u64::MAX` for "not applicable" and the dispatch attempt in `x`.
+fn command_coords(c: &Command) -> (u64, u64, f64) {
+    match c {
+        Command::Dispatch {
+            worker,
+            eval_id,
+            attempt,
+        } => (*worker as u64, *eval_id, f64::from(*attempt)),
+        Command::Consume { worker, eval_id } | Command::SuppressDuplicate { worker, eval_id } => {
+            (*worker as u64, *eval_id, 0.0)
+        }
+        Command::Ping { worker } | Command::RetireWorker { worker } => {
+            (*worker as u64, u64::MAX, 0.0)
+        }
+        Command::Abandon { eval_id } => (u64::MAX, *eval_id, 0.0),
+        Command::RearmHeartbeat | Command::Finish => (u64::MAX, u64::MAX, 0.0),
+    }
+}
+
+/// Flight-recorder coordinates of an [`Event`]: `(at, worker, eval_id)`.
+fn event_coords(e: &Event) -> (f64, u64, u64) {
+    match e {
+        Event::ResultArrived {
+            worker,
+            eval_id,
+            at,
+        } => (*at, *worker as u64, *eval_id),
+        Event::DeadlineFired {
+            eval_id,
+            worker,
+            at,
+            ..
+        } => (*at, *worker as u64, *eval_id),
+        Event::HeartbeatTick { at } => (*at, u64::MAX, u64::MAX),
+        Event::WorkerDied {
+            worker,
+            at,
+            lost_eval,
+            ..
+        } => (*at, *worker as u64, lost_eval.unwrap_or(u64::MAX)),
+        Event::WorkerRespawned { worker, at } => (*at, *worker as u64, u64::MAX),
+    }
+}
+
 /// Asynchronous pipeline vs generational barrier — the protocol-level
 /// distinction the paper studies (its Fig. 1 topologies), expressed as a
 /// mode of one engine rather than separate implementations.
@@ -233,6 +278,11 @@ pub struct MasterEngine {
     finished: bool,
     log: FaultLog,
     commands: Option<Vec<Command>>,
+    // Timestamp of the event being handled, stamped onto the flight
+    // record of every command it causes. Observability-only: excluded
+    // from `state_digest` (it is derived from the event stream, never
+    // consulted by a decision).
+    flight_now: f64,
     // Mutation hook for the model checker's self-test: when false, the
     // duplicate-suppression check in `handle_arrival` is skipped, which
     // must make `borg-mc` report a double-consume violation.
@@ -265,6 +315,7 @@ impl MasterEngine {
             finished: false,
             log: FaultLog::default(),
             commands: None,
+            flight_now: 0.0,
             suppress_duplicates: true,
         }
     }
@@ -296,6 +347,8 @@ impl MasterEngine {
 
     fn emit<R: Recorder + ?Sized>(&mut self, rec: &R, c: Command) {
         rec.counter(command_metric(&c), 1);
+        let (worker, eval_id, x) = command_coords(&c);
+        rec.flight(command_metric(&c), self.flight_now, worker, eval_id, x);
         if let Some(cs) = self.commands.as_mut() {
             cs.push(c);
         }
@@ -435,6 +488,7 @@ impl MasterEngine {
     /// never influences the protocol (pass [`borg_obs::NoopRecorder`] for
     /// a free no-op).
     pub fn seed<T: Transport, R: Recorder + ?Sized>(&mut self, t: &mut T, rec: &R) {
+        self.flight_now = t.now();
         for w in 0..self.config.workers {
             let id = self.next_eval;
             self.next_eval += 1;
@@ -469,6 +523,9 @@ impl MasterEngine {
             return;
         }
         rec.counter(event_metric(&event), 1);
+        let (at, fw, fe) = event_coords(&event);
+        rec.flight(event_metric(&event), at, fw, fe, 0.0);
+        self.flight_now = at;
         match event {
             Event::ResultArrived {
                 worker,

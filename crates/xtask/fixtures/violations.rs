@@ -125,7 +125,25 @@ fn drop_the_read_deadline(stream: &TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(None) //~ BORG-L013
 }
 
+// BORG-L014: recorder metric names are 'static lowercase dotted literals.
+fn dynamic_metric_names(rec: &dyn Recorder, worker: usize) {
+    rec.counter(&format!("net.worker{worker}.frames"), 1); //~ BORG-L014
+    rec.observe(&format!("rtt_{worker}"), 0.5); //~ BORG-L014
+    rec.gauge("engine.Outstanding", 3.0); //~ BORG-L014
+    rec.flight("net.worker-death", 0.0, 0, 0, 0.0); //~ BORG-L014
+}
+
 // --- escapes that must NOT be reported ---------------------------------
+
+// Catalogue consts, helper-resolved names, literal lowercase dotted
+// names, and value-first histogram sinks all satisfy BORG-L014.
+fn well_formed_metric_names(rec: &dyn Recorder, hist: &mut Histogram, e: &Event) {
+    rec.counter(metrics::FRAMES_SENT, 1);
+    rec.counter(event_metric(e), 1);
+    rec.observe("engine.deadline_slack_seconds", 0.25);
+    rec.gauge("t_a_seconds", 0.0001);
+    hist.observe(0.25);
+}
 
 fn allowlisted() -> u32 {
     let fine = Some(1).unwrap(); // borg-lint: allow(BORG-L001)

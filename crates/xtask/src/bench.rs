@@ -102,6 +102,76 @@ pub fn run(root: &Path) -> Result<BenchReport, String> {
     Ok(BenchReport { groups, out_path })
 }
 
+/// One group's baseline-vs-current comparison (`--compare`).
+#[derive(Debug)]
+pub struct CompareRow {
+    pub group: &'static str,
+    pub baseline_ns: u128,
+    pub current_ns: u128,
+    /// Percent change vs baseline (positive = slower).
+    pub delta_pct: f64,
+    /// Whether the slowdown exceeds the configured tolerance.
+    pub regressed: bool,
+}
+
+/// Diffs a fresh [`BenchReport`] against a committed trajectory file
+/// (the `BENCH_runner.json` of the last blessed run). A group regresses
+/// when its median slows by more than `max_regress_pct` percent.
+pub fn compare(
+    baseline: &str,
+    report: &BenchReport,
+    max_regress_pct: f64,
+) -> Result<Vec<CompareRow>, String> {
+    let mut rows = Vec::new();
+    for &(group, current_ns, _) in &report.groups {
+        let baseline_ns = baseline_median(baseline, group).ok_or_else(|| {
+            format!(
+                "baseline has no `{group}` group median; re-bless the trajectory \
+                 with `cargo xtask bench`"
+            )
+        })?;
+        let delta_pct = if baseline_ns == 0 {
+            0.0
+        } else {
+            (current_ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
+        };
+        rows.push(CompareRow {
+            group,
+            baseline_ns,
+            current_ns,
+            delta_pct,
+            regressed: delta_pct > max_regress_pct,
+        });
+    }
+    Ok(rows)
+}
+
+/// Folds a re-measurement into `rows`, keeping the faster sample per group.
+/// A busy machine can skew one measurement past the tolerance; a true
+/// regression reproduces, so a group only stays regressed when both runs
+/// flagged it.
+pub fn keep_faster(rows: &mut [CompareRow], retry: &[CompareRow]) {
+    for (row, again) in rows.iter_mut().zip(retry) {
+        if again.current_ns < row.current_ns {
+            row.current_ns = again.current_ns;
+            row.delta_pct = again.delta_pct;
+            row.regressed = again.regressed;
+        }
+    }
+}
+
+/// Extracts one group's `median_ns_per_op` from a trajectory file.
+fn baseline_median(text: &str, group: &str) -> Option<u128> {
+    let pat = format!("\"{group}\": {{");
+    let rest = &text[text.find(&pat)? + pat.len()..];
+    let rest = &rest[rest.find("\"median_ns_per_op\":")? + "\"median_ns_per_op\":".len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Parses the stand-in criterion's JSONL stream. The lines are produced by
 /// workspace code, so a forgiving field scan beats a JSON dependency.
 fn parse_samples(text: &str) -> Result<Vec<Sample>, String> {
@@ -168,5 +238,56 @@ mod tests {
         assert!(parse_samples("not json\n").is_err());
         assert!(parse_samples("").is_err());
         assert!(parse_samples("{\"id\":\"a/b\",\"group\":\"a\"}\n").is_err());
+    }
+
+    fn report(groups: Vec<(&'static str, u128, usize)>) -> BenchReport {
+        BenchReport {
+            groups,
+            out_path: std::path::PathBuf::from("BENCH_runner.json"),
+        }
+    }
+
+    const BASELINE: &str = "{\n  \"schema\": \"borg-bench-trajectory/v1\",\n  \"groups\": {\n    \
+        \"protocol\": {\n      \"median_ns_per_op\": 1000,\n      \"benches\": {\n      }\n    },\n    \
+        \"obs\": {\n      \"median_ns_per_op\": 200,\n      \"benches\": {\n      }\n    }\n  }\n}\n";
+
+    #[test]
+    fn compare_flags_only_regressions_past_the_tolerance() {
+        // protocol +20% (regression at 10% tolerance), obs -50% (never).
+        let rows = compare(
+            BASELINE,
+            &report(vec![("protocol", 1200, 3), ("obs", 100, 2)]),
+            10.0,
+        )
+        .expect("compare");
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].regressed && rows[0].delta_pct > 19.0);
+        assert!(!rows[1].regressed && rows[1].delta_pct < 0.0);
+        // The same +20% within a 25% tolerance passes.
+        let rows = compare(BASELINE, &report(vec![("protocol", 1200, 3)]), 25.0).expect("compare");
+        assert!(!rows[0].regressed);
+    }
+
+    #[test]
+    fn keep_faster_clears_a_regression_that_does_not_reproduce() {
+        // First sample +20% (regressed), retry -2%: noise, cleared.
+        let mut rows = compare(BASELINE, &report(vec![("protocol", 1200, 3)]), 10.0).unwrap();
+        let retry = compare(BASELINE, &report(vec![("protocol", 980, 3)]), 10.0).unwrap();
+        keep_faster(&mut rows, &retry);
+        assert!(!rows[0].regressed);
+        assert_eq!(rows[0].current_ns, 980);
+
+        // Both samples past the bar: the regression stands, faster one kept.
+        let mut rows = compare(BASELINE, &report(vec![("protocol", 1300, 3)]), 10.0).unwrap();
+        let retry = compare(BASELINE, &report(vec![("protocol", 1250, 3)]), 10.0).unwrap();
+        keep_faster(&mut rows, &retry);
+        assert!(rows[0].regressed);
+        assert_eq!(rows[0].current_ns, 1250);
+    }
+
+    #[test]
+    fn compare_rejects_a_baseline_missing_the_group() {
+        let err = compare(BASELINE, &report(vec![("net", 10, 1)]), 10.0).unwrap_err();
+        assert!(err.contains("`net`"), "unhelpful error: {err}");
     }
 }

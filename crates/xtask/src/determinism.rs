@@ -18,7 +18,10 @@
 //! an [`InMemoryRecorder`] must be bit-identical (archive, virtual clock,
 //! fault ledger) to the same-seed run with the no-op recorder. Recorders
 //! receive values and never influence control flow; this arm is what makes
-//! that a tested guarantee instead of a comment.
+//! that a tested guarantee instead of a comment. The arm also straps the
+//! black-box [`FlightRecorder`] onto two same-seed fault-replay runs and
+//! demands byte-identical dumps: under virtual time the ring content is a
+//! pure function of the seed, so the black box is itself deterministic.
 //!
 //! A fourth arm checks the parallel-runner contract: the same smoke-scale
 //! Table II and fault sweeps run with `jobs = 1` and `jobs = 4` must
@@ -32,7 +35,11 @@
 //! `FaultPlan` — must produce a fault ledger, recovery actions, virtual
 //! clock, and final archive bit-identical to the DES fault oracle (the
 //! fault-replay arm above), with the proxy's wire-side ledger matching
-//! the oracle's injections kind for kind.
+//! the oracle's injections kind for kind. That run carries the *full*
+//! observability stack — tracing recorder, flight ring, and a live
+//! metrics tap with a real subscriber draining delta frames — so the
+//! bit-identity it demands doubles as proof that none of it perturbs
+//! the algorithm.
 
 use borg_core::algorithm::BorgConfig;
 use borg_core::problem::Problem;
@@ -42,12 +49,16 @@ use borg_experiments::suite::PaperProblem;
 use borg_experiments::table2::{render_table2, run_table2_with, Table2Config};
 use borg_models::dist::Dist;
 use borg_net::chaos::{run_chaos_loopback, ChaosConfig};
+use borg_net::tap::{tap_loop, TapConfig};
+use borg_net::{connect_with_backoff, Backoff, Conn, Msg, NetAddr, NetListener};
 use borg_obs::export::metrics_jsonl;
-use borg_obs::{InMemoryRecorder, NoopRecorder, Recorder};
+use borg_obs::{FlightRecorder, InMemoryRecorder, NoopRecorder, Recorder, WithFlight};
 use borg_parallel::virtual_exec::{
     run_virtual_async, run_virtual_async_faulty, TaMode, VirtualConfig, VirtualRunResult,
 };
 use borg_problems::dtlz::Dtlz;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// Summary of a passing determinism check.
 pub struct DeterminismReport {
@@ -70,12 +81,18 @@ pub struct DeterminismReport {
     pub parallel_rows: usize,
     /// Metrics-JSONL lines compared byte-for-byte by the same arm.
     pub parallel_jsonl_lines: usize,
+    /// Events the black-box flight ring recorded during the fault-replay
+    /// arm (two same-seed runs must dump byte-identical black boxes).
+    pub flight_events: u64,
     /// Result frames the networked chaos arm consumed off real sockets
     /// while staying bit-identical to the DES fault oracle.
     pub net_wire_results: u64,
     /// Faults the chaos proxy physically enacted on the wire in that run
     /// (matched kind-for-kind against the oracle's ledger).
     pub net_wire_faults: usize,
+    /// Live-tap delta frames a real subscriber drained during the
+    /// networked chaos arm (the tap must stream without perturbing).
+    pub tap_frames: u64,
 }
 
 fn run_once(seed: u64) -> VirtualRunResult {
@@ -226,14 +243,22 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
         ));
     }
 
+    // Flight-recorder arm: strap the black box (tracing recorder + flight
+    // ring) onto two more same-seed fault-replay runs. Both must stay
+    // bit-identical to the oracle above, and — because the DES is
+    // single-threaded virtual time — the two rings must dump
+    // byte-identical JSONL.
+    let flight_events = flight_arm(seed, &fa)?;
+
     // Parallel-runner arm: the work-stealing sweep contract. `--jobs 1`
     // and `--jobs 4` must yield byte-identical experiment outputs.
     let (parallel_rows, parallel_jsonl_lines) = parallel_runner_arm()?;
 
     // Networked arm: the same faulty run over real Unix-domain sockets
     // with the chaos proxy enacting the plan must match the DES oracle
-    // (the fault-replay run above) bit for bit.
-    let (net_wire_results, net_wire_faults) = networked_chaos_arm(seed, &fa)?;
+    // (the fault-replay run above) bit for bit — with the full
+    // observability stack (tracing + flight ring + live tap) attached.
+    let (net_wire_results, net_wire_faults, tap_frames) = networked_chaos_arm(seed, &fa)?;
 
     let golden = crate::golden::check(root)?;
 
@@ -247,16 +272,61 @@ pub fn run(root: &std::path::Path) -> Result<DeterminismReport, String> {
         recorder_evals,
         parallel_rows,
         parallel_jsonl_lines,
+        flight_events,
         net_wire_results,
         net_wire_faults,
+        tap_frames,
     })
 }
 
+/// Runs the fault-replay configuration twice with a [`FlightRecorder`]
+/// ring layered over a tracing recorder; demands both runs bit-identical
+/// to `oracle` and the two black-box dumps byte-identical. Returns the
+/// events recorded per run.
+fn flight_arm(seed: u64, oracle: &VirtualRunResult) -> Result<u64, String> {
+    let fly = |label: &str| -> Result<(u64, String), String> {
+        let rec = InMemoryRecorder::new();
+        let ring = FlightRecorder::new(4096);
+        let run = run_once_faulty_observed(seed, &WithFlight::new(&rec, &ring));
+        diff_runs(label, oracle, &run)?;
+        Ok((ring.recorded(), ring.dump_jsonl("shutdown")))
+    };
+    let (events, dump_a) = fly("flight-attach")?;
+    let (_, dump_b) = fly("flight-attach (second run)")?;
+    if events == 0 {
+        return Err(
+            "flight arm recorded zero events; the engine's flight hooks are lost".to_string(),
+        );
+    }
+    if dump_a != dump_b {
+        let diverged = dump_a
+            .lines()
+            .zip(dump_b.lines())
+            .enumerate()
+            .find(|(_, (x, y))| x != y);
+        return Err(match diverged {
+            Some((n, (x, y))) => format!(
+                "flight arm: black-box dumps diverged at line {}: `{x}` vs `{y}`",
+                n + 1
+            ),
+            None => format!(
+                "flight arm: black-box dump line counts diverged: {} vs {}",
+                dump_a.lines().count(),
+                dump_b.lines().count()
+            ),
+        });
+    }
+    Ok(events)
+}
+
 /// Runs the chaos-mode networked loopback (in-process workers over Unix
-/// sockets, faults physically enacted by the proxy) and demands
-/// bit-identity with the DES fault oracle; returns (result frames
-/// consumed off the wire, faults enacted on the wire).
-fn networked_chaos_arm(seed: u64, oracle: &VirtualRunResult) -> Result<(u64, usize), String> {
+/// sockets, faults physically enacted by the proxy) under the full
+/// observability stack — tracing [`InMemoryRecorder`], black-box
+/// [`FlightRecorder`] ring, and a live metrics tap with a real
+/// subscriber draining delta frames — and demands bit-identity with the
+/// DES fault oracle; returns (result frames consumed off the wire,
+/// faults enacted on the wire, tap frames the subscriber drained).
+fn networked_chaos_arm(seed: u64, oracle: &VirtualRunResult) -> Result<(u64, usize, u64), String> {
     let problem = Dtlz::dtlz2_5();
     let config = gate_config(seed);
     let workers = (config.processors - 1) as usize;
@@ -264,17 +334,72 @@ fn networked_chaos_arm(seed: u64, oracle: &VirtualRunResult) -> Result<(u64, usi
     let resolve = |name: &str| -> Option<Box<dyn Problem>> {
         (name == "dtlz2-5").then(|| Box::new(Dtlz::dtlz2_5()) as Box<dyn Problem>)
     };
-    let net = run_chaos_loopback(
-        &problem,
-        BorgConfig::new(5, 0.06),
-        &config,
-        &gate_faults(),
-        &chaos,
-        "dtlz2-5",
-        &resolve,
-        &NoopRecorder,
-    )
-    .map_err(|e| format!("networked arm: chaos loopback run failed: {e}"))?;
+    let rec = InMemoryRecorder::new();
+    let ring = FlightRecorder::new(4096);
+    let observed = WithFlight::new(&rec, &ring);
+    let tap_path =
+        std::env::temp_dir().join(format!("borg-determinism-tap-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&tap_path);
+    let tap_addr = NetAddr::Unix(tap_path.clone());
+    let tap_cfg = TapConfig {
+        listen: tap_addr.clone(),
+        interval: Duration::from_millis(10),
+        read_timeout: Duration::from_millis(5),
+    };
+    let listener = NetListener::bind(&tap_addr)
+        .map_err(|e| format!("networked arm: bind tap listener: {e}"))?;
+    let stop = AtomicBool::new(false);
+    let (net, tap_frames) = std::thread::scope(|scope| {
+        let tap = scope.spawn(|| tap_loop(&listener, &tap_cfg, &|| rec.snapshot(), &stop, &rec));
+        let sub = scope.spawn(|| {
+            let mut backoff = Backoff::default_schedule();
+            let Ok(stream) =
+                connect_with_backoff(&tap_addr, &mut backoff, Duration::from_millis(250))
+            else {
+                return 0u64;
+            };
+            let mut conn = Conn::new(stream);
+            let mut frames = 0u64;
+            loop {
+                // `Ok(None)` is a read-timeout tick; the tap severing the
+                // subscriber at shutdown surfaces as `Err`.
+                match conn.recv() {
+                    Ok(Some(Msg::Tap { .. })) => frames += 1,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            frames
+        });
+        let net = run_chaos_loopback(
+            &problem,
+            BorgConfig::new(5, 0.06),
+            &config,
+            &gate_faults(),
+            &chaos,
+            "dtlz2-5",
+            &resolve,
+            &observed,
+        );
+        stop.store(true, Ordering::SeqCst);
+        let _ = tap.join();
+        let tap_frames = sub.join().unwrap_or(0);
+        (net, tap_frames)
+    });
+    let _ = std::fs::remove_file(&tap_path);
+    let net = net.map_err(|e| format!("networked arm: chaos loopback run failed: {e}"))?;
+    if ring.recorded() == 0 {
+        return Err(
+            "networked arm: the flight ring recorded nothing; net.* flight hooks lost?".to_string(),
+        );
+    }
+    if tap_frames == 0 {
+        return Err(
+            "networked arm: the live-tap subscriber drained zero delta frames; \
+             the tap never ticked"
+                .to_string(),
+        );
+    }
 
     if let Some(why) = &net.degraded {
         return Err(format!(
@@ -346,7 +471,7 @@ fn networked_chaos_arm(seed: u64, oracle: &VirtualRunResult) -> Result<(u64, usi
             ));
         }
     }
-    Ok((net.wire_results, net.wire_log.injected()))
+    Ok((net.wire_results, net.wire_log.injected(), tap_frames))
 }
 
 /// One jobs-setting's rendered sweep outputs, plus bit-exact row
@@ -514,6 +639,10 @@ mod tests {
             report.parallel_jsonl_lines > 0,
             "parallel-runner arm must compare metrics lines"
         );
+        assert!(
+            report.flight_events > 0,
+            "flight arm must record black-box events"
+        );
         assert_eq!(
             report.net_wire_results, report.nfe,
             "networked arm must pull every evaluation off the wire"
@@ -521,6 +650,10 @@ mod tests {
         assert!(
             report.net_wire_faults > 0,
             "networked arm must physically enact faults"
+        );
+        assert!(
+            report.tap_frames > 0,
+            "the live-tap subscriber must drain delta frames"
         );
     }
 

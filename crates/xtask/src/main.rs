@@ -63,7 +63,7 @@ fn print_help() {
          USAGE:\n\
          \x20   cargo xtask check [--json] [--determinism] [--self-test] [--list]\n\
          \x20   cargo xtask golden --bless\n\
-         \x20   cargo xtask bench\n\
+         \x20   cargo xtask bench [--compare FILE [--max-regress PCT]]\n\
          \x20   cargo xtask mc [--smoke] [--depth N] [--json]\n\
          \n\
          FLAGS:\n\
@@ -80,7 +80,10 @@ fn print_help() {
          SUBCOMMANDS:\n\
          \x20   bench           run the smoke criterion groups (protocol,\n\
          \x20                   faults, obs, runner, mc, net) and write\n\
-         \x20                   BENCH_runner.json with median ns/op per group\n\
+         \x20                   BENCH_runner.json with median ns/op per group;\n\
+         \x20                   --compare diffs against a blessed trajectory\n\
+         \x20                   file and fails on > --max-regress % slowdowns\n\
+         \x20                   (a suspected regression is re-measured once)\n\
          \x20   mc              explore every event-delivery schedule into the\n\
          \x20                   protocol engine (borg-mc): --smoke runs the CI\n\
          \x20                   subset, --depth caps deliveries per schedule\n\
@@ -93,16 +96,74 @@ fn print_help() {
 }
 
 fn bench_command(args: &[String]) -> Result<ExitCode, String> {
-    if !args.is_empty() {
-        return Err("usage: cargo xtask bench".to_string());
+    let usage = "usage: cargo xtask bench [--compare FILE [--max-regress PCT]]";
+    let mut compare_path: Option<std::path::PathBuf> = None;
+    let mut max_regress = 10.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--compare" => {
+                compare_path = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--compare needs a baseline file")?,
+                ))
+            }
+            "--max-regress" => {
+                max_regress = it
+                    .next()
+                    .ok_or("--max-regress needs a percent")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress: {e}"))?
+            }
+            other => return Err(format!("{usage} (got `{other}`)")),
+        }
     }
     let root = files::workspace_root()?;
+    // Read the baseline up front: the committed trajectory file is the
+    // usual baseline, and the run below overwrites it.
+    let baseline = match &compare_path {
+        Some(path) => Some(
+            std::fs::read_to_string(root.join(path))
+                .map_err(|e| format!("read baseline {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
     let report = bench::run(&root)?;
     for (group, median_ns, benches) in &report.groups {
         println!("bench trajectory: {group:<10} median {median_ns:>12} ns/op ({benches} benches)");
     }
     println!("wrote {}", report.out_path.display());
-    Ok(ExitCode::SUCCESS)
+    let Some(baseline) = baseline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let mut rows = bench::compare(&baseline, &report, max_regress)?;
+    if rows.iter().any(|r| r.regressed) {
+        // A busy machine can skew a single measurement past the bar; a true
+        // regression reproduces. Re-measure once and keep the faster sample.
+        println!("bench compare: regression suspected; re-measuring once to rule out noise");
+        let retry_report = bench::run(&root)?;
+        let retry = bench::compare(&baseline, &retry_report, max_regress)?;
+        bench::keep_faster(&mut rows, &retry);
+    }
+    let mut regressed = false;
+    for r in &rows {
+        let verdict = if r.regressed {
+            regressed = true;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "bench compare: {:<10} {:>12} -> {:>12} ns/op ({:+.1}%){verdict}",
+            r.group, r.baseline_ns, r.current_ns, r.delta_pct
+        );
+    }
+    if regressed {
+        println!("bench FAIL: group median slowed more than {max_regress}% vs the baseline");
+        Ok(ExitCode::from(1))
+    } else {
+        println!("bench compare OK: no group slowed more than {max_regress}%");
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn golden_command(args: &[String]) -> Result<ExitCode, String> {
@@ -215,8 +276,10 @@ fn print_human(
             "determinism OK: seed-identical archives ({} members, NFE {}, virtual {:.4}s); \
              fault replay identical ({} injected, {} reissues); \
              recorder-attached run identical ({} evals observed); \
+             flight dumps byte-identical ({} events); \
              jobs=1 ≡ jobs=4 sweeps ({} rows, {} metrics lines byte-identical); \
-             networked chaos loopback ≡ DES oracle ({} wire results, {} wire faults); \
+             networked chaos loopback ≡ DES oracle ({} wire results, {} wire faults, \
+             {} live-tap frames); \
              golden cells match ({} rows)",
             d.archive_size,
             d.nfe,
@@ -224,10 +287,12 @@ fn print_human(
             d.faults_injected,
             d.fault_reissues,
             d.recorder_evals,
+            d.flight_events,
             d.parallel_rows,
             d.parallel_jsonl_lines,
             d.net_wire_results,
             d.net_wire_faults,
+            d.tap_frames,
             d.golden_rows
         ),
         Some(Err(e)) => println!("determinism FAIL: {e}"),
@@ -259,18 +324,21 @@ fn print_json(
         Some(Ok(d)) => out.push_str(&format!(
             ",\"determinism\":{{\"ok\":true,\"archive_size\":{},\"nfe\":{},\"elapsed\":{},\
              \"faults_injected\":{},\"fault_reissues\":{},\"recorder_evals\":{},\
-             \"parallel_rows\":{},\"parallel_jsonl_lines\":{},\
-             \"net_wire_results\":{},\"net_wire_faults\":{},\"golden_rows\":{}}}",
+             \"flight_events\":{},\"parallel_rows\":{},\"parallel_jsonl_lines\":{},\
+             \"net_wire_results\":{},\"net_wire_faults\":{},\"tap_frames\":{},\
+             \"golden_rows\":{}}}",
             d.archive_size,
             d.nfe,
             d.elapsed,
             d.faults_injected,
             d.fault_reissues,
             d.recorder_evals,
+            d.flight_events,
             d.parallel_rows,
             d.parallel_jsonl_lines,
             d.net_wire_results,
             d.net_wire_faults,
+            d.tap_frames,
             d.golden_rows
         )),
         Some(Err(e)) => out.push_str(&format!(

@@ -1,6 +1,6 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Thirteen workspace-specific correctness rules run over the token stream
+//! Fourteen workspace-specific correctness rules run over the token stream
 //! from [`crate::lexer`] and the brace-matched item tree from
 //! [`crate::itemtree`]:
 //!
@@ -70,6 +70,15 @@
 //!   unguarded read blocks forever when the peer hangs, which is exactly
 //!   the fault the chaos proxy injects. Extends BORG-L006's
 //!   no-unbounded-wait contract to the wire.
+//! * **BORG-L014** — metric names fed to the `borg_obs::Recorder` hooks
+//!   (`.counter(..)`, `.gauge(..)`, `.observe(..)`, `.flight(..)`) in
+//!   library code must be `'static` lowercase dotted literals (or
+//!   consts/helpers that resolve to one, e.g. the `metrics::*` catalogue
+//!   or `event_metric(..)`), never `format!`-built strings. Dynamic
+//!   names defeat the stable-schema tap deltas, the metric catalogue
+//!   docs, and the allocation-free flight recorder (whose codes are
+//!   `&'static str` by type — a leaked formatted name would be a memory
+//!   leak per call).
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
 //! on the same line or the line directly above — or, item-wide, by one on
@@ -88,7 +97,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 13] = [
+pub const RULES: [Rule; 14] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -149,6 +158,11 @@ pub const RULES: [Rule; 13] = [
                   connect/accept installs set_read_timeout(Some(..)) before the stream \
                   escapes, and set_read_timeout(None) never removes a deadline",
     },
+    Rule {
+        id: "BORG-L014",
+        summary: "recorder metric names in library code are lowercase dotted 'static \
+                  literals (or catalogue consts); never format!-built strings",
+    },
 ];
 
 /// One reported lint violation.
@@ -183,6 +197,7 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l011(rel_path, class, &lexed, &in_test, &mut found);
     rule_l012(rel_path, class, &lexed.tokens, &items, &in_test, &mut found);
     rule_l013(rel_path, class, &lexed.tokens, &items, &in_test, &mut found);
+    rule_l014(rel_path, class, &lexed.tokens, source, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
     let item_allows = item_allow_ranges(&items, &allows);
@@ -1132,6 +1147,89 @@ fn rule_l013(
 // Token helpers
 // ---------------------------------------------------------------------------
 
+/// The `borg_obs::Recorder` hooks whose first argument is a metric name.
+const L014_METHODS: &[&str] = &["counter", "gauge", "observe", "flight"];
+
+fn rule_l014(
+    rel_path: &str,
+    class: FileClass,
+    tokens: &[Token],
+    source: &str,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Scope: all library code (the catalogue/stable-schema contract is a
+    // library concern; bins and tests may label ad hoc).
+    if class != FileClass::Library {
+        return;
+    }
+    let lines: Vec<&str> = source.lines().collect();
+    for i in 2..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident
+            || !L014_METHODS.contains(&t.text.as_str())
+            || !is_punct(tokens, i - 1, ".")
+            || !is_punct(tokens, i + 1, "(")
+            || in_test(t.line)
+        {
+            continue;
+        }
+        // First token of the name argument (skip a leading borrow).
+        let mut j = i + 2;
+        while is_punct(tokens, j, "&") {
+            j += 1;
+        }
+        let Some(arg) = tokens.get(j) else { continue };
+        if arg.kind == TokenKind::Ident && arg.text == "format" && is_punct(tokens, j + 1, "!") {
+            out.push(Violation {
+                rule: "BORG-L014",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`format!`-built metric name fed to `.{}()`; recorder names must be \
+                     `'static` lowercase dotted literals from the metric catalogue \
+                     (dynamic names break the stable tap schema and would leak per call \
+                     through the allocation-free flight recorder)",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        // A quoted literal (the lexer blanks string/char literal text);
+        // numeric literals (e.g. `Histogram::observe(0.25)`) pass through.
+        if arg.kind == TokenKind::Literal && arg.text.is_empty() {
+            let Some(name) = first_quoted_on_line(&lines, arg.line) else {
+                continue;
+            };
+            let well_formed = !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
+            if !well_formed {
+                out.push(Violation {
+                    rule: "BORG-L014",
+                    file: rel_path.to_string(),
+                    line: arg.line,
+                    message: format!(
+                        "metric name {name:?} fed to `.{}()` is not a lowercase dotted \
+                         literal; recorder names use `[a-z0-9._]` only (see the metric \
+                         catalogue in crates/net/src/metrics.rs and DESIGN §11)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The first double-quoted string on a 1-based source line, if any.
+fn first_quoted_on_line<'a>(lines: &[&'a str], line: u32) -> Option<&'a str> {
+    let text = lines.get(line as usize - 1)?;
+    let start = text.find('"')? + 1;
+    let len = text[start..].find('"')?;
+    Some(&text[start..start + len])
+}
+
 fn is_punct(tokens: &[Token], i: usize, text: &str) -> bool {
     tokens
         .get(i)
@@ -1486,6 +1584,42 @@ mod tests {
         let allowed = "fn probe(a: &str) -> bool { TcpStream::connect(a).is_ok() } \
              // borg-lint: allow(BORG-L013)";
         assert!(in_net(allowed).is_empty());
+    }
+
+    #[test]
+    fn l014_flags_dynamic_and_malformed_metric_names_in_library_code() {
+        // format!-built names are flagged wherever library code records.
+        let dynamic = "fn f(rec: &dyn Recorder, w: usize) \
+                       { rec.counter(&format!(\"net.w{w}\"), 1); }";
+        assert_eq!(rules_at(&check_lib(dynamic)), [("BORG-L014", 1)]);
+        // Malformed literals: uppercase and hyphens are out of charset.
+        let upper = "fn f(rec: &dyn Recorder) { rec.gauge(\"engine.Outstanding\", 1.0); }";
+        assert_eq!(rules_at(&check_lib(upper)), [("BORG-L014", 1)]);
+        let hyphen =
+            "fn f(rec: &dyn Recorder) { rec.flight(\"net.worker-death\", 0.0, 0, 0, 0.0); }";
+        assert_eq!(rules_at(&check_lib(hyphen)), [("BORG-L014", 1)]);
+        // Catalogue consts, helper calls, well-formed literals, and
+        // value-first sinks stay silent.
+        let fine = "fn f(rec: &dyn Recorder, h: &mut Histogram, e: &Event) {\n\
+                    rec.counter(metrics::FRAMES_SENT, 1);\n\
+                    rec.counter(event_metric(e), 1);\n\
+                    rec.observe(\"net.rtt_seconds\", 0.5);\n\
+                    h.observe(0.25);\n}";
+        assert!(check_lib(fine).is_empty());
+        // Bins and tests may label ad hoc.
+        let v = check_source(
+            "crates/experiments/src/bin/borg-exp.rs",
+            FileClass::Bin,
+            dynamic,
+        );
+        assert!(v.is_empty());
+        let tst = "#[cfg(test)]\nmod tests {\n fn t(rec: &dyn Recorder) \
+                   { rec.counter(&format!(\"x{0}\", 1), 1); }\n}";
+        assert!(check_lib(tst).is_empty());
+        // The allowlist escape works.
+        let allowed = "fn f(rec: &dyn Recorder) \
+                       { rec.gauge(\"Legacy.Name\", 1.0); } // borg-lint: allow(BORG-L014)";
+        assert!(check_lib(allowed).is_empty());
     }
 
     #[test]
