@@ -99,6 +99,62 @@ pub struct Candidate {
     pub operator: Option<usize>,
 }
 
+/// Recycling pool for the per-candidate heap buffers that circulate through
+/// the steady-state loop.
+///
+/// Each consumed candidate displaces (or is itself rejected as) exactly one
+/// [`Solution`], whose three buffers (variables, objectives, constraints)
+/// are returned here and handed back out by the next `produce` /
+/// `make_solution_recycled`, so a settled steady-state iteration performs
+/// zero per-candidate heap allocation in the engine.
+#[derive(Debug, Default, Clone)]
+pub struct SolutionArena {
+    buffers: Vec<Vec<f64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SolutionArena {
+    /// Pool-size cap; beyond it returned buffers are simply freed (bounds
+    /// memory when many evaluations are in flight).
+    const MAX_POOLED: usize = 256;
+
+    /// Takes an empty buffer from the pool, or allocates a fresh one.
+    pub fn take(&mut self) -> Vec<f64> {
+        match self.buffers.pop() {
+            Some(buf) => {
+                self.hits += 1;
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared, allocation kept).
+    pub fn give(&mut self, mut buf: Vec<f64>) {
+        if self.buffers.len() < Self::MAX_POOLED {
+            buf.clear();
+            self.buffers.push(buf);
+        }
+    }
+
+    /// Recycles all three buffers of a retired solution.
+    pub fn recycle(&mut self, solution: Solution) {
+        let (vars, objs, cons) = solution.into_parts();
+        self.give(vars);
+        self.give(objs);
+        self.give(cons);
+    }
+
+    /// `(pool hits, pool misses)` across all [`take`](Self::take) calls.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
 /// Why the engine produced a candidate (exposed for instrumentation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -176,7 +232,15 @@ pub struct BorgEngine {
     fill_in_flight: usize,
     phase: Phase,
     profile: TaProfile,
+    /// Buffer pool recycling retired solutions back into new candidates.
+    arena: SolutionArena,
+    /// Reused parent-index buffer for steady-state selection.
+    scratch_parents: Vec<usize>,
 }
+
+/// Maximum operator arity the engine's stack-allocated parent-slice buffer
+/// supports (the standard ensemble tops out at 10 for PCX/SPX/UNDX).
+const MAX_ARITY: usize = 16;
 
 impl BorgEngine {
     /// Creates an engine for `problem` with the given config and seed.
@@ -209,6 +273,8 @@ impl BorgEngine {
             fill_in_flight: 0,
             phase: Phase::InitialFill,
             profile: TaProfile::default(),
+            arena: SolutionArena::default(),
+            scratch_parents: Vec::with_capacity(MAX_ARITY),
         }
     }
 
@@ -254,6 +320,7 @@ impl BorgEngine {
     }
 
     /// Produces the next candidate to evaluate.
+    // borg-lint: hot-path
     pub fn produce(&mut self) -> Candidate {
         self.stats.produced += 1;
         let needed_fill = self
@@ -266,7 +333,8 @@ impl BorgEngine {
                 Phase::InjectionFill if !self.archive.is_empty() => {
                     // Inject: mutate a random archive member with UM(1/L).
                     let i = self.rng.gen_range(0..self.archive.len());
-                    let mut vars = self.archive.solutions()[i].variables().to_vec();
+                    let mut vars = self.arena.take();
+                    vars.extend_from_slice(self.archive.solutions()[i].variables());
                     self.restart_mutation
                         .mutate(&mut vars, &self.bounds, &mut self.rng);
                     vars
@@ -299,25 +367,32 @@ impl BorgEngine {
             0 // SBX+PM only (ablation mode)
         };
         let arity = self.ensemble.operator(op_idx).arity();
+        debug_assert!(arity <= MAX_ARITY, "operator arity exceeds MAX_ARITY");
         let t0 = self.config.profile_ta.then(std::time::Instant::now);
-        let parent_idx: Vec<usize> = (0..arity)
-            .map(|_| {
-                self.population
-                    .tournament_select(self.tournament_size, &mut self.rng)
-            })
-            .collect();
-        let parents: Vec<&[f64]> = parent_idx
-            .iter()
-            .map(|&i| self.population.get(i).variables())
-            .collect();
+        self.scratch_parents.clear();
+        for _ in 0..arity {
+            let idx = self
+                .population
+                .tournament_select(self.tournament_size, &mut self.rng);
+            self.scratch_parents.push(idx);
+        }
+        // Parent slices live on the stack: borrows of the population, which
+        // stays untouched until the offspring is consumed.
+        let mut parent_refs: [&[f64]; MAX_ARITY] = [&[]; MAX_ARITY];
+        for (slot, &i) in parent_refs.iter_mut().zip(&self.scratch_parents) {
+            *slot = self.population.get(i).variables();
+        }
         if let Some(t) = t0 {
             self.profile.selection += t.elapsed().as_secs_f64();
         }
         let t1 = self.config.profile_ta.then(std::time::Instant::now);
-        let variables =
-            self.ensemble
-                .operator(op_idx)
-                .evolve(&parents, &self.bounds, &mut self.rng);
+        let mut variables = self.arena.take();
+        self.ensemble.operator(op_idx).evolve_into(
+            &parent_refs[..arity],
+            &self.bounds,
+            &mut self.rng,
+            &mut variables,
+        );
         if let Some(t) = t1 {
             self.profile.variation += t.elapsed().as_secs_f64();
         }
@@ -331,6 +406,7 @@ impl BorgEngine {
     ///
     /// `solution.operator` should carry the candidate's operator tag so the
     /// archive can credit contributions (use [`Self::make_solution`]).
+    // borg-lint: hot-path
     pub fn consume(&mut self, solution: Solution) {
         debug_assert_eq!(solution.num_objectives(), self.num_objectives);
         self.stats.nfe += 1;
@@ -340,7 +416,7 @@ impl BorgEngine {
             // population and the archive.
             self.fill_in_flight -= 1;
             let t0 = self.config.profile_ta.then(std::time::Instant::now);
-            self.archive.add(solution.clone());
+            self.archive.offer(&solution);
             if let Some(t) = t0 {
                 self.profile.archive += t.elapsed().as_secs_f64();
             }
@@ -356,21 +432,25 @@ impl BorgEngine {
                 self.fill_in_flight -= 1;
             }
             let t0 = self.config.profile_ta.then(std::time::Instant::now);
-            self.archive.add(solution.clone());
+            self.archive.offer(&solution);
             if let Some(t) = t0 {
                 self.profile.archive += t.elapsed().as_secs_f64();
             }
             let t1 = self.config.profile_ta.then(std::time::Instant::now);
-            self.population.offer(solution, &mut self.rng);
+            let (_, retired) = self.population.offer_replacing(solution, &mut self.rng);
             if let Some(t) = t1 {
                 self.profile.population += t.elapsed().as_secs_f64();
+            }
+            // The displaced member (or the rejected offspring) donates its
+            // buffers to the next candidate.
+            if let Some(retired) = retired {
+                self.arena.recycle(retired);
             }
         }
 
         if self.config.adaptation_enabled {
             let t0 = self.config.profile_ta.then(std::time::Instant::now);
-            let credits = self.archive.operator_credits().to_vec();
-            self.ensemble.on_evaluation(&credits);
+            self.ensemble.on_evaluation(self.archive.operator_credits());
             if let Some(t) = t0 {
                 self.profile.adaptation += t.elapsed().as_secs_f64();
             }
@@ -390,9 +470,12 @@ impl BorgEngine {
     /// population without counting a function evaluation.
     pub fn inject(&mut self, solution: Solution) {
         debug_assert_eq!(solution.num_objectives(), self.num_objectives);
-        self.archive.add(solution.clone());
+        self.archive.offer(&solution);
         if self.population.is_full() {
-            self.population.offer(solution, &mut self.rng);
+            let (_, retired) = self.population.offer_replacing(solution, &mut self.rng);
+            if let Some(retired) = retired {
+                self.arena.recycle(retired);
+            }
         } else {
             self.population.fill(solution);
         }
@@ -413,17 +496,51 @@ impl BorgEngine {
         s
     }
 
+    /// As [`Self::make_solution`], copying the objective / constraint values
+    /// into arena-recycled buffers instead of taking freshly allocated ones
+    /// (pairs with evaluators that reuse their own output buffers, e.g.
+    /// [`run_serial`]).
+    // borg-lint: hot-path
+    pub fn make_solution_recycled(
+        &mut self,
+        candidate: Candidate,
+        objectives: &[f64],
+        constraints: &[f64],
+    ) -> Solution {
+        debug_assert_eq!(objectives.len(), self.num_objectives);
+        debug_assert_eq!(constraints.len(), self.num_constraints);
+        let mut objs = self.arena.take();
+        objs.extend_from_slice(objectives);
+        let mut cons = self.arena.take();
+        cons.extend_from_slice(constraints);
+        let mut s = Solution::from_parts(candidate.variables, objs, cons);
+        s.operator = candidate.operator;
+        s
+    }
+
+    /// Hands a retired externally held solution's buffers back to the
+    /// engine's arena (asynchronous executors drop evaluated results they
+    /// no longer need; recycling them keeps the pool primed).
+    pub fn recycle(&mut self, solution: Solution) {
+        self.arena.recycle(solution);
+    }
+
+    /// `(pool hits, pool misses)` of the candidate-buffer arena.
+    pub fn arena_stats(&self) -> (u64, u64) {
+        self.arena.stats()
+    }
+
+    // borg-lint: hot-path
     fn random_variables(&mut self) -> Vec<f64> {
-        self.bounds
-            .iter()
-            .map(|b| {
-                if b.range() > 0.0 {
-                    self.rng.gen_range(b.lower..=b.upper)
-                } else {
-                    b.lower
-                }
-            })
-            .collect()
+        let mut vars = self.arena.take();
+        for b in &self.bounds {
+            vars.push(if b.range() > 0.0 {
+                self.rng.gen_range(b.lower..=b.upper)
+            } else {
+                b.lower
+            });
+        }
+        vars
     }
 
     /// Stagnation / ratio check; triggers a restart when needed.
@@ -455,10 +572,12 @@ impl BorgEngine {
             .max(self.config.initial_population_size);
         self.population.resize(target, &mut self.rng);
         self.population.clear();
-        for s in self.archive.solutions().to_vec() {
-            if !self.population.fill(s) {
+        for i in 0..self.archive.len() {
+            if self.population.is_full() {
                 break;
             }
+            let s = self.archive.solutions()[i].clone();
+            self.population.fill(s);
         }
         self.tournament_size = tournament_size(self.config.selection_ratio, target);
         self.fill_in_flight = 0;
@@ -502,7 +621,7 @@ where
     while engine.nfe() < max_nfe {
         let cand = engine.produce();
         problem.evaluate(&cand.variables, &mut objs, &mut cons);
-        let sol = engine.make_solution(cand, objs.clone(), cons.clone());
+        let sol = engine.make_solution_recycled(cand, &objs, &cons);
         engine.consume(sol);
         observer(&engine);
     }
@@ -628,6 +747,20 @@ mod tests {
         assert_eq!(engine.nfe(), 5000);
         assert_eq!(engine.stats().produced, 5008);
         engine.archive().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn steady_state_recycles_candidate_buffers() {
+        // Once the population is full, every iteration's three buffer takes
+        // (variables, objectives, constraints) are fed by the three buffers
+        // the previous iteration retired, so pool hits dominate misses
+        // (which mostly stem from the initial fill phase).
+        let e = run_serial(&TwoSphere, config(), 13, 3000, |_| {});
+        let (hits, misses) = e.arena_stats();
+        assert!(
+            hits > 3 * misses,
+            "arena not recycling: hits={hits} misses={misses}"
+        );
     }
 
     #[test]

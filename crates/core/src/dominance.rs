@@ -12,6 +12,7 @@
 //!   the ideal box corner wins. This bounds archive size and guarantees
 //!   convergence + diversity.
 
+use crate::matrix::ObjectiveMatrix;
 use crate::solution::Solution;
 
 /// Result of a dominance comparison between `a` and `b`.
@@ -63,6 +64,15 @@ pub fn pareto_dominance(a: &Solution, b: &Solution) -> Dominance {
     pareto_dominance_objectives(a.objectives(), b.objectives())
 }
 
+/// Pareto dominance between rows `i` and `j` of a flat objective matrix.
+///
+/// Row slices come straight out of the SoA backing store, so the comparison
+/// runs over contiguous memory with no per-call allocation.
+// borg-lint: hot-path
+pub fn pareto_dominance_rows(matrix: &ObjectiveMatrix, i: usize, j: usize) -> Dominance {
+    pareto_dominance_objectives(matrix.row(i), matrix.row(j))
+}
+
 /// Constrained Pareto dominance.
 ///
 /// A solution with a smaller aggregate constraint violation dominates one
@@ -81,21 +91,39 @@ pub fn constrained_dominance(a: &Solution, b: &Solution) -> Dominance {
     }
 }
 
-/// Computes the ε-box index vector of an objective vector.
+/// Computes the ε-box index vector of an objective vector, in place.
 ///
 /// Box `i` of objective `j` covers `[i ε_j, (i+1) ε_j)`. Borg assumes
-/// objectives are bounded below (translated to be non-negative is not
-/// required; `floor` handles negatives correctly).
-pub fn epsilon_box(objectives: &[f64], epsilons: &[f64]) -> Vec<i64> {
+/// objectives are bounded below (translation to non-negative is not
+/// required; `floor` handles negatives correctly). This is the hot-path
+/// form: callers reuse `out` across insertions so no `Vec<i64>` is born
+/// per dominance comparison.
+// borg-lint: hot-path
+pub fn epsilon_box_into(objectives: &[f64], epsilons: &[f64], out: &mut [i64]) {
     debug_assert_eq!(objectives.len(), epsilons.len());
-    objectives
-        .iter()
-        .zip(epsilons)
-        .map(|(&o, &e)| {
-            debug_assert!(e > 0.0, "epsilon must be positive");
-            (o / e).floor() as i64
-        })
-        .collect()
+    debug_assert_eq!(objectives.len(), out.len());
+    for ((&o, &e), b) in objectives.iter().zip(epsilons).zip(out) {
+        debug_assert!(e > 0.0, "epsilon must be positive");
+        *b = (o / e).floor() as i64;
+    }
+}
+
+/// The single-coordinate ε-box index: `floor(o / ε)`.
+///
+/// The allocation-free comparators below fold over this so their arithmetic
+/// is bit-identical to [`epsilon_box_into`].
+#[inline]
+pub fn epsilon_box_coord(objective: f64, epsilon: f64) -> i64 {
+    debug_assert!(epsilon > 0.0, "epsilon must be positive");
+    (objective / epsilon).floor() as i64
+}
+
+/// Allocating convenience form of [`epsilon_box_into`], kept for tests and
+/// one-off diagnostics; library hot paths go through the in-place variant.
+pub fn epsilon_box(objectives: &[f64], epsilons: &[f64]) -> Vec<i64> {
+    let mut out = vec![0i64; objectives.len()];
+    epsilon_box_into(objectives, epsilons, &mut out);
+    out
 }
 
 /// Result of an ε-box comparison, distinguishing the same-box case.
@@ -118,12 +146,13 @@ pub enum BoxDominance {
 /// First compares box indices with Pareto dominance; if the boxes coincide,
 /// the solution nearer (in Euclidean distance) to the lower-left box corner
 /// is preferred, which keeps exactly one representative per box.
+// borg-lint: hot-path
 pub fn epsilon_box_dominance(a: &[f64], b: &[f64], epsilons: &[f64]) -> BoxDominance {
-    let ba = epsilon_box(a, epsilons);
-    let bb = epsilon_box(b, epsilons);
     let mut a_better = false;
     let mut b_better = false;
-    for (&x, &y) in ba.iter().zip(&bb) {
+    for i in 0..a.len() {
+        let x = epsilon_box_coord(a[i], epsilons[i]);
+        let y = epsilon_box_coord(b[i], epsilons[i]);
         if x < y {
             a_better = true;
         } else if y < x {
@@ -139,7 +168,7 @@ pub fn epsilon_box_dominance(a: &[f64], b: &[f64], epsilons: &[f64]) -> BoxDomin
             let mut da = 0.0;
             let mut db = 0.0;
             for i in 0..a.len() {
-                let corner = ba[i] as f64 * epsilons[i];
+                let corner = epsilon_box_coord(a[i], epsilons[i]) as f64 * epsilons[i];
                 da += (a[i] - corner) * (a[i] - corner);
                 db += (b[i] - corner) * (b[i] - corner);
             }
@@ -256,6 +285,29 @@ mod tests {
         assert_eq!(epsilon_box(&[0.25, 0.75], &[0.1, 0.5]), vec![2, 1]);
         assert_eq!(epsilon_box(&[-0.05], &[0.1]), vec![-1]);
         assert_eq!(epsilon_box(&[0.0], &[0.1]), vec![0]);
+    }
+
+    #[test]
+    fn epsilon_box_into_matches_allocating_form() {
+        let objs = [0.25, 0.75, -0.05, 0.0];
+        let eps = [0.1, 0.5, 0.1, 0.1];
+        let mut out = [0i64; 4];
+        epsilon_box_into(&objs, &eps, &mut out);
+        assert_eq!(out.to_vec(), epsilon_box(&objs, &eps));
+        for i in 0..objs.len() {
+            assert_eq!(out[i], epsilon_box_coord(objs[i], eps[i]));
+        }
+    }
+
+    #[test]
+    fn pareto_dominance_rows_matches_slice_form() {
+        let mut m = ObjectiveMatrix::new(2);
+        m.push_row(&[0.0, 0.0]);
+        m.push_row(&[1.0, 1.0]);
+        m.push_row(&[0.0, 2.0]);
+        assert_eq!(pareto_dominance_rows(&m, 0, 1), Dominance::Dominates);
+        assert_eq!(pareto_dominance_rows(&m, 1, 0), Dominance::DominatedBy);
+        assert_eq!(pareto_dominance_rows(&m, 1, 2), Dominance::NonDominated);
     }
 
     #[test]

@@ -55,6 +55,19 @@ impl Variation for DifferentialEvolution {
     }
 
     fn evolve(&self, parents: &[&[f64]], bounds: &[Bounds], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut child = Vec::with_capacity(parents[0].len());
+        self.evolve_into(parents, bounds, rng, &mut child);
+        child
+    }
+
+    // borg-lint: hot-path
+    fn evolve_into(
+        &self,
+        parents: &[&[f64]],
+        bounds: &[Bounds],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         debug_assert_eq!(parents.len(), 4);
         let base = parents[0];
         let a = parents[1];
@@ -62,20 +75,18 @@ impl Variation for DifferentialEvolution {
         let c = parents[3];
         let l = base.len();
         let forced = rng.gen_range(0..l);
-        let mut child: Vec<f64> = (0..l)
-            .map(|j| {
-                if j == forced || rng.gen::<f64>() <= self.crossover_rate {
-                    a[j] + self.step_size * (b[j] - c[j])
-                } else {
-                    base[j]
-                }
-            })
-            .collect();
+        out.clear();
+        out.extend((0..l).map(|j| {
+            if j == forced || rng.gen::<f64>() <= self.crossover_rate {
+                a[j] + self.step_size * (b[j] - c[j])
+            } else {
+                base[j]
+            }
+        }));
         if let Some(pm) = &self.mutation {
-            pm.mutate(&mut child, bounds, rng);
+            pm.mutate(out, bounds, rng);
         }
-        clamp_to_bounds(&mut child, bounds);
-        child
+        clamp_to_bounds(out, bounds);
     }
 }
 

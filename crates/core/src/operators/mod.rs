@@ -49,6 +49,22 @@ pub trait Variation: Send + Sync {
     /// vector of the same length as each parent, with every component inside
     /// its [`Bounds`].
     fn evolve(&self, parents: &[&[f64]], bounds: &[Bounds], rng: &mut dyn RngCore) -> Vec<f64>;
+
+    /// As [`evolve`](Variation::evolve), writing the offspring into `out`
+    /// (cleared first) so the steady-state loop can reuse one buffer per
+    /// candidate. Implementations must draw the identical RNG stream and
+    /// produce the identical child as `evolve`; the default delegates.
+    fn evolve_into(
+        &self,
+        parents: &[&[f64]],
+        bounds: &[Bounds],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
+        let child = self.evolve(parents, bounds, rng);
+        out.clear();
+        out.extend_from_slice(&child);
+    }
 }
 
 /// Clamps every component of `vars` into its bounds (shared helper).
@@ -116,7 +132,20 @@ pub(crate) mod test_support {
                 })
                 .collect();
             let refs: Vec<&[f64]> = parents.iter().map(|p| p.as_slice()).collect();
+            // `evolve_into` must draw the same stream and produce the same
+            // child as `evolve` (the engine relies on this for bit-identical
+            // determinism), so run both from a cloned RNG and compare.
+            let mut rng_into = rng.clone();
             let child = op.evolve(&refs, &bounds, &mut rng);
+            let mut reused = vec![42.0; 3]; // stale content must be discarded
+            op.evolve_into(&refs, &bounds, &mut rng_into, &mut reused);
+            assert_eq!(
+                child,
+                reused,
+                "{} evolve_into diverged from evolve",
+                op.name()
+            );
+            assert_eq!(rng.gen::<u64>(), rng_into.gen::<u64>());
             assert_eq!(child.len(), l, "{} produced wrong arity", op.name());
             for (j, (&c, b)) in child.iter().zip(&bounds).enumerate() {
                 assert!(

@@ -41,6 +41,20 @@ impl Variation for ParentCentricCrossover {
     }
 
     fn evolve(&self, parents: &[&[f64]], bounds: &[Bounds], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut child = Vec::with_capacity(parents[0].len());
+        self.evolve_into(parents, bounds, rng, &mut child);
+        child
+    }
+
+    // The child buffer is reused via `out`; the O(k·L) basis temporaries are
+    // inherent to the Gram-Schmidt construction and still allocate.
+    fn evolve_into(
+        &self,
+        parents: &[&[f64]],
+        bounds: &[Bounds],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         let k = parents.len();
         // The last parent is the index parent the offspring centers on (the
         // caller places the tournament-selected parent last).
@@ -49,7 +63,9 @@ impl Variation for ParentCentricCrossover {
         let d = sub(index_parent, &g);
         let d_norm = norm(&d);
 
-        let mut child = index_parent.to_vec();
+        out.clear();
+        out.extend_from_slice(index_parent);
+        let child = out;
 
         if d_norm > EPS {
             // Unit principal direction.
@@ -106,8 +122,7 @@ impl Variation for ParentCentricCrossover {
             }
         }
 
-        clamp_to_bounds(&mut child, bounds);
-        child
+        clamp_to_bounds(child, bounds);
     }
 }
 

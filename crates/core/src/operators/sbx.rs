@@ -77,26 +77,34 @@ impl Variation for SimulatedBinaryCrossover {
     }
 
     fn evolve(&self, parents: &[&[f64]], bounds: &[Bounds], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut child = Vec::with_capacity(parents[0].len());
+        self.evolve_into(parents, bounds, rng, &mut child);
+        child
+    }
+
+    // borg-lint: hot-path
+    fn evolve_into(
+        &self,
+        parents: &[&[f64]],
+        bounds: &[Bounds],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         debug_assert_eq!(parents.len(), 2);
         let p1 = parents[0];
         let p2 = parents[1];
-        let mut child: Vec<f64> = p1
-            .iter()
-            .zip(p2)
-            .zip(bounds)
-            .map(|((&x1, &x2), &b)| {
-                if rng.gen::<f64>() <= self.rate {
-                    self.crossover_pair(x1, x2, b, rng)
-                } else {
-                    x1
-                }
-            })
-            .collect();
+        out.clear();
+        out.extend(p1.iter().zip(p2).zip(bounds).map(|((&x1, &x2), &b)| {
+            if rng.gen::<f64>() <= self.rate {
+                self.crossover_pair(x1, x2, b, rng)
+            } else {
+                x1
+            }
+        }));
         if let Some(pm) = &self.mutation {
-            pm.mutate(&mut child, bounds, rng);
+            pm.mutate(out, bounds, rng);
         }
-        clamp_to_bounds(&mut child, bounds);
-        child
+        clamp_to_bounds(out, bounds);
     }
 }
 

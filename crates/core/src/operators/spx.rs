@@ -37,6 +37,20 @@ impl Variation for SimplexCrossover {
     }
 
     fn evolve(&self, parents: &[&[f64]], bounds: &[Bounds], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut child = Vec::with_capacity(parents[0].len());
+        self.evolve_into(parents, bounds, rng, &mut child);
+        child
+    }
+
+    // The child buffer is reused via `out`; the recursive construction's
+    // centroid/offset temporaries are inherent and still allocate.
+    fn evolve_into(
+        &self,
+        parents: &[&[f64]],
+        bounds: &[Bounds],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         let n = parents.len();
         let l = parents[0].len();
 
@@ -71,9 +85,9 @@ impl Variation for SimplexCrossover {
             c_prev = c_k;
         }
 
-        let mut child: Vec<f64> = (0..l).map(|j| z(n - 1, j) + c_prev[j]).collect();
-        clamp_to_bounds(&mut child, bounds);
-        child
+        out.clear();
+        out.extend((0..l).map(|j| z(n - 1, j) + c_prev[j]));
+        clamp_to_bounds(out, bounds);
     }
 }
 

@@ -48,9 +48,22 @@ impl Variation for UniformMutation {
     }
 
     fn evolve(&self, parents: &[&[f64]], bounds: &[Bounds], rng: &mut dyn RngCore) -> Vec<f64> {
-        let mut child = parents[0].to_vec();
-        self.mutate(&mut child, bounds, rng);
+        let mut child = Vec::with_capacity(parents[0].len());
+        self.evolve_into(parents, bounds, rng, &mut child);
         child
+    }
+
+    // borg-lint: hot-path
+    fn evolve_into(
+        &self,
+        parents: &[&[f64]],
+        bounds: &[Bounds],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend_from_slice(parents[0]);
+        self.mutate(out, bounds, rng);
     }
 }
 

@@ -41,6 +41,20 @@ impl Variation for UnimodalNormalDistributionCrossover {
     }
 
     fn evolve(&self, parents: &[&[f64]], bounds: &[Bounds], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut child = Vec::with_capacity(parents[0].len());
+        self.evolve_into(parents, bounds, rng, &mut child);
+        child
+    }
+
+    // The child buffer is reused via `out`; the orthonormal-basis
+    // temporaries are inherent to the construction and still allocate.
+    fn evolve_into(
+        &self,
+        parents: &[&[f64]],
+        bounds: &[Bounds],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         let k = parents.len();
         let l = parents[0].len();
 
@@ -68,7 +82,9 @@ impl Variation for UnimodalNormalDistributionCrossover {
         let d_vec = sub(parents[k - 1], &g);
         let dd = norm(&d_vec);
 
-        let mut child = g.clone();
+        out.clear();
+        out.extend_from_slice(&g);
+        let child = out;
 
         // Primary steps along parent-spanned directions.
         for (e, &m) in basis.iter().zip(&magnitudes) {
@@ -100,8 +116,7 @@ impl Variation for UnimodalNormalDistributionCrossover {
             }
         }
 
-        clamp_to_bounds(&mut child, bounds);
-        child
+        clamp_to_bounds(child, bounds);
     }
 }
 

@@ -5,8 +5,17 @@
 //! or more population members replaces one of them at random; an offspring
 //! dominated by no member but dominating none replaces a random member; an
 //! offspring dominated by any member is rejected.
+//!
+//! The replacement scan and tournament comparisons are the second-largest
+//! `T_A` term after the archive, so the population mirrors its members'
+//! objective vectors into a flat structure-of-arrays [`ObjectiveMatrix`] and
+//! caches each member's aggregate constraint violation. The O(population)
+//! scan in [`Population::offer`] then streams over contiguous rows instead
+//! of chasing one `Vec` per member, and allocates nothing per offspring
+//! (the dominated-index list is a reused scratch buffer).
 
-use crate::dominance::{constrained_dominance, Dominance};
+use crate::dominance::{pareto_dominance_objectives, Dominance};
+use crate::matrix::ObjectiveMatrix;
 use crate::solution::Solution;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -26,7 +35,15 @@ pub enum PopulationInsert {
 #[derive(Debug, Clone)]
 pub struct Population {
     members: Vec<Solution>,
+    /// Flat SoA mirror of member objective vectors, row-parallel with
+    /// `members`.
+    objectives: ObjectiveMatrix,
+    /// Cached aggregate constraint violation per member, row-parallel with
+    /// `members` (computed once at insertion instead of per comparison).
+    violations: Vec<f64>,
     capacity: usize,
+    /// Reused dominated-member index list for `offer`.
+    scratch_dominated: Vec<usize>,
 }
 
 impl Population {
@@ -38,13 +55,22 @@ impl Population {
         assert!(capacity > 0, "population capacity must be positive");
         Self {
             members: Vec::with_capacity(capacity),
+            objectives: ObjectiveMatrix::new(0),
+            violations: Vec::with_capacity(capacity),
             capacity,
+            scratch_dominated: Vec::new(),
         }
     }
 
     /// Current members.
     pub fn members(&self) -> &[Solution] {
         &self.members
+    }
+
+    /// Flat structure-of-arrays view of member objective vectors: row `i`
+    /// holds member `i`'s objectives.
+    pub fn objective_rows(&self) -> &ObjectiveMatrix {
+        &self.objectives
     }
 
     /// Number of members currently held.
@@ -73,13 +99,15 @@ impl Population {
         if self.is_full() {
             return false;
         }
-        self.members.push(solution);
+        self.push_member(solution);
         true
     }
 
     /// Empties the population, keeping capacity.
     pub fn clear(&mut self) {
         self.members.clear();
+        self.objectives.clear();
+        self.violations.clear();
     }
 
     /// Changes the capacity; excess members (if shrinking) are dropped from
@@ -90,32 +118,64 @@ impl Population {
         if self.members.len() > capacity {
             self.members.shuffle(rng);
             self.members.truncate(capacity);
+            self.rebuild_mirrors();
         }
     }
 
     /// Offers an offspring to a full population using Borg's steady-state
     /// replacement rule.
+    // borg-lint: hot-path
     pub fn offer<R: Rng>(&mut self, offspring: Solution, rng: &mut R) -> PopulationInsert {
+        self.offer_replacing(offspring, rng).0
+    }
+
+    /// [`offer`](Self::offer), additionally returning the member the
+    /// offspring displaced (if any) so callers can recycle its buffers
+    /// through a solution arena instead of freeing them.
+    // borg-lint: hot-path
+    pub fn offer_replacing<R: Rng>(
+        &mut self,
+        offspring: Solution,
+        rng: &mut R,
+    ) -> (PopulationInsert, Option<Solution>) {
         if !self.is_full() {
-            self.members.push(offspring);
-            return PopulationInsert::ReplacedRandom;
+            self.push_member(offspring);
+            return (PopulationInsert::ReplacedRandom, None);
         }
-        let mut dominated: Vec<usize> = Vec::new();
-        for (i, m) in self.members.iter().enumerate() {
-            match constrained_dominance(&offspring, m) {
-                Dominance::Dominates => dominated.push(i),
-                Dominance::DominatedBy => return PopulationInsert::Rejected,
+        let off_violation = offspring.constraint_violation();
+        let off_objectives = offspring.objectives();
+        self.scratch_dominated.clear();
+        for i in 0..self.members.len() {
+            match self.row_dominance(off_objectives, off_violation, i) {
+                Dominance::Dominates => self.scratch_dominated.push(i),
+                Dominance::DominatedBy => return (PopulationInsert::Rejected, Some(offspring)),
                 Dominance::NonDominated => {}
             }
         }
-        if dominated.is_empty() {
+        if self.scratch_dominated.is_empty() {
             let i = rng.gen_range(0..self.members.len());
-            self.members[i] = offspring;
-            PopulationInsert::ReplacedRandom
+            let old = self.replace_member(i, offspring, off_violation);
+            (PopulationInsert::ReplacedRandom, Some(old))
         } else {
-            let i = dominated[rng.gen_range(0..dominated.len())];
-            self.members[i] = offspring;
-            PopulationInsert::ReplacedDominated
+            let i = self.scratch_dominated[rng.gen_range(0..self.scratch_dominated.len())];
+            let old = self.replace_member(i, offspring, off_violation);
+            (PopulationInsert::ReplacedDominated, Some(old))
+        }
+    }
+
+    /// Constrained dominance of an offspring (given as a row) against member
+    /// `i`, using the cached violation and the SoA objective row — the same
+    /// comparator as [`crate::dominance::constrained_dominance`], fed from
+    /// flat storage.
+    // borg-lint: hot-path
+    fn row_dominance(&self, objectives: &[f64], violation: f64, i: usize) -> Dominance {
+        let vi = self.violations[i];
+        if violation < vi {
+            Dominance::Dominates
+        } else if vi < violation {
+            Dominance::DominatedBy
+        } else {
+            pareto_dominance_objectives(objectives, self.objectives.row(i))
         }
     }
 
@@ -124,6 +184,7 @@ impl Population {
     /// Draws `k` members uniformly with replacement and returns the index of
     /// the best under constrained Pareto dominance (ties keep the earlier
     /// draw, which is an unbiased choice because draws are random).
+    // borg-lint: hot-path
     pub fn tournament_select<R: Rng>(&self, k: usize, rng: &mut R) -> usize {
         assert!(
             !self.members.is_empty(),
@@ -133,8 +194,11 @@ impl Population {
         let mut best = rng.gen_range(0..self.members.len());
         for _ in 1..k {
             let challenger = rng.gen_range(0..self.members.len());
-            if constrained_dominance(&self.members[challenger], &self.members[best])
-                == Dominance::Dominates
+            if self.row_dominance(
+                self.objectives.row(challenger),
+                self.violations[challenger],
+                best,
+            ) == Dominance::Dominates
             {
                 best = challenger;
             }
@@ -158,9 +222,110 @@ impl Population {
         }
     }
 
+    /// As [`sample_indices`](Self::sample_indices), writing into a reused
+    /// buffer so the steady-state loop allocates nothing per candidate.
+    ///
+    /// Draws the **same RNG stream** as the allocating form: it simulates
+    /// `rand::seq::index::sample`'s partial Fisher–Yates over a *virtual*
+    /// `0..len` pool, tracking only the (≤ arity) slots a swap touched in a
+    /// fixed stack array instead of materializing the whole pool.
+    // borg-lint: hot-path
+    pub fn sample_indices_into<R: Rng>(&self, n: usize, rng: &mut R, out: &mut Vec<usize>) {
+        assert!(!self.members.is_empty(), "cannot sample empty population");
+        out.clear();
+        let len = self.members.len();
+        if len < n {
+            for _ in 0..n {
+                out.push(rng.gen_range(0..len));
+            }
+            return;
+        }
+        // One touched slot per draw; operator arities are ≤ 10, so 32 gives
+        // ample headroom. (A larger request falls back to the allocating
+        // sampler, which draws the identical stream.)
+        const MAX_STACK: usize = 32;
+        if n > MAX_STACK {
+            out.extend_from_slice(&rand::seq::index::sample(rng, len, n).into_vec());
+            return;
+        }
+        let mut touched = [(usize::MAX, 0usize); MAX_STACK];
+        let lookup = |touched: &[(usize, usize)], x: usize| -> usize {
+            // Latest write wins; untouched slots hold their identity value.
+            for &(slot, value) in touched.iter().rev() {
+                if slot == x {
+                    return value;
+                }
+            }
+            x
+        };
+        for i in 0..n {
+            let j = rng.gen_range(i..len);
+            let vj = lookup(&touched[..i], j);
+            let vi = lookup(&touched[..i], i);
+            // `pool.swap(i, j)`: slot i is final after iteration i (future
+            // draws satisfy j ≥ i+1), so its value goes straight to `out`;
+            // slot j keeps the displaced value for future lookups.
+            out.push(vj);
+            touched[i] = (j, vi);
+        }
+    }
+
     /// Member accessor.
     pub fn get(&self, i: usize) -> &Solution {
         &self.members[i]
+    }
+
+    /// Appends a member and its mirror rows.
+    fn push_member(&mut self, solution: Solution) {
+        self.violations.push(solution.constraint_violation());
+        self.objectives.push_row(solution.objectives());
+        self.members.push(solution);
+    }
+
+    /// Replaces member `i`, refreshing its mirror rows; returns the old one.
+    // borg-lint: hot-path
+    fn replace_member(&mut self, i: usize, solution: Solution, violation: f64) -> Solution {
+        self.violations[i] = violation;
+        self.objectives.set_row(i, solution.objectives());
+        std::mem::replace(&mut self.members[i], solution)
+    }
+
+    /// Recomputes both mirrors from `members` (after a shuffle/truncate).
+    fn rebuild_mirrors(&mut self) {
+        self.objectives.clear();
+        self.violations.clear();
+        for m in &self.members {
+            self.objectives.push_row(m.objectives());
+            self.violations.push(m.constraint_violation());
+        }
+    }
+
+    /// Verifies that the SoA mirrors agree with the members (tests).
+    pub fn check_mirrors(&self) -> Result<(), String> {
+        // Row-count comparison, not an objective-value comparison.
+        // borg-lint: allow(BORG-L005)
+        if self.objectives.rows() != self.members.len()
+            || self.violations.len() != self.members.len()
+        {
+            return Err(format!(
+                "mirror rows {} / violations {} disagree with {} members",
+                self.objectives.rows(),
+                self.violations.len(),
+                self.members.len()
+            ));
+        }
+        for (i, m) in self.members.iter().enumerate() {
+            // Mirror integrity is exact copy equality, not dominance.
+            // borg-lint: allow(BORG-L005)
+            if self.objectives.row(i) != m.objectives() {
+                return Err(format!("objective mirror row {i} is stale"));
+            }
+            // borg-lint: allow(BORG-L005)
+            if self.violations[i] != m.constraint_violation() {
+                return Err(format!("violation cache entry {i} is stale"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -183,6 +348,7 @@ mod tests {
         assert!(p.is_full());
         assert!(!p.fill(sol(&[3.0, 3.0])));
         assert_eq!(p.len(), 2);
+        p.check_mirrors().unwrap();
     }
 
     #[test]
@@ -195,6 +361,7 @@ mod tests {
         assert_eq!(r, PopulationInsert::ReplacedDominated);
         assert!(p.members().iter().any(|m| m.objectives() == [1.0, 1.0]));
         assert!(p.members().iter().any(|m| m.objectives() == [0.0, 9.0]));
+        p.check_mirrors().unwrap();
     }
 
     #[test]
@@ -218,6 +385,42 @@ mod tests {
         let r = p.offer(sol(&[0.5, 0.5]), &mut rng);
         assert_eq!(r, PopulationInsert::ReplacedRandom);
         assert_eq!(p.len(), 2);
+        p.check_mirrors().unwrap();
+    }
+
+    #[test]
+    fn offer_replacing_returns_the_displaced_member() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Population::new(2);
+        p.fill(sol(&[5.0, 5.0]));
+        p.fill(sol(&[0.0, 9.0]));
+        let (r, old) = p.offer_replacing(sol(&[1.0, 1.0]), &mut rng);
+        assert_eq!(r, PopulationInsert::ReplacedDominated);
+        assert_eq!(old.expect("displaced").objectives(), &[5.0, 5.0]);
+        // A rejected offspring comes back to the caller for recycling.
+        let (r, back) = p.offer_replacing(sol(&[9.0, 9.0]), &mut rng);
+        assert_eq!(r, PopulationInsert::Rejected);
+        assert_eq!(back.expect("rejected offspring").objectives(), &[9.0, 9.0]);
+        // Filling below capacity keeps the offspring: nothing to recycle.
+        let mut q = Population::new(2);
+        let (r, none) = q.offer_replacing(sol(&[1.0, 2.0]), &mut rng);
+        assert_eq!(r, PopulationInsert::ReplacedRandom);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn constrained_offspring_uses_cached_violations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = Population::new(2);
+        p.fill(Solution::from_parts(vec![], vec![0.0, 0.0], vec![2.0]));
+        p.fill(Solution::from_parts(vec![], vec![1.0, 9.0], vec![0.0]));
+        // Feasible offspring dominates the violating member regardless of
+        // objectives.
+        let off = Solution::from_parts(vec![], vec![5.0, 5.0], vec![0.0]);
+        let r = p.offer(off, &mut rng);
+        assert_eq!(r, PopulationInsert::ReplacedDominated);
+        assert!(p.members().iter().all(|m| m.is_feasible()));
+        p.check_mirrors().unwrap();
     }
 
     #[test]
@@ -286,6 +489,38 @@ mod tests {
     }
 
     #[test]
+    fn sample_indices_into_matches_allocating_form() {
+        // Same seed → the reused-buffer form must draw the same RNG stream
+        // and produce the same indices as `sample_indices` (this is what
+        // keeps the engine's candidate streams bit-identical).
+        for n in [1usize, 2, 5, 9, 10] {
+            let mut p = Population::new(10);
+            for i in 0..10 {
+                p.fill(sol(&[i as f64, -(i as f64)]));
+            }
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            let alloc = p.sample_indices(n, &mut a);
+            let mut reused = Vec::new();
+            p.sample_indices_into(n, &mut b, &mut reused);
+            assert_eq!(alloc, reused, "divergence at arity {n}");
+            // And the RNG cursors must agree afterwards.
+            use rand::Rng;
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        // Small-population with-replacement path.
+        let mut p = Population::new(2);
+        p.fill(sol(&[0.0, 1.0]));
+        p.fill(sol(&[1.0, 0.0]));
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let alloc = p.sample_indices(6, &mut a);
+        let mut reused = Vec::new();
+        p.sample_indices_into(6, &mut b, &mut reused);
+        assert_eq!(alloc, reused);
+    }
+
+    #[test]
     fn resize_shrinks_and_grows() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut p = Population::new(4);
@@ -295,6 +530,7 @@ mod tests {
         p.resize(2, &mut rng);
         assert_eq!(p.len(), 2);
         assert_eq!(p.capacity(), 2);
+        p.check_mirrors().unwrap();
         p.resize(8, &mut rng);
         assert_eq!(p.len(), 2);
         assert!(!p.is_full());

@@ -5,6 +5,7 @@
 //! objectives are minimized; constraints are satisfied when their value is
 //! `<= 0` (the MOEA framework convention used by Borg).
 
+use crate::matrix::ObjectiveMatrix;
 use crate::solution::Solution;
 
 /// Inclusive lower/upper bounds of one decision variable.
@@ -103,6 +104,66 @@ pub trait Problem: Send + Sync {
     /// Collects all bounds into a vector (convenience; not on the hot path).
     fn all_bounds(&self) -> Vec<Bounds> {
         (0..self.num_variables()).map(|i| self.bounds(i)).collect()
+    }
+
+    /// Evaluates a whole batch of candidates stored as rows of `vars`,
+    /// appending one output row per candidate to `objs` and `cons` (which
+    /// are cleared first and must carry strides `num_objectives()` /
+    /// `num_constraints()`, or stride 0 to adopt them).
+    ///
+    /// The default loops over [`evaluate`](Problem::evaluate); test suites
+    /// override it to run the whole batch behind a single virtual call so
+    /// the per-row kernel can be inlined and stream over the contiguous
+    /// row storage.
+    fn evaluate_batch(
+        &self,
+        vars: &ObjectiveMatrix,
+        objs: &mut ObjectiveMatrix,
+        cons: &mut ObjectiveMatrix,
+    ) {
+        batch_eval_loop(self, vars, objs, cons, Self::evaluate);
+    }
+}
+
+/// Shared skeleton for [`Problem::evaluate_batch`] implementations: stages
+/// the output rows, then streams every input row through `kernel`.
+///
+/// Overriding implementations call this with their concrete `evaluate` so
+/// the compiler monomorphizes and inlines the kernel into one loop — the
+/// default trait method pays one dynamic dispatch per row instead.
+pub fn batch_eval_loop<P: Problem + ?Sized>(
+    problem: &P,
+    vars: &ObjectiveMatrix,
+    objs: &mut ObjectiveMatrix,
+    cons: &mut ObjectiveMatrix,
+    kernel: impl Fn(&P, &[f64], &mut [f64], &mut [f64]),
+) {
+    assert_eq!(
+        vars.stride(),
+        problem.num_variables(),
+        "variable stride mismatch for problem {}",
+        problem.name()
+    );
+    objs.clear();
+    cons.clear();
+    let n = vars.rows();
+    if n == 0 {
+        return;
+    }
+    // Adopt the output strides if the matrices are still unsized (push_row
+    // panics on a genuine mismatch).
+    if objs.stride() != problem.num_objectives() {
+        objs.push_row(&vec![0.0; problem.num_objectives()]);
+        objs.clear();
+    }
+    if cons.stride() != problem.num_constraints() {
+        cons.push_row(&vec![0.0; problem.num_constraints()]);
+        cons.clear();
+    }
+    objs.push_rows_filled(n, 0.0);
+    cons.push_rows_filled(n, 0.0);
+    for i in 0..n {
+        kernel(problem, vars.row(i), objs.row_mut(i), cons.row_mut(i));
     }
 }
 

@@ -95,6 +95,13 @@ impl Solution {
         self.objectives.len()
     }
 
+    /// Decomposes the solution into its three owned buffers
+    /// `(variables, objectives, constraints)` so a retired solution's
+    /// allocations can be recycled through an arena instead of freed.
+    pub fn into_parts(self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (self.variables, self.objectives, self.constraints)
+    }
+
     /// Euclidean distance between the objective vectors of two solutions.
     pub fn objective_distance(&self, other: &Self) -> f64 {
         debug_assert_eq!(self.objectives.len(), other.objectives.len());

@@ -1,0 +1,123 @@
+//! Differential property test: the ε-grid-indexed [`EpsilonArchive`] must
+//! make *bit-identical* decisions to the retained [`LinearScanArchive`]
+//! oracle on arbitrary insertion streams — same per-candidate verdicts,
+//! same counters, same final member ordering.
+//!
+//! The generators deliberately stress the index's edge cases: random
+//! per-objective ε values, heavy ties (objectives drawn from a small
+//! palette so many candidates share ε-boxes or box coordinates), signed
+//! zeros, the single-objective degenerate case, and infeasible candidates
+//! exercising the constraint arms.
+
+use borg_core::archive::{EpsilonArchive, LinearScanArchive};
+use borg_core::solution::Solution;
+use proptest::prelude::*;
+
+/// Objective palette: coarse values produce frequent exact ties and shared
+/// ε-boxes; `-0.0` checks that signed zeros cannot split a box key.
+fn objective_value() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![
+        -0.0, 0.0, 0.05, 0.1, 0.15, 0.2, 0.35, 0.5, 0.55, 0.7, 0.85, 0.99,
+    ])
+}
+
+/// A constraint drawn from {feasible, mildly violated, badly violated}.
+fn constraint_value() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![0.0, 0.0, 0.0, 0.25, 1.5])
+}
+
+fn drive_both(
+    m: usize,
+    epsilons: &[f64],
+    stream: &[(Vec<f64>, Vec<f64>)],
+) -> Result<(), TestCaseError> {
+    let mut fast = EpsilonArchive::new(epsilons.to_vec());
+    let mut slow = LinearScanArchive::new(epsilons.to_vec());
+    for (step, (objs, cons)) in stream.iter().enumerate() {
+        prop_assert_eq!(objs.len(), m);
+        let s = Solution::from_parts(vec![], objs.clone(), cons.clone());
+        let fast_verdict = fast.offer(&s);
+        let slow_verdict = slow.add(s);
+        prop_assert_eq!(
+            fast_verdict,
+            slow_verdict,
+            "decision diverged at step {} of {:?}",
+            step,
+            stream
+        );
+    }
+    prop_assert_eq!(fast.len(), slow.len());
+    prop_assert_eq!(fast.improvements(), slow.improvements());
+    prop_assert_eq!(fast.accepts(), slow.accepts());
+    prop_assert_eq!(fast.rejects(), slow.rejects());
+    for (i, (f, s)) in fast.solutions().iter().zip(slow.solutions()).enumerate() {
+        prop_assert_eq!(
+            f.objectives(),
+            s.objectives(),
+            "member order diverged at slot {}",
+            i
+        );
+        prop_assert_eq!(f.constraints(), s.constraints());
+    }
+    if let Err(e) = fast.check_invariants() {
+        return Err(TestCaseError::fail(format!("invariant violation: {e}")));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Multi-objective streams over random ε vectors, with ties and
+    /// occasional infeasibility.
+    #[test]
+    fn indexed_matches_linear_on_random_streams(
+        m in 2usize..=4,
+        eps_seed in prop::collection::vec(0.02f64..0.4, 4),
+        stream in prop::collection::vec(
+            (prop::collection::vec(objective_value(), 4), constraint_value()),
+            1..120,
+        ),
+    ) {
+        let epsilons: Vec<f64> = eps_seed[..m].to_vec();
+        let stream: Vec<(Vec<f64>, Vec<f64>)> = stream
+            .into_iter()
+            .map(|(objs, c)| (objs[..m].to_vec(), vec![c]))
+            .collect();
+        drive_both(m, &epsilons, &stream)?;
+    }
+
+    /// The 1-D degenerate case: every box key is a single coordinate, so
+    /// the staircase walks collapse to immediate neighbours.
+    #[test]
+    fn indexed_matches_linear_single_objective(
+        epsilon in 0.02f64..0.3,
+        stream in prop::collection::vec(objective_value(), 1..80),
+    ) {
+        let stream: Vec<(Vec<f64>, Vec<f64>)> = stream
+            .into_iter()
+            .map(|v| (vec![v], vec![]))
+            .collect();
+        drive_both(1, &[epsilon], &stream)?;
+    }
+
+    /// Re-ordering a fixed candidate pool: both implementations must agree
+    /// under *every* order, not just the one the generator happened to
+    /// produce first.
+    #[test]
+    fn indexed_matches_linear_under_shuffles(
+        stream in Just((0..30u32).collect::<Vec<u32>>()).prop_shuffle(),
+    ) {
+        // A deterministic pool mixing front points, dominated points, and
+        // exact duplicates; the shuffle chooses the insertion order.
+        let pool: Vec<(Vec<f64>, Vec<f64>)> = stream
+            .into_iter()
+            .map(|i| {
+                let t = f64::from(i % 10) / 10.0;
+                let lift = f64::from(i / 10) * 0.15;
+                (vec![t + lift, 1.0 - t + lift], vec![])
+            })
+            .collect();
+        drive_both(2, &[0.07, 0.11], &pool)?;
+    }
+}

@@ -36,7 +36,7 @@ impl HvCache {
                 return cached_ratio;
             }
         }
-        let ratio = metric.ratio(&archive.objective_vectors());
+        let ratio = metric.ratio_rows(archive.objective_rows().iter_rows());
         self.last = Some((generation, ratio));
         ratio
     }

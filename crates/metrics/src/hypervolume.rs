@@ -72,6 +72,31 @@ fn exclusive_hv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
     incl - wfg(&limited, reference)
 }
 
+/// Exclusive hypervolume contribution of one extra point against an
+/// existing set: `hypervolume(set ∪ {point}) − hypervolume(set)`.
+///
+/// This is the update step of incremental hypervolume maintenance
+/// ([`crate::incremental::IncrementalHv`]): inserting into a set of size
+/// `n` costs one exclusive-contribution evaluation instead of a full
+/// recompute over `n + 1` points. Points at or beyond the reference point
+/// contribute zero, exactly as [`hypervolume`] drops them.
+pub fn exclusive_hypervolume(point: &[f64], set: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let m = reference.len();
+    assert_eq!(point.len(), m, "dimension mismatch");
+    if !point.iter().zip(reference).all(|(a, r)| a < r) {
+        return 0.0;
+    }
+    let rest: Vec<Vec<f64>> = set
+        .iter()
+        .filter(|q| {
+            assert_eq!(q.len(), m, "dimension mismatch");
+            q.iter().zip(reference).all(|(a, r)| a < r)
+        })
+        .cloned()
+        .collect();
+    exclusive_hv(point, &rest, reference)
+}
+
 /// Exclusive hypervolume contribution of each point: how much volume
 /// would be lost if that point were removed from the set.
 ///

@@ -1,0 +1,235 @@
+//! Incremental hypervolume maintenance.
+//!
+//! Recomputing the WFG hypervolume from scratch after every archive change
+//! costs O(full set) per sample; trajectory analyses sample it thousands of
+//! times per run. [`IncrementalHv`] maintains a running value: inserting a
+//! point adds its *exclusive contribution* against the current set (an
+//! identity of the WFG decomposition, so the update is exact), while any
+//! removal falls back to a full recompute — ε-archive evictions can free
+//! volume shared with surviving members, which no local update can see.
+//!
+//! [`ArchiveHvTracker`] automates the choice for an
+//! [`EpsilonArchive`](borg_core::archive::EpsilonArchive): it compares
+//! [`ArchiveStamp`] snapshots between calls, applies per-row incremental
+//! inserts across pure-append intervals, and recomputes otherwise.
+
+use crate::hypervolume::{exclusive_hypervolume, hypervolume};
+use borg_core::archive::{ArchiveStamp, EpsilonArchive};
+
+/// A running hypervolume value with O(set) incremental inserts.
+#[derive(Debug, Clone)]
+pub struct IncrementalHv {
+    reference: Vec<f64>,
+    points: Vec<Vec<f64>>,
+    value: f64,
+    incremental_inserts: u64,
+    full_recomputes: u64,
+}
+
+impl IncrementalHv {
+    /// An empty tracker with the given reference point.
+    pub fn new(reference: Vec<f64>) -> Self {
+        assert!(!reference.is_empty(), "empty reference point");
+        Self {
+            reference,
+            points: Vec::new(),
+            value: 0.0,
+            incremental_inserts: 0,
+            full_recomputes: 0,
+        }
+    }
+
+    /// Current hypervolume of the tracked set.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of tracked points (dominated members included; they simply
+    /// contributed zero).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tracked set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `(incremental inserts, full recomputes)` applied so far.
+    pub fn update_counts(&self) -> (u64, u64) {
+        (self.incremental_inserts, self.full_recomputes)
+    }
+
+    /// Adds one point, increasing the value by its exclusive contribution
+    /// against the current set. Returns that contribution.
+    pub fn insert(&mut self, point: &[f64]) -> f64 {
+        let delta = exclusive_hypervolume(point, &self.points, &self.reference);
+        self.value += delta;
+        self.points.push(point.to_vec());
+        self.incremental_inserts += 1;
+        delta
+    }
+
+    /// Replaces the tracked set and recomputes the value from scratch
+    /// (the removal path).
+    pub fn rebuild<'a, I>(&mut self, rows: I)
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        self.points.clear();
+        self.points.extend(rows.into_iter().map(|r| r.to_vec()));
+        self.value = hypervolume(&self.points, &self.reference);
+        self.full_recomputes += 1;
+    }
+}
+
+/// Stamp-driven hypervolume tracking of an ε-archive.
+///
+/// Call [`update`](Self::update) after engine steps; intervals in which the
+/// archive only appended new-box members (the common steady-state case —
+/// [`ArchiveStamp::pure_append_to`] proves it from the mutation counters)
+/// cost one exclusive-contribution evaluation per new member, everything
+/// else costs one full recompute.
+#[derive(Debug, Clone)]
+pub struct ArchiveHvTracker {
+    inner: IncrementalHv,
+    stamp: Option<ArchiveStamp>,
+}
+
+impl ArchiveHvTracker {
+    /// A tracker computing hypervolume w.r.t. `reference`.
+    pub fn new(reference: Vec<f64>) -> Self {
+        Self {
+            inner: IncrementalHv::new(reference),
+            stamp: None,
+        }
+    }
+
+    /// Synchronizes with the archive's current contents and returns the
+    /// hypervolume.
+    pub fn update(&mut self, archive: &EpsilonArchive) -> f64 {
+        let newer = archive.stamp();
+        let appended = self
+            .stamp
+            .as_ref()
+            .and_then(|older| older.pure_append_to(&newer))
+            // Only usable when our mirror matches the pre-append prefix.
+            .filter(|k| self.inner.len() == archive.len() - k);
+        match appended {
+            Some(k) => {
+                let rows = archive.objective_rows();
+                for i in archive.len() - k..archive.len() {
+                    self.inner.insert(rows.row(i));
+                }
+            }
+            None => self.inner.rebuild(archive.objective_rows().iter_rows()),
+        }
+        self.stamp = Some(newer);
+        self.inner.value()
+    }
+
+    /// Current value without resynchronizing.
+    pub fn value(&self) -> f64 {
+        self.inner.value()
+    }
+
+    /// `(incremental inserts, full recomputes)` applied so far.
+    pub fn update_counts(&self) -> (u64, u64) {
+        self.inner.update_counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_core::solution::Solution;
+
+    fn sol(objs: &[f64]) -> Solution {
+        Solution::from_parts(vec![], objs.to_vec(), vec![])
+    }
+
+    #[test]
+    fn incremental_insert_matches_full_recompute() {
+        let reference = vec![1.0, 1.0];
+        let pts = [
+            [0.9, 0.1],
+            [0.1, 0.9],
+            [0.5, 0.5],
+            [0.6, 0.6], // dominated: contributes zero
+            [0.3, 0.4],
+        ];
+        let mut inc = IncrementalHv::new(reference.clone());
+        let mut set: Vec<Vec<f64>> = Vec::new();
+        for p in pts {
+            inc.insert(&p);
+            set.push(p.to_vec());
+            let full = hypervolume(&set, &reference);
+            assert!(
+                (inc.value() - full).abs() < 1e-12,
+                "incremental {} vs full {}",
+                inc.value(),
+                full
+            );
+        }
+        assert_eq!(inc.update_counts(), (5, 0));
+    }
+
+    #[test]
+    fn points_beyond_reference_contribute_zero() {
+        let mut inc = IncrementalHv::new(vec![1.0, 1.0]);
+        assert_eq!(inc.insert(&[2.0, 0.1]), 0.0);
+        assert_eq!(inc.value(), 0.0);
+        // And they must not corrupt later updates.
+        let d = inc.insert(&[0.5, 0.5]);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_resets_to_full_value() {
+        let mut inc = IncrementalHv::new(vec![1.0, 1.0]);
+        inc.insert(&[0.5, 0.5]);
+        inc.insert(&[0.2, 0.8]);
+        let set = [&[0.1f64, 0.1][..]];
+        inc.rebuild(set);
+        assert!((inc.value() - 0.81).abs() < 1e-12);
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc.update_counts().1, 1);
+    }
+
+    #[test]
+    fn tracker_follows_archive_through_appends_and_evictions() {
+        let reference = vec![2.0, 2.0];
+        let mut archive = EpsilonArchive::uniform(2, 0.1);
+        let mut tracker = ArchiveHvTracker::new(reference.clone());
+
+        // Pure appends: distinct nondominated boxes.
+        archive.add(sol(&[0.05, 1.95]));
+        archive.add(sol(&[1.95, 0.05]));
+        archive.add(sol(&[1.05, 1.05]));
+        let v = tracker.update(&archive);
+        let full = hypervolume(&archive.objective_vectors(), &reference);
+        assert!((v - full).abs() < 1e-12);
+        let (inserts_a, recomputes_a) = tracker.update_counts();
+        assert_eq!(recomputes_a, 1, "first sync is a rebuild");
+
+        // More appends since the last stamp: incremental path.
+        archive.add(sol(&[0.55, 1.55]));
+        let v = tracker.update(&archive);
+        let full = hypervolume(&archive.objective_vectors(), &reference);
+        assert!((v - full).abs() < 1e-12);
+        let (inserts_b, recomputes_b) = tracker.update_counts();
+        assert_eq!(
+            recomputes_b, recomputes_a,
+            "append interval must not rebuild"
+        );
+        assert!(inserts_b > inserts_a);
+
+        // A dominating insertion evicts members: full recompute.
+        archive.add(sol(&[0.01, 0.01]));
+        let v = tracker.update(&archive);
+        let full = hypervolume(&archive.objective_vectors(), &reference);
+        assert!((v - full).abs() < 1e-12);
+        let (_, recomputes_c) = tracker.update_counts();
+        assert_eq!(recomputes_c, recomputes_a + 1, "eviction must rebuild");
+    }
+}

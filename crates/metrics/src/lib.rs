@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod hypervolume;
+pub mod incremental;
 pub mod indicators;
 pub mod mc_hypervolume;
 pub mod nds;
@@ -31,7 +32,8 @@ pub mod relative;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::hypervolume::{hypervolume, hypervolume_contributions};
+    pub use crate::hypervolume::{exclusive_hypervolume, hypervolume, hypervolume_contributions};
+    pub use crate::incremental::{ArchiveHvTracker, IncrementalHv};
     pub use crate::indicators::{
         additive_epsilon, generational_distance, inverted_generational_distance,
         maximum_front_error, spacing,

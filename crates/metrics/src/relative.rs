@@ -69,10 +69,25 @@ impl RelativeHypervolume {
     /// possible for ε-archives whose representatives sit inside the lattice
     /// gaps of a finitely-sampled reference set.
     pub fn ratio(&self, approximation: &[Vec<f64>]) -> f64 {
-        if approximation.is_empty() {
+        self.ratio_rows(approximation.iter().map(|p| p.as_slice()))
+    }
+
+    /// As [`ratio`](Self::ratio), reading the approximation set from
+    /// borrowed row slices (e.g. an archive's flat objective matrix) so
+    /// callers need not materialize a `Vec<Vec<f64>>` first. Performs the
+    /// identical arithmetic in the identical order, so results are
+    /// bit-identical to `ratio`.
+    pub fn ratio_rows<'a, I>(&self, rows: I) -> f64
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let normalized: Vec<Vec<f64>> = rows
+            .into_iter()
+            .map(|p| self.bounds.normalize_point(p))
+            .collect();
+        if normalized.is_empty() {
             return 0.0;
         }
-        let normalized = self.bounds.normalize_set(approximation);
         let m = self.bounds.dim();
         let hv = match &self.backend {
             Backend::Exact => hypervolume(&normalized, &vec![1.0; m]),

@@ -1,0 +1,84 @@
+//! Property tests for incremental hypervolume maintenance: the running
+//! value kept by [`IncrementalHv`] (and the stamp-driven
+//! [`ArchiveHvTracker`]) must agree with a from-scratch WFG recompute to
+//! within 1e-9 on arbitrary point streams, including dominated points,
+//! duplicates, and points at or beyond the reference.
+
+use borg_core::archive::EpsilonArchive;
+use borg_core::solution::Solution;
+use borg_metrics::hypervolume::hypervolume;
+use borg_metrics::incremental::{ArchiveHvTracker, IncrementalHv};
+use proptest::prelude::*;
+
+/// Coarse palette forcing duplicates, dominated points, and members sitting
+/// exactly on (or beyond) the reference point.
+fn objective_value() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0, 1.2])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every single insert the running value matches the full WFG
+    /// recompute of the accumulated set.
+    #[test]
+    fn incremental_inserts_match_full_recompute(
+        m in 2usize..=4,
+        stream in prop::collection::vec(prop::collection::vec(objective_value(), 4), 1..40),
+    ) {
+        let reference = vec![1.0; m];
+        let mut inc = IncrementalHv::new(reference.clone());
+        let mut set: Vec<Vec<f64>> = Vec::new();
+        for point in &stream {
+            let point = &point[..m];
+            inc.insert(point);
+            set.push(point.to_vec());
+            let full = hypervolume(&set, &reference);
+            prop_assert!(
+                (inc.value() - full).abs() < 1e-9,
+                "incremental {} vs full {} after {} points",
+                inc.value(),
+                full,
+                set.len()
+            );
+        }
+        let (inserts, recomputes) = inc.update_counts();
+        prop_assert_eq!(inserts, stream.len() as u64);
+        prop_assert_eq!(recomputes, 0);
+    }
+
+    /// The archive tracker stays within 1e-9 of the full recompute across
+    /// arbitrary ε-archive histories — pure-append intervals (incremental
+    /// path) and evicting/replacing insertions (rebuild path) alike.
+    #[test]
+    fn archive_tracker_matches_full_recompute(
+        m in 2usize..=3,
+        epsilon in 0.05f64..0.2,
+        sync_every in 1usize..4,
+        stream in prop::collection::vec(prop::collection::vec(objective_value(), 3), 1..60),
+    ) {
+        let reference = vec![1.5; m];
+        let mut archive = EpsilonArchive::uniform(m, epsilon);
+        let mut tracker = ArchiveHvTracker::new(reference.clone());
+        for (step, point) in stream.iter().enumerate() {
+            let objs = point[..m].to_vec();
+            archive.add(Solution::from_parts(vec![], objs, vec![]));
+            // Syncing only every few insertions exercises multi-append
+            // intervals between stamps.
+            if step % sync_every == 0 {
+                let got = tracker.update(&archive);
+                let full = hypervolume(&archive.objective_vectors(), &reference);
+                prop_assert!(
+                    (got - full).abs() < 1e-9,
+                    "tracker {} vs full {} at step {}",
+                    got,
+                    full,
+                    step
+                );
+            }
+        }
+        let got = tracker.update(&archive);
+        let full = hypervolume(&archive.objective_vectors(), &reference);
+        prop_assert!((got - full).abs() < 1e-9, "final tracker {got} vs full {full}");
+    }
+}

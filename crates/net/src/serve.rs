@@ -520,6 +520,10 @@ where
     fault_log.finalize(elapsed);
     rec.gauge("master.busy_seconds", elapsed);
     rec.gauge("master.utilization", 1.0);
+    rec.counter(
+        "archive.box_probes",
+        transport.engine.archive().box_probes(),
+    );
     Ok(ServeReport {
         engine: transport.engine,
         elapsed,

@@ -93,7 +93,8 @@ impl IslandRunResult {
     pub fn merged_archive(&self) -> Vec<Vec<f64>> {
         self.engines
             .iter()
-            .flat_map(|e| e.archive().objective_vectors())
+            .flat_map(|e| e.archive().objective_rows().iter_rows())
+            .map(|row| row.to_vec())
             .collect()
     }
 }

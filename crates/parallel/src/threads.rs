@@ -719,6 +719,7 @@ fn run_threaded_inner<P: Problem + ?Sized, R: Recorder + Sync + ?Sized>(
         "master.utilization",
         master_busy / elapsed.max(f64::MIN_POSITIVE),
     );
+    rec.counter("archive.box_probes", engine.archive().box_probes());
     let commands = proto.take_commands();
     let mut fault_log = proto.into_log();
     // Collect any fault notes still in transit (e.g. a straggler note

@@ -8,7 +8,8 @@
 //! decision variables in `[0, 1]`. Standard `k`: 5 for DTLZ1, 10 for
 //! DTLZ2–6, 20 for DTLZ7.
 
-use borg_core::problem::{Bounds, Problem};
+use borg_core::matrix::ObjectiveMatrix;
+use borg_core::problem::{batch_eval_loop, Bounds, Problem};
 use std::f64::consts::{FRAC_PI_2, PI};
 
 /// Which DTLZ instance.
@@ -123,6 +124,17 @@ impl Problem for Dtlz {
 
     fn bounds(&self, _i: usize) -> Bounds {
         Bounds::unit()
+    }
+
+    fn evaluate_batch(
+        &self,
+        vars: &ObjectiveMatrix,
+        objs: &mut ObjectiveMatrix,
+        cons: &mut ObjectiveMatrix,
+    ) {
+        // One virtual call per batch instead of per row: the concrete
+        // kernel monomorphizes and inlines into the row loop.
+        batch_eval_loop(self, vars, objs, cons, Self::evaluate);
     }
 
     fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {

@@ -10,7 +10,8 @@
 
 use crate::dtlz::{Dtlz, DtlzVariant};
 use crate::rotation::RotatedProblem;
-use borg_core::problem::{Bounds, Problem};
+use borg_core::matrix::ObjectiveMatrix;
+use borg_core::problem::{batch_eval_loop, Bounds, Problem};
 use std::f64::consts::PI;
 
 /// Which bi-/tri-objective UF instance.
@@ -178,6 +179,17 @@ impl Problem for Uf {
                 }
             }
         }
+    }
+
+    fn evaluate_batch(
+        &self,
+        vars: &ObjectiveMatrix,
+        objs: &mut ObjectiveMatrix,
+        cons: &mut ObjectiveMatrix,
+    ) {
+        // One virtual call per batch instead of per row: the concrete
+        // kernel monomorphizes and inlines into the row loop.
+        batch_eval_loop(self, vars, objs, cons, Self::evaluate);
     }
 
     fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {

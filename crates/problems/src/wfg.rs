@@ -16,7 +16,8 @@
 //! Conventions: `k` position parameters (a multiple of `M − 1`), `l`
 //! distance parameters (even, as WFG2/3 require pairs), `n = k + l`.
 
-use borg_core::problem::{Bounds, Problem};
+use borg_core::matrix::ObjectiveMatrix;
+use borg_core::problem::{batch_eval_loop, Bounds, Problem};
 use std::f64::consts::PI;
 
 // ---------------------------------------------------------------------
@@ -397,6 +398,17 @@ impl Problem for Wfg {
 
     fn bounds(&self, i: usize) -> Bounds {
         Bounds::new(0.0, 2.0 * (i + 1) as f64)
+    }
+
+    fn evaluate_batch(
+        &self,
+        vars: &ObjectiveMatrix,
+        objs: &mut ObjectiveMatrix,
+        cons: &mut ObjectiveMatrix,
+    ) {
+        // One virtual call per batch instead of per row: the concrete
+        // kernel monomorphizes and inlines into the row loop.
+        batch_eval_loop(self, vars, objs, cons, Self::evaluate);
     }
 
     fn evaluate(&self, vars: &[f64], objs: &mut [f64], _cons: &mut [f64]) {

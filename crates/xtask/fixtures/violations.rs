@@ -133,7 +133,33 @@ fn dynamic_metric_names(rec: &dyn Recorder, worker: usize) {
     rec.flight("net.worker-death", 0.0, 0, 0, 0.0); //~ BORG-L014
 }
 
+// BORG-L015: no per-call allocation inside hot-path-marked functions.
+// borg-lint: hot-path
+fn allocating_hot_path(parents: &[&[f64]], out: &mut Vec<f64>) -> Vec<f64> {
+    let cloned = parents[0].to_vec(); //~ BORG-L015
+    let gathered: Vec<f64> = parents.iter().map(|p| p[0]).collect(); //~ BORG-L015
+    let mut scratch = Vec::new(); //~ BORG-L015
+    scratch.extend_from_slice(&cloned);
+    out.extend_from_slice(&gathered);
+    scratch
+}
+
 // --- escapes that must NOT be reported ---------------------------------
+
+// Unmarked functions may allocate freely (BORG-L015 is opt-in)...
+fn unmarked_may_allocate(parents: &[&[f64]]) -> Vec<f64> {
+    parents[0].to_vec()
+}
+
+// ...and a justified allocation inside a marked fn carries the escape.
+// borg-lint: hot-path
+fn hot_path_with_justified_allocation(xs: &[f64], out: &mut Vec<f64>) {
+    // Cold error arm: only reached once per run.
+    // borg-lint: allow(BORG-L015)
+    let snapshot = xs.to_vec();
+    out.clear();
+    out.extend_from_slice(&snapshot);
+}
 
 // Catalogue consts, helper-resolved names, literal lowercase dotted
 // names, and value-first histogram sinks all satisfy BORG-L014.

@@ -1,7 +1,8 @@
 //! `cargo xtask bench` — the perf-trajectory step.
 //!
-//! Runs the smoke criterion groups (`protocol`, `faults`, `obs`, `runner`,
-//! `mc`) through the vendored criterion stand-in with `CRITERION_JSON` set, then
+//! Runs the smoke criterion groups (`core`, `protocol`, `faults`, `obs`,
+//! `runner`, `mc`, `net`) through the vendored criterion stand-in with
+//! `CRITERION_JSON` set, then
 //! aggregates the per-bench medians into `BENCH_runner.json` at the
 //! workspace root: one median ns/op per group (the median of the group's
 //! per-bench medians) plus every bench that contributed. The file is a
@@ -13,7 +14,8 @@ use std::process::Command;
 
 /// The groups the trajectory tracks, each with the bench target hosting it
 /// (the `faults` group lives in the `extensions` bench binary).
-const GROUPS: [(&str, &str); 6] = [
+const GROUPS: [(&str, &str); 7] = [
+    ("core", "core"),
     ("protocol", "protocol"),
     ("faults", "extensions"),
     ("obs", "obs"),

@@ -56,6 +56,10 @@ pub struct LexedFile {
     pub tokens: Vec<Token>,
     pub allows: Vec<AllowDirective>,
     pub relaxed_oks: Vec<RelaxedOkDirective>,
+    /// Lines carrying a `// borg-lint: hot-path` marker. The marker sits on
+    /// (or directly above) a function header and opts that function into
+    /// the allocation lint BORG-L015.
+    pub hot_paths: Vec<u32>,
 }
 
 /// Multi-character punctuation recognized as single tokens, longest first.
@@ -105,6 +109,9 @@ pub fn lex(source: &str) -> LexedFile {
             }
             if let Some(directive) = parse_relaxed_ok_directive(&text, line) {
                 out.relaxed_oks.push(directive);
+            }
+            if is_hot_path_directive(&text) {
+                out.hot_paths.push(line);
             }
             continue;
         }
@@ -325,6 +332,13 @@ fn parse_relaxed_ok_directive(comment: &str, line: u32) -> Option<RelaxedOkDirec
             line,
         })
     }
+}
+
+/// Recognizes `// borg-lint: hot-path` comments (no arguments).
+fn is_hot_path_directive(comment: &str) -> bool {
+    let body = comment.trim_start_matches('/').trim();
+    body.strip_prefix("borg-lint:")
+        .is_some_and(|rest| rest.trim() == "hot-path")
 }
 
 /// Whether position `i` (at `r` or `b`) begins a raw or byte string.
@@ -609,6 +623,14 @@ mod tests {
         assert!(lex("// just a note about allow(BORG-L001)")
             .allows
             .is_empty());
+    }
+
+    #[test]
+    fn hot_path_directives_are_captured() {
+        let lexed = lex("// borg-lint: hot-path\nfn f() {}\n// borg-lint: hot-path \nfn g() {}");
+        assert_eq!(lexed.hot_paths, [1, 3]);
+        assert!(lex("// borg-lint: hot-path(arg)").hot_paths.is_empty());
+        assert!(lex("// prose mentioning a hot-path").hot_paths.is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The BORG-Lxxx rule engine.
 //!
-//! Fourteen workspace-specific correctness rules run over the token stream
+//! Fifteen workspace-specific correctness rules run over the token stream
 //! from [`crate::lexer`] and the brace-matched item tree from
 //! [`crate::itemtree`]:
 //!
@@ -79,6 +79,13 @@
 //!   docs, and the allocation-free flight recorder (whose codes are
 //!   `&'static str` by type — a leaked formatted name would be a memory
 //!   leak per call).
+//! * **BORG-L015** — no per-call heap allocation (`.to_vec()`, `.collect()`,
+//!   `Vec::new()`) inside algorithm-core functions marked
+//!   `// borg-lint: hot-path` (`crates/core` library code). Those functions
+//!   sit on the produce/consume path the paper's `T_A` measures; the speed
+//!   campaign removed their allocations (arena buffers, in-place outputs,
+//!   SoA rows), and this rule keeps them out. A justified allocation
+//!   carries the usual `// borg-lint: allow(BORG-L015)` escape.
 //!
 //! A violation is suppressed by a `// borg-lint: allow(BORG-Lxxx)` comment
 //! on the same line or the line directly above — or, item-wide, by one on
@@ -97,7 +104,7 @@ pub struct Rule {
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 14] = [
+pub const RULES: [Rule; 15] = [
     Rule {
         id: "BORG-L001",
         summary: "no unwrap()/expect() in library code outside test regions",
@@ -163,6 +170,11 @@ pub const RULES: [Rule; 14] = [
         summary: "recorder metric names in library code are lowercase dotted 'static \
                   literals (or catalogue consts); never format!-built strings",
     },
+    Rule {
+        id: "BORG-L015",
+        summary: "no .to_vec()/.collect()/Vec::new() in borg-core functions marked \
+                  `// borg-lint: hot-path`; use arena buffers / in-place outputs",
+    },
 ];
 
 /// One reported lint violation.
@@ -198,6 +210,7 @@ pub fn check_source(rel_path: &str, class: FileClass, source: &str) -> Vec<Viola
     rule_l012(rel_path, class, &lexed.tokens, &items, &in_test, &mut found);
     rule_l013(rel_path, class, &lexed.tokens, &items, &in_test, &mut found);
     rule_l014(rel_path, class, &lexed.tokens, source, &in_test, &mut found);
+    rule_l015(rel_path, class, &lexed, &items, &in_test, &mut found);
 
     let allows = allow_map(&lexed);
     let item_allows = item_allow_ranges(&items, &allows);
@@ -1222,6 +1235,74 @@ fn rule_l014(
     }
 }
 
+fn rule_l015(
+    rel_path: &str,
+    class: FileClass,
+    lexed: &LexedFile,
+    items: &[Item],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Scope: algorithm-core library code (plus the fixture).
+    let core_scope = rel_path.starts_with("crates/core/src/") || rel_path == FIXTURE_SCAN_PATH;
+    if class != FileClass::Library || !core_scope || lexed.hot_paths.is_empty() {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    for item in items {
+        item.walk(&mut |it| {
+            if it.kind != ItemKind::Fn {
+                return;
+            }
+            // A fn opts in via `// borg-lint: hot-path` on its header, its
+            // attribute lines, or the line directly above.
+            let first = it.start_line.saturating_sub(1);
+            let marked = lexed
+                .hot_paths
+                .iter()
+                .any(|&h| first <= h && h <= it.header_line);
+            if !marked {
+                return;
+            }
+            let Some((open, close)) = it.body else { return };
+            let close = close.min(tokens.len().saturating_sub(1));
+            for i in open..=close {
+                let t = &tokens[i];
+                if t.kind != TokenKind::Ident || in_test(t.line) {
+                    continue;
+                }
+                let what = match t.text.as_str() {
+                    "to_vec" if is_punct(tokens, i.wrapping_sub(1), ".") => {
+                        Some("`.to_vec()` clones into a fresh Vec")
+                    }
+                    "collect"
+                        if is_punct(tokens, i.wrapping_sub(1), ".")
+                            && (is_punct(tokens, i + 1, "(") || is_punct(tokens, i + 1, "::")) =>
+                    {
+                        Some("`.collect()` materializes a fresh collection")
+                    }
+                    "Vec" if is_punct(tokens, i + 1, "::") && is_ident(tokens, i + 2, "new") => {
+                        Some("`Vec::new()` allocates per call")
+                    }
+                    _ => None,
+                };
+                if let Some(what) = what {
+                    out.push(Violation {
+                        rule: "BORG-L015",
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "{what} inside a `// borg-lint: hot-path` function; reuse an arena \
+                             / scratch buffer or an in-place output (justified allocations \
+                             carry `// borg-lint: allow(BORG-L015)`)"
+                        ),
+                    });
+                }
+            }
+        });
+    }
+}
+
 /// The first double-quoted string on a 1-based source line, if any.
 fn first_quoted_on_line<'a>(lines: &[&'a str], line: u32) -> Option<&'a str> {
     let text = lines.get(line as usize - 1)?;
@@ -1620,6 +1701,48 @@ mod tests {
         let allowed = "fn f(rec: &dyn Recorder) \
                        { rec.gauge(\"Legacy.Name\", 1.0); } // borg-lint: allow(BORG-L014)";
         assert!(check_lib(allowed).is_empty());
+    }
+
+    #[test]
+    fn l015_flags_allocations_only_in_marked_core_functions() {
+        let src = "// borg-lint: hot-path\n\
+                   fn produce(&mut self) -> Vec<f64> {\n\
+                       let parents: Vec<usize> = idxs.iter().collect();\n\
+                       let snapshot = xs.to_vec();\n\
+                       let mut out = Vec::new();\n\
+                       out\n\
+                   }\n\
+                   fn cold(&self) -> Vec<f64> { xs.to_vec() }\n";
+        assert_eq!(
+            rules_at(&check_lib(src)),
+            [("BORG-L015", 3), ("BORG-L015", 4), ("BORG-L015", 5)]
+        );
+        // Out of scope: the same source outside crates/core.
+        let elsewhere = check_source("crates/metrics/src/hypervolume.rs", FileClass::Library, src);
+        assert!(elsewhere.is_empty());
+    }
+
+    #[test]
+    fn l015_recognizes_turbofish_collect_and_honors_allows() {
+        let src = "// borg-lint: hot-path\n\
+                   fn consume(&mut self) {\n\
+                       let v = it.collect::<Vec<_>>();\n\
+                   }\n";
+        assert_eq!(rules_at(&check_lib(src)), [("BORG-L015", 3)]);
+        let allowed = "// borg-lint: hot-path\n\
+                       fn consume(&mut self) {\n\
+                           // borg-lint: allow(BORG-L015)\n\
+                           let v = it.collect::<Vec<_>>();\n\
+                       }\n";
+        assert!(check_lib(allowed).is_empty());
+        // `Vec::with_capacity` and reuse via clear/extend are the sanctioned
+        // shapes and stay silent.
+        let sanctioned = "// borg-lint: hot-path\n\
+                          fn produce(&mut self, out: &mut Vec<f64>) {\n\
+                              out.clear();\n\
+                              out.extend_from_slice(&xs);\n\
+                          }\n";
+        assert!(check_lib(sanctioned).is_empty());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Implements the subset of the proptest API this workspace uses — the
 //! [`proptest!`] macro (including `#![proptest_config(..)]`), range and
-//! tuple strategies, `prop::collection::vec`, and the `prop_assert*`
+//! tuple strategies, `prop::collection::vec`, `prop::sample::select`,
+//! [`Strategy::prop_shuffle`], and the `prop_assert*`
 //! macros — with deterministic case generation and **no shrinking**: a
 //! failing case reports its test name, case index, and generated inputs
 //! (via the assertion message) but is not minimized. Case streams are a
@@ -96,6 +97,34 @@ pub mod strategy {
                 source: self,
                 map: f,
             }
+        }
+
+        /// Randomly permutes generated collections (proptest's
+        /// `prop_shuffle`); only usable when `Self::Value` is a `Vec`.
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { source: self }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_shuffle`].
+    #[derive(Debug, Clone)]
+    pub struct Shuffle<S> {
+        source: S,
+    }
+
+    impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+            let mut items = self.source.generate(rng);
+            // Fisher–Yates on the generated vector.
+            for i in (1..items.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                items.swap(i, j);
+            }
+            items
         }
     }
 
@@ -270,10 +299,39 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Generates values drawn uniformly from `options` (proptest's
+    /// `prop::sample::select`).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
 /// Namespace mirror of proptest's `prop::` path (e.g.
 /// `prop::collection::vec`).
 pub mod prop {
     pub use crate::collection;
+    pub use crate::sample;
 }
 
 pub mod prelude {
@@ -456,6 +514,34 @@ mod tests {
             assert!((3..7).contains(&v.len()));
             assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
         }
+    }
+
+    #[test]
+    fn select_draws_only_listed_options() {
+        let mut rng = crate::test_runner::case_rng("select", 0);
+        let s = crate::sample::select(vec![2u32, 5, 11]);
+        for _ in 0..100 {
+            assert!([2, 5, 11].contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_without_losing_elements() {
+        let mut rng = crate::test_runner::case_rng("shuffle", 0);
+        let s = Just((0..16u32).collect::<Vec<u32>>()).prop_shuffle();
+        let mut saw_permutation = false;
+        for _ in 0..20 {
+            let mut v = s.generate(&mut rng);
+            if v != (0..16).collect::<Vec<u32>>() {
+                saw_permutation = true;
+            }
+            v.sort_unstable();
+            assert_eq!(v, (0..16).collect::<Vec<u32>>());
+        }
+        assert!(
+            saw_permutation,
+            "20 shuffles of 16 elements never moved one"
+        );
     }
 
     #[test]
